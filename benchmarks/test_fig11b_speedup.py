@@ -1,0 +1,69 @@
+"""Figure 11b: actual vs. ideal multiprocessor speedup.
+
+The *actual* curve uses the full scheduler cost model; the *ideal*
+curve assumes "all block scheduling and allocation can be completed
+without taking any clock cycles" (the paper's theoretical speedup).
+Paper landmark: 2.59x actual speedup at six processors; the gap to
+ideal is attributed to scheduling response time and allocation time.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis import format_comparison, format_table
+from repro.benchlib import (build_shor_syndrome_program,
+                            verification_qubits)
+from repro.qcp import QuAPESystem, scalar_config
+from repro.qpu import PRNGQPU, PRNGReadout
+
+PROCESSOR_COUNTS = (1, 2, 4, 6)
+FAILURE_RATE = 0.25
+RUNS_PER_POINT = 60
+PAPER_SIX_CORE_SPEEDUP = 2.59
+
+
+def run_once(program, n_processors: int, seed: int, ideal: bool) -> int:
+    readout = PRNGReadout(
+        failure_rate=0.0,
+        per_qubit={q: FAILURE_RATE for q in verification_qubits()},
+        seed=seed)
+    system = QuAPESystem(program=program,
+                         config=scalar_config(ideal_scheduler=ideal),
+                         n_processors=n_processors,
+                         qpu=PRNGQPU(37, readout), n_qubits=37)
+    return system.run().total_ns
+
+
+def sweep():
+    program = build_shor_syndrome_program()
+    speedups: dict[str, list[float]] = {"actual": [], "ideal": []}
+    for label, ideal in (("actual", False), ("ideal", True)):
+        base = None
+        for count in PROCESSOR_COUNTS:
+            mean = statistics.fmean(
+                run_once(program, count, seed, ideal)
+                for seed in range(RUNS_PER_POINT))
+            base = base or mean
+            speedups[label].append(base / mean)
+    return speedups
+
+
+def test_fig11b_speedup(benchmark, report):
+    speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[str(count), round(actual, 2), round(ideal, 2)]
+            for count, actual, ideal in zip(
+                PROCESSOR_COUNTS, speedups["actual"], speedups["ideal"])]
+    measured = speedups["actual"][-1]
+    comparison = format_comparison("6-processor speedup",
+                                   PAPER_SIX_CORE_SPEEDUP, measured)
+    report("fig11b_speedup", format_table(
+        ["processors", "actual speedup", "ideal speedup"], rows,
+        title="Figure 11b - actual vs ideal speedup") + "\n" + comparison)
+    # Shape: both curves grow with processor count; ideal bounds actual;
+    # the six-core actual speedup lands in the paper's band.
+    assert speedups["actual"] == sorted(speedups["actual"])
+    assert speedups["ideal"] == sorted(speedups["ideal"])
+    for actual, ideal in zip(speedups["actual"], speedups["ideal"]):
+        assert ideal >= actual - 0.05
+    assert 2.2 <= measured <= 3.0

@@ -1,0 +1,61 @@
+"""Figure 12: two-core vs. uniprocessor execution time on the suite.
+
+Paper setup: "we simply divide the part of the program with parallel
+operations into two blocks, each corresponding to half of the qubits";
+the two-core implementation achieves an average 1.30x speedup over the
+uniprocessor.  Expected shape: every benchmark is at least as fast on
+two cores, highly parallel benchmarks (hs16) gain the most, serial
+Toffoli networks (rd84_143) gain the least.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_comparison, format_table
+from repro.benchlib import SUITE
+from repro.compiler import compile_circuit
+from repro.qcp import QuAPESystem, scalar_config
+
+PAPER_AVERAGE_SPEEDUP = 1.30
+
+
+def sweep():
+    results = {}
+    for spec in SUITE:
+        circuit = spec.circuit()
+        compiled = compile_circuit(circuit, partition="halves",
+                                   n_parts=2)
+        times = {}
+        for count in (1, 2):
+            system = QuAPESystem(program=compiled.program,
+                                 config=scalar_config(),
+                                 n_processors=count,
+                                 n_qubits=circuit.n_qubits)
+            times[count] = system.run().total_ns
+        results[spec.name] = times
+    return results
+
+
+def test_fig12_two_core_speedup(benchmark, report):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    speedups = []
+    for spec in SUITE:
+        times = results[spec.name]
+        speedup = times[1] / times[2]
+        speedups.append(speedup)
+        rows.append([spec.name, round(times[1] / 1000.0, 2),
+                     round(times[2] / 1000.0, 2), round(speedup, 2)])
+    average = sum(speedups) / len(speedups)
+    comparison = format_comparison("average two-core speedup",
+                                   PAPER_AVERAGE_SPEEDUP, average)
+    report("fig12_two_core", format_table(
+        ["benchmark", "1-core (us)", "2-core (us)", "speedup"], rows,
+        title="Figure 12 - execution time, two-core vs uniprocessor")
+        + "\n" + comparison)
+    # Shape assertions.
+    assert all(speedup >= 0.99 for speedup in speedups)
+    by_name = dict(zip((s.name for s in SUITE), speedups))
+    assert by_name["hs16"] == max(speedups)
+    assert by_name["hs16"] >= 1.5
+    assert by_name["rd84_143"] <= 1.1
+    assert 1.05 <= average <= 1.5

@@ -1,0 +1,73 @@
+"""Figure 13: average TR, 8-way superscalar vs. scalar baseline.
+
+Paper setup: TR computed with 10 ns clock time and 20 ns gate time over
+the seven benchmarks.  Landmarks: average 4.04x reduction; hs16 reaches
+the 8.00x theoretical bound; rd84_143 improves least (1.60x); the last
+two benchmarks have baseline *average* TR below 1 but maximum TR of 4.5
+and 9; the superscalar reaches TR <= 1 on every step of every
+benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_comparison, format_table
+from repro.benchlib import SUITE
+from repro.compiler import compile_circuit
+from repro.qcp import QuAPESystem, scalar_config, superscalar_config
+
+PAPER_AVERAGE_IMPROVEMENT = 4.04
+PAPER_HS16_IMPROVEMENT = 8.00
+
+
+def sweep():
+    results = {}
+    for spec in SUITE:
+        compiled = compile_circuit(spec.circuit())
+        reports = {}
+        for label, config in (("base", scalar_config()),
+                              ("super", superscalar_config(8))):
+            system = QuAPESystem(program=compiled.program, config=config)
+            reports[label] = system.run().tr_report()
+        results[spec.name] = reports
+    return results
+
+
+def test_fig13_superscalar_tr(benchmark, report):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    improvements = {}
+    for spec in SUITE:
+        base = results[spec.name]["base"]
+        super_ = results[spec.name]["super"]
+        improvement = base.average / super_.average
+        improvements[spec.name] = improvement
+        rows.append([spec.name, round(base.average, 2),
+                     round(base.maximum, 1), round(super_.average, 2),
+                     round(super_.maximum, 2), round(improvement, 2)])
+    average = sum(improvements.values()) / len(improvements)
+    lines = [
+        format_table(
+            ["benchmark", "baseline avg TR", "baseline max TR",
+             "8-way avg TR", "8-way max TR", "improvement"], rows,
+            title=("Figure 13 - average TR, 8-way superscalar vs "
+                   "baseline (TR = 1 deadline)")),
+        format_comparison("average improvement",
+                          PAPER_AVERAGE_IMPROVEMENT, average),
+        format_comparison("hs16 improvement", PAPER_HS16_IMPROVEMENT,
+                          improvements["hs16"]),
+    ]
+    report("fig13_superscalar_tr", "\n".join(lines))
+
+    # hs16 hits the 8x theoretical bound of an 8-way design.
+    assert improvements["hs16"] >= 7.5
+    # rd84_143 improves least among benchmarks with baseline TR >= 1.
+    assert improvements["rd84_143"] <= 2.5
+    # The last two benchmarks: baseline average below 1, large maxima.
+    for name in ("sym9_148", "bv_n16"):
+        assert results[name]["base"].average < 1.0
+        assert results[name]["base"].maximum >= 4.0
+    # The superscalar meets the deadline on every step everywhere.
+    for spec in SUITE:
+        assert results[spec.name]["super"].meets_deadline, spec.name
+    # Overall improvement in the paper's band.
+    assert 3.0 <= average <= 5.0

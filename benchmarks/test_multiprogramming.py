@@ -1,0 +1,63 @@
+"""Section 3.1.2: multiprogramming — independent tasks on one QPU.
+
+Four cloud-style tasks (Bell pair, GHZ, rotation layers, parity check)
+are merged onto disjoint qubit ranges of one 13-qubit QPU, one program
+block per task at priority 0.  The multiprocessor runs as many tasks
+concurrently as it has processors, improving QPU utilisation — the
+scenario the paper cites from the multi-programming literature.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.benchlib import compile_multiprogram, standard_task_mix
+from repro.qcp import BlockEventKind, QuAPESystem, scalar_config
+
+PROCESSOR_COUNTS = (1, 2, 4)
+
+
+def sweep():
+    compiled = compile_multiprogram(standard_task_mix())
+    results = {}
+    for count in PROCESSOR_COUNTS:
+        system = QuAPESystem(program=compiled.program,
+                             config=scalar_config(),
+                             n_processors=count, n_qubits=13)
+        result = system.run()
+        concurrency = _peak_concurrency(result)
+        results[count] = (result.total_ns, concurrency)
+    return compiled, results
+
+
+def _peak_concurrency(result) -> int:
+    """Maximum number of task blocks executing at the same instant."""
+    active = 0
+    peak = 0
+    events = sorted(result.trace.block_events, key=lambda e: e.time_ns)
+    for event in events:
+        if event.kind is BlockEventKind.EXEC_START:
+            active += 1
+            peak = max(peak, active)
+        elif event.kind is BlockEventKind.EXEC_DONE:
+            active -= 1
+    return peak
+
+
+def test_multiprogramming(benchmark, report):
+    compiled, results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[count, round(results[count][0] / 1000.0, 2),
+             results[count][1]]
+            for count in PROCESSOR_COUNTS]
+    task_list = ", ".join(block.name for block in
+                          compiled.program.blocks)
+    report("multiprogramming", format_table(
+        ["processors", "makespan (us)", "peak concurrent tasks"], rows,
+        title=f"Multiprogramming four tasks ({task_list})"))
+
+    times = [results[count][0] for count in PROCESSOR_COUNTS]
+    # Makespan shrinks with processors; concurrency tracks the count.
+    assert times == sorted(times, reverse=True)
+    assert times[0] > times[-1] * 1.5
+    assert results[1][1] == 1
+    assert results[2][1] == 2
+    assert results[4][1] >= 3

@@ -1,0 +1,61 @@
+"""Section 2.3: the QEC feedback budget.
+
+"The feedback control for quantum error correction needs to be
+completed within 1% of this coherence time to achieve the
+fault-tolerance" — with 50-100 us coherence, that is a 0.5-1 us budget
+per correction round.  This benchmark measures one full round of the
+repetition-code memory on the control stack and decomposes it into the
+physics-bound readout latency (measurement pulse + acquisition, stage
+I+II) and the *control* contribution (gates, decode branching, stage
+III, ancilla reset) that the microarchitecture is responsible for.
+The control contribution must fit comfortably inside the budget.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.benchlib import build_repetition_memory_program
+from repro.benchlib.repetition import N_QUBITS
+from repro.qcp import QuAPESystem, scalar_config
+from repro.qpu import StateVectorQPU, full_topology
+
+#: Coherence-time budget: 1 % of T2 = 50 us.
+BUDGET_NS = 500
+#: Stage I+II latency of the modelled readout chain.
+READOUT_NS = 400
+
+
+def round_time(base_rounds: int = 2) -> float:
+    """Mean per-round latency, by differencing round counts."""
+    times = {}
+    for count in (base_rounds, base_rounds + 2):
+        program = build_repetition_memory_program(rounds=count)
+        qpu = StateVectorQPU(full_topology(N_QUBITS), seed=1)
+        system = QuAPESystem(
+            program=program, qpu=qpu,
+            config=scalar_config(fast_context_switch=True))
+        times[count] = system.run().total_ns
+    return (times[base_rounds + 2] - times[base_rounds]) / 2.0
+
+
+def test_qec_feedback_budget(benchmark, report):
+    latency = benchmark.pedantic(round_time, rounds=1, iterations=1)
+    control_ns = latency - READOUT_NS
+    rows = [
+        ["full correction round", round(latency)],
+        ["readout (stage I+II, physics-bound)", READOUT_NS],
+        ["control contribution (gates + decode + reset)",
+         round(control_ns)],
+        ["budget (1% of 50 us coherence)", BUDGET_NS],
+    ]
+    report("qec_feedback_budget", format_table(
+        ["quantity", "ns"], rows,
+        title=("QEC round latency vs the paper's 1%-of-coherence "
+               "budget (repetition code)")))
+    # The control microarchitecture's share of the round fits well
+    # inside the fault-tolerance budget; the remainder is the readout
+    # chain the paper treats as stage I+II.
+    assert 0 < control_ns <= BUDGET_NS
+    # And the full round stays within ~2% of coherence even with the
+    # physics included.
+    assert latency <= 2 * BUDGET_NS

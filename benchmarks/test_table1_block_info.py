@@ -1,0 +1,71 @@
+"""Table 1: block information table contents for the Figure 6 circuit.
+
+The paper's example: a circuit of four sub-circuits where W1 and W2 run
+in parallel immediately, W3 waits for both, W4 waits for W3; the table
+stores each block's pc range and its dependency in either the direct or
+the priority representation (W1..W4 -> priorities 0, 0, 1, 2).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.isa import (BlockInfoTable, DependencyMode, ProgramBuilder)
+
+
+def build_figure6_program():
+    """W1 || W2 -> W3 -> W4, as block structure."""
+    builder = ProgramBuilder("figure6")
+    with builder.block("W1", priority=0):
+        builder.qop("h", [0])
+        builder.qop("cnot", [0, 1], timing=2)
+        builder.halt()
+    with builder.block("W2", priority=0):
+        builder.qop("h", [2])
+        builder.qop("cnot", [2, 3], timing=2)
+        builder.halt()
+    with builder.block("W3", priority=1, deps=("W1", "W2")):
+        builder.qop("cnot", [1, 2], timing=0)
+        builder.halt()
+    with builder.block("W4", priority=2, deps=("W3",)):
+        builder.qmeas(0)
+        builder.qmeas(1)
+        builder.qmeas(2)
+        builder.qmeas(3)
+        builder.halt()
+    return builder.build()
+
+
+def test_table1_block_information_table(benchmark, report):
+    program = benchmark.pedantic(build_figure6_program, rounds=1,
+                                 iterations=1)
+    direct = BlockInfoTable(program, mode=DependencyMode.DIRECT)
+    priority = BlockInfoTable(program, mode=DependencyMode.PRIORITY)
+    rows = []
+    for block in program.blocks:
+        index = direct.index_of(block.name)
+        rows.append([block.name, block.start, block.end - 1,
+                     ",".join(block.deps) or "None",
+                     f"{direct.dependency_vector(index):04b}",
+                     priority.priority_of(index)])
+    report("table1_block_info", format_table(
+        ["block", "PC start", "PC end", "dependency",
+         "direct bit-vector", "priority"], rows,
+        title="Table 1 - block information table (Figure 6 circuit)"))
+
+    # Paper's dependency semantics.
+    assert program.block_named("W1").deps == ()
+    assert program.block_named("W2").deps == ()
+    assert set(program.block_named("W3").deps) == {"W1", "W2"}
+    assert program.block_named("W4").deps == ("W3",)
+    # Direct representation: W3's vector has W1 and W2 bits set.
+    w3 = direct.index_of("W3")
+    expected = ((1 << direct.index_of("W1"))
+                | (1 << direct.index_of("W2")))
+    assert direct.dependency_vector(w3) == expected
+    # Priority representation: 0, 0, 1, 2 as in the paper's table.
+    assert [priority.priority_of(priority.index_of(name))
+            for name in ("W1", "W2", "W3", "W4")] == [0, 0, 1, 2]
+    # PC ranges are contiguous and non-overlapping.
+    blocks = program.blocks
+    assert all(left.end == right.start
+               for left, right in zip(blocks, blocks[1:]))

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Simple feedback control: active qubit reset with fast context switch.
+
+Active reset measures a qubit and applies X when it read |1> — the
+canonical "simple feedback control" (Section 5.4).  This example runs
+the same program on the baseline (blocking MRCE) and on QuAPE with the
+fast context switch, showing that unrelated work on another qubit
+proceeds during the ~400 ns measurement wait instead of stalling.
+
+Run with::
+
+    python examples/active_qubit_reset.py
+"""
+
+from repro import QuAPESystem, parse_asm
+from repro.qcp import scalar_config
+from repro.qpu import PRNGQPU
+from repro.qpu.readout import DeterministicReadout
+
+PROGRAM = """
+; Active reset on q0; an independent pulse sequence on q1.
+    qop 0, x, q0          ; put q0 into |1> so the reset has work to do
+    qmeas 2, q0           ; readout (result arrives ~400 ns later)
+    mrce q0, q0, i, x     ; reset: apply X iff the result is 1
+    qop 0, x90, q1        ; unrelated work on q1 ...
+    qop 2, y90, q1
+    qop 2, xm90, q1
+    qop 2, ym90, q1
+    halt
+"""
+
+
+def run(label: str, fast_context_switch: bool) -> None:
+    program = parse_asm(PROGRAM)
+    qpu = PRNGQPU(2, DeterministicReadout(outcomes={0: [1]}))
+    config = scalar_config(fast_context_switch=fast_context_switch)
+    system = QuAPESystem(program=program, config=config, qpu=qpu,
+                         n_qubits=2)
+    result = system.run()
+    print(f"\n{label}")
+    print(f"  {'time (ns)':>10}  operation")
+    for record in result.trace.issues:
+        qubits = ", ".join(f"q{q}" for q in record.qubits)
+        print(f"  {record.time_ns:>10}  {record.gate} {qubits}")
+    print(f"  total: {result.total_ns} ns, "
+          f"context switches: {result.trace.context_switches}")
+
+
+def main() -> None:
+    print("Active qubit reset (measurement outcome scripted to 1, so "
+          "the conditional X fires).")
+    run("Baseline - MRCE stalls the pipeline until the result returns:",
+        fast_context_switch=False)
+    run("QuAPE - fast context switch (3 cycles) lets q1's pulses "
+        "proceed:", fast_context_switch=True)
+    print("\nNote how the q1 pulses issue ~400 ns earlier with the "
+          "fast context switch,\nwhile the conditional X still waits "
+          "for its measurement result.")
+
+
+if __name__ == "__main__":
+    main()

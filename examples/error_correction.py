@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Real-time quantum error correction on the QuAPE stack.
+
+The paper motivates fast classical control with QEC: syndrome feedback
+"needs to be completed within 1% of the coherence time" (Section 2.3).
+This example runs a three-qubit repetition-code memory: stabilizer
+measurements, majority-logic decoding in the QCP's ALU and feedback X
+corrections — all inside the control processor, per round.
+
+A deterministic bit-flip is injected on each data qubit in turn; the
+decoder must identify and correct every one in real time.
+
+Run with::
+
+    python examples/error_correction.py
+"""
+
+from repro.analysis import format_table
+from repro.benchlib import (build_repetition_memory_program,
+                            decode_majority)
+from repro.benchlib.repetition import ANCILLAS, DATA, N_QUBITS
+from repro.qcp import QuAPESystem, scalar_config
+from repro.qpu import StateVectorQPU, full_topology
+
+
+def run_memory(inject_x=None, rounds=2, encode_one=False):
+    program = build_repetition_memory_program(
+        rounds=rounds, encode_one=encode_one, inject_x=inject_x)
+    qpu = StateVectorQPU(full_topology(N_QUBITS), seed=7)
+    system = QuAPESystem(
+        program=program, qpu=qpu,
+        config=scalar_config(fast_context_switch=True))
+    result = system.run()
+    system.kernel.run()
+    last = {d.qubit: d.value for d in system.results.history}
+    syndromes = [d.value for d in system.results.history
+                 if d.qubit in ANCILLAS]
+    corrections = [f"X on d{op.qubits[0]}"
+                   for op in qpu.operation_log
+                   if op.gate == "x" and op.qubits[0] in DATA]
+    if inject_x is not None:
+        corrections = corrections[1:]  # drop the injected error itself
+    return {
+        "syndrome_r1": f"({syndromes[0]},{syndromes[1]})",
+        "corrections": ", ".join(corrections) or "none",
+        "logical": decode_majority(last),
+        "data": "".join(str(last[q]) for q in DATA),
+        "time_us": result.total_ns / 1000.0,
+    }
+
+
+def main() -> None:
+    print("Three-qubit repetition code, 2 correction rounds, logical "
+          "|0>\n")
+    rows = []
+    for victim in [None] + list(DATA):
+        outcome = run_memory(inject_x=victim)
+        label = "none" if victim is None else f"X on d{victim}"
+        rows.append([label, outcome["syndrome_r1"],
+                     outcome["corrections"], outcome["data"],
+                     outcome["logical"],
+                     round(outcome["time_us"], 2)])
+    print(format_table(
+        ["injected error", "round-1 syndrome", "decoder action",
+         "final data", "logical", "time (us)"], rows,
+        title="Deterministic error injection sweep"))
+    print("\nEvery single-qubit bit flip is identified by its syndrome "
+          "pattern and\ncorrected in real time; the logical qubit "
+          "always reads 0.")
+
+    outcome = run_memory(encode_one=True, inject_x=1)
+    print(f"\nLogical |1> with an injected flip on d1: final data "
+          f"{outcome['data']}, logical {outcome['logical']}")
+
+
+if __name__ == "__main__":
+    main()

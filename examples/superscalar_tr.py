@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quantum Operation Level Parallelism: superscalar TR on the suite.
+
+Compiles the seven evaluation benchmarks and compares the scalar
+baseline against quantum superscalar designs of increasing width,
+reporting the average Time Ratio (Equation 2, 10 ns clock / 20 ns gate
+time).  TR <= 1 means the control processor keeps up with the QPU.
+
+Run with::
+
+    python examples/superscalar_tr.py
+"""
+
+from repro import QuAPESystem, compile_circuit
+from repro.analysis import format_table
+from repro.benchlib import SUITE
+from repro.qcp import scalar_config, superscalar_config
+
+WIDTHS = (2, 4, 8)
+
+
+def average_tr(program, config) -> float:
+    system = QuAPESystem(program=program, config=config)
+    return system.run().tr_report().average
+
+
+def main() -> None:
+    rows = []
+    for spec in SUITE:
+        compiled = compile_circuit(spec.circuit())
+        row = [spec.name, spec.source,
+               round(average_tr(compiled.program, scalar_config()), 2)]
+        for width in WIDTHS:
+            row.append(round(average_tr(compiled.program,
+                                        superscalar_config(width)), 2))
+        rows.append(row)
+    print(format_table(
+        ["benchmark", "source", "scalar TR"]
+        + [f"{w}-way TR" for w in WIDTHS], rows,
+        title=("Average TR per benchmark (goal: TR <= 1; paper's "
+               "design is the 8-way)")))
+    print("\nReading: the scalar baseline misses the deadline on "
+          "parallel workloads (TR > 1);\nwider superscalar dispatch "
+          "drives TR below 1 everywhere, as in Figure 13.")
+
+
+if __name__ == "__main__":
+    main()

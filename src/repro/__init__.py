@@ -1,0 +1,35 @@
+"""QuAPE reproduction: quantum control microarchitecture exploiting
+circuit-level and quantum-operation-level parallelism.
+
+Reproduction of Zhang, Xie, et al., "Exploiting Different Levels of
+Parallelism in the Quantum Control Microarchitecture for Superconducting
+Qubits", MICRO 2021 (arXiv:2108.08671).
+
+Quickstart::
+
+    from repro import QuantumCircuit, compile_circuit, run_program
+    from repro import superscalar_config
+
+    circuit = QuantumCircuit(2).h(0).cnot(0, 1).measure(0).measure(1)
+    compiled = compile_circuit(circuit)
+    result = run_program(compiled.program, superscalar_config())
+    print(result.tr_report().average)
+"""
+
+from repro.circuit import QuantumCircuit, schedule_asap
+from repro.compiler import CompiledProgram, compile_circuit
+from repro.isa import Program, ProgramBuilder, parse_asm
+from repro.qcp import (ExecutionResult, QCPConfig, QuAPESystem,
+                       run_program, scalar_config, superscalar_config)
+from repro.qpu import (PRNGQPU, PRNGReadout, StateVectorQPU,
+                       paper_noise_model)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledProgram", "ExecutionResult", "PRNGQPU", "PRNGReadout",
+    "Program", "ProgramBuilder", "QCPConfig", "QuAPESystem",
+    "QuantumCircuit", "StateVectorQPU", "__version__", "compile_circuit",
+    "paper_noise_model", "parse_asm", "run_program", "scalar_config",
+    "schedule_asap", "superscalar_config",
+]

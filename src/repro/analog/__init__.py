@@ -1,0 +1,22 @@
+"""Behavioural models of the analog control electronics (AWG, DAQ)."""
+
+from repro.analog.awg import AWG, CHANNELS_PER_BOARD, PulseEvent
+from repro.analog.channels import (Channel, ChannelKind, ChannelMap,
+                                   FLUX_GATES)
+from repro.analog.codeword import Codeword, WaveformTable
+from repro.analog.daq import (DAQ, DEFAULT_ACQUISITION_NS,
+                              DEFAULT_PULSE_NS, MeasurementRecord)
+from repro.analog.discrimination import (IQDiscriminator, IQPoint,
+                                         discriminator_for_fidelity)
+from repro.analog.waveforms import (PulseLibrary, Waveform,
+                                    drag_envelope, flat_top_envelope,
+                                    gaussian_envelope, square_envelope)
+
+__all__ = [
+    "AWG", "CHANNELS_PER_BOARD", "Channel", "ChannelKind", "ChannelMap",
+    "Codeword", "DAQ", "DEFAULT_ACQUISITION_NS", "DEFAULT_PULSE_NS",
+    "FLUX_GATES", "IQDiscriminator", "IQPoint", "MeasurementRecord",
+    "PulseEvent", "PulseLibrary", "Waveform", "WaveformTable",
+    "discriminator_for_fidelity", "drag_envelope",
+    "flat_top_envelope", "gaussian_envelope", "square_envelope",
+]

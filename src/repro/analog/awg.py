@@ -1,0 +1,78 @@
+"""Arbitrary Waveform Generator (AWG) board model.
+
+The QCP "sends codeword to AWGs to trigger the waveform generation"
+(Section 6.2).  The behavioural model validates the codeword against the
+waveform table, logs the pulse, and forwards the operation to the QPU
+device after a fixed trigger latency.  Each board serves a bounded
+number of channels (two FPGAs x eight DACs in the prototype).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analog.codeword import Codeword, WaveformTable
+from repro.analog.waveforms import PulseLibrary, Waveform
+from repro.circuit.gates import gate_duration_ns
+from repro.qpu.device import QPUBase
+from repro.sim.kernel import SimKernel
+
+#: DAC channels per AWG board (2 FPGAs x 8 DACs, Section 6.2).
+CHANNELS_PER_BOARD = 16
+
+
+@dataclass
+class PulseEvent:
+    """One played pulse, for trace inspection."""
+
+    start_ns: int
+    codeword: Codeword
+    #: Synthesised envelope, when a pulse library is attached.
+    waveform: Waveform | None = None
+
+
+@dataclass
+class AWG:
+    """One AWG board: triggers waveforms for up to 16 channels."""
+
+    kernel: SimKernel
+    qpu: QPUBase
+    waveforms: WaveformTable = field(default_factory=WaveformTable)
+    #: Optional envelope synthesiser; populates PulseEvent.waveform.
+    pulse_library: PulseLibrary | None = None
+    trigger_latency_ns: int = 10
+    channel_capacity: int = CHANNELS_PER_BOARD
+    pulses: list[PulseEvent] = field(default_factory=list)
+    _channels_seen: set[int] = field(default_factory=set)
+
+    def trigger(self, codeword: Codeword) -> None:
+        """Accept a codeword from the emitter; play it after the latency."""
+        self._channels_seen.add(codeword.channel.index)
+        if len(self._channels_seen) > self.channel_capacity:
+            raise RuntimeError(
+                f"AWG board drives {len(self._channels_seen)} channels, "
+                f"capacity is {self.channel_capacity}")
+        if not self.waveforms.contains(codeword.gate, codeword.params):
+            # A real system pre-loads waveforms at program upload; the
+            # model allocates lazily and keeps going.
+            self.waveforms.waveform_id(codeword.gate, codeword.params)
+        self.kernel.schedule(self.trigger_latency_ns, self._play, codeword)
+
+    def _play(self, codeword: Codeword) -> None:
+        waveform = None
+        if self.pulse_library is not None:
+            waveform = self.pulse_library.waveform(
+                codeword.gate, gate_duration_ns(codeword.gate),
+                codeword.params)
+        self.pulses.append(PulseEvent(self.kernel.now, codeword,
+                                      waveform))
+        if codeword.gate == "measure":
+            # Measurement pulses are handled by the DAQ path; the AWG
+            # only emits the probe tone, which needs no state change.
+            return
+        if not codeword.primary:
+            # Companion pulse of a multi-channel operation: the primary
+            # codeword already applied the state change.
+            return
+        self.qpu.apply_gate(self.kernel.now, codeword.gate,
+                            codeword.qubits, codeword.params)

@@ -1,0 +1,102 @@
+"""Mapping from qubits to analog channels.
+
+Section 5.2.4: "the microwave operation and flux operation for the same
+qubit need to be distributed to different analog channels due to the
+quantum processor setup"; Section 8: the 10-qubit chip needs 38 analog
+channels.  The default map assigns each qubit a microwave (XY) channel,
+a flux (Z) channel and a shared-per-group readout channel pair, which
+reproduces that channel count (10*2 + 10 readout-in + 8 readout-out
+combinations are hardware-specific; we model XY + Z + readout lines).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ChannelKind(enum.Enum):
+    """Functional role of one analog channel."""
+
+    MICROWAVE = "microwave"   # XY drive (single-qubit rotations)
+    FLUX = "flux"             # Z control (two-qubit interactions)
+    READOUT = "readout"       # measurement pulse output
+    ACQUISITION = "acquisition"  # measurement signal input (to DAQ)
+
+
+@dataclass(frozen=True)
+class Channel:
+    """One physical analog channel."""
+
+    index: int
+    kind: ChannelKind
+    qubit: int
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}[{self.index}]->q{self.qubit}"
+
+
+#: Gates driven through the flux line rather than the microwave line.
+FLUX_GATES = frozenset({"cz", "iswap", "swap", "cnot"})
+
+
+@dataclass
+class ChannelMap:
+    """Routes each (gate, qubit) pair to its analog channel."""
+
+    n_qubits: int
+    channels: list[Channel] = field(default_factory=list)
+    _microwave: dict[int, Channel] = field(default_factory=dict, repr=False)
+    _flux: dict[int, Channel] = field(default_factory=dict, repr=False)
+    _readout: dict[int, Channel] = field(default_factory=dict, repr=False)
+    _acquisition: dict[int, Channel] = field(default_factory=dict,
+                                             repr=False)
+
+    @classmethod
+    def default(cls, n_qubits: int) -> "ChannelMap":
+        """XY + Z per qubit, one readout/acquisition pair per qubit."""
+        mapping = cls(n_qubits=n_qubits)
+        index = 0
+        for qubit in range(n_qubits):
+            for kind, registry in (
+                    (ChannelKind.MICROWAVE, mapping._microwave),
+                    (ChannelKind.FLUX, mapping._flux),
+                    (ChannelKind.READOUT, mapping._readout),
+                    (ChannelKind.ACQUISITION, mapping._acquisition)):
+                channel = Channel(index=index, kind=kind, qubit=qubit)
+                mapping.channels.append(channel)
+                registry[qubit] = channel
+                index += 1
+        return mapping
+
+    @property
+    def channel_count(self) -> int:
+        return len(self.channels)
+
+    def microwave(self, qubit: int) -> Channel:
+        return self._lookup(self._microwave, qubit, "microwave")
+
+    def flux(self, qubit: int) -> Channel:
+        return self._lookup(self._flux, qubit, "flux")
+
+    def readout(self, qubit: int) -> Channel:
+        return self._lookup(self._readout, qubit, "readout")
+
+    def acquisition(self, qubit: int) -> Channel:
+        return self._lookup(self._acquisition, qubit, "acquisition")
+
+    def _lookup(self, registry: dict[int, Channel], qubit: int,
+                kind: str) -> Channel:
+        try:
+            return registry[qubit]
+        except KeyError:
+            raise KeyError(f"no {kind} channel for q{qubit}") from None
+
+    def channels_for(self, gate: str, qubits: tuple[int, ...]
+                     ) -> list[Channel]:
+        """Channels a gate's control pulses must be distributed to."""
+        if gate == "measure":
+            return [self.readout(qubits[0])]
+        if gate in FLUX_GATES:
+            return [self.flux(q) for q in qubits]
+        return [self.microwave(q) for q in qubits]

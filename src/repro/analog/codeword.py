@@ -1,0 +1,69 @@
+"""Codewords: the digital interface between QCP and analog boards.
+
+The emitter's "last stage of the execution unit is to convert the
+operation for each qubit into a codeword sent to the low-level control
+electronics" (Section 5.2.4).  A codeword names a waveform-table entry
+on a specific channel; the AWG looks the entry up and plays the pulse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analog.channels import Channel
+
+
+@dataclass(frozen=True)
+class Codeword:
+    """One waveform trigger for one channel.
+
+    A multi-qubit operation is distributed over several channels (one
+    pulse per driven line); exactly one of its codewords is *primary*
+    and carries the state-changing effect in the behavioural QPU model,
+    the others are companion pulses.
+    """
+
+    channel: Channel
+    waveform_id: int
+    issue_time_ns: int
+    # Original operation metadata, carried for the behavioural QPU model.
+    gate: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = ()
+    primary: bool = True
+
+    def __str__(self) -> str:
+        return (f"cw(t={self.issue_time_ns}ns, {self.channel}, "
+                f"wf={self.waveform_id}, {self.gate})")
+
+
+class WaveformTable:
+    """Maps gate names (plus quantised parameters) to waveform ids.
+
+    Real hardware pre-loads envelope samples; the behavioural model only
+    needs stable identifiers, assigned on first use.
+    """
+
+    #: Parameter quantisation step (radians) when keying parametric gates.
+    PARAM_RESOLUTION = 1e-6
+
+    def __init__(self) -> None:
+        self._table: dict[tuple, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def _key(self, gate: str, params: tuple[float, ...]) -> tuple:
+        quantised = tuple(round(p / self.PARAM_RESOLUTION) for p in params)
+        return (gate, quantised)
+
+    def waveform_id(self, gate: str,
+                    params: tuple[float, ...] = ()) -> int:
+        """Return (allocating if new) the waveform id for a gate."""
+        key = self._key(gate, params)
+        if key not in self._table:
+            self._table[key] = len(self._table)
+        return self._table[key]
+
+    def contains(self, gate: str, params: tuple[float, ...] = ()) -> bool:
+        return self._key(gate, params) in self._table

@@ -1,0 +1,95 @@
+"""Digital Acquisition (DAQ) board model.
+
+Stage II of the feedback-control timeline (Section 2.4): the DAQ
+receives the analog readout signal, performs demodulation, integration
+and thresholding, and writes the classical bit into the measurement
+result registers.  The stage I latency (the measurement pulse itself)
+plus this stage's latency are non-deterministic in real dispersive
+readout; ``jitter_ns`` models that spread.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analog.discrimination import IQDiscriminator, IQPoint
+from repro.qpu.device import QPUBase
+from repro.sim.kernel import SimKernel
+
+#: Readout pulse duration (stage I), within the paper's 100 ns - 2 us.
+DEFAULT_PULSE_NS = 300
+#: Demodulation + integration + thresholding latency (stage II).
+DEFAULT_ACQUISITION_NS = 100
+
+
+@dataclass
+class MeasurementRecord:
+    """One completed acquisition, for trace inspection."""
+
+    qubit: int
+    start_ns: int
+    done_ns: int
+    outcome: int
+    #: Integrated IQ shot, when a discriminator is attached.
+    iq: IQPoint | None = None
+
+
+@dataclass
+class DAQ:
+    """Digital acquisition pipeline turning pulses into classical bits.
+
+    ``deliver`` is called with ``(qubit, outcome, time_ns)`` when the
+    result becomes valid; the control processor wires this to its
+    measurement result registers.
+    """
+
+    kernel: SimKernel
+    qpu: QPUBase
+    deliver: Callable[[int, int, int], None]
+    pulse_ns: int = DEFAULT_PULSE_NS
+    acquisition_ns: int = DEFAULT_ACQUISITION_NS
+    jitter_ns: int = 0
+    seed: int | None = None
+    #: Optional IQ-plane classifier (Figure 9's "Measurement
+    #: Discrimination" block); adds physically modelled assignment
+    #: error on top of the QPU outcome.
+    discriminator: IQDiscriminator | None = None
+    records: list[MeasurementRecord] = field(default_factory=list)
+    _rng: random.Random = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    @property
+    def nominal_latency_ns(self) -> int:
+        """Stage I + II latency without jitter."""
+        return self.pulse_ns + self.acquisition_ns
+
+    def begin_measurement(self, qubit: int, time_ns: int) -> None:
+        """Start a measurement pulse on ``qubit`` at ``time_ns``."""
+        start_delay = max(0, time_ns - self.kernel.now)
+        self.kernel.schedule(start_delay + self.pulse_ns,
+                             self._acquire, qubit, time_ns)
+
+    def _acquire(self, qubit: int, start_ns: int) -> None:
+        outcome = self.qpu.measure(self.kernel.now, qubit)
+        iq = None
+        if self.discriminator is not None:
+            # Demodulate + integrate + threshold: the classified bit
+            # may differ from the physical outcome (assignment error).
+            outcome, iq = self.discriminator.classify_state(outcome,
+                                                            self._rng)
+        latency = self.acquisition_ns
+        if self.jitter_ns:
+            latency += self._rng.randrange(self.jitter_ns + 1)
+        self.kernel.schedule(latency, self._complete, qubit, start_ns,
+                             outcome, iq)
+
+    def _complete(self, qubit: int, start_ns: int, outcome: int,
+                  iq: IQPoint | None = None) -> None:
+        self.records.append(MeasurementRecord(
+            qubit=qubit, start_ns=start_ns, done_ns=self.kernel.now,
+            outcome=outcome, iq=iq))
+        self.deliver(qubit, outcome, self.kernel.now)

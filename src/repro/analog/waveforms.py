@@ -1,0 +1,154 @@
+"""Pulse-envelope synthesis for the AWG waveform tables.
+
+The prototype's AWGs hold a *waveform table* of pre-loaded envelope
+samples that codewords trigger (Figure 9).  This module synthesises the
+standard superconducting-qubit envelopes at the DAC sample rate:
+
+* Gaussian microwave pulses for single-qubit rotations, with a DRAG
+  quadrature component (the derivative term that suppresses leakage to
+  the second excited state);
+* flat-top (square with cosine ramps) flux pulses for two-qubit gates;
+* a long square readout tone for measurement.
+
+Amplitudes are normalised so a rotation's area scales linearly with its
+angle — the calibration convention real stacks use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: DAC sample rate of the modelled AWG (1 GS/s: 1 sample per ns).
+SAMPLE_RATE_GSPS = 1.0
+
+
+def sample_count(duration_ns: float) -> int:
+    """Number of DAC samples covering ``duration_ns``."""
+    return max(1, int(round(duration_ns * SAMPLE_RATE_GSPS)))
+
+
+def gaussian_envelope(duration_ns: float, amplitude: float = 1.0,
+                      sigma_fraction: float = 0.25) -> np.ndarray:
+    """A truncated Gaussian envelope spanning ``duration_ns``."""
+    if duration_ns <= 0:
+        raise ValueError("duration must be positive")
+    if not 0 < sigma_fraction <= 0.5:
+        raise ValueError("sigma fraction must be in (0, 0.5]")
+    n = sample_count(duration_ns)
+    t = np.arange(n) - (n - 1) / 2.0
+    sigma = sigma_fraction * n
+    envelope = np.exp(-0.5 * (t / sigma) ** 2)
+    envelope -= envelope[0]          # touch zero at the edges
+    peak = envelope.max()
+    if peak > 0:
+        envelope = envelope / peak
+    return amplitude * envelope
+
+
+def drag_envelope(duration_ns: float, amplitude: float = 1.0,
+                  drag_coefficient: float = 0.5,
+                  sigma_fraction: float = 0.25) -> np.ndarray:
+    """Complex DRAG pulse: Gaussian I, scaled-derivative Q."""
+    in_phase = gaussian_envelope(duration_ns, amplitude, sigma_fraction)
+    quadrature = np.gradient(in_phase)
+    scale = drag_coefficient / max(np.abs(quadrature).max(), 1e-12)
+    return in_phase + 1j * amplitude * scale * quadrature
+
+
+def flat_top_envelope(duration_ns: float, amplitude: float = 1.0,
+                      ramp_fraction: float = 0.2) -> np.ndarray:
+    """Square pulse with raised-cosine ramps (flux pulses)."""
+    if not 0 <= ramp_fraction <= 0.5:
+        raise ValueError("ramp fraction must be in [0, 0.5]")
+    n = sample_count(duration_ns)
+    ramp = max(1, int(round(ramp_fraction * n)))
+    envelope = np.ones(n)
+    rise = 0.5 * (1 - np.cos(np.linspace(0, math.pi, ramp)))
+    envelope[:ramp] = rise
+    envelope[-ramp:] = rise[::-1]
+    return amplitude * envelope
+
+
+def square_envelope(duration_ns: float,
+                    amplitude: float = 1.0) -> np.ndarray:
+    """Constant readout tone."""
+    return amplitude * np.ones(sample_count(duration_ns))
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """One synthesised entry of the waveform table."""
+
+    gate: str
+    duration_ns: float
+    samples: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.samples)
+
+    @property
+    def energy(self) -> float:
+        """Integrated |envelope|^2 (proportional to pulse power)."""
+        return float(np.sum(np.abs(self.samples) ** 2))
+
+
+class PulseLibrary:
+    """Synthesises and caches envelopes per gate.
+
+    Rotation amplitude scales with the gate's rotation angle relative
+    to a pi pulse, matching a linear-amplitude calibration.
+    """
+
+    #: Rotation angle (in units of pi) per fixed single-qubit gate.
+    ROTATION_UNITS = {"x": 1.0, "y": 1.0, "z": 0.0, "h": 1.0,
+                      "x90": 0.5, "y90": 0.5, "xm90": 0.5, "ym90": 0.5,
+                      "s": 0.0, "sdg": 0.0, "t": 0.0, "tdg": 0.0,
+                      "i": 0.0}
+
+    def __init__(self, drag_coefficient: float = 0.5) -> None:
+        self.drag_coefficient = drag_coefficient
+        self._cache: dict[tuple, Waveform] = {}
+
+    def waveform(self, gate: str, duration_ns: float,
+                 params: tuple[float, ...] = ()) -> Waveform:
+        """The envelope an AWG plays for ``gate``."""
+        key = (gate, round(duration_ns, 3),
+               tuple(round(p, 6) for p in params))
+        if key in self._cache:
+            return self._cache[key]
+        samples = self._synthesise(gate, duration_ns, params)
+        waveform = Waveform(gate=gate, duration_ns=duration_ns,
+                            samples=samples)
+        self._cache[key] = waveform
+        return waveform
+
+    def _synthesise(self, gate: str, duration_ns: float,
+                    params: tuple[float, ...]) -> np.ndarray:
+        if gate == "measure":
+            return square_envelope(duration_ns, amplitude=0.3)
+        if gate in ("cnot", "cz", "swap", "iswap"):
+            return flat_top_envelope(duration_ns)
+        if gate == "reset":
+            return flat_top_envelope(duration_ns, amplitude=0.8)
+        if gate in ("rx", "ry"):
+            angle = abs(params[0]) if params else math.pi
+            amplitude = min(1.0, angle / math.pi)
+            return drag_envelope(duration_ns, amplitude,
+                                 self.drag_coefficient)
+        if gate == "rz":
+            # Virtual Z: a frame update, no physical pulse.
+            return np.zeros(sample_count(duration_ns))
+        units = self.ROTATION_UNITS.get(gate)
+        if units is None:
+            raise KeyError(f"no pulse recipe for gate {gate!r}")
+        if units == 0.0:
+            # Virtual phase gates need no drive power.
+            return np.zeros(sample_count(duration_ns))
+        return drag_envelope(duration_ns, units, self.drag_coefficient)
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,10 @@
+"""Result aggregation and report formatting."""
+
+from repro.analysis.speedup import (SpeedupSeries, TimingSample,
+                                    collect_speedups)
+from repro.analysis.tables import format_comparison, format_table
+from repro.analysis.timeline import lateness_summary, render_timeline
+
+__all__ = ["SpeedupSeries", "TimingSample", "collect_speedups",
+           "format_comparison", "format_table", "lateness_summary",
+           "render_timeline"]

@@ -1,0 +1,73 @@
+"""Execution-time and speedup aggregation for the CLP experiments."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class TimingSample:
+    """Execution times (ns) collected for one configuration."""
+
+    label: str
+    times_ns: list[int] = field(default_factory=list)
+
+    @property
+    def mean_ns(self) -> float:
+        return statistics.fmean(self.times_ns)
+
+    @property
+    def stdev_ns(self) -> float:
+        if len(self.times_ns) < 2:
+            return 0.0
+        return statistics.stdev(self.times_ns)
+
+    @property
+    def runs(self) -> int:
+        return len(self.times_ns)
+
+
+@dataclass
+class SpeedupSeries:
+    """Mean execution time and speedup across processor counts."""
+
+    baseline_label: str
+    samples: dict[str, TimingSample] = field(default_factory=dict)
+
+    def add(self, label: str, time_ns: int) -> None:
+        self.samples.setdefault(label,
+                                TimingSample(label)).times_ns.append(
+                                    int(time_ns))
+
+    def mean(self, label: str) -> float:
+        return self.samples[label].mean_ns
+
+    def speedup(self, label: str) -> float:
+        """Mean-time ratio of the baseline to ``label``."""
+        return self.mean(self.baseline_label) / self.mean(label)
+
+    def rows(self) -> list[tuple[str, float, float, float]]:
+        """(label, mean us, stdev us, speedup) per configuration."""
+        result = []
+        for label, sample in self.samples.items():
+            result.append((label, sample.mean_ns / 1000.0,
+                           sample.stdev_ns / 1000.0,
+                           self.speedup(label)))
+        return result
+
+
+def collect_speedups(run: Callable[[int, int], int],
+                     processor_counts: list[int], repeats: int,
+                     baseline: int | None = None) -> SpeedupSeries:
+    """Run ``run(n_processors, seed)`` over a grid and aggregate.
+
+    ``run`` must return the execution time in nanoseconds.
+    """
+    baseline = baseline if baseline is not None else processor_counts[0]
+    series = SpeedupSeries(baseline_label=f"{baseline}p")
+    for count in processor_counts:
+        for seed in range(repeats):
+            series.add(f"{count}p", run(count, seed))
+    return series

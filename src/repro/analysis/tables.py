@@ -1,0 +1,47 @@
+"""Plain-text table formatting for benchmark reports.
+
+The benchmark harness prints the same rows/series the paper's figures
+show; these helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]],
+                 title: str | None = None) -> str:
+    """Render an aligned monospace table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}")
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [max(len(headers[i]),
+                  max((len(row[i]) for row in rendered), default=0))
+              for i in range(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i])
+                               for i in range(columns)))
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_comparison(name: str, paper_value: float,
+                      measured_value: float, unit: str = "x") -> str:
+    """One paper-vs-measured line for EXPERIMENTS.md-style reporting."""
+    return (f"{name}: paper {paper_value:.2f}{unit}, "
+            f"measured {measured_value:.2f}{unit}")

@@ -1,0 +1,86 @@
+"""ASCII timeline rendering of execution traces.
+
+Turns the issue trace of one run into a per-qubit Gantt chart, the
+textual analogue of the paper's Figure 2/3 timelines.  Used by the
+examples and handy when debugging scheduling behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gates import gate_duration_ns
+from repro.qcp.trace import Trace
+
+#: Single-character markers per gate family.
+_MARKERS = {"measure": "M", "reset": "R"}
+
+
+def _marker(gate: str) -> str:
+    if gate in _MARKERS:
+        return _MARKERS[gate]
+    return gate[0].upper()
+
+
+def render_timeline(trace: Trace, resolution_ns: int = 10,
+                    max_columns: int = 100,
+                    qubits: list[int] | None = None) -> str:
+    """Render the issue trace as one row of boxes per qubit.
+
+    Each column covers ``resolution_ns``; an operation paints its gate
+    marker across its duration.  ``.`` is idle time.  A trace longer
+    than ``max_columns`` columns is truncated with an ellipsis note.
+    """
+    if resolution_ns <= 0:
+        raise ValueError("resolution must be positive")
+    if not trace.issues:
+        return "(no operations issued)"
+    touched = sorted({q for record in trace.issues
+                      for q in record.qubits})
+    rows = {q: [] for q in (qubits if qubits is not None else touched)}
+    horizon_ns = max(record.time_ns
+                     + gate_duration_ns(record.gate)
+                     for record in trace.issues)
+    columns = min(-(-horizon_ns // resolution_ns), max_columns)
+    for qubit in rows:
+        rows[qubit] = ["."] * columns
+
+    truncated = False
+    for record in trace.issues:
+        start = record.time_ns // resolution_ns
+        width = max(1, gate_duration_ns(record.gate) // resolution_ns)
+        for qubit in record.qubits:
+            if qubit not in rows:
+                continue
+            for column in range(start, start + width):
+                if column >= columns:
+                    truncated = True
+                    break
+                rows[qubit][column] = _marker(record.gate)
+
+    label_width = max(len(f"q{q}") for q in rows) if rows else 2
+    lines = [f"{'':>{label_width}}  " + _ruler(columns, resolution_ns)]
+    for qubit, cells in rows.items():
+        lines.append(f"{f'q{qubit}':>{label_width}}  " + "".join(cells))
+    if truncated:
+        lines.append(f"(truncated at {columns * resolution_ns} ns)")
+    return "\n".join(lines)
+
+
+def _ruler(columns: int, resolution_ns: int) -> str:
+    """Tick row: a '|' every 10 columns."""
+    cells = []
+    for column in range(columns):
+        cells.append("|" if column % 10 == 0 else " ")
+    return "".join(cells)
+
+
+def lateness_summary(trace: Trace) -> str:
+    """One-paragraph summary of timing-deadline behaviour."""
+    late = trace.late_issues
+    if not late:
+        return ("all operations issued exactly at their scheduled "
+                "timing points")
+    worst = max(late, key=lambda r: r.late_ns)
+    return (f"{len(late)} of {len(trace.issues)} operations issued "
+            f"late (total {trace.total_late_ns} ns, worst "
+            f"{worst.late_ns} ns on {worst.gate} "
+            f"q{','.join(str(q) for q in worst.qubits)})")

@@ -1,0 +1,34 @@
+"""Benchmark workloads: the Shor syndrome measurement, the 7-benchmark
+suite, parallel RUS programs, multiprogramming mixes and the paper's
+dynamic-circuit applications."""
+
+from repro.benchlib.apps import (active_reset_program, estimated_phase,
+                                 iterative_phase_estimation_program,
+                                 teleportation_program)
+from repro.benchlib.circuits import (bv_n16, grover_n9, hs16, ising_n16,
+                                     qft_n16, rd84_143, sym9_148)
+from repro.benchlib.multiprog import (compile_multiprogram,
+                                      merge_circuits, standard_task_mix)
+from repro.benchlib.repetition import (build_repetition_memory_program,
+                                       decode_majority)
+from repro.benchlib.rus import (ancilla_qubits, build_rus_blocks,
+                                build_rus_single_flow, subcircuit_qubits)
+from repro.benchlib.steane import (N_QUBITS, N_STABILIZERS,
+                                   build_shor_syndrome_program,
+                                   stabilizer_layouts,
+                                   verification_qubits)
+from repro.benchlib.suite import (BENCHMARKS, BenchmarkSpec, SUITE,
+                                  get_benchmark)
+
+__all__ = [
+    "BENCHMARKS", "BenchmarkSpec", "N_QUBITS", "N_STABILIZERS", "SUITE",
+    "active_reset_program", "ancilla_qubits", "build_rus_blocks",
+    "build_repetition_memory_program", "build_rus_single_flow",
+    "build_shor_syndrome_program", "bv_n16", "decode_majority",
+    "compile_multiprogram", "estimated_phase", "get_benchmark",
+    "grover_n9", "hs16", "ising_n16",
+    "iterative_phase_estimation_program", "merge_circuits", "qft_n16",
+    "rd84_143", "stabilizer_layouts", "standard_task_mix",
+    "subcircuit_qubits", "sym9_148", "teleportation_program",
+    "verification_qubits",
+]

@@ -1,0 +1,121 @@
+"""Dynamic-circuit applications (Section 2.4).
+
+The paper lists the dynamic circuits its feedback control enables:
+active qubit reset, quantum teleportation and iterative phase
+estimation.  This module provides runnable programs for all three,
+built directly at the ISA level because they mix quantum operations
+with measurement-dependent control flow.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+
+#: Timing labels (cycles): single-qubit, two-qubit, measurement.
+_T1, _T2, _TM = 2, 4, 30
+
+
+def active_reset_program(qubit: int = 0,
+                         prepare_excited: bool = True) -> Program:
+    """Active qubit reset: measure, flip on |1> (Section 5.4)."""
+    builder = ProgramBuilder("active_reset")
+    with builder.block("reset", priority=0):
+        if prepare_excited:
+            builder.qop("x", [qubit], timing=0)
+        builder.qmeas(qubit, timing=_T1)
+        builder.mrce(qubit, qubit, "i", "x")
+        builder.halt()
+    return builder.build()
+
+
+def teleportation_program(theta: float = 1.2345) -> Program:
+    """Teleport ``ry(theta)|0>`` from q0 to q2.
+
+    Standard protocol: entangle q1/q2 into a Bell pair, Bell-measure
+    q0/q1, then apply the classically controlled X (from q1's result)
+    and Z (from q0's result) corrections on q2.  Both corrections are
+    simple feedback control, so they lower to MRCE and benefit from the
+    fast context switch.
+    """
+    builder = ProgramBuilder("teleportation")
+    with builder.block("teleport", priority=0):
+        # Message state on q0.
+        builder.qop("ry", [0], timing=0, params=(theta,))
+        # Bell pair on q1, q2 (in parallel with the preparation).
+        builder.qop("h", [1], timing=0)
+        builder.qop("cnot", [1, 2], timing=_T1)
+        # Bell measurement of q0 and q1.
+        builder.qop("cnot", [0, 1], timing=_T2)
+        builder.qop("h", [0], timing=_T2)
+        builder.qmeas(1, timing=_T1)
+        builder.qmeas(0, timing=0)
+        # Corrections on q2, conditioned on the two results.
+        builder.mrce(1, 2, "i", "x")
+        builder.mrce(0, 2, "i", "z")
+        builder.halt()
+    return builder.build()
+
+
+def iterative_phase_estimation_program(phase: float,
+                                       bits: int = 4) -> Program:
+    """Kitaev-style iterative phase estimation of an RZ eigenphase.
+
+    Estimates ``phase`` (in turns, i.e. ``U|1> = e^{2 pi i phase}|1>``
+    with ``U = rz``) to ``bits`` binary digits, one measurement per
+    iteration from the least significant bit upward.  The classically
+    accumulated partial estimate feeds back as an ancilla rotation —
+    a genuinely dynamic circuit exercising measurement, classical
+    arithmetic and parametric gates together.
+
+    Qubits: q0 = ancilla, q1 = eigenstate carrier (prepared in |1>).
+    The estimated ``bits``-bit integer is stored in shared register 0.
+    """
+    if not 1 <= bits <= 12:
+        raise ValueError("bits must be between 1 and 12")
+    builder = ProgramBuilder("ipe")
+    accumulator = 8  # r8 accumulates the estimate (lsb first)
+    with builder.block("ipe", priority=0):
+        builder.ldi(accumulator, 0)
+        builder.qop("x", [1], timing=0)  # eigenstate |1> of rz
+        for iteration in range(bits):
+            # Bit k = bits-1-iteration, most significant angle first.
+            k = bits - 1 - iteration
+            builder.qop("h", [0], timing=_T1)
+            # Controlled-U^(2^k) on (q0 control, q1 target): for an RZ
+            # eigenphase this is a conditional phase on the ancilla;
+            # realised as cz-sandwiched rz pulses.
+            angle = 2.0 * math.pi * phase * (2 ** k)
+            builder.qop("rz", [0], timing=_T1, params=(angle,))
+            # Feedback rotation: -pi * (accumulated bits) / 2^(iter)
+            # applied as individually conditioned rz pulses, one per
+            # previously measured bit.
+            for earlier in range(iteration):
+                feedback = -math.pi * (2 ** earlier) / (2 ** iteration)
+                skip = builder.fresh_label(f"skip_{iteration}_{earlier}")
+                builder.ldi(2, 2 ** earlier)
+                builder.and_(3, accumulator, 2)
+                builder.beq(3, 0, skip)
+                builder.qop("rz", [0], timing=_T1, params=(feedback,))
+                builder.label(skip)
+            builder.qop("h", [0], timing=_T1)
+            builder.qmeas(0, timing=_T1)
+            builder.fmr(1, 0)
+            # accumulator |= bit << iteration
+            skip_set = builder.fresh_label(f"skip_set_{iteration}")
+            builder.beq(1, 0, skip_set)
+            builder.ldi(2, 2 ** iteration)
+            builder.or_(accumulator, accumulator, 2)
+            builder.label(skip_set)
+            # Reset the ancilla for the next round (active reset).
+            builder.mrce(0, 0, "i", "x")
+        builder.stm(accumulator, 0)
+        builder.halt()
+    return builder.build()
+
+
+def estimated_phase(shared_value: int, bits: int) -> float:
+    """Convert the IPE result register into a phase in turns."""
+    return shared_value / (2 ** bits)

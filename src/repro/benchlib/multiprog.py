@@ -1,0 +1,120 @@
+"""Multiprogramming workloads (Section 3.1.2).
+
+Scenario 2 of the paper's CLP definition: several independent tasks
+share one QPU simultaneously — the quantum-cloud utilisation case.  The
+tasks are mapped onto disjoint qubit ranges, merged into one circuit,
+and compiled with the ``components`` partition so each task becomes its
+own program block at priority 0; the block scheduler then runs as many
+tasks concurrently as there are processors.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.steps import schedule_asap
+from repro.compiler.blocks import BlockPlan
+from repro.compiler.compiler import (CompiledProgram,
+                                     DEFAULT_CLOCK_PERIOD_NS)
+from repro.compiler.lowering import lower_plans
+
+
+def merge_circuits(circuits: list[QuantumCircuit],
+                   name: str = "multiprogram") -> QuantumCircuit:
+    """Place ``circuits`` on disjoint qubit ranges of one circuit."""
+    if not circuits:
+        raise ValueError("need at least one task")
+    total = sum(circuit.n_qubits for circuit in circuits)
+    merged = QuantumCircuit(total, name)
+    offset = 0
+    for circuit in circuits:
+        mapping = {q: q + offset for q in range(circuit.n_qubits)}
+        merged.compose(circuit, qubit_map=mapping)
+        offset += circuit.n_qubits
+    return merged
+
+
+def compile_multiprogram(circuits: list[QuantumCircuit],
+                         name: str = "multiprogram") -> CompiledProgram:
+    """Compile independent tasks into *one block per task*.
+
+    Unlike the ``components`` partition (which would split a task whose
+    own qubits never interact), multiprogramming keeps each submitted
+    task intact: all of its operations form one schedulable block, and
+    every task gets priority 0 — they are mutually independent.
+    """
+    merged = merge_circuits(circuits, name)
+    schedule = schedule_asap(merged)
+    # Owner lookup: merged qubit -> task index.
+    owner: dict[int, int] = {}
+    offset = 0
+    for index, circuit in enumerate(circuits):
+        for qubit in range(circuit.n_qubits):
+            owner[qubit + offset] = index
+        offset += circuit.n_qubits
+
+    plans = [BlockPlan(name=f"task{i}_{c.name}", priority=0)
+             for i, c in enumerate(circuits)]
+    step_of_start = {step.start_ns: step.index
+                     for step in schedule.steps}
+    per_plan_steps: dict[int, dict[int, list[int]]] = {
+        i: {} for i in range(len(circuits))}
+    for op_index in sorted(schedule.start_times):
+        operation = merged.operations[op_index]
+        task = owner[operation.qubits[0]]
+        step_index = step_of_start[schedule.start_times[op_index]]
+        per_plan_steps[task].setdefault(step_index, []).append(op_index)
+    for index, plan in enumerate(plans):
+        for step_index in sorted(per_plan_steps[index]):
+            plan.steps.append((step_index,
+                               per_plan_steps[index][step_index]))
+    plans = [plan for plan in plans if plan.steps]
+    builder = lower_plans(merged, schedule, plans,
+                          DEFAULT_CLOCK_PERIOD_NS, name=name)
+    program = builder.build()
+    program.ensure_block_terminators()
+    return CompiledProgram(program=program, schedule=schedule,
+                           plans=plans,
+                           clock_period_ns=DEFAULT_CLOCK_PERIOD_NS)
+
+
+def _bell_task() -> QuantumCircuit:
+    circuit = QuantumCircuit(2, "bell")
+    circuit.h(0).cnot(0, 1).measure(0).measure(1)
+    return circuit
+
+
+def _ghz_task(n: int = 4) -> QuantumCircuit:
+    circuit = QuantumCircuit(n, "ghz")
+    circuit.h(0)
+    for qubit in range(n - 1):
+        circuit.cnot(qubit, qubit + 1)
+    for qubit in range(n):
+        circuit.measure(qubit)
+    return circuit
+
+
+def _rotation_task(n: int = 3, layers: int = 6) -> QuantumCircuit:
+    circuit = QuantumCircuit(n, "rotations")
+    for layer in range(layers):
+        for qubit in range(n):
+            circuit.rx(0.3 * (layer + 1), qubit)
+        circuit.barrier()
+    for qubit in range(n):
+        circuit.measure(qubit)
+    return circuit
+
+
+def _parity_task(n: int = 4) -> QuantumCircuit:
+    circuit = QuantumCircuit(n, "parity")
+    for qubit in range(n - 1):
+        circuit.h(qubit)
+    for qubit in range(n - 1):
+        circuit.cnot(qubit, n - 1)
+    circuit.measure(n - 1)
+    return circuit
+
+
+def standard_task_mix() -> list[QuantumCircuit]:
+    """Four independent cloud-style tasks (13 qubits total)."""
+    return [_bell_task(), _ghz_task(4), _rotation_task(3),
+            _parity_task(4)]

@@ -1,0 +1,125 @@
+"""Parallel repeat-until-success sub-circuits (Section 3.1.3).
+
+The paper's motivating example for CLP: two (or more) RUS sub-circuits
+that should run in parallel.  Two program shapes are provided:
+
+* **Program 1 style** (`build_rus_single_flow`) — one control flow
+  describing all sub-circuits.  Every iteration re-examines each
+  sub-circuit's success flag, so the branching structure grows with the
+  number of sub-circuits and, critically, one processor serializes all
+  of them: a retry of W1 delays W2 even after W2 has succeeded
+  (Figure 3b).
+* **Program 2 style** (`build_rus_blocks`) — one program block per
+  sub-circuit.  On a multiprocessor each block retries independently
+  (Figure 3a), which is exactly what the block scheduler enables.
+
+Each sub-circuit W_i uses three qubits: two data qubits it entangles
+and one ancilla whose measurement signals success (0) or failure (1).
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+
+QUBITS_PER_SUBCIRCUIT = 3
+
+#: Timing labels (cycles): single-qubit, two-qubit, measurement.
+_T1, _T2, _TM = 2, 4, 30
+
+
+def subcircuit_qubits(index: int) -> tuple[int, int, int]:
+    """(data0, data1, ancilla) of sub-circuit ``index``."""
+    base = index * QUBITS_PER_SUBCIRCUIT
+    return base, base + 1, base + 2
+
+
+def ancilla_qubits(n_subcircuits: int) -> list[int]:
+    """The failure-signal qubits of every sub-circuit."""
+    return [subcircuit_qubits(i)[2] for i in range(n_subcircuits)]
+
+
+def _emit_attempt(builder: ProgramBuilder, index: int) -> None:
+    """One W_i attempt: entangling ops plus the ancilla measurement."""
+    data0, data1, ancilla = subcircuit_qubits(index)
+    builder.qop("h", [data0], timing=0)
+    builder.qop("cnot", [data0, data1], timing=_T1)
+    builder.qop("cnot", [data1, ancilla], timing=_T2)
+    builder.qmeas(ancilla, timing=_T2)
+
+
+def _emit_recovery(builder: ProgramBuilder, index: int) -> None:
+    """Correction + reset after a failed verification."""
+    data0, data1, ancilla = subcircuit_qubits(index)
+    builder.qop("reset", [ancilla], timing=0)
+    builder.qop("reset", [data0], timing=0)
+    builder.qop("reset", [data1], timing=0)
+
+
+def build_rus_blocks(n_subcircuits: int = 2) -> Program:
+    """Program 2: one block per RUS sub-circuit, all priority 0."""
+    if n_subcircuits < 1:
+        raise ValueError("need at least one sub-circuit")
+    builder = ProgramBuilder(f"rus_blocks_{n_subcircuits}")
+    for index in range(n_subcircuits):
+        _, _, ancilla = subcircuit_qubits(index)
+        with builder.block(f"W{index + 1}", priority=0):
+            retry = builder.label(f"w{index}_retry")
+            _emit_attempt(builder, index)
+            builder.fmr(1, ancilla)
+            success = builder.fresh_label(f"w{index}_ok")
+            builder.beq(1, 0, success)
+            _emit_recovery(builder, index)
+            builder.jmp(retry)
+            builder.label(success)
+            builder.halt()
+    return builder.build()
+
+
+def build_rus_single_flow(n_subcircuits: int = 2) -> Program:
+    """Program 1: all RUS sub-circuits inside one control flow.
+
+    Register r(10+i) holds sub-circuit i's success flag.  Each loop
+    iteration re-attempts every sub-circuit that has not yet succeeded;
+    the loop exits when all flags are set.  All the quantum operations,
+    measurements and feedback waits of the different sub-circuits share
+    one instruction stream, so they serialize.
+    """
+    if n_subcircuits < 1:
+        raise ValueError("need at least one sub-circuit")
+    if n_subcircuits > 16:
+        raise ValueError("flag registers support at most 16 sub-circuits")
+    builder = ProgramBuilder(f"rus_single_flow_{n_subcircuits}")
+    flag = [10 + i for i in range(n_subcircuits)]
+    with builder.block("all", priority=0):
+        for index in range(n_subcircuits):
+            builder.ldi(flag[index], 0)
+        loop = builder.label("loop")
+        # Attempt every unfinished sub-circuit (serialized).
+        for index in range(n_subcircuits):
+            skip = builder.fresh_label(f"skip_attempt_{index}")
+            builder.bne(flag[index], 0, skip)
+            _emit_attempt(builder, index)
+            builder.label(skip)
+        # Collect results and update flags.
+        for index in range(n_subcircuits):
+            _, _, ancilla = subcircuit_qubits(index)
+            skip = builder.fresh_label(f"skip_check_{index}")
+            builder.bne(flag[index], 0, skip)
+            builder.fmr(1, ancilla)
+            failed = builder.fresh_label(f"failed_{index}")
+            builder.bne(1, 0, failed)
+            builder.ldi(flag[index], 1)
+            done_label = builder.fresh_label(f"checked_{index}")
+            builder.jmp(done_label)
+            builder.label(failed)
+            _emit_recovery(builder, index)
+            builder.label(done_label)
+            builder.label(skip)
+        # Loop until every flag is set.
+        builder.ldi(2, 1)
+        for index in range(n_subcircuits):
+            builder.and_(2, 2, flag[index])
+        builder.beq(2, 0, loop)
+        builder.halt()
+    return builder.build()

@@ -1,0 +1,238 @@
+"""Shor syndrome measurement for the Steane [[7,1,3]] code (Section 7).
+
+The paper's CLP benchmark: 37 qubits (7 data + 6 stabilizers x (4-qubit
+cat state + 1 verification qubit)), each of the six stabilizer
+generators measured fault-tolerantly via bit-wise CNOT/CZ between the
+encoded data block and a verified 4-qubit cat state.  Cat-state
+preparation is *not* fault tolerant, so each one is verified and
+repeated until the verification measurement returns 0
+(repeat-until-success).  The whole measurement is repeated three times
+for a majority vote.
+
+Program structure (50 blocks, 15 priorities):
+
+=========  ========================  ======  =========================
+priority   blocks                    count   contents
+=========  ========================  ======  =========================
+0          encode                    1       logical-|0> preparation
+1+4r       prep_r_s (s=0..5)         6x3     cat prep + RUS verify
+2+4r       interact_x_r              1x3     X-stabilizer CNOTs
+3+4r       interact_z_r              1x3     Z-stabilizer CZs
+4+4r       meas_r_s (s=0..5)         6x3     ancilla readout + parity
+13         vote_s (s=0..5)           6       majority vote per bit
+14         report                    1       syndrome aggregation
+=========  ========================  ======  =========================
+
+Verification failures are drawn by the PRNG readout with the benchmark's
+*failure rate*, exactly like the paper's FPGA test setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+
+#: Steane code stabilizer supports (qubit indices into the data block).
+#: Rows of the parity-check matrix H for the [[7,1,3]] code; the X- and
+#: Z-type generators share the same supports.
+STABILIZER_SUPPORTS: tuple[tuple[int, int, int, int], ...] = (
+    (0, 1, 2, 3),
+    (1, 2, 4, 5),
+    (2, 3, 5, 6),
+)
+
+N_DATA = 7
+ANCILLA_PER_STABILIZER = 5   # 4 cat qubits + 1 verification qubit
+N_STABILIZERS = 6            # 3 X-type + 3 Z-type
+N_QUBITS = N_DATA + N_STABILIZERS * ANCILLA_PER_STABILIZER  # 37
+
+#: Shared-register addresses: syndrome bit of round r, stabilizer s.
+def syndrome_addr(round_index: int, stabilizer: int) -> int:
+    return round_index * N_STABILIZERS + stabilizer
+
+
+#: Shared-register address of the majority-voted bit for a stabilizer.
+def vote_addr(stabilizer: int) -> int:
+    return 3 * N_STABILIZERS + stabilizer
+
+
+#: Shared-register address of the aggregated syndrome word.
+REPORT_ADDR = 4 * N_STABILIZERS
+
+#: Timing labels (clock cycles at 10 ns): 1q gate, 2q gate, measurement.
+_T1 = 2
+_T2 = 4
+_TM = 30
+
+
+@dataclass(frozen=True)
+class StabilizerLayout:
+    """Qubit assignment for one stabilizer's ancilla block."""
+
+    index: int
+    cat: tuple[int, int, int, int]
+    verify: int
+    data: tuple[int, int, int, int]
+    is_x_type: bool
+
+
+def stabilizer_layouts() -> list[StabilizerLayout]:
+    """The six stabilizers' qubit assignments."""
+    layouts = []
+    for index in range(N_STABILIZERS):
+        base = N_DATA + index * ANCILLA_PER_STABILIZER
+        support = STABILIZER_SUPPORTS[index % len(STABILIZER_SUPPORTS)]
+        layouts.append(StabilizerLayout(
+            index=index,
+            cat=(base, base + 1, base + 2, base + 3),
+            verify=base + 4,
+            data=support,
+            is_x_type=index < 3))
+    return layouts
+
+
+def _emit_encode(builder: ProgramBuilder) -> None:
+    """Logical-|0> preparation for the Steane code (standard circuit)."""
+    with builder.block("encode", priority=0):
+        builder.qop("h", [0], timing=0)
+        builder.qop("h", [1], timing=0)
+        builder.qop("h", [3], timing=0)
+        # CNOT cascade creating the encoded state.
+        pairs = [(0, 2), (3, 5), (1, 6), (0, 4), (3, 6), (1, 5),
+                 (0, 6), (1, 2), (3, 4)]
+        for position, (control, target) in enumerate(pairs):
+            builder.qop("cnot", [control, target],
+                        timing=_T2 if position else _T1)
+        builder.halt()
+
+
+def _emit_prep_block(builder: ProgramBuilder, layout: StabilizerLayout,
+                     round_index: int, priority: int) -> None:
+    """Cat-state preparation + RUS verification for one stabilizer."""
+    name = f"prep_r{round_index}_s{layout.index}"
+    a0, a1, a2, a3 = layout.cat
+    verify = layout.verify
+    with builder.block(name, priority=priority):
+        retry = builder.label(f"{name}_retry")
+        # GHZ/cat state on the four ancillas.
+        builder.qop("h", [a0], timing=0)
+        builder.qop("cnot", [a0, a1], timing=_T1)
+        builder.qop("cnot", [a1, a2], timing=_T2)
+        builder.qop("cnot", [a2, a3], timing=_T2)
+        # Parity verification of the cat ends into the verify qubit.
+        builder.qop("cnot", [a0, verify], timing=_T2)
+        builder.qop("cnot", [a3, verify], timing=_T2)
+        builder.qmeas(verify, timing=_T2)
+        builder.fmr(1, verify)
+        success = builder.fresh_label(f"{name}_ok")
+        builder.beq(1, 0, success)
+        # Failure: correct and reset the whole ancilla block, retry.
+        builder.qop("reset", [verify], timing=0)
+        builder.qop("reset", [a0], timing=0)
+        builder.qop("reset", [a1], timing=0)
+        builder.qop("reset", [a2], timing=0)
+        builder.qop("reset", [a3], timing=0)
+        builder.jmp(retry)
+        builder.label(success)
+        builder.halt()
+
+
+def _emit_interaction(builder: ProgramBuilder, round_index: int,
+                      x_type: bool, priority: int,
+                      layouts: list[StabilizerLayout]) -> None:
+    """Bit-wise coupling between cat qubits and the data block."""
+    kind = "x" if x_type else "z"
+    name = f"interact_{kind}_r{round_index}"
+    with builder.block(name, priority=priority):
+        first = True
+        for layout in layouts:
+            if layout.is_x_type != x_type:
+                continue
+            for cat_qubit, data_qubit in zip(layout.cat, layout.data):
+                gate = "cnot" if x_type else "cz"
+                builder.qop(gate, [cat_qubit, data_qubit],
+                            timing=0 if first else _T2)
+                first = False
+        builder.halt()
+
+
+def _emit_measure_block(builder: ProgramBuilder,
+                        layout: StabilizerLayout, round_index: int,
+                        priority: int) -> None:
+    """Read out a stabilizer's cat qubits and store the parity."""
+    name = f"meas_r{round_index}_s{layout.index}"
+    with builder.block(name, priority=priority):
+        for position, qubit in enumerate(layout.cat):
+            builder.qmeas(qubit, timing=0 if position else _TM)
+        # Gather the four results and fold their parity.
+        for position, qubit in enumerate(layout.cat):
+            builder.fmr(2 + position, qubit)
+        builder.xor(1, 2, 3)
+        builder.xor(1, 1, 4)
+        builder.xor(1, 1, 5)
+        builder.stm(1, syndrome_addr(round_index, layout.index))
+        builder.halt()
+
+
+def _emit_vote_block(builder: ProgramBuilder, stabilizer: int,
+                     priority: int) -> None:
+    """Majority vote over the three rounds of one syndrome bit."""
+    with builder.block(f"vote_s{stabilizer}", priority=priority):
+        builder.ldm(1, syndrome_addr(0, stabilizer))
+        builder.ldm(2, syndrome_addr(1, stabilizer))
+        builder.ldm(3, syndrome_addr(2, stabilizer))
+        builder.and_(4, 1, 2)
+        builder.and_(5, 1, 3)
+        builder.and_(6, 2, 3)
+        builder.or_(4, 4, 5)
+        builder.or_(4, 4, 6)
+        builder.stm(4, vote_addr(stabilizer))
+        builder.halt()
+
+
+def _emit_report_block(builder: ProgramBuilder, priority: int) -> None:
+    """Aggregate the six voted bits into one syndrome word."""
+    with builder.block("report", priority=priority):
+        builder.ldi(1, 0)
+        for stabilizer in range(N_STABILIZERS):
+            builder.ldm(2, vote_addr(stabilizer))
+            # Shift-and-or via repeated addition: r1 = r1 + r1 + r2.
+            builder.add(1, 1, 1)
+            builder.or_(1, 1, 2)
+        builder.stm(1, REPORT_ADDR)
+        builder.halt()
+
+
+def build_shor_syndrome_program(rounds: int = 3) -> Program:
+    """Assemble the full benchmark program.
+
+    With the default three rounds this produces 50 program blocks over
+    15 priorities, mirroring the paper's benchmark configuration.
+    """
+    if rounds < 1:
+        raise ValueError("need at least one round")
+    builder = ProgramBuilder("shor_syndrome_steane")
+    layouts = stabilizer_layouts()
+    _emit_encode(builder)
+    for round_index in range(rounds):
+        base = 1 + 4 * round_index
+        for layout in layouts:
+            _emit_prep_block(builder, layout, round_index, base)
+        _emit_interaction(builder, round_index, True, base + 1, layouts)
+        _emit_interaction(builder, round_index, False, base + 2, layouts)
+        for layout in layouts:
+            _emit_measure_block(builder, layout, round_index, base + 3)
+    vote_priority = 1 + 4 * rounds
+    for stabilizer in range(N_STABILIZERS):
+        _emit_vote_block(builder, stabilizer, vote_priority)
+    _emit_report_block(builder, vote_priority + 1)
+    program = builder.build()
+    program.ensure_block_terminators()
+    return program
+
+
+def verification_qubits() -> list[int]:
+    """Qubits whose measurement outcome is the RUS failure signal."""
+    return [layout.verify for layout in stabilizer_layouts()]

@@ -1,0 +1,50 @@
+"""Registry of the seven evaluation benchmarks (Figures 12-13).
+
+Benchmarks are listed in the paper's presentation order: ``hs16`` first
+(highest exploitable QOLP), ``rd84_143`` in the middle of the pack with
+the least improvement, and the two benchmarks whose *average* baseline
+TR is below 1 (but whose maximum TR reaches ~4.5 and ~9) last.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.benchlib import circuits
+from repro.circuit.circuit import QuantumCircuit
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One suite entry: a named circuit generator plus provenance."""
+
+    name: str
+    source: str  # Qiskit / ScaffCC / RevLib, per the paper
+    build: Callable[[], QuantumCircuit]
+
+    def circuit(self) -> QuantumCircuit:
+        return self.build()
+
+
+SUITE: tuple[BenchmarkSpec, ...] = (
+    BenchmarkSpec("hs16", "ScaffCC", circuits.hs16),
+    BenchmarkSpec("ising_n16", "ScaffCC", circuits.ising_n16),
+    BenchmarkSpec("qft_n16", "Qiskit", circuits.qft_n16),
+    BenchmarkSpec("grover_n9", "ScaffCC", circuits.grover_n9),
+    BenchmarkSpec("rd84_143", "RevLib", circuits.rd84_143),
+    BenchmarkSpec("sym9_148", "RevLib", circuits.sym9_148),
+    BenchmarkSpec("bv_n16", "Qiskit", circuits.bv_n16),
+)
+
+BENCHMARKS: dict[str, BenchmarkSpec] = {spec.name: spec for spec in SUITE}
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look up a suite benchmark by name."""
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: "
+            f"{', '.join(sorted(BENCHMARKS))}") from None

@@ -1,0 +1,22 @@
+"""Quantum-circuit intermediate representation and scheduling."""
+
+from repro.circuit.circuit import Operation, QuantumCircuit
+from repro.circuit.dag import (build_dag, critical_path_ns,
+                               dependency_closure, op_qubits,
+                               parallel_components)
+from repro.circuit.openqasm import (QasmError, from_openqasm,
+                                     to_openqasm)
+from repro.circuit.gates import (GATE_ALIASES, GATE_LIBRARY, GateDef,
+                                 MEASURE_NS, RESET_NS, SINGLE_QUBIT_NS,
+                                 TWO_QUBIT_NS, gate_duration_ns,
+                                 lookup_gate)
+from repro.circuit.steps import CircuitStep, Schedule, schedule_asap
+
+__all__ = [
+    "CircuitStep", "GATE_ALIASES", "GATE_LIBRARY", "GateDef", "MEASURE_NS",
+    "Operation", "QuantumCircuit", "RESET_NS", "SINGLE_QUBIT_NS",
+    "Schedule", "TWO_QUBIT_NS", "build_dag", "critical_path_ns",
+    "dependency_closure", "gate_duration_ns", "lookup_gate", "op_qubits",
+    "parallel_components", "schedule_asap", "QasmError",
+    "from_openqasm", "to_openqasm",
+]

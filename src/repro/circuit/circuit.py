@@ -1,0 +1,245 @@
+"""Quantum-circuit intermediate representation.
+
+A :class:`QuantumCircuit` is an ordered list of operations on integer
+qubit indices.  Operations may carry a *condition* referencing a prior
+measurement on a single qubit — the "simple feedback control" of the
+paper's Section 5.4 that the compiler lowers to an ``MRCE`` instruction.
+Barriers delimit circuit steps explicitly where the data dependencies
+alone would allow more reordering than the experiment intends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+from repro.circuit.gates import GateDef, lookup_gate
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One gate application (or measure/reset/barrier) in a circuit."""
+
+    gate: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = ()
+    condition: tuple[int, int] | None = None  # (measured qubit, value)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qubits", tuple(self.qubits))
+        object.__setattr__(self, "params", tuple(self.params))
+        if self.gate != "barrier":
+            definition = lookup_gate(self.gate)
+            if len(self.qubits) != definition.n_qubits:
+                raise ValueError(
+                    f"gate {self.gate!r} expects {definition.n_qubits} "
+                    f"qubits, got {len(self.qubits)}")
+            if len(self.params) != definition.n_params:
+                raise ValueError(
+                    f"gate {self.gate!r} expects {definition.n_params} "
+                    f"parameters, got {len(self.params)}")
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"duplicate qubits: {self.qubits}")
+
+    @property
+    def is_barrier(self) -> bool:
+        return self.gate == "barrier"
+
+    @property
+    def definition(self) -> GateDef:
+        return lookup_gate(self.gate)
+
+    @property
+    def duration_ns(self) -> int:
+        return 0 if self.is_barrier else self.definition.duration_ns
+
+    @property
+    def is_measurement(self) -> bool:
+        return self.gate == "measure"
+
+    def __str__(self) -> str:
+        qubits = ", ".join(f"q{q}" for q in self.qubits)
+        params = "".join(f"({p:g})" for p in self.params)
+        text = f"{self.gate}{params} {qubits}"
+        if self.condition is not None:
+            qubit, value = self.condition
+            text += f" if m[q{qubit}] == {value}"
+        return text
+
+
+@dataclass
+class QuantumCircuit:
+    """Mutable gate-list circuit on ``n_qubits`` qubits."""
+
+    n_qubits: int
+    name: str = "circuit"
+    operations: list[Operation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_qubits <= 0:
+            raise ValueError("circuit needs at least one qubit")
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def _check_qubits(self, qubits: tuple[int, ...]) -> None:
+        for qubit in qubits:
+            if not 0 <= qubit < self.n_qubits:
+                raise ValueError(
+                    f"qubit q{qubit} out of range for "
+                    f"{self.n_qubits}-qubit circuit")
+
+    def append(self, gate: str, qubits: Iterator[int] | tuple[int, ...] |
+               list[int] | int, params: tuple[float, ...] = (),
+               condition: tuple[int, int] | None = None) -> Operation:
+        """Append a gate; accepts a single qubit index or a sequence."""
+        if isinstance(qubits, int):
+            qubits = (qubits,)
+        operation = Operation(gate, tuple(qubits), tuple(params), condition)
+        if not operation.is_barrier:
+            self._check_qubits(operation.qubits)
+        if operation.condition is not None:
+            self._check_qubits((operation.condition[0],))
+        self.operations.append(operation)
+        return operation
+
+    # -- convenience emitters (chainable) ---------------------------------
+
+    def i(self, q: int) -> "QuantumCircuit":
+        self.append("i", q)
+        return self
+
+    def x(self, q: int) -> "QuantumCircuit":
+        self.append("x", q)
+        return self
+
+    def y(self, q: int) -> "QuantumCircuit":
+        self.append("y", q)
+        return self
+
+    def z(self, q: int) -> "QuantumCircuit":
+        self.append("z", q)
+        return self
+
+    def h(self, q: int) -> "QuantumCircuit":
+        self.append("h", q)
+        return self
+
+    def s(self, q: int) -> "QuantumCircuit":
+        self.append("s", q)
+        return self
+
+    def sdg(self, q: int) -> "QuantumCircuit":
+        self.append("sdg", q)
+        return self
+
+    def t(self, q: int) -> "QuantumCircuit":
+        self.append("t", q)
+        return self
+
+    def tdg(self, q: int) -> "QuantumCircuit":
+        self.append("tdg", q)
+        return self
+
+    def rx(self, theta: float, q: int) -> "QuantumCircuit":
+        self.append("rx", q, params=(theta,))
+        return self
+
+    def ry(self, theta: float, q: int) -> "QuantumCircuit":
+        self.append("ry", q, params=(theta,))
+        return self
+
+    def rz(self, theta: float, q: int) -> "QuantumCircuit":
+        self.append("rz", q, params=(theta,))
+        return self
+
+    def cnot(self, control: int, target: int) -> "QuantumCircuit":
+        self.append("cnot", (control, target))
+        return self
+
+    cx = cnot
+
+    def cz(self, a: int, b: int) -> "QuantumCircuit":
+        self.append("cz", (a, b))
+        return self
+
+    def swap(self, a: int, b: int) -> "QuantumCircuit":
+        self.append("swap", (a, b))
+        return self
+
+    def measure(self, q: int) -> "QuantumCircuit":
+        self.append("measure", q)
+        return self
+
+    def reset(self, q: int) -> "QuantumCircuit":
+        self.append("reset", q)
+        return self
+
+    def barrier(self, *qubits: int) -> "QuantumCircuit":
+        """Scheduling barrier; with no qubits it spans the whole circuit."""
+        span = tuple(qubits) if qubits else tuple(range(self.n_qubits))
+        self._check_qubits(span)
+        self.operations.append(Operation("barrier", span))
+        return self
+
+    def conditional(self, gate: str, target: int, measured_qubit: int,
+                    value: int = 1,
+                    params: tuple[float, ...] = ()) -> "QuantumCircuit":
+        """Append a simple-feedback-controlled gate (lowered to MRCE)."""
+        self.append(gate, target, params=params,
+                    condition=(measured_qubit, value))
+        return self
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def gate_count(self) -> int:
+        """Number of non-barrier operations."""
+        return sum(1 for op in self.operations if not op.is_barrier)
+
+    @property
+    def measurement_count(self) -> int:
+        return sum(1 for op in self.operations if op.is_measurement)
+
+    def used_qubits(self) -> set[int]:
+        """Set of qubit indices touched by any non-barrier operation."""
+        used: set[int] = set()
+        for op in self.operations:
+            if not op.is_barrier:
+                used.update(op.qubits)
+                if op.condition is not None:
+                    used.add(op.condition[0])
+        return used
+
+    def copy(self, name: str | None = None) -> "QuantumCircuit":
+        """Shallow-copy the circuit (operations are immutable)."""
+        return QuantumCircuit(self.n_qubits, name or self.name,
+                              list(self.operations))
+
+    def compose(self, other: "QuantumCircuit",
+                qubit_map: dict[int, int] | None = None) -> "QuantumCircuit":
+        """Append ``other``'s operations, optionally remapping qubits."""
+        for op in other.operations:
+            if qubit_map is None:
+                mapped = op
+            else:
+                qubits = tuple(qubit_map.get(q, q) for q in op.qubits)
+                condition = op.condition
+                if condition is not None:
+                    condition = (qubit_map.get(condition[0], condition[0]),
+                                 condition[1])
+                mapped = replace(op, qubits=qubits, condition=condition)
+            if mapped.is_barrier:
+                self.operations.append(mapped)
+            else:
+                self.append(mapped.gate, mapped.qubits, mapped.params,
+                            mapped.condition)
+        return self
+
+    def __str__(self) -> str:
+        header = f"{self.name}({self.n_qubits} qubits, {len(self)} ops)"
+        body = "\n".join(f"  {op}" for op in self.operations)
+        return f"{header}\n{body}" if body else header

@@ -1,0 +1,74 @@
+"""Dependency DAG over circuit operations.
+
+Two operations depend on each other when they share a qubit (including
+the measured qubit of a conditional operation); barriers order everything
+on the qubits they span.  The DAG drives the ASAP scheduler in
+:mod:`repro.circuit.steps` and the block partitioner in
+:mod:`repro.compiler.blocks`.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.circuit.circuit import Operation, QuantumCircuit
+
+
+def op_qubits(operation: Operation) -> tuple[int, ...]:
+    """All qubits an operation touches, including its condition qubit."""
+    if operation.condition is None:
+        return operation.qubits
+    return operation.qubits + (operation.condition[0],)
+
+
+def build_dag(circuit: QuantumCircuit) -> nx.DiGraph:
+    """Build the operation dependency DAG.
+
+    Nodes are operation indices into ``circuit.operations`` (barriers
+    included); node attribute ``op`` holds the operation.  Edges point
+    from earlier to later operations that must stay ordered.
+    """
+    dag = nx.DiGraph()
+    last_on_qubit: dict[int, int] = {}
+    for index, operation in enumerate(circuit.operations):
+        dag.add_node(index, op=operation)
+        for qubit in op_qubits(operation):
+            previous = last_on_qubit.get(qubit)
+            if previous is not None and previous != index:
+                dag.add_edge(previous, index)
+            last_on_qubit[qubit] = index
+    return dag
+
+
+def dependency_closure(circuit: QuantumCircuit) -> nx.DiGraph:
+    """Transitive reduction of the dependency DAG (minimal edges)."""
+    return nx.transitive_reduction(build_dag(circuit))
+
+
+def critical_path_ns(circuit: QuantumCircuit) -> int:
+    """Length of the longest dependency chain, weighted by duration."""
+    dag = build_dag(circuit)
+    finish: dict[int, int] = {}
+    for node in nx.topological_sort(dag):
+        operation: Operation = dag.nodes[node]["op"]
+        start = max((finish[p] for p in dag.predecessors(node)), default=0)
+        finish[node] = start + operation.duration_ns
+    return max(finish.values(), default=0)
+
+
+def parallel_components(circuit: QuantumCircuit) -> list[set[int]]:
+    """Qubit groups with no operation spanning between them.
+
+    Each returned set is a connected component of the qubit-interaction
+    graph; sub-circuits confined to different components exhibit the
+    paper's Circuit Level Parallelism.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(circuit.used_qubits())
+    for operation in circuit.operations:
+        if operation.is_barrier:
+            continue
+        qubits = op_qubits(operation)
+        for left, right in zip(qubits, qubits[1:]):
+            graph.add_edge(left, right)
+    return [set(component) for component in nx.connected_components(graph)]

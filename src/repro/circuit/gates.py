@@ -1,0 +1,147 @@
+"""Gate library: names, arities, durations and unitaries.
+
+Durations follow Section 2.3 of the paper: 20 ns for single-qubit
+operations, 40 ns for two-qubit operations, and a readout pulse in the
+100 ns - 2 us range (we default to 300 ns, which combines with the DAQ
+latency and conditional-logic cycles to the ~450 ns feedback latency the
+paper measures).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+#: Default durations in nanoseconds (Section 2.3).
+SINGLE_QUBIT_NS = 20
+TWO_QUBIT_NS = 40
+MEASURE_NS = 300
+RESET_NS = 40
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def _rx(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def _ry(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def _rz(theta: float) -> np.ndarray:
+    phase = np.exp(1j * theta / 2)
+    return np.array([[1 / phase, 0], [0, phase]], dtype=complex)
+
+
+@dataclass(frozen=True)
+class GateDef:
+    """Static description of one gate type.
+
+    ``matrix`` is either a constant unitary or a function of the gate's
+    parameters; ``None`` for non-unitary operations (measure/reset).
+    """
+
+    name: str
+    n_qubits: int
+    duration_ns: int
+    n_params: int = 0
+    matrix: np.ndarray | Callable[..., np.ndarray] | None = None
+    self_inverse: bool = False
+
+    @property
+    def is_measurement(self) -> bool:
+        return self.name == "measure"
+
+    @property
+    def is_reset(self) -> bool:
+        return self.name == "reset"
+
+    @property
+    def is_unitary(self) -> bool:
+        return self.matrix is not None
+
+    def unitary(self, params: tuple[float, ...] = ()) -> np.ndarray:
+        """Concrete unitary for the given parameters."""
+        if self.matrix is None:
+            raise ValueError(f"gate {self.name!r} has no unitary")
+        if len(params) != self.n_params:
+            raise ValueError(
+                f"gate {self.name!r} expects {self.n_params} parameters, "
+                f"got {len(params)}")
+        if callable(self.matrix):
+            return self.matrix(*params)
+        return self.matrix
+
+
+def _library() -> dict[str, GateDef]:
+    identity = np.eye(2, dtype=complex)
+    pauli_x = np.array([[0, 1], [1, 0]], dtype=complex)
+    pauli_y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+    pauli_z = np.array([[1, 0], [0, -1]], dtype=complex)
+    hadamard = np.array([[1, 1], [1, -1]], dtype=complex) / _SQRT2
+    s_gate = np.diag([1, 1j]).astype(complex)
+    t_gate = np.diag([1, np.exp(1j * math.pi / 4)]).astype(complex)
+    cnot = np.array([[1, 0, 0, 0], [0, 1, 0, 0],
+                     [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex)
+    cz = np.diag([1, 1, 1, -1]).astype(complex)
+    swap = np.array([[1, 0, 0, 0], [0, 0, 1, 0],
+                     [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex)
+    iswap = np.array([[1, 0, 0, 0], [0, 0, 1j, 0],
+                      [0, 1j, 0, 0], [0, 0, 0, 1]], dtype=complex)
+
+    single = SINGLE_QUBIT_NS
+    double = TWO_QUBIT_NS
+    defs = [
+        GateDef("i", 1, single, matrix=identity, self_inverse=True),
+        GateDef("x", 1, single, matrix=pauli_x, self_inverse=True),
+        GateDef("y", 1, single, matrix=pauli_y, self_inverse=True),
+        GateDef("z", 1, single, matrix=pauli_z, self_inverse=True),
+        GateDef("h", 1, single, matrix=hadamard, self_inverse=True),
+        GateDef("s", 1, single, matrix=s_gate),
+        GateDef("sdg", 1, single, matrix=s_gate.conj().T),
+        GateDef("t", 1, single, matrix=t_gate),
+        GateDef("tdg", 1, single, matrix=t_gate.conj().T),
+        GateDef("x90", 1, single, matrix=_rx(math.pi / 2)),
+        GateDef("xm90", 1, single, matrix=_rx(-math.pi / 2)),
+        GateDef("y90", 1, single, matrix=_ry(math.pi / 2)),
+        GateDef("ym90", 1, single, matrix=_ry(-math.pi / 2)),
+        GateDef("rx", 1, single, n_params=1, matrix=_rx),
+        GateDef("ry", 1, single, n_params=1, matrix=_ry),
+        GateDef("rz", 1, single, n_params=1, matrix=_rz),
+        GateDef("cnot", 2, double, matrix=cnot, self_inverse=True),
+        GateDef("cz", 2, double, matrix=cz, self_inverse=True),
+        GateDef("swap", 2, double, matrix=swap, self_inverse=True),
+        GateDef("iswap", 2, double, matrix=iswap),
+        GateDef("measure", 1, MEASURE_NS),
+        GateDef("reset", 1, RESET_NS),
+    ]
+    return {gate.name: gate for gate in defs}
+
+
+#: The global gate library, keyed by lower-case gate name.
+GATE_LIBRARY: dict[str, GateDef] = _library()
+
+#: Aliases accepted by the circuit API.
+GATE_ALIASES = {"cx": "cnot", "id": "i", "meas": "measure",
+                "sx": "x90", "sxdg": "xm90"}
+
+
+def lookup_gate(name: str) -> GateDef:
+    """Resolve a gate name (or alias) to its definition."""
+    key = name.lower()
+    key = GATE_ALIASES.get(key, key)
+    try:
+        return GATE_LIBRARY[key]
+    except KeyError:
+        raise KeyError(f"unknown gate {name!r}") from None
+
+
+def gate_duration_ns(name: str) -> int:
+    """Duration in nanoseconds of the named gate."""
+    return lookup_gate(name).duration_ns

@@ -1,0 +1,254 @@
+"""OpenQASM 2.0 interchange for the circuit IR.
+
+The paper's benchmark suites (Qiskit, ScaffCC via QASM backends,
+RevLib conversions) circulate as OpenQASM 2.0 files; this module lets
+the reproduction exchange circuits with those toolchains.  The
+supported subset covers everything the gate library can express:
+
+* one quantum register, one optional classical register;
+* the library's named gates plus the ``u1``/``u2``/``u3``,
+  ``cx``/``cz``/``swap`` spellings and parametric ``rx``/``ry``/``rz``;
+* ``measure q[i] -> c[j]``, ``reset``, ``barrier``;
+* ``if (c == n) gate`` single-qubit conditionals, mapped to the simple
+  feedback control (MRCE) path when the classical register has one bit.
+
+Arbitrary-angle expressions support ``pi``, the four arithmetic
+operators and parentheses.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import re
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import GATE_ALIASES, lookup_gate
+
+
+class QasmError(ValueError):
+    """Raised for malformed or unsupported OpenQASM input."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+#: QASM spellings accepted in addition to the native gate names.
+_QASM_GATES = dict(GATE_ALIASES)
+_QASM_GATES.update({"u1": "rz"})
+
+_QREG_RE = re.compile(r"^qreg\s+(\w+)\s*\[\s*(\d+)\s*\]$")
+_CREG_RE = re.compile(r"^creg\s+(\w+)\s*\[\s*(\d+)\s*\]$")
+_APPLY_RE = re.compile(
+    r"^(?P<name>[A-Za-z_]\w*)\s*(?:\((?P<params>[^)]*)\))?\s*"
+    r"(?P<args>.+)$")
+_INDEX_RE = re.compile(r"^(\w+)\s*\[\s*(\d+)\s*\]$")
+_MEASURE_RE = re.compile(
+    r"^measure\s+(\w+)\s*\[\s*(\d+)\s*\]\s*->\s*(\w+)\s*\[\s*(\d+)\s*\]$")
+_IF_RE = re.compile(r"^if\s*\(\s*(\w+)\s*==\s*(\d+)\s*\)\s*(.+)$")
+
+
+def _safe_eval(expression: str, line_no: int) -> float:
+    """Evaluate a parameter expression with pi and arithmetic only."""
+    try:
+        tree = ast.parse(expression.strip(), mode="eval")
+    except SyntaxError:
+        raise QasmError(line_no,
+                        f"bad parameter expression {expression!r}") \
+            from None
+    return _eval_node(tree.body, line_no)
+
+
+def _eval_node(node: ast.AST, line_no: int) -> float:
+    if isinstance(node, ast.Constant) and isinstance(node.value,
+                                                     (int, float)):
+        return float(node.value)
+    if isinstance(node, ast.Name) and node.id == "pi":
+        return math.pi
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op,
+                                                    (ast.USub, ast.UAdd)):
+        value = _eval_node(node.operand, line_no)
+        return -value if isinstance(node.op, ast.USub) else value
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div)):
+        left = _eval_node(node.left, line_no)
+        right = _eval_node(node.right, line_no)
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        if isinstance(node.op, ast.Mult):
+            return left * right
+        return left / right
+    raise QasmError(line_no, "unsupported parameter expression")
+
+
+def _strip_comments(text: str) -> list[tuple[int, str]]:
+    statements: list[tuple[int, str]] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("//")[0].strip()
+        if not line:
+            continue
+        for statement in line.split(";"):
+            statement = statement.strip()
+            if statement:
+                statements.append((line_no, statement))
+    return statements
+
+
+def from_openqasm(text: str, name: str = "qasm") -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 program into a :class:`QuantumCircuit`."""
+    circuit: QuantumCircuit | None = None
+    qreg_name = ""
+    creg_bits: dict[str, int] = {}
+    clbit_to_qubit: dict[tuple[str, int], int] = {}
+
+    def parse_qubit(token: str, line_no: int) -> int:
+        match = _INDEX_RE.match(token.strip())
+        if not match or match.group(1) != qreg_name:
+            raise QasmError(line_no, f"bad qubit reference {token!r}")
+        return int(match.group(2))
+
+    def apply(statement: str, line_no: int,
+              condition: tuple[int, int] | None = None) -> None:
+        nonlocal circuit
+        if circuit is None:
+            raise QasmError(line_no, "statement before qreg")
+        measure = _MEASURE_RE.match(statement)
+        if measure:
+            qubit = int(measure.group(2))
+            clbit = (measure.group(3), int(measure.group(4)))
+            if measure.group(3) not in creg_bits:
+                raise QasmError(line_no,
+                                f"unknown creg {measure.group(3)!r}")
+            clbit_to_qubit[clbit] = qubit
+            circuit.measure(qubit)
+            return
+        match = _APPLY_RE.match(statement)
+        if not match:
+            raise QasmError(line_no, f"cannot parse {statement!r}")
+        gate_name = match.group("name").lower()
+        params_text = match.group("params")
+        args = [token.strip()
+                for token in match.group("args").split(",")]
+        if gate_name == "barrier":
+            qubits = []
+            for token in args:
+                if token == qreg_name:
+                    qubits = list(range(circuit.n_qubits))
+                    break
+                qubits.append(parse_qubit(token, line_no))
+            circuit.barrier(*qubits)
+            return
+        if gate_name == "reset":
+            circuit.reset(parse_qubit(args[0], line_no))
+            return
+        params: tuple[float, ...] = ()
+        if params_text:
+            params = tuple(_safe_eval(p, line_no)
+                           for p in params_text.split(","))
+        gate_name, params = _normalise_gate(gate_name, params, line_no)
+        qubits = tuple(parse_qubit(token, line_no) for token in args)
+        try:
+            lookup_gate(gate_name)
+        except KeyError:
+            raise QasmError(line_no,
+                            f"unsupported gate {gate_name!r}") from None
+        circuit.append(gate_name, qubits, params=params,
+                       condition=condition)
+
+    for line_no, statement in _strip_comments(text):
+        lowered = statement.lower()
+        if lowered.startswith("openqasm") or lowered.startswith(
+                "include"):
+            continue
+        qreg = _QREG_RE.match(statement)
+        if qreg:
+            if circuit is not None:
+                raise QasmError(line_no,
+                                "multiple qregs are not supported")
+            qreg_name = qreg.group(1)
+            circuit = QuantumCircuit(int(qreg.group(2)), name)
+            continue
+        creg = _CREG_RE.match(statement)
+        if creg:
+            creg_bits[creg.group(1)] = int(creg.group(2))
+            continue
+        conditional = _IF_RE.match(statement)
+        if conditional:
+            register = conditional.group(1)
+            value = int(conditional.group(2))
+            if register not in creg_bits:
+                raise QasmError(line_no, f"unknown creg {register!r}")
+            if creg_bits[register] != 1:
+                raise QasmError(
+                    line_no,
+                    "conditionals are supported on 1-bit cregs only "
+                    "(simple feedback control)")
+            source = clbit_to_qubit.get((register, 0))
+            if source is None:
+                raise QasmError(
+                    line_no,
+                    f"creg {register!r} was never written by a measure")
+            apply(conditional.group(3), line_no,
+                  condition=(source, value))
+            continue
+        apply(statement, line_no)
+
+    if circuit is None:
+        raise QasmError(0, "no qreg declaration found")
+    return circuit
+
+
+def _normalise_gate(gate_name: str, params: tuple[float, ...],
+                    line_no: int) -> tuple[str, tuple[float, ...]]:
+    """Map QASM gate spellings onto the native library."""
+    if gate_name in ("u2", "u3"):
+        raise QasmError(
+            line_no,
+            f"{gate_name} is not supported; decompose to rz/ry/rx")
+    return _QASM_GATES.get(gate_name, gate_name), params
+
+
+def to_openqasm(circuit: QuantumCircuit) -> str:
+    """Serialise a circuit to OpenQASM 2.0.
+
+    Measurements are mapped to one classical bit per measured qubit;
+    conditional operations are emitted as ``if (c_<qubit> == v)``
+    statements on dedicated 1-bit registers, matching the subset the
+    importer accepts (round-trip safe).
+    """
+    measured = sorted({op.qubits[0] for op in circuit.operations
+                       if op.is_measurement})
+    lines = ["OPENQASM 2.0;", 'include "qelib1.inc";',
+             f"qreg q[{circuit.n_qubits}];"]
+    lines.extend(f"creg c_{qubit}[1];" for qubit in measured)
+    native_to_qasm = {"cnot": "cx", "i": "id", "x90": "sx",
+                      "xm90": "sxdg"}
+    for op in circuit.operations:
+        if op.is_barrier:
+            lines.append("barrier "
+                         + ", ".join(f"q[{q}]" for q in op.qubits)
+                         + ";")
+            continue
+        if op.is_measurement:
+            qubit = op.qubits[0]
+            lines.append(f"measure q[{qubit}] -> c_{qubit}[0];")
+            continue
+        gate = native_to_qasm.get(op.gate, op.gate)
+        if gate in ("y90", "ym90"):
+            # No standard QASM spelling: emit the equivalent rotation.
+            angle = math.pi / 2 if gate == "y90" else -math.pi / 2
+            gate, op_params = "ry", (angle,)
+        else:
+            op_params = op.params
+        params = (f"({', '.join(repr(p) for p in op_params)})"
+                  if op_params else "")
+        args = ", ".join(f"q[{q}]" for q in op.qubits)
+        statement = f"{gate}{params} {args};"
+        if op.condition is not None:
+            source, value = op.condition
+            statement = f"if (c_{source} == {value}) {statement}"
+        lines.append(statement)
+    return "\n".join(lines) + "\n"

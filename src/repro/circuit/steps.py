@@ -1,0 +1,112 @@
+"""ASAP scheduling of circuits into *circuit steps*.
+
+Section 3.2.1 of the paper defines a circuit step as "all parallel
+quantum operations at a certain timing point".  We compute, for every
+operation, the earliest start time permitted by its qubit dependencies
+(and barriers), then group operations that start simultaneously into one
+:class:`CircuitStep`.  The step sequence is what the CES and TR metrics
+are evaluated over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.circuit import Operation, QuantumCircuit
+from repro.circuit.dag import op_qubits
+
+
+@dataclass
+class CircuitStep:
+    """All operations starting at one timing point."""
+
+    index: int
+    start_ns: int
+    operations: list[Operation] = field(default_factory=list)
+
+    @property
+    def duration_ns(self) -> int:
+        """QPU time of the step: its longest operation.
+
+        Per Equation (2) the QPU executes the step's operations in full
+        parallel, so the step occupies the QPU for the duration of its
+        slowest gate.
+        """
+        return max((op.duration_ns for op in self.operations), default=0)
+
+    @property
+    def quantum_instruction_count(self) -> int:
+        """QICES: quantum instructions contained in this step."""
+        return len(self.operations)
+
+    def qubits(self) -> set[int]:
+        touched: set[int] = set()
+        for operation in self.operations:
+            touched.update(op_qubits(operation))
+        return touched
+
+
+@dataclass
+class Schedule:
+    """An ASAP schedule: ordered steps plus per-operation start times."""
+
+    circuit: QuantumCircuit
+    steps: list[CircuitStep]
+    start_times: dict[int, int]  # operation index -> start ns
+
+    @property
+    def makespan_ns(self) -> int:
+        """Total QPU time of the schedule."""
+        if not self.steps:
+            return 0
+        last = self.steps[-1]
+        return last.start_ns + last.duration_ns
+
+    @property
+    def max_parallelism(self) -> int:
+        """Largest QICES over all steps."""
+        return max((step.quantum_instruction_count
+                    for step in self.steps), default=0)
+
+    @property
+    def mean_parallelism(self) -> float:
+        """Average QICES over all steps (degree of exploitable QOLP)."""
+        if not self.steps:
+            return 0.0
+        total = sum(step.quantum_instruction_count for step in self.steps)
+        return total / len(self.steps)
+
+
+def schedule_asap(circuit: QuantumCircuit) -> Schedule:
+    """Compute the ASAP schedule of ``circuit``.
+
+    Every operation starts as soon as the last operation touching any of
+    its qubits has finished.  Barriers force all later operations on the
+    barrier's qubits to start no earlier than the barrier time (the
+    maximum finish time across the barrier's span).
+    """
+    ready_at: dict[int, int] = {q: 0 for q in range(circuit.n_qubits)}
+    start_times: dict[int, int] = {}
+    for index, operation in enumerate(circuit.operations):
+        if operation.is_barrier:
+            fence = max((ready_at[q] for q in operation.qubits), default=0)
+            for qubit in operation.qubits:
+                ready_at[qubit] = fence
+            continue
+        qubits = op_qubits(operation)
+        start = max(ready_at[q] for q in qubits)
+        start_times[index] = start
+        finish = start + operation.duration_ns
+        for qubit in qubits:
+            ready_at[qubit] = finish
+
+    by_start: dict[int, list[int]] = {}
+    for index, start in start_times.items():
+        by_start.setdefault(start, []).append(index)
+
+    steps = []
+    for step_index, start in enumerate(sorted(by_start)):
+        operations = [circuit.operations[i] for i in sorted(by_start[start])]
+        steps.append(CircuitStep(index=step_index, start_ns=start,
+                                 operations=operations))
+    return Schedule(circuit=circuit, steps=steps, start_times=start_times)

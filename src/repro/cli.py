@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+========
+
+``run FILE``
+    Execute a timed-QASM assembly file (``.qasm`` files are treated as
+    OpenQASM 2.0 circuits and compiled first) on a QuAPE system and
+    print the issue trace, the ASCII timeline and the TR metrics.
+
+``asm FILE``
+    Assemble a timed-QASM file and print the listing, the binary word
+    count and the block information table.
+
+``bench [NAME]``
+    List the evaluation benchmarks, or compile one and report its
+    schedule profile and scalar/superscalar TR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.analysis import (format_table, lateness_summary,
+                            render_timeline)
+from repro.circuit.openqasm import from_openqasm
+from repro.compiler import compile_circuit
+from repro.isa import (BlockInfoTable, DependencyMode, Program,
+                       encode_program, parse_asm)
+from repro.qcp import QuAPESystem, scalar_config, superscalar_config
+
+
+def _load_program(path: pathlib.Path) -> Program:
+    text = path.read_text()
+    if path.suffix == ".qasm" or text.lstrip().upper().startswith(
+            "OPENQASM"):
+        circuit = from_openqasm(text, name=path.stem)
+        return compile_circuit(circuit, name=path.stem).program
+    return parse_asm(text, name=path.stem)
+
+
+def _config_from_args(args: argparse.Namespace):
+    if args.width > 1:
+        return superscalar_config(args.width)
+    return scalar_config(fast_context_switch=args.fast_context_switch)
+
+
+def command_run(args: argparse.Namespace) -> int:
+    program = _load_program(pathlib.Path(args.file))
+    system = QuAPESystem(program=program,
+                         config=_config_from_args(args),
+                         n_processors=args.processors)
+    result = system.run()
+    system.kernel.run()
+    print(f"program: {program.name} ({len(program)} instructions, "
+          f"{len(program.blocks)} blocks)")
+    print(f"executed in {result.total_ns} ns "
+          f"({result.total_cycles} cycles at 100 MHz) on "
+          f"{args.processors} processor(s), width {args.width}")
+    print(f"timing: {lateness_summary(result.trace)}")
+    report = result.tr_report()
+    if report.per_step:
+        print(f"TR: average {report.average:.2f}, maximum "
+              f"{report.maximum:.2f}, deadline met: "
+              f"{report.meets_deadline}")
+    print("\ntimeline (10 ns per column):")
+    print(render_timeline(result.trace))
+    if system.results.history:
+        print("\nmeasurement results:")
+        for delivery in system.results.history:
+            print(f"  t={delivery.time_ns:6d} ns  q{delivery.qubit} "
+                  f"-> {delivery.value}")
+    return 0
+
+
+def command_asm(args: argparse.Namespace) -> int:
+    program = _load_program(pathlib.Path(args.file))
+    print(program.listing())
+    words = encode_program(program.instructions)
+    print(f"\n{len(program)} instructions, {len(words)} words "
+          f"({4 * len(words)} bytes)")
+    table = BlockInfoTable(program, mode=DependencyMode.PRIORITY)
+    rows = [[block.name, block.start, block.end - 1, block.priority,
+             ",".join(block.deps) or "-"]
+            for block in program.blocks]
+    print("\n" + format_table(
+        ["block", "pc start", "pc end", "priority", "deps"], rows,
+        title=f"block information table ({len(table)} entries)"))
+    return 0
+
+
+def command_bench(args: argparse.Namespace) -> int:
+    from repro.benchlib import SUITE, get_benchmark
+    from repro.circuit import schedule_asap
+
+    if not args.name:
+        rows = []
+        for spec in SUITE:
+            circuit = spec.circuit()
+            schedule = schedule_asap(circuit)
+            rows.append([spec.name, spec.source, circuit.n_qubits,
+                         circuit.gate_count,
+                         round(schedule.mean_parallelism, 2)])
+        print(format_table(
+            ["benchmark", "source", "qubits", "gates",
+             "mean QICES"], rows, title="evaluation suite"))
+        return 0
+    spec = get_benchmark(args.name)
+    compiled = compile_circuit(spec.circuit())
+    rows = []
+    for label, config in (("scalar", scalar_config()),
+                          ("8-way superscalar", superscalar_config(8))):
+        system = QuAPESystem(program=compiled.program, config=config)
+        report = system.run().tr_report()
+        rows.append([label, round(report.average, 2),
+                     round(report.maximum, 2),
+                     "yes" if report.meets_deadline else "no"])
+    print(format_table(
+        ["design", "avg TR", "max TR", "TR <= 1"], rows,
+        title=f"{spec.name} ({spec.source})"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="QuAPE quantum control microarchitecture tools")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser(
+        "run", help="execute a timed-QASM or OpenQASM file")
+    run_parser.add_argument("file")
+    run_parser.add_argument("--processors", type=int, default=1)
+    run_parser.add_argument("--width", type=int, default=8,
+                            help="superscalar width (1 = scalar)")
+    run_parser.add_argument("--fast-context-switch", action="store_true")
+    run_parser.set_defaults(entry=command_run)
+
+    asm_parser = commands.add_parser(
+        "asm", help="assemble and inspect a program")
+    asm_parser.add_argument("file")
+    asm_parser.set_defaults(entry=command_asm)
+
+    bench_parser = commands.add_parser(
+        "bench", help="list or profile the evaluation benchmarks")
+    bench_parser.add_argument("name", nargs="?")
+    bench_parser.set_defaults(entry=command_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.entry(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Circuit-to-instruction compiler (the paper's preliminary compiler)."""
+
+from repro.compiler.blocks import (BlockPlan, PARTITION_STRATEGIES,
+                                   plan_components, plan_halves,
+                                   plan_single)
+from repro.compiler.bundling import bundle_instructions, bundle_program
+from repro.compiler.crosstalk import (blocks_conflict,
+                                      count_crosstalk_pairs,
+                                      plan_qubits,
+                                      serialize_crosstalk)
+from repro.compiler.compiler import (CompiledProgram,
+                                     DEFAULT_CLOCK_PERIOD_NS,
+                                     compile_circuit)
+from repro.compiler.lowering import LoweringError, lower_block, lower_plans
+
+__all__ = [
+    "BlockPlan", "blocks_conflict", "bundle_instructions", "bundle_program",
+    "count_crosstalk_pairs", "plan_qubits", "serialize_crosstalk", "CompiledProgram", "DEFAULT_CLOCK_PERIOD_NS",
+    "LoweringError", "PARTITION_STRATEGIES", "compile_circuit",
+    "lower_block", "lower_plans", "plan_components", "plan_halves",
+    "plan_single",
+]

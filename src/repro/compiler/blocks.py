@@ -1,0 +1,194 @@
+"""Block division strategies (the paper's "preliminary compiler").
+
+The paper divides a program into *program blocks* to expose Circuit Level
+Parallelism.  Three strategies are implemented:
+
+* ``single`` — the whole circuit in one block (uniprocessor layout);
+* ``halves`` — the strategy of the Figure 12 experiment: "divide the part
+  of the program with parallel operations into two blocks, each
+  corresponding to half of the qubits"; generalised to ``n_parts``;
+* ``components`` — one block per connected component of the qubit
+  interaction graph (natural sub-circuits).
+
+Each strategy returns :class:`BlockPlan` objects mapping schedule steps to
+the global operation indices the block will execute.  Parallel blocks
+share a priority; serial segments get increasing priorities, matching the
+priority-counter dependency representation of Section 5.2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.dag import op_qubits, parallel_components
+from repro.circuit.steps import Schedule
+
+
+@dataclass
+class BlockPlan:
+    """A planned program block: which operations it executes, when."""
+
+    name: str
+    priority: int
+    deps: tuple[str, ...] = ()
+    # (step index, global operation indices) in execution order
+    steps: list[tuple[int, list[int]]] = field(default_factory=list)
+
+    @property
+    def op_count(self) -> int:
+        return sum(len(ops) for _, ops in self.steps)
+
+
+def _index_by_step(schedule: Schedule) -> list[list[int]]:
+    """Global operation indices grouped per schedule step."""
+    order: dict[int, list[int]] = {}
+    starts = sorted({step.start_ns for step in schedule.steps})
+    step_of_start = {start: i for i, start in enumerate(starts)}
+    for op_index, start in schedule.start_times.items():
+        order.setdefault(step_of_start[start], []).append(op_index)
+    return [sorted(order.get(i, [])) for i in range(len(schedule.steps))]
+
+
+def plan_single(schedule: Schedule, name: str = "main") -> list[BlockPlan]:
+    """One block containing every step."""
+    per_step = _index_by_step(schedule)
+    block = BlockPlan(name=name, priority=0)
+    for step_index, ops in enumerate(per_step):
+        if ops:
+            block.steps.append((step_index, ops))
+    return [block]
+
+
+def _qubit_groups(circuit: QuantumCircuit, n_parts: int) -> list[set[int]]:
+    """Split the circuit's qubits into ``n_parts`` contiguous groups."""
+    qubits = sorted(circuit.used_qubits())
+    if not qubits:
+        return [set() for _ in range(n_parts)]
+    size = -(-len(qubits) // n_parts)
+    return [set(qubits[i * size:(i + 1) * size]) for i in range(n_parts)]
+
+
+def _group_of(qubits: tuple[int, ...],
+              groups: list[set[int]]) -> int | None:
+    """Group index containing all ``qubits``, or None if they cross."""
+    for index, group in enumerate(groups):
+        if all(q in group for q in qubits):
+            return index
+    return None
+
+
+def plan_halves(schedule: Schedule, n_parts: int = 2,
+                max_blocks: int = 64) -> list[BlockPlan]:
+    """Figure-12 style partition into per-qubit-group parallel blocks.
+
+    Steps are scanned in order and classified: a step is *splittable*
+    when every operation lies inside a single qubit group, otherwise it
+    is *crossing*.  Maximal runs of splittable steps become ``n_parts``
+    parallel blocks (same priority); each crossing run becomes one serial
+    block.  Priorities increase per segment, so the priority counter
+    reproduces the intended order.
+
+    ``max_blocks`` caps the total block count at the hardware block
+    information table size (64 entries in the prototype): adjacent
+    segments are merged into serial segments until the plan fits.
+    """
+    circuit = schedule.circuit
+    groups = _qubit_groups(circuit, n_parts)
+    per_step = _index_by_step(schedule)
+
+    def step_kind(ops: list[int]) -> str:
+        for op_index in ops:
+            operation = circuit.operations[op_index]
+            if _group_of(op_qubits(operation), groups) is None:
+                return "crossing"
+        return "splittable"
+
+    # Pass 1: segment the step sequence into maximal same-kind runs.
+    segments: list[tuple[str, list[int]]] = []  # (kind, step indices)
+    for step_index, ops in enumerate(per_step):
+        kind = step_kind(ops)
+        if segments and segments[-1][0] == kind:
+            segments[-1][1].append(step_index)
+        else:
+            segments.append((kind, [step_index]))
+
+    # Pass 2: merge segments until the projected block count fits the
+    # block information table.
+    def projected(segment_list) -> int:
+        return sum(n_parts if kind == "splittable" else 1
+                   for kind, _ in segment_list)
+
+    while len(segments) > 1 and projected(segments) > max_blocks:
+        # Merge the adjacent pair covering the fewest steps (cheapest
+        # loss of parallelism).
+        best = min(range(len(segments) - 1),
+                   key=lambda i: len(segments[i][1])
+                   + len(segments[i + 1][1]))
+        merged_steps = segments[best][1] + segments[best + 1][1]
+        segments[best:best + 2] = [("crossing", merged_steps)]
+
+    # Pass 3: emit block plans per segment.
+    plans: list[BlockPlan] = []
+    for priority, (kind, step_indices) in enumerate(segments):
+        if kind == "crossing":
+            block = BlockPlan(name=f"serial_p{priority}",
+                              priority=priority)
+            for step_index in step_indices:
+                if per_step[step_index]:
+                    block.steps.append(
+                        (step_index, per_step[step_index]))
+            if block.steps:
+                plans.append(block)
+            continue
+        part_blocks = [BlockPlan(name=f"part{part}_p{priority}",
+                                 priority=priority)
+                       for part in range(n_parts)]
+        for step_index in step_indices:
+            assigned: dict[int, list[int]] = {}
+            for op_index in per_step[step_index]:
+                operation = circuit.operations[op_index]
+                part = _group_of(op_qubits(operation), groups)
+                assigned.setdefault(part, []).append(op_index)
+            for part, ops in assigned.items():
+                part_blocks[part].steps.append((step_index, ops))
+        plans.extend(block for block in part_blocks if block.steps)
+    return _compact_priorities(plans)
+
+
+def plan_components(schedule: Schedule) -> list[BlockPlan]:
+    """One block per connected qubit component (all priority 0)."""
+    circuit = schedule.circuit
+    components = parallel_components(circuit)
+    per_step = _index_by_step(schedule)
+    plans = [BlockPlan(name=f"component{i}", priority=0)
+             for i in range(len(components))]
+    component_of: dict[int, int] = {}
+    for index, component in enumerate(components):
+        for qubit in component:
+            component_of[qubit] = index
+    for step_index, ops in enumerate(per_step):
+        assigned: dict[int, list[int]] = {}
+        for op_index in ops:
+            operation = circuit.operations[op_index]
+            component = component_of[op_qubits(operation)[0]]
+            assigned.setdefault(component, []).append(op_index)
+        for component, op_list in assigned.items():
+            plans[component].steps.append((step_index, op_list))
+    return [plan for plan in plans if plan.steps]
+
+
+def _compact_priorities(plans: list[BlockPlan]) -> list[BlockPlan]:
+    """Renumber priorities to consecutive integers starting at zero."""
+    present = sorted({plan.priority for plan in plans})
+    renumber = {old: new for new, old in enumerate(present)}
+    for plan in plans:
+        plan.priority = renumber[plan.priority]
+    return plans
+
+
+PARTITION_STRATEGIES = {
+    "single": lambda schedule, n_parts: plan_single(schedule),
+    "halves": plan_halves,
+    "components": lambda schedule, n_parts: plan_components(schedule),
+}

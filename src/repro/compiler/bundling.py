@@ -1,0 +1,93 @@
+"""Bundling pass: RISC quantum instructions -> VLIW bundles.
+
+Transforms a compiled program into its QuMA_v2-style VLIW equivalent:
+maximal runs of quantum instructions sharing a timing point (a leader
+plus following label-0 instructions) are packed into fixed-width
+:class:`~repro.isa.vliw.Bundle` words, padded with QNOPs.  Classical
+instructions and MRCEs pass through unchanged.  Branch targets are
+remapped to the bundled program's addresses.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.isa.instructions import Instruction, Qmeas, Qop
+from repro.isa.program import BlockInfo, Program
+from repro.isa.vliw import Bundle
+
+
+def bundle_instructions(instructions: list[Instruction],
+                        width: int) -> tuple[list[Instruction],
+                                             dict[int, int]]:
+    """Bundle one instruction sequence.
+
+    Returns the new sequence plus a map from old pc to new pc (every
+    old instruction maps to the bundled instruction containing it).
+    """
+    bundled: list[Instruction] = []
+    pc_map: dict[int, int] = {}
+    index = 0
+    while index < len(instructions):
+        instr = instructions[index]
+        if not isinstance(instr, (Qop, Qmeas)):
+            pc_map[index] = len(bundled)
+            # Copy: branch targets are rewritten to bundled addresses,
+            # which must not mutate the source program.
+            bundled.append(copy.copy(instr))
+            index += 1
+            continue
+        group: list[Qop | Qmeas] = [instr]
+        pc_map[index] = len(bundled)
+        lookahead = index + 1
+        while (lookahead < len(instructions)
+               and isinstance(instructions[lookahead], (Qop, Qmeas))
+               and instructions[lookahead].timing == 0
+               and len(group) < width):
+            pc_map[lookahead] = len(bundled)
+            group.append(instructions[lookahead])
+            lookahead += 1
+        bundle = Bundle(timing=instr.timing, width=width,
+                        slots=tuple(group))
+        bundle.step_id = instr.step_id
+        bundle.block = instr.block
+        bundled.append(bundle)
+        index = lookahead
+    return bundled, pc_map
+
+
+def bundle_program(program: Program, width: int = 8) -> Program:
+    """Produce the VLIW version of ``program``.
+
+    Bundling never crosses a block boundary (blocks are independent
+    scheduling units), and branch targets are rewritten to the bundled
+    addresses.
+    """
+    if width < 1:
+        raise ValueError("bundle width must be at least 1")
+    new_instructions: list[Instruction] = []
+    new_blocks: list[BlockInfo] = []
+    global_pc_map: dict[int, int] = {}
+    for block in program.blocks:
+        chunk = program.instructions[block.start:block.end]
+        bundled, local_map = bundle_instructions(chunk, width)
+        offset = len(new_instructions)
+        for old_local, new_local in local_map.items():
+            global_pc_map[block.start + old_local] = offset + new_local
+        new_instructions.extend(bundled)
+        new_blocks.append(BlockInfo(
+            name=block.name, start=offset,
+            end=offset + len(bundled), priority=block.priority,
+            deps=block.deps))
+    for instr in new_instructions:
+        target = getattr(instr, "target", None)
+        if isinstance(target, int):
+            instr.target = global_pc_map[target]
+    new_labels = {label: global_pc_map[pc]
+                  for label, pc in program.labels.items()
+                  if pc in global_pc_map}
+    bundled_program = Program(instructions=new_instructions,
+                              labels=new_labels, blocks=new_blocks,
+                              name=f"{program.name}_vliw{width}")
+    bundled_program.validate()
+    return bundled_program

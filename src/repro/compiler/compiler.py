@@ -1,0 +1,65 @@
+"""Top-level circuit compiler.
+
+``compile_circuit`` mirrors the paper's preliminary compiler: schedule
+the circuit ASAP into circuit steps, divide it into program blocks
+(Section 5.2.1) and lower each block to timed-QASM instructions whose
+timing labels encode the step gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.steps import Schedule, schedule_asap
+from repro.compiler.blocks import PARTITION_STRATEGIES, BlockPlan
+from repro.compiler.lowering import lower_plans
+from repro.isa.program import Program
+
+#: Control-processor clock period (100 MHz core fabric, Section 6.1).
+DEFAULT_CLOCK_PERIOD_NS = 10
+
+
+@dataclass
+class CompiledProgram:
+    """Compiler output: the program plus the schedule it encodes."""
+
+    program: Program
+    schedule: Schedule
+    plans: list[BlockPlan]
+    clock_period_ns: int
+
+    @property
+    def step_durations_ns(self) -> dict[int, int]:
+        """QPU duration of every circuit step (for TR bookkeeping)."""
+        return {step.index: step.duration_ns
+                for step in self.schedule.steps}
+
+    @property
+    def step_count(self) -> int:
+        return len(self.schedule.steps)
+
+
+def compile_circuit(circuit: QuantumCircuit,
+                    partition: str = "single",
+                    n_parts: int = 2,
+                    clock_period_ns: int = DEFAULT_CLOCK_PERIOD_NS,
+                    name: str | None = None) -> CompiledProgram:
+    """Compile ``circuit`` into a timed-QASM program.
+
+    ``partition`` selects the block-division strategy (``"single"``,
+    ``"halves"`` or ``"components"``); ``n_parts`` applies to
+    ``"halves"``.
+    """
+    if partition not in PARTITION_STRATEGIES:
+        raise ValueError(
+            f"unknown partition strategy {partition!r}; expected one of "
+            f"{sorted(PARTITION_STRATEGIES)}")
+    schedule = schedule_asap(circuit)
+    plans = PARTITION_STRATEGIES[partition](schedule, n_parts)
+    builder = lower_plans(circuit, schedule, plans, clock_period_ns,
+                          name=name)
+    program = builder.build()
+    program.ensure_block_terminators()
+    return CompiledProgram(program=program, schedule=schedule,
+                           plans=plans, clock_period_ns=clock_period_ns)

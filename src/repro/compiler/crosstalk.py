@@ -1,0 +1,101 @@
+"""Crosstalk-aware block division (the paper's stated future work).
+
+Section 9: "we can conduct more in-depth explorations based on our
+microarchitecture-level proposal in the future, e.g. block division
+methods and trade-offs between parallelism and cross-talk."
+
+Running two program blocks simultaneously is only free when their
+qubits do not interact; if the blocks drive *coupled* qubits at the
+same time, the always-on ZZ interaction correlates their errors (the
+same mechanism that degrades simultaneous RB in Figure 14).  This pass
+takes a block plan and a device topology and serializes the pairs of
+parallel blocks that would otherwise drive coupled qubits together —
+trading CLP for fidelity.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.dag import op_qubits
+from repro.circuit.steps import Schedule
+from repro.compiler.blocks import BlockPlan, _compact_priorities
+from repro.qpu.topology import Topology
+
+
+def plan_qubits(plan: BlockPlan, schedule: Schedule) -> set[int]:
+    """All qubits a block plan touches."""
+    touched: set[int] = set()
+    for _, op_indices in plan.steps:
+        for op_index in op_indices:
+            operation = schedule.circuit.operations[op_index]
+            touched.update(op_qubits(operation))
+    return touched
+
+
+def blocks_conflict(left: set[int], right: set[int],
+                    topology: Topology) -> bool:
+    """True when two qubit sets contain a coupled (neighbouring) pair.
+
+    Shared qubits are *not* crosstalk — such blocks are already ordered
+    by data dependencies; the crosstalk hazard is distinct qubits that
+    the device couples.
+    """
+    for qubit in left:
+        if qubit in right:
+            continue
+        if topology.neighbors(qubit) & (right - left):
+            return True
+    return False
+
+
+def serialize_crosstalk(plans: list[BlockPlan], schedule: Schedule,
+                        topology: Topology) -> list[BlockPlan]:
+    """Split same-priority blocks that would drive coupled qubits.
+
+    Conflicting blocks within a priority level are layered greedily:
+    each block lands in the first layer where it conflicts with
+    nothing; layers become consecutive priorities.  Non-conflicting
+    parallelism is preserved.
+    """
+    qubit_sets = {id(plan): plan_qubits(plan, schedule)
+                  for plan in plans}
+    by_priority: dict[int, list[BlockPlan]] = {}
+    for plan in plans:
+        by_priority.setdefault(plan.priority, []).append(plan)
+
+    result: list[BlockPlan] = []
+    next_priority = 0
+    for priority in sorted(by_priority):
+        layers: list[list[BlockPlan]] = []
+        for plan in by_priority[priority]:
+            placed = False
+            for layer in layers:
+                if not any(blocks_conflict(qubit_sets[id(plan)],
+                                           qubit_sets[id(other)],
+                                           topology)
+                           for other in layer):
+                    layer.append(plan)
+                    placed = True
+                    break
+            if not placed:
+                layers.append([plan])
+        for layer in layers:
+            for plan in layer:
+                plan.priority = next_priority
+                result.append(plan)
+            next_priority += 1
+    return _compact_priorities(result)
+
+
+def count_crosstalk_pairs(plans: list[BlockPlan], schedule: Schedule,
+                          topology: Topology) -> int:
+    """Number of same-priority block pairs that drive coupled qubits."""
+    qubit_sets = [plan_qubits(plan, schedule) for plan in plans]
+    conflicts = 0
+    for i, left in enumerate(plans):
+        for j in range(i + 1, len(plans)):
+            right = plans[j]
+            if left.priority != right.priority:
+                continue
+            if blocks_conflict(qubit_sets[i], qubit_sets[j], topology):
+                conflicts += 1
+    return conflicts

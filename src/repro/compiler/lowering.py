@@ -1,0 +1,83 @@
+"""Lowering a scheduled circuit to timed-QASM instructions.
+
+Each block plan becomes one program block.  Within a block the timing
+label of the first quantum instruction of a step is the gap, in clock
+cycles, since the previous step *present in the same block* (blocks run
+on their own processor timeline); remaining instructions of the step get
+label ``0`` so the superscalar pre-decoder can dispatch them together.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import Operation, QuantumCircuit
+from repro.circuit.steps import Schedule
+from repro.compiler.blocks import BlockPlan
+from repro.isa.builder import ProgramBuilder
+
+
+class LoweringError(ValueError):
+    """Raised when a circuit feature cannot be lowered."""
+
+
+def _timing_cycles(delta_ns: int, period_ns: int) -> int:
+    if delta_ns % period_ns:
+        raise LoweringError(
+            f"step gap of {delta_ns} ns is not a multiple of the "
+            f"{period_ns} ns clock period")
+    return delta_ns // period_ns
+
+
+def _emit_operation(builder: ProgramBuilder, operation: Operation,
+                    timing: int) -> None:
+    if operation.condition is not None:
+        measured_qubit, value = operation.condition
+        if len(operation.qubits) != 1:
+            raise LoweringError(
+                "simple feedback control (MRCE) supports single-qubit "
+                f"conditional gates only, got {operation}")
+        if operation.params:
+            raise LoweringError(
+                "parametric conditional gates cannot be encoded in MRCE")
+        op_if_zero, op_if_one = ("i", operation.gate)
+        if value == 0:
+            op_if_zero, op_if_one = (operation.gate, "i")
+        builder.mrce(measured_qubit, operation.qubits[0],
+                     op_if_zero, op_if_one, timing=timing)
+    elif operation.is_measurement:
+        builder.qmeas(operation.qubits[0], timing=timing)
+    else:
+        builder.qop(operation.gate, operation.qubits, timing=timing,
+                    params=operation.params)
+
+
+def lower_block(builder: ProgramBuilder, schedule: Schedule,
+                plan: BlockPlan, period_ns: int) -> None:
+    """Emit one block plan into ``builder`` (inside an open block)."""
+    circuit = schedule.circuit
+    previous_start: int | None = None
+    for step_index, op_indices in plan.steps:
+        step = schedule.steps[step_index]
+        if previous_start is None:
+            timing = 0
+        else:
+            timing = _timing_cycles(step.start_ns - previous_start,
+                                    period_ns)
+        previous_start = step.start_ns
+        with builder.step(step_index):
+            for position, op_index in enumerate(op_indices):
+                operation = circuit.operations[op_index]
+                _emit_operation(builder, operation,
+                                timing if position == 0 else 0)
+    builder.halt()
+
+
+def lower_plans(circuit: QuantumCircuit, schedule: Schedule,
+                plans: list[BlockPlan], period_ns: int,
+                name: str | None = None) -> ProgramBuilder:
+    """Lower every block plan; returns the populated builder."""
+    builder = ProgramBuilder(name or circuit.name)
+    for plan in plans:
+        with builder.block(plan.name, priority=plan.priority,
+                           deps=plan.deps):
+            lower_block(builder, schedule, plan, period_ns)
+    return builder

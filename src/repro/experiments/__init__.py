@@ -1,0 +1,16 @@
+"""Quantum-characterisation experiments: RB and simultaneous RB."""
+
+from repro.experiments.clifford import (CLIFFORD_GROUP_ORDER, Clifford,
+                                        average_gates_per_clifford,
+                                        clifford_table, compose,
+                                        inverse_of_sequence, lookup)
+from repro.experiments.fitting import DecayFit, fit_rb_decay
+from repro.experiments.rb import RBResult, rb_circuit, run_rb
+from repro.experiments.simrb import SimRBStudy, run_simrb_study
+
+__all__ = [
+    "CLIFFORD_GROUP_ORDER", "Clifford", "DecayFit", "RBResult",
+    "SimRBStudy", "average_gates_per_clifford", "clifford_table",
+    "compose", "fit_rb_decay", "inverse_of_sequence", "lookup",
+    "rb_circuit", "run_rb", "run_simrb_study",
+]

@@ -1,0 +1,114 @@
+"""The single-qubit Clifford group as native pulse sequences.
+
+Randomized benchmarking composes uniformly random Clifford group
+elements.  On superconducting hardware each Clifford is realised as a
+short sequence of calibrated pulses; we use the generator set
+{X90, Y90, -X90, -Y90, X, Y} and find, by breadth-first search, the
+shortest pulse sequence for each of the 24 group elements (at most three
+pulses).  The average decomposition length over the group is the usual
+~1.875 primitive gates per Clifford.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.circuit.gates import lookup_gate
+
+#: Native pulse set used to synthesise Clifford elements.
+GENERATORS: tuple[str, ...] = ("x90", "y90", "xm90", "ym90", "x", "y")
+
+CLIFFORD_GROUP_ORDER = 24
+
+
+@dataclass(frozen=True)
+class Clifford:
+    """One group element: its unitary and a native pulse realisation."""
+
+    index: int
+    gates: tuple[str, ...]
+    matrix: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+
+def _canonical(matrix: np.ndarray) -> bytes:
+    """Phase-invariant fingerprint of a single-qubit unitary."""
+    # Fix global phase: rotate so the first nonzero element is real
+    # positive, then round to kill float noise.
+    flat = matrix.reshape(-1)
+    pivot = next(x for x in flat if abs(x) > 1e-6)
+    normalised = matrix * (abs(pivot) / pivot)
+    # Clifford entries are separated by >= 1/2 - 1/sqrt(2) ~ 0.2 in any
+    # coordinate, so rounding to 6 decimals merges float noise from
+    # different pulse paths without colliding distinct elements.  The
+    # "+ 0" turns IEEE negative zeros into positive zeros so they hash
+    # identically.
+    return (np.round(normalised, 6) + (0.0 + 0.0j)).tobytes()
+
+
+@lru_cache(maxsize=1)
+def clifford_table() -> tuple[Clifford, ...]:
+    """Enumerate all 24 single-qubit Cliffords with shortest sequences."""
+    identity = np.eye(2, dtype=complex)
+    found: dict[bytes, tuple[tuple[str, ...], np.ndarray]] = {
+        _canonical(identity): ((), identity)}
+    frontier = [((), identity)]
+    while frontier and len(found) < CLIFFORD_GROUP_ORDER:
+        next_frontier = []
+        for gates, matrix in frontier:
+            for gate in GENERATORS:
+                candidate = lookup_gate(gate).unitary() @ matrix
+                key = _canonical(candidate)
+                if key not in found:
+                    sequence = gates + (gate,)
+                    found[key] = (sequence, candidate)
+                    next_frontier.append((sequence, candidate))
+        frontier = next_frontier
+    if len(found) != CLIFFORD_GROUP_ORDER:
+        raise RuntimeError(
+            f"Clifford enumeration found {len(found)} elements, "
+            f"expected {CLIFFORD_GROUP_ORDER}")
+    elements = sorted(found.values(), key=lambda item: (len(item[0]),
+                                                        item[0]))
+    return tuple(Clifford(index=i, gates=gates, matrix=matrix)
+                 for i, (gates, matrix) in enumerate(elements))
+
+
+@lru_cache(maxsize=1)
+def _index_by_key() -> dict[bytes, int]:
+    return {_canonical(c.matrix): c.index for c in clifford_table()}
+
+
+def compose(indices: list[int] | tuple[int, ...]) -> np.ndarray:
+    """Unitary of the Clifford sequence applied left-to-right."""
+    table = clifford_table()
+    matrix = np.eye(2, dtype=complex)
+    for index in indices:
+        matrix = table[index].matrix @ matrix
+    return matrix
+
+
+def lookup(matrix: np.ndarray) -> int:
+    """Index of the group element equal to ``matrix`` up to phase."""
+    key = _canonical(matrix)
+    try:
+        return _index_by_key()[key]
+    except KeyError:
+        raise ValueError("matrix is not a Clifford group element") from None
+
+
+def inverse_of_sequence(indices: list[int] | tuple[int, ...]) -> int:
+    """The recovery Clifford mapping the composed sequence to identity."""
+    matrix = compose(indices)
+    return lookup(matrix.conj().T)
+
+
+def average_gates_per_clifford() -> float:
+    """Mean native-pulse count over the group (identity included)."""
+    table = clifford_table()
+    return sum(len(c) for c in table) / len(table)

@@ -1,0 +1,32 @@
+"""Timed-QASM instruction set architecture.
+
+Public surface: instruction classes, :class:`Program` /
+:class:`BlockInfoTable`, the :class:`ProgramBuilder` fluent API, the text
+assembler :func:`parse_asm` and the binary encoder.
+"""
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.encoder import (decode, decode_program, encode,
+                               encode_program, EncodingError)
+from repro.isa.instructions import (
+    Add, Addi, And, Beq, Bge, Blt, Bne, Branch, Fmr, Halt, Instruction,
+    Jmp, Ldi, Ldm, Mov, Mrce, Nop, Not, NUM_REGISTERS, Or, Qmeas, Qop,
+    Stm, Sub, Xor, ZERO_REG,
+)
+from repro.isa.opcodes import InstrClass, Opcode, instr_class
+from repro.isa.parser import AsmSyntaxError, parse_asm
+from repro.isa.vliw import Bundle, risc_word_count, vliw_word_count
+from repro.isa.program import (BLOCK_TABLE_ENTRIES, BlockInfo,
+                               BlockInfoTable, DependencyMode, Program,
+                               ProgramError)
+
+__all__ = [
+    "Add", "Addi", "And", "AsmSyntaxError", "Beq", "Bge", "Blt", "Bundle",
+    "BLOCK_TABLE_ENTRIES", "BlockInfo", "BlockInfoTable", "Bne", "Branch",
+    "DependencyMode", "EncodingError", "Fmr", "Halt", "Instruction",
+    "InstrClass", "Jmp", "Ldi", "Ldm", "Mov", "Mrce", "Nop", "Not",
+    "NUM_REGISTERS", "Opcode", "Or", "Program", "ProgramBuilder",
+    "ProgramError", "Qmeas", "Qop", "Stm", "Sub", "Xor", "ZERO_REG",
+    "decode", "decode_program", "encode", "encode_program", "instr_class",
+    "parse_asm", "risc_word_count", "vliw_word_count",
+]

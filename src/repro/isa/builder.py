@@ -1,0 +1,189 @@
+"""Fluent construction of timed-QASM programs.
+
+The paper's benchmarks mix quantum instructions with repeat-until-success
+loops and majority votes, which are awkward to express in a circuit IR;
+:class:`ProgramBuilder` builds them directly at the instruction level::
+
+    builder = ProgramBuilder("rus")
+    with builder.block("w1", priority=0):
+        builder.label("retry")
+        builder.qop("h", [0])
+        builder.qmeas(2, timing=2)
+        builder.fmr(1, 2)
+        builder.bne(1, ZERO_REG, "retry")
+        builder.halt()
+    program = builder.build()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.isa.instructions import (
+    Add, Addi, And, Beq, Bge, Blt, Bne, Fmr, Halt, Instruction, Jmp, Ldi,
+    Ldm, Mov, Mrce, Nop, Not, Or, Qmeas, Qop, Stm, Sub, Xor,
+)
+from repro.isa.program import BlockInfo, Program, ProgramError
+
+
+class ProgramBuilder:
+    """Incrementally assembles a :class:`~repro.isa.program.Program`."""
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self._instructions: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._blocks: list[BlockInfo] = []
+        self._open_block: tuple[str, int, int, tuple[str, ...]] | None = None
+        self._current_step: int | None = None
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def pc(self) -> int:
+        """Address the next emitted instruction will occupy."""
+        return len(self._instructions)
+
+    def label(self, name: str) -> str:
+        """Define ``name`` at the current pc and return it."""
+        if name in self._labels:
+            raise ProgramError(f"label {name!r} defined twice")
+        self._labels[name] = self.pc
+        return name
+
+    def fresh_label(self, stem: str) -> str:
+        """Generate an unused label derived from ``stem``."""
+        index = 0
+        while f"{stem}_{index}" in self._labels:
+            index += 1
+        return f"{stem}_{index}"
+
+    @contextlib.contextmanager
+    def block(self, name: str, priority: int = 0,
+              deps: Sequence[str] = ()) -> Iterator[None]:
+        """Open a program block; instructions emitted inside belong to it."""
+        if self._open_block is not None:
+            raise ProgramError("program blocks cannot nest")
+        self._open_block = (name, priority, self.pc, tuple(deps))
+        try:
+            yield
+        finally:
+            name, priority, start, dep_names = self._open_block
+            self._open_block = None
+            self._blocks.append(BlockInfo(name=name, start=start,
+                                          end=self.pc, priority=priority,
+                                          deps=dep_names))
+
+    @contextlib.contextmanager
+    def step(self, step_id: int) -> Iterator[None]:
+        """Tag instructions emitted inside with a circuit-step id."""
+        previous = self._current_step
+        self._current_step = step_id
+        try:
+            yield
+        finally:
+            self._current_step = previous
+
+    def emit(self, instr: Instruction) -> Instruction:
+        """Append a raw instruction (annotating block/step metadata)."""
+        if self._open_block is not None:
+            instr.block = self._open_block[0]
+        if self._current_step is not None and instr.step_id is None:
+            instr.step_id = self._current_step
+        self._instructions.append(instr)
+        return instr
+
+    # -- classical ----------------------------------------------------------
+
+    def nop(self) -> Instruction:
+        return self.emit(Nop())
+
+    def halt(self) -> Instruction:
+        return self.emit(Halt())
+
+    def jmp(self, target: str | int) -> Instruction:
+        return self.emit(Jmp(target))
+
+    def beq(self, rs: int, rt: int, target: str | int) -> Instruction:
+        return self.emit(Beq(rs, rt, target))
+
+    def bne(self, rs: int, rt: int, target: str | int) -> Instruction:
+        return self.emit(Bne(rs, rt, target))
+
+    def blt(self, rs: int, rt: int, target: str | int) -> Instruction:
+        return self.emit(Blt(rs, rt, target))
+
+    def bge(self, rs: int, rt: int, target: str | int) -> Instruction:
+        return self.emit(Bge(rs, rt, target))
+
+    def ldi(self, rd: int, imm: int) -> Instruction:
+        return self.emit(Ldi(rd, imm))
+
+    def mov(self, rd: int, rs: int) -> Instruction:
+        return self.emit(Mov(rd, rs))
+
+    def ldm(self, rd: int, addr: int) -> Instruction:
+        return self.emit(Ldm(rd, addr))
+
+    def stm(self, rs: int, addr: int) -> Instruction:
+        return self.emit(Stm(rs, addr))
+
+    def fmr(self, rd: int, qubit: int) -> Instruction:
+        return self.emit(Fmr(rd, qubit))
+
+    def add(self, rd: int, rs: int, rt: int) -> Instruction:
+        return self.emit(Add(rd, rs, rt))
+
+    def addi(self, rd: int, rs: int, imm: int) -> Instruction:
+        return self.emit(Addi(rd, rs, imm))
+
+    def sub(self, rd: int, rs: int, rt: int) -> Instruction:
+        return self.emit(Sub(rd, rs, rt))
+
+    def and_(self, rd: int, rs: int, rt: int) -> Instruction:
+        return self.emit(And(rd, rs, rt))
+
+    def or_(self, rd: int, rs: int, rt: int) -> Instruction:
+        return self.emit(Or(rd, rs, rt))
+
+    def xor(self, rd: int, rs: int, rt: int) -> Instruction:
+        return self.emit(Xor(rd, rs, rt))
+
+    def not_(self, rd: int, rs: int) -> Instruction:
+        return self.emit(Not(rd, rs))
+
+    # -- quantum -------------------------------------------------------------
+
+    def qop(self, gate: str, qubits: Iterable[int], timing: int = 0,
+            params: Iterable[float] = ()) -> Instruction:
+        return self.emit(Qop(timing, gate, tuple(qubits), tuple(params)))
+
+    def qmeas(self, qubit: int, timing: int = 0) -> Instruction:
+        return self.emit(Qmeas(timing, qubit))
+
+    def mrce(self, result_qubit: int, target_qubit: int,
+             op_if_zero: str = "i", op_if_one: str = "x",
+             timing: int = 0) -> Instruction:
+        return self.emit(Mrce(result_qubit, target_qubit,
+                              op_if_zero, op_if_one, timing))
+
+    # -- finalisation ----------------------------------------------------------
+
+    def build(self, validate: bool = True) -> Program:
+        """Resolve labels and return the finished program."""
+        if self._open_block is not None:
+            raise ProgramError(
+                f"block {self._open_block[0]!r} was never closed")
+        blocks = self._blocks
+        if not blocks and self._instructions:
+            blocks = [BlockInfo(name="main", start=0,
+                                end=len(self._instructions))]
+        program = Program(instructions=self._instructions,
+                          labels=dict(self._labels),
+                          blocks=sorted(blocks, key=lambda b: b.start),
+                          name=self.name)
+        program.resolve_labels()
+        if validate:
+            program.validate()
+        return program

@@ -1,0 +1,242 @@
+"""Binary encoding of the timed-QASM ISA.
+
+The paper argues for a RISC-style fixed-width instruction word (32 bits)
+as a benefit of the superscalar approach over VLIW (Section 9).  This
+module provides the reference encoder/decoder used by tests and by the
+instruction-memory model: every instruction occupies one 32-bit header
+word; quantum operations with more than one qubit or with rotation
+parameters append operand words.
+
+Header layout (bit 31 is the MSB)::
+
+    [31:26] opcode
+    remaining fields per instruction family, documented inline below.
+
+Rotation parameters are stored as IEEE-754 binary32, so decoding recovers
+them at float32 precision.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.isa import instructions as ins
+from repro.isa.opcodes import Opcode
+
+#: Canonical gate-name table for the 8-bit gate-id field.
+GATE_IDS: dict[str, int] = {
+    name: index for index, name in enumerate([
+        "i", "x", "y", "z", "h", "s", "sdg", "t", "tdg",
+        "x90", "y90", "xm90", "ym90",
+        "rx", "ry", "rz",
+        "cnot", "cz", "swap", "iswap",
+        "reset", "measure",
+    ])
+}
+GATE_NAMES: dict[int, str] = {v: k for k, v in GATE_IDS.items()}
+
+#: 4-bit conditional-op table for MRCE operands.
+MRCE_OP_IDS: dict[str, int] = {
+    name: index for index, name in enumerate(
+        ["i", "x", "y", "z", "h", "s", "sdg", "t", "tdg",
+         "x90", "y90", "reset"])
+}
+MRCE_OP_NAMES: dict[int, str] = {v: k for k, v in MRCE_OP_IDS.items()}
+
+_MASK26 = (1 << 26) - 1
+_MASK16 = (1 << 16) - 1
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction does not fit its binary fields."""
+
+
+def _field(value: int, bits: int, what: str) -> int:
+    if not 0 <= value < (1 << bits):
+        raise EncodingError(f"{what} {value} does not fit in {bits} bits")
+    return value
+
+
+def _signed16(value: int, what: str) -> int:
+    if not -(1 << 15) <= value < (1 << 15):
+        raise EncodingError(f"{what} {value} does not fit in 16 bits")
+    return value & _MASK16
+
+
+def _unsigned16_to_signed(value: int) -> int:
+    return value - (1 << 16) if value & (1 << 15) else value
+
+
+def _float_to_word(value: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def _word_to_float(word: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", word))[0]
+
+
+def encode(instr: ins.Instruction) -> list[int]:
+    """Encode one instruction into a list of 32-bit words."""
+    op = instr.opcode
+    head = int(op) << 26
+    if isinstance(instr, (ins.Nop, ins.Halt)):
+        return [head]
+    if isinstance(instr, ins.Jmp):
+        if not isinstance(instr.target, int):
+            raise EncodingError("cannot encode unresolved jump target")
+        return [head | _field(instr.target, 26, "jump target")]
+    if isinstance(instr, ins.Branch):
+        if not isinstance(instr.target, int):
+            raise EncodingError("cannot encode unresolved branch target")
+        return [head | (_field(instr.rs, 5, "rs") << 21)
+                | (_field(instr.rt, 5, "rt") << 16)
+                | _field(instr.target, 16, "branch target")]
+    if isinstance(instr, ins.Ldi):
+        return [head | (_field(instr.rd, 5, "rd") << 21)
+                | _signed16(instr.imm, "immediate")]
+    if isinstance(instr, ins.Mov):
+        return [head | (_field(instr.rd, 5, "rd") << 21)
+                | (_field(instr.rs, 5, "rs") << 16)]
+    if isinstance(instr, ins.Ldm):
+        return [head | (_field(instr.rd, 5, "rd") << 21)
+                | _field(instr.addr, 16, "address")]
+    if isinstance(instr, ins.Stm):
+        return [head | (_field(instr.rs, 5, "rs") << 21)
+                | _field(instr.addr, 16, "address")]
+    if isinstance(instr, ins.Fmr):
+        return [head | (_field(instr.rd, 5, "rd") << 21)
+                | _field(instr.qubit, 16, "qubit")]
+    if isinstance(instr, ins.Addi):
+        return [head | (_field(instr.rd, 5, "rd") << 21)
+                | (_field(instr.rs, 5, "rs") << 16)
+                | _signed16(instr.imm, "immediate")]
+    if isinstance(instr, ins.Not):
+        return [head | (_field(instr.rd, 5, "rd") << 21)
+                | (_field(instr.rs, 5, "rs") << 16)]
+    if isinstance(instr, ins.Alu):
+        return [head | (_field(instr.rd, 5, "rd") << 21)
+                | (_field(instr.rs, 5, "rs") << 16)
+                | (_field(instr.rt, 5, "rt") << 11)]
+    if isinstance(instr, ins.Qmeas):
+        return [head | (_field(instr.timing, 12, "timing") << 14)
+                | _field(instr.qubit, 14, "qubit")]
+    if isinstance(instr, ins.Mrce):
+        if instr.op_if_zero not in MRCE_OP_IDS:
+            raise EncodingError(f"MRCE op {instr.op_if_zero!r} has no id")
+        if instr.op_if_one not in MRCE_OP_IDS:
+            raise EncodingError(f"MRCE op {instr.op_if_one!r} has no id")
+        # MRCE header: opcode(6) rq(9) tq(9) op0(4) op1(4),
+        # followed by one full timing word.
+        return [head
+                | (_field(instr.result_qubit, 9, "result qubit") << 17)
+                | (_field(instr.target_qubit, 9, "target qubit") << 8)
+                | (MRCE_OP_IDS[instr.op_if_zero] << 4)
+                | MRCE_OP_IDS[instr.op_if_one],
+                _field(instr.timing, 32, "timing")]
+    if isinstance(instr, ins.Qop):
+        if instr.gate not in GATE_IDS:
+            raise EncodingError(f"gate {instr.gate!r} has no id")
+        # QOP header: opcode(6) timing(12) gate(8) nqubits(3) nparams(3)
+        words = [head | (_field(instr.timing, 12, "timing") << 14)
+                 | (GATE_IDS[instr.gate] << 6)
+                 | (_field(len(instr.qubits), 3, "qubit count") << 3)
+                 | _field(len(instr.params), 3, "param count")]
+        pending = list(instr.qubits)
+        while pending:
+            first = _field(pending.pop(0), 16, "qubit")
+            second = _field(pending.pop(0), 16, "qubit") if pending else 0
+            words.append((first << 16) | second)
+        words.extend(_float_to_word(p) for p in instr.params)
+        return words
+    raise EncodingError(f"cannot encode {instr!r}")
+
+
+def encode_program(instructions: list[ins.Instruction]) -> list[int]:
+    """Encode a sequence of instructions into a flat word list."""
+    words: list[int] = []
+    for instr in instructions:
+        words.extend(encode(instr))
+    return words
+
+
+def decode(words: list[int], offset: int = 0) -> tuple[ins.Instruction, int]:
+    """Decode one instruction starting at ``words[offset]``.
+
+    Returns the instruction and the number of words consumed.
+    """
+    head = words[offset]
+    opcode = Opcode((head >> 26) & 0x3F)
+    if opcode == Opcode.NOP:
+        return ins.Nop(), 1
+    if opcode == Opcode.HALT:
+        return ins.Halt(), 1
+    if opcode == Opcode.JMP:
+        return ins.Jmp(head & _MASK26), 1
+    if opcode in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE):
+        cls = {Opcode.BEQ: ins.Beq, Opcode.BNE: ins.Bne,
+               Opcode.BLT: ins.Blt, Opcode.BGE: ins.Bge}[opcode]
+        return cls((head >> 21) & 0x1F, (head >> 16) & 0x1F,
+                   head & _MASK16), 1
+    if opcode == Opcode.LDI:
+        return ins.Ldi((head >> 21) & 0x1F,
+                       _unsigned16_to_signed(head & _MASK16)), 1
+    if opcode == Opcode.MOV:
+        return ins.Mov((head >> 21) & 0x1F, (head >> 16) & 0x1F), 1
+    if opcode == Opcode.LDM:
+        return ins.Ldm((head >> 21) & 0x1F, head & _MASK16), 1
+    if opcode == Opcode.STM:
+        return ins.Stm((head >> 21) & 0x1F, head & _MASK16), 1
+    if opcode == Opcode.FMR:
+        return ins.Fmr((head >> 21) & 0x1F, head & _MASK16), 1
+    if opcode == Opcode.ADDI:
+        return ins.Addi((head >> 21) & 0x1F, (head >> 16) & 0x1F,
+                        _unsigned16_to_signed(head & _MASK16)), 1
+    if opcode == Opcode.NOT:
+        return ins.Not((head >> 21) & 0x1F, (head >> 16) & 0x1F), 1
+    if opcode in (Opcode.ADD, Opcode.SUB, Opcode.AND,
+                  Opcode.OR, Opcode.XOR):
+        cls = {Opcode.ADD: ins.Add, Opcode.SUB: ins.Sub,
+               Opcode.AND: ins.And, Opcode.OR: ins.Or,
+               Opcode.XOR: ins.Xor}[opcode]
+        return cls((head >> 21) & 0x1F, (head >> 16) & 0x1F,
+                   (head >> 11) & 0x1F), 1
+    if opcode == Opcode.QMEAS:
+        return ins.Qmeas((head >> 14) & 0xFFF, head & 0x3FFF), 1
+    if opcode == Opcode.MRCE:
+        return ins.Mrce(result_qubit=(head >> 17) & 0x1FF,
+                        target_qubit=(head >> 8) & 0x1FF,
+                        op_if_zero=MRCE_OP_NAMES[(head >> 4) & 0xF],
+                        op_if_one=MRCE_OP_NAMES[head & 0xF],
+                        timing=words[offset + 1]), 2
+    if opcode == Opcode.QOP:
+        timing = (head >> 14) & 0xFFF
+        gate = GATE_NAMES[(head >> 6) & 0xFF]
+        n_qubits = (head >> 3) & 0x7
+        n_params = head & 0x7
+        consumed = 1
+        qubits: list[int] = []
+        remaining = n_qubits
+        while remaining > 0:
+            word = words[offset + consumed]
+            qubits.append((word >> 16) & _MASK16)
+            remaining -= 1
+            if remaining > 0:
+                qubits.append(word & _MASK16)
+                remaining -= 1
+            consumed += 1
+        params = tuple(_word_to_float(words[offset + consumed + i])
+                       for i in range(n_params))
+        consumed += n_params
+        return ins.Qop(timing, gate, tuple(qubits), params), consumed
+    raise EncodingError(f"cannot decode opcode {opcode}")
+
+
+def decode_program(words: list[int]) -> list[ins.Instruction]:
+    """Decode a flat word list back into instructions."""
+    result: list[ins.Instruction] = []
+    offset = 0
+    while offset < len(words):
+        instr, consumed = decode(words, offset)
+        result.append(instr)
+        offset += consumed
+    return result

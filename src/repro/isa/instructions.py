@@ -1,0 +1,446 @@
+"""Instruction objects for the timed-QASM ISA.
+
+Two instruction families exist, mirroring Section 2.2 of the paper:
+
+* *classical* instructions (control, data transfer, logical, arithmetic)
+  executed entirely inside the control processor, and
+* *quantum* instructions (``QOP``/``QMEAS``/``MRCE``) that the processor
+  executes in order to **issue** quantum operations to the QPU.
+
+Quantum instructions carry a *timing label*: the interval, in clock
+cycles, between the issue of the previous quantum operation and this one.
+A label of ``0`` means "simultaneously with the previous operation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import BRANCH_OPCODES, InstrClass, Opcode, instr_class
+
+#: Register index hardwired to zero (writes are ignored), like MIPS ``$0``.
+ZERO_REG = 0
+
+#: Number of general-purpose registers per processor.
+NUM_REGISTERS = 32
+
+
+@dataclass
+class Instruction:
+    """Base class for every instruction.
+
+    ``step_id`` is compiler metadata: the circuit-step index this
+    instruction belongs to, used by the CES accounting of Equation (1).
+    ``block`` is the program-block name the instruction was emitted into.
+    Both are ``None`` for hand-written instructions that never pass
+    through the compiler.
+    """
+
+    opcode: Opcode = field(init=False, default=Opcode.NOP)
+    step_id: int | None = field(init=False, default=None, compare=False)
+    block: str | None = field(init=False, default=None, compare=False)
+
+    @property
+    def klass(self) -> InstrClass:
+        """Pre-decoder class (classical / quantum / measure / mrce)."""
+        return instr_class(self.opcode)
+
+    @property
+    def is_quantum(self) -> bool:
+        """True for instructions executed by a quantum pipeline."""
+        return self.klass is not InstrClass.CLASSICAL
+
+    @property
+    def is_branch(self) -> bool:
+        """True for instructions that may redirect control flow."""
+        return self.opcode in BRANCH_OPCODES
+
+    def _operands(self) -> str:
+        return ""
+
+    def __str__(self) -> str:
+        text = self.opcode.name.lower()
+        operands = self._operands()
+        return f"{text} {operands}".strip()
+
+
+def _check_register(name: str, index: int) -> int:
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError(f"{name} register out of range: {index}")
+    return index
+
+
+# ---------------------------------------------------------------------------
+# classical instructions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Nop(Instruction):
+    """No operation; occupies one dispatch slot."""
+
+    def __post_init__(self) -> None:
+        self.opcode = Opcode.NOP
+
+
+@dataclass
+class Halt(Instruction):
+    """Terminate the current program block."""
+
+    def __post_init__(self) -> None:
+        self.opcode = Opcode.HALT
+
+
+@dataclass
+class Jmp(Instruction):
+    """Unconditional jump to ``target`` (label name or absolute pc)."""
+
+    target: str | int
+
+    def __post_init__(self) -> None:
+        self.opcode = Opcode.JMP
+
+    def _operands(self) -> str:
+        return str(self.target)
+
+
+@dataclass
+class Branch(Instruction):
+    """Conditional branch comparing registers ``rs`` and ``rt``."""
+
+    rs: int
+    rt: int
+    target: str | int
+
+    _COMPARATORS = {
+        Opcode.BEQ: lambda a, b: a == b,
+        Opcode.BNE: lambda a, b: a != b,
+        Opcode.BLT: lambda a, b: a < b,
+        Opcode.BGE: lambda a, b: a >= b,
+    }
+
+    def __post_init__(self) -> None:
+        _check_register("rs", self.rs)
+        _check_register("rt", self.rt)
+
+    def taken(self, a: int, b: int) -> bool:
+        """Evaluate the branch condition on operand values ``a``, ``b``."""
+        return self._COMPARATORS[self.opcode](a, b)
+
+    def _operands(self) -> str:
+        return f"r{self.rs}, r{self.rt}, {self.target}"
+
+
+@dataclass
+class Beq(Branch):
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.opcode = Opcode.BEQ
+
+
+@dataclass
+class Bne(Branch):
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.opcode = Opcode.BNE
+
+
+@dataclass
+class Blt(Branch):
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.opcode = Opcode.BLT
+
+
+@dataclass
+class Bge(Branch):
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.opcode = Opcode.BGE
+
+
+@dataclass
+class Ldi(Instruction):
+    """Load immediate: ``rd <- imm``."""
+
+    rd: int
+    imm: int
+
+    def __post_init__(self) -> None:
+        self.opcode = Opcode.LDI
+        _check_register("rd", self.rd)
+
+    def _operands(self) -> str:
+        return f"r{self.rd}, {self.imm}"
+
+
+@dataclass
+class Mov(Instruction):
+    """Register move: ``rd <- rs``."""
+
+    rd: int
+    rs: int
+
+    def __post_init__(self) -> None:
+        self.opcode = Opcode.MOV
+        _check_register("rd", self.rd)
+        _check_register("rs", self.rs)
+
+    def _operands(self) -> str:
+        return f"r{self.rd}, r{self.rs}"
+
+
+@dataclass
+class Ldm(Instruction):
+    """Load from the shared register file: ``rd <- shared[addr]``.
+
+    Shared registers are the paper's mechanism for managing race
+    conditions and synchronisation between processors (Section 5.2.4).
+    """
+
+    rd: int
+    addr: int
+
+    def __post_init__(self) -> None:
+        self.opcode = Opcode.LDM
+        _check_register("rd", self.rd)
+
+    def _operands(self) -> str:
+        return f"r{self.rd}, [{self.addr}]"
+
+
+@dataclass
+class Stm(Instruction):
+    """Store to the shared register file: ``shared[addr] <- rs``."""
+
+    rs: int
+    addr: int
+
+    def __post_init__(self) -> None:
+        self.opcode = Opcode.STM
+        _check_register("rs", self.rs)
+
+    def _operands(self) -> str:
+        return f"r{self.rs}, [{self.addr}]"
+
+
+@dataclass
+class Fmr(Instruction):
+    """Fetch measurement result: ``rd <- result(qubit)``.
+
+    Implements the synchronisation protocol of Section 2.4: if the
+    measurement result for ``qubit`` is not yet valid the pipeline stalls
+    (stage I+II wait, excluded from CES) until the DAQ writes it.
+    """
+
+    rd: int
+    qubit: int
+
+    def __post_init__(self) -> None:
+        self.opcode = Opcode.FMR
+        _check_register("rd", self.rd)
+        if self.qubit < 0:
+            raise ValueError(f"negative qubit index: {self.qubit}")
+
+    def _operands(self) -> str:
+        return f"r{self.rd}, q{self.qubit}"
+
+
+@dataclass
+class Alu(Instruction):
+    """Three-register ALU operation ``rd <- rs (op) rt``."""
+
+    rd: int
+    rs: int
+    rt: int
+
+    _FUNCS = {
+        Opcode.ADD: lambda a, b: a + b,
+        Opcode.SUB: lambda a, b: a - b,
+        Opcode.AND: lambda a, b: a & b,
+        Opcode.OR: lambda a, b: a | b,
+        Opcode.XOR: lambda a, b: a ^ b,
+    }
+
+    def __post_init__(self) -> None:
+        _check_register("rd", self.rd)
+        _check_register("rs", self.rs)
+        _check_register("rt", self.rt)
+
+    def evaluate(self, a: int, b: int) -> int:
+        """Compute the ALU result for operand values ``a``, ``b``."""
+        return self._FUNCS[self.opcode](a, b)
+
+    def _operands(self) -> str:
+        return f"r{self.rd}, r{self.rs}, r{self.rt}"
+
+
+@dataclass
+class Add(Alu):
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.opcode = Opcode.ADD
+
+
+@dataclass
+class Sub(Alu):
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.opcode = Opcode.SUB
+
+
+@dataclass
+class And(Alu):
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.opcode = Opcode.AND
+
+
+@dataclass
+class Or(Alu):
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.opcode = Opcode.OR
+
+
+@dataclass
+class Xor(Alu):
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.opcode = Opcode.XOR
+
+
+@dataclass
+class Addi(Instruction):
+    """Add immediate: ``rd <- rs + imm``."""
+
+    rd: int
+    rs: int
+    imm: int
+
+    def __post_init__(self) -> None:
+        self.opcode = Opcode.ADDI
+        _check_register("rd", self.rd)
+        _check_register("rs", self.rs)
+
+    def _operands(self) -> str:
+        return f"r{self.rd}, r{self.rs}, {self.imm}"
+
+
+@dataclass
+class Not(Instruction):
+    """Bitwise complement of the low bit: ``rd <- rs ^ 1``.
+
+    Measurement results are single bits, so a one-bit NOT is what the
+    feedback-control idioms need.
+    """
+
+    rd: int
+    rs: int
+
+    def __post_init__(self) -> None:
+        self.opcode = Opcode.NOT
+        _check_register("rd", self.rd)
+        _check_register("rs", self.rs)
+
+    def _operands(self) -> str:
+        return f"r{self.rd}, r{self.rs}"
+
+
+# ---------------------------------------------------------------------------
+# quantum instructions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Qop(Instruction):
+    """Issue a quantum operation ``gate`` on ``qubits``.
+
+    ``timing`` is the timing label in clock cycles relative to the issue
+    of the previous quantum operation on this processor's timeline.
+    ``params`` carries rotation angles for parametric gates.
+    """
+
+    timing: int
+    gate: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.opcode = Opcode.QOP
+        self.qubits = tuple(self.qubits)
+        self.params = tuple(self.params)
+        if self.timing < 0:
+            raise ValueError(f"negative timing label: {self.timing}")
+        if not self.qubits:
+            raise ValueError("quantum operation needs at least one qubit")
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"duplicate qubits in operation: {self.qubits}")
+
+    def _operands(self) -> str:
+        qubits = ", ".join(f"q{q}" for q in self.qubits)
+        params = "".join(f", {p:g}" for p in self.params)
+        return f"{self.timing}, {self.gate}{params}, {qubits}"
+
+
+@dataclass
+class Qmeas(Instruction):
+    """Issue a measurement operation on ``qubit``.
+
+    The result is produced by the DAQ after the readout latency and lands
+    in the measurement result register; a later :class:`Fmr` retrieves it.
+    """
+
+    timing: int
+    qubit: int
+
+    def __post_init__(self) -> None:
+        self.opcode = Opcode.QMEAS
+        if self.timing < 0:
+            raise ValueError(f"negative timing label: {self.timing}")
+        if self.qubit < 0:
+            raise ValueError(f"negative qubit index: {self.qubit}")
+
+    @property
+    def qubits(self) -> tuple[int, ...]:
+        return (self.qubit,)
+
+    def _operands(self) -> str:
+        return f"{self.timing}, q{self.qubit}"
+
+
+@dataclass
+class Mrce(Instruction):
+    """Measurement-Result Conditional Execution (Section 5.4).
+
+    Apply ``op_if_one`` (or ``op_if_zero``) to ``target_qubit`` depending
+    on the measurement result of ``result_qubit``.  A processor with fast
+    context switch saves this context in a few cycles and keeps executing
+    unrelated instructions until the result is valid; a baseline
+    processor simply stalls.  Either op may be ``"i"`` (identity) meaning
+    "do nothing for that outcome" — the active-reset idiom is
+    ``Mrce(q, q, op_if_zero="i", op_if_one="x")``.
+    """
+
+    result_qubit: int
+    target_qubit: int
+    op_if_zero: str = "i"
+    op_if_one: str = "x"
+    timing: int = 0
+
+    def __post_init__(self) -> None:
+        self.opcode = Opcode.MRCE
+        if self.result_qubit < 0 or self.target_qubit < 0:
+            raise ValueError("negative qubit index in MRCE")
+        if self.timing < 0:
+            raise ValueError(f"negative timing label: {self.timing}")
+
+    @property
+    def qubits(self) -> tuple[int, ...]:
+        return (self.target_qubit,)
+
+    def selected_op(self, result: int) -> str:
+        """Gate chosen by the measurement ``result`` (0 or 1)."""
+        return self.op_if_one if result else self.op_if_zero
+
+    def _operands(self) -> str:
+        return (f"q{self.result_qubit}, q{self.target_qubit}, "
+                f"{self.op_if_zero}, {self.op_if_one}")

@@ -1,0 +1,81 @@
+"""Opcode definitions for the timed-QASM instruction set.
+
+The ISA follows the paper's executable-QISA requirements (Section 2.1):
+quantum instructions carry explicit *timing labels*, and auxiliary classical
+instructions provide control flow, data transfer, logic and arithmetic.
+The encoding is RISC-style fixed-width (32-bit words, see
+:mod:`repro.isa.encoder`), which is one of the paper's stated reasons for
+choosing superscalar over VLIW.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class InstrClass(enum.Enum):
+    """Coarse instruction category used by the pre-decoder.
+
+    The quantum superscalar's pre-decoder only needs to distinguish
+    classical from quantum instructions (Section 5.3.1); ``MEASURE`` and
+    ``MRCE`` are quantum-class instructions with special side effects.
+    """
+
+    CLASSICAL = "classical"
+    QUANTUM = "quantum"
+    MEASURE = "measure"
+    MRCE = "mrce"
+
+
+class Opcode(enum.IntEnum):
+    """Numeric opcodes shared by the assembler and the binary encoder."""
+
+    # -- control flow ----------------------------------------------------
+    NOP = 0
+    HALT = 1
+    JMP = 2
+    BEQ = 3
+    BNE = 4
+    BLT = 5
+    BGE = 6
+    # -- data transfer ----------------------------------------------------
+    LDI = 8
+    MOV = 9
+    LDM = 10
+    STM = 11
+    FMR = 12
+    # -- arithmetic -------------------------------------------------------
+    ADD = 16
+    ADDI = 17
+    SUB = 18
+    # -- logical ----------------------------------------------------------
+    AND = 24
+    OR = 25
+    XOR = 26
+    NOT = 27
+    # -- quantum ----------------------------------------------------------
+    QOP = 32
+    QMEAS = 33
+    MRCE = 34
+
+
+#: Opcodes that may redirect control flow (used for control-stall accounting).
+BRANCH_OPCODES = frozenset({Opcode.JMP, Opcode.BEQ, Opcode.BNE,
+                            Opcode.BLT, Opcode.BGE})
+
+#: Opcodes executed by the classical pipeline.
+CLASSICAL_OPCODES = frozenset(op for op in Opcode if op < Opcode.QOP)
+
+#: Opcodes executed by the quantum pipeline(s).
+QUANTUM_OPCODES = frozenset({Opcode.QOP, Opcode.QMEAS, Opcode.MRCE})
+
+
+def instr_class(opcode: Opcode) -> InstrClass:
+    """Map an opcode to the pre-decoder's instruction class."""
+    if opcode == Opcode.QMEAS:
+        return InstrClass.MEASURE
+    if opcode == Opcode.MRCE:
+        return InstrClass.MRCE
+    if opcode == Opcode.QOP:
+        return InstrClass.QUANTUM
+    return InstrClass.CLASSICAL

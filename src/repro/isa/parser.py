@@ -1,0 +1,249 @@
+"""Text assembler for the timed-QASM ISA.
+
+Grammar (one statement per line; ``;`` or ``#`` start a comment)::
+
+    .block NAME [prio=P] [deps=A,B]     open a program block
+    .endblock                            close it
+    LABEL:                               define a label
+    qop TIMING, GATE[(P0[,P1...])], qA[, qB]
+    qmeas TIMING, qA
+    mrce qRESULT, qTARGET, OP0, OP1 [, TIMING]
+    fmr rD, qA
+    ldi rD, IMM          mov rD, rS        ldm rD, [ADDR]    stm rS, [ADDR]
+    add/sub/and/or/xor rD, rS, rT          addi rD, rS, IMM   not rD, rS
+    jmp TARGET           beq/bne/blt/bge rS, rT, TARGET
+    nop                  halt
+
+This mirrors the assembly style of the paper's Section 2.2 example, with
+the timing label leading each quantum instruction.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program, ProgramError
+
+
+class AsmSyntaxError(ProgramError):
+    """Raised with a line number when the assembly text is malformed."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*):$")
+_GATE_RE = re.compile(r"^([A-Za-z_]\w*)(?:\(([^)]*)\))?$")
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand list on commas that are not inside parentheses."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_register(token: str, line_no: int) -> int:
+    if not token.startswith("r"):
+        raise AsmSyntaxError(line_no, f"expected register, got {token!r}")
+    try:
+        return int(token[1:])
+    except ValueError:
+        raise AsmSyntaxError(line_no, f"bad register {token!r}") from None
+
+
+def _parse_qubit(token: str, line_no: int) -> int:
+    if not token.startswith("q"):
+        raise AsmSyntaxError(line_no, f"expected qubit, got {token!r}")
+    try:
+        return int(token[1:])
+    except ValueError:
+        raise AsmSyntaxError(line_no, f"bad qubit {token!r}") from None
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AsmSyntaxError(line_no, f"bad integer {token!r}") from None
+
+
+def _parse_addr(token: str, line_no: int) -> int:
+    if token.startswith("[") and token.endswith("]"):
+        token = token[1:-1]
+    return _parse_int(token, line_no)
+
+
+def _parse_target(token: str, line_no: int) -> str | int:
+    if re.fullmatch(r"-?\d+", token):
+        return int(token)
+    if re.fullmatch(r"[A-Za-z_][\w.]*", token):
+        return token
+    raise AsmSyntaxError(line_no, f"bad branch target {token!r}")
+
+
+def _parse_gate(token: str, line_no: int) -> tuple[str, tuple[float, ...]]:
+    match = _GATE_RE.match(token)
+    if not match:
+        raise AsmSyntaxError(line_no, f"bad gate spec {token!r}")
+    name = match.group(1).lower()
+    params: tuple[float, ...] = ()
+    if match.group(2):
+        try:
+            params = tuple(float(p) for p in match.group(2).split(","))
+        except ValueError:
+            raise AsmSyntaxError(
+                line_no, f"bad gate parameters in {token!r}") from None
+    return name, params
+
+
+def _parse_block_directive(rest: str, line_no: int):
+    tokens = rest.split()
+    if not tokens:
+        raise AsmSyntaxError(line_no, ".block needs a name")
+    name = tokens[0]
+    priority = 0
+    deps: tuple[str, ...] = ()
+    for token in tokens[1:]:
+        if token.startswith("prio="):
+            priority = _parse_int(token[5:], line_no)
+        elif token.startswith("deps="):
+            deps = tuple(d for d in token[5:].split(",") if d)
+        else:
+            raise AsmSyntaxError(line_no, f"unknown block option {token!r}")
+    return name, priority, deps
+
+
+def parse_asm(text: str, name: str = "program") -> Program:
+    """Assemble ``text`` into a :class:`~repro.isa.program.Program`."""
+    builder = ProgramBuilder(name)
+    block_ctx = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        if line.startswith(".block"):
+            if block_ctx is not None:
+                raise AsmSyntaxError(line_no, "nested .block")
+            block_name, priority, deps = _parse_block_directive(
+                line[len(".block"):].strip(), line_no)
+            block_ctx = builder.block(block_name, priority=priority,
+                                      deps=deps)
+            block_ctx.__enter__()
+            continue
+        if line == ".endblock":
+            if block_ctx is None:
+                raise AsmSyntaxError(line_no, ".endblock without .block")
+            block_ctx.__exit__(None, None, None)
+            block_ctx = None
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            builder.label(label_match.group(1))
+            continue
+        _parse_statement(builder, line, line_no)
+    if block_ctx is not None:
+        raise AsmSyntaxError(line_no, "unterminated .block")
+    return builder.build()
+
+
+def _parse_statement(builder: ProgramBuilder, line: str,
+                     line_no: int) -> None:
+    mnemonic, _, rest = line.partition(" ")
+    mnemonic = mnemonic.lower()
+    ops = _split_operands(rest)
+
+    def need(count: int) -> None:
+        if len(ops) != count:
+            raise AsmSyntaxError(
+                line_no,
+                f"{mnemonic} expects {count} operands, got {len(ops)}")
+
+    if mnemonic == "nop":
+        need(0)
+        builder.nop()
+    elif mnemonic == "halt":
+        need(0)
+        builder.halt()
+    elif mnemonic == "jmp":
+        need(1)
+        builder.jmp(_parse_target(ops[0], line_no))
+    elif mnemonic in ("beq", "bne", "blt", "bge"):
+        need(3)
+        method = getattr(builder, mnemonic)
+        method(_parse_register(ops[0], line_no),
+               _parse_register(ops[1], line_no),
+               _parse_target(ops[2], line_no))
+    elif mnemonic == "ldi":
+        need(2)
+        builder.ldi(_parse_register(ops[0], line_no),
+                    _parse_int(ops[1], line_no))
+    elif mnemonic == "mov":
+        need(2)
+        builder.mov(_parse_register(ops[0], line_no),
+                    _parse_register(ops[1], line_no))
+    elif mnemonic == "ldm":
+        need(2)
+        builder.ldm(_parse_register(ops[0], line_no),
+                    _parse_addr(ops[1], line_no))
+    elif mnemonic == "stm":
+        need(2)
+        builder.stm(_parse_register(ops[0], line_no),
+                    _parse_addr(ops[1], line_no))
+    elif mnemonic == "fmr":
+        need(2)
+        builder.fmr(_parse_register(ops[0], line_no),
+                    _parse_qubit(ops[1], line_no))
+    elif mnemonic in ("add", "sub", "and", "or", "xor"):
+        need(3)
+        method = getattr(builder, mnemonic + "_"
+                         if mnemonic in ("and", "or") else mnemonic)
+        method(_parse_register(ops[0], line_no),
+               _parse_register(ops[1], line_no),
+               _parse_register(ops[2], line_no))
+    elif mnemonic == "addi":
+        need(3)
+        builder.addi(_parse_register(ops[0], line_no),
+                     _parse_register(ops[1], line_no),
+                     _parse_int(ops[2], line_no))
+    elif mnemonic == "not":
+        need(2)
+        builder.not_(_parse_register(ops[0], line_no),
+                     _parse_register(ops[1], line_no))
+    elif mnemonic == "qop":
+        if len(ops) < 3:
+            raise AsmSyntaxError(line_no, "qop expects timing, gate, qubits")
+        timing = _parse_int(ops[0], line_no)
+        gate, params = _parse_gate(ops[1], line_no)
+        qubits = [_parse_qubit(tok, line_no) for tok in ops[2:]]
+        builder.qop(gate, qubits, timing=timing, params=params)
+    elif mnemonic == "qmeas":
+        need(2)
+        builder.qmeas(_parse_qubit(ops[1], line_no),
+                      timing=_parse_int(ops[0], line_no))
+    elif mnemonic == "mrce":
+        if len(ops) not in (4, 5):
+            raise AsmSyntaxError(
+                line_no, "mrce expects qR, qT, op0, op1 [, timing]")
+        timing = _parse_int(ops[4], line_no) if len(ops) == 5 else 0
+        builder.mrce(_parse_qubit(ops[0], line_no),
+                     _parse_qubit(ops[1], line_no),
+                     ops[2].lower(), ops[3].lower(), timing=timing)
+    else:
+        raise AsmSyntaxError(line_no, f"unknown mnemonic {mnemonic!r}")

@@ -1,0 +1,238 @@
+"""Programs, program blocks and the block information table.
+
+A *program block* (Section 3.1) is a contiguous instruction range
+describing one sub-circuit, possibly containing loops and feedback
+control.  The *block information table* (Section 5.2.1) stores, for every
+block, its pc range and its dependency information in one of two
+hardware representations:
+
+* ``direct`` — a bit-vector naming the blocks that must finish first, and
+* ``priority`` — a small integer; blocks sharing a priority may run in
+  parallel, and priority ``p`` blocks only start once every block with a
+  lower priority is done.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Halt, Instruction, Jmp
+
+#: Hardware table size in the paper's FPGA prototype (Section 6.1).
+BLOCK_TABLE_ENTRIES = 64
+
+#: Bits per block-information-table entry in the prototype.
+BLOCK_ENTRY_BITS = 32
+
+
+class DependencyMode(enum.Enum):
+    """Which dependency representation the scheduler consumes."""
+
+    DIRECT = "direct"
+    PRIORITY = "priority"
+
+
+@dataclass
+class BlockInfo:
+    """One entry of the block information table.
+
+    ``start``/``end`` delimit the block's instruction range in main
+    memory, end-exclusive.  ``deps`` lists names of blocks that must be
+    *done* before this block may start (direct representation);
+    ``priority`` is the alternative compact representation.
+    """
+
+    name: str
+    start: int
+    end: int
+    priority: int = 0
+    deps: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(
+                f"invalid block range [{self.start}, {self.end}) "
+                f"for block {self.name!r}")
+        if self.priority < 0:
+            raise ValueError(f"negative priority for block {self.name!r}")
+        self.deps = tuple(self.deps)
+
+    @property
+    def size(self) -> int:
+        """Number of instructions in the block."""
+        return self.end - self.start
+
+
+class ProgramError(ValueError):
+    """Raised for malformed programs (bad labels, overlapping blocks...)."""
+
+
+@dataclass
+class Program:
+    """A fully assembled program: instructions, labels and blocks.
+
+    Branch targets inside ``instructions`` are absolute pcs after
+    :meth:`resolve_labels` has run (the builder and parser call it for
+    you).
+    """
+
+    instructions: list[Instruction] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    blocks: list[BlockInfo] = field(default_factory=list)
+    name: str = "program"
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, pc: int) -> Instruction:
+        return self.instructions[pc]
+
+    def block_named(self, name: str) -> BlockInfo:
+        """Look up a block by name."""
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise ProgramError(f"no block named {name!r}")
+
+    def resolve_labels(self) -> None:
+        """Replace symbolic branch targets with absolute pcs, in place."""
+        for pc, instr in enumerate(self.instructions):
+            target = getattr(instr, "target", None)
+            if isinstance(target, str):
+                if target not in self.labels:
+                    raise ProgramError(
+                        f"undefined label {target!r} at pc {pc}")
+                instr.target = self.labels[target]
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`ProgramError`."""
+        n = len(self.instructions)
+        for pc, instr in enumerate(self.instructions):
+            target = getattr(instr, "target", None)
+            if isinstance(target, str):
+                raise ProgramError(
+                    f"unresolved label {target!r} at pc {pc}")
+            if isinstance(target, int) and not 0 <= target < n:
+                raise ProgramError(
+                    f"branch target {target} out of range at pc {pc}")
+        seen: set[str] = set()
+        for block in self.blocks:
+            if block.name in seen:
+                raise ProgramError(f"duplicate block name {block.name!r}")
+            seen.add(block.name)
+            if block.end > n:
+                raise ProgramError(
+                    f"block {block.name!r} extends past program end")
+            for dep in block.deps:
+                if dep not in {b.name for b in self.blocks}:
+                    raise ProgramError(
+                        f"block {block.name!r} depends on unknown "
+                        f"block {dep!r}")
+        for left, right in zip(self.blocks, self.blocks[1:]):
+            if left.end > right.start:
+                raise ProgramError(
+                    f"blocks {left.name!r} and {right.name!r} overlap")
+
+    def ensure_block_terminators(self) -> None:
+        """Verify every block ends in ``halt`` or an unconditional jump.
+
+        The multiprocessor scheduler relies on ``halt`` to learn that a
+        block finished; a block that falls through into the next block
+        would corrupt scheduling.
+        """
+        for block in self.blocks:
+            last = self.instructions[block.end - 1]
+            if not isinstance(last, (Halt, Jmp)):
+                raise ProgramError(
+                    f"block {block.name!r} does not end in halt/jmp "
+                    f"(found {last})")
+
+    @property
+    def quantum_instruction_count(self) -> int:
+        """Number of quantum-class instructions (paper reports these)."""
+        return sum(1 for instr in self.instructions if instr.is_quantum)
+
+    @property
+    def classical_instruction_count(self) -> int:
+        """Number of classical instructions."""
+        return sum(1 for instr in self.instructions
+                   if not instr.is_quantum)
+
+    def listing(self) -> str:
+        """Human-readable disassembly with block annotations."""
+        starts = {block.start: block for block in self.blocks}
+        ends = {block.end for block in self.blocks}
+        label_at: dict[int, list[str]] = {}
+        for label, pc in self.labels.items():
+            label_at.setdefault(pc, []).append(label)
+        lines: list[str] = []
+        for pc, instr in enumerate(self.instructions):
+            if pc in ends:
+                lines.append(".endblock")
+            if pc in starts:
+                block = starts[pc]
+                deps = (" deps=" + ",".join(block.deps)
+                        if block.deps else "")
+                lines.append(
+                    f".block {block.name} prio={block.priority}{deps}")
+            for label in label_at.get(pc, ()):
+                lines.append(f"{label}:")
+            lines.append(f"    {pc:4d}  {instr}")
+        if len(self.instructions) in ends:
+            lines.append(".endblock")
+        return "\n".join(lines)
+
+
+class BlockInfoTable:
+    """Hardware-style view of a program's blocks for the scheduler.
+
+    Mirrors the FPGA prototype's 64-entry table.  For the ``direct``
+    representation each entry exposes a dependency bit-vector; for
+    ``priority`` it exposes the priority number (Section 5.2.2).
+    """
+
+    def __init__(self, program: Program,
+                 mode: DependencyMode = DependencyMode.PRIORITY,
+                 capacity: int = BLOCK_TABLE_ENTRIES) -> None:
+        if len(program.blocks) > capacity:
+            raise ProgramError(
+                f"program has {len(program.blocks)} blocks but the block "
+                f"information table holds {capacity}")
+        if not program.blocks:
+            raise ProgramError("program defines no blocks")
+        self.mode = mode
+        self.capacity = capacity
+        self.entries = list(program.blocks)
+        self._index = {block.name: i
+                       for i, block in enumerate(self.entries)}
+        if mode is DependencyMode.DIRECT:
+            self._dep_vectors = [self._vector(block)
+                                 for block in self.entries]
+        else:
+            self._dep_vectors = [0] * len(self.entries)
+
+    def _vector(self, block: BlockInfo) -> int:
+        vector = 0
+        for dep in block.deps:
+            vector |= 1 << self._index[dep]
+        return vector
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def index_of(self, name: str) -> int:
+        """Table index of the block called ``name``."""
+        return self._index[name]
+
+    def dependency_vector(self, index: int) -> int:
+        """Direct-mode dependency bit-vector for entry ``index``."""
+        return self._dep_vectors[index]
+
+    def priority_of(self, index: int) -> int:
+        """Priority-mode dependency value for entry ``index``."""
+        return self.entries[index].priority
+
+    def priorities(self) -> list[int]:
+        """Sorted list of distinct priorities present in the table."""
+        return sorted({block.priority for block in self.entries})

@@ -1,0 +1,95 @@
+"""VLIW bundles — the QuMA_v2-style alternative to quantum superscalar.
+
+Section 9 of the paper argues for superscalar over VLIW on three
+grounds: (1) a fixed-length RISC instruction word survives wider
+implementations, (2) QNOP padding inflates VLIW program size, and
+(3) the superscalar's separate classical dispatch absorbs branch
+latency.  To *quantify* that argument, this module implements the VLIW
+side: a :class:`Bundle` pseudo-instruction holding up to ``width``
+quantum operation slots (padded with QNOPs), plus the word-count
+accounting that exposes the program-size cost.
+
+A bundle occupies ``1 + width`` 32-bit words in memory: a header with
+the timing label plus one fixed word per slot, empty slots included —
+that is precisely where the size overhead comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instruction, Qmeas, Qop
+from repro.isa.opcodes import Opcode
+
+
+@dataclass
+class Bundle(Instruction):
+    """A very-long-instruction-word of parallel quantum operations.
+
+    All slot operations start at the same timing point; the bundle's
+    ``timing`` label positions that point relative to the previous
+    quantum issue, exactly like a single quantum instruction's label.
+    """
+
+    timing: int
+    width: int
+    slots: tuple[Qop | Qmeas, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        self.opcode = Opcode.QOP  # pre-decodes as a quantum instruction
+        self.slots = tuple(self.slots)
+        if self.timing < 0:
+            raise ValueError(f"negative timing label: {self.timing}")
+        if self.width < 1:
+            raise ValueError("bundle width must be at least 1")
+        if len(self.slots) > self.width:
+            raise ValueError(
+                f"{len(self.slots)} operations exceed bundle width "
+                f"{self.width}")
+        if not self.slots:
+            raise ValueError("empty bundle (all-QNOP words are elided)")
+
+    @property
+    def qubits(self) -> tuple[int, ...]:
+        result: list[int] = []
+        for op in self.slots:
+            result.extend(op.qubits)
+        return tuple(result)
+
+    @property
+    def qnop_count(self) -> int:
+        """Padding slots carrying no operation."""
+        return self.width - len(self.slots)
+
+    @property
+    def word_count(self) -> int:
+        """Memory footprint in 32-bit words (header + fixed slots)."""
+        return 1 + self.width
+
+    def _operands(self) -> str:
+        ops = " | ".join(str(op) for op in self.slots)
+        padding = " | qnop" * self.qnop_count
+        return f"{self.timing}, [{ops}{padding}]"
+
+    def __str__(self) -> str:
+        return f"bundle {self._operands()}"
+
+
+def risc_word_count(instructions: list[Instruction]) -> int:
+    """Program size, in words, of the fixed-length RISC encoding."""
+    from repro.isa.encoder import encode_program
+
+    return len(encode_program(instructions))
+
+
+def vliw_word_count(instructions: list[Instruction]) -> int:
+    """Program size, in words, of a bundled (VLIW) program."""
+    total = 0
+    for instr in instructions:
+        if isinstance(instr, Bundle):
+            total += instr.word_count
+        else:
+            from repro.isa.encoder import encode
+
+            total += len(encode(instr))
+    return total

@@ -1,0 +1,93 @@
+"""Configuration of the QuAPE control processor model.
+
+Defaults follow the paper's FPGA prototype: 100 MHz core clock
+(Section 6.1), 3-cycle fast context switch (Section 7), ~450 ns total
+feedback-control latency (Section 7; 300 ns readout pulse + 100 ns
+acquisition + conditional-logic cycles), 20 ns gate time and 10 ns clock
+time for the TR metric (Section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class QCPConfig:
+    """All tunable microarchitecture parameters."""
+
+    # -- clock -----------------------------------------------------------
+    clock_period_ns: int = 10
+
+    # -- processor core ----------------------------------------------------
+    #: Instructions fetched per cycle (1 = scalar baseline).
+    fetch_width: int = 1
+    #: Quantum pipelines, i.e. max quantum ops dispatched per cycle.
+    n_quantum_pipelines: int = 1
+    #: Pre-decoder buffer capacity in instructions (superscalar only).
+    buffer_capacity: int = 16
+    #: Pipeline-flush penalty of a taken branch, in cycles.
+    branch_penalty_cycles: int = 2
+    #: Stage-III conditional-logic cycles of a feedback decision.
+    mrce_logic_cycles: int = 2
+    #: Whether MRCE uses the fast context switch (Section 5.4).
+    fast_context_switch: bool = False
+    #: Cycles to save/restore an MRCE context (measured as 3, Section 7).
+    context_switch_cycles: int = 3
+    #: Maximum simultaneously pending MRCE contexts.
+    context_slots: int = 4
+
+    # -- block scheduler ---------------------------------------------------
+    #: Fixed scheduling-response cycles per allocation request.
+    alloc_fixed_cycles: int = 6
+    #: Instructions copied from main memory to a private cache per cycle
+    #: (the block-RAM read port width of the prototype).
+    alloc_bus_width: int = 2
+    #: Cycles to switch a private cache to its prefetched bank.
+    cache_switch_cycles: int = 2
+    #: Scheduler polling granularity in cycles.
+    scheduler_poll_cycles: int = 2
+    #: Zero-cost scheduling/allocation (the Figure 11b "ideal" curve).
+    ideal_scheduler: bool = False
+    #: Prefetch upcoming blocks into the second cache bank (Section
+    #: 5.2.3); disable to measure the prefetch mechanism's benefit.
+    enable_prefetch: bool = True
+
+    # -- standalone readout path (no analog boards attached) ---------------
+    #: Stage I+II latency when no DAQ model is attached; 400 ns plus the
+    #: conditional-logic cycles reproduces the ~450 ns feedback latency.
+    result_latency_ns: int = 400
+
+    # -- metrics --------------------------------------------------------------
+    #: Gate time used as the TR denominator (Equation 2).
+    gate_time_ns: int = 20
+
+    def __post_init__(self) -> None:
+        if self.clock_period_ns <= 0:
+            raise ValueError("clock period must be positive")
+        if self.fetch_width < 1:
+            raise ValueError("fetch width must be at least 1")
+        if self.n_quantum_pipelines < 1:
+            raise ValueError("need at least one quantum pipeline")
+        if self.buffer_capacity < self.fetch_width:
+            raise ValueError("buffer must hold at least one fetch group")
+
+    @property
+    def is_superscalar(self) -> bool:
+        return self.fetch_width > 1
+
+    def with_(self, **changes) -> "QCPConfig":
+        """Copy with selected fields replaced."""
+        return replace(self, **changes)
+
+
+def scalar_config(**changes) -> QCPConfig:
+    """The paper's baseline: single-issue, no fast context switch."""
+    return QCPConfig().with_(**changes)
+
+
+def superscalar_config(width: int = 8, **changes) -> QCPConfig:
+    """The paper's 8-way quantum superscalar with fast context switch."""
+    base = QCPConfig(fetch_width=width, n_quantum_pipelines=width,
+                     buffer_capacity=2 * width, fast_context_switch=True)
+    return base.with_(**changes)

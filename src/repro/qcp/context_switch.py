@@ -1,0 +1,83 @@
+"""Fast context switch for simple feedback control (Section 5.4).
+
+An ``MRCE`` instruction stores its feedback context (result qubit,
+target qubit, the two candidate operations) in a context slot instead of
+stalling the pipeline.  The processor keeps executing instructions that
+do not touch the stored qubits; when the measurement result returns, the
+processor switches back (three clock cycles in the prototype), issues
+the selected operation and resumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import Mrce
+
+
+@dataclass
+class PendingContext:
+    """One saved simple-feedback-control context."""
+
+    instr: Mrce
+    saved_at_ns: int
+    resolved: bool = False
+    result: int | None = None
+    resolved_at_ns: int | None = None
+
+    @property
+    def qubits(self) -> frozenset[int]:
+        """Qubits an in-flight context protects from reordering."""
+        return frozenset((self.instr.result_qubit,
+                          self.instr.target_qubit))
+
+
+class ContextSwitchUnit:
+    """Holds pending MRCE contexts and answers dependency queries."""
+
+    def __init__(self, slots: int = 4) -> None:
+        if slots < 1:
+            raise ValueError("need at least one context slot")
+        self.slots = slots
+        self.pending: list[PendingContext] = []
+        self.resolved_queue: list[PendingContext] = []
+        self.total_switches = 0
+
+    @property
+    def has_free_slot(self) -> bool:
+        return len(self.pending) < self.slots
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.pending) or bool(self.resolved_queue)
+
+    def save(self, instr: Mrce, now_ns: int) -> PendingContext:
+        """Store a context (the MRCE side of the switch)."""
+        if not self.has_free_slot:
+            raise RuntimeError("no free context slot; caller must stall")
+        context = PendingContext(instr=instr, saved_at_ns=now_ns)
+        self.pending.append(context)
+        return context
+
+    def resolve(self, context: PendingContext, result: int,
+                now_ns: int) -> None:
+        """The measurement result arrived; queue the switch-back."""
+        context.resolved = True
+        context.result = result
+        context.resolved_at_ns = now_ns
+        self.pending.remove(context)
+        self.resolved_queue.append(context)
+        self.total_switches += 1
+
+    def pop_resolved(self) -> PendingContext | None:
+        """Next context whose switch-back the processor must perform."""
+        if self.resolved_queue:
+            return self.resolved_queue.pop(0)
+        return None
+
+    def conflicts_with(self, qubits: tuple[int, ...]) -> bool:
+        """True if an instruction on ``qubits`` must stall (Section 5.4,
+        termination condition 2: "the pipeline reads an instruction about
+        the stored qubits")."""
+        touched = set(qubits)
+        return any(context.qubits & touched for context in self.pending)

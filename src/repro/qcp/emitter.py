@@ -1,0 +1,108 @@
+"""Emitter: the last execution-unit stage (Section 5.2.4).
+
+Converts each quantum operation into codewords distributed to the analog
+channels (microwave and flux operations of the same qubit go to
+different channels) and hands measurement operations to the readout
+path.  Two back-ends exist:
+
+* an *analog* back-end driving AWG/DAQ board models (full-stack runs),
+* a *direct* back-end applying operations straight to a QPU device and
+  modelling the readout path as a fixed stage-I+II latency — this is the
+  "QCP board only" setup the paper uses for its microarchitecture
+  benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analog.awg import AWG
+from repro.analog.channels import ChannelMap
+from repro.analog.codeword import Codeword, WaveformTable
+from repro.analog.daq import DAQ
+from repro.qcp.registers import MeasurementResultRegisters
+from repro.qcp.trace import IssueRecord, Trace
+from repro.qpu.device import QPUBase
+from repro.sim.kernel import SimKernel
+
+
+@dataclass(frozen=True)
+class QuantumOp:
+    """One quantum operation travelling from pipeline to emitter."""
+
+    gate: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = ()
+    block: str | None = None
+    step_id: int | None = None
+
+    @property
+    def is_measurement(self) -> bool:
+        return self.gate == "measure"
+
+
+@dataclass
+class Emitter:
+    """Shared issue stage: operations -> codewords -> QPU/readout."""
+
+    kernel: SimKernel
+    qpu: QPUBase
+    results: MeasurementResultRegisters
+    trace: Trace
+    channel_map: ChannelMap | None = None
+    awg: AWG | None = None
+    daq: DAQ | None = None
+    #: Stage I+II latency for the direct (no-DAQ) readout path.
+    result_latency_ns: int = 400
+    waveforms: WaveformTable = field(default_factory=WaveformTable)
+
+    def __post_init__(self) -> None:
+        if self.channel_map is None:
+            self.channel_map = ChannelMap.default(self.qpu.n_qubits)
+
+    def issue(self, op: QuantumOp, processor_id: int,
+              late_ns: int = 0) -> None:
+        """Issue ``op`` to the QPU *now* (called by the timing controller)."""
+        now = self.kernel.now
+        self.trace.record_issue(IssueRecord(
+            time_ns=now, gate=op.gate, qubits=op.qubits, params=op.params,
+            processor=processor_id, block=op.block, step_id=op.step_id,
+            late_ns=late_ns))
+        if op.is_measurement:
+            self._issue_measurement(op)
+        else:
+            self._issue_gate(op)
+
+    # -- gates ----------------------------------------------------------------
+
+    def _issue_gate(self, op: QuantumOp) -> None:
+        if self.awg is not None:
+            channels = self.channel_map.channels_for(op.gate, op.qubits)
+            for index, channel in enumerate(channels):
+                self.awg.trigger(Codeword(
+                    channel=channel,
+                    waveform_id=self.waveforms.waveform_id(op.gate,
+                                                           op.params),
+                    issue_time_ns=self.kernel.now,
+                    gate=op.gate, qubits=op.qubits, params=op.params,
+                    primary=(index == 0)))
+        else:
+            self.qpu.apply_gate(self.kernel.now, op.gate, op.qubits,
+                                op.params)
+
+    # -- measurements -----------------------------------------------------------
+
+    def _issue_measurement(self, op: QuantumOp) -> None:
+        qubit = op.qubits[0]
+        self.results.invalidate(qubit)
+        if self.daq is not None:
+            self.daq.begin_measurement(qubit, self.kernel.now)
+        else:
+            # Direct path: sample the QPU outcome at pulse end and
+            # deliver it after the fixed stage I+II latency.
+            self.kernel.schedule(self.result_latency_ns,
+                                 self._deliver_direct, qubit)
+
+    def _deliver_direct(self, qubit: int) -> None:
+        outcome = self.qpu.measure(self.kernel.now, qubit)
+        self.results.deliver(qubit, outcome, self.kernel.now)

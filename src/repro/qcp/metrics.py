@@ -1,0 +1,139 @@
+"""CES and TR metrics (Equations 1 and 2).
+
+``CES`` (cycles each step) decomposes into four parts:
+
+    CES = pipeline CEQI x QICES            (quantum dispatch cycles)
+        + classical instruction cycles
+        + classical control stalls
+        + QCP execution delay of feedback control (stage III)
+
+The stage I+II wait of a feedback control (measurement pulse + digital
+acquisition) is *excluded* (Section 3.2.1) and tracked separately.
+
+``TR_i = clock_time x CES_i / gate_time`` (Equation 2); the evaluation
+uses 10 ns clock time and 20 ns gate time.  The QOLP design goal is
+TR <= 1 for the whole program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CESRecord:
+    """Per-step cycle accounting, following Equation (1)."""
+
+    step_id: int
+    quantum_cycles: int = 0
+    classical_cycles: int = 0
+    control_stall_cycles: int = 0
+    feedback_cycles: int = 0
+    excluded_wait_ns: int = 0  # stage I+II, not part of CES
+
+    @property
+    def ces(self) -> int:
+        """Total cycles each step (Equation 1)."""
+        return (self.quantum_cycles + self.classical_cycles
+                + self.control_stall_cycles + self.feedback_cycles)
+
+
+@dataclass
+class CESAccumulator:
+    """Collects per-step cycle attributions during execution."""
+
+    records: dict[int, CESRecord] = field(default_factory=dict)
+
+    def _record(self, step_id: int | None) -> CESRecord | None:
+        if step_id is None:
+            return None
+        if step_id not in self.records:
+            self.records[step_id] = CESRecord(step_id=step_id)
+        return self.records[step_id]
+
+    def quantum(self, step_id: int | None, cycles: int = 1) -> None:
+        record = self._record(step_id)
+        if record is not None:
+            record.quantum_cycles += cycles
+
+    def classical(self, step_id: int | None, cycles: int = 1) -> None:
+        record = self._record(step_id)
+        if record is not None:
+            record.classical_cycles += cycles
+
+    def control_stall(self, step_id: int | None, cycles: int) -> None:
+        record = self._record(step_id)
+        if record is not None:
+            record.control_stall_cycles += cycles
+
+    def feedback(self, step_id: int | None, cycles: int) -> None:
+        record = self._record(step_id)
+        if record is not None:
+            record.feedback_cycles += cycles
+
+    def excluded_wait(self, step_id: int | None, ns: int) -> None:
+        record = self._record(step_id)
+        if record is not None:
+            record.excluded_wait_ns += ns
+
+    def merge(self, other: "CESAccumulator") -> None:
+        """Fold another accumulator (e.g. a second processor) in."""
+        for step_id, record in other.records.items():
+            mine = self._record(step_id)
+            mine.quantum_cycles += record.quantum_cycles
+            mine.classical_cycles += record.classical_cycles
+            mine.control_stall_cycles += record.control_stall_cycles
+            mine.feedback_cycles += record.feedback_cycles
+            mine.excluded_wait_ns += record.excluded_wait_ns
+
+
+@dataclass
+class TRReport:
+    """Time-ratio summary over all circuit steps of a program."""
+
+    per_step: dict[int, float]
+    clock_period_ns: int
+    gate_time_ns: int
+
+    @property
+    def average(self) -> float:
+        if not self.per_step:
+            return 0.0
+        return sum(self.per_step.values()) / len(self.per_step)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.per_step.values(), default=0.0)
+
+    @property
+    def meets_deadline(self) -> bool:
+        """True when TR <= 1 for every step (the QOLP design goal)."""
+        return all(tr <= 1.0 + 1e-9 for tr in self.per_step.values())
+
+
+def time_ratio(ces: CESAccumulator, clock_period_ns: int = 10,
+               gate_time_ns: int = 20,
+               step_durations_ns: dict[int, int] | None = None) -> TRReport:
+    """Compute TR per step (Equation 2).
+
+    By default the paper's fixed 20 ns gate time is the denominator; pass
+    ``step_durations_ns`` to use each step's actual QPU duration instead.
+    """
+    per_step: dict[int, float] = {}
+    for step_id, record in sorted(ces.records.items()):
+        if step_durations_ns is not None:
+            gate_time = step_durations_ns.get(step_id, gate_time_ns)
+        else:
+            gate_time = gate_time_ns
+        if gate_time <= 0:
+            continue
+        per_step[step_id] = clock_period_ns * record.ces / gate_time
+    return TRReport(per_step=per_step, clock_period_ns=clock_period_ns,
+                    gate_time_ns=gate_time_ns)
+
+
+def average_ces(ces: CESAccumulator) -> float:
+    """Mean CES over all recorded steps."""
+    if not ces.records:
+        return 0.0
+    return sum(r.ces for r in ces.records.values()) / len(ces.records)

@@ -1,0 +1,414 @@
+"""Processor cores: shared machinery and the scalar baseline.
+
+A processor executes the instructions of its current program block,
+pushing quantum operations into its timing controller.  The scalar
+baseline models the paper's comparison design (equivalent to a
+QuMA_v2-style single-issue pipeline): one instruction per cycle,
+feedback control stalls the pipeline, no fast context switch unless
+enabled in the configuration.
+
+Timing model: the processor advances in whole clock cycles via kernel
+events.  Stalls that depend on external events (measurement results)
+suspend the event chain and resume via measurement-result-register
+waiters; their duration is the stage I+II wait excluded from CES.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.isa.instructions import (Alu, Addi, Branch, Fmr, Halt,
+                                    Instruction, Jmp, Ldi, Ldm, Mov, Mrce,
+                                    Nop, Not, Qmeas, Qop, Stm)
+from repro.isa.program import BlockInfo
+from repro.isa.vliw import Bundle
+from repro.qcp.config import QCPConfig
+from repro.qcp.context_switch import ContextSwitchUnit, PendingContext
+from repro.qcp.emitter import Emitter, QuantumOp
+from repro.qcp.memory import PrivateInstructionCache
+from repro.qcp.metrics import CESAccumulator
+from repro.qcp.registers import (MeasurementResultRegisters, RegisterFile,
+                                 SharedRegisters)
+from repro.qcp.timing import TimingController
+from repro.qcp.trace import Trace
+from repro.sim.kernel import SimKernel
+
+
+class ProcState(enum.Enum):
+    IDLE = "idle"
+    RUNNING = "running"
+    WAIT_RESULT = "wait_result"     # FMR / baseline-MRCE stall (stage I+II)
+    WAIT_CONTEXT = "wait_context"   # dependent instruction on stored qubit
+    DRAIN = "drain"                 # halt seen, pending contexts remain
+
+
+class ProcessorCore:
+    """Common state and helpers for scalar and superscalar cores."""
+
+    def __init__(self, proc_id: int, kernel: SimKernel, config: QCPConfig,
+                 cache: PrivateInstructionCache, shared: SharedRegisters,
+                 results: MeasurementResultRegisters, emitter: Emitter,
+                 trace: Trace,
+                 on_done: Callable[["ProcessorCore"], None]) -> None:
+        self.proc_id = proc_id
+        self.kernel = kernel
+        self.config = config
+        self.cache = cache
+        self.shared = shared
+        self.results = results
+        self.emitter = emitter
+        self.trace = trace
+        self.on_done = on_done
+        self.registers = RegisterFile()
+        self.timing = TimingController(kernel, emitter,
+                                       config.clock_period_ns, proc_id)
+        self.ces = CESAccumulator()
+        self.contexts = ContextSwitchUnit(config.context_slots)
+        self.state = ProcState.IDLE
+        self.pc = 0
+        self.block: BlockInfo | None = None
+        self.blocks_completed = 0
+        self._busy_until_ns = 0
+        self._current_step: int | None = None
+        self._stall_began_ns = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def idle(self) -> bool:
+        return self.state is ProcState.IDLE
+
+    def start_block(self, block: BlockInfo) -> None:
+        """Begin executing ``block`` (its cache bank is already filled)."""
+        if self.state is not ProcState.IDLE:
+            raise RuntimeError(
+                f"processor {self.proc_id} started while {self.state}")
+        self.block = block
+        self.pc = block.start
+        self.state = ProcState.RUNNING
+        self.timing.reset_timeline()
+        self._reset_stream_state()
+        self._schedule_cycle(0)
+
+    def _reset_stream_state(self) -> None:
+        """Hook for subclasses to clear fetch buffers etc."""
+
+    def _finish_block(self) -> None:
+        self.state = ProcState.IDLE
+        finished, self.block = self.block, None
+        self.blocks_completed += 1
+        self.cache.release_active()
+        # A block is complete once its last quantum operation has left
+        # for the QPU, not merely when halt was dispatched: the
+        # processor may run ahead of its timeline, and a successor
+        # block must not overlap this block's issue tail.
+        done_at = max(self.kernel.now, self._busy_until_ns,
+                      self.timing.last_issue_ns or 0)
+        self.kernel.schedule_at(done_at, self.on_done, self)
+        del finished
+
+    # -- cycle scheduling ---------------------------------------------------------
+
+    @property
+    def period(self) -> int:
+        return self.config.clock_period_ns
+
+    def _schedule_cycle(self, cycles: int) -> None:
+        """Schedule the next cycle event ``cycles`` cycles from now."""
+        target = max(self.kernel.now + cycles * self.period,
+                     self._busy_until_ns)
+        self.kernel.schedule_at(target, self._cycle)
+
+    def _cycle(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    # -- classical execution helpers ----------------------------------------------
+
+    def _write(self, rd: int, value: int) -> None:
+        self.registers.write(rd, value)
+
+    def _read(self, rs: int) -> int:
+        return self.registers.read(rs)
+
+    def _apply_classical(self, instr: Instruction) -> tuple[str, int]:
+        """Apply a classical instruction's architectural effects.
+
+        Returns ``(disposition, extra_cycles)`` where disposition is one
+        of ``"next"`` (fall through), ``"taken"`` (pc already
+        redirected), ``"halt"`` or ``"stall_fmr"`` (caller must arrange
+        the measurement wait).  ``extra_cycles`` is the control-stall
+        penalty beyond the base execute cycle.
+        """
+        if isinstance(instr, Nop):
+            return "next", 0
+        if isinstance(instr, Halt):
+            return "halt", 0
+        if isinstance(instr, Jmp):
+            self.pc = int(instr.target)
+            return "taken", self.config.branch_penalty_cycles
+        if isinstance(instr, Branch):
+            if instr.taken(self._read(instr.rs), self._read(instr.rt)):
+                self.pc = int(instr.target)
+                return "taken", self.config.branch_penalty_cycles
+            return "next", 0
+        if isinstance(instr, Ldi):
+            self._write(instr.rd, instr.imm)
+            return "next", 0
+        if isinstance(instr, Mov):
+            self._write(instr.rd, self._read(instr.rs))
+            return "next", 0
+        if isinstance(instr, Ldm):
+            self._write(instr.rd, self.shared.read(instr.addr))
+            return "next", 0
+        if isinstance(instr, Stm):
+            self.shared.write(instr.addr, self._read(instr.rs))
+            return "next", 0
+        if isinstance(instr, Addi):
+            self._write(instr.rd, self._read(instr.rs) + instr.imm)
+            return "next", 0
+        if isinstance(instr, Not):
+            self._write(instr.rd, self._read(instr.rs) ^ 1)
+            return "next", 0
+        if isinstance(instr, Alu):
+            self._write(instr.rd, instr.evaluate(self._read(instr.rs),
+                                                 self._read(instr.rt)))
+            return "next", 0
+        if isinstance(instr, Fmr):
+            if self.results.is_valid(instr.qubit):
+                self._write(instr.rd, self.results.read(instr.qubit))
+                return "next", 0
+            return "stall_fmr", 0
+        raise TypeError(f"not a classical instruction: {instr}")
+
+    # -- quantum execution helpers ---------------------------------------------
+
+    def _op_for(self, instr: Qop | Qmeas) -> QuantumOp:
+        if isinstance(instr, Qmeas):
+            return QuantumOp(gate="measure", qubits=(instr.qubit,),
+                             block=instr.block, step_id=instr.step_id)
+        return QuantumOp(gate=instr.gate, qubits=instr.qubits,
+                         params=instr.params, block=instr.block,
+                         step_id=instr.step_id)
+
+    def _execute_quantum(self, instr: Qop | Qmeas) -> None:
+        """Push the operation onto the timeline at the current cycle."""
+        if isinstance(instr, Qmeas):
+            # Invalidate at *execute* time so a subsequent FMR cannot
+            # read a stale result from an earlier measurement.
+            self.results.invalidate(instr.qubit)
+        self.timing.enqueue(self._op_for(instr), instr.timing,
+                            self.kernel.now)
+        self._current_step = instr.step_id
+        self.trace.instructions_executed += 1
+
+    def _step_of(self, instr: Instruction) -> int | None:
+        return instr.step_id if instr.step_id is not None \
+            else self._current_step
+
+    # -- simple feedback control (MRCE) --------------------------------------------
+
+    def _mrce_issue(self, instr: Mrce, result: int, at_ns: int) -> None:
+        """Issue the operation selected by the measurement result."""
+        selected = instr.selected_op(result)
+        if selected == "i":
+            return
+        op = QuantumOp(gate=selected, qubits=(instr.target_qubit,),
+                       block=instr.block, step_id=instr.step_id)
+        self.timing.enqueue_immediate(op, at_ns)
+
+    def _execute_mrce_blocking(self, instr: Mrce) -> bool:
+        """Baseline MRCE: stall until the result is valid.
+
+        Returns True if the processor completed the MRCE synchronously
+        (result already valid), False if it is now stalled.
+        """
+        self.trace.instructions_executed += 1
+        logic = self.config.mrce_logic_cycles
+        if self.results.is_valid(instr.result_qubit):
+            result = self.results.read(instr.result_qubit)
+            self.ces.feedback(self._step_of(instr), 1 + logic)
+            self._mrce_issue(instr, result,
+                             self.kernel.now + logic * self.period)
+            return True
+        self.state = ProcState.WAIT_RESULT
+        self._stall_began_ns = self.kernel.now
+        self.results.wait(instr.result_qubit,
+                          lambda value, _t: self._resume_mrce(instr, value))
+        return False
+
+    def _resume_mrce(self, instr: Mrce, value: int) -> None:
+        now = self.kernel.now
+        self.ces.excluded_wait(self._step_of(instr),
+                               now - self._stall_began_ns)
+        logic = self.config.mrce_logic_cycles
+        self.ces.feedback(self._step_of(instr), 1 + logic)
+        self._mrce_issue(instr, value, now + logic * self.period)
+        self.state = ProcState.RUNNING
+        self.pc += 1
+        self._schedule_cycle(1 + logic)
+
+    def _execute_mrce_fast(self, instr: Mrce) -> bool:
+        """Fast-context-switch MRCE.  Returns False if stalled on a
+        full context file, True when saved (or resolved immediately)."""
+        self.trace.instructions_executed += 1
+        if self.results.is_valid(instr.result_qubit):
+            # Result already there: no switch needed, plain conditional.
+            logic = self.config.mrce_logic_cycles
+            result = self.results.read(instr.result_qubit)
+            self.ces.feedback(self._step_of(instr), 1 + logic)
+            self._mrce_issue(instr, result,
+                             self.kernel.now + logic * self.period)
+            self._busy_until_ns = max(
+                self._busy_until_ns,
+                self.kernel.now + (1 + logic) * self.period)
+            return True
+        if not self.contexts.has_free_slot:
+            return False
+        context = self.contexts.save(instr, self.kernel.now)
+        self.ces.feedback(self._step_of(instr), 1)  # the save cycle
+        self.results.wait(
+            instr.result_qubit,
+            lambda value, _t: self._on_context_result(context, value))
+        return True
+
+    def _on_context_result(self, context: PendingContext,
+                           value: int) -> None:
+        """A stored context's measurement result arrived."""
+        self.contexts.resolve(context, value, self.kernel.now)
+        self.trace.context_switches += 1
+        if self.state is ProcState.RUNNING:
+            return  # the next cycle event performs the switch-back
+        # The pipeline is stalled or draining: the switch-back happens
+        # during otherwise-idle cycles.
+        self._perform_switch_back(context)
+        if self.state is ProcState.WAIT_CONTEXT:
+            if not self.contexts.conflicts_with(self._waiting_qubits):
+                self.state = ProcState.RUNNING
+                self.ces.excluded_wait(
+                    self._current_step,
+                    self.kernel.now - self._stall_began_ns)
+                self._schedule_cycle(0)
+        elif self.state is ProcState.DRAIN:
+            self._maybe_finish_drain()
+
+    def _perform_switch_back(self, context: PendingContext) -> None:
+        """Charge the switch cycles and issue the selected operation."""
+        if context in self.contexts.resolved_queue:
+            self.contexts.resolved_queue.remove(context)
+        switch = self.config.context_switch_cycles
+        start = max(self.kernel.now, self._busy_until_ns)
+        self._busy_until_ns = start + (switch + 1) * self.period
+        self.ces.feedback(self._step_of(context.instr), switch + 1)
+        self._mrce_issue(context.instr, context.result or 0,
+                         start + switch * self.period)
+
+    _waiting_qubits: tuple[int, ...] = ()
+
+    def _maybe_finish_drain(self) -> None:
+        if not self.contexts.busy:
+            self._finish_block()
+
+
+class ScalarProcessor(ProcessorCore):
+    """Single-issue in-order core: the paper's baseline design."""
+
+    def _cycle(self) -> None:
+        if self.state is not ProcState.RUNNING:
+            return  # stale event after a state change
+        # Resolved contexts take priority: switch back before new work.
+        context = self.contexts.pop_resolved()
+        if context is not None:
+            self._perform_switch_back(context)
+            self._schedule_cycle(0)
+            return
+        instr = self.cache.fetch(self.pc)
+        if isinstance(instr, Bundle):
+            # VLIW execution: all slot operations issue at one timing
+            # point, one cycle per bundle (QuMA_v2-style baseline).
+            if self.config.fast_context_switch and \
+                    self.contexts.conflicts_with(instr.qubits):
+                self._stall_on_context(instr.qubits)
+                return
+            self.ces.quantum(self._step_of(instr), 1)
+            for position, slot in enumerate(instr.slots):
+                op = self._op_for(slot)
+                if isinstance(slot, Qmeas):
+                    self.results.invalidate(slot.qubit)
+                self.timing.enqueue(op,
+                                    instr.timing if position == 0 else 0,
+                                    self.kernel.now)
+            self._current_step = instr.step_id
+            self.trace.instructions_executed += 1
+            self.pc += 1
+            self._schedule_cycle(1)
+            return
+        if isinstance(instr, (Qop, Qmeas)):
+            if self.config.fast_context_switch and \
+                    self.contexts.conflicts_with(instr.qubits):
+                self._stall_on_context(instr.qubits)
+                return
+            self.ces.quantum(self._step_of(instr), 1)
+            self._execute_quantum(instr)
+            self.pc += 1
+            self._schedule_cycle(1)
+            return
+        if isinstance(instr, Mrce):
+            if self.config.fast_context_switch:
+                if self.contexts.conflicts_with(
+                        (instr.result_qubit, instr.target_qubit)):
+                    self._stall_on_context(
+                        (instr.result_qubit, instr.target_qubit))
+                    return
+                if self._execute_mrce_fast(instr):
+                    self.pc += 1
+                    self._schedule_cycle(1)
+                else:
+                    self._stall_on_context(
+                        (instr.result_qubit, instr.target_qubit))
+                return
+            if self._execute_mrce_blocking(instr):
+                self.pc += 1
+                self._schedule_cycle(1 + self.config.mrce_logic_cycles)
+            return
+        # Classical path.
+        self.trace.instructions_executed += 1
+        disposition, extra = self._apply_classical(instr)
+        step = self._step_of(instr)
+        if disposition == "stall_fmr":
+            self.state = ProcState.WAIT_RESULT
+            self._stall_began_ns = self.kernel.now
+            self.results.wait(
+                instr.qubit,
+                lambda value, _t: self._resume_fmr(instr, value))
+            return
+        if disposition == "halt":
+            # Halt is block packaging, not circuit-step work: it does
+            # not contribute to CES (Equation 1).
+            if self.contexts.busy:
+                self.state = ProcState.DRAIN
+            else:
+                self._finish_block()
+            return
+        self.ces.classical(step, 1)
+        if extra:
+            self.ces.control_stall(step, extra)
+        if disposition == "next":
+            self.pc += 1
+        self._schedule_cycle(1 + extra)
+
+    def _resume_fmr(self, instr, value: int) -> None:
+        now = self.kernel.now
+        self.ces.excluded_wait(self._step_of(instr),
+                               now - self._stall_began_ns)
+        self.registers.write(instr.rd, value)
+        self.ces.classical(self._step_of(instr), 1)
+        self.state = ProcState.RUNNING
+        self.pc += 1
+        self._schedule_cycle(1)
+
+    def _stall_on_context(self, qubits: tuple[int, ...]) -> None:
+        self.state = ProcState.WAIT_CONTEXT
+        self._waiting_qubits = tuple(qubits)
+        self._stall_began_ns = self.kernel.now
+        # Resumption happens in _on_context_result.

@@ -1,0 +1,89 @@
+"""Shot-based execution: repeated runs with outcome histograms.
+
+Experiments sample a circuit many times.  :func:`run_shots` executes a
+program repeatedly on fresh QPU states, collects each shot's
+measurement outcomes, and returns a :class:`ShotResult` histogram —
+the interface a lab would script against.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.isa.program import Program
+from repro.qcp.config import QCPConfig
+from repro.qcp.system import QuAPESystem, infer_qubit_count
+from repro.qpu.device import QPUBase, StateVectorQPU
+
+
+@dataclass
+class ShotResult:
+    """Histogram of per-shot measurement outcomes."""
+
+    shots: int
+    measured_qubits: tuple[int, ...]
+    counts: Counter = field(default_factory=Counter)
+    total_ns: int = 0
+
+    def probability(self, bitstring: str) -> float:
+        """Relative frequency of ``bitstring`` (qubit order as in
+        ``measured_qubits``, leftmost = first measured qubit)."""
+        if self.shots == 0:
+            return 0.0
+        return self.counts[bitstring] / self.shots
+
+    def expectation(self, qubit: int) -> float:
+        """Mean value of one measured qubit (0..1)."""
+        position = self.measured_qubits.index(qubit)
+        total = sum(count for bits, count in self.counts.items()
+                    if bits[position] == "1")
+        return total / self.shots if self.shots else 0.0
+
+    def most_frequent(self) -> str:
+        """The modal outcome bitstring."""
+        if not self.counts:
+            raise ValueError("no shots recorded")
+        return self.counts.most_common(1)[0][0]
+
+
+def run_shots(program: Program, shots: int,
+              qpu_factory: Callable[[int], QPUBase] | None = None,
+              config: QCPConfig | None = None,
+              n_processors: int = 1,
+              n_qubits: int | None = None) -> ShotResult:
+    """Execute ``program`` ``shots`` times and histogram the outcomes.
+
+    ``qpu_factory(seed)`` builds a fresh QPU per shot (default: an
+    ideal state-vector QPU); each shot runs on its own system so there
+    is no state leakage between shots.  A shot's bitstring records, for
+    every measured qubit (sorted), the *last* delivered result.
+    """
+    if shots < 1:
+        raise ValueError("need at least one shot")
+    config = config or QCPConfig()
+    if qpu_factory is None:
+        qubit_count = n_qubits or infer_qubit_count(program)
+
+        def qpu_factory(seed: int) -> QPUBase:
+            return StateVectorQPU(qubit_count, seed=seed)
+
+    result: ShotResult | None = None
+    for seed in range(shots):
+        system = QuAPESystem(program=program, config=config,
+                             n_processors=n_processors,
+                             qpu=qpu_factory(seed), n_qubits=n_qubits)
+        execution = system.run()
+        system.kernel.run()  # drain trailing deliveries
+        last_value: dict[int, int] = {}
+        for delivery in system.results.history:
+            last_value[delivery.qubit] = delivery.value
+        measured = tuple(sorted(last_value))
+        bits = "".join(str(last_value[q]) for q in measured)
+        if result is None:
+            result = ShotResult(shots=shots, measured_qubits=measured)
+        result.counts[bits] += 1
+        result.total_ns += execution.total_ns
+    assert result is not None
+    return result

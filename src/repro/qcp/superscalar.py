@@ -1,0 +1,278 @@
+"""The quantum superscalar core (Section 5.3).
+
+Per cycle the core:
+
+1. performs any pending fast-context-switch work,
+2. dispatches from the pre-decode buffer under the
+   *parallel-until-classical* policy — at most one classical instruction
+   (single classical pipeline) plus one group of quantum instructions
+   sharing a timing point (the group's leader plus following label-0
+   instructions, up to the number of quantum pipelines), and
+3. fetches up to ``fetch_width`` instructions into the buffer.
+
+Timing-hazard prevention happens in the pre-decoder: a quantum
+instruction with a non-zero label ends the current group and waits for
+the next cycle.  Recombination: if a group reaches the end of the buffer
+while the next instruction in the cache would join it (a label-0 quantum
+instruction), dispatch is deferred one cycle so instructions fetched in
+different cycles can still issue together.  While a group is deferred, a
+classical instruction *behind* it may dispatch ahead (the lookahead that
+absorbs branch latency).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.isa.instructions import Instruction, Mrce, Qmeas, Qop
+from repro.qcp.processor import ProcessorCore, ProcState
+
+
+class SuperscalarProcessor(ProcessorCore):
+    """N-way fetch, pre-decode and multi-pipeline quantum dispatch."""
+
+    def _reset_stream_state(self) -> None:
+        self._buffer: deque[Instruction] = deque()
+        self._fetch_pc = self.pc
+        self._deferred_once = False
+
+    # -- fetch ------------------------------------------------------------
+
+    def _fetch_into_buffer(self) -> None:
+        room = self.config.buffer_capacity - len(self._buffer)
+        count = min(self.config.fetch_width, room)
+        block = self.block
+        while count > 0 and block is not None \
+                and block.start <= self._fetch_pc < block.end:
+            self._buffer.append(self.cache.fetch(self._fetch_pc))
+            self._fetch_pc += 1
+            count -= 1
+
+    def _flush_buffer(self, new_pc: int) -> None:
+        """Redirect fetch after a taken branch."""
+        self._buffer.clear()
+        self._fetch_pc = new_pc
+        self._deferred_once = False
+
+    def _peek_next_in_cache(self) -> Instruction | None:
+        block = self.block
+        if block is None or not block.start <= self._fetch_pc < block.end:
+            return None
+        return self.cache.fetch(self._fetch_pc)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _quantum_group(self) -> list[Qop | Qmeas]:
+        """Maximal dispatchable group from the buffer head."""
+        group: list[Qop | Qmeas] = []
+        for instr in self._buffer:
+            if not isinstance(instr, (Qop, Qmeas)):
+                break
+            if group and instr.timing != 0:
+                break  # different timing point: next cycle
+            if len(group) == self.config.n_quantum_pipelines:
+                break
+            group.append(instr)
+        return group
+
+    def _group_may_grow(self, group: list) -> bool:
+        """True when deferring one cycle could enlarge the group."""
+        if len(group) >= self.config.n_quantum_pipelines:
+            return False
+        if len(group) < len(self._buffer):
+            return False  # something non-joinable follows in the buffer
+        upcoming = self._peek_next_in_cache()
+        return (isinstance(upcoming, (Qop, Qmeas))
+                and upcoming.timing == 0)
+
+    def _cycle(self) -> None:
+        if self.state is not ProcState.RUNNING:
+            return
+        context = self.contexts.pop_resolved()
+        if context is not None:
+            self._perform_switch_back(context)
+            self._schedule_cycle(0)
+            return
+
+        # Per-cycle attribution state: exactly one cycle is charged per
+        # _cycle invocation, quantum taking precedence over classical.
+        self._dispatched_quantum = False
+        self._dispatched_classical = False
+        self._cycle_step: int | None = None
+
+        halted = stalled = False
+        stall_cycles = 0
+        while self._buffer and not (halted or stalled):
+            head = self._buffer[0]
+            if isinstance(head, (Qop, Qmeas)):
+                action = self._try_dispatch_group()
+                if action == "stop":
+                    break
+                if action == "stalled":
+                    stalled = True
+            elif isinstance(head, Mrce):
+                if self._dispatched_quantum:
+                    break
+                # MRCE charges its own feedback cycles internally, so it
+                # only blocks further quantum dispatch this cycle.
+                _handled, mrce_stalled = self._dispatch_mrce(head)
+                self._dispatched_quantum = True
+                if mrce_stalled:
+                    stalled = True
+            else:
+                if self._dispatched_classical:
+                    break
+                self._buffer.popleft()
+                disposition, extra = self._dispatch_classical(head)
+                self._dispatched_classical = True
+                if disposition == "stall_fmr":
+                    stalled = True
+                elif disposition == "halt":
+                    halted = True
+                elif disposition == "taken":
+                    stall_cycles = extra
+                    break
+
+        if halted and not self._dispatched_quantum:
+            # A cycle that only dispatched halt is block packaging and
+            # does not contribute to CES (Equation 1).
+            self._dispatched_classical = False
+        self._account_cycle(stall_cycles)
+        if stalled:
+            return  # resumption re-enters via the registered waiter
+        if halted:
+            if self.contexts.busy:
+                self.state = ProcState.DRAIN
+            else:
+                self._finish_block()
+            return
+        self._fetch_into_buffer()
+        if not self._buffer and self._fetch_pc >= (self.block.end
+                                                   if self.block else 0):
+            # Nothing left to run: a well-formed block ends in halt, so
+            # reaching here means the block fell through.
+            raise RuntimeError(
+                f"block {self.block.name if self.block else '?'} "
+                "ran past its end without halt")
+        self._schedule_cycle(1 + stall_cycles)
+
+    def _try_dispatch_group(self) -> str:
+        """Dispatch (or defer) the quantum group at the buffer head.
+
+        Returns ``"dispatched"``, ``"stop"`` (end this cycle's dispatch)
+        or ``"stalled"`` (processor entered a wait state).
+        """
+        if self._dispatched_quantum:
+            return "stop"
+        group = self._quantum_group()
+        if self.config.fast_context_switch and any(
+                self.contexts.conflicts_with(instr.qubits)
+                for instr in group):
+            if self._dispatched_classical:
+                return "stop"  # finish this cycle, stall next one
+            self._stall_on_context_super(group)
+            return "stalled"
+        if self._group_may_grow(group) and not self._deferred_once:
+            # Recombination: wait one cycle so parallel instructions
+            # fetched in different cycles can issue together.  A
+            # classical instruction behind the deferred group may
+            # dispatch ahead of it (lookahead).
+            self._deferred_once = True
+            if not self._dispatched_classical:
+                lookahead = self._lookahead_classical(len(group))
+                if lookahead is not None:
+                    self._dispatch_classical(lookahead)
+                    self._dispatched_classical = True
+            return "stop"
+        self._deferred_once = False
+        for instr in group:
+            self._buffer.popleft()
+            self._execute_quantum(instr)
+        self._cycle_step = self._step_of(group[0])
+        self._dispatched_quantum = True
+        return "dispatched"
+
+    def _account_cycle(self, stall_cycles: int) -> None:
+        """Charge this cycle to the CES ledger (Equation 1 terms)."""
+        if self._dispatched_quantum and self._cycle_step is not None:
+            self.ces.quantum(self._cycle_step, 1)
+        elif self._dispatched_classical:
+            self.ces.classical(self._current_step, 1)
+        if stall_cycles:
+            self.ces.control_stall(self._current_step, stall_cycles)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _lookahead_classical(self, skip: int) -> Instruction | None:
+        """First classical instruction behind a deferred quantum group.
+
+        Only non-control-flow classical instructions may be hoisted over
+        unissued quantum work; branches must wait so that the quantum
+        instructions ahead of them are never squashed.
+        """
+        for index in range(skip, len(self._buffer)):
+            instr = self._buffer[index]
+            if isinstance(instr, (Qop, Qmeas, Mrce)):
+                return None
+            if instr.is_branch or instr.opcode.name in ("HALT", "FMR"):
+                return None
+            del self._buffer[index]
+            return instr
+        return None
+
+    def _dispatch_classical(self, instr: Instruction) -> tuple[str, int]:
+        """Execute one classical instruction (already off the buffer)."""
+        self.trace.instructions_executed += 1
+        disposition, extra = self._apply_classical(instr)
+        if disposition == "taken":
+            self._flush_buffer(self.pc)
+        elif disposition == "stall_fmr":
+            self.state = ProcState.WAIT_RESULT
+            self._stall_began_ns = self.kernel.now
+            self.results.wait(
+                instr.qubit,
+                lambda value, _t: self._resume_fmr_super(instr, value))
+        return disposition, extra
+
+    def _resume_fmr_super(self, instr, value: int) -> None:
+        now = self.kernel.now
+        self.ces.excluded_wait(self._step_of(instr),
+                               now - self._stall_began_ns)
+        self.registers.write(instr.rd, value)
+        self.ces.classical(self._step_of(instr), 1)
+        self.state = ProcState.RUNNING
+        self._schedule_cycle(1)
+
+    def _dispatch_mrce(self, instr: Mrce) -> tuple[bool, bool]:
+        """Dispatch an MRCE from the buffer head.
+
+        Returns ``(handled, stalled)``.
+        """
+        if self.config.fast_context_switch:
+            qubits = (instr.result_qubit, instr.target_qubit)
+            if self.contexts.conflicts_with(qubits):
+                self._stall_on_context_super([instr])
+                return False, True
+            if self._execute_mrce_fast(instr):
+                self._buffer.popleft()
+                return True, False
+            self._stall_on_context_super([instr])
+            return False, True
+        self._buffer.popleft()
+        if self._execute_mrce_blocking(instr):
+            return True, False
+        # Stalled waiting for the result; the base-class _resume_mrce
+        # restarts the cycle loop (its pc increment is harmless here —
+        # superscalar fetch is driven by _fetch_pc, not pc).
+        return False, True
+
+    def _stall_on_context_super(self, instrs: list) -> None:
+        touched: list[int] = []
+        for instr in instrs:
+            if isinstance(instr, Mrce):
+                touched.extend((instr.result_qubit, instr.target_qubit))
+            else:
+                touched.extend(instr.qubits)
+        self.state = ProcState.WAIT_CONTEXT
+        self._waiting_qubits = tuple(touched)
+        self._stall_began_ns = self.kernel.now

@@ -1,0 +1,170 @@
+"""QuAPE system: processors + scheduler + emitter + QPU composition.
+
+This is the reproduction's equivalent of the paper's Figure 5/8/9: a
+multiprocessor control microarchitecture (each processor optionally a
+quantum superscalar) issuing operations to a QPU either directly (the
+"QCP board only" benchmark setup) or through AWG/DAQ board models (the
+full control stack of Section 6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analog.awg import AWG
+from repro.analog.channels import ChannelMap
+from repro.analog.daq import DAQ
+from repro.isa.program import (BlockInfoTable, DependencyMode, Program)
+from repro.qcp.config import QCPConfig
+from repro.qcp.emitter import Emitter
+from repro.qcp.memory import InstructionMemory, PrivateInstructionCache
+from repro.qcp.metrics import CESAccumulator, TRReport, time_ratio
+from repro.qcp.processor import ProcessorCore, ScalarProcessor
+from repro.qcp.registers import (MeasurementResultRegisters,
+                                 SharedRegisters)
+from repro.qcp.scheduler import BlockScheduler
+from repro.qcp.superscalar import SuperscalarProcessor
+from repro.qcp.trace import Trace
+from repro.qpu.device import PRNGQPU, QPUBase
+from repro.sim.kernel import SimKernel
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one full program run."""
+
+    total_ns: int
+    trace: Trace
+    ces: CESAccumulator
+    config: QCPConfig
+    events_processed: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return -(-self.total_ns // self.config.clock_period_ns)
+
+    def tr_report(self,
+                  step_durations_ns: dict[int, int] | None = None
+                  ) -> TRReport:
+        """TR per circuit step (Equation 2)."""
+        return time_ratio(self.ces, self.config.clock_period_ns,
+                          self.config.gate_time_ns, step_durations_ns)
+
+
+def infer_qubit_count(program: Program) -> int:
+    """Highest qubit index any instruction touches, plus one."""
+    highest = 0
+    for instr in program.instructions:
+        for qubit in getattr(instr, "qubits", ()):
+            highest = max(highest, qubit)
+        for attr in ("qubit", "result_qubit", "target_qubit"):
+            value = getattr(instr, attr, None)
+            if isinstance(value, int):
+                highest = max(highest, value)
+    return highest + 1
+
+
+@dataclass
+class QuAPESystem:
+    """Composition root wiring one complete control stack."""
+
+    program: Program
+    config: QCPConfig = field(default_factory=QCPConfig)
+    n_processors: int = 1
+    qpu: QPUBase | None = None
+    dependency_mode: DependencyMode = DependencyMode.PRIORITY
+    use_analog_boards: bool = False
+    n_qubits: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_processors < 1:
+            raise ValueError("need at least one processor")
+        self.kernel = SimKernel()
+        self.trace = Trace()
+        qubits = self.n_qubits or infer_qubit_count(self.program)
+        if self.qpu is None:
+            self.qpu = PRNGQPU(qubits)
+        self.results = MeasurementResultRegisters(self.qpu.n_qubits)
+        self.shared = SharedRegisters()
+        self.memory = InstructionMemory(self.program)
+        self.table = BlockInfoTable(self.program,
+                                    mode=self.dependency_mode)
+        awg = daq = None
+        if self.use_analog_boards:
+            awg = AWG(kernel=self.kernel, qpu=self.qpu)
+            daq = DAQ(kernel=self.kernel, qpu=self.qpu,
+                      deliver=self.results.deliver)
+        self.emitter = Emitter(
+            kernel=self.kernel, qpu=self.qpu, results=self.results,
+            trace=self.trace,
+            channel_map=ChannelMap.default(self.qpu.n_qubits),
+            awg=awg, daq=daq,
+            result_latency_ns=self.config.result_latency_ns)
+        self.processors = [self._make_processor(i)
+                           for i in range(self.n_processors)]
+        self.scheduler = BlockScheduler(
+            kernel=self.kernel, table=self.table,
+            processors=self.processors, config=self.config,
+            trace=self.trace)
+
+    def _make_processor(self, proc_id: int) -> ProcessorCore:
+        cache = PrivateInstructionCache(self.memory)
+        cls = SuperscalarProcessor if self.config.is_superscalar \
+            else ScalarProcessor
+        return cls(proc_id=proc_id, kernel=self.kernel,
+                   config=self.config, cache=cache, shared=self.shared,
+                   results=self.results, emitter=self.emitter,
+                   trace=self.trace, on_done=self._processor_done)
+
+    def _processor_done(self, processor: ProcessorCore) -> None:
+        self.scheduler.processor_finished(processor)
+
+    def run(self, max_events: int | None = 5_000_000) -> ExecutionResult:
+        """Execute the whole program; returns the merged result.
+
+        ``total_ns`` is the program completion time: the instant the last
+        program block finishes execution.  The kernel keeps draining
+        afterwards (trailing operation issues and result deliveries) so
+        the trace is complete, but that tail is not program execution
+        time.
+        """
+        completion = {"ns": 0}
+
+        def mark_done() -> None:
+            completion["ns"] = self.kernel.now
+
+        self.scheduler.on_all_done = mark_done
+        self.scheduler.start()
+        self.kernel.run(max_events=max_events)
+        if not self.scheduler.all_done:
+            raise RuntimeError(
+                "simulation drained with unfinished blocks: "
+                + ", ".join(e.block.name for e in self.scheduler.entries
+                            if e.state.value != "done"))
+        ces = CESAccumulator()
+        for processor in self.processors:
+            ces.merge(processor.ces)
+        # The program is complete when every block has finished *and*
+        # the timing controllers have issued their last operation; the
+        # trailing result-delivery latency of unread measurements is not
+        # execution time.
+        last_issue = max((record.time_ns for record in self.trace.issues),
+                         default=0)
+        return ExecutionResult(total_ns=max(completion["ns"], last_issue),
+                               trace=self.trace, ces=ces,
+                               config=self.config,
+                               events_processed=self.kernel.events_processed)
+
+
+def run_program(program: Program, config: QCPConfig | None = None,
+                n_processors: int = 1, qpu: QPUBase | None = None,
+                dependency_mode: DependencyMode = DependencyMode.PRIORITY,
+                use_analog_boards: bool = False,
+                n_qubits: int | None = None) -> ExecutionResult:
+    """One-shot convenience wrapper around :class:`QuAPESystem`."""
+    system = QuAPESystem(program=program, config=config or QCPConfig(),
+                         n_processors=n_processors, qpu=qpu,
+                         dependency_mode=dependency_mode,
+                         use_analog_boards=use_analog_boards,
+                         n_qubits=n_qubits)
+    return system.run()

@@ -1,0 +1,98 @@
+"""Timing queue and timing controller (Sections 5.2.4, 5.3.2).
+
+Executed quantum instructions do not act immediately: they enter the
+timing queue together with their timing label, and the timing controller
+issues each operation when its point on the processor's timeline is
+reached.  The timeline is built from the labels: operation *k* is
+scheduled ``label_k`` clock cycles after the issue of operation *k-1*
+(label 0 = simultaneous).
+
+If the processor falls behind — it executes an instruction *after* its
+scheduled timing point — the operation issues late and the timeline
+slips by the same amount.  Lateness is recorded per operation: it is the
+"additional accumulated quantum error" the paper's whole design works to
+avoid, and the quantity that the TR <= 1 requirement bounds.
+
+Exactly one timing controller exists per processor (Section 5.3.2),
+shared by all of its quantum pipelines, "otherwise the timing control of
+different quantum instructions cannot be guaranteed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.qcp.emitter import Emitter, QuantumOp
+from repro.sim.kernel import SimKernel
+
+
+@dataclass
+class PendingOp:
+    """A queue entry awaiting its timing point."""
+
+    op: QuantumOp
+    scheduled_ns: int
+    actual_ns: int
+
+
+class TimingController:
+    """Owns one processor's timeline and drives the emitter."""
+
+    def __init__(self, kernel: SimKernel, emitter: Emitter,
+                 clock_period_ns: int, processor_id: int = 0) -> None:
+        self.kernel = kernel
+        self.emitter = emitter
+        self.clock_period_ns = clock_period_ns
+        self.processor_id = processor_id
+        self._last_issue_ns: int | None = None
+        self.queue_depth_high_water = 0
+        self._in_flight = 0
+
+    def reset_timeline(self) -> None:
+        """Start a fresh timeline (new program block)."""
+        self._last_issue_ns = None
+
+    @property
+    def last_issue_ns(self) -> int | None:
+        return self._last_issue_ns
+
+    def enqueue(self, op: QuantumOp, timing_label: int,
+                exec_time_ns: int) -> PendingOp:
+        """Accept an executed quantum instruction for timed issue.
+
+        ``exec_time_ns`` is when the processor finished executing the
+        instruction; the operation can never issue before that.
+        """
+        if self._last_issue_ns is None:
+            scheduled = exec_time_ns
+        else:
+            scheduled = (self._last_issue_ns
+                         + timing_label * self.clock_period_ns)
+        actual = max(scheduled, exec_time_ns)
+        self._last_issue_ns = actual
+        pending = PendingOp(op=op, scheduled_ns=scheduled, actual_ns=actual)
+        self._in_flight += 1
+        self.queue_depth_high_water = max(self.queue_depth_high_water,
+                                          self._in_flight)
+        self.kernel.schedule_at(actual, self._fire, pending)
+        return pending
+
+    def enqueue_immediate(self, op: QuantumOp, time_ns: int) -> PendingOp:
+        """Issue a feedback-determined operation as soon as possible.
+
+        Used for the operation selected by an MRCE: it has no
+        pre-scheduled timing point (the measurement latency is
+        non-deterministic), so it issues at ``time_ns`` and the timeline
+        continues from there.
+        """
+        actual = max(time_ns, self._last_issue_ns or 0)
+        self._last_issue_ns = actual
+        pending = PendingOp(op=op, scheduled_ns=actual, actual_ns=actual)
+        self._in_flight += 1
+        self.kernel.schedule_at(actual, self._fire, pending)
+        return pending
+
+    def _fire(self, pending: PendingOp) -> None:
+        self._in_flight -= 1
+        late_ns = pending.actual_ns - pending.scheduled_ns
+        self.emitter.issue(pending.op, self.processor_id, late_ns)

@@ -1,0 +1,85 @@
+"""Execution traces: what happened, when, on which processor.
+
+The trace is the ground truth consumed by metrics, benchmarks and tests:
+issued operations (with lateness relative to their scheduled timing
+point), block scheduling events and processor-level dispatch counts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class IssueRecord:
+    """One quantum operation issued to the QPU."""
+
+    time_ns: int
+    gate: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...]
+    processor: int
+    block: str | None
+    step_id: int | None
+    late_ns: int  # 0 when issued exactly at its scheduled timing point
+
+
+class BlockEventKind(enum.Enum):
+    PREFETCH_START = "prefetch_start"
+    PREFETCH_DONE = "prefetch_done"
+    ALLOC_START = "alloc_start"
+    ALLOC_DONE = "alloc_done"
+    SWITCH = "switch"
+    EXEC_START = "exec_start"
+    EXEC_DONE = "exec_done"
+
+
+@dataclass(frozen=True)
+class BlockEvent:
+    """One scheduler/block lifecycle event."""
+
+    time_ns: int
+    kind: BlockEventKind
+    block: str
+    processor: int | None = None
+
+
+@dataclass
+class Trace:
+    """Accumulates every observable event of one system run."""
+
+    issues: list[IssueRecord] = field(default_factory=list)
+    block_events: list[BlockEvent] = field(default_factory=list)
+    instructions_executed: int = 0
+    context_switches: int = 0
+
+    def record_issue(self, record: IssueRecord) -> None:
+        self.issues.append(record)
+
+    def record_block_event(self, event: BlockEvent) -> None:
+        self.block_events.append(event)
+
+    @property
+    def late_issues(self) -> list[IssueRecord]:
+        """Operations that missed their scheduled timing point."""
+        return [record for record in self.issues if record.late_ns > 0]
+
+    @property
+    def total_late_ns(self) -> int:
+        """Accumulated delay across all late issues (decoherence proxy)."""
+        return sum(record.late_ns for record in self.issues)
+
+    def issues_on_qubit(self, qubit: int) -> list[IssueRecord]:
+        return [record for record in self.issues if qubit in record.qubits]
+
+    def events_for_block(self, block: str) -> list[BlockEvent]:
+        return [event for event in self.block_events
+                if event.block == block]
+
+    def simultaneous_groups(self) -> dict[int, list[IssueRecord]]:
+        """Issued operations grouped by identical issue time."""
+        groups: dict[int, list[IssueRecord]] = {}
+        for record in self.issues:
+            groups.setdefault(record.time_ns, []).append(record)
+        return groups

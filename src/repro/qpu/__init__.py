@@ -1,0 +1,22 @@
+"""QPU substrate: state-vector simulator, noise, readout and devices."""
+
+from repro.qpu.density import DensityMatrix
+from repro.qpu.device import (AppliedOperation, PRNGQPU, QPUBase,
+                              StateVectorQPU)
+from repro.qpu.noise import (DecoherenceNoise, DepolarizingNoise,
+                             NoiseModel, PauliChannel, ReadoutError,
+                             ZZCrosstalk, ideal_noise_model,
+                             paper_noise_model)
+from repro.qpu.readout import DeterministicReadout, PRNGReadout
+from repro.qpu.statevector import StateVector
+from repro.qpu.topology import Topology, full_topology, linear_topology
+
+__all__ = [
+    "AppliedOperation", "DensityMatrix", "DepolarizingNoise",
+    "DeterministicReadout",
+    "DecoherenceNoise", "NoiseModel", "PauliChannel", "PRNGQPU",
+    "PRNGReadout", "QPUBase", "ReadoutError",
+    "StateVector", "StateVectorQPU", "Topology", "ZZCrosstalk",
+    "full_topology", "ideal_noise_model", "linear_topology",
+    "paper_noise_model",
+]

@@ -1,0 +1,187 @@
+"""QPU device models receiving timed operations from the control stack.
+
+Two flavours share one interface:
+
+* :class:`StateVectorQPU` — a functional simulator with a noise model,
+  used for the RB/simRB experiment (Figure 14) and small integration
+  tests; it tracks simultaneous-drive windows so the ZZ crosstalk
+  channel can act exactly when two coupled qubits are driven at once.
+* :class:`PRNGQPU` — no quantum state; measurement outcomes come from a
+  pseudo-random (or scripted) source, reproducing the paper's FPGA
+  methodology for the 37-qubit microarchitecture benchmarks.
+
+Both record an *operation log* with issue timestamps so tests and
+metrics can check timing behaviour (deterministic operation supply,
+Section 4.3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.circuit.gates import lookup_gate
+from repro.qpu.noise import NoiseModel, ideal_noise_model
+from repro.qpu.readout import DeterministicReadout, PRNGReadout
+from repro.qpu.statevector import StateVector
+from repro.qpu.topology import Topology, full_topology
+
+
+@dataclass(frozen=True)
+class AppliedOperation:
+    """One operation as received by the QPU, with its issue time."""
+
+    time_ns: int
+    gate: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = ()
+
+
+class QPUBase:
+    """Shared bookkeeping: operation log and timing checks."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self.operation_log: list[AppliedOperation] = []
+        self._busy_until: dict[int, int] = {}
+        self.timing_violations: list[AppliedOperation] = []
+
+    @property
+    def n_qubits(self) -> int:
+        return self.topology.n_qubits
+
+    def _record(self, time_ns: int, gate: str, qubits: tuple[int, ...],
+                params: tuple[float, ...] = ()) -> AppliedOperation:
+        operation = AppliedOperation(time_ns, gate, tuple(qubits),
+                                     tuple(params))
+        self.operation_log.append(operation)
+        duration = lookup_gate(gate).duration_ns
+        for qubit in operation.qubits:
+            if self._busy_until.get(qubit, 0) > time_ns:
+                # An operation arrived while the qubit was still
+                # executing the previous one: a timing violation the
+                # microarchitecture is supposed to prevent.
+                self.timing_violations.append(operation)
+            self._busy_until[qubit] = time_ns + duration
+        return operation
+
+    def apply_gate(self, time_ns: int, gate: str, qubits: tuple[int, ...],
+                   params: tuple[float, ...] = ()) -> None:
+        raise NotImplementedError
+
+    def measure(self, time_ns: int, qubit: int) -> int:
+        raise NotImplementedError
+
+    def reset(self, time_ns: int, qubit: int) -> None:
+        raise NotImplementedError
+
+
+class StateVectorQPU(QPUBase):
+    """Functional QPU: every issued operation acts on a state vector."""
+
+    def __init__(self, topology: Topology | int,
+                 noise: NoiseModel | None = None,
+                 seed: int | None = None) -> None:
+        if isinstance(topology, int):
+            topology = full_topology(topology)
+        super().__init__(topology)
+        self.noise = noise or ideal_noise_model()
+        self._rng = random.Random(seed)
+        self.state = StateVector(topology.n_qubits, rng=self._rng)
+        # Active drive windows for ZZ accounting: qubit -> (start, end).
+        self._windows: dict[int, tuple[int, int]] = {}
+        # Pre-collapse ground-state probability at each qubit's last
+        # measurement (what an averaged readout would estimate).
+        self.measure_ground_probabilities: dict[int, float] = {}
+
+    def restart(self) -> None:
+        """Fresh |0...0> state; the log and noise RNG carry on."""
+        self.state = StateVector(self.n_qubits, rng=self._rng)
+        self._windows.clear()
+        self._busy_until.clear()
+        self.measure_ground_probabilities.clear()
+
+    def _note_window(self, time_ns: int, qubits: tuple[int, ...],
+                     duration: int) -> None:
+        """Record drive windows and apply ZZ for simultaneous overlap."""
+        end = time_ns + duration
+        driven_now = set(qubits)
+        overlap_ns = 0
+        for other, (start, stop) in self._windows.items():
+            if other in driven_now:
+                continue
+            overlap = min(end, stop) - max(time_ns, start)
+            if overlap > 0:
+                driven_now.add(other)
+                overlap_ns = max(overlap_ns, overlap)
+        for qubit in qubits:
+            self._windows[qubit] = (time_ns, end)
+        if len(driven_now) >= 2 and overlap_ns > 0:
+            self.noise.after_simultaneous_window(self.state, driven_now,
+                                                 overlap_ns)
+
+    def _decay_idle(self, time_ns: int, qubits: tuple[int, ...]) -> None:
+        """T1/T2 decay for the idle gap since each qubit's last op.
+
+        The longer the control processor delays an operation, the
+        longer its qubits idle and the more they decay — the error
+        mechanism the paper's TR <= 1 requirement exists to bound.
+        """
+        if self.noise.decoherence is None:
+            return
+        for qubit in qubits:
+            idle = time_ns - self._busy_until.get(qubit, 0)
+            if idle > 0:
+                self.noise.idle_decay(self.state, qubit, idle)
+
+    def apply_gate(self, time_ns: int, gate: str, qubits: tuple[int, ...],
+                   params: tuple[float, ...] = ()) -> None:
+        qubits = tuple(qubits)
+        definition = lookup_gate(gate)
+        self.topology.validate_gate(qubits)
+        self._decay_idle(time_ns, qubits)
+        self._record(time_ns, gate, qubits, params)
+        if definition.is_reset:
+            self.state.reset(qubits[0])
+            return
+        if definition.is_measurement:
+            raise ValueError("use measure() for measurement operations")
+        self.state.apply_gate(gate, qubits, tuple(params))
+        self.noise.after_gate(self.state, gate, qubits)
+        self._note_window(time_ns, qubits, definition.duration_ns)
+
+    def measure(self, time_ns: int, qubit: int) -> int:
+        self._decay_idle(time_ns, (qubit,))
+        self._record(time_ns, "measure", (qubit,))
+        self.measure_ground_probabilities[qubit] = (
+            1.0 - self.state.probability_of_one(qubit))
+        outcome = self.state.measure(qubit)
+        return self.noise.corrupt_readout(outcome)
+
+    def reset(self, time_ns: int, qubit: int) -> None:
+        self.apply_gate(time_ns, "reset", (qubit,))
+
+
+class PRNGQPU(QPUBase):
+    """Architecture-benchmark QPU: logs operations, samples outcomes."""
+
+    def __init__(self, topology: Topology | int,
+                 readout: PRNGReadout | DeterministicReadout | None = None
+                 ) -> None:
+        if isinstance(topology, int):
+            topology = full_topology(topology)
+        super().__init__(topology)
+        self.readout = readout or PRNGReadout()
+
+    def apply_gate(self, time_ns: int, gate: str, qubits: tuple[int, ...],
+                   params: tuple[float, ...] = ()) -> None:
+        qubits = tuple(qubits)
+        self.topology.validate_gate(qubits)
+        self._record(time_ns, gate, qubits, params)
+
+    def measure(self, time_ns: int, qubit: int) -> int:
+        self._record(time_ns, "measure", (qubit,))
+        return self.readout.sample(qubit)
+
+    def reset(self, time_ns: int, qubit: int) -> None:
+        self._record(time_ns, "reset", (qubit,))

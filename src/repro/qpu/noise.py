@@ -1,0 +1,264 @@
+"""Monte-Carlo noise channels for the QPU simulator.
+
+The RB/simRB experiment of Figure 14 needs two error mechanisms:
+
+* a per-gate *depolarizing* channel setting the individual-RB fidelity
+  (~99.5 % per single-qubit gate in the paper), and
+* an always-on *ZZ interaction* between neighbouring qubits that only
+  matters while both qubits are being driven simultaneously — the paper
+  attributes the simRB fidelity drop (99.5 % -> 98.7 %) to "the
+  inevitable ZZ interaction between the qubits".
+
+Channels are applied as stochastic Pauli/phase insertions on the pure
+state (quantum-trajectory style), so repeated runs average to the CPTP
+channel.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.qpu.statevector import StateVector
+
+_PAULIS = ("x", "y", "z")
+
+
+@dataclass
+class DepolarizingNoise:
+    """Depolarizing channel of strength ``p`` per gate.
+
+    With probability ``p`` a uniformly random Pauli (X, Y or Z) is
+    injected on each qubit the gate touched.  The average gate fidelity
+    of this channel on one qubit is ``1 - 2p/3`` (it equals a textbook
+    depolarizing channel of strength ``4p/3``).
+    """
+
+    p: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"depolarizing probability out of range: {self.p}")
+
+    @property
+    def average_gate_infidelity(self) -> float:
+        """1 - F_avg for a single-qubit gate followed by this channel."""
+        return 2.0 * self.p / 3.0
+
+    def apply(self, state: StateVector, qubits: tuple[int, ...],
+              rng: random.Random) -> None:
+        for qubit in qubits:
+            if rng.random() < self.p:
+                state.apply_gate(rng.choice(_PAULIS), (qubit,))
+
+
+@dataclass
+class PauliChannel:
+    """Independent X/Y/Z injection with separate probabilities.
+
+    Generalises :class:`DepolarizingNoise`; e.g. ``PauliChannel(px=p)``
+    is a pure bit-flip channel — the error model a repetition code is
+    designed to correct.
+    """
+
+    px: float = 0.0
+    py: float = 0.0
+    pz: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("px", "py", "pz"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} out of range: {value}")
+        if self.px + self.py + self.pz > 1.0:
+            raise ValueError("Pauli probabilities exceed 1")
+
+    def apply(self, state: StateVector, qubits: tuple[int, ...],
+              rng: random.Random) -> None:
+        for qubit in qubits:
+            draw = rng.random()
+            if draw < self.px:
+                state.apply_gate("x", (qubit,))
+            elif draw < self.px + self.py:
+                state.apply_gate("y", (qubit,))
+            elif draw < self.px + self.py + self.pz:
+                state.apply_gate("z", (qubit,))
+
+
+@dataclass
+class ZZCrosstalk:
+    """Always-on ZZ coupling between qubit pairs.
+
+    ``zeta_hz`` is the ZZ coefficient (Hz): during a window of ``t``
+    seconds in which *both* qubits of a coupled pair are simultaneously
+    driven, the pair accumulates a conditional phase
+    ``phi = 2 pi * zeta * t`` applied as ``diag(1, 1, 1, e^{i phi})``.
+
+    When only one qubit is driven the echo of the individual-RB pulse
+    train largely cancels the coupling, which is why individual RB does
+    not see this error; simultaneous RB does (Section 8).
+    """
+
+    zeta_hz: float
+    pairs: tuple[tuple[int, int], ...] = ()
+
+    def conditional_phase(self, duration_ns: float) -> float:
+        """Phase (radians) accumulated over ``duration_ns``."""
+        return 2.0 * math.pi * self.zeta_hz * duration_ns * 1e-9
+
+    def apply_simultaneous(self, state: StateVector,
+                           driven: set[int], duration_ns: float) -> None:
+        """Apply the conditional phase for a simultaneous-drive window."""
+        phi = self.conditional_phase(duration_ns)
+        if phi == 0.0:
+            return
+        matrix = np.diag([1.0, 1.0, 1.0, np.exp(1j * phi)]).astype(complex)
+        for left, right in self.pairs:
+            if left in driven and right in driven:
+                state.apply_unitary(matrix, (left, right))
+
+
+@dataclass
+class DecoherenceNoise:
+    """T1 relaxation and T2 dephasing applied to *idle* qubits.
+
+    This is the error source the paper's whole design fights: "any
+    delay in quantum operations issued from the microarchitecture can
+    result in additional accumulated quantum errors" (Section 1).  A
+    control processor that issues operations late leaves qubits idle
+    longer, and this channel converts that idle time into decay.
+
+    ``t1_us``/``t2_us`` follow the paper's 50-100 us coherence range.
+    Trajectory implementation: amplitude damping with
+    ``gamma = 1 - exp(-t/T1)`` plus a stochastic Z with the pure
+    dephasing probability derived from ``1/Tphi = 1/T2 - 1/(2 T1)``.
+    """
+
+    t1_us: float = 75.0
+    t2_us: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.t1_us <= 0 or self.t2_us <= 0:
+            raise ValueError("coherence times must be positive")
+        if self.t2_us > 2 * self.t1_us:
+            raise ValueError("T2 cannot exceed 2*T1")
+
+    def gamma(self, duration_ns: float) -> float:
+        """Amplitude-damping probability over ``duration_ns``."""
+        t1_ns = self.t1_us * 1e3
+        return 1.0 - math.exp(-duration_ns / t1_ns)
+
+    def dephasing_probability(self, duration_ns: float) -> float:
+        """Stochastic-Z probability over ``duration_ns``."""
+        rate_phi_per_us = 1.0 / self.t2_us - 1.0 / (2.0 * self.t1_us)
+        if rate_phi_per_us <= 0:
+            return 0.0
+        p_keep = math.exp(-duration_ns * 1e-3 * rate_phi_per_us)
+        return (1.0 - p_keep) / 2.0
+
+    def apply_idle(self, state: StateVector, qubit: int,
+                   duration_ns: float, rng: random.Random) -> None:
+        """Decay ``qubit`` for ``duration_ns`` of idle time."""
+        if duration_ns <= 0:
+            return
+        state.apply_amplitude_damping(qubit, self.gamma(duration_ns))
+        if rng.random() < self.dephasing_probability(duration_ns):
+            state.apply_gate("z", (qubit,))
+
+
+@dataclass
+class ReadoutError:
+    """Classical bit-flip error on measurement outcomes."""
+
+    p0_given_1: float = 0.0  # probability of reading 0 when the state was 1
+    p1_given_0: float = 0.0  # probability of reading 1 when the state was 0
+
+    def __post_init__(self) -> None:
+        for name in ("p0_given_1", "p1_given_0"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} out of range: {value}")
+
+    def corrupt(self, outcome: int, rng: random.Random) -> int:
+        flip = self.p0_given_1 if outcome else self.p1_given_0
+        if rng.random() < flip:
+            return 1 - outcome
+        return outcome
+
+
+@dataclass
+class NoiseModel:
+    """Bundle of all channels, applied by :class:`~repro.qpu.device.QPUDevice`."""
+
+    depolarizing: DepolarizingNoise | None = None
+    two_qubit_depolarizing: DepolarizingNoise | None = None
+    pauli: PauliChannel | None = None
+    zz: ZZCrosstalk | None = None
+    readout: ReadoutError | None = None
+    decoherence: DecoherenceNoise | None = None
+    seed: int | None = None
+    rng: random.Random = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.rng = random.Random(self.seed)
+
+    def after_gate(self, state: StateVector, gate: str,
+                   qubits: tuple[int, ...]) -> None:
+        """Inject gate-dependent noise after a unitary."""
+        channel = self.depolarizing
+        if len(qubits) == 2 and self.two_qubit_depolarizing is not None:
+            channel = self.two_qubit_depolarizing
+        if channel is not None:
+            channel.apply(state, qubits, self.rng)
+        if self.pauli is not None:
+            self.pauli.apply(state, qubits, self.rng)
+
+    def after_simultaneous_window(self, state: StateVector,
+                                  driven: set[int],
+                                  duration_ns: float) -> None:
+        """Inject ZZ error for a window where ``driven`` qubits overlap."""
+        if self.zz is not None and len(driven) >= 2:
+            self.zz.apply_simultaneous(state, driven, duration_ns)
+
+    def corrupt_readout(self, outcome: int) -> int:
+        if self.readout is None:
+            return outcome
+        return self.readout.corrupt(outcome, self.rng)
+
+    def idle_decay(self, state: StateVector, qubit: int,
+                   duration_ns: float) -> None:
+        """Apply T1/T2 decay for ``duration_ns`` of idle time."""
+        if self.decoherence is not None:
+            self.decoherence.apply_idle(state, qubit, duration_ns,
+                                        self.rng)
+
+
+def ideal_noise_model(seed: int | None = None) -> NoiseModel:
+    """A noise model with every channel disabled."""
+    return NoiseModel(seed=seed)
+
+
+def paper_noise_model(seed: int | None = None,
+                      pairs: tuple[tuple[int, int], ...] = ((0, 1),),
+                      single_qubit_error: float = 5e-3,
+                      zz_khz: float = 2500.0) -> NoiseModel:
+    """Noise calibrated to the paper's Figure 14 QPU.
+
+    ``single_qubit_error`` is the target average *per-gate* infidelity
+    (~0.5 %, giving the paper's individual-RB fidelities of ~99.5 %);
+    the uniform-Pauli injection probability is ``1.5x`` that value
+    because the channel's infidelity is ``2p/3``.  ``zz_khz`` sets the
+    additional simultaneous-drive error that pulls simRB down to
+    ~98.7-99.1 %; it is an *effective* drive-frame coupling (the bare
+    chip ZZ is partially echoed away in individual RB).
+    """
+    return NoiseModel(
+        depolarizing=DepolarizingNoise(p=1.5 * single_qubit_error),
+        two_qubit_depolarizing=DepolarizingNoise(p=3 * single_qubit_error),
+        zz=ZZCrosstalk(zeta_hz=zz_khz * 1e3, pairs=pairs),
+        readout=ReadoutError(p0_given_1=0.02, p1_given_0=0.01),
+        seed=seed,
+    )

@@ -1,0 +1,67 @@
+"""Measurement-outcome sources for architecture-level benchmarks.
+
+For microarchitecture evaluation the paper does not use a live QPU: "a
+pseudo random number generator is implemented in the FPGA to generate
+measurement results for testing" with a configurable preparation
+*failure rate* (Section 7).  :class:`PRNGReadout` reproduces exactly
+that methodology, which also sidesteps the impossibility of
+state-vector-simulating the 37-qubit Shor-syndrome circuit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PRNGReadout:
+    """Pseudo-random measurement outcomes.
+
+    ``failure_rate`` is the probability of reading 1 (a verification
+    "failure" in the RUS idiom).  ``per_qubit`` overrides the rate for
+    individual qubits.  A fixed ``seed`` makes whole-system runs
+    deterministic.
+    """
+
+    failure_rate: float = 0.0
+    per_qubit: dict[int, float] = field(default_factory=dict)
+    seed: int | None = None
+    rng: random.Random = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_rate <= 1.0:
+            raise ValueError(
+                f"failure rate out of range: {self.failure_rate}")
+        for qubit, rate in self.per_qubit.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"failure rate for q{qubit} out of range: {rate}")
+        self.rng = random.Random(self.seed)
+
+    def sample(self, qubit: int) -> int:
+        """Draw the measurement outcome for ``qubit``."""
+        rate = self.per_qubit.get(qubit, self.failure_rate)
+        return 1 if self.rng.random() < rate else 0
+
+    def reseed(self, seed: int | None) -> None:
+        """Restart the generator (per-run determinism in sweeps)."""
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+
+@dataclass
+class DeterministicReadout:
+    """Scripted outcomes for unit tests: per-qubit FIFO of results.
+
+    Falls back to ``default`` when a qubit's queue is exhausted.
+    """
+
+    outcomes: dict[int, list[int]] = field(default_factory=dict)
+    default: int = 0
+
+    def sample(self, qubit: int) -> int:
+        queue = self.outcomes.get(qubit)
+        if queue:
+            return queue.pop(0)
+        return self.default

@@ -1,0 +1,181 @@
+"""Dense state-vector simulator.
+
+This is the functional QPU substrate standing in for the paper's
+superconducting chip.  It supports arbitrary one- and two-qubit
+unitaries, projective measurement with collapse, and active reset —
+enough to execute every operation the control processor can issue.
+
+Qubit 0 is the least significant bit of the computational-basis index.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+
+from repro.circuit.gates import lookup_gate
+
+
+class StateVector:
+    """An ``n_qubits`` pure state with in-place gate application."""
+
+    def __init__(self, n_qubits: int,
+                 rng: random.Random | None = None) -> None:
+        if n_qubits <= 0:
+            raise ValueError("need at least one qubit")
+        if n_qubits > 24:
+            raise ValueError(
+                f"{n_qubits} qubits exceeds the dense simulator limit (24)")
+        self.n_qubits = n_qubits
+        self.rng = rng or random.Random()
+        self._amplitudes = np.zeros(1 << n_qubits, dtype=complex)
+        self._amplitudes[0] = 1.0
+
+    @property
+    def amplitudes(self) -> np.ndarray:
+        """The raw amplitude vector (do not mutate)."""
+        return self._amplitudes
+
+    def copy(self) -> "StateVector":
+        clone = StateVector.__new__(StateVector)
+        clone.n_qubits = self.n_qubits
+        clone.rng = self.rng
+        clone._amplitudes = self._amplitudes.copy()
+        return clone
+
+    def _check_qubit(self, qubit: int) -> None:
+        if not 0 <= qubit < self.n_qubits:
+            raise ValueError(f"qubit q{qubit} out of range")
+
+    # -- unitaries -----------------------------------------------------------
+
+    def apply_unitary(self, matrix: np.ndarray,
+                      qubits: tuple[int, ...]) -> None:
+        """Apply ``matrix`` (2^k x 2^k) to ``qubits``.
+
+        ``qubits[0]`` is the *most significant* bit of the matrix's
+        index convention — the textbook ordering where e.g. the CNOT
+        matrix ``[[I, 0], [0, X]]`` has ``qubits[0]`` as the control.
+        """
+        k = len(qubits)
+        if matrix.shape != (1 << k, 1 << k):
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match "
+                f"{k} qubit(s)")
+        for qubit in qubits:
+            self._check_qubit(qubit)
+        if len(set(qubits)) != k:
+            raise ValueError(f"duplicate qubits: {qubits}")
+        n = self.n_qubits
+        # Move the target axes to the front via tensor reshape.  numpy's
+        # reshape order puts qubit 0 as the *last* axis, so axis of qubit
+        # q is (n - 1 - q).  After the move, qubits[0] is the slowest
+        # axis of the block — the matrix's most significant bit, as
+        # required by the convention above.
+        tensor = self._amplitudes.reshape([2] * n)
+        axes = [n - 1 - q for q in qubits]
+        tensor = np.moveaxis(tensor, axes, range(k))
+        shape = tensor.shape
+        tensor = tensor.reshape(1 << k, -1)
+        tensor = matrix @ tensor
+        tensor = tensor.reshape(shape)
+        tensor = np.moveaxis(tensor, range(k), axes)
+        self._amplitudes = np.ascontiguousarray(tensor.reshape(-1))
+
+    def apply_gate(self, gate: str, qubits: tuple[int, ...],
+                   params: tuple[float, ...] = ()) -> None:
+        """Apply a library gate by name."""
+        definition = lookup_gate(gate)
+        if not definition.is_unitary:
+            raise ValueError(
+                f"gate {gate!r} is not unitary; use measure()/reset()")
+        self.apply_unitary(definition.unitary(tuple(params)), tuple(qubits))
+
+    # -- non-unitary operations ------------------------------------------------
+
+    def probability_of_one(self, qubit: int) -> float:
+        """Probability of measuring ``qubit`` as 1."""
+        self._check_qubit(qubit)
+        tensor = self._amplitudes.reshape([2] * self.n_qubits)
+        axis = self.n_qubits - 1 - qubit
+        ones = np.take(tensor, 1, axis=axis)
+        return float(np.sum(np.abs(ones) ** 2))
+
+    def measure(self, qubit: int) -> int:
+        """Projectively measure ``qubit`` and collapse the state."""
+        p_one = self.probability_of_one(qubit)
+        outcome = 1 if self.rng.random() < p_one else 0
+        self._project(qubit, outcome, p_one)
+        return outcome
+
+    def _project(self, qubit: int, outcome: int, p_one: float) -> None:
+        norm = math.sqrt(p_one if outcome else 1.0 - p_one)
+        if norm == 0.0:
+            raise RuntimeError("projection onto zero-probability outcome")
+        tensor = self._amplitudes.reshape([2] * self.n_qubits)
+        axis = self.n_qubits - 1 - qubit
+        index = [slice(None)] * self.n_qubits
+        index[axis] = 1 - outcome
+        tensor[tuple(index)] = 0.0
+        self._amplitudes = tensor.reshape(-1) / norm
+
+    def reset(self, qubit: int) -> None:
+        """Unconditionally reset ``qubit`` to |0> (measure + flip)."""
+        outcome = self.measure(qubit)
+        if outcome:
+            self.apply_gate("x", (qubit,))
+
+    def apply_amplitude_damping(self, qubit: int, gamma: float) -> None:
+        """One quantum-trajectory step of T1 decay.
+
+        With probability ``gamma * P(|1>)`` the excitation decays (jump
+        operator); otherwise the no-jump back-action slightly rotates
+        amplitude toward |0>.  Averaged over trajectories this is the
+        amplitude-damping channel with decay probability ``gamma``.
+        """
+        if not 0.0 <= gamma <= 1.0:
+            raise ValueError(f"gamma out of range: {gamma}")
+        if gamma == 0.0:
+            return
+        p_one = self.probability_of_one(qubit)
+        if self.rng.random() < gamma * p_one:
+            # Jump: the photon is emitted, the qubit lands in |0>.
+            self._project(qubit, 1, p_one)
+            self.apply_gate("x", (qubit,))
+            return
+        # No jump: K0 = diag(1, sqrt(1-gamma)), then renormalise.
+        k0 = np.array([[1.0, 0.0],
+                       [0.0, math.sqrt(1.0 - gamma)]], dtype=complex)
+        self.apply_kraus(k0, qubit)
+
+    def apply_kraus(self, matrix: np.ndarray, qubit: int) -> None:
+        """Apply a single-qubit Kraus operator and renormalise.
+
+        ``apply_unitary`` performs no unitarity check, so it doubles as
+        the raw operator application for trajectory noise channels.
+        """
+        self.apply_unitary(matrix, (qubit,))
+        norm = self.norm()
+        if norm == 0.0:
+            raise RuntimeError("state annihilated by Kraus operator")
+        self._amplitudes = self._amplitudes / norm
+
+    # -- queries ---------------------------------------------------------------
+
+    def probabilities(self) -> np.ndarray:
+        """Probability of every computational-basis state."""
+        return np.abs(self._amplitudes) ** 2
+
+    def fidelity_with(self, other: "StateVector") -> float:
+        """|<self|other>|^2."""
+        if other.n_qubits != self.n_qubits:
+            raise ValueError("qubit-count mismatch")
+        return float(abs(np.vdot(self._amplitudes, other._amplitudes)) ** 2)
+
+    def norm(self) -> float:
+        """State norm (should stay 1 up to rounding)."""
+        return float(np.linalg.norm(self._amplitudes))
+
+

@@ -1,0 +1,66 @@
+"""Qubit connectivity of the target QPU.
+
+The paper's experimental chip is a 10-qubit one-dimensional array
+(Section 8); the Shor-syndrome benchmark assumes all required two-qubit
+connections exist (Section 7).  Both are expressible here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An undirected coupling graph over ``n_qubits`` qubits."""
+
+    n_qubits: int
+    couplings: frozenset[tuple[int, int]] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.n_qubits <= 0:
+            raise ValueError("topology needs at least one qubit")
+        normalised = set()
+        for a, b in self.couplings:
+            if not (0 <= a < self.n_qubits and 0 <= b < self.n_qubits):
+                raise ValueError(f"coupling ({a}, {b}) out of range")
+            if a == b:
+                raise ValueError(f"self-coupling on qubit {a}")
+            normalised.add((min(a, b), max(a, b)))
+        object.__setattr__(self, "couplings", frozenset(normalised))
+
+    def are_coupled(self, a: int, b: int) -> bool:
+        """True if a two-qubit gate between ``a`` and ``b`` is legal."""
+        return (min(a, b), max(a, b)) in self.couplings
+
+    def neighbors(self, qubit: int) -> set[int]:
+        """Qubits directly coupled to ``qubit``."""
+        result = set()
+        for a, b in self.couplings:
+            if a == qubit:
+                result.add(b)
+            elif b == qubit:
+                result.add(a)
+        return result
+
+    def validate_gate(self, qubits: tuple[int, ...]) -> None:
+        """Raise if a multi-qubit gate violates the coupling graph."""
+        for qubit in qubits:
+            if not 0 <= qubit < self.n_qubits:
+                raise ValueError(f"qubit q{qubit} out of range")
+        if len(qubits) == 2 and not self.are_coupled(*qubits):
+            raise ValueError(
+                f"qubits q{qubits[0]} and q{qubits[1]} are not coupled")
+
+
+def linear_topology(n_qubits: int) -> Topology:
+    """Nearest-neighbour chain, like the paper's 10-qubit 1-D chip."""
+    couplings = frozenset((i, i + 1) for i in range(n_qubits - 1))
+    return Topology(n_qubits=n_qubits, couplings=couplings)
+
+
+def full_topology(n_qubits: int) -> Topology:
+    """All-to-all coupling — the Section 7 benchmark assumption."""
+    couplings = frozenset((i, j) for i in range(n_qubits)
+                          for j in range(i + 1, n_qubits))
+    return Topology(n_qubits=n_qubits, couplings=couplings)

@@ -1,0 +1,5 @@
+"""Discrete-event simulation substrate used by the whole control stack."""
+
+from repro.sim.kernel import Clock, Event, SimKernel, SimulationError
+
+__all__ = ["Clock", "Event", "SimKernel", "SimulationError"]

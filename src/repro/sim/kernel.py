@@ -1,0 +1,160 @@
+"""Discrete-event simulation kernel.
+
+Every component of the reproduced control stack (processors, scheduler,
+AWG, DAQ, QPU) advances simulated time by scheduling callbacks on a shared
+:class:`SimKernel`.  Time is kept in *nanoseconds* as an integer so that the
+100 MHz control-processor clock (10 ns period) and analog latencies compose
+without floating-point drift.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised when the kernel is used inconsistently (e.g. scheduling in
+    the past) or a run exceeds its event budget."""
+
+
+@dataclass(order=True)
+class Event:
+    """A pending callback in the event queue.
+
+    Events are ordered by ``(time, priority, seq)``: earlier time first,
+    then lower priority value, then insertion order.  ``seq`` guarantees a
+    deterministic total order, which keeps every simulation reproducible
+    for a fixed seed.
+    """
+
+    time: int
+    priority: int
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when it is popped."""
+        self.cancelled = True
+
+
+class SimKernel:
+    """Priority-queue discrete-event scheduler.
+
+    >>> kernel = SimKernel()
+    >>> fired = []
+    >>> _ = kernel.schedule(5, fired.append, 'a')
+    >>> _ = kernel.schedule(3, fired.append, 'b')
+    >>> kernel.run()
+    >>> (fired, kernel.now)
+    (['b', 'a'], 5)
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events dispatched so far."""
+        return self._events_processed
+
+    def schedule(self, delay: int, callback: Callable[..., None],
+                 *args: Any, priority: int = 0) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        return self.schedule_at(self._now + int(delay), callback, *args,
+                                priority=priority)
+
+    def schedule_at(self, time: int, callback: Callable[..., None],
+                    *args: Any, priority: int = 0) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time`` ns."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}")
+        event = Event(int(time), priority, next(self._seq), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def peek_time(self) -> int | None:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        """Dispatch the next event.  Returns ``False`` when idle."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: int | None = None,
+            max_events: int | None = None) -> None:
+        """Run events until the queue drains.
+
+        ``until`` stops the clock once the next event lies strictly beyond
+        that time; ``max_events`` bounds the total number of dispatches and
+        raises :class:`SimulationError` when exhausted (a guard against
+        accidental infinite feedback loops in processor models).
+        """
+        dispatched = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None:
+                return
+            if until is not None and next_time > until:
+                self._now = until
+                return
+            if max_events is not None and dispatched >= max_events:
+                raise SimulationError(
+                    f"event budget of {max_events} exhausted at t={self._now}")
+            self.step()
+            dispatched += 1
+
+
+class Clock:
+    """Converts between clock cycles and nanoseconds for one clock domain.
+
+    The paper's control processor, AWGs and DAQs all run at 100 MHz
+    (``period_ns=10``).
+    """
+
+    def __init__(self, period_ns: int = 10) -> None:
+        if period_ns <= 0:
+            raise ValueError("clock period must be positive")
+        self.period_ns = int(period_ns)
+
+    def to_ns(self, cycles: int) -> int:
+        """Duration of ``cycles`` clock cycles in nanoseconds."""
+        return int(cycles) * self.period_ns
+
+    def to_cycles(self, ns: int) -> int:
+        """Number of full cycles covering ``ns`` (ceiling division)."""
+        return -(-int(ns) // self.period_ns)
+
+    def cycles_at(self, time_ns: int) -> int:
+        """Cycle index containing the instant ``time_ns``."""
+        return int(time_ns) // self.period_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(period_ns={self.period_ns})"

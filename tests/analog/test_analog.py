@@ -1,0 +1,126 @@
+"""Unit tests for the analog board models (channels, AWG, DAQ)."""
+
+import pytest
+
+from repro.analog import (AWG, ChannelKind, ChannelMap, Codeword, DAQ,
+                          WaveformTable)
+from repro.qpu import PRNGQPU, PRNGReadout, StateVectorQPU
+from repro.sim import SimKernel
+
+
+class TestChannelMap:
+    def test_default_map_allocates_four_channels_per_qubit(self):
+        mapping = ChannelMap.default(10)
+        assert mapping.channel_count == 40
+
+    def test_microwave_vs_flux_routing(self):
+        mapping = ChannelMap.default(4)
+        xy = mapping.channels_for("h", (2,))
+        assert len(xy) == 1 and xy[0].kind is ChannelKind.MICROWAVE
+        flux = mapping.channels_for("cz", (1, 2))
+        assert [c.kind for c in flux] == [ChannelKind.FLUX] * 2
+        assert {c.qubit for c in flux} == {1, 2}
+
+    def test_measure_routes_to_readout(self):
+        mapping = ChannelMap.default(2)
+        channels = mapping.channels_for("measure", (1,))
+        assert channels[0].kind is ChannelKind.READOUT
+
+    def test_unknown_qubit_raises(self):
+        with pytest.raises(KeyError):
+            ChannelMap.default(2).microwave(5)
+
+
+class TestWaveformTable:
+    def test_ids_are_stable(self):
+        table = WaveformTable()
+        first = table.waveform_id("x90")
+        assert table.waveform_id("x90") == first
+        assert table.waveform_id("y90") != first
+
+    def test_params_quantised_into_key(self):
+        table = WaveformTable()
+        a = table.waveform_id("rx", (0.5,))
+        b = table.waveform_id("rx", (0.5 + 1e-9,))
+        c = table.waveform_id("rx", (0.6,))
+        assert a == b
+        assert a != c
+
+    def test_contains(self):
+        table = WaveformTable()
+        assert not table.contains("x")
+        table.waveform_id("x")
+        assert table.contains("x")
+
+
+def make_codeword(mapping, gate, qubits, time=0):
+    channel = mapping.channels_for(gate, qubits)[0]
+    return Codeword(channel=channel, waveform_id=0, issue_time_ns=time,
+                    gate=gate, qubits=qubits)
+
+
+class TestAWG:
+    def test_trigger_plays_after_latency(self):
+        kernel = SimKernel()
+        qpu = StateVectorQPU(2, seed=0)
+        awg = AWG(kernel=kernel, qpu=qpu, trigger_latency_ns=10)
+        mapping = ChannelMap.default(2)
+        awg.trigger(make_codeword(mapping, "x", (0,), time=0))
+        kernel.run()
+        assert qpu.operation_log[0].time_ns == 10
+        assert qpu.state.probability_of_one(0) == pytest.approx(1.0)
+        assert len(awg.pulses) == 1
+
+    def test_measure_codeword_does_not_touch_state(self):
+        kernel = SimKernel()
+        qpu = StateVectorQPU(1, seed=0)
+        awg = AWG(kernel=kernel, qpu=qpu)
+        mapping = ChannelMap.default(1)
+        awg.trigger(make_codeword(mapping, "measure", (0,)))
+        kernel.run()
+        assert qpu.operation_log == []
+
+    def test_channel_capacity_enforced(self):
+        kernel = SimKernel()
+        qpu = PRNGQPU(20, PRNGReadout(seed=0))
+        awg = AWG(kernel=kernel, qpu=qpu, channel_capacity=2)
+        mapping = ChannelMap.default(20)
+        awg.trigger(make_codeword(mapping, "x", (0,)))
+        awg.trigger(make_codeword(mapping, "x", (1,)))
+        with pytest.raises(RuntimeError):
+            awg.trigger(make_codeword(mapping, "x", (2,)))
+
+
+class TestDAQ:
+    def test_delivery_after_pulse_and_acquisition(self):
+        kernel = SimKernel()
+        qpu = StateVectorQPU(1, seed=0)
+        qpu.apply_gate(0, "x", (0,))
+        delivered = []
+        daq = DAQ(kernel=kernel, qpu=qpu,
+                  deliver=lambda q, v, t: delivered.append((q, v, t)),
+                  pulse_ns=300, acquisition_ns=100)
+        daq.begin_measurement(0, 0)
+        kernel.run()
+        assert delivered == [(0, 1, 400)]
+        assert daq.records[0].outcome == 1
+
+    def test_jitter_spreads_latency(self):
+        kernel = SimKernel()
+        qpu = PRNGQPU(1, PRNGReadout(seed=0))
+        times = []
+        daq = DAQ(kernel=kernel, qpu=qpu,
+                  deliver=lambda q, v, t: times.append(t),
+                  pulse_ns=100, acquisition_ns=50, jitter_ns=40, seed=1)
+        for start in range(0, 10_000, 1000):
+            daq.begin_measurement(0, start)
+        kernel.run()
+        latencies = {t - s for t, s in zip(times, range(0, 10_000, 1000))}
+        assert all(150 <= lat <= 190 for lat in latencies)
+        assert len(latencies) > 1  # jitter actually varies
+
+    def test_nominal_latency(self):
+        kernel = SimKernel()
+        daq = DAQ(kernel=kernel, qpu=PRNGQPU(1, PRNGReadout()),
+                  deliver=lambda *a: None)
+        assert daq.nominal_latency_ns == 400

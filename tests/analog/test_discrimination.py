@@ -1,0 +1,82 @@
+"""Tests for IQ-plane measurement discrimination."""
+
+import random
+
+import pytest
+
+from repro.analog import (DAQ, IQDiscriminator, IQPoint,
+                          discriminator_for_fidelity)
+from repro.qpu import StateVectorQPU
+from repro.sim import SimKernel
+
+
+class TestIQDiscriminator:
+    def test_snr_and_separation(self):
+        disc = IQDiscriminator(sigma=0.25)
+        assert disc.separation == pytest.approx(1.0)
+        assert disc.snr == pytest.approx(4.0)
+
+    def test_clean_shots_classified_correctly(self):
+        disc = IQDiscriminator(sigma=0.01)
+        rng = random.Random(0)
+        for state in (0, 1):
+            outcomes = [disc.classify_state(state, rng)[0]
+                        for _ in range(50)]
+            assert outcomes == [state] * 50
+
+    def test_assignment_fidelity_matches_monte_carlo(self):
+        disc = IQDiscriminator(sigma=0.3)
+        rng = random.Random(1)
+        correct = 0
+        trials = 4000
+        for index in range(trials):
+            state = index % 2
+            outcome, _ = disc.classify_state(state, rng)
+            correct += outcome == state
+        assert correct / trials == pytest.approx(
+            disc.assignment_fidelity(), abs=0.02)
+
+    def test_midpoint_threshold(self):
+        disc = IQDiscriminator()
+        assert disc.discriminate(IQPoint(0.1, 0.0)) == 0
+        assert disc.discriminate(IQPoint(0.9, 0.0)) == 1
+
+    def test_calibration_helper(self):
+        for target in (0.95, 0.99):
+            disc = discriminator_for_fidelity(target)
+            assert disc.assignment_fidelity() == pytest.approx(target,
+                                                               abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IQDiscriminator(sigma=0.0)
+        with pytest.raises(ValueError):
+            IQDiscriminator(ground=IQPoint(0, 0), excited=IQPoint(0, 0))
+        with pytest.raises(ValueError):
+            discriminator_for_fidelity(0.4)
+
+
+class TestDaqIntegration:
+    def run_daq(self, sigma, state, seed=0):
+        kernel = SimKernel()
+        qpu = StateVectorQPU(1, seed=seed)
+        if state:
+            qpu.apply_gate(0, "x", (0,))
+        delivered = []
+        daq = DAQ(kernel=kernel, qpu=qpu,
+                  deliver=lambda q, v, t: delivered.append(v),
+                  discriminator=IQDiscriminator(sigma=sigma), seed=seed)
+        daq.begin_measurement(0, 20)
+        kernel.run()
+        return delivered[0], daq.records[0]
+
+    def test_iq_point_recorded(self):
+        outcome, record = self.run_daq(sigma=0.05, state=1)
+        assert record.iq is not None
+        assert outcome == 1
+        assert record.iq.i > 0.5  # near the excited blob
+
+    def test_noisy_readout_misassigns_sometimes(self):
+        outcomes = [self.run_daq(sigma=1.5, state=1, seed=seed)[0]
+                    for seed in range(40)]
+        assert 0 < sum(outcomes) < 40  # some shots flip each way

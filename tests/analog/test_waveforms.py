@@ -1,0 +1,113 @@
+"""Tests for pulse-envelope synthesis (the AWG waveform tables)."""
+
+import numpy as np
+import pytest
+
+from repro.analog import (PulseLibrary, drag_envelope,
+                          flat_top_envelope, gaussian_envelope,
+                          square_envelope)
+
+
+class TestEnvelopes:
+    def test_gaussian_shape(self):
+        envelope = gaussian_envelope(20)
+        assert len(envelope) == 20
+        assert envelope.max() == pytest.approx(1.0)
+        # Symmetric and edge-touching.
+        assert envelope[0] == pytest.approx(envelope[-1], abs=1e-12)
+        assert envelope[0] == pytest.approx(0.0, abs=1e-9)
+        peak_index = int(np.argmax(envelope))
+        assert peak_index in (9, 10)
+
+    def test_gaussian_amplitude_scaling(self):
+        half = gaussian_envelope(20, amplitude=0.5)
+        full = gaussian_envelope(20, amplitude=1.0)
+        assert np.allclose(half, 0.5 * full)
+
+    def test_gaussian_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_envelope(0)
+        with pytest.raises(ValueError):
+            gaussian_envelope(20, sigma_fraction=0.9)
+
+    def test_drag_has_quadrature_component(self):
+        pulse = drag_envelope(20, drag_coefficient=0.5)
+        assert np.iscomplexobj(pulse)
+        assert np.abs(pulse.imag).max() == pytest.approx(0.5)
+        # The derivative component is antisymmetric: zero total area.
+        assert np.sum(pulse.imag) == pytest.approx(0.0, abs=1e-9)
+
+    def test_drag_zero_coefficient_is_gaussian(self):
+        pulse = drag_envelope(20, drag_coefficient=0.0)
+        assert np.allclose(pulse.imag, 0.0)
+        assert np.allclose(pulse.real, gaussian_envelope(20))
+
+    def test_flat_top_plateau(self):
+        envelope = flat_top_envelope(40, ramp_fraction=0.2)
+        assert len(envelope) == 40
+        plateau = envelope[10:30]
+        assert np.allclose(plateau, 1.0)
+        assert envelope[0] < 0.1
+
+    def test_square(self):
+        envelope = square_envelope(300, amplitude=0.3)
+        assert len(envelope) == 300
+        assert np.allclose(envelope, 0.3)
+
+
+class TestPulseLibrary:
+    def test_rotation_amplitude_convention(self):
+        library = PulseLibrary()
+        x_full = library.waveform("x", 20)
+        x_half = library.waveform("x90", 20)
+        ratio = (np.abs(x_half.samples.real).max()
+                 / np.abs(x_full.samples.real).max())
+        assert ratio == pytest.approx(0.5)
+
+    def test_parametric_rotation_scales_with_angle(self):
+        library = PulseLibrary()
+        quarter = library.waveform("rx", 20, (np.pi / 4,))
+        full = library.waveform("rx", 20, (np.pi,))
+        ratio = (np.abs(quarter.samples.real).max()
+                 / np.abs(full.samples.real).max())
+        assert ratio == pytest.approx(0.25)
+
+    def test_virtual_z_is_silent(self):
+        library = PulseLibrary()
+        assert library.waveform("rz", 20, (1.0,)).energy == 0.0
+        assert library.waveform("z", 20).energy == 0.0
+
+    def test_two_qubit_gates_use_flat_top(self):
+        library = PulseLibrary()
+        waveform = library.waveform("cz", 40)
+        assert waveform.n_samples == 40
+        assert np.allclose(waveform.samples[15:25], 1.0)
+
+    def test_cache_returns_same_object(self):
+        library = PulseLibrary()
+        first = library.waveform("h", 20)
+        second = library.waveform("h", 20)
+        assert first is second
+        assert len(library) == 1
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(KeyError):
+            PulseLibrary().waveform("warp", 20)
+
+
+class TestAwgIntegration:
+    def test_pulse_events_carry_waveforms(self):
+        from repro.analog import AWG, ChannelMap, Codeword
+        from repro.qpu import StateVectorQPU
+        from repro.sim import SimKernel
+
+        kernel = SimKernel()
+        qpu = StateVectorQPU(1, seed=0)
+        awg = AWG(kernel=kernel, qpu=qpu, pulse_library=PulseLibrary())
+        mapping = ChannelMap.default(1)
+        channel = mapping.channels_for("x90", (0,))[0]
+        awg.trigger(Codeword(channel=channel, waveform_id=0,
+                             issue_time_ns=0, gate="x90", qubits=(0,)))
+        kernel.run()
+        assert awg.pulses[0].waveform is not None
+        assert awg.pulses[0].waveform.n_samples == 20

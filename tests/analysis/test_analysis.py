@@ -1,0 +1,63 @@
+"""Unit tests for analysis helpers."""
+
+import pytest
+
+from repro.analysis import (SpeedupSeries, collect_speedups,
+                            format_comparison, format_table)
+
+
+class TestSpeedupSeries:
+    def test_mean_and_speedup(self):
+        series = SpeedupSeries(baseline_label="1p")
+        for t in (1000, 1200):
+            series.add("1p", t)
+        for t in (500, 600):
+            series.add("2p", t)
+        assert series.mean("1p") == pytest.approx(1100)
+        assert series.speedup("2p") == pytest.approx(2.0)
+        assert series.speedup("1p") == pytest.approx(1.0)
+
+    def test_rows(self):
+        series = SpeedupSeries(baseline_label="1p")
+        series.add("1p", 2000)
+        series.add("2p", 1000)
+        rows = series.rows()
+        assert rows[0][0] == "1p"
+        assert rows[1][3] == pytest.approx(2.0)
+
+    def test_collect_speedups(self):
+        def run(n_processors, seed):
+            return 6000 // n_processors + seed
+
+        series = collect_speedups(run, [1, 2, 3], repeats=4)
+        assert series.samples["1p"].runs == 4
+        assert series.speedup("3p") > series.speedup("2p") > 1.0
+
+    def test_stdev(self):
+        series = SpeedupSeries(baseline_label="1p")
+        series.add("1p", 100)
+        assert series.samples["1p"].stdev_ns == 0.0
+        series.add("1p", 200)
+        assert series.samples["1p"].stdev_ns > 0
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"],
+                            [["alpha", 1.5], ["b", 22.25]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "alpha" in lines[3]
+        assert "22.25" in lines[4]
+        # Columns align: the value column starts at the same offset.
+        assert lines[3].index("1.50") == lines[4].index("22.25")
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_comparison(self):
+        line = format_comparison("speedup", 2.59, 2.56)
+        assert "paper 2.59x" in line
+        assert "measured 2.56x" in line

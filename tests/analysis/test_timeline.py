@@ -1,0 +1,78 @@
+"""Tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro.analysis import lateness_summary, render_timeline
+from repro.qcp.trace import IssueRecord, Trace
+
+
+def record(time_ns, gate, qubits, late_ns=0):
+    return IssueRecord(time_ns=time_ns, gate=gate, qubits=qubits,
+                       params=(), processor=0, block=None, step_id=None,
+                       late_ns=late_ns)
+
+
+class TestRenderTimeline:
+    def test_empty_trace(self):
+        assert "no operations" in render_timeline(Trace())
+
+    def test_gates_painted_at_their_times(self):
+        trace = Trace()
+        trace.record_issue(record(0, "h", (0,)))
+        trace.record_issue(record(40, "x", (0,)))
+        text = render_timeline(trace, resolution_ns=10)
+        row = next(line for line in text.splitlines()
+                   if line.strip().startswith("q0"))
+        cells = row.split(maxsplit=1)[1]
+        assert cells[0:2] == "HH"          # 20 ns h
+        assert cells[2:4] == ".."          # idle gap
+        assert cells[4:6] == "XX"
+
+    def test_two_qubit_gate_spans_both_rows(self):
+        trace = Trace()
+        trace.record_issue(record(0, "cnot", (0, 1)))
+        text = render_timeline(trace, resolution_ns=10)
+        rows = [line for line in text.splitlines()
+                if line.strip().startswith("q")]
+        assert all("CCCC" in row for row in rows)  # 40 ns cnot
+
+    def test_measure_marker(self):
+        trace = Trace()
+        trace.record_issue(record(0, "measure", (2,)))
+        text = render_timeline(trace, resolution_ns=10)
+        assert "M" in text
+
+    def test_truncation_note(self):
+        trace = Trace()
+        trace.record_issue(record(0, "h", (0,)))
+        trace.record_issue(record(5000, "h", (0,)))
+        text = render_timeline(trace, resolution_ns=10, max_columns=20)
+        assert "truncated" in text
+
+    def test_qubit_filter(self):
+        trace = Trace()
+        trace.record_issue(record(0, "h", (0,)))
+        trace.record_issue(record(0, "h", (1,)))
+        text = render_timeline(trace, qubits=[1])
+        assert "q1" in text and "q0" not in text
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            render_timeline(Trace(), resolution_ns=0)
+
+
+class TestLatenessSummary:
+    def test_on_time(self):
+        trace = Trace()
+        trace.record_issue(record(0, "h", (0,)))
+        assert "exactly" in lateness_summary(trace)
+
+    def test_late_operations_reported(self):
+        trace = Trace()
+        trace.record_issue(record(0, "h", (0,)))
+        trace.record_issue(record(10, "x", (1,), late_ns=10))
+        trace.record_issue(record(20, "y", (2,), late_ns=30))
+        summary = lateness_summary(trace)
+        assert "2 of 3" in summary
+        assert "40 ns" in summary
+        assert "worst 30 ns" in summary

@@ -1,0 +1,103 @@
+"""Tests for the dynamic-circuit applications (Section 2.4)."""
+
+import math
+
+import pytest
+
+from repro.benchlib import (active_reset_program, estimated_phase,
+                            iterative_phase_estimation_program,
+                            teleportation_program)
+from repro.qcp import QuAPESystem, scalar_config, superscalar_config
+from repro.qpu import StateVectorQPU, full_topology
+
+
+def run_on_statevector(program, n_qubits, seed=0, config=None):
+    qpu = StateVectorQPU(full_topology(n_qubits), seed=seed)
+    system = QuAPESystem(
+        program=program, qpu=qpu,
+        config=config or scalar_config(fast_context_switch=True))
+    system.run()
+    system.kernel.run()  # drain trailing conditional-issue events
+    return system, qpu
+
+
+class TestActiveReset:
+    def test_resets_excited_qubit(self):
+        for seed in range(5):
+            program = active_reset_program(prepare_excited=True)
+            _, qpu = run_on_statevector(program, 1, seed=seed)
+            assert qpu.state.probability_of_one(0) == pytest.approx(0.0)
+
+    def test_leaves_ground_qubit_alone(self):
+        program = active_reset_program(prepare_excited=False)
+        system, qpu = run_on_statevector(program, 1)
+        assert qpu.state.probability_of_one(0) == pytest.approx(0.0)
+        assert all(op.gate != "x" for op in qpu.operation_log)
+
+
+class TestTeleportation:
+    @pytest.mark.parametrize("theta", [0.0, 0.7, 1.2345, math.pi / 2,
+                                       2.8])
+    def test_state_arrives_on_q2(self, theta):
+        expected_p1 = math.sin(theta / 2) ** 2
+        for seed in range(6):
+            program = teleportation_program(theta)
+            _, qpu = run_on_statevector(program, 3, seed=seed)
+            assert qpu.state.probability_of_one(2) == pytest.approx(
+                expected_p1, abs=1e-9)
+
+    def test_corrections_follow_measured_bits(self):
+        # Run many seeds; whenever q1 measured 1 an X must have been
+        # issued on q2, and whenever q0 measured 1 a Z.
+        program = teleportation_program(0.9)
+        for seed in range(10):
+            system, qpu = run_on_statevector(program, 3, seed=seed)
+            results = {d.qubit: d.value
+                       for d in system.results.history}
+            issued = [(op.gate, op.qubits) for op in qpu.operation_log]
+            assert (("x", (2,)) in issued) == bool(results[1])
+            assert (("z", (2,)) in issued) == bool(results[0])
+
+    def test_works_on_superscalar_too(self):
+        program = teleportation_program(1.1)
+        _, qpu = run_on_statevector(program, 3, seed=3,
+                                    config=superscalar_config(8))
+        assert qpu.state.probability_of_one(2) == pytest.approx(
+            math.sin(0.55) ** 2, abs=1e-9)
+
+
+class TestIterativePhaseEstimation:
+    @pytest.mark.parametrize("numerator", [0, 1, 5, 9, 15])
+    def test_recovers_exact_4bit_phases(self, numerator):
+        phase = numerator / 16
+        program = iterative_phase_estimation_program(phase, bits=4)
+        system, _ = run_on_statevector(program, 2, seed=1)
+        estimate = estimated_phase(system.shared.read(0), 4)
+        assert estimate == pytest.approx(phase)
+
+    def test_more_bits_more_precision(self):
+        phase = 11 / 64
+        program = iterative_phase_estimation_program(phase, bits=6)
+        system, _ = run_on_statevector(program, 2, seed=2)
+        estimate = estimated_phase(system.shared.read(0), 6)
+        assert estimate == pytest.approx(phase)
+
+    def test_inexact_phase_concentrates_near_true_value(self):
+        # 0.3 is not a 3-bit binary fraction: plain IPE then lands on
+        # one of the two adjacent grid points with high probability but
+        # may occasionally wander further (no majority voting here).
+        phase = 0.3
+        estimates = []
+        for seed in range(12):
+            program = iterative_phase_estimation_program(phase, bits=3)
+            system, _ = run_on_statevector(program, 2, seed=seed)
+            estimates.append(estimated_phase(system.shared.read(0), 3))
+        near = sum(1 for e in estimates
+                   if abs(e - phase) <= 1 / 8 or abs(e - phase) >= 7 / 8)
+        assert near >= len(estimates) // 2
+
+    def test_bits_bounds(self):
+        with pytest.raises(ValueError):
+            iterative_phase_estimation_program(0.5, bits=0)
+        with pytest.raises(ValueError):
+            iterative_phase_estimation_program(0.5, bits=13)

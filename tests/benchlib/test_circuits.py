@@ -1,0 +1,66 @@
+"""Tests for the 7-benchmark suite generators."""
+
+import pytest
+
+from repro.benchlib import BENCHMARKS, SUITE, get_benchmark
+from repro.circuit import schedule_asap
+
+
+class TestSuiteRegistry:
+    def test_seven_benchmarks(self):
+        assert len(SUITE) == 7
+
+    def test_paper_named_benchmarks_present(self):
+        assert "hs16" in BENCHMARKS
+        assert "rd84_143" in BENCHMARKS
+
+    def test_sources_cover_all_three_collections(self):
+        sources = {spec.source for spec in SUITE}
+        assert sources == {"Qiskit", "ScaffCC", "RevLib"}
+
+    def test_lookup_errors(self):
+        with pytest.raises(KeyError):
+            get_benchmark("nope")
+
+    def test_generators_are_deterministic(self):
+        for spec in SUITE:
+            first = [str(op) for op in spec.circuit().operations]
+            second = [str(op) for op in spec.circuit().operations]
+            assert first == second
+
+
+class TestCircuitShapes:
+    def test_all_circuits_schedule_cleanly(self):
+        for spec in SUITE:
+            schedule = schedule_asap(spec.circuit())
+            assert schedule.steps
+
+    def test_hs16_is_maximally_parallel(self):
+        schedule = schedule_asap(get_benchmark("hs16").circuit())
+        assert schedule.max_parallelism == 16
+        assert schedule.mean_parallelism >= 10
+
+    def test_rd84_is_mostly_serial(self):
+        schedule = schedule_asap(get_benchmark("rd84_143").circuit())
+        assert schedule.mean_parallelism < 2.5
+
+    def test_bv_has_one_wide_layer_in_serial_program(self):
+        schedule = schedule_asap(get_benchmark("bv_n16").circuit())
+        assert schedule.max_parallelism == 16
+        assert schedule.mean_parallelism < 2.5
+
+    def test_grover_alternates_wide_and_narrow(self):
+        schedule = schedule_asap(get_benchmark("grover_n9").circuit())
+        assert schedule.max_parallelism == 9
+        assert 1.0 < schedule.mean_parallelism < 5.0
+
+    def test_qubit_counts(self):
+        expected = {"hs16": 16, "ising_n16": 16, "qft_n16": 16,
+                    "grover_n9": 9, "rd84_143": 12, "sym9_148": 10,
+                    "bv_n16": 16}
+        for name, count in expected.items():
+            assert get_benchmark(name).circuit().n_qubits == count
+
+    def test_every_benchmark_measures_something(self):
+        for spec in SUITE:
+            assert spec.circuit().measurement_count >= 1

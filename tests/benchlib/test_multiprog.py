@@ -1,0 +1,77 @@
+"""Tests for multiprogramming workloads (Section 3.1.2)."""
+
+import pytest
+
+from repro.benchlib import (compile_multiprogram, merge_circuits,
+                            standard_task_mix)
+from repro.circuit import QuantumCircuit
+from repro.qcp import QuAPESystem, scalar_config
+
+
+class TestMergeCircuits:
+    def test_qubits_are_offset(self):
+        a = QuantumCircuit(2, "a").h(0).cnot(0, 1)
+        b = QuantumCircuit(3, "b").x(2)
+        merged = merge_circuits([a, b])
+        assert merged.n_qubits == 5
+        assert merged.operations[0].qubits == (0,)
+        assert merged.operations[2].qubits == (4,)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            merge_circuits([])
+
+
+class TestCompileMultiprogram:
+    def test_one_block_per_task(self):
+        compiled = compile_multiprogram(standard_task_mix())
+        names = [block.name for block in compiled.program.blocks]
+        assert len(names) == 4
+        assert all(name.startswith("task") for name in names)
+        assert all(block.priority == 0
+                   for block in compiled.program.blocks)
+
+    def test_tasks_do_not_share_qubits(self):
+        compiled = compile_multiprogram(standard_task_mix())
+        program = compiled.program
+        per_block_qubits = {}
+        for block in program.blocks:
+            touched = set()
+            for instr in program.instructions[block.start:block.end]:
+                touched.update(getattr(instr, "qubits", ()))
+            per_block_qubits[block.name] = touched
+        names = list(per_block_qubits)
+        for i, left in enumerate(names):
+            for right in names[i + 1:]:
+                assert not (per_block_qubits[left]
+                            & per_block_qubits[right])
+
+    def test_all_operations_preserved(self):
+        tasks = standard_task_mix()
+        compiled = compile_multiprogram(tasks)
+        total_gates = sum(task.gate_count for task in tasks)
+        assert compiled.program.quantum_instruction_count == total_gates
+
+
+class TestExecution:
+    def test_results_independent_of_processor_count(self):
+        compiled = compile_multiprogram(standard_task_mix())
+        streams = []
+        for count in (1, 2, 4):
+            system = QuAPESystem(program=compiled.program,
+                                 config=scalar_config(),
+                                 n_processors=count, n_qubits=13)
+            result = system.run()
+            streams.append(sorted((r.gate, r.qubits)
+                                  for r in result.trace.issues))
+        assert streams[0] == streams[1] == streams[2]
+
+    def test_more_processors_finish_sooner(self):
+        compiled = compile_multiprogram(standard_task_mix())
+        times = {}
+        for count in (1, 4):
+            system = QuAPESystem(program=compiled.program,
+                                 config=scalar_config(),
+                                 n_processors=count, n_qubits=13)
+            times[count] = system.run().total_ns
+        assert times[4] < times[1]

@@ -1,0 +1,99 @@
+"""Tests for the parallel RUS workload generators (Section 3.1.3)."""
+
+import pytest
+
+from repro.benchlib import (ancilla_qubits, build_rus_blocks,
+                            build_rus_single_flow, subcircuit_qubits)
+from repro.qcp import QuAPESystem, scalar_config
+from repro.qpu import PRNGQPU
+from repro.qpu.readout import DeterministicReadout
+
+
+def run(program, outcomes, n_processors=1):
+    n_qubits = 6
+    system = QuAPESystem(
+        program=program, config=scalar_config(),
+        n_processors=n_processors,
+        qpu=PRNGQPU(n_qubits, DeterministicReadout(outcomes=outcomes)),
+        n_qubits=n_qubits)
+    return system.run(), system
+
+
+class TestStructure:
+    def test_blocks_program_has_one_block_per_subcircuit(self):
+        program = build_rus_blocks(3)
+        assert [b.name for b in program.blocks] == ["W1", "W2", "W3"]
+        assert all(b.priority == 0 for b in program.blocks)
+
+    def test_single_flow_program_is_one_block(self):
+        program = build_rus_single_flow(3)
+        assert len(program.blocks) == 1
+
+    def test_subcircuit_qubits_disjoint(self):
+        seen = set()
+        for index in range(4):
+            qubits = set(subcircuit_qubits(index))
+            assert not qubits & seen
+            seen |= qubits
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            build_rus_blocks(0)
+        with pytest.raises(ValueError):
+            build_rus_single_flow(0)
+        with pytest.raises(ValueError):
+            build_rus_single_flow(17)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("builder", [build_rus_blocks,
+                                         build_rus_single_flow])
+    def test_success_first_try_no_resets(self, builder):
+        program = builder(2)
+        result, _ = run(program, outcomes={})
+        assert all(r.gate != "reset" for r in result.trace.issues)
+
+    @pytest.mark.parametrize("builder", [build_rus_blocks,
+                                         build_rus_single_flow])
+    def test_failure_triggers_recovery_and_retry(self, builder):
+        program = builder(2)
+        a0 = ancilla_qubits(2)[0]
+        result, _ = run(program, outcomes={a0: [1, 0]})
+        resets = [r for r in result.trace.issues if r.gate == "reset"]
+        assert len(resets) == 3  # one recovery of sub-circuit 0
+        # Sub-circuit 0 attempted twice: two h gates on its data qubit.
+        attempts = [r for r in result.trace.issues
+                    if r.gate == "h" and r.qubits == (0,)]
+        assert len(attempts) == 2
+
+    def test_only_failing_subcircuit_retries_with_blocks(self):
+        program = build_rus_blocks(2)
+        a0, a1 = ancilla_qubits(2)
+        result, _ = run(program, outcomes={a0: [1, 1, 0]},
+                        n_processors=2)
+        w1_attempts = [r for r in result.trace.issues
+                       if r.gate == "h" and r.qubits == (0,)]
+        w2_attempts = [r for r in result.trace.issues
+                       if r.gate == "h" and r.qubits == (3,)]
+        assert len(w1_attempts) == 3
+        assert len(w2_attempts) == 1
+
+    def test_blocks_on_two_processors_overlap_in_time(self):
+        program = build_rus_blocks(2)
+        result, _ = run(program, outcomes={}, n_processors=2)
+        w1_times = [r.time_ns for r in result.trace.issues
+                    if r.qubits and r.qubits[0] in (0, 1, 2)]
+        w2_times = [r.time_ns for r in result.trace.issues
+                    if r.qubits and r.qubits[0] in (3, 4, 5)]
+        # The two sub-circuits' operation windows overlap.
+        assert min(w2_times) < max(w1_times)
+
+    def test_single_flow_couples_the_subcircuits(self):
+        # W1 fails twice; under the single control flow, W2's *final*
+        # state (already succeeded) still waits for W1's retries before
+        # the program can terminate.
+        program = build_rus_single_flow(2)
+        a0 = ancilla_qubits(2)[0]
+        coupled, _ = run(program, outcomes={a0: [1, 1, 0]})
+        clean, _ = run(program, outcomes={})
+        assert coupled.total_ns > clean.total_ns + 800

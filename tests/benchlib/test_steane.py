@@ -1,0 +1,124 @@
+"""Tests for the Shor syndrome measurement benchmark (Section 7)."""
+
+import pytest
+
+from repro.benchlib import (N_QUBITS, N_STABILIZERS,
+                            build_shor_syndrome_program,
+                            stabilizer_layouts, verification_qubits)
+from repro.benchlib.steane import REPORT_ADDR, syndrome_addr, vote_addr
+from repro.qcp import QuAPESystem, scalar_config
+from repro.qpu import PRNGQPU, PRNGReadout
+from repro.qpu.readout import DeterministicReadout
+
+
+class TestProgramStructure:
+    def test_paper_configuration(self):
+        """50 blocks over 15 priorities, as in the paper's benchmark."""
+        program = build_shor_syndrome_program()
+        assert len(program.blocks) == 50
+        assert len({b.priority for b in program.blocks}) == 15
+
+    def test_uses_37_qubits(self):
+        assert N_QUBITS == 37
+        layouts = stabilizer_layouts()
+        qubits = set(range(7))
+        for layout in layouts:
+            qubits.update(layout.cat)
+            qubits.add(layout.verify)
+        assert qubits == set(range(37))
+
+    def test_instruction_mix_is_balanced(self):
+        """The paper reports 288 quantum / 252 classical instructions;
+        our generator lands in the same regime (complex classical
+        control, quantum:classical ratio near 1)."""
+        program = build_shor_syndrome_program()
+        quantum = program.quantum_instruction_count
+        classical = program.classical_instruction_count
+        assert 250 <= quantum <= 450
+        assert 250 <= classical <= 400
+        assert 0.8 <= quantum / classical <= 1.5
+
+    def test_stabilizer_blocks_share_priority(self):
+        program = build_shor_syndrome_program()
+        prep_blocks = [b for b in program.blocks
+                       if b.name.startswith("prep_r0")]
+        assert len(prep_blocks) == N_STABILIZERS
+        assert len({b.priority for b in prep_blocks}) == 1
+
+    def test_every_block_terminates(self):
+        program = build_shor_syndrome_program()
+        program.ensure_block_terminators()
+
+    def test_single_round_variant(self):
+        program = build_shor_syndrome_program(rounds=1)
+        assert len(program.blocks) == 1 + 14 + 7
+        with pytest.raises(ValueError):
+            build_shor_syndrome_program(rounds=0)
+
+
+def run_benchmark(outcomes=None, failure_rate=None, seed=0,
+                  n_processors=2):
+    program = build_shor_syndrome_program()
+    if failure_rate is not None:
+        readout = PRNGReadout(
+            failure_rate=0.0,
+            per_qubit={q: failure_rate for q in verification_qubits()},
+            seed=seed)
+    else:
+        readout = DeterministicReadout(outcomes=dict(outcomes or {}))
+    system = QuAPESystem(program=program, config=scalar_config(),
+                         n_processors=n_processors,
+                         qpu=PRNGQPU(37, readout), n_qubits=37)
+    return system.run(), system
+
+
+class TestExecution:
+    def test_runs_to_completion_without_failures(self):
+        result, _ = run_benchmark(outcomes={})
+        assert result.total_ns > 0
+
+    def test_rus_retries_on_verification_failure(self):
+        verify0 = stabilizer_layouts()[0].verify
+        fail_once, _ = run_benchmark(outcomes={verify0: [1, 0]})
+        clean, _ = run_benchmark(outcomes={})
+        resets = [r for r in fail_once.trace.issues
+                  if r.gate == "reset"]
+        assert len(resets) == 5  # the failed stabilizer's ancilla block
+        assert fail_once.total_ns > clean.total_ns
+
+    def test_syndrome_bits_stored_per_round(self):
+        layout = stabilizer_layouts()[2]
+        outcomes = {layout.cat[0]: [1, 0, 0]}
+        result, system = run_benchmark(outcomes=outcomes)
+        # Round 0 parity of stabilizer 2 is 1 (one flipped ancilla).
+        assert system.shared.read(syndrome_addr(0, 2)) == 1
+        assert system.shared.read(syndrome_addr(1, 2)) == 0
+
+    def test_majority_vote(self):
+        layout = stabilizer_layouts()[4]
+        # Ancilla a0 reads 1 in rounds 0 and 2 -> majority 1.
+        outcomes = {layout.cat[0]: [1, 0, 1]}
+        result, system = run_benchmark(outcomes=outcomes)
+        assert system.shared.read(vote_addr(4)) == 1
+        assert system.shared.read(vote_addr(3)) == 0
+
+    def test_report_word_aggregates_votes(self):
+        layout5 = stabilizer_layouts()[5]
+        outcomes = {layout5.cat[0]: [1, 1, 1]}
+        result, system = run_benchmark(outcomes=outcomes)
+        # Stabilizer 5 is the least significant bit of the report word.
+        assert system.shared.read(REPORT_ADDR) == 1
+
+    def test_higher_failure_rate_increases_time(self):
+        fast = [run_benchmark(failure_rate=0.05, seed=s)[0].total_ns
+                for s in range(5)]
+        slow = [run_benchmark(failure_rate=0.6, seed=s)[0].total_ns
+                for s in range(5)]
+        assert sum(slow) / len(slow) > sum(fast) / len(fast)
+
+    def test_multiprocessor_speedup_on_benchmark(self):
+        single, _ = run_benchmark(failure_rate=0.25, seed=1,
+                                  n_processors=1)
+        six, _ = run_benchmark(failure_rate=0.25, seed=1,
+                               n_processors=6)
+        assert six.total_ns < single.total_ns

@@ -1,0 +1,106 @@
+"""Unit tests for the circuit IR."""
+
+import pytest
+
+from repro.circuit import Operation, QuantumCircuit
+
+
+class TestConstruction:
+    def test_chainable_builders(self):
+        circuit = QuantumCircuit(2).h(0).cnot(0, 1).measure(0).measure(1)
+        assert len(circuit) == 4
+        assert circuit.gate_count == 4
+        assert circuit.measurement_count == 2
+
+    def test_qubit_range_enforced(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            circuit.h(2)
+        with pytest.raises(ValueError):
+            circuit.cnot(0, 5)
+
+    def test_gate_arity_enforced(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            circuit.append("cnot", (0,))
+        with pytest.raises(ValueError):
+            circuit.append("h", (0, 1))
+
+    def test_parametric_gates(self):
+        circuit = QuantumCircuit(1).rx(0.5, 0).rz(-1.5, 0)
+        assert circuit.operations[0].params == (0.5,)
+        with pytest.raises(ValueError):
+            circuit.append("rx", 0)  # missing parameter
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(2).append("cnot", (1, 1))
+
+    def test_zero_qubit_circuit_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)
+
+
+class TestConditionals:
+    def test_conditional_records_condition(self):
+        circuit = QuantumCircuit(2).measure(1)
+        circuit.conditional("x", 0, measured_qubit=1)
+        op = circuit.operations[-1]
+        assert op.condition == (1, 1)
+
+    def test_conditional_on_value_zero(self):
+        circuit = QuantumCircuit(2)
+        circuit.conditional("x", 0, measured_qubit=1, value=0)
+        assert circuit.operations[-1].condition == (1, 0)
+
+    def test_condition_qubit_range_checked(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            circuit.conditional("x", 0, measured_qubit=9)
+
+
+class TestBarriers:
+    def test_barrier_defaults_to_all_qubits(self):
+        circuit = QuantumCircuit(3).barrier()
+        assert circuit.operations[0].qubits == (0, 1, 2)
+        assert circuit.operations[0].is_barrier
+
+    def test_barriers_not_counted_as_gates(self):
+        circuit = QuantumCircuit(2).h(0).barrier().x(1)
+        assert circuit.gate_count == 2
+
+
+class TestQueries:
+    def test_used_qubits_includes_condition_qubits(self):
+        circuit = QuantumCircuit(4).h(0)
+        circuit.conditional("x", 2, measured_qubit=3)
+        assert circuit.used_qubits() == {0, 2, 3}
+
+    def test_copy_is_independent(self):
+        original = QuantumCircuit(2).h(0)
+        clone = original.copy()
+        clone.x(1)
+        assert len(original) == 1
+        assert len(clone) == 2
+
+    def test_compose_with_qubit_map(self):
+        inner = QuantumCircuit(2).h(0).cnot(0, 1)
+        outer = QuantumCircuit(4)
+        outer.compose(inner, qubit_map={0: 2, 1: 3})
+        assert outer.operations[0].qubits == (2,)
+        assert outer.operations[1].qubits == (2, 3)
+
+    def test_str_includes_ops(self):
+        text = str(QuantumCircuit(2, "bell").h(0).cnot(0, 1))
+        assert "bell" in text and "cnot q0, q1" in text
+
+
+class TestOperation:
+    def test_duration(self):
+        assert Operation("h", (0,)).duration_ns == 20
+        assert Operation("cnot", (0, 1)).duration_ns == 40
+        assert Operation("barrier", (0,)).duration_ns == 0
+
+    def test_str_with_condition(self):
+        op = Operation("x", (0,), condition=(1, 1))
+        assert "if m[q1] == 1" in str(op)

@@ -1,0 +1,69 @@
+"""Unit tests for the dependency DAG utilities."""
+
+import networkx as nx
+
+from repro.circuit import (QuantumCircuit, build_dag, critical_path_ns,
+                           dependency_closure, parallel_components)
+
+
+class TestBuildDag:
+    def test_same_qubit_operations_are_ordered(self):
+        circuit = QuantumCircuit(1).h(0).x(0).measure(0)
+        dag = build_dag(circuit)
+        assert dag.has_edge(0, 1)
+        assert dag.has_edge(1, 2)
+
+    def test_disjoint_qubits_are_independent(self):
+        circuit = QuantumCircuit(2).h(0).h(1)
+        dag = build_dag(circuit)
+        assert not dag.has_edge(0, 1)
+        assert not dag.has_edge(1, 0)
+
+    def test_two_qubit_gate_joins_chains(self):
+        circuit = QuantumCircuit(2).h(0).h(1).cnot(0, 1)
+        dag = build_dag(circuit)
+        assert dag.has_edge(0, 2)
+        assert dag.has_edge(1, 2)
+
+    def test_condition_qubit_creates_dependency(self):
+        circuit = QuantumCircuit(2).measure(1)
+        circuit.conditional("x", 0, measured_qubit=1)
+        dag = build_dag(circuit)
+        assert dag.has_edge(0, 1)
+
+    def test_barrier_orders_across_qubits(self):
+        circuit = QuantumCircuit(2).h(0).barrier().h(1)
+        dag = build_dag(circuit)
+        # h(q1) depends on the barrier, which depends on h(q0).
+        assert nx.has_path(dag, 0, 2)
+
+    def test_dag_is_acyclic(self):
+        circuit = QuantumCircuit(3)
+        for _ in range(5):
+            circuit.h(0).cnot(0, 1).cnot(1, 2).measure(2)
+        assert nx.is_directed_acyclic_graph(build_dag(circuit))
+
+
+class TestAnalysis:
+    def test_critical_path_serial_chain(self):
+        circuit = QuantumCircuit(1).h(0).x(0).y(0)
+        assert critical_path_ns(circuit) == 60
+
+    def test_critical_path_takes_longest_branch(self):
+        circuit = QuantumCircuit(3).h(0).cnot(1, 2)
+        assert critical_path_ns(circuit) == 40
+
+    def test_parallel_components_found(self):
+        circuit = QuantumCircuit(4).h(0).cnot(0, 1).h(2).cnot(2, 3)
+        components = parallel_components(circuit)
+        assert sorted(sorted(c) for c in components) == [[0, 1], [2, 3]]
+
+    def test_single_component_when_fully_coupled(self):
+        circuit = QuantumCircuit(3).cnot(0, 1).cnot(1, 2)
+        assert len(parallel_components(circuit)) == 1
+
+    def test_dependency_closure_is_reduced(self):
+        circuit = QuantumCircuit(1).h(0).x(0).y(0)
+        closure = dependency_closure(circuit)
+        assert closure.has_edge(0, 1) and closure.has_edge(1, 2)
+        assert not closure.has_edge(0, 2)  # transitive edge removed

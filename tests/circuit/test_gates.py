@@ -1,0 +1,86 @@
+"""Unit tests for the gate library."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import (GATE_LIBRARY, MEASURE_NS, SINGLE_QUBIT_NS,
+                           TWO_QUBIT_NS, gate_duration_ns, lookup_gate)
+
+
+class TestUnitaries:
+    def test_all_unitary_gates_are_unitary(self):
+        for gate in GATE_LIBRARY.values():
+            if not gate.is_unitary or gate.n_params:
+                continue
+            matrix = gate.unitary()
+            dim = 1 << gate.n_qubits
+            assert matrix.shape == (dim, dim)
+            assert np.allclose(matrix @ matrix.conj().T, np.eye(dim))
+
+    def test_parametric_gates_are_unitary(self):
+        for name in ("rx", "ry", "rz"):
+            matrix = lookup_gate(name).unitary((0.7,))
+            assert np.allclose(matrix @ matrix.conj().T, np.eye(2))
+
+    def test_self_inverse_flags_are_correct(self):
+        for gate in GATE_LIBRARY.values():
+            if gate.self_inverse:
+                matrix = gate.unitary()
+                dim = 1 << gate.n_qubits
+                assert np.allclose(matrix @ matrix, np.eye(dim))
+
+    def test_x90_squared_is_x_up_to_phase(self):
+        x90 = lookup_gate("x90").unitary()
+        x = lookup_gate("x").unitary()
+        product = x90 @ x90
+        phase = product[0, 1] / x[0, 1]
+        assert np.allclose(product, phase * x)
+
+    def test_rx_at_pi_matches_x_up_to_phase(self):
+        rx_pi = lookup_gate("rx").unitary((math.pi,))
+        x = lookup_gate("x").unitary()
+        assert np.allclose(rx_pi, -1j * x)
+
+    def test_hadamard_maps_z_to_x(self):
+        h = lookup_gate("h").unitary()
+        z = lookup_gate("z").unitary()
+        x = lookup_gate("x").unitary()
+        assert np.allclose(h @ z @ h, x)
+
+
+class TestDurations:
+    def test_paper_durations(self):
+        assert SINGLE_QUBIT_NS == 20
+        assert TWO_QUBIT_NS == 40
+        assert 100 <= MEASURE_NS <= 2000
+
+    def test_duration_lookup(self):
+        assert gate_duration_ns("h") == 20
+        assert gate_duration_ns("cnot") == 40
+        assert gate_duration_ns("measure") == MEASURE_NS
+
+
+class TestLookup:
+    def test_aliases(self):
+        assert lookup_gate("cx").name == "cnot"
+        assert lookup_gate("id").name == "i"
+        assert lookup_gate("sx").name == "x90"
+
+    def test_case_insensitive(self):
+        assert lookup_gate("CNOT").name == "cnot"
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(KeyError):
+            lookup_gate("frobnicate")
+
+    def test_non_unitary_gates_reject_unitary_call(self):
+        with pytest.raises(ValueError):
+            lookup_gate("measure").unitary()
+
+    def test_wrong_param_count_rejected(self):
+        with pytest.raises(ValueError):
+            lookup_gate("rx").unitary(())
+        with pytest.raises(ValueError):
+            lookup_gate("h").unitary((0.5,))

@@ -1,0 +1,136 @@
+"""Tests for OpenQASM 2.0 import/export."""
+
+import math
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.openqasm import QasmError, from_openqasm, to_openqasm
+
+BELL = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0], q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+"""
+
+
+class TestImport:
+    def test_bell_circuit(self):
+        circuit = from_openqasm(BELL)
+        assert circuit.n_qubits == 2
+        gates = [op.gate for op in circuit.operations]
+        assert gates == ["h", "cnot", "measure", "measure"]
+
+    def test_parameter_expressions(self):
+        circuit = from_openqasm("""
+        qreg q[1];
+        rz(pi/2) q[0];
+        rx(-pi) q[0];
+        ry(0.25 * pi + 1) q[0];
+        u1(2*pi/8) q[0];
+        """)
+        params = [op.params[0] for op in circuit.operations]
+        assert params[0] == pytest.approx(math.pi / 2)
+        assert params[1] == pytest.approx(-math.pi)
+        assert params[2] == pytest.approx(0.25 * math.pi + 1)
+        assert params[3] == pytest.approx(math.pi / 4)
+        assert circuit.operations[3].gate == "rz"  # u1 -> rz
+
+    def test_barrier_whole_register_and_subset(self):
+        circuit = from_openqasm("""
+        qreg q[3];
+        barrier q;
+        barrier q[0], q[2];
+        """)
+        assert circuit.operations[0].qubits == (0, 1, 2)
+        assert circuit.operations[1].qubits == (0, 2)
+
+    def test_reset_and_id(self):
+        circuit = from_openqasm("""
+        qreg q[1];
+        id q[0];
+        reset q[0];
+        """)
+        assert [op.gate for op in circuit.operations] == ["i", "reset"]
+
+    def test_conditional_maps_to_simple_feedback(self):
+        circuit = from_openqasm("""
+        qreg q[2];
+        creg flag[1];
+        measure q[0] -> flag[0];
+        if (flag == 1) x q[1];
+        """)
+        conditional = circuit.operations[-1]
+        assert conditional.condition == (0, 1)
+
+    def test_comments_and_semicolon_packing(self):
+        circuit = from_openqasm(
+            "qreg q[1]; h q[0]; // comment\nx q[0]; y q[0];")
+        assert circuit.gate_count == 3
+
+    @pytest.mark.parametrize("source,fragment", [
+        ("h q[0];", "before qreg"),
+        ("qreg q[1]; frobnicate q[0];", "unsupported gate"),
+        ("qreg q[1]; u3(1,2,3) q[0];", "not supported"),
+        ("qreg q[1]; qreg r[1];", "multiple qregs"),
+        ("qreg q[1]; if (c == 1) x q[0];", "unknown creg"),
+        ("qreg q[1]; creg c[2]; measure q[0] -> c[0]; "
+         "if (c == 1) x q[0];", "1-bit"),
+        ("qreg q[1]; rz(import) q[0];", "parameter expression"),
+        ("", "no qreg"),
+    ])
+    def test_errors(self, source, fragment):
+        with pytest.raises(QasmError, match=fragment):
+            from_openqasm(source)
+
+
+class TestExport:
+    def test_bell_round_trip(self):
+        original = from_openqasm(BELL)
+        text = to_openqasm(original)
+        back = from_openqasm(text)
+        assert [(op.gate, op.qubits) for op in back.operations] == \
+            [(op.gate, op.qubits) for op in original.operations]
+
+    def test_conditional_round_trip(self):
+        circuit = QuantumCircuit(2).measure(0)
+        circuit.conditional("x", 1, measured_qubit=0)
+        back = from_openqasm(to_openqasm(circuit))
+        assert back.operations[-1].condition == (0, 1)
+
+    def test_parametric_round_trip(self):
+        circuit = QuantumCircuit(1).rx(0.7, 0).rz(-1.25, 0)
+        back = from_openqasm(to_openqasm(circuit))
+        assert back.operations[0].params[0] == pytest.approx(0.7)
+        assert back.operations[1].params[0] == pytest.approx(-1.25)
+
+    def test_pulse_gates_exported_as_rotations(self):
+        circuit = QuantumCircuit(1)
+        circuit.append("y90", 0)
+        circuit.append("ym90", 0)
+        text = to_openqasm(circuit)
+        assert "ry(" in text
+        back = from_openqasm(text)
+        assert all(op.gate == "ry" for op in back.operations)
+
+    def test_suite_benchmarks_round_trip(self):
+        from repro.benchlib import SUITE
+        for spec in SUITE:
+            original = spec.circuit()
+            back = from_openqasm(to_openqasm(original))
+            assert back.n_qubits == original.n_qubits
+            assert back.gate_count == original.gate_count
+            # Unitary structure preserved: same gate/qubit sequence up
+            # to the pulse-gate -> rotation renaming.
+            renames = {"y90": "ry", "ym90": "ry", "x90": "x90",
+                       "xm90": "xm90"}
+            for old, new in zip(original.operations, back.operations):
+                if old.is_barrier:
+                    continue
+                assert renames.get(old.gate, old.gate) == new.gate
+                assert old.qubits == new.qubits

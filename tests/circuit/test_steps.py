@@ -1,0 +1,103 @@
+"""Unit and property tests for ASAP circuit-step scheduling."""
+
+from hypothesis import given, strategies as st
+
+from repro.circuit import QuantumCircuit, schedule_asap
+
+
+class TestAsapScheduling:
+    def test_parallel_gates_share_a_step(self):
+        circuit = QuantumCircuit(3).h(0).h(1).h(2)
+        schedule = schedule_asap(circuit)
+        assert len(schedule.steps) == 1
+        assert schedule.steps[0].quantum_instruction_count == 3
+
+    def test_dependent_gates_take_sequential_steps(self):
+        circuit = QuantumCircuit(2).h(0).cnot(0, 1).measure(1)
+        schedule = schedule_asap(circuit)
+        assert [s.start_ns for s in schedule.steps] == [0, 20, 60]
+
+    def test_durations_drive_start_times(self):
+        # A 40 ns CNOT on q0/q1 delays q1's next gate to 40 ns while an
+        # independent 20 ns H chain on q2 proceeds at its own pace.
+        circuit = QuantumCircuit(3).cnot(0, 1).h(2).x(1).x(2)
+        schedule = schedule_asap(circuit)
+        starts = {i: t for i, t in schedule.start_times.items()}
+        assert starts[0] == 0 and starts[1] == 0
+        assert starts[2] == 40  # x on q1 waits for the cnot
+        assert starts[3] == 20  # x on q2 follows the h
+
+    def test_barrier_aligns_later_operations(self):
+        circuit = QuantumCircuit(2).h(0)
+        circuit.barrier()
+        circuit.h(1)  # without the barrier this would start at 0
+        schedule = schedule_asap(circuit)
+        assert schedule.start_times[2] == 20
+
+    def test_step_duration_is_longest_member(self):
+        circuit = QuantumCircuit(3).h(0).cnot(1, 2)
+        schedule = schedule_asap(circuit)
+        assert schedule.steps[0].duration_ns == 40
+
+    def test_makespan(self):
+        circuit = QuantumCircuit(2).h(0).cnot(0, 1).measure(1)
+        assert schedule_asap(circuit).makespan_ns == 20 + 40 + 300
+
+    def test_parallelism_metrics(self):
+        circuit = QuantumCircuit(4).h(0).h(1).h(2).h(3).cnot(0, 1)
+        schedule = schedule_asap(circuit)
+        assert schedule.max_parallelism == 4
+        assert schedule.mean_parallelism == 2.5
+
+    def test_empty_circuit(self):
+        schedule = schedule_asap(QuantumCircuit(1))
+        assert schedule.steps == []
+        assert schedule.makespan_ns == 0
+        assert schedule.max_parallelism == 0
+
+
+@st.composite
+def random_circuits(draw):
+    n_qubits = draw(st.integers(2, 6))
+    circuit = QuantumCircuit(n_qubits)
+    n_ops = draw(st.integers(0, 25))
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(["h", "x", "cnot", "measure"]))
+        if kind == "cnot":
+            a = draw(st.integers(0, n_qubits - 1))
+            b = draw(st.integers(0, n_qubits - 1).filter(lambda q: q != a))
+            circuit.cnot(a, b)
+        else:
+            circuit.append(kind, draw(st.integers(0, n_qubits - 1)))
+    return circuit
+
+
+@given(random_circuits())
+def test_schedule_covers_every_operation_exactly_once(circuit):
+    schedule = schedule_asap(circuit)
+    scheduled = sum(step.quantum_instruction_count
+                    for step in schedule.steps)
+    assert scheduled == circuit.gate_count
+    assert set(schedule.start_times) == {
+        i for i, op in enumerate(circuit.operations) if not op.is_barrier}
+
+
+@given(random_circuits())
+def test_schedule_respects_qubit_dependencies(circuit):
+    schedule = schedule_asap(circuit)
+    finish: dict[int, int] = {}
+    for index, op in enumerate(circuit.operations):
+        if op.is_barrier:
+            continue
+        start = schedule.start_times[index]
+        for qubit in op.qubits:
+            assert start >= finish.get(qubit, 0)
+            finish[qubit] = start + op.duration_ns
+
+
+@given(random_circuits())
+def test_steps_are_ordered_and_disjoint_in_time(circuit):
+    schedule = schedule_asap(circuit)
+    starts = [step.start_ns for step in schedule.steps]
+    assert starts == sorted(starts)
+    assert len(starts) == len(set(starts))

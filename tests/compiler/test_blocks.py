@@ -1,0 +1,95 @@
+"""Unit tests for block-division strategies."""
+
+from repro.circuit import QuantumCircuit, schedule_asap
+from repro.compiler import plan_components, plan_halves, plan_single
+
+
+def split_friendly_circuit() -> QuantumCircuit:
+    """Parallel halves (q0-1 / q2-3) with one crossing CNOT."""
+    circuit = QuantumCircuit(4)
+    circuit.h(0).h(1).h(2).h(3)
+    circuit.cnot(0, 1).cnot(2, 3)
+    circuit.barrier()
+    circuit.cnot(1, 2)  # crossing gate
+    circuit.barrier()
+    circuit.x(0).x(3)
+    return circuit
+
+
+class TestPlanSingle:
+    def test_everything_in_one_block(self):
+        schedule = schedule_asap(split_friendly_circuit())
+        plans = plan_single(schedule)
+        assert len(plans) == 1
+        assert plans[0].op_count == schedule.circuit.gate_count
+
+
+class TestPlanHalves:
+    def test_parallel_blocks_share_priority(self):
+        schedule = schedule_asap(split_friendly_circuit())
+        plans = plan_halves(schedule, n_parts=2)
+        by_priority: dict[int, list] = {}
+        for plan in plans:
+            by_priority.setdefault(plan.priority, []).append(plan)
+        # Segment 0: two parallel part blocks; segment 1: the crossing
+        # CNOT; segment 2: two parallel part blocks again.
+        assert len(by_priority[0]) == 2
+        assert len(by_priority[1]) == 1
+        assert len(by_priority[2]) == 2
+
+    def test_every_operation_assigned_exactly_once(self):
+        schedule = schedule_asap(split_friendly_circuit())
+        plans = plan_halves(schedule, n_parts=2)
+        assigned = [op for plan in plans
+                    for _, ops in plan.steps for op in ops]
+        assert sorted(assigned) == sorted(schedule.start_times)
+
+    def test_crossing_ops_live_in_serial_blocks(self):
+        schedule = schedule_asap(split_friendly_circuit())
+        plans = plan_halves(schedule, n_parts=2)
+        serial = [plan for plan in plans
+                  if plan.name.startswith("serial")]
+        assert len(serial) == 1
+        circuit = schedule.circuit
+        ops = [circuit.operations[i]
+               for _, op_list in serial[0].steps for i in op_list]
+        assert any(op.qubits == (1, 2) for op in ops)
+
+    def test_max_blocks_cap_respected(self):
+        # Alternating crossing/local steps explode the segment count.
+        circuit = QuantumCircuit(4)
+        for _ in range(40):
+            circuit.h(0).h(3)
+            circuit.barrier()
+            circuit.cnot(1, 2)
+            circuit.barrier()
+        schedule = schedule_asap(circuit)
+        plans = plan_halves(schedule, n_parts=2, max_blocks=64)
+        assert len(plans) <= 64
+        assigned = [op for plan in plans
+                    for _, ops in plan.steps for op in ops]
+        assert sorted(assigned) == sorted(schedule.start_times)
+
+    def test_priorities_are_consecutive_from_zero(self):
+        schedule = schedule_asap(split_friendly_circuit())
+        plans = plan_halves(schedule, n_parts=2)
+        priorities = sorted({plan.priority for plan in plans})
+        assert priorities == list(range(len(priorities)))
+
+
+class TestPlanComponents:
+    def test_disconnected_subcircuits_get_own_blocks(self):
+        circuit = QuantumCircuit(4).h(0).cnot(0, 1).h(2).cnot(2, 3)
+        schedule = schedule_asap(circuit)
+        plans = plan_components(schedule)
+        assert len(plans) == 2
+        assert all(plan.priority == 0 for plan in plans)
+
+    def test_component_ops_disjoint_and_complete(self):
+        circuit = QuantumCircuit(6)
+        circuit.h(0).cnot(0, 1).h(2).cnot(2, 3).h(4).cnot(4, 5)
+        schedule = schedule_asap(circuit)
+        plans = plan_components(schedule)
+        assigned = [op for plan in plans
+                    for _, ops in plan.steps for op in ops]
+        assert sorted(assigned) == sorted(schedule.start_times)

@@ -1,0 +1,98 @@
+"""Unit tests for the end-to-end compiler and lowering."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.compiler import LoweringError, compile_circuit
+from repro.isa import Mrce, Qmeas, Qop
+
+
+class TestTimingLabels:
+    def test_first_instruction_has_zero_label(self):
+        compiled = compile_circuit(QuantumCircuit(1).h(0))
+        assert compiled.program.instructions[0].timing == 0
+
+    def test_same_step_instructions_have_zero_labels(self):
+        compiled = compile_circuit(QuantumCircuit(3).h(0).h(1).h(2))
+        timings = [i.timing for i in compiled.program.instructions[:3]]
+        assert timings == [0, 0, 0]
+
+    def test_step_gaps_become_cycle_labels(self):
+        circuit = QuantumCircuit(2).h(0).cnot(0, 1).measure(1)
+        compiled = compile_circuit(circuit)
+        instrs = compiled.program.instructions
+        assert instrs[1].timing == 2   # 20 ns after the h
+        assert instrs[2].timing == 4   # 40 ns after the cnot
+
+    def test_block_restarts_timeline(self):
+        circuit = QuantumCircuit(4).h(0).h(2)
+        circuit.barrier()
+        circuit.x(0).x(2)
+        compiled = compile_circuit(circuit, partition="halves")
+        for block in compiled.program.blocks:
+            first = compiled.program.instructions[block.start]
+            assert first.timing == 0
+
+
+class TestLoweringForms:
+    def test_measure_becomes_qmeas(self):
+        compiled = compile_circuit(QuantumCircuit(1).measure(0))
+        assert isinstance(compiled.program.instructions[0], Qmeas)
+
+    def test_conditional_becomes_mrce(self):
+        circuit = QuantumCircuit(2).measure(1)
+        circuit.conditional("x", 0, measured_qubit=1)
+        compiled = compile_circuit(circuit)
+        mrce = compiled.program.instructions[1]
+        assert isinstance(mrce, Mrce)
+        assert mrce.result_qubit == 1
+        assert mrce.target_qubit == 0
+        assert (mrce.op_if_zero, mrce.op_if_one) == ("i", "x")
+
+    def test_conditional_on_zero_swaps_ops(self):
+        circuit = QuantumCircuit(2).measure(1)
+        circuit.conditional("x", 0, measured_qubit=1, value=0)
+        compiled = compile_circuit(circuit)
+        mrce = compiled.program.instructions[1]
+        assert (mrce.op_if_zero, mrce.op_if_one) == ("x", "i")
+
+    def test_parametric_conditional_rejected(self):
+        circuit = QuantumCircuit(2).measure(1)
+        circuit.append("rx", 0, params=(0.3,), condition=(1, 1))
+        with pytest.raises(LoweringError):
+            compile_circuit(circuit)
+
+    def test_step_ids_attached(self):
+        circuit = QuantumCircuit(2).h(0).cnot(0, 1)
+        compiled = compile_circuit(circuit)
+        steps = [i.step_id for i in compiled.program.instructions
+                 if isinstance(i, Qop)]
+        assert steps == [0, 1]
+
+    def test_every_block_ends_in_halt(self):
+        circuit = QuantumCircuit(4).h(0).h(2).cnot(0, 1).cnot(2, 3)
+        compiled = compile_circuit(circuit, partition="halves")
+        compiled.program.ensure_block_terminators()  # must not raise
+
+
+class TestCompileResult:
+    def test_unknown_partition_rejected(self):
+        with pytest.raises(ValueError):
+            compile_circuit(QuantumCircuit(1).h(0), partition="magic")
+
+    def test_step_durations_exposed(self):
+        circuit = QuantumCircuit(2).h(0).cnot(0, 1).measure(0)
+        compiled = compile_circuit(circuit)
+        assert compiled.step_durations_ns == {0: 20, 1: 40, 2: 300}
+
+    def test_quantum_instruction_count_matches_gate_count(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).h(1).cnot(0, 1).cnot(1, 2).measure(2)
+        compiled = compile_circuit(circuit)
+        assert (compiled.program.quantum_instruction_count
+                == circuit.gate_count)
+
+    def test_gap_not_multiple_of_clock_rejected(self):
+        circuit = QuantumCircuit(1).h(0).x(0)
+        with pytest.raises(LoweringError):
+            compile_circuit(circuit, clock_period_ns=7)

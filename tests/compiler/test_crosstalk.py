@@ -1,0 +1,76 @@
+"""Tests for crosstalk-aware block division (future-work feature)."""
+
+from repro.circuit import QuantumCircuit, schedule_asap
+from repro.compiler import (blocks_conflict, count_crosstalk_pairs,
+                            plan_components, plan_qubits,
+                            serialize_crosstalk)
+from repro.qpu import full_topology, linear_topology
+
+
+def two_pair_circuit() -> QuantumCircuit:
+    circuit = QuantumCircuit(4)
+    circuit.h(0).cnot(0, 1)
+    circuit.h(2).cnot(2, 3)
+    return circuit
+
+
+class TestConflictDetection:
+    def test_coupled_disjoint_sets_conflict(self):
+        topo = linear_topology(4)
+        assert blocks_conflict({0, 1}, {2, 3}, topo)   # 1-2 coupled
+
+    def test_uncoupled_sets_do_not_conflict(self):
+        topo = linear_topology(6)
+        assert not blocks_conflict({0, 1}, {4, 5}, topo)
+
+    def test_shared_qubits_are_not_crosstalk(self):
+        # Shared qubits imply data dependencies, handled elsewhere.
+        topo = linear_topology(4)
+        assert not blocks_conflict({0, 1}, {1}, topo)
+
+    def test_plan_qubits_collects_all_touched(self):
+        schedule = schedule_asap(two_pair_circuit())
+        plans = plan_components(schedule)
+        sets = sorted(sorted(plan_qubits(p, schedule)) for p in plans)
+        assert sets == [[0, 1], [2, 3]]
+
+
+class TestSerializeCrosstalk:
+    def test_conflicting_blocks_get_distinct_priorities(self):
+        schedule = schedule_asap(two_pair_circuit())
+        plans = plan_components(schedule)
+        topo = linear_topology(4)
+        assert count_crosstalk_pairs(plans, schedule, topo) == 1
+        serialized = serialize_crosstalk(plans, schedule, topo)
+        assert count_crosstalk_pairs(serialized, schedule, topo) == 0
+        assert len({p.priority for p in serialized}) == 2
+
+    def test_unconflicting_blocks_keep_parallelism(self):
+        circuit = QuantumCircuit(6)
+        circuit.h(0).cnot(0, 1)
+        circuit.h(4).cnot(4, 5)  # q2, q3 isolate the pairs
+        schedule = schedule_asap(circuit)
+        plans = plan_components(schedule)
+        serialized = serialize_crosstalk(plans, schedule,
+                                         linear_topology(6))
+        assert len({p.priority for p in serialized}) == 1
+
+    def test_full_topology_serializes_everything(self):
+        circuit = QuantumCircuit(6)
+        for base in (0, 2, 4):
+            circuit.h(base).cnot(base, base + 1)
+        schedule = schedule_asap(circuit)
+        plans = plan_components(schedule)
+        serialized = serialize_crosstalk(plans, schedule,
+                                         full_topology(6))
+        assert len({p.priority for p in serialized}) == 3
+
+    def test_existing_priority_order_is_preserved(self):
+        schedule = schedule_asap(two_pair_circuit())
+        plans = plan_components(schedule)
+        plans[0].priority = 0
+        plans[1].priority = 1  # already serial: nothing to change
+        serialized = serialize_crosstalk(plans, schedule,
+                                         linear_topology(4))
+        priorities = {p.name: p.priority for p in serialized}
+        assert priorities[plans[0].name] < priorities[plans[1].name]

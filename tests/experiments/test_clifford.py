@@ -1,0 +1,87 @@
+"""Unit and property tests for the single-qubit Clifford group."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.experiments import (CLIFFORD_GROUP_ORDER,
+                               average_gates_per_clifford,
+                               clifford_table, compose,
+                               inverse_of_sequence, lookup)
+from repro.qpu import StateVector
+
+
+class TestEnumeration:
+    def test_group_order(self):
+        assert len(clifford_table()) == CLIFFORD_GROUP_ORDER
+
+    def test_elements_are_distinct_up_to_phase(self):
+        table = clifford_table()
+        for i, a in enumerate(table):
+            for b in table[i + 1:]:
+                product = a.matrix @ b.matrix.conj().T
+                # Equal up to phase iff product is proportional to I.
+                off_diag = abs(product[0, 1]) + abs(product[1, 0])
+                is_phase = (off_diag < 1e-6
+                            and abs(product[0, 0] - product[1, 1]) < 1e-6)
+                assert not is_phase
+
+    def test_identity_is_element_zero(self):
+        table = clifford_table()
+        assert table[0].gates == ()
+        assert np.allclose(table[0].matrix, np.eye(2))
+
+    def test_decompositions_reproduce_matrices(self):
+        for clifford in clifford_table():
+            state = StateVector(1)
+            reference = StateVector(1)
+            for gate in clifford.gates:
+                state.apply_gate(gate, (0,))
+            reference._amplitudes = clifford.matrix @ \
+                reference._amplitudes
+            assert state.fidelity_with(reference) == pytest.approx(1.0)
+
+    def test_max_three_pulses_per_clifford(self):
+        assert max(len(c) for c in clifford_table()) <= 3
+
+    def test_average_gates_per_clifford(self):
+        # The standard figure for this generator set is ~1.8-1.9.
+        assert 1.5 <= average_gates_per_clifford() <= 2.0
+
+
+class TestGroupOperations:
+    def test_lookup_roundtrip(self):
+        for clifford in clifford_table():
+            assert lookup(clifford.matrix) == clifford.index
+
+    def test_lookup_ignores_global_phase(self):
+        table = clifford_table()
+        assert lookup(1j * table[5].matrix) == 5
+
+    def test_lookup_rejects_non_clifford(self):
+        from repro.circuit import lookup_gate
+        with pytest.raises(ValueError):
+            lookup(lookup_gate("t").unitary())
+
+    def test_inverse_of_empty_sequence(self):
+        assert inverse_of_sequence([]) == 0
+
+
+@given(st.lists(st.integers(0, 23), max_size=8))
+def test_group_closure(indices):
+    """Any composition of Cliffords is again a Clifford."""
+    lookup(compose(indices))  # must not raise
+
+
+@given(st.lists(st.integers(0, 23), min_size=1, max_size=20))
+def test_recovery_restores_identity(indices):
+    recovery = inverse_of_sequence(indices)
+    total = compose(list(indices) + [recovery])
+    assert lookup(total) == 0
+
+
+@given(st.integers(0, 23), st.integers(0, 23))
+def test_composition_matches_matrix_product(a, b):
+    table = clifford_table()
+    product = table[b].matrix @ table[a].matrix
+    assert lookup(product) == lookup(compose([a, b]))

@@ -1,0 +1,49 @@
+"""Unit tests for RB decay fitting."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fit_rb_decay
+
+
+class TestFit:
+    def test_recovers_synthetic_decay(self):
+        lengths = [1, 5, 10, 20, 40, 70, 100]
+        amplitude, decay, offset = 0.48, 0.985, 0.5
+        survival = [amplitude * decay ** m + offset for m in lengths]
+        fit = fit_rb_decay(lengths, survival)
+        assert fit.decay == pytest.approx(decay, abs=1e-4)
+        assert fit.amplitude == pytest.approx(amplitude, abs=1e-3)
+        assert fit.offset == pytest.approx(offset, abs=1e-3)
+
+    def test_recovers_decay_under_noise(self):
+        rng = np.random.default_rng(0)
+        lengths = list(range(1, 120, 6))
+        survival = [0.5 * 0.99 ** m + 0.5 + rng.normal(0, 0.004)
+                    for m in lengths]
+        fit = fit_rb_decay(lengths, survival)
+        assert fit.decay == pytest.approx(0.99, abs=0.01)
+
+    def test_clifford_fidelity_formula(self):
+        lengths = [1, 10, 30, 60]
+        survival = [0.5 * 0.98 ** m + 0.5 for m in lengths]
+        fit = fit_rb_decay(lengths, survival)
+        assert fit.clifford_fidelity == pytest.approx(1 - 0.02 / 2,
+                                                      abs=1e-4)
+
+    def test_gate_fidelity_scales_by_pulses_per_clifford(self):
+        lengths = [1, 10, 30, 60]
+        survival = [0.5 * 0.98 ** m + 0.5 for m in lengths]
+        fit = fit_rb_decay(lengths, survival, gates_per_clifford=2.0)
+        assert fit.gate_fidelity == pytest.approx(1 - 0.01 / 2.0,
+                                                  abs=1e-4)
+
+    def test_survival_prediction(self):
+        fit = fit_rb_decay([1, 5, 10, 20], [0.995, 0.975, 0.951, 0.906])
+        assert fit.survival(0) == pytest.approx(fit.amplitude + fit.offset)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            fit_rb_decay([1, 2], [0.9, 0.8])
+        with pytest.raises(ValueError):
+            fit_rb_decay([1, 2, 3], [0.9, 0.8])

@@ -1,0 +1,99 @@
+"""Tests for the RB harness and the simRB study."""
+
+import random
+
+import pytest
+
+from repro.experiments import rb_circuit, run_rb, run_simrb_study
+from repro.experiments.rb import (_run_circuit_direct, _run_circuit_exact,
+                                  _run_circuit_on_stack)
+from repro.qcp import superscalar_config
+from repro.qpu import ideal_noise_model, paper_noise_model
+
+
+class TestRBCircuit:
+    def test_sequence_plus_recovery_is_identity(self):
+        rng = random.Random(0)
+        for length in (1, 5, 12):
+            circuit = rb_circuit(2, (0,), length, rng)
+            probabilities = _run_circuit_direct(circuit,
+                                                ideal_noise_model(), 0)
+            assert probabilities[0] == pytest.approx(1.0)
+
+    def test_simultaneous_sequences_are_independent_identities(self):
+        rng = random.Random(1)
+        circuit = rb_circuit(2, (0, 1), 8, rng)
+        probabilities = _run_circuit_direct(circuit,
+                                            ideal_noise_model(), 0)
+        assert probabilities[0] == pytest.approx(1.0)
+        assert probabilities[1] == pytest.approx(1.0)
+
+    def test_driven_qubits_receive_pulses(self):
+        rng = random.Random(2)
+        circuit = rb_circuit(2, (1,), 6, rng)
+        touched = {q for op in circuit.operations if not op.is_barrier
+                   for q in op.qubits if op.gate != "measure"}
+        assert touched == {1}
+
+
+class TestBackendsAgree:
+    def test_exact_equals_direct_without_noise(self):
+        rng = random.Random(3)
+        circuit = rb_circuit(2, (0, 1), 5, rng)
+        exact = _run_circuit_exact(circuit, ideal_noise_model())
+        direct = _run_circuit_direct(circuit, ideal_noise_model(), 0)
+        for qubit in (0, 1):
+            assert exact[qubit] == pytest.approx(direct[qubit])
+
+    def test_stack_equals_direct_without_noise(self):
+        rng = random.Random(4)
+        circuit = rb_circuit(2, (0, 1), 5, rng)
+        stack = _run_circuit_on_stack(circuit, ideal_noise_model(),
+                                      superscalar_config(), 0)
+        direct = _run_circuit_direct(circuit, ideal_noise_model(), 0)
+        for qubit in (0, 1):
+            assert stack[qubit] == pytest.approx(direct[qubit])
+
+
+class TestRunRB:
+    def test_ideal_noise_gives_unit_survival(self):
+        result = run_rb(ideal_noise_model, driven=(0,),
+                        lengths=[1, 4, 8], samples=2, backend="exact")
+        assert all(s == pytest.approx(1.0)
+                   for s in result.survival[0])
+
+    def test_depolarizing_noise_decays_survival(self):
+        seeds = iter(range(10_000))
+
+        def noise():
+            return paper_noise_model(seed=next(seeds), zz_khz=0.0)
+
+        result = run_rb(noise, driven=(0,), lengths=[1, 10, 30, 60],
+                        samples=6, backend="exact", seed=1)
+        survival = result.survival[0]
+        assert survival[0] > survival[-1]
+        assert 0.97 < result.gate_fidelity(0) < 1.0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            run_rb(ideal_noise_model, driven=(0,), backend="fpga")
+
+
+class TestSimRBStudy:
+    def test_zz_lowers_simultaneous_fidelity(self):
+        study = run_simrb_study(samples=6, lengths=[1, 6, 14, 26, 40],
+                                backend="exact", seed=2)
+        for qubit in (0, 1):
+            individual = study.individual_fidelity(qubit)
+            simultaneous = study.simultaneous_fidelity(qubit)
+            assert 0.99 <= individual <= 1.0
+            assert simultaneous < individual
+            assert study.fidelity_drop(qubit) == pytest.approx(
+                individual - simultaneous)
+
+    def test_summary_rows_cover_all_curves(self):
+        study = run_simrb_study(samples=3, lengths=[1, 5, 10],
+                                backend="exact", seed=3)
+        kinds = [(kind, qubit) for kind, qubit, _ in study.summary_rows()]
+        assert kinds == [("RB", 0), ("RB", 1),
+                         ("simRB", 0), ("simRB", 1)]

@@ -1,0 +1,157 @@
+"""Property-based equivalence across processor architectures.
+
+The paper's deterministic-operation-supply requirement (Section 4.3)
+implies a strong invariant: *which* operations reach the QPU, and their
+relative order per qubit, must not depend on the microarchitecture —
+scalar, superscalar of any width, or VLIW only change *when* things
+happen.  Hypothesis generates random programs and checks it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import bundle_program
+from repro.isa import ProgramBuilder
+from repro.qcp import QuAPESystem, scalar_config, superscalar_config
+from repro.qpu import PRNGQPU
+from repro.qpu.readout import DeterministicReadout
+
+GATES_1Q = ("h", "x", "y", "z", "x90", "y90")
+
+
+@st.composite
+def straightline_programs(draw):
+    """Random *well-formed* programs: quantum ops, ALU work, measures.
+
+    Well-formed means no two label-0 (simultaneous) operations touch
+    the same qubit — that would be a timing hazard in the source
+    program itself, which the ISA contract forbids.
+    """
+    builder = ProgramBuilder("random")
+    n_qubits = draw(st.integers(2, 6))
+    n_ops = draw(st.integers(1, 25))
+    group_qubits: set[int] = set()
+    for index in range(n_ops):
+        kind = draw(st.integers(0, 9))
+        if kind < 6:
+            qubits = [draw(st.integers(0, n_qubits - 1))]
+            gate = draw(st.sampled_from(GATES_1Q))
+        elif kind < 8:
+            a = draw(st.integers(0, n_qubits - 1))
+            b = draw(st.integers(0, n_qubits - 1).filter(
+                lambda q, a=a: q != a))
+            qubits = [a, b]
+            gate = "cnot"
+        elif kind == 8:
+            builder.ldi(draw(st.integers(1, 7)),
+                        draw(st.integers(0, 100)))
+            continue
+        else:
+            qubits = [draw(st.integers(0, n_qubits - 1))]
+            gate = "measure"
+        timing = draw(st.sampled_from(
+            [30] if gate == "measure" else [0, 0, 2, 4]))
+        if timing == 0 and group_qubits & set(qubits):
+            timing = 2  # avoid a same-qubit simultaneity hazard
+        if timing == 0:
+            group_qubits.update(qubits)
+        else:
+            group_qubits = set(qubits)
+        if gate == "measure":
+            builder.qmeas(qubits[0], timing=timing)
+        else:
+            builder.qop(gate, qubits, timing=timing)
+    builder.halt()
+    return builder.build(), n_qubits
+
+
+def issue_stream(program, n_qubits, config):
+    qpu = PRNGQPU(n_qubits, DeterministicReadout())
+    system = QuAPESystem(program=program, config=config, qpu=qpu,
+                         n_qubits=n_qubits)
+    result = system.run()
+    return [(record.gate, record.qubits)
+            for record in sorted(result.trace.issues,
+                                 key=lambda r: (r.time_ns, r.qubits))]
+
+
+def per_qubit_order(stream):
+    orders: dict[int, list[str]] = {}
+    for gate, qubits in stream:
+        for qubit in qubits:
+            orders.setdefault(qubit, []).append(gate)
+    return orders
+
+
+@settings(max_examples=25, deadline=None)
+@given(straightline_programs())
+def test_all_architectures_issue_the_same_operations(case):
+    program, n_qubits = case
+    streams = {
+        "scalar": issue_stream(program, n_qubits, scalar_config()),
+        "super4": issue_stream(program, n_qubits,
+                               superscalar_config(4)),
+        "super8": issue_stream(program, n_qubits,
+                               superscalar_config(8)),
+    }
+    vliw = bundle_program(program, width=8)
+    streams["vliw"] = issue_stream(vliw, n_qubits, scalar_config())
+    multisets = {name: sorted(stream)
+                 for name, stream in streams.items()}
+    assert multisets["scalar"] == multisets["super4"]
+    assert multisets["scalar"] == multisets["super8"]
+    assert multisets["scalar"] == multisets["vliw"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(straightline_programs())
+def test_per_qubit_operation_order_is_preserved(case):
+    program, n_qubits = case
+    reference = per_qubit_order(
+        issue_stream(program, n_qubits, scalar_config()))
+    for config in (superscalar_config(4), superscalar_config(8)):
+        candidate = per_qubit_order(
+            issue_stream(program, n_qubits, config))
+        assert candidate == reference
+
+
+@settings(max_examples=25, deadline=None)
+@given(straightline_programs())
+def test_issue_times_never_decrease_per_qubit(case):
+    program, n_qubits = case
+    for config in (scalar_config(), superscalar_config(8)):
+        qpu = PRNGQPU(n_qubits, DeterministicReadout())
+        system = QuAPESystem(program=program, config=config, qpu=qpu,
+                             n_qubits=n_qubits)
+        result = system.run()
+        last_time: dict[int, int] = {}
+        for record in result.trace.issues:
+            for qubit in record.qubits:
+                assert record.time_ns >= last_time.get(qubit, 0)
+                last_time[qubit] = record.time_ns
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=8),
+       st.integers(0, 2**30))
+def test_rus_loops_always_terminate(outcomes, seed):
+    """Any finite failure prefix ending in success terminates the RUS
+    loop with exactly len(prefix)+... attempts."""
+    script = outcomes + [0]  # guarantee eventual success
+    builder = ProgramBuilder("rus")
+    retry = builder.label("retry")
+    builder.qop("h", [0])
+    builder.qmeas(0, timing=2)
+    builder.fmr(1, 0)
+    builder.bne(1, 0, retry)
+    builder.halt()
+    program = builder.build()
+    qpu = PRNGQPU(1, DeterministicReadout(outcomes={0: list(script)}))
+    system = QuAPESystem(program=program, config=scalar_config(),
+                         qpu=qpu, n_qubits=1)
+    result = system.run()
+    attempts = sum(1 for record in result.trace.issues
+                   if record.gate == "h")
+    first_success = script.index(0)
+    assert attempts == first_success + 1

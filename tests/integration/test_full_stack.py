@@ -1,0 +1,111 @@
+"""Integration tests exercising the whole control stack together."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.compiler import compile_circuit
+from repro.isa import parse_asm
+from repro.qcp import (QuAPESystem, scalar_config, superscalar_config)
+from repro.qpu import StateVectorQPU, full_topology
+
+
+class TestAnalogLoop:
+    """Program -> QCP -> codewords -> AWG -> QPU -> DAQ -> registers."""
+
+    def test_bell_state_through_analog_boards(self):
+        circuit = QuantumCircuit(2).h(0).cnot(0, 1)
+        circuit.measure(0).measure(1)
+        compiled = compile_circuit(circuit)
+        qpu = StateVectorQPU(2, seed=21)
+        system = QuAPESystem(program=compiled.program, qpu=qpu,
+                             use_analog_boards=True,
+                             config=superscalar_config())
+        system.run()
+        values = [d.value for d in system.results.history]
+        assert len(values) == 2
+        assert values[0] == values[1]
+
+    def test_active_reset_through_analog_boards(self):
+        program = parse_asm("""
+            qop 0, x, q0
+            qmeas 2, q0
+            mrce q0, q0, i, x
+            halt
+        """)
+        qpu = StateVectorQPU(1, seed=3)
+        system = QuAPESystem(
+            program=program, qpu=qpu, use_analog_boards=True,
+            config=scalar_config(fast_context_switch=True))
+        system.run()
+        system.kernel.run()  # drain the trailing reset pulse
+        # The X prepared |1>, the measurement read 1, the conditional X
+        # returned the qubit to |0>.
+        assert system.results.history[0].value == 1
+        assert qpu.state.probability_of_one(0) == pytest.approx(0.0)
+
+    def test_feedback_latency_includes_daq_pipeline(self):
+        program = parse_asm("""
+            qmeas 0, q0
+            fmr r1, q0
+            halt
+        """)
+        qpu = StateVectorQPU(1, seed=0)
+        system = QuAPESystem(program=program, qpu=qpu,
+                             use_analog_boards=True)
+        result = system.run()
+        delivery = system.results.history[0].time_ns
+        issue = result.trace.issues[0].time_ns
+        # Pulse (300 ns) + acquisition (100 ns) after the issue.
+        assert delivery - issue >= 400
+
+
+class TestCombinedArchitectures:
+    def test_multiprocessor_of_superscalars(self):
+        """CLP and QOLP exploitation compose (the full QuAPE design)."""
+        circuit = QuantumCircuit(8)
+        for qubit in range(8):
+            circuit.h(qubit)
+        circuit.barrier()
+        for qubit in range(0, 8, 2):
+            circuit.cnot(qubit, qubit + 1)
+        circuit.barrier()
+        for qubit in range(8):
+            circuit.measure(qubit)
+        compiled = compile_circuit(circuit, partition="halves")
+        times = {}
+        for label, n_proc, config in (
+                ("scalar-1p", 1, scalar_config()),
+                ("super-2p", 2, superscalar_config(8))):
+            system = QuAPESystem(program=compiled.program, config=config,
+                                 n_processors=n_proc, n_qubits=8)
+            times[label] = system.run().total_ns
+        assert times["super-2p"] < times["scalar-1p"]
+
+    def test_operation_stream_identical_across_architectures(self):
+        circuit = QuantumCircuit(4)
+        circuit.h(0).h(1).cnot(0, 1).cnot(2, 3).measure(1)
+        compiled = compile_circuit(circuit)
+        streams = []
+        for config in (scalar_config(), superscalar_config(4),
+                       superscalar_config(8)):
+            system = QuAPESystem(program=compiled.program, config=config,
+                                 n_qubits=4)
+            result = system.run()
+            streams.append(sorted((r.gate, r.qubits)
+                                  for r in result.trace.issues))
+        assert streams[0] == streams[1] == streams[2]
+
+    def test_no_timing_violations_when_tr_below_one(self):
+        circuit = QuantumCircuit(8)
+        for _ in range(3):
+            for qubit in range(8):
+                circuit.h(qubit)
+            circuit.barrier()
+        compiled = compile_circuit(circuit)
+        qpu = StateVectorQPU(full_topology(8), seed=0)
+        system = QuAPESystem(program=compiled.program,
+                             config=superscalar_config(8), qpu=qpu)
+        result = system.run()
+        assert result.tr_report().meets_deadline
+        assert qpu.timing_violations == []
+        assert result.trace.total_late_ns == 0

@@ -1,0 +1,75 @@
+"""Scaled-down checks of the paper's headline claims.
+
+The full sweeps live in ``benchmarks/``; these tests assert the *shape*
+of each result quickly enough for CI.
+"""
+
+import pytest
+
+from repro.benchlib import (build_shor_syndrome_program, get_benchmark,
+                            verification_qubits)
+from repro.compiler import compile_circuit
+from repro.qcp import QuAPESystem, scalar_config, superscalar_config
+from repro.qpu import PRNGQPU, PRNGReadout
+
+
+def shor_time(n_processors, seed, ideal=False):
+    program = build_shor_syndrome_program()
+    readout = PRNGReadout(
+        failure_rate=0.0,
+        per_qubit={q: 0.25 for q in verification_qubits()}, seed=seed)
+    system = QuAPESystem(program=program,
+                         config=scalar_config(ideal_scheduler=ideal),
+                         n_processors=n_processors,
+                         qpu=PRNGQPU(37, readout), n_qubits=37)
+    return system.run().total_ns
+
+
+class TestCLPClaims:
+    def test_speedup_grows_with_processor_count(self):
+        means = {}
+        for count in (1, 2, 6):
+            times = [shor_time(count, seed) for seed in range(5)]
+            means[count] = sum(times) / len(times)
+        assert means[1] > means[2] > means[6]
+        speedup_6 = means[1] / means[6]
+        assert 2.0 <= speedup_6 <= 3.2  # paper: 2.59x
+
+    def test_ideal_speedup_bounds_actual(self):
+        actual = sum(shor_time(6, s) for s in range(4)) / 4
+        ideal = sum(shor_time(6, s, ideal=True) for s in range(4)) / 4
+        assert ideal < actual
+
+
+class TestQOLPClaims:
+    @pytest.mark.parametrize("name,min_ratio,max_ratio", [
+        ("hs16", 7.5, 8.5),       # paper: 8.00x (theoretical bound)
+        ("rd84_143", 1.3, 2.6),   # paper: 1.60x (least parallel)
+    ])
+    def test_superscalar_improvement_per_benchmark(self, name,
+                                                   min_ratio, max_ratio):
+        compiled = compile_circuit(get_benchmark(name).circuit())
+        averages = {}
+        for label, config in (("base", scalar_config()),
+                              ("super", superscalar_config(8))):
+            system = QuAPESystem(program=compiled.program, config=config)
+            averages[label] = system.run().tr_report().average
+        ratio = averages["base"] / averages["super"]
+        assert min_ratio <= ratio <= max_ratio
+
+    def test_superscalar_reaches_tr_deadline_on_every_benchmark(self):
+        for name in ("hs16", "ising_n16", "qft_n16", "grover_n9",
+                     "rd84_143", "sym9_148", "bv_n16"):
+            compiled = compile_circuit(get_benchmark(name).circuit())
+            system = QuAPESystem(program=compiled.program,
+                                 config=superscalar_config(8))
+            report = system.run().tr_report()
+            assert report.meets_deadline, name
+
+    def test_baseline_misses_deadline_on_parallel_benchmarks(self):
+        compiled = compile_circuit(get_benchmark("hs16").circuit())
+        system = QuAPESystem(program=compiled.program,
+                             config=scalar_config())
+        report = system.run().tr_report()
+        assert not report.meets_deadline
+        assert report.average >= 4.0

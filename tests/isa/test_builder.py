@@ -1,0 +1,116 @@
+"""Unit tests for the fluent program builder."""
+
+import pytest
+
+from repro.isa import Opcode, ProgramBuilder, ProgramError
+
+
+class TestBlocks:
+    def test_blocks_record_ranges_and_metadata(self):
+        builder = ProgramBuilder("p")
+        with builder.block("a", priority=2, deps=["z"]):
+            builder.nop()
+            builder.halt()
+        with builder.block("z", priority=1):
+            builder.halt()
+        program = builder.build(validate=False)
+        a = program.block_named("a")
+        assert (a.start, a.end, a.priority, a.deps) == (0, 2, 2, ("z",))
+
+    def test_nested_blocks_rejected(self):
+        builder = ProgramBuilder()
+        with pytest.raises(ProgramError):
+            with builder.block("outer"):
+                with builder.block("inner"):
+                    pass
+
+    def test_unclosed_block_rejected(self):
+        builder = ProgramBuilder()
+        ctx = builder.block("a")
+        ctx.__enter__()
+        builder.halt()
+        with pytest.raises(ProgramError):
+            builder.build()
+
+    def test_default_main_block_when_none_declared(self):
+        builder = ProgramBuilder()
+        builder.qop("h", [0])
+        builder.halt()
+        program = builder.build()
+        assert [b.name for b in program.blocks] == ["main"]
+        assert program.blocks[0].size == 2
+
+
+class TestLabels:
+    def test_duplicate_label_rejected(self):
+        builder = ProgramBuilder()
+        builder.label("loop")
+        with pytest.raises(ProgramError):
+            builder.label("loop")
+
+    def test_fresh_label_avoids_collisions(self):
+        builder = ProgramBuilder()
+        builder.label("x_0")
+        assert builder.fresh_label("x") == "x_1"
+
+    def test_forward_references_resolve(self):
+        builder = ProgramBuilder()
+        builder.jmp("end")
+        builder.nop()
+        builder.label("end")
+        builder.halt()
+        program = builder.build()
+        assert program.instructions[0].target == 2
+
+
+class TestMetadata:
+    def test_step_context_tags_instructions(self):
+        builder = ProgramBuilder()
+        with builder.step(7):
+            builder.qop("h", [0])
+        builder.qop("x", [0])
+        builder.halt()
+        program = builder.build()
+        assert program.instructions[0].step_id == 7
+        assert program.instructions[1].step_id is None
+
+    def test_block_context_tags_instructions(self):
+        builder = ProgramBuilder()
+        with builder.block("w1"):
+            builder.qop("h", [0])
+            builder.halt()
+        program = builder.build()
+        assert program.instructions[0].block == "w1"
+
+
+class TestEmitters:
+    def test_every_emitter_produces_expected_opcode(self):
+        builder = ProgramBuilder()
+        cases = [
+            (builder.nop(), Opcode.NOP),
+            (builder.ldi(1, 5), Opcode.LDI),
+            (builder.mov(1, 2), Opcode.MOV),
+            (builder.ldm(1, 3), Opcode.LDM),
+            (builder.stm(1, 3), Opcode.STM),
+            (builder.fmr(1, 0), Opcode.FMR),
+            (builder.add(1, 2, 3), Opcode.ADD),
+            (builder.addi(1, 2, 4), Opcode.ADDI),
+            (builder.sub(1, 2, 3), Opcode.SUB),
+            (builder.and_(1, 2, 3), Opcode.AND),
+            (builder.or_(1, 2, 3), Opcode.OR),
+            (builder.xor(1, 2, 3), Opcode.XOR),
+            (builder.not_(1, 2), Opcode.NOT),
+            (builder.qop("h", [0]), Opcode.QOP),
+            (builder.qmeas(0), Opcode.QMEAS),
+            (builder.mrce(0, 1), Opcode.MRCE),
+            (builder.halt(), Opcode.HALT),
+        ]
+        for instr, opcode in cases:
+            assert instr.opcode == opcode
+
+    def test_pc_tracks_emissions(self):
+        builder = ProgramBuilder()
+        assert builder.pc == 0
+        builder.nop()
+        builder.nop()
+        assert builder.pc == 2

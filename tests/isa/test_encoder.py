@@ -1,0 +1,138 @@
+"""Unit and property tests for the binary encoder."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (Add, Beq, Bne, EncodingError, Fmr, Halt, Jmp, Ldi,
+                       Ldm, Mov, Mrce, Nop, Not, Qmeas, Qop, Stm, decode,
+                       decode_program, encode, encode_program)
+from repro.isa.encoder import GATE_IDS, MRCE_OP_IDS
+
+
+def roundtrip(instr):
+    words = encode(instr)
+    back, consumed = decode(words, 0)
+    assert consumed == len(words)
+    return back
+
+
+class TestClassicalRoundTrip:
+    @pytest.mark.parametrize("instr", [
+        Nop(), Halt(), Jmp(1234), Beq(1, 2, 77), Bne(31, 0, 0),
+        Ldi(5, -32768), Ldi(5, 32767), Mov(3, 4), Ldm(2, 65535),
+        Stm(7, 0), Fmr(9, 36), Add(1, 2, 3), Not(4, 5),
+    ])
+    def test_roundtrip_equality(self, instr):
+        assert roundtrip(instr) == instr
+
+    def test_every_word_fits_32_bits(self):
+        for instr in (Jmp(2**26 - 1), Ldi(31, -1), Qop(4095, "h", (0,))):
+            for word in encode(instr):
+                assert 0 <= word < 2**32
+
+
+class TestQuantumRoundTrip:
+    def test_single_qubit_op(self):
+        assert roundtrip(Qop(30, "h", (5,))) == Qop(30, "h", (5,))
+
+    def test_two_qubit_op_uses_extra_word(self):
+        instr = Qop(2, "cnot", (3, 17))
+        assert len(encode(instr)) == 2
+        assert roundtrip(instr) == instr
+
+    def test_parametric_op_float32_precision(self):
+        instr = Qop(0, "rx", (1,), (math.pi / 3,))
+        back = roundtrip(instr)
+        assert back.gate == "rx"
+        assert back.params[0] == pytest.approx(math.pi / 3, abs=1e-6)
+
+    def test_qmeas(self):
+        assert roundtrip(Qmeas(100, 36)) == Qmeas(100, 36)
+
+    def test_mrce_two_words(self):
+        instr = Mrce(2, 0, "i", "x", timing=30)
+        assert len(encode(instr)) == 2
+        assert roundtrip(instr) == instr
+
+
+class TestErrors:
+    def test_unresolved_target_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Jmp("label"))
+
+    def test_unknown_gate_rejected(self):
+        instr = Qop(0, "h", (0,))
+        instr.gate = "mystery"
+        with pytest.raises(EncodingError):
+            encode(instr)
+
+    def test_field_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Qop(5000, "h", (0,)))  # timing > 12 bits
+        with pytest.raises(EncodingError):
+            encode(Ldi(1, 2**20))  # immediate > 16 bits
+
+    def test_mrce_op_without_id_rejected(self):
+        instr = Mrce(0, 1)
+        instr.op_if_one = "cnot"  # not in the 4-bit conditional table
+        with pytest.raises(EncodingError):
+            encode(instr)
+
+
+class TestProgramEncoding:
+    def test_program_roundtrip_preserves_order(self):
+        program = [Ldi(1, 3), Qop(0, "h", (0,)), Qop(2, "cnot", (0, 1)),
+                   Qmeas(4, 1), Mrce(1, 0, "i", "x"), Bne(1, 0, 0),
+                   Halt()]
+        words = encode_program(program)
+        decoded = decode_program(words)
+        assert decoded == program
+
+
+# -- property-based roundtrips -------------------------------------------------
+
+classical_instrs = st.one_of(
+    st.just(Nop()), st.just(Halt()),
+    st.builds(Jmp, st.integers(0, 2**26 - 1)),
+    st.builds(Beq, st.integers(0, 31), st.integers(0, 31),
+              st.integers(0, 2**16 - 1)),
+    st.builds(Ldi, st.integers(1, 31), st.integers(-2**15, 2**15 - 1)),
+    st.builds(Mov, st.integers(0, 31), st.integers(0, 31)),
+    st.builds(Fmr, st.integers(0, 31), st.integers(0, 2**16 - 1)),
+    st.builds(Add, st.integers(0, 31), st.integers(0, 31),
+              st.integers(0, 31)),
+)
+
+parameterless_gates = [name for name in GATE_IDS
+                       if name not in ("rx", "ry", "rz")]
+
+
+@st.composite
+def quantum_instrs(draw):
+    gate = draw(st.sampled_from(parameterless_gates))
+    from repro.circuit import lookup_gate
+    timing = draw(st.integers(0, 2**12 - 1))
+    if gate == "measure":
+        # The QMEAS header packs the qubit into a 14-bit field.
+        return Qmeas(timing, draw(st.integers(0, 2**14 - 1)))
+    arity = lookup_gate(gate).n_qubits
+    qubits = draw(st.lists(st.integers(0, 2**16 - 1), min_size=arity,
+                           max_size=arity, unique=True))
+    return Qop(timing, gate, tuple(qubits))
+
+
+@given(st.lists(st.one_of(classical_instrs, quantum_instrs()),
+                max_size=30))
+def test_arbitrary_program_roundtrips(instrs):
+    assert decode_program(encode_program(instrs)) == instrs
+
+
+@given(st.integers(0, 2**9 - 1), st.integers(0, 2**9 - 1),
+       st.sampled_from(sorted(MRCE_OP_IDS)),
+       st.sampled_from(sorted(MRCE_OP_IDS)),
+       st.integers(0, 2**31 - 1))
+def test_mrce_roundtrips(rq, tq, op0, op1, timing):
+    instr = Mrce(rq, tq, op0, op1, timing)
+    assert decode_program(encode(instr)) == [instr]

@@ -1,0 +1,108 @@
+"""Unit tests for instruction objects."""
+
+import pytest
+
+from repro.isa import (Add, Addi, Beq, Bge, Blt, Bne, Fmr, Halt,
+                       InstrClass, Jmp, Ldi, Ldm, Mov, Mrce, Nop, Not,
+                       Opcode, Or, Qmeas, Qop, Stm, Sub, Xor)
+
+
+class TestClassification:
+    def test_classical_instructions_are_classical(self):
+        for instr in (Nop(), Halt(), Jmp(0), Beq(1, 2, 0), Ldi(1, 5),
+                      Mov(1, 2), Ldm(1, 0), Stm(1, 0), Fmr(1, 0),
+                      Add(1, 2, 3), Addi(1, 2, 5), Not(1, 2)):
+            assert instr.klass is InstrClass.CLASSICAL
+            assert not instr.is_quantum
+
+    def test_quantum_instructions_are_quantum(self):
+        assert Qop(0, "h", (0,)).klass is InstrClass.QUANTUM
+        assert Qmeas(0, 1).klass is InstrClass.MEASURE
+        assert Mrce(0, 1).klass is InstrClass.MRCE
+        for instr in (Qop(0, "h", (0,)), Qmeas(0, 1), Mrce(0, 1)):
+            assert instr.is_quantum
+
+    def test_branch_detection(self):
+        assert Jmp(0).is_branch
+        assert Beq(0, 0, 0).is_branch
+        assert Bne(0, 0, 0).is_branch
+        assert not Ldi(1, 0).is_branch
+        assert not Qop(0, "x", (0,)).is_branch
+
+
+class TestBranchSemantics:
+    @pytest.mark.parametrize("cls,a,b,expected", [
+        (Beq, 3, 3, True), (Beq, 3, 4, False),
+        (Bne, 3, 4, True), (Bne, 3, 3, False),
+        (Blt, 2, 3, True), (Blt, 3, 3, False),
+        (Bge, 3, 3, True), (Bge, 2, 3, False),
+    ])
+    def test_taken(self, cls, a, b, expected):
+        assert cls(1, 2, "target").taken(a, b) is expected
+
+
+class TestAluSemantics:
+    def test_evaluate(self):
+        assert Add(1, 2, 3).evaluate(4, 5) == 9
+        assert Sub(1, 2, 3).evaluate(4, 5) == -1
+        assert Xor(1, 2, 3).evaluate(0b101, 0b110) == 0b011
+        assert Or(1, 2, 3).evaluate(0b100, 0b001) == 0b101
+
+
+class TestValidation:
+    def test_register_out_of_range(self):
+        with pytest.raises(ValueError):
+            Ldi(32, 0)
+        with pytest.raises(ValueError):
+            Mov(1, -1)
+
+    def test_negative_timing_rejected(self):
+        with pytest.raises(ValueError):
+            Qop(-1, "h", (0,))
+        with pytest.raises(ValueError):
+            Qmeas(-2, 0)
+
+    def test_empty_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Qop(0, "h", ())
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Qop(0, "cnot", (1, 1))
+
+    def test_negative_qubit_rejected(self):
+        with pytest.raises(ValueError):
+            Fmr(1, -1)
+        with pytest.raises(ValueError):
+            Mrce(-1, 0)
+
+
+class TestMrce:
+    def test_selected_op(self):
+        instr = Mrce(0, 1, op_if_zero="i", op_if_one="x")
+        assert instr.selected_op(0) == "i"
+        assert instr.selected_op(1) == "x"
+
+    def test_qubits_property(self):
+        assert Mrce(0, 1).qubits == (1,)
+        assert Qmeas(0, 4).qubits == (4,)
+
+
+class TestFormatting:
+    def test_str_forms(self):
+        assert str(Qop(2, "cnot", (0, 1))) == "qop 2, cnot, q0, q1"
+        assert str(Qmeas(4, 3)) == "qmeas 4, q3"
+        assert str(Ldi(1, -7)) == "ldi r1, -7"
+        assert str(Beq(1, 0, 12)) == "beq r1, r0, 12"
+        assert str(Mrce(0, 1, "i", "x")) == "mrce q0, q1, i, x"
+        assert str(Halt()) == "halt"
+
+    def test_qop_with_params(self):
+        text = str(Qop(0, "rx", (2,), (1.5,)))
+        assert "rx" in text and "1.5" in text and "q2" in text
+
+    def test_metadata_defaults(self):
+        instr = Qop(0, "h", (0,))
+        assert instr.step_id is None
+        assert instr.block is None
+        assert instr.opcode == Opcode.QOP

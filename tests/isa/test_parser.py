@@ -1,0 +1,133 @@
+"""Unit tests for the text assembler."""
+
+import pytest
+
+from repro.isa import (AsmSyntaxError, Mrce, Qmeas, Qop, parse_asm)
+
+
+EXAMPLE = """
+; timed-QASM example from the paper's Section 2.2
+.block main prio=0
+    qop 0, h, q0
+    qop 0, h, q1
+    qop 1, cnot, q0, q1
+    halt
+.endblock
+"""
+
+
+class TestBasicParsing:
+    def test_paper_example(self):
+        program = parse_asm(EXAMPLE)
+        ops = program.instructions
+        assert isinstance(ops[0], Qop) and ops[0].timing == 0
+        assert ops[2].gate == "cnot" and ops[2].qubits == (0, 1)
+        assert ops[2].timing == 1
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = parse_asm("""
+        # full line comment
+        qop 0, x, q0   ; trailing comment
+        halt
+        """)
+        assert len(program) == 2
+
+    def test_labels_and_branches(self):
+        program = parse_asm("""
+        loop:
+            qop 0, x, q0
+            bne r1, r0, loop
+            halt
+        """)
+        assert program.instructions[1].target == 0
+
+    def test_block_options(self):
+        program = parse_asm("""
+        .block w1 prio=3 deps=a,b
+            halt
+        .endblock
+        .block a
+            halt
+        .endblock
+        .block b
+            halt
+        .endblock
+        """)
+        block = program.block_named("w1")
+        assert block.priority == 3
+        assert block.deps == ("a", "b")
+
+    def test_parametric_gate(self):
+        program = parse_asm("qop 2, rx(1.5708), q3\nhalt")
+        instr = program.instructions[0]
+        assert instr.gate == "rx"
+        assert instr.params == pytest.approx((1.5708,))
+        assert instr.qubits == (3,)
+
+    def test_qmeas_and_mrce(self):
+        program = parse_asm("""
+        qmeas 4, q2
+        mrce q2, q0, i, x
+        mrce q2, q1, i, x, 3
+        halt
+        """)
+        assert isinstance(program.instructions[0], Qmeas)
+        mrce = program.instructions[1]
+        assert isinstance(mrce, Mrce)
+        assert (mrce.result_qubit, mrce.target_qubit) == (2, 0)
+        assert program.instructions[2].timing == 3
+
+    def test_memory_and_alu_forms(self):
+        program = parse_asm("""
+        ldi r1, 42
+        ldm r2, [7]
+        stm r1, [8]
+        and r3, r1, r2
+        or r4, r1, r2
+        not r5, r4
+        addi r6, r5, -3
+        halt
+        """)
+        assert program.instructions[0].imm == 42
+        assert program.instructions[1].addr == 7
+        assert program.instructions[6].imm == -3
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source", [
+        "qop 0, h",                   # missing qubit
+        "bogus r1, r2",               # unknown mnemonic
+        "ldi q1, 5",                  # register expected
+        "fmr r1, r2",                 # qubit expected
+        "beq r1, r0",                 # missing target
+        ".endblock",                  # endblock without block
+        "mrce q0, q1, i",             # missing op1
+        "qop 0, h(, q0",              # broken params
+    ])
+    def test_bad_statement_raises_with_line_number(self, source):
+        with pytest.raises(AsmSyntaxError):
+            parse_asm(source)
+
+    def test_unterminated_block(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_asm(".block w1\nhalt")
+
+    def test_nested_block(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_asm(".block a\n.block b\nhalt\n.endblock\n.endblock")
+
+
+class TestRoundTrip:
+    def test_listing_of_parsed_program_reparses(self):
+        program = parse_asm(EXAMPLE)
+        listing = program.listing()
+        # Strip pc columns from the listing to recover assembly text.
+        lines = []
+        for line in listing.splitlines():
+            stripped = line.strip()
+            if stripped[0].isdigit():
+                stripped = stripped.split(None, 1)[1]
+            lines.append(stripped)
+        reparsed = parse_asm("\n".join(lines))
+        assert [str(i) for i in reparsed.instructions] == \
+            [str(i) for i in program.instructions]

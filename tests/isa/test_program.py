@@ -1,0 +1,126 @@
+"""Unit tests for programs and the block information table."""
+
+import pytest
+
+from repro.isa import (BLOCK_TABLE_ENTRIES, BlockInfo, BlockInfoTable,
+                       DependencyMode, Halt, Jmp, Ldi, Program,
+                       ProgramBuilder, ProgramError, Qop)
+
+
+def two_block_program() -> Program:
+    builder = ProgramBuilder("two")
+    with builder.block("w1", priority=0):
+        builder.qop("h", [0])
+        builder.halt()
+    with builder.block("w2", priority=1, deps=["w1"]):
+        builder.qop("x", [1])
+        builder.halt()
+    return builder.build()
+
+
+class TestProgram:
+    def test_label_resolution(self):
+        builder = ProgramBuilder()
+        with builder.block("main"):
+            builder.label("start")
+            builder.qop("h", [0])
+            builder.jmp("start")
+        program = builder.build()
+        assert program.instructions[1].target == 0
+
+    def test_unresolved_label_raises(self):
+        program = Program(instructions=[Jmp("nowhere")], labels={})
+        with pytest.raises(ProgramError):
+            program.resolve_labels()
+
+    def test_validate_rejects_out_of_range_target(self):
+        program = Program(instructions=[Jmp(5), Halt()])
+        with pytest.raises(ProgramError):
+            program.validate()
+
+    def test_validate_rejects_duplicate_block_names(self):
+        program = Program(
+            instructions=[Halt(), Halt()],
+            blocks=[BlockInfo("a", 0, 1), BlockInfo("a", 1, 2)])
+        with pytest.raises(ProgramError):
+            program.validate()
+
+    def test_validate_rejects_overlapping_blocks(self):
+        program = Program(
+            instructions=[Halt(), Halt()],
+            blocks=[BlockInfo("a", 0, 2), BlockInfo("b", 1, 2)])
+        with pytest.raises(ProgramError):
+            program.validate()
+
+    def test_validate_rejects_unknown_dependency(self):
+        program = Program(
+            instructions=[Halt()],
+            blocks=[BlockInfo("a", 0, 1, deps=("ghost",))])
+        with pytest.raises(ProgramError):
+            program.validate()
+
+    def test_block_terminator_check(self):
+        program = Program(instructions=[Ldi(1, 0)],
+                          blocks=[BlockInfo("a", 0, 1)])
+        with pytest.raises(ProgramError):
+            program.ensure_block_terminators()
+
+    def test_instruction_counts(self):
+        program = two_block_program()
+        assert program.quantum_instruction_count == 2
+        assert program.classical_instruction_count == 2
+
+    def test_block_named(self):
+        program = two_block_program()
+        assert program.block_named("w2").priority == 1
+        with pytest.raises(ProgramError):
+            program.block_named("missing")
+
+    def test_listing_mentions_blocks_and_instructions(self):
+        listing = two_block_program().listing()
+        assert ".block w1" in listing
+        assert "qop 0, h, q0" in listing
+        assert "deps=w1" in listing
+
+
+class TestBlockInfo:
+    def test_size(self):
+        assert BlockInfo("a", 3, 10).size == 7
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            BlockInfo("a", 5, 3)
+
+    def test_negative_priority_rejected(self):
+        with pytest.raises(ValueError):
+            BlockInfo("a", 0, 1, priority=-1)
+
+
+class TestBlockInfoTable:
+    def test_priority_mode(self):
+        table = BlockInfoTable(two_block_program(),
+                               mode=DependencyMode.PRIORITY)
+        assert table.priority_of(table.index_of("w1")) == 0
+        assert table.priority_of(table.index_of("w2")) == 1
+        assert table.priorities() == [0, 1]
+
+    def test_direct_mode_vectors(self):
+        table = BlockInfoTable(two_block_program(),
+                               mode=DependencyMode.DIRECT)
+        w1 = table.index_of("w1")
+        w2 = table.index_of("w2")
+        assert table.dependency_vector(w1) == 0
+        assert table.dependency_vector(w2) == 1 << w1
+
+    def test_capacity_enforced(self):
+        builder = ProgramBuilder()
+        for index in range(BLOCK_TABLE_ENTRIES + 1):
+            with builder.block(f"b{index}"):
+                builder.halt()
+        program = builder.build()
+        with pytest.raises(ProgramError):
+            BlockInfoTable(program)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ProgramError):
+            BlockInfoTable(Program(instructions=[Halt()]))

@@ -1,0 +1,176 @@
+"""Tests for VLIW bundles and the bundling compiler pass."""
+
+import pytest
+
+from repro.compiler import bundle_instructions, bundle_program
+from repro.isa import (Bundle, Halt, Ldi, ProgramBuilder, Qmeas, Qop,
+                       parse_asm, risc_word_count, vliw_word_count)
+
+
+class TestBundle:
+    def test_word_count_is_header_plus_slots(self):
+        bundle = Bundle(timing=2, width=8, slots=(Qop(2, "h", (0,)),))
+        assert bundle.word_count == 9
+        assert bundle.qnop_count == 7
+
+    def test_qubits_union_of_slots(self):
+        bundle = Bundle(timing=0, width=4,
+                        slots=(Qop(0, "cnot", (0, 1)), Qmeas(0, 3)))
+        assert bundle.qubits == (0, 1, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Bundle(timing=-1, width=4, slots=(Qop(0, "h", (0,)),))
+        with pytest.raises(ValueError):
+            Bundle(timing=0, width=0, slots=(Qop(0, "h", (0,)),))
+        with pytest.raises(ValueError):
+            Bundle(timing=0, width=1,
+                   slots=(Qop(0, "h", (0,)), Qop(0, "h", (1,))))
+        with pytest.raises(ValueError):
+            Bundle(timing=0, width=4, slots=())
+
+    def test_str_shows_slots_and_padding(self):
+        bundle = Bundle(timing=3, width=3, slots=(Qop(3, "h", (0,)),))
+        text = str(bundle)
+        assert "bundle 3" in text
+        assert text.count("qnop") == 2
+
+
+class TestBundleInstructions:
+    def test_label_zero_groups_pack_together(self):
+        instrs = [Qop(0, "h", (0,)), Qop(0, "h", (1,)),
+                  Qop(2, "x", (0,)), Halt()]
+        bundled, pc_map = bundle_instructions(instrs, width=4)
+        assert isinstance(bundled[0], Bundle)
+        assert len(bundled[0].slots) == 2
+        assert isinstance(bundled[1], Bundle)
+        assert bundled[1].timing == 2
+        assert isinstance(bundled[2], Halt)
+        assert pc_map == {0: 0, 1: 0, 2: 1, 3: 2}
+
+    def test_width_splits_large_groups(self):
+        instrs = [Qop(0, "h", (q,)) for q in range(5)]
+        bundled, _ = bundle_instructions(instrs, width=2)
+        assert [len(b.slots) for b in bundled] == [2, 2, 1]
+        # Trailing bundles keep the simultaneity semantics via label 0.
+        assert bundled[0].timing == 0
+        assert bundled[1].timing == 0
+
+    def test_classical_breaks_groups(self):
+        instrs = [Qop(0, "h", (0,)), Ldi(1, 3), Qop(0, "h", (1,))]
+        bundled, _ = bundle_instructions(instrs, width=4)
+        assert isinstance(bundled[0], Bundle)
+        assert isinstance(bundled[1], Ldi)
+        assert isinstance(bundled[2], Bundle)
+
+
+class TestBundleProgram:
+    def test_branch_targets_remapped(self):
+        program = parse_asm("""
+        loop:
+            qop 0, h, q0
+            qop 0, h, q1
+            qop 2, x, q0
+            fmr r1, q0
+            bne r1, r0, loop
+            halt
+        """)
+        vliw = bundle_program(program, width=4)
+        branch = next(i for i in vliw.instructions if i.is_branch)
+        assert branch.target == 0
+        vliw.validate()
+
+    def test_source_program_not_mutated(self):
+        program = parse_asm("""
+            jmp end
+            qop 0, h, q0
+        end:
+            halt
+        """)
+        original_target = program.instructions[0].target
+        bundle_program(program, width=4)
+        assert program.instructions[0].target == original_target
+
+    def test_blocks_preserved_with_new_ranges(self):
+        builder = ProgramBuilder()
+        with builder.block("a", priority=0):
+            for qubit in range(4):
+                builder.qop("h", [qubit])
+            builder.halt()
+        with builder.block("b", priority=1, deps=("a",)):
+            builder.qop("x", [0])
+            builder.halt()
+        vliw = bundle_program(builder.build(), width=8)
+        a, b = vliw.blocks
+        assert (a.name, a.size) == ("a", 2)   # bundle + halt
+        assert (b.name, b.size) == ("b", 2)
+        assert b.deps == ("a",)
+
+    def test_invalid_width_rejected(self):
+        program = parse_asm("halt")
+        with pytest.raises(ValueError):
+            bundle_program(program, width=0)
+
+
+class TestWordCounts:
+    def test_serial_code_pays_qnop_padding(self):
+        # 10 serial single-qubit ops: RISC = 2 words each (header +
+        # operand word); VLIW-8 = 10 bundles of 9 words each.
+        instrs = [Qop(2, "h", (0,)) for _ in range(10)]
+        assert risc_word_count(instrs) == 20
+        bundled, _ = bundle_instructions(instrs, width=8)
+        assert vliw_word_count(bundled) == 90
+
+    def test_parallel_code_packs_efficiently(self):
+        instrs = [Qop(0, "h", (q,)) for q in range(8)]
+        assert risc_word_count(instrs) == 16
+        bundled, _ = bundle_instructions(instrs, width=8)
+        assert vliw_word_count(bundled) == 9
+
+
+class TestVliwExecution:
+    def test_bundle_issues_slots_simultaneously(self, tmp_path):
+        from repro.qcp import QuAPESystem, scalar_config
+
+        program = parse_asm("""
+            qop 0, h, q0
+            qop 0, h, q1
+            qop 0, h, q2
+            qop 2, x, q0
+            halt
+        """)
+        vliw = bundle_program(program, width=8)
+        result = QuAPESystem(program=vliw, config=scalar_config(),
+                             n_qubits=3).run()
+        times = sorted({r.time_ns for r in result.trace.issues})
+        assert len(times) == 2
+        assert times[1] - times[0] == 20
+        assert result.trace.total_late_ns == 0
+
+    def test_vliw_matches_superscalar_stream_on_rus_loop(self):
+        from repro.qcp import QuAPESystem, scalar_config, \
+            superscalar_config
+        from repro.qpu import PRNGQPU
+        from repro.qpu.readout import DeterministicReadout
+
+        source = """
+        retry:
+            qop 0, h, q0
+            qop 0, h, q1
+            qmeas 2, q0
+            fmr r1, q0
+            bne r1, r0, retry
+            halt
+        """
+        program = parse_asm(source)
+        vliw = bundle_program(program, width=8)
+
+        def stream(prog, config):
+            qpu = PRNGQPU(2, DeterministicReadout(outcomes={0: [1, 0]}))
+            system = QuAPESystem(program=prog, config=config, qpu=qpu,
+                                 n_qubits=2)
+            result = system.run()
+            return [(r.gate, r.qubits) for r in result.trace.issues]
+
+        assert stream(vliw, scalar_config()) == \
+            stream(program, superscalar_config(8))

@@ -1,0 +1,31 @@
+"""Shared helpers for control-processor tests."""
+
+import pytest
+
+from repro.isa import parse_asm
+from repro.qcp import QCPConfig, QuAPESystem
+from repro.qpu import PRNGQPU
+from repro.qpu.readout import DeterministicReadout
+
+
+@pytest.fixture
+def run_asm():
+    """Assemble and execute a program; returns (result, system)."""
+
+    def runner(source, config=None, n_processors=1, outcomes=None,
+               n_qubits=None, dependency_mode=None):
+        program = parse_asm(source)
+        readout = DeterministicReadout(outcomes=dict(outcomes or {}))
+        qubits = n_qubits or 8
+        qpu = PRNGQPU(qubits, readout)
+        kwargs = {}
+        if dependency_mode is not None:
+            kwargs["dependency_mode"] = dependency_mode
+        system = QuAPESystem(program=program,
+                             config=config or QCPConfig(),
+                             n_processors=n_processors, qpu=qpu,
+                             n_qubits=qubits, **kwargs)
+        result = system.run()
+        return result, system
+
+    return runner

@@ -1,0 +1,60 @@
+"""Tests for the QCP configuration object."""
+
+import pytest
+
+from repro.qcp import QCPConfig, scalar_config, superscalar_config
+
+
+class TestValidation:
+    def test_defaults_are_paper_values(self):
+        config = QCPConfig()
+        assert config.clock_period_ns == 10          # 100 MHz
+        assert config.context_switch_cycles == 3     # Section 7
+        assert config.gate_time_ns == 20             # Section 7
+        assert config.result_latency_ns == 400       # ~450 ns feedback
+
+    @pytest.mark.parametrize("field,value", [
+        ("clock_period_ns", 0),
+        ("fetch_width", 0),
+        ("n_quantum_pipelines", 0),
+        ("buffer_capacity", 0),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            QCPConfig(**{field: value})
+
+    def test_buffer_must_hold_a_fetch_group(self):
+        with pytest.raises(ValueError):
+            QCPConfig(fetch_width=8, buffer_capacity=4)
+
+
+class TestFactories:
+    def test_scalar_config_is_single_issue(self):
+        config = scalar_config()
+        assert config.fetch_width == 1
+        assert not config.is_superscalar
+        assert not config.fast_context_switch
+
+    def test_superscalar_config_matches_paper_prototype(self):
+        config = superscalar_config(8)
+        assert config.fetch_width == 8
+        assert config.n_quantum_pipelines == 8
+        assert config.is_superscalar
+        assert config.fast_context_switch
+
+    def test_factory_overrides(self):
+        config = superscalar_config(4, branch_penalty_cycles=5)
+        assert config.fetch_width == 4
+        assert config.branch_penalty_cycles == 5
+
+    def test_with_returns_modified_copy(self):
+        base = QCPConfig()
+        changed = base.with_(ideal_scheduler=True)
+        assert changed.ideal_scheduler
+        assert not base.ideal_scheduler
+        assert changed.clock_period_ns == base.clock_period_ns
+
+    def test_config_is_frozen(self):
+        config = QCPConfig()
+        with pytest.raises(AttributeError):
+            config.fetch_width = 4  # type: ignore[misc]

@@ -1,0 +1,104 @@
+"""Unit tests for instruction memory and private caches."""
+
+import pytest
+
+from repro.isa import BlockInfo, ProgramBuilder
+from repro.qcp import (CacheError, InstructionMemory,
+                       PrivateInstructionCache)
+
+
+def build_program():
+    builder = ProgramBuilder()
+    with builder.block("a", priority=0):
+        builder.qop("h", [0])
+        builder.halt()
+    with builder.block("b", priority=1):
+        builder.qop("x", [1])
+        builder.halt()
+    return builder.build()
+
+
+@pytest.fixture
+def memory():
+    return InstructionMemory(build_program())
+
+
+class TestInstructionMemory:
+    def test_fetch(self, memory):
+        assert str(memory.fetch(0)) == "qop 0, h, q0"
+
+    def test_out_of_range(self, memory):
+        with pytest.raises(IndexError):
+            memory.fetch(99)
+
+    def test_block_instructions(self, memory):
+        block = memory.program.blocks[1]
+        instrs = memory.block_instructions(block)
+        assert len(instrs) == block.size
+
+
+class TestPrivateInstructionCache:
+    def test_fetch_requires_active_block(self, memory):
+        cache = PrivateInstructionCache(memory)
+        with pytest.raises(CacheError):
+            cache.fetch(0)
+
+    def test_fill_active_and_fetch(self, memory):
+        cache = PrivateInstructionCache(memory)
+        block = memory.program.blocks[0]
+        cache.fill_active(block)
+        assert cache.active_block is block
+        assert cache.fetch(block.start) is memory.fetch(block.start)
+
+    def test_fetch_outside_block_rejected(self, memory):
+        cache = PrivateInstructionCache(memory)
+        cache.fill_active(memory.program.blocks[0])
+        with pytest.raises(CacheError):
+            cache.fetch(memory.program.blocks[1].start)
+
+    def test_prefetch_and_switch(self, memory):
+        cache = PrivateInstructionCache(memory)
+        a, b = memory.program.blocks
+        cache.fill_active(a)
+        assert cache.inactive_bank_free
+        cache.prefetch(b)
+        assert cache.prefetched_block is b
+        assert not cache.inactive_bank_free
+        switched = cache.switch()
+        assert switched is b
+        assert cache.active_block is b
+        # The old active bank was released by the switch.
+        assert cache.inactive_bank_free
+
+    def test_prefetch_into_occupied_bank_rejected(self, memory):
+        cache = PrivateInstructionCache(memory)
+        a, b = memory.program.blocks
+        cache.prefetch(a)
+        with pytest.raises(CacheError):
+            cache.prefetch(b)
+
+    def test_switch_to_empty_bank_rejected(self, memory):
+        cache = PrivateInstructionCache(memory)
+        cache.fill_active(memory.program.blocks[0])
+        with pytest.raises(CacheError):
+            cache.switch()
+
+    def test_release_active(self, memory):
+        cache = PrivateInstructionCache(memory)
+        cache.fill_active(memory.program.blocks[0])
+        cache.release_active()
+        assert cache.active_block is None
+
+    def test_drop_prefetch(self, memory):
+        cache = PrivateInstructionCache(memory)
+        cache.prefetch(memory.program.blocks[0])
+        cache.drop_prefetch()
+        assert cache.prefetched_block is None
+        assert cache.inactive_bank_free
+
+    def test_in_active_block(self, memory):
+        cache = PrivateInstructionCache(memory)
+        block = memory.program.blocks[0]
+        cache.fill_active(block)
+        assert cache.in_active_block(block.start)
+        assert not cache.in_active_block(block.end)

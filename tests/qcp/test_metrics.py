@@ -1,0 +1,83 @@
+"""Unit tests for the CES / TR metrics (Equations 1 and 2)."""
+
+import pytest
+
+from repro.qcp import CESAccumulator, average_ces, time_ratio
+
+
+class TestCESAccumulator:
+    def test_equation_1_composition(self):
+        ces = CESAccumulator()
+        ces.quantum(0, 4)        # pipeline CEQI x QICES
+        ces.classical(0, 2)      # classical instruction cycles
+        ces.control_stall(0, 3)  # classical control stalls
+        ces.feedback(0, 5)       # stage III of feedback control
+        record = ces.records[0]
+        assert record.ces == 14
+
+    def test_excluded_wait_not_in_ces(self):
+        ces = CESAccumulator()
+        ces.quantum(0, 1)
+        ces.excluded_wait(0, 400)
+        assert ces.records[0].ces == 1
+        assert ces.records[0].excluded_wait_ns == 400
+
+    def test_none_step_is_ignored(self):
+        ces = CESAccumulator()
+        ces.quantum(None, 5)
+        ces.classical(None)
+        assert ces.records == {}
+
+    def test_merge_sums_fields(self):
+        a, b = CESAccumulator(), CESAccumulator()
+        a.quantum(0, 2)
+        b.quantum(0, 3)
+        b.classical(1, 1)
+        a.merge(b)
+        assert a.records[0].quantum_cycles == 5
+        assert a.records[1].classical_cycles == 1
+
+
+class TestTimeRatio:
+    def test_equation_2(self):
+        ces = CESAccumulator()
+        ces.quantum(0, 4)  # CES = 4
+        report = time_ratio(ces, clock_period_ns=10, gate_time_ns=20)
+        # TR = 10 ns x 4 / 20 ns = 2.
+        assert report.per_step[0] == pytest.approx(2.0)
+
+    def test_average_and_maximum(self):
+        ces = CESAccumulator()
+        ces.quantum(0, 2)
+        ces.quantum(1, 6)
+        report = time_ratio(ces)
+        assert report.average == pytest.approx((1.0 + 3.0) / 2)
+        assert report.maximum == pytest.approx(3.0)
+
+    def test_meets_deadline(self):
+        ces = CESAccumulator()
+        ces.quantum(0, 2)
+        assert time_ratio(ces).meets_deadline
+        ces.quantum(1, 3)
+        assert not time_ratio(ces).meets_deadline
+
+    def test_step_durations_override_gate_time(self):
+        ces = CESAccumulator()
+        ces.quantum(0, 4)
+        ces.quantum(1, 30)
+        report = time_ratio(ces, step_durations_ns={0: 40, 1: 300})
+        assert report.per_step[0] == pytest.approx(1.0)
+        assert report.per_step[1] == pytest.approx(1.0)
+
+    def test_empty_accumulator(self):
+        report = time_ratio(CESAccumulator())
+        assert report.average == 0.0
+        assert report.maximum == 0.0
+        assert report.meets_deadline
+
+    def test_average_ces(self):
+        ces = CESAccumulator()
+        ces.quantum(0, 2)
+        ces.quantum(1, 4)
+        assert average_ces(ces) == pytest.approx(3.0)
+        assert average_ces(CESAccumulator()) == 0.0

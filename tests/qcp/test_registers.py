@@ -1,0 +1,95 @@
+"""Unit tests for register resources."""
+
+import pytest
+
+from repro.qcp import (MeasurementResultRegisters, RegisterFile,
+                       SharedRegisters)
+
+
+class TestRegisterFile:
+    def test_zero_register_reads_zero(self):
+        regs = RegisterFile()
+        regs.write(0, 99)
+        assert regs.read(0) == 0
+
+    def test_write_read(self):
+        regs = RegisterFile()
+        regs.write(5, 42)
+        assert regs.read(5) == 42
+
+    def test_reset(self):
+        regs = RegisterFile()
+        regs.write(3, 1)
+        regs.reset()
+        assert regs.read(3) == 0
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            RegisterFile(1)
+
+
+class TestSharedRegisters:
+    def test_write_read(self):
+        shared = SharedRegisters(8)
+        shared.write(7, 13)
+        assert shared.read(7) == 13
+        assert len(shared) == 8
+
+
+class TestMeasurementResultRegisters:
+    def test_read_before_valid_raises(self):
+        mrr = MeasurementResultRegisters(2)
+        with pytest.raises(RuntimeError):
+            mrr.read(0)
+
+    def test_deliver_then_read(self):
+        mrr = MeasurementResultRegisters(2)
+        mrr.deliver(1, 1, time_ns=500)
+        assert mrr.is_valid(1)
+        assert mrr.read(1) == 1
+        assert not mrr.is_valid(0)
+
+    def test_invalidate_blocks_stale_reads(self):
+        mrr = MeasurementResultRegisters(1)
+        mrr.deliver(0, 1, 100)
+        mrr.invalidate(0)
+        assert mrr.is_pending(0)
+        with pytest.raises(RuntimeError):
+            mrr.read(0)
+
+    def test_waiters_fire_on_delivery(self):
+        mrr = MeasurementResultRegisters(1)
+        seen = []
+        mrr.invalidate(0)
+        mrr.wait(0, lambda value, t: seen.append((value, t)))
+        assert seen == []
+        mrr.deliver(0, 1, 700)
+        assert seen == [(1, 700)]
+
+    def test_wait_on_valid_fires_immediately(self):
+        mrr = MeasurementResultRegisters(1)
+        mrr.deliver(0, 0, 100)
+        seen = []
+        mrr.wait(0, lambda value, t: seen.append(value))
+        assert seen == [0]
+
+    def test_multiple_waiters_all_fire(self):
+        mrr = MeasurementResultRegisters(1)
+        mrr.invalidate(0)
+        seen = []
+        for tag in range(3):
+            mrr.wait(0, lambda value, t, tag=tag: seen.append(tag))
+        mrr.deliver(0, 1, 0)
+        assert seen == [0, 1, 2]
+
+    def test_history_recorded(self):
+        mrr = MeasurementResultRegisters(2)
+        mrr.deliver(0, 1, 100)
+        mrr.deliver(1, 0, 200)
+        assert [(d.qubit, d.value, d.time_ns) for d in mrr.history] == \
+            [(0, 1, 100), (1, 0, 200)]
+
+    def test_qubit_range_checked(self):
+        mrr = MeasurementResultRegisters(2)
+        with pytest.raises(ValueError):
+            mrr.deliver(5, 0, 0)

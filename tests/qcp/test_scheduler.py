@@ -1,0 +1,171 @@
+"""Tests for the dynamic block scheduler (Section 5.2)."""
+
+from repro.isa import DependencyMode, ProgramBuilder
+from repro.qcp import (BlockEventKind, QCPConfig, QuAPESystem,
+                       scalar_config)
+from repro.qpu import PRNGQPU
+from repro.qpu.readout import DeterministicReadout
+
+
+def parallel_program(n_parallel=3, with_dep=True):
+    """n parallel blocks at priority 0 plus one dependent block."""
+    builder = ProgramBuilder()
+    for index in range(n_parallel):
+        with builder.block(f"w{index}", priority=0):
+            builder.qop("x", [index])
+            builder.qop("x", [index], timing=2)
+            builder.halt()
+    if with_dep:
+        deps = tuple(f"w{i}" for i in range(n_parallel))
+        with builder.block("after", priority=1, deps=deps):
+            builder.qop("y", [n_parallel])
+            builder.halt()
+    return builder.build()
+
+
+def run_system(program, n_processors, config=None,
+               dependency_mode=DependencyMode.PRIORITY):
+    system = QuAPESystem(program=program, config=config or QCPConfig(),
+                         n_processors=n_processors,
+                         qpu=PRNGQPU(8, DeterministicReadout()),
+                         n_qubits=8, dependency_mode=dependency_mode)
+    return system.run(), system
+
+
+class TestParallelAllocation:
+    def test_parallel_blocks_run_concurrently(self):
+        program = parallel_program(3, with_dep=False)
+        result1, _ = run_system(program, 1)
+        result3, _ = run_system(program, 3)
+        assert result3.total_ns < result1.total_ns
+
+    def test_each_block_executes_exactly_once(self):
+        result, _ = run_system(parallel_program(3), 2)
+        done = [e for e in result.trace.block_events
+                if e.kind is BlockEventKind.EXEC_DONE]
+        assert sorted(e.block for e in done) == \
+            ["after", "w0", "w1", "w2"]
+
+    def test_blocks_spread_across_processors(self):
+        result, _ = run_system(parallel_program(3, with_dep=False), 3)
+        starts = [e for e in result.trace.block_events
+                  if e.kind is BlockEventKind.EXEC_START]
+        assert {e.processor for e in starts} == {0, 1, 2}
+
+
+class TestDependencyModes:
+    def test_priority_mode_orders_stages(self):
+        result, _ = run_system(parallel_program(2), 2)
+        events = result.trace.block_events
+        after_start = next(e.time_ns for e in events
+                           if e.kind is BlockEventKind.EXEC_START
+                           and e.block == "after")
+        for name in ("w0", "w1"):
+            done = next(e.time_ns for e in events
+                        if e.kind is BlockEventKind.EXEC_DONE
+                        and e.block == name)
+            assert done <= after_start
+
+    def test_direct_mode_orders_stages(self):
+        result, _ = run_system(parallel_program(2), 2,
+                               dependency_mode=DependencyMode.DIRECT)
+        events = result.trace.block_events
+        after_start = next(e.time_ns for e in events
+                           if e.kind is BlockEventKind.EXEC_START
+                           and e.block == "after")
+        for name in ("w0", "w1"):
+            done = next(e.time_ns for e in events
+                        if e.kind is BlockEventKind.EXEC_DONE
+                        and e.block == name)
+            assert done <= after_start
+
+    def test_direct_mode_allows_partial_order(self):
+        # c depends only on a; b is long-running; c must not wait for b.
+        builder = ProgramBuilder()
+        with builder.block("a", priority=0):
+            builder.qop("x", [0])
+            builder.halt()
+        with builder.block("b", priority=0):
+            for _ in range(40):
+                builder.qop("x", [1], timing=2)
+            builder.halt()
+        with builder.block("c", priority=1, deps=("a",)):
+            builder.qop("y", [2])
+            builder.halt()
+        result, _ = run_system(builder.build(), 3,
+                               dependency_mode=DependencyMode.DIRECT)
+        events = result.trace.block_events
+        c_start = next(e.time_ns for e in events
+                       if e.kind is BlockEventKind.EXEC_START
+                       and e.block == "c")
+        b_done = next(e.time_ns for e in events
+                      if e.kind is BlockEventKind.EXEC_DONE
+                      and e.block == "b")
+        assert c_start < b_done
+
+
+class TestPrefetch:
+    def test_dependent_block_is_prefetched_before_eligible(self):
+        result, _ = run_system(parallel_program(2), 2)
+        events = result.trace.events_for_block("after")
+        kinds = [e.kind for e in events]
+        assert BlockEventKind.PREFETCH_DONE in kinds
+        # Prefetch completes before execution starts.
+        prefetch_done = next(e.time_ns for e in events
+                             if e.kind is BlockEventKind.PREFETCH_DONE)
+        exec_start = next(e.time_ns for e in events
+                          if e.kind is BlockEventKind.EXEC_START)
+        assert prefetch_done <= exec_start
+
+    def test_prefetched_switch_is_cheaper_than_allocation(self):
+        # Compare the dependent block's start latency after its deps
+        # finish: with prefetch it is a few cycles, without (cold
+        # allocation) it includes the full cache fill.
+        program = parallel_program(1)
+        result, system = run_system(program, 1)
+        events = result.trace.block_events
+        w0_done = next(e.time_ns for e in events
+                       if e.kind is BlockEventKind.EXEC_DONE
+                       and e.block == "w0")
+        after_start = next(e.time_ns for e in events
+                           if e.kind is BlockEventKind.EXEC_START
+                           and e.block == "after")
+        config = system.config
+        switch_budget = (config.cache_switch_cycles
+                         + 4 * config.scheduler_poll_cycles) * 10
+        assert after_start - w0_done <= switch_budget
+
+
+class TestIdealScheduler:
+    def test_ideal_is_never_slower(self):
+        program = parallel_program(3)
+        actual, _ = run_system(program, 2)
+        ideal, _ = run_system(program, 2,
+                              config=scalar_config(ideal_scheduler=True))
+        assert ideal.total_ns <= actual.total_ns
+
+    def test_ideal_speedup_exceeds_actual(self):
+        program = parallel_program(6, with_dep=False)
+
+        def speedup(config):
+            one, _ = run_system(program, 1, config=config)
+            six, _ = run_system(program, 6, config=config)
+            return one.total_ns / six.total_ns
+
+        assert speedup(scalar_config(ideal_scheduler=True)) >= \
+            speedup(scalar_config())
+
+
+class TestSchedulerSerialisation:
+    def test_allocations_do_not_overlap(self):
+        result, _ = run_system(parallel_program(4, with_dep=False), 4)
+        windows = []
+        starts = {}
+        for event in result.trace.block_events:
+            if event.kind is BlockEventKind.ALLOC_START:
+                starts[event.block] = event.time_ns
+            elif event.kind is BlockEventKind.ALLOC_DONE:
+                windows.append((starts[event.block], event.time_ns))
+        windows.sort()
+        for (_, end_a), (start_b, _) in zip(windows, windows[1:]):
+            assert start_b >= end_a

@@ -1,0 +1,64 @@
+"""Tests for the shot-based execution API."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.compiler import compile_circuit
+from repro.qcp import run_shots
+from repro.qpu import (NoiseModel, ReadoutError, StateVectorQPU,
+                       full_topology)
+
+
+def bell_program():
+    circuit = QuantumCircuit(2).h(0).cnot(0, 1).measure(0).measure(1)
+    return compile_circuit(circuit).program
+
+
+class TestRunShots:
+    def test_bell_statistics(self):
+        result = run_shots(bell_program(), shots=120)
+        assert result.shots == 120
+        assert set(result.counts) <= {"00", "11"}
+        assert 0.3 < result.probability("00") < 0.7
+        assert result.probability("00") + result.probability("11") == \
+            pytest.approx(1.0)
+
+    def test_deterministic_circuit(self):
+        circuit = QuantumCircuit(2).x(0).measure(0).measure(1)
+        program = compile_circuit(circuit).program
+        result = run_shots(program, shots=20)
+        assert result.counts == {"10": 20}
+        assert result.most_frequent() == "10"
+        assert result.expectation(0) == 1.0
+        assert result.expectation(1) == 0.0
+
+    def test_measured_qubits_sorted(self):
+        circuit = QuantumCircuit(3).measure(2).measure(0)
+        program = compile_circuit(circuit).program
+        result = run_shots(program, shots=3)
+        assert result.measured_qubits == (0, 2)
+
+    def test_custom_qpu_factory(self):
+        def factory(seed):
+            noise = NoiseModel(readout=ReadoutError(p1_given_0=1.0),
+                               seed=seed)
+            return StateVectorQPU(full_topology(1), noise=noise,
+                                  seed=seed)
+
+        circuit = QuantumCircuit(1).measure(0)
+        program = compile_circuit(circuit).program
+        result = run_shots(program, shots=10, qpu_factory=factory)
+        # The readout error flips every ground-state readout to 1.
+        assert result.counts == {"1": 10}
+
+    def test_total_time_accumulates(self):
+        result = run_shots(bell_program(), shots=5)
+        assert result.total_ns > 0
+
+    def test_zero_shots_rejected(self):
+        with pytest.raises(ValueError):
+            run_shots(bell_program(), shots=0)
+
+    def test_probability_of_unseen_bitstring_is_zero(self):
+        result = run_shots(bell_program(), shots=10)
+        assert result.probability("01") == 0.0

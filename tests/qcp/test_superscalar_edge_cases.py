@@ -1,0 +1,120 @@
+"""Edge-case behaviour of the superscalar core and the trace API."""
+
+from repro.isa import ProgramBuilder
+from repro.qcp import QuAPESystem, superscalar_config
+from repro.qcp.trace import BlockEventKind
+from repro.qpu import PRNGQPU
+from repro.qpu.readout import DeterministicReadout
+
+
+def run_builder(build, config=None, outcomes=None, n_qubits=8,
+                n_processors=1):
+    builder = ProgramBuilder("edge")
+    build(builder)
+    program = builder.build()
+    qpu = PRNGQPU(n_qubits, DeterministicReadout(outcomes=dict(
+        outcomes or {})))
+    system = QuAPESystem(program=program,
+                         config=config or superscalar_config(8),
+                         n_processors=n_processors, qpu=qpu,
+                         n_qubits=n_qubits)
+    return system.run(), system
+
+
+class TestSuperscalarEdges:
+    def test_single_instruction_block(self):
+        result, _ = run_builder(lambda b: (b.qop("h", [0]), b.halt()))
+        assert len(result.trace.issues) == 1
+
+    def test_group_larger_than_buffer_still_completes(self):
+        config = superscalar_config(8).with_(buffer_capacity=8)
+
+        def build(builder):
+            for qubit in range(8):
+                builder.qop("h", [qubit])
+            for qubit in range(8):
+                builder.qop("x", [qubit], timing=2 if qubit == 0 else 0)
+            builder.halt()
+
+        result, _ = run_builder(build, config=config)
+        assert len(result.trace.issues) == 16
+
+    def test_mrce_in_superscalar_with_fcs_saves_context(self):
+        def build(builder):
+            builder.qmeas(0)
+            builder.mrce(0, 0, "i", "x")
+            builder.qop("y", [1])
+            builder.halt()
+
+        result, _ = run_builder(build, outcomes={0: [1]})
+        issues = {record.gate: record.time_ns
+                  for record in result.trace.issues}
+        assert issues["y"] < 200       # continued during the wait
+        assert issues["x"] >= 400      # after the result + switch
+        assert result.trace.context_switches == 1
+
+    def test_back_to_back_mrce_on_same_qubit_serialise(self):
+        def build(builder):
+            builder.qmeas(0)
+            builder.mrce(0, 0, "i", "x")
+            builder.qmeas(0, timing=2)   # depends on the stored qubit
+            builder.mrce(0, 0, "i", "x")
+            builder.halt()
+
+        result, _ = run_builder(build, outcomes={0: [1, 1]})
+        x_ops = [r for r in result.trace.issues if r.gate == "x"]
+        assert len(x_ops) == 2
+        assert x_ops[1].time_ns > x_ops[0].time_ns
+
+    def test_not_taken_branch_costs_no_flush(self):
+        def body(builder, with_branch):
+            builder.ldi(1, 1)
+            if with_branch:
+                builder.beq(1, 0, "skip")  # never taken
+            for qubit in range(4):
+                builder.qop("h", [qubit])
+            builder.label("skip") if with_branch else None
+            builder.halt()
+
+        with_branch, _ = run_builder(lambda b: body(b, True))
+        without, _ = run_builder(lambda b: body(b, False))
+        assert with_branch.trace.total_late_ns == \
+            without.trace.total_late_ns == 0
+
+
+class TestTraceApi:
+    def test_issues_on_qubit(self):
+        def build(builder):
+            builder.qop("h", [0])
+            builder.qop("cnot", [0, 1], timing=2)
+            builder.qop("x", [2], timing=2)
+            builder.halt()
+
+        result, _ = run_builder(build)
+        assert len(result.trace.issues_on_qubit(0)) == 2
+        assert len(result.trace.issues_on_qubit(2)) == 1
+        assert result.trace.issues_on_qubit(5) == []
+
+    def test_events_for_block(self):
+        def build(builder):
+            with builder.block("only"):
+                builder.qop("h", [0])
+                builder.halt()
+
+        result, _ = run_builder(build)
+        events = result.trace.events_for_block("only")
+        kinds = {event.kind for event in events}
+        assert BlockEventKind.EXEC_START in kinds
+        assert BlockEventKind.EXEC_DONE in kinds
+
+    def test_simultaneous_groups(self):
+        def build(builder):
+            builder.qop("h", [0])
+            builder.qop("h", [1])
+            builder.qop("x", [0], timing=2)
+            builder.halt()
+
+        result, _ = run_builder(build)
+        groups = result.trace.simultaneous_groups()
+        sizes = sorted(len(records) for records in groups.values())
+        assert sizes == [1, 2]

@@ -1,0 +1,111 @@
+"""Tests for the QuAPE system composition root."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.compiler import compile_circuit
+from repro.isa import ProgramBuilder, parse_asm
+from repro.qcp import QCPConfig, QuAPESystem, run_program, scalar_config
+from repro.qpu import PRNGQPU, StateVectorQPU
+from repro.qpu.readout import DeterministicReadout
+
+
+def bell_program():
+    circuit = QuantumCircuit(2).h(0).cnot(0, 1).measure(0).measure(1)
+    return compile_circuit(circuit).program
+
+
+class TestComposition:
+    def test_qubit_count_inferred_from_program(self):
+        builder = ProgramBuilder()
+        builder.qop("x", [11])
+        builder.qmeas(5)
+        builder.halt()
+        system = QuAPESystem(program=builder.build())
+        assert system.qpu.n_qubits == 12
+
+    def test_explicit_qubit_count_wins(self):
+        system = QuAPESystem(program=bell_program(), n_qubits=7)
+        assert system.qpu.n_qubits == 7
+
+    def test_invalid_processor_count(self):
+        with pytest.raises(ValueError):
+            QuAPESystem(program=bell_program(), n_processors=0)
+
+    def test_run_program_wrapper(self):
+        result = run_program(bell_program(), scalar_config())
+        assert len(result.trace.issues) == 4
+
+    def test_total_cycles(self):
+        result = run_program(bell_program())
+        assert result.total_cycles == -(-result.total_ns // 10)
+
+
+class TestFunctionalExecution:
+    def test_bell_state_on_statevector_qpu(self):
+        qpu = StateVectorQPU(2, seed=11)
+        result = run_program(bell_program(), qpu=qpu)
+        measures = [op for op in qpu.operation_log
+                    if op.gate == "measure"]
+        assert len(measures) == 2
+        assert len(result.trace.issues) == 4
+
+    def test_measurement_agreement_statistics(self):
+        agree = 0
+        for seed in range(30):
+            qpu = StateVectorQPU(2, seed=seed)
+            system = QuAPESystem(program=bell_program(), qpu=qpu)
+            system.run()
+            values = [d.value for d in system.results.history]
+            agree += values[0] == values[1]
+        assert agree == 30
+
+    def test_analog_board_path(self):
+        qpu = StateVectorQPU(2, seed=5)
+        system = QuAPESystem(program=bell_program(), qpu=qpu,
+                             use_analog_boards=True)
+        result = system.run()
+        # Pulses flowed through the AWG, results through the DAQ.
+        assert system.emitter.awg is not None
+        assert len(system.emitter.awg.pulses) > 0
+        assert len(system.emitter.daq.records) == 2
+        assert len(system.results.history) == 2
+
+    def test_unfinished_program_detected(self):
+        # A block that loops forever on a never-delivered measurement
+        # result would hang; the event budget catches it.
+        source = """
+            fmr r1, q0
+            halt
+        """
+        program = parse_asm(source)
+        system = QuAPESystem(program=program,
+                             qpu=PRNGQPU(2, DeterministicReadout()),
+                             n_qubits=2)
+        with pytest.raises(RuntimeError):
+            system.run()
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        def run_once():
+            qpu = PRNGQPU(8, DeterministicReadout(outcomes={0: [1, 0]}))
+            system = QuAPESystem(program=parse_asm("""
+            retry:
+                qop 0, h, q0
+                qmeas 2, q0
+                fmr r1, q0
+                bne r1, r0, retry
+                halt
+            """), qpu=qpu, n_qubits=8)
+            result = system.run()
+            return [(r.time_ns, r.gate, r.qubits)
+                    for r in result.trace.issues]
+
+        assert run_once() == run_once()
+
+    def test_config_immutable_copy_semantics(self):
+        config = QCPConfig()
+        changed = config.with_(fetch_width=8)
+        assert config.fetch_width == 1
+        assert changed.fetch_width == 8

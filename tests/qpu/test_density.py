@@ -1,0 +1,119 @@
+"""Unit tests for the density-matrix simulator."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.qpu import DensityMatrix, StateVector
+
+
+class TestPureEvolution:
+    def test_matches_statevector_for_bell_state(self):
+        density = DensityMatrix(2)
+        density.apply_gate("h", (0,))
+        density.apply_gate("cnot", (0, 1))
+        state = StateVector(2)
+        state.apply_gate("h", (0,))
+        state.apply_gate("cnot", (0, 1))
+        expected = np.outer(state.amplitudes,
+                            state.amplitudes.conj())
+        assert np.allclose(density.rho, expected)
+
+    def test_ground_probability(self):
+        density = DensityMatrix(2)
+        density.apply_gate("ry", (1,),
+                           (2 * math.asin(math.sqrt(0.25)),))
+        assert density.ground_probability(1) == pytest.approx(0.75)
+        assert density.ground_probability(0) == pytest.approx(1.0)
+
+    def test_purity_of_pure_state(self):
+        density = DensityMatrix(2)
+        density.apply_gate("h", (0,))
+        assert density.purity() == pytest.approx(1.0)
+
+
+class TestChannels:
+    def test_depolarize_preserves_trace(self):
+        density = DensityMatrix(1)
+        density.apply_gate("h", (0,))
+        density.depolarize(0, 0.2)
+        assert density.trace() == pytest.approx(1.0)
+
+    def test_depolarize_reduces_purity(self):
+        density = DensityMatrix(1)
+        density.apply_gate("h", (0,))
+        density.depolarize(0, 0.2)
+        assert density.purity() < 1.0
+
+    def test_full_depolarize_approaches_mixed(self):
+        density = DensityMatrix(1)
+        for _ in range(200):
+            density.depolarize(0, 0.5)
+        assert density.ground_probability(0) == pytest.approx(0.5,
+                                                              abs=1e-6)
+
+    def test_depolarize_zero_is_identity(self):
+        density = DensityMatrix(1)
+        density.apply_gate("h", (0,))
+        before = density.rho.copy()
+        density.depolarize(0, 0.0)
+        assert np.allclose(density.rho, before)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(1).depolarize(0, 1.5)
+
+    def test_depolarize_matches_monte_carlo_average(self):
+        # Exact channel vs the StateVector Monte-Carlo estimate.
+        p = 0.3
+        density = DensityMatrix(1)
+        density.apply_gate("h", (0,))
+        density.depolarize(0, p)
+        exact = density.ground_probability(0)
+        rng = random.Random(5)
+        total = 0.0
+        runs = 4000
+        for _ in range(runs):
+            state = StateVector(1, rng=rng)
+            state.apply_gate("h", (0,))
+            if rng.random() < p:
+                state.apply_gate(rng.choice("xyz"), (0,))
+            total += 1.0 - state.probability_of_one(0)
+        assert total / runs == pytest.approx(exact, abs=0.03)
+
+
+class TestValidation:
+    def test_qubit_range(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(2).apply_gate("h", (5,))
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(9)
+
+    def test_duplicate_qubits(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(2).apply_unitary(np.eye(4), (1, 1))
+
+
+@settings(max_examples=25)
+@given(st.lists(st.tuples(
+    st.sampled_from(["x", "y", "z", "h", "s", "t", "cnot", "cz"]),
+    st.integers(0, 2), st.integers(0, 2)), max_size=15))
+def test_density_agrees_with_statevector(moves):
+    density = DensityMatrix(3)
+    state = StateVector(3)
+    for gate, a, b in moves:
+        if gate in ("cnot", "cz"):
+            if a == b:
+                continue
+            density.apply_gate(gate, (a, b))
+            state.apply_gate(gate, (a, b))
+        else:
+            density.apply_gate(gate, (a,))
+            state.apply_gate(gate, (a,))
+    expected = np.outer(state.amplitudes, state.amplitudes.conj())
+    assert np.allclose(density.rho, expected, atol=1e-9)

@@ -1,0 +1,133 @@
+"""Unit tests for QPU device models and topologies."""
+
+import pytest
+
+from repro.qpu import (PRNGQPU, PRNGReadout, StateVectorQPU, Topology,
+                       ZZCrosstalk, NoiseModel, full_topology,
+                       linear_topology)
+from repro.qpu.readout import DeterministicReadout
+
+
+class TestTopology:
+    def test_linear_couplings(self):
+        topo = linear_topology(4)
+        assert topo.are_coupled(0, 1)
+        assert topo.are_coupled(1, 0)
+        assert not topo.are_coupled(0, 2)
+        assert topo.neighbors(1) == {0, 2}
+
+    def test_full_couplings(self):
+        topo = full_topology(5)
+        assert all(topo.are_coupled(a, b)
+                   for a in range(5) for b in range(5) if a != b)
+
+    def test_validate_gate(self):
+        topo = linear_topology(3)
+        topo.validate_gate((0, 1))
+        with pytest.raises(ValueError):
+            topo.validate_gate((0, 2))
+        with pytest.raises(ValueError):
+            topo.validate_gate((0, 9))
+
+    def test_self_coupling_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(2, frozenset({(1, 1)}))
+
+    def test_out_of_range_coupling_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(2, frozenset({(0, 5)}))
+
+
+class TestStateVectorQPU:
+    def test_gates_update_state(self):
+        qpu = StateVectorQPU(2, seed=0)
+        qpu.apply_gate(0, "x", (0,))
+        assert qpu.state.probability_of_one(0) == pytest.approx(1.0)
+
+    def test_measure_records_ground_probability(self):
+        qpu = StateVectorQPU(2, seed=0)
+        qpu.apply_gate(0, "x", (1,))
+        qpu.measure(20, 1)
+        assert qpu.measure_ground_probabilities[1] == pytest.approx(0.0)
+
+    def test_operation_log(self):
+        qpu = StateVectorQPU(2, seed=0)
+        qpu.apply_gate(0, "h", (0,))
+        qpu.apply_gate(20, "cnot", (0, 1))
+        assert [op.gate for op in qpu.operation_log] == ["h", "cnot"]
+        assert qpu.operation_log[1].time_ns == 20
+
+    def test_timing_violation_detected(self):
+        qpu = StateVectorQPU(2, seed=0)
+        qpu.apply_gate(0, "h", (0,))
+        qpu.apply_gate(10, "x", (0,))  # arrives mid-pulse (h runs to 20)
+        assert len(qpu.timing_violations) == 1
+
+    def test_no_violation_for_back_to_back(self):
+        qpu = StateVectorQPU(2, seed=0)
+        qpu.apply_gate(0, "h", (0,))
+        qpu.apply_gate(20, "x", (0,))
+        assert qpu.timing_violations == []
+
+    def test_coupling_enforced(self):
+        qpu = StateVectorQPU(linear_topology(3), seed=0)
+        with pytest.raises(ValueError):
+            qpu.apply_gate(0, "cnot", (0, 2))
+
+    def test_reset_operation(self):
+        qpu = StateVectorQPU(1, seed=0)
+        qpu.apply_gate(0, "x", (0,))
+        qpu.reset(20, 0)
+        assert qpu.state.probability_of_one(0) == pytest.approx(0.0)
+
+    def test_measure_via_apply_gate_rejected(self):
+        qpu = StateVectorQPU(1, seed=0)
+        with pytest.raises(ValueError):
+            qpu.apply_gate(0, "measure", (0,))
+
+    def test_restart_clears_state_keeps_log(self):
+        qpu = StateVectorQPU(1, seed=0)
+        qpu.apply_gate(0, "x", (0,))
+        qpu.restart()
+        assert qpu.state.probability_of_one(0) == pytest.approx(0.0)
+        assert len(qpu.operation_log) == 1
+
+    def test_zz_applied_for_simultaneous_windows(self):
+        noise = NoiseModel(zz=ZZCrosstalk(zeta_hz=12.5e6,
+                                          pairs=((0, 1),)), seed=0)
+        qpu = StateVectorQPU(2, noise=noise, seed=0)
+        qpu.apply_gate(0, "h", (0,))
+        qpu.apply_gate(0, "h", (1,))  # overlapping drive window
+        reference = StateVectorQPU(2, seed=0)
+        reference.apply_gate(0, "h", (0,))
+        reference.apply_gate(20, "h", (1,))  # sequential: no overlap
+        assert qpu.state.fidelity_with(reference.state) < 0.999
+
+    def test_no_zz_for_sequential_windows(self):
+        noise = NoiseModel(zz=ZZCrosstalk(zeta_hz=12.5e6,
+                                          pairs=((0, 1),)), seed=0)
+        qpu = StateVectorQPU(2, noise=noise, seed=0)
+        qpu.apply_gate(0, "h", (0,))
+        qpu.apply_gate(20, "h", (1,))
+        reference = StateVectorQPU(2, seed=0)
+        reference.apply_gate(0, "h", (0,))
+        reference.apply_gate(20, "h", (1,))
+        assert qpu.state.fidelity_with(reference.state) == \
+            pytest.approx(1.0)
+
+
+class TestPRNGQPU:
+    def test_measurement_outcomes_follow_readout(self):
+        qpu = PRNGQPU(3, DeterministicReadout(outcomes={2: [1, 0]}))
+        assert qpu.measure(0, 2) == 1
+        assert qpu.measure(10, 2) == 0
+
+    def test_gates_are_logged_not_simulated(self):
+        qpu = PRNGQPU(40, PRNGReadout(seed=0))
+        qpu.apply_gate(0, "h", (39,))
+        assert qpu.operation_log[0].qubits == (39,)
+
+    def test_reset_logged(self):
+        qpu = PRNGQPU(2, PRNGReadout(seed=0))
+        qpu.reset(0, 1)
+        assert qpu.operation_log[0].gate == "reset"

@@ -1,0 +1,158 @@
+"""Unit and property tests for the state-vector simulator."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.qpu import StateVector
+
+
+class TestBasics:
+    def test_initial_state_is_ground(self):
+        state = StateVector(3)
+        probabilities = state.probabilities()
+        assert probabilities[0] == pytest.approx(1.0)
+        assert probabilities[1:].sum() == pytest.approx(0.0)
+
+    def test_x_flips(self):
+        state = StateVector(2)
+        state.apply_gate("x", (1,))
+        assert state.probabilities()[0b10] == pytest.approx(1.0)
+
+    def test_bell_state(self):
+        state = StateVector(2)
+        state.apply_gate("h", (0,))
+        state.apply_gate("cnot", (0, 1))
+        probabilities = state.probabilities()
+        assert probabilities[0b00] == pytest.approx(0.5)
+        assert probabilities[0b11] == pytest.approx(0.5)
+        assert probabilities[0b01] == pytest.approx(0.0)
+
+    def test_cnot_qubit_order_matters(self):
+        state = StateVector(2)
+        state.apply_gate("x", (0,))
+        state.apply_gate("cnot", (0, 1))  # control q0 -> target q1
+        assert state.probabilities()[0b11] == pytest.approx(1.0)
+        other = StateVector(2)
+        other.apply_gate("x", (0,))
+        other.apply_gate("cnot", (1, 0))  # control q1 (still |0>)
+        assert other.probabilities()[0b01] == pytest.approx(1.0)
+
+    def test_ghz_on_five_qubits(self):
+        state = StateVector(5)
+        state.apply_gate("h", (0,))
+        for qubit in range(4):
+            state.apply_gate("cnot", (qubit, qubit + 1))
+        probabilities = state.probabilities()
+        assert probabilities[0] == pytest.approx(0.5)
+        assert probabilities[-1] == pytest.approx(0.5)
+
+    def test_rotation_angle(self):
+        state = StateVector(1)
+        state.apply_gate("rx", (0,), (math.pi / 2,))
+        assert state.probability_of_one(0) == pytest.approx(0.5)
+
+
+class TestMeasurement:
+    def test_deterministic_outcomes(self):
+        state = StateVector(1, rng=random.Random(0))
+        assert state.measure(0) == 0
+        state.apply_gate("x", (0,))
+        assert state.measure(0) == 1
+
+    def test_collapse_is_projective(self):
+        state = StateVector(2, rng=random.Random(1))
+        state.apply_gate("h", (0,))
+        state.apply_gate("cnot", (0, 1))
+        first = state.measure(0)
+        # Entangled partner must agree, always.
+        assert state.measure(1) == first
+        assert state.measure(0) == first  # repeated measurement stable
+
+    def test_statistics_match_probabilities(self):
+        rng = random.Random(7)
+        ones = 0
+        for _ in range(400):
+            state = StateVector(1, rng=rng)
+            state.apply_gate("ry", (0,), (2 * math.asin(math.sqrt(0.3)),))
+            ones += state.measure(0)
+        assert 0.22 < ones / 400 < 0.38
+
+    def test_reset_returns_to_ground(self):
+        state = StateVector(1, rng=random.Random(3))
+        state.apply_gate("h", (0,))
+        state.reset(0)
+        assert state.probability_of_one(0) == pytest.approx(0.0)
+
+
+class TestValidation:
+    def test_qubit_range(self):
+        state = StateVector(2)
+        with pytest.raises(ValueError):
+            state.apply_gate("h", (2,))
+
+    def test_matrix_shape_mismatch(self):
+        state = StateVector(2)
+        with pytest.raises(ValueError):
+            state.apply_unitary(np.eye(4), (0,))
+
+    def test_duplicate_qubits(self):
+        state = StateVector(2)
+        with pytest.raises(ValueError):
+            state.apply_unitary(np.eye(4), (0, 0))
+
+    def test_non_unitary_gate_rejected(self):
+        with pytest.raises(ValueError):
+            StateVector(1).apply_gate("measure", (0,))
+
+    def test_too_many_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            StateVector(25)
+
+
+class TestFidelity:
+    def test_identical_states(self):
+        a, b = StateVector(2), StateVector(2)
+        assert a.fidelity_with(b) == pytest.approx(1.0)
+
+    def test_orthogonal_states(self):
+        a, b = StateVector(1), StateVector(1)
+        b.apply_gate("x", (0,))
+        assert a.fidelity_with(b) == pytest.approx(0.0)
+
+
+GATES_1Q = ["x", "y", "z", "h", "s", "t", "x90", "y90"]
+
+
+@settings(max_examples=50)
+@given(st.lists(st.tuples(st.sampled_from(GATES_1Q + ["cnot", "cz"]),
+                          st.integers(0, 3), st.integers(0, 3)),
+                max_size=30))
+def test_norm_preserved_by_random_circuits(moves):
+    state = StateVector(4)
+    for gate, a, b in moves:
+        if gate in ("cnot", "cz"):
+            if a == b:
+                continue
+            state.apply_gate(gate, (a, b))
+        else:
+            state.apply_gate(gate, (a,))
+    assert state.norm() == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=30)
+@given(st.lists(st.sampled_from(GATES_1Q), max_size=12),
+       st.integers(0, 2))
+def test_inverse_circuit_returns_to_start(gates, qubit):
+    inverses = {"x": "x", "y": "y", "z": "z", "h": "h", "s": "sdg",
+                "t": "tdg", "x90": "xm90", "y90": "ym90"}
+    state = StateVector(3)
+    reference = state.copy()
+    for gate in gates:
+        state.apply_gate(gate, (qubit,))
+    for gate in reversed(gates):
+        state.apply_gate(inverses[gate], (qubit,))
+    assert state.fidelity_with(reference) == pytest.approx(1.0)

@@ -1,0 +1,159 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Clock, SimKernel, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        kernel = SimKernel()
+        fired = []
+        kernel.schedule(50, fired.append, "late")
+        kernel.schedule(10, fired.append, "early")
+        kernel.schedule(30, fired.append, "middle")
+        kernel.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_same_time_events_fire_in_insertion_order(self):
+        kernel = SimKernel()
+        fired = []
+        for tag in range(5):
+            kernel.schedule(10, fired.append, tag)
+        kernel.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_time_ties(self):
+        kernel = SimKernel()
+        fired = []
+        kernel.schedule(10, fired.append, "low", priority=5)
+        kernel.schedule(10, fired.append, "high", priority=-5)
+        kernel.run()
+        assert fired == ["high", "low"]
+
+    def test_now_advances_to_event_time(self):
+        kernel = SimKernel()
+        kernel.schedule(25, lambda: None)
+        kernel.run()
+        assert kernel.now == 25
+
+    def test_nested_scheduling_from_callbacks(self):
+        kernel = SimKernel()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                kernel.schedule(10, chain, depth + 1)
+
+        kernel.schedule(0, chain, 0)
+        kernel.run()
+        assert fired == [0, 1, 2, 3]
+        assert kernel.now == 30
+
+    def test_negative_delay_rejected(self):
+        kernel = SimKernel()
+        with pytest.raises(SimulationError):
+            kernel.schedule(-1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        kernel = SimKernel()
+        kernel.schedule(20, lambda: None)
+        kernel.run()
+        with pytest.raises(SimulationError):
+            kernel.schedule_at(10, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        kernel = SimKernel()
+        fired = []
+        event = kernel.schedule(10, fired.append, "cancelled")
+        kernel.schedule(20, fired.append, "kept")
+        event.cancel()
+        kernel.run()
+        assert fired == ["kept"]
+
+    def test_peek_skips_cancelled_events(self):
+        kernel = SimKernel()
+        event = kernel.schedule(5, lambda: None)
+        kernel.schedule(15, lambda: None)
+        event.cancel()
+        assert kernel.peek_time() == 15
+
+
+class TestRunBounds:
+    def test_run_until_stops_before_later_events(self):
+        kernel = SimKernel()
+        fired = []
+        kernel.schedule(10, fired.append, "in")
+        kernel.schedule(100, fired.append, "out")
+        kernel.run(until=50)
+        assert fired == ["in"]
+        assert kernel.now == 50
+
+    def test_run_until_resumes_later(self):
+        kernel = SimKernel()
+        fired = []
+        kernel.schedule(100, fired.append, "out")
+        kernel.run(until=50)
+        kernel.run()
+        assert fired == ["out"]
+
+    def test_max_events_guard_raises(self):
+        kernel = SimKernel()
+
+        def forever():
+            kernel.schedule(1, forever)
+
+        kernel.schedule(0, forever)
+        with pytest.raises(SimulationError):
+            kernel.run(max_events=100)
+
+    def test_step_returns_false_when_idle(self):
+        assert SimKernel().step() is False
+
+    def test_events_processed_counter(self):
+        kernel = SimKernel()
+        for _ in range(4):
+            kernel.schedule(1, lambda: None)
+        kernel.run()
+        assert kernel.events_processed == 4
+
+
+class TestClock:
+    def test_round_trip_cycles(self):
+        clock = Clock(10)
+        assert clock.to_ns(7) == 70
+        assert clock.to_cycles(70) == 7
+
+    def test_to_cycles_rounds_up(self):
+        assert Clock(10).to_cycles(71) == 8
+
+    def test_cycles_at_truncates(self):
+        assert Clock(10).cycles_at(79) == 7
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            Clock(0)
+
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=1, max_value=1000))
+    def test_to_cycles_covers_duration(self, ns, period):
+        clock = Clock(period)
+        cycles = clock.to_cycles(ns)
+        assert clock.to_ns(cycles) >= ns
+        assert clock.to_ns(cycles) - ns < period
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1,
+                max_size=50))
+def test_events_always_fire_in_nondecreasing_time_order(delays):
+    kernel = SimKernel()
+    observed = []
+    for delay in delays:
+        kernel.schedule(delay, lambda: observed.append(kernel.now))
+    kernel.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)

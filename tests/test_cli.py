@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+ASM = """
+.block main prio=0
+    qop 0, h, q0
+    qop 0, h, q1
+    qop 2, cnot, q0, q1
+    qmeas 4, q0
+    halt
+.endblock
+"""
+
+QASM = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[1];
+h q[0];
+cx q[0], q[1];
+measure q[0] -> c[0];
+"""
+
+
+@pytest.fixture
+def asm_file(tmp_path):
+    path = tmp_path / "demo.tqasm"
+    path.write_text(ASM)
+    return str(path)
+
+
+@pytest.fixture
+def qasm_file(tmp_path):
+    path = tmp_path / "demo.qasm"
+    path.write_text(QASM)
+    return str(path)
+
+
+class TestRunCommand:
+    def test_run_asm_file(self, asm_file, capsys):
+        assert main(["run", asm_file]) == 0
+        out = capsys.readouterr().out
+        assert "executed in" in out
+        assert "timeline" in out
+        assert "q0 ->" in out  # measurement result line
+
+    def test_run_qasm_file_compiles_first(self, qasm_file, capsys):
+        assert main(["run", qasm_file]) == 0
+        out = capsys.readouterr().out
+        assert "TR: average" in out
+
+    def test_run_scalar_width(self, asm_file, capsys):
+        assert main(["run", asm_file, "--width", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "width 1" in out
+
+    def test_run_multiprocessor(self, asm_file, capsys):
+        assert main(["run", asm_file, "--processors", "2"]) == 0
+        assert "2 processor(s)" in capsys.readouterr().out
+
+
+class TestAsmCommand:
+    def test_listing_and_table(self, asm_file, capsys):
+        assert main(["asm", asm_file]) == 0
+        out = capsys.readouterr().out
+        assert ".block main" in out
+        assert "block information table" in out
+        assert "words" in out
+
+
+class TestBenchCommand:
+    def test_list_suite(self, capsys):
+        assert main(["bench"]) == 0
+        out = capsys.readouterr().out
+        assert "hs16" in out
+        assert "rd84_143" in out
+
+    def test_profile_benchmark(self, capsys):
+        assert main(["bench", "hs16"]) == 0
+        out = capsys.readouterr().out
+        assert "8-way superscalar" in out
+        assert "scalar" in out
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            main(["bench", "nonexistent"])
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
