@@ -20,16 +20,19 @@ from repro.circuit import QuantumCircuit, schedule_asap
 from repro.compiler import CompiledProgram, compile_circuit
 from repro.isa import Program, ProgramBuilder, parse_asm
 from repro.qcp import (ExecutionResult, QCPConfig, QuAPESystem,
-                       run_program, scalar_config, superscalar_config)
-from repro.qpu import (PRNGQPU, PRNGReadout, StateVectorQPU,
-                       paper_noise_model)
+                       ShotEngine, run_program, run_shots,
+                       scalar_config, superscalar_config)
+from repro.qpu import (PRNGQPU, PRNGReadout, SimulatedQPU,
+                       StabilizerState, StateVector, StateVectorQPU,
+                       make_backend, paper_noise_model)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CompiledProgram", "ExecutionResult", "PRNGQPU", "PRNGReadout",
     "Program", "ProgramBuilder", "QCPConfig", "QuAPESystem",
-    "QuantumCircuit", "StateVectorQPU", "__version__", "compile_circuit",
-    "paper_noise_model", "parse_asm", "run_program", "scalar_config",
-    "schedule_asap", "superscalar_config",
+    "QuantumCircuit", "ShotEngine", "SimulatedQPU", "StabilizerState",
+    "StateVector", "StateVectorQPU", "__version__", "compile_circuit",
+    "make_backend", "paper_noise_model", "parse_asm", "run_program",
+    "run_shots", "scalar_config", "schedule_asap", "superscalar_config",
 ]

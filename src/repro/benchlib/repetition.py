@@ -1,21 +1,33 @@
-"""Three-qubit repetition-code memory with active error correction.
+"""Repetition-code memory workloads with active error correction.
 
 The paper motivates fast feedback with quantum error correction: "the
 feedback control for quantum error correction needs to be completed
-within 1% of this coherence time" (Section 2.3).  This workload is the
-smallest end-to-end QEC experiment the control stack can run: a
-bit-flip repetition code protecting one logical qubit, with stabilizer
-measurements, classical syndrome decoding (majority logic in the QCP's
-ALU) and feedback X corrections — all per round, in real time.
+within 1% of this coherence time" (Section 2.3).  Two workloads live
+here:
 
-Qubit layout: data d0,d1,d2 = q0,q1,q2; syndrome ancillas a0 = q3
-(measures Z0Z1), a1 = q4 (measures Z1Z2).
+* :func:`build_repetition_memory_program` — the smallest end-to-end
+  QEC experiment the control stack can run: a 3-qubit bit-flip code
+  with stabilizer measurements, classical syndrome decoding (majority
+  logic in the QCP's ALU) and real-time feedback X corrections.
+  Qubit layout: data d0,d1,d2 = q0,q1,q2; syndrome ancillas a0 = q3
+  (measures Z0Z1), a1 = q4 (measures Z1Z2).
+* :func:`build_repetition_chain_program` — the same code generalised
+  to ``n_data`` data qubits (2*n_data - 1 qubits total), with
+  per-round syndrome extraction, MRCE ancilla reset and offline
+  decoding.  Being pure Clifford, it scales to 50+ qubits on the
+  stabilizer backend — the scenario class the dense simulator's
+  24-qubit cap rules out.
+
+:func:`run_repetition_memory` executes either through the full control
+stack on a chosen simulation backend.
 """
 
 from __future__ import annotations
 
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program
+from repro.qcp.config import QCPConfig
+from repro.qcp.shots import ShotEngine, ShotResult
 
 DATA = (0, 1, 2)
 ANCILLAS = (3, 4)
@@ -113,3 +125,100 @@ def decode_majority(bits: dict[int, int]) -> int:
     """Offline majority vote over the three data-qubit readouts."""
     total = sum(bits[q] for q in DATA)
     return 1 if total >= 2 else 0
+
+
+# -- generalised distance-n chain -----------------------------------------
+
+
+def chain_layout(n_data: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """(data, ancilla) qubit indices of the ``n_data``-qubit chain.
+
+    Data qubits are ``0..n_data-1``; ancilla ``n_data + i`` measures
+    the stabilizer Z_i Z_{i+1}.
+    """
+    if n_data < 2:
+        raise ValueError("a repetition chain needs at least two data qubits")
+    data = tuple(range(n_data))
+    ancillas = tuple(range(n_data, 2 * n_data - 1))
+    return data, ancillas
+
+
+def build_repetition_chain_program(n_data: int, rounds: int = 1,
+                                   encode_one: bool = False,
+                                   inject_x: int | None = None) -> Program:
+    """A ``rounds``-round, ``n_data``-qubit repetition-code memory.
+
+    Each round extracts every Z_i Z_{i+1} stabilizer into its own
+    ancilla, reads the ancillas out and actively resets them with MRCE
+    feedback; the data qubits are measured at the end and decoded
+    offline (:func:`decode_chain_majority`).  Unlike the 3-qubit
+    program there is no in-loop branch decoder — the general syndrome
+    lookup grows exponentially in branch code — which keeps the
+    program pure Clifford and linear in ``n_data``: exactly the shape
+    that exercises the stabilizer backend at 50+ qubits.
+
+    ``inject_x`` flips one data qubit right after encoding, so the
+    syndrome pattern (ancillas adjacent to the flip fire every round)
+    is deterministic and testable.
+    """
+    if rounds < 1:
+        raise ValueError("need at least one round")
+    data, ancillas = chain_layout(n_data)
+    builder = ProgramBuilder(f"repetition_chain_{n_data}d_{rounds}r")
+    with builder.block("memory", priority=0):
+        if encode_one:
+            builder.qop("x", [data[0]], timing=0)
+        for position, qubit in enumerate(data[1:]):
+            builder.qop("cnot", [data[0], qubit],
+                        timing=_T1 if position == 0 else _T2)
+        if inject_x is not None:
+            if inject_x not in data:
+                raise ValueError(
+                    f"inject_x must be a data qubit, got {inject_x}")
+            builder.qop("x", [inject_x], timing=_T2)
+        for _ in range(rounds):
+            for index, ancilla in enumerate(ancillas):
+                builder.qop("cnot", [data[index], ancilla],
+                            timing=_T2 if index == 0 else 0)
+                builder.qop("cnot", [data[index + 1], ancilla], timing=_T2)
+            for index, ancilla in enumerate(ancillas):
+                builder.qmeas(ancilla, timing=_TM if index == 0 else 0)
+            for ancilla in ancillas:
+                builder.mrce(ancilla, ancilla, "i", "x")
+        for index, qubit in enumerate(data):
+            builder.qmeas(qubit, timing=_TM if index == 0 else 0)
+        builder.halt()
+    return builder.build()
+
+
+def decode_chain_majority(bits: dict[int, int], n_data: int) -> int:
+    """Offline majority vote over the chain's data-qubit readouts."""
+    data, _ = chain_layout(n_data)
+    total = sum(bits[q] for q in data)
+    return 1 if 2 * total >= len(data) else 0
+
+
+def run_repetition_memory(rounds: int = 3, shots: int = 20,
+                          n_data: int = 3,
+                          backend: str = "statevector",
+                          config: QCPConfig | None = None,
+                          encode_one: bool = False,
+                          inject_x: int | None = None) -> ShotResult:
+    """Run a repetition-code memory through the full control stack.
+
+    ``n_data == 3`` uses the real-time decode-and-correct program;
+    larger chains use :func:`build_repetition_chain_program` with
+    offline decoding.  ``backend`` selects the simulation backend —
+    ``"stabilizer"`` is required beyond 24 total qubits
+    (``n_data >= 13``).
+    """
+    if n_data == 3:
+        program = build_repetition_memory_program(
+            rounds=rounds, encode_one=encode_one, inject_x=inject_x)
+    else:
+        program = build_repetition_chain_program(
+            n_data, rounds=rounds, encode_one=encode_one,
+            inject_x=inject_x)
+    engine = ShotEngine(program, config=config, backend=backend,
+                        n_qubits=2 * n_data - 1)
+    return engine.run(shots)

@@ -7,6 +7,10 @@ Commands
     Execute a timed-QASM assembly file (``.qasm`` files are treated as
     OpenQASM 2.0 circuits and compiled first) on a QuAPE system and
     print the issue trace, the ASCII timeline and the TR metrics.
+    ``--qpu`` selects the substrate (``prng`` readouts, or a functional
+    simulation on the ``statevector``/``stabilizer`` backend);
+    ``--shots N`` switches to compile-once shot execution and prints
+    the outcome histogram instead of the single-run trace.
 
 ``asm FILE``
     Assemble a timed-QASM file and print the listing, the binary word
@@ -49,9 +53,13 @@ def _config_from_args(args: argparse.Namespace):
 
 def command_run(args: argparse.Namespace) -> int:
     program = _load_program(pathlib.Path(args.file))
+    if args.shots:
+        return _run_shots(program, args)
     system = QuAPESystem(program=program,
                          config=_config_from_args(args),
-                         n_processors=args.processors)
+                         n_processors=args.processors,
+                         qpu_backend=None if args.qpu == "prng"
+                         else args.qpu)
     result = system.run()
     system.kernel.run()
     print(f"program: {program.name} ({len(program)} instructions, "
@@ -72,6 +80,37 @@ def command_run(args: argparse.Namespace) -> int:
         for delivery in system.results.history:
             print(f"  t={delivery.time_ns:6d} ns  q{delivery.qubit} "
                   f"-> {delivery.value}")
+    return 0
+
+
+def _run_shots(program, args: argparse.Namespace) -> int:
+    from repro.qcp.shots import ShotEngine
+
+    qpu_factory = None
+    if args.qpu == "prng":
+        from repro.qcp.system import infer_qubit_count
+        from repro.qpu import PRNGQPU, PRNGReadout
+
+        qubits = infer_qubit_count(program)
+
+        def qpu_factory(seed: int):
+            return PRNGQPU(qubits, PRNGReadout(seed=seed))
+
+    engine = ShotEngine(program, config=_config_from_args(args),
+                        n_processors=args.processors,
+                        backend=None if args.qpu == "prng" else args.qpu,
+                        qpu_factory=qpu_factory)
+    result = engine.run(args.shots)
+    print(f"program: {program.name} ({len(program)} instructions, "
+          f"{len(program.blocks)} blocks)")
+    print(f"{result.shots} shots on the {args.qpu} substrate, "
+          f"{engine.qubit_count} qubits, {result.total_ns} ns total")
+    print(f"measured qubits: "
+          f"{' '.join(f'q{q}' for q in result.measured_qubits)}")
+    for bits, count in sorted(result.counts.items(),
+                              key=lambda item: -item[1]):
+        bar = "#" * round(40 * count / result.shots)
+        print(f"  {bits}  {count:6d}  {bar}")
     return 0
 
 
@@ -136,6 +175,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--width", type=int, default=8,
                             help="superscalar width (1 = scalar)")
     run_parser.add_argument("--fast-context-switch", action="store_true")
+    run_parser.add_argument(
+        "--qpu", choices=("prng", "statevector", "stabilizer"),
+        default="prng",
+        help="quantum substrate: PRNG readouts (paper's FPGA "
+             "methodology), dense statevector, or Clifford stabilizer "
+             "tableau")
+    run_parser.add_argument(
+        "--shots", type=int, default=0,
+        help="run N compile-once shots and print the histogram "
+             "(0 = single traced run)")
     run_parser.set_defaults(entry=command_run)
 
     asm_parser = commands.add_parser(

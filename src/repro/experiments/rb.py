@@ -22,7 +22,7 @@ from repro.experiments.clifford import (average_gates_per_clifford,
 from repro.experiments.fitting import DecayFit, fit_rb_decay
 from repro.qcp.config import QCPConfig, superscalar_config
 from repro.qcp.system import QuAPESystem
-from repro.qpu.device import StateVectorQPU
+from repro.qpu.device import SimulatedQPU
 from repro.qpu.noise import NoiseModel
 from repro.qpu.topology import linear_topology
 
@@ -77,12 +77,13 @@ class RBResult:
 
 
 def _run_circuit_on_stack(circuit: QuantumCircuit, noise: NoiseModel,
-                          config: QCPConfig,
-                          seed: int) -> dict[int, float]:
+                          config: QCPConfig, seed: int,
+                          qpu_backend: str = "statevector"
+                          ) -> dict[int, float]:
     """Execute one sequence; returns ground-state probability per qubit."""
     compiled = compile_circuit(circuit)
-    qpu = StateVectorQPU(linear_topology(circuit.n_qubits), noise=noise,
-                         seed=seed)
+    qpu = SimulatedQPU(linear_topology(circuit.n_qubits), noise=noise,
+                       seed=seed, backend=qpu_backend)
     system = QuAPESystem(program=compiled.program, config=config,
                          qpu=qpu, n_qubits=circuit.n_qubits)
     system.run()
@@ -90,7 +91,8 @@ def _run_circuit_on_stack(circuit: QuantumCircuit, noise: NoiseModel,
 
 
 def _run_circuit_direct(circuit: QuantumCircuit, noise: NoiseModel,
-                        seed: int) -> dict[int, float]:
+                        seed: int, qpu_backend: str = "statevector"
+                        ) -> dict[int, float]:
     """Fast path: apply the circuit to the QPU without the control stack.
 
     Used by unit tests and calibration sweeps; gate timing follows the
@@ -98,8 +100,8 @@ def _run_circuit_direct(circuit: QuantumCircuit, noise: NoiseModel,
     """
     from repro.circuit.steps import schedule_asap
 
-    qpu = StateVectorQPU(linear_topology(circuit.n_qubits), noise=noise,
-                         seed=seed)
+    qpu = SimulatedQPU(linear_topology(circuit.n_qubits), noise=noise,
+                       seed=seed, backend=qpu_backend)
     schedule = schedule_asap(circuit)
     probabilities: dict[int, float] = {}
     for step in schedule.steps:
@@ -162,7 +164,8 @@ def run_rb(noise_factory, driven: tuple[int, ...],
            lengths: list[int] | None = None, samples: int = 12,
            n_qubits: int = 2, seed: int = 0,
            config: QCPConfig | None = None,
-           backend: str = "quape") -> RBResult:
+           backend: str = "quape",
+           qpu_backend: str = "statevector") -> RBResult:
     """Run an RB experiment.
 
     ``noise_factory`` is a zero-argument callable returning a fresh
@@ -172,6 +175,10 @@ def run_rb(noise_factory, driven: tuple[int, ...],
     ``"quape"`` (full control stack, Monte-Carlo noise), ``"direct"``
     (no control stack, Monte-Carlo noise) or ``"exact"`` (no control
     stack, exact channel evolution — the infinite-shot limit).
+    ``qpu_backend`` selects the quantum-state representation for the
+    Monte-Carlo paths ("statevector" or "stabilizer"; RB sequences are
+    pure Clifford, so the tableau backend works whenever the noise
+    model is Clifford too — i.e. without ZZ crosstalk/decoherence).
     """
     if backend not in ("quape", "direct", "exact"):
         raise ValueError(f"unknown backend {backend!r}")
@@ -189,13 +196,14 @@ def run_rb(noise_factory, driven: tuple[int, ...],
             noise = noise_factory()
             run_seed = rng.randrange(1 << 30)
             if backend == "quape":
-                probabilities = _run_circuit_on_stack(circuit, noise,
-                                                      config, run_seed)
+                probabilities = _run_circuit_on_stack(
+                    circuit, noise, config, run_seed,
+                    qpu_backend=qpu_backend)
             elif backend == "exact":
                 probabilities = _run_circuit_exact(circuit, noise)
             else:
-                probabilities = _run_circuit_direct(circuit, noise,
-                                                    run_seed)
+                probabilities = _run_circuit_direct(
+                    circuit, noise, run_seed, qpu_backend=qpu_backend)
             for qubit in driven:
                 sums[qubit] += probabilities[qubit]
         for qubit in driven:

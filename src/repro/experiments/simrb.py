@@ -48,12 +48,16 @@ def run_simrb_study(qubits: tuple[int, int] = (0, 1),
                     lengths: list[int] | None = None, samples: int = 12,
                     seed: int = 0, config: QCPConfig | None = None,
                     noise_factory=None,
-                    backend: str = "quape") -> SimRBStudy:
+                    backend: str = "quape",
+                    qpu_backend: str = "statevector") -> SimRBStudy:
     """Run individual RB on each qubit, then simultaneous RB on both.
 
     ``noise_factory(seed)`` must return a fresh noise model; the default
     is the paper-calibrated :func:`~repro.qpu.noise.paper_noise_model`
-    with the ZZ pair set to ``qubits``.
+    with the ZZ pair set to ``qubits``.  ``qpu_backend`` picks the
+    simulation backend for the Monte-Carlo execution paths (the default
+    ZZ noise needs "statevector"; Clifford-only noise models can use
+    "stabilizer").
     """
     if noise_factory is None:
         def noise_factory(noise_seed: int) -> NoiseModel:
@@ -69,9 +73,11 @@ def run_simrb_study(qubits: tuple[int, int] = (0, 1),
         individual[qubit] = run_rb(fresh_noise, driven=(qubit,),
                                    lengths=lengths, samples=samples,
                                    n_qubits=max(qubits) + 1, seed=seed,
-                                   config=config, backend=backend)
+                                   config=config, backend=backend,
+                                   qpu_backend=qpu_backend)
     simultaneous = run_rb(fresh_noise, driven=tuple(qubits),
                           lengths=lengths, samples=samples,
                           n_qubits=max(qubits) + 1, seed=seed + 1,
-                          config=config, backend=backend)
+                          config=config, backend=backend,
+                          qpu_backend=qpu_backend)
     return SimRBStudy(individual=individual, simultaneous=simultaneous)

@@ -12,7 +12,7 @@ from repro.qcp.registers import (MeasurementResultRegisters, RegisterFile,
                                  ResultDelivery, SharedRegisters)
 from repro.qcp.scheduler import BlockScheduler, BlockState
 from repro.qcp.superscalar import SuperscalarProcessor
-from repro.qcp.shots import ShotResult, run_shots
+from repro.qcp.shots import ShotEngine, ShotResult, run_shots
 from repro.qcp.system import (ExecutionResult, QuAPESystem,
                               infer_qubit_count, run_program)
 from repro.qcp.timing import TimingController
@@ -26,7 +26,7 @@ __all__ = [
     "MeasurementResultRegisters", "PendingContext",
     "PrivateInstructionCache", "ProcState", "ProcessorCore", "QCPConfig",
     "QuantumOp", "QuAPESystem", "RegisterFile", "ResultDelivery",
-    "ScalarProcessor", "SharedRegisters", "ShotResult",
+    "ScalarProcessor", "SharedRegisters", "ShotEngine", "ShotResult",
     "SuperscalarProcessor", "infer_qubit_count", "run_shots",
     "TimingController", "TRReport", "Trace", "average_ces", "run_program",
     "scalar_config", "superscalar_config", "time_ratio",

@@ -53,6 +53,12 @@ class QCPConfig:
     #: 5.2.3); disable to measure the prefetch mechanism's benefit.
     enable_prefetch: bool = True
 
+    # -- QPU substrate ------------------------------------------------------
+    #: Simulation backend used whenever the system builds its own
+    #: simulated QPU ("statevector" = dense, exact, <= 24 qubits;
+    #: "stabilizer" = Clifford tableau, polynomial, 100+ qubits).
+    qpu_backend: str = "statevector"
+
     # -- standalone readout path (no analog boards attached) ---------------
     #: Stage I+II latency when no DAQ model is attached; 400 ns plus the
     #: conditional-logic cycles reproduces the ~450 ns feedback latency.

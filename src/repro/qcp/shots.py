@@ -1,9 +1,35 @@
 """Shot-based execution: repeated runs with outcome histograms.
 
-Experiments sample a circuit many times.  :func:`run_shots` executes a
-program repeatedly on fresh QPU states, collects each shot's
-measurement outcomes, and returns a :class:`ShotResult` histogram —
-the interface a lab would script against.
+Experiments sample a circuit many times.  :class:`ShotEngine` is the
+compile-once executor behind that: constructing it decodes the program
+into the immutable control-stack artifacts — the instruction memory,
+the block-information table and the analog channel map — exactly once,
+and builds one reusable QPU.  Each shot then only resets the quantum
+state (``qpu.restart()``) and wires fresh lightweight executors
+(kernel, scheduler, processors, emitter) around the shared artifacts,
+instead of rebuilding the entire world per shot.  :func:`run_shots` is
+the one-call convenience wrapper a lab script would use.
+
+Backend selection
+=================
+
+The quantum substrate is chosen by name (see :mod:`repro.qpu.backend`):
+``backend="statevector"`` (dense, exact, <= 24 qubits — the default)
+or ``backend="stabilizer"`` (Aaronson–Gottesman tableau, polynomial,
+100+ qubits, Clifford gates only).  The default comes from
+``QCPConfig.qpu_backend``, so one config object can steer a whole
+experiment; a custom ``qpu_factory`` overrides everything.  Running a
+non-Clifford program on the stabilizer backend raises
+:class:`~repro.qpu.backend.NonCliffordGateError`.
+
+Histogram semantics
+===================
+
+Conditional branches can make different shots measure different qubit
+sets (e.g. "measure q1 only if q0 read 1").  Bitstrings are therefore
+keyed against the **union** of the qubits measured across all shots,
+in sorted order, with ``-`` marking a qubit the shot never measured —
+so mixed-shape shots can never silently misalign the histogram.
 """
 
 from __future__ import annotations
@@ -12,15 +38,26 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.isa.program import Program
+from repro.isa.program import BlockInfoTable, DependencyMode, Program
+from repro.analog.channels import ChannelMap
 from repro.qcp.config import QCPConfig
+from repro.qcp.memory import InstructionMemory
 from repro.qcp.system import QuAPESystem, infer_qubit_count
-from repro.qpu.device import QPUBase, StateVectorQPU
+from repro.qpu.device import QPUBase, SimulatedQPU
+
+#: Placeholder in a bitstring for a union qubit this shot never measured.
+UNMEASURED = "-"
 
 
 @dataclass
 class ShotResult:
-    """Histogram of per-shot measurement outcomes."""
+    """Histogram of per-shot measurement outcomes.
+
+    ``measured_qubits`` is the sorted union of every qubit measured by
+    at least one shot; a bitstring position holds ``"0"``/``"1"`` for
+    the *last* delivered result of that qubit, or ``"-"`` if the shot
+    (e.g. down an untaken conditional branch) never measured it.
+    """
 
     shots: int
     measured_qubits: tuple[int, ...]
@@ -35,11 +72,17 @@ class ShotResult:
         return self.counts[bitstring] / self.shots
 
     def expectation(self, qubit: int) -> float:
-        """Mean value of one measured qubit (0..1)."""
+        """Mean value of one measured qubit (0..1), over the shots
+        that actually measured it."""
         position = self.measured_qubits.index(qubit)
-        total = sum(count for bits, count in self.counts.items()
-                    if bits[position] == "1")
-        return total / self.shots if self.shots else 0.0
+        ones = observed = 0
+        for bits, count in self.counts.items():
+            if bits[position] == UNMEASURED:
+                continue
+            observed += count
+            if bits[position] == "1":
+                ones += count
+        return ones / observed if observed else 0.0
 
     def most_frequent(self) -> str:
         """The modal outcome bitstring."""
@@ -48,42 +91,115 @@ class ShotResult:
         return self.counts.most_common(1)[0][0]
 
 
-def run_shots(program: Program, shots: int,
-              qpu_factory: Callable[[int], QPUBase] | None = None,
-              config: QCPConfig | None = None,
-              n_processors: int = 1,
-              n_qubits: int | None = None) -> ShotResult:
-    """Execute ``program`` ``shots`` times and histogram the outcomes.
+class ShotEngine:
+    """Compile-once, run-many executor for one program.
 
-    ``qpu_factory(seed)`` builds a fresh QPU per shot (default: an
-    ideal state-vector QPU); each shot runs on its own system so there
-    is no state leakage between shots.  A shot's bitstring records, for
-    every measured qubit (sorted), the *last* delivered result.
+    Construction performs every program-derived, shot-invariant step:
+    qubit-count inference, instruction-memory and block-info-table
+    decode, channel-map construction and (unless a ``qpu_factory`` is
+    supplied) QPU construction.  :meth:`run` then executes shots that
+    each cost only a state reset plus the event-driven execution
+    itself.
+
+    ``backend`` picks the simulation backend by registry name and
+    defaults to ``config.qpu_backend``.  ``qpu_factory(seed)``, when
+    given, takes full control of QPU construction (one call per shot,
+    preserving the historical ``run_shots`` contract).
     """
-    if shots < 1:
-        raise ValueError("need at least one shot")
-    config = config or QCPConfig()
-    if qpu_factory is None:
-        qubit_count = n_qubits or infer_qubit_count(program)
 
-        def qpu_factory(seed: int) -> QPUBase:
-            return StateVectorQPU(qubit_count, seed=seed)
+    def __init__(self, program: Program,
+                 config: QCPConfig | None = None,
+                 n_processors: int = 1,
+                 n_qubits: int | None = None,
+                 backend: str | None = None,
+                 qpu_factory: Callable[[int], QPUBase] | None = None,
+                 dependency_mode: DependencyMode = DependencyMode.PRIORITY,
+                 seed: int = 0) -> None:
+        self.program = program
+        self.config = config or QCPConfig()
+        self.backend = backend or self.config.qpu_backend
+        self.n_processors = n_processors
+        self.n_qubits = n_qubits
+        self.qubit_count = n_qubits or infer_qubit_count(program)
+        self.dependency_mode = dependency_mode
+        self.qpu_factory = qpu_factory
+        # -- compile-once artifacts, shared by every shot ----------------
+        self.memory = InstructionMemory(program)
+        self.table = BlockInfoTable(program, mode=dependency_mode)
+        self.channel_map = ChannelMap.default(self.qubit_count)
+        self._qpu: QPUBase | None = None
+        if qpu_factory is None:
+            self._qpu = SimulatedQPU(self.qubit_count, seed=seed,
+                                     backend=self.backend)
 
-    result: ShotResult | None = None
-    for seed in range(shots):
-        system = QuAPESystem(program=program, config=config,
-                             n_processors=n_processors,
-                             qpu=qpu_factory(seed), n_qubits=n_qubits)
+    def _shot_qpu(self, seed: int) -> QPUBase:
+        if self.qpu_factory is not None:
+            return self.qpu_factory(seed)
+        qpu = self._qpu
+        qpu.operation_log.clear()
+        qpu.timing_violations.clear()
+        qpu.restart(seed=seed)
+        return qpu
+
+    def run_shot(self, seed: int = 0) -> tuple[dict[int, int], int]:
+        """Execute one shot; returns (last result per qubit, run ns).
+
+        ``seed`` makes the shot reproducible on either path: it is
+        passed to ``qpu_factory`` when one was supplied, and reseeds
+        the reused QPU's measurement RNG otherwise.
+        """
+        system = QuAPESystem(
+            program=self.program, config=self.config,
+            n_processors=self.n_processors, qpu=self._shot_qpu(seed),
+            n_qubits=self.n_qubits,
+            dependency_mode=self.dependency_mode,
+            memory=self.memory, table=self.table,
+            channel_map=self.channel_map)
         execution = system.run()
         system.kernel.run()  # drain trailing deliveries
         last_value: dict[int, int] = {}
         for delivery in system.results.history:
             last_value[delivery.qubit] = delivery.value
-        measured = tuple(sorted(last_value))
-        bits = "".join(str(last_value[q]) for q in measured)
-        if result is None:
-            result = ShotResult(shots=shots, measured_qubits=measured)
-        result.counts[bits] += 1
-        result.total_ns += execution.total_ns
-    assert result is not None
-    return result
+        return last_value, execution.total_ns
+
+    def run(self, shots: int) -> ShotResult:
+        """Execute ``shots`` shots and histogram the outcomes."""
+        if shots < 1:
+            raise ValueError("need at least one shot")
+        outcomes: list[dict[int, int]] = []
+        total_ns = 0
+        for seed in range(shots):
+            last_value, shot_ns = self.run_shot(seed)
+            outcomes.append(last_value)
+            total_ns += shot_ns
+        measured = tuple(sorted(set().union(*outcomes)))
+        result = ShotResult(shots=shots, measured_qubits=measured,
+                            total_ns=total_ns)
+        for last_value in outcomes:
+            bits = "".join(str(last_value[q]) if q in last_value
+                           else UNMEASURED for q in measured)
+            result.counts[bits] += 1
+        return result
+
+
+def run_shots(program: Program, shots: int,
+              qpu_factory: Callable[[int], QPUBase] | None = None,
+              config: QCPConfig | None = None,
+              n_processors: int = 1,
+              n_qubits: int | None = None,
+              backend: str | None = None) -> ShotResult:
+    """Execute ``program`` ``shots`` times and histogram the outcomes.
+
+    Convenience wrapper constructing a :class:`ShotEngine` (one
+    program decode) and running it.  ``qpu_factory(seed)`` builds a
+    fresh QPU per shot when supplied; otherwise one simulated QPU is
+    built with the ``backend`` (default ``config.qpu_backend``, i.e.
+    the dense statevector) and reset between shots.  A shot's
+    bitstring records, for every qubit in the cross-shot measurement
+    union (sorted), the *last* delivered result — see
+    :class:`ShotResult` for the mixed-branch semantics.
+    """
+    engine = ShotEngine(program, config=config,
+                        n_processors=n_processors, n_qubits=n_qubits,
+                        backend=backend, qpu_factory=qpu_factory)
+    return engine.run(shots)

@@ -66,7 +66,16 @@ def infer_qubit_count(program: Program) -> int:
 
 @dataclass
 class QuAPESystem:
-    """Composition root wiring one complete control stack."""
+    """Composition root wiring one complete control stack.
+
+    ``qpu`` defaults to a :class:`PRNGQPU` (the paper's FPGA-benchmark
+    methodology); pass ``qpu_backend`` ("statevector"/"stabilizer") to
+    get a functional :class:`~repro.qpu.device.SimulatedQPU` instead.
+    ``memory``/``table``/``channel_map`` accept pre-built, program-
+    derived artifacts so a shot engine can decode the program once and
+    share the results across many systems (they are immutable during a
+    run); when omitted they are built here.
+    """
 
     program: Program
     config: QCPConfig = field(default_factory=QCPConfig)
@@ -75,6 +84,10 @@ class QuAPESystem:
     dependency_mode: DependencyMode = DependencyMode.PRIORITY
     use_analog_boards: bool = False
     n_qubits: int | None = None
+    qpu_backend: str | None = None
+    memory: InstructionMemory | None = None
+    table: BlockInfoTable | None = None
+    channel_map: ChannelMap | None = None
 
     def __post_init__(self) -> None:
         if self.n_processors < 1:
@@ -83,12 +96,21 @@ class QuAPESystem:
         self.trace = Trace()
         qubits = self.n_qubits or infer_qubit_count(self.program)
         if self.qpu is None:
-            self.qpu = PRNGQPU(qubits)
+            if self.qpu_backend is not None:
+                from repro.qpu.device import SimulatedQPU
+                self.qpu = SimulatedQPU(qubits,
+                                        backend=self.qpu_backend)
+            else:
+                self.qpu = PRNGQPU(qubits)
         self.results = MeasurementResultRegisters(self.qpu.n_qubits)
         self.shared = SharedRegisters()
-        self.memory = InstructionMemory(self.program)
-        self.table = BlockInfoTable(self.program,
-                                    mode=self.dependency_mode)
+        if self.memory is None:
+            self.memory = InstructionMemory(self.program)
+        if self.table is None:
+            self.table = BlockInfoTable(self.program,
+                                        mode=self.dependency_mode)
+        if self.channel_map is None:
+            self.channel_map = ChannelMap.default(self.qpu.n_qubits)
         awg = daq = None
         if self.use_analog_boards:
             awg = AWG(kernel=self.kernel, qpu=self.qpu)
@@ -97,7 +119,7 @@ class QuAPESystem:
         self.emitter = Emitter(
             kernel=self.kernel, qpu=self.qpu, results=self.results,
             trace=self.trace,
-            channel_map=ChannelMap.default(self.qpu.n_qubits),
+            channel_map=self.channel_map,
             awg=awg, daq=daq,
             result_latency_ns=self.config.result_latency_ns)
         self.processors = [self._make_processor(i)

@@ -1,0 +1,112 @@
+"""Pluggable simulation backends for the QPU substrate.
+
+The control stack issues the same operation stream regardless of how
+the quantum state is represented.  :class:`SimulationBackend` is the
+contract between the device layer and a state representation: apply a
+named gate, ask for a pre-collapse excited-state probability, measure
+with collapse, reset, and fork an independent copy.
+
+Two implementations ship with the reproduction:
+
+* ``"statevector"`` — :class:`~repro.qpu.statevector.StateVector`, a
+  dense 2^n amplitude vector.  Supports every gate in the library but
+  is hard-capped at 24 qubits.
+* ``"stabilizer"`` — :class:`~repro.qpu.stabilizer.StabilizerState`, an
+  Aaronson–Gottesman CHP tableau.  Polynomial in the qubit count
+  (hundreds of qubits are fine) but restricted to Clifford gates; a
+  non-Clifford gate raises :class:`NonCliffordGateError`.
+
+Backends register themselves in a name registry so configuration
+(:class:`~repro.qcp.config.QCPConfig.qpu_backend`), the shot engine and
+the CLI can select one by string.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+
+
+class NonCliffordGateError(ValueError):
+    """A gate outside the backend's supported group was requested."""
+
+
+class SimulationBackend(abc.ABC):
+    """Contract between the QPU device layer and a state representation.
+
+    Implementations own an ``n_qubits`` attribute and an ``rng``
+    (``random.Random``) used for measurement draws.  Measurement must
+    consume exactly **one** ``rng.random()`` draw per call (compare the
+    draw against :meth:`probability_of_one`), so that different
+    backends seeded identically produce identical outcome streams on
+    circuits both can represent.
+    """
+
+    #: Registry name; subclasses override.
+    backend_name: str = ""
+
+    n_qubits: int
+    rng: random.Random
+
+    @abc.abstractmethod
+    def apply_gate(self, gate: str, qubits: tuple[int, ...],
+                   params: tuple[float, ...] = ()) -> None:
+        """Apply a library gate by name."""
+
+    @abc.abstractmethod
+    def probability_of_one(self, qubit: int) -> float:
+        """Pre-collapse probability of measuring ``qubit`` as 1."""
+
+    @abc.abstractmethod
+    def measure(self, qubit: int) -> int:
+        """Projectively measure ``qubit`` and collapse the state."""
+
+    @abc.abstractmethod
+    def reset(self, qubit: int) -> None:
+        """Force ``qubit`` to |0> (measure, flip on 1)."""
+
+    @abc.abstractmethod
+    def copy(self) -> "SimulationBackend":
+        """Independent deep copy of the state (shares the rng)."""
+
+    def _check_qubit(self, qubit: int) -> None:
+        if not 0 <= qubit < self.n_qubits:
+            raise ValueError(f"qubit q{qubit} out of range")
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_backend(cls: type) -> type:
+    """Class decorator adding a backend to the name registry."""
+    if not cls.backend_name:
+        raise ValueError(f"{cls.__name__} declares no backend_name")
+    _REGISTRY[cls.backend_name] = cls
+    return cls
+
+
+def _ensure_registered() -> None:
+    # The built-in backends self-register on import; importing here
+    # (rather than at module top) avoids an import cycle with
+    # statevector.py, which subclasses SimulationBackend.
+    import repro.qpu.stabilizer  # noqa: F401
+    import repro.qpu.statevector  # noqa: F401
+
+
+def backend_names() -> tuple[str, ...]:
+    """Names of all registered simulation backends."""
+    _ensure_registered()
+    return tuple(sorted(_REGISTRY))
+
+
+def make_backend(name: str, n_qubits: int,
+                 rng: random.Random | None = None) -> SimulationBackend:
+    """Instantiate the named backend for ``n_qubits`` qubits."""
+    _ensure_registered()
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown simulation backend {name!r}; available: "
+            f"{', '.join(backend_names())}") from None
+    return cls(n_qubits, rng=rng)

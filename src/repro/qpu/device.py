@@ -2,10 +2,13 @@
 
 Two flavours share one interface:
 
-* :class:`StateVectorQPU` — a functional simulator with a noise model,
-  used for the RB/simRB experiment (Figure 14) and small integration
-  tests; it tracks simultaneous-drive windows so the ZZ crosstalk
-  channel can act exactly when two coupled qubits are driven at once.
+* :class:`SimulatedQPU` — a functional simulator with a noise model,
+  parameterized by a :mod:`simulation backend <repro.qpu.backend>`:
+  the dense ``"statevector"`` (exact, <= 24 qubits; the default — the
+  :class:`StateVectorQPU` alias pins it) or the polynomial
+  ``"stabilizer"`` tableau (Clifford-only, hundreds of qubits).  It
+  tracks simultaneous-drive windows so the ZZ crosstalk channel can
+  act exactly when two coupled qubits are driven at once.
 * :class:`PRNGQPU` — no quantum state; measurement outcomes come from a
   pseudo-random (or scripted) source, reproducing the paper's FPGA
   methodology for the 37-qubit microarchitecture benchmarks.
@@ -21,9 +24,9 @@ import random
 from dataclasses import dataclass
 
 from repro.circuit.gates import lookup_gate
+from repro.qpu.backend import SimulationBackend, make_backend
 from repro.qpu.noise import NoiseModel, ideal_noise_model
 from repro.qpu.readout import DeterministicReadout, PRNGReadout
-from repro.qpu.statevector import StateVector
 from repro.qpu.topology import Topology, full_topology
 
 
@@ -76,27 +79,47 @@ class QPUBase:
         raise NotImplementedError
 
 
-class StateVectorQPU(QPUBase):
-    """Functional QPU: every issued operation acts on a state vector."""
+class SimulatedQPU(QPUBase):
+    """Functional QPU: every issued operation acts on a backend state.
+
+    ``backend`` selects the state representation by registry name
+    (``"statevector"`` or ``"stabilizer"``); the live state object is
+    exposed as :attr:`state`.  Noise channels that need amplitudes
+    (raw unitaries, amplitude damping) only work on the dense backend;
+    the stabilizer backend raises
+    :class:`~repro.qpu.backend.NonCliffordGateError` for them and for
+    any non-Clifford gate.
+    """
 
     def __init__(self, topology: Topology | int,
                  noise: NoiseModel | None = None,
-                 seed: int | None = None) -> None:
+                 seed: int | None = None,
+                 backend: str = "statevector") -> None:
         if isinstance(topology, int):
             topology = full_topology(topology)
         super().__init__(topology)
         self.noise = noise or ideal_noise_model()
+        self.backend_name = backend
         self._rng = random.Random(seed)
-        self.state = StateVector(topology.n_qubits, rng=self._rng)
+        self.state: SimulationBackend = make_backend(
+            backend, topology.n_qubits, rng=self._rng)
         # Active drive windows for ZZ accounting: qubit -> (start, end).
         self._windows: dict[int, tuple[int, int]] = {}
         # Pre-collapse ground-state probability at each qubit's last
         # measurement (what an averaged readout would estimate).
         self.measure_ground_probabilities: dict[int, float] = {}
 
-    def restart(self) -> None:
-        """Fresh |0...0> state; the log and noise RNG carry on."""
-        self.state = StateVector(self.n_qubits, rng=self._rng)
+    def restart(self, seed: int | None = None) -> None:
+        """Fresh |0...0> state; the log and noise RNG carry on.
+
+        ``seed`` reseeds the measurement RNG first, making the new
+        state's outcome stream reproducible (what a shot engine needs
+        to make per-shot seeds meaningful on a reused QPU).
+        """
+        if seed is not None:
+            self._rng.seed(seed)
+        self.state = make_backend(self.backend_name, self.n_qubits,
+                                  rng=self._rng)
         self._windows.clear()
         self._busy_until.clear()
         self.measure_ground_probabilities.clear()
@@ -160,6 +183,26 @@ class StateVectorQPU(QPUBase):
 
     def reset(self, time_ns: int, qubit: int) -> None:
         self.apply_gate(time_ns, "reset", (qubit,))
+
+
+class StateVectorQPU(SimulatedQPU):
+    """A :class:`SimulatedQPU` pinned to the dense statevector backend."""
+
+    def __init__(self, topology: Topology | int,
+                 noise: NoiseModel | None = None,
+                 seed: int | None = None) -> None:
+        super().__init__(topology, noise=noise, seed=seed,
+                         backend="statevector")
+
+
+class StabilizerQPU(SimulatedQPU):
+    """A :class:`SimulatedQPU` pinned to the Clifford tableau backend."""
+
+    def __init__(self, topology: Topology | int,
+                 noise: NoiseModel | None = None,
+                 seed: int | None = None) -> None:
+        super().__init__(topology, noise=noise, seed=seed,
+                         backend="stabilizer")
 
 
 class PRNGQPU(QPUBase):

@@ -5,6 +5,12 @@ superconducting chip.  It supports arbitrary one- and two-qubit
 unitaries, projective measurement with collapse, and active reset —
 enough to execute every operation the control processor can issue.
 
+It is the ``"statevector"`` entry of the simulation-backend registry
+(see :mod:`repro.qpu.backend`): exact for any circuit, exponential in
+the qubit count, hard-capped at 24 qubits.  Single-qubit gates take a
+fused strided path (one pass over the amplitudes) instead of the
+generic moveaxis/reshape round-trip used for larger unitaries.
+
 Qubit 0 is the least significant bit of the computational-basis index.
 """
 
@@ -16,18 +22,27 @@ import random
 import numpy as np
 
 from repro.circuit.gates import lookup_gate
+from repro.qpu.backend import SimulationBackend, register_backend
+
+#: Hard cap on the dense representation (2^24 amplitudes = 256 MiB).
+DENSE_QUBIT_LIMIT = 24
 
 
-class StateVector:
+@register_backend
+class StateVector(SimulationBackend):
     """An ``n_qubits`` pure state with in-place gate application."""
+
+    backend_name = "statevector"
 
     def __init__(self, n_qubits: int,
                  rng: random.Random | None = None) -> None:
         if n_qubits <= 0:
             raise ValueError("need at least one qubit")
-        if n_qubits > 24:
+        if n_qubits > DENSE_QUBIT_LIMIT:
             raise ValueError(
-                f"{n_qubits} qubits exceeds the dense simulator limit (24)")
+                f"{n_qubits} qubits exceeds the dense simulator limit "
+                f"({DENSE_QUBIT_LIMIT}); Clifford circuits can use the "
+                f"'stabilizer' backend instead")
         self.n_qubits = n_qubits
         self.rng = rng or random.Random()
         self._amplitudes = np.zeros(1 << n_qubits, dtype=complex)
@@ -68,6 +83,9 @@ class StateVector:
             self._check_qubit(qubit)
         if len(set(qubits)) != k:
             raise ValueError(f"duplicate qubits: {qubits}")
+        if k == 1:
+            self._apply_single_qubit(matrix, qubits[0])
+            return
         n = self.n_qubits
         # Move the target axes to the front via tensor reshape.  numpy's
         # reshape order puts qubit 0 as the *last* axis, so axis of qubit
@@ -84,6 +102,31 @@ class StateVector:
         tensor = np.moveaxis(tensor, range(k), axes)
         self._amplitudes = np.ascontiguousarray(tensor.reshape(-1))
 
+    #: Below this qubit index the batched-matmul inner blocks are too
+    #: small for BLAS; the kron formulation wins there (measured
+    #: crossover at 2^4-element blocks).
+    _KRON_THRESHOLD = 4
+
+    def _apply_single_qubit(self, matrix: np.ndarray, qubit: int) -> None:
+        """Fused fast path for 2x2 unitaries.
+
+        The vector viewed as (high bits, target bit, low bits) turns
+        the update into one batched GEMM, skipping the generic path's
+        moveaxis round-trip and its two full-state copies.  For low
+        qubit indices the inner blocks are too small for BLAS, so the
+        target bit is instead folded into a (2*2^q x 2*2^q) kron
+        operator applied across rows — both shapes stay a single
+        matmul over contiguous memory.
+        """
+        inner = 1 << qubit
+        if qubit < self._KRON_THRESHOLD:
+            operator = np.kron(matrix, np.eye(inner, dtype=complex))
+            rows = self._amplitudes.reshape(-1, 2 * inner)
+            self._amplitudes = np.matmul(rows, operator.T).reshape(-1)
+        else:
+            blocks = self._amplitudes.reshape(-1, 2, inner)
+            self._amplitudes = np.matmul(matrix, blocks).reshape(-1)
+
     def apply_gate(self, gate: str, qubits: tuple[int, ...],
                    params: tuple[float, ...] = ()) -> None:
         """Apply a library gate by name."""
@@ -98,9 +141,7 @@ class StateVector:
     def probability_of_one(self, qubit: int) -> float:
         """Probability of measuring ``qubit`` as 1."""
         self._check_qubit(qubit)
-        tensor = self._amplitudes.reshape([2] * self.n_qubits)
-        axis = self.n_qubits - 1 - qubit
-        ones = np.take(tensor, 1, axis=axis)
+        ones = self._amplitudes.reshape(-1, 2, 1 << qubit)[:, 1, :]
         return float(np.sum(np.abs(ones) ** 2))
 
     def measure(self, qubit: int) -> int:
@@ -114,12 +155,9 @@ class StateVector:
         norm = math.sqrt(p_one if outcome else 1.0 - p_one)
         if norm == 0.0:
             raise RuntimeError("projection onto zero-probability outcome")
-        tensor = self._amplitudes.reshape([2] * self.n_qubits)
-        axis = self.n_qubits - 1 - qubit
-        index = [slice(None)] * self.n_qubits
-        index[axis] = 1 - outcome
-        tensor[tuple(index)] = 0.0
-        self._amplitudes = tensor.reshape(-1) / norm
+        view = self._amplitudes.reshape(-1, 2, 1 << qubit)
+        view[:, 1 - outcome, :] = 0.0
+        self._amplitudes /= norm
 
     def reset(self, qubit: int) -> None:
         """Unconditionally reset ``qubit`` to |0> (measure + flip)."""

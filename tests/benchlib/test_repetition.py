@@ -89,3 +89,51 @@ class TestOnSuperscalar:
         _, _, last = run(program, config=superscalar_config(8))
         assert decode_majority(last) == 0
         assert all(last[q] == 0 for q in DATA)
+
+
+class TestRepetitionChain:
+    def test_layout(self):
+        from repro.benchlib.repetition import chain_layout
+        data, ancillas = chain_layout(26)
+        assert len(data) == 26
+        assert len(ancillas) == 25
+        assert data[-1] + 1 == ancillas[0]
+
+    def test_too_small_chain_rejected(self):
+        from repro.benchlib.repetition import build_repetition_chain_program
+        with pytest.raises(ValueError):
+            build_repetition_chain_program(1)
+
+    def test_injected_error_fires_adjacent_syndromes(self):
+        from repro.benchlib.repetition import run_repetition_memory
+        result = run_repetition_memory(rounds=1, shots=2, n_data=5,
+                                       backend="stabilizer", inject_x=2)
+        # Data readout shows the uncorrected flip on q2; ancillas 6 and
+        # 7 (stabilizers Z1Z2 and Z2Z3) fire, the others stay silent.
+        assert result.most_frequent() == "001000110"
+
+    def test_fifty_one_qubit_chain_on_stabilizer(self):
+        from repro.benchlib.repetition import (decode_chain_majority,
+                                               run_repetition_memory)
+        result = run_repetition_memory(rounds=2, shots=3, n_data=26,
+                                       backend="stabilizer",
+                                       encode_one=True)
+        assert len(result.measured_qubits) == 51
+        bits = result.most_frequent()
+        last = {q: int(bits[i])
+                for i, q in enumerate(result.measured_qubits)}
+        assert decode_chain_majority(last, 26) == 1
+
+    def test_dense_backend_cannot_represent_the_chain(self):
+        from repro.benchlib.repetition import run_repetition_memory
+        with pytest.raises(ValueError, match="dense simulator limit"):
+            run_repetition_memory(rounds=1, shots=1, n_data=26,
+                                  backend="statevector")
+
+    def test_small_chain_agrees_across_backends(self):
+        from repro.benchlib.repetition import run_repetition_memory
+        dense = run_repetition_memory(rounds=1, shots=4, n_data=4,
+                                      backend="statevector", inject_x=1)
+        stab = run_repetition_memory(rounds=1, shots=4, n_data=4,
+                                     backend="stabilizer", inject_x=1)
+        assert dense.counts == stab.counts

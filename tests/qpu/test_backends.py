@@ -1,0 +1,107 @@
+"""Cross-validation of the simulation backends on Clifford circuits.
+
+The stabilizer tableau and the dense statevector are entirely
+different representations of the same physics; on Clifford circuits
+they must agree *exactly*.  Both backends consume one rng draw per
+measurement (compared against the pre-collapse probability), so
+identically seeded backends must produce identical outcome streams —
+not merely identical distributions.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.clifford import clifford_table
+from repro.qpu import StabilizerState, StateVector
+
+ONE_QUBIT_CLIFFORDS = ("i", "x", "y", "z", "h", "s", "sdg",
+                       "x90", "xm90", "y90", "ym90")
+TWO_QUBIT_CLIFFORDS = ("cnot", "cz", "swap", "iswap")
+
+
+def random_clifford_ops(gen: random.Random, n_qubits: int,
+                        length: int) -> list[tuple[str, tuple[int, ...]]]:
+    """A random Clifford circuit with interleaved measure/reset ops."""
+    table = clifford_table()
+    ops: list[tuple[str, tuple[int, ...]]] = []
+    for _ in range(length):
+        draw = gen.random()
+        if draw < 0.3 and n_qubits >= 2:
+            pair = tuple(gen.sample(range(n_qubits), 2))
+            ops.append((gen.choice(TWO_QUBIT_CLIFFORDS), pair))
+        elif draw < 0.5:
+            # A full group element from the RB table, as its native
+            # pulse decomposition.
+            element = table[gen.randrange(len(table))]
+            qubit = gen.randrange(n_qubits)
+            ops.extend((gate, (qubit,)) for gate in element.gates)
+        else:
+            ops.append((gen.choice(ONE_QUBIT_CLIFFORDS),
+                        (gen.randrange(n_qubits),)))
+        tail = gen.random()
+        if tail < 0.15:
+            ops.append(("measure", (gen.randrange(n_qubits),)))
+        elif tail < 0.2:
+            ops.append(("reset", (gen.randrange(n_qubits),)))
+    for qubit in range(n_qubits):
+        ops.append(("measure", (qubit,)))
+    return ops
+
+
+def replay(backend, ops):
+    """Apply ops; returns (pre-collapse probabilities, outcomes)."""
+    probabilities = []
+    outcomes = []
+    for gate, qubits in ops:
+        if gate == "measure":
+            probabilities.append(backend.probability_of_one(qubits[0]))
+            outcomes.append(backend.measure(qubits[0]))
+        elif gate == "reset":
+            backend.reset(qubits[0])
+        else:
+            backend.apply_gate(gate, qubits)
+    return probabilities, outcomes
+
+
+class TestBackendCrossValidation:
+    @pytest.mark.parametrize("trial", range(15))
+    def test_identical_streams_on_random_clifford_circuits(self, trial):
+        gen = random.Random(trial)
+        n_qubits = gen.randrange(2, 6)
+        ops = random_clifford_ops(gen, n_qubits, length=30)
+        seed = 1000 + trial
+        dense_p, dense_out = replay(
+            StateVector(n_qubits, rng=random.Random(seed)), ops)
+        stab_p, stab_out = replay(
+            StabilizerState(n_qubits, rng=random.Random(seed)), ops)
+        assert dense_out == stab_out
+        assert dense_p == pytest.approx(stab_p, abs=1e-9)
+
+    def test_stabilizer_probabilities_are_exact(self):
+        # Every pre-collapse probability of a stabilizer state is
+        # exactly 0, 1/2 or 1; the dense backend agrees to rounding.
+        gen = random.Random(99)
+        ops = random_clifford_ops(gen, 4, length=40)
+        stab_p, _ = replay(
+            StabilizerState(4, rng=random.Random(5)), ops)
+        assert set(stab_p) <= {0.0, 0.5, 1.0}
+
+    def test_identical_distributions_over_shots(self):
+        # Same circuit, many shots: the histograms must be identical
+        # because each seeded shot produces the identical bitstring.
+        gen = random.Random(7)
+        ops = random_clifford_ops(gen, 3, length=20)
+        dense_counts: dict[tuple[int, ...], int] = {}
+        stab_counts: dict[tuple[int, ...], int] = {}
+        for shot in range(100):
+            _, dense_out = replay(
+                StateVector(3, rng=random.Random(shot)), ops)
+            _, stab_out = replay(
+                StabilizerState(3, rng=random.Random(shot)), ops)
+            dense_counts[tuple(dense_out)] = \
+                dense_counts.get(tuple(dense_out), 0) + 1
+            stab_counts[tuple(stab_out)] = \
+                stab_counts.get(tuple(stab_out), 0) + 1
+        assert dense_counts == stab_counts
+        assert len(dense_counts) > 1  # the circuit is not trivial
