@@ -1,0 +1,122 @@
+"""Machine-readable shot-throughput baseline (``BENCH_shots.json``).
+
+Runs the shot-throughput suite — repetition-chain syndrome memories
+from 9 to 101 qubits plus the 37-qubit Steane Shor-syndrome benchmark —
+through the compile-once :class:`~repro.qcp.shots.ShotEngine` twice:
+once with the trace cache disabled (every shot cycle-accurate) and once
+enabled (decision-trie replay).  The result is written as JSON so future
+PRs have a comparable perf trajectory:
+
+    PYTHONPATH=src python benchmarks/perf_report.py            # full suite
+    PYTHONPATH=src python benchmarks/perf_report.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/perf_report.py -o out.json
+
+``--quick`` runs one small workload with tiny shot counts: it exists so
+CI can catch import/runtime regressions on the perf path without
+asserting anything about timing on noisy runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+
+from repro.benchlib.repetition import build_repetition_chain_program
+from repro.benchlib.steane import (N_QUBITS as STEANE_QUBITS,
+                                   build_shor_syndrome_program)
+from repro.qcp import ShotEngine, scalar_config
+
+#: (n_data, total qubits) for the repetition-chain sweep.
+CHAIN_SIZES = ((5, 9), (13, 25), (26, 51), (51, 101))
+CHAIN_ROUNDS = 2
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).parent.parent / "BENCH_shots.json"
+
+
+def _measure(program, n_qubits: int, trace_cache: bool,
+             shots: int) -> tuple[float, ShotEngine]:
+    config = scalar_config(trace_cache=trace_cache)
+    engine = ShotEngine(program, config=config, backend="stabilizer",
+                        n_qubits=n_qubits)
+    start = time.perf_counter()
+    engine.run(shots)
+    elapsed = time.perf_counter() - start
+    return shots / elapsed, engine
+
+
+def measure_workload(name: str, program, n_qubits: int,
+                     uncached_shots: int,
+                     cached_shots: int) -> dict:
+    uncached_rate, _ = _measure(program, n_qubits, False, uncached_shots)
+    cached_rate, engine = _measure(program, n_qubits, True, cached_shots)
+    cache = engine.trace_cache
+    return {
+        "qubits": n_qubits,
+        "backend": "stabilizer",
+        "uncached_shots_per_s": round(uncached_rate, 2),
+        "uncached_us_per_shot": round(1e6 / uncached_rate, 1),
+        "cached_shots_per_s": round(cached_rate, 2),
+        "cached_us_per_shot": round(1e6 / cached_rate, 1),
+        "speedup": round(cached_rate / uncached_rate, 1),
+        "trace_cache": {"hits": cache.hits, "misses": cache.misses,
+                        "nodes": cache.nodes},
+    }
+
+
+def run_suite(quick: bool = False) -> dict:
+    workloads: dict[str, dict] = {}
+    sizes = CHAIN_SIZES[:1] if quick else CHAIN_SIZES
+    uncached_shots = 5 if quick else 20
+    cached_shots = 50 if quick else 400
+    for n_data, n_qubits in sizes:
+        program = build_repetition_chain_program(
+            n_data, rounds=CHAIN_ROUNDS, encode_one=True)
+        workloads[f"repetition_chain_{n_qubits}q"] = measure_workload(
+            f"repetition_chain_{n_qubits}q", program, n_qubits,
+            uncached_shots, cached_shots)
+    if not quick:
+        program = build_shor_syndrome_program(rounds=3)
+        workloads["steane_shor_37q"] = measure_workload(
+            "steane_shor_37q", program, STEANE_QUBITS,
+            uncached_shots, cached_shots)
+    return {
+        "schema": "bench-shots/v1",
+        "description": ("Shot throughput of the compile-once ShotEngine "
+                        "with the cycle-accurate simulator (uncached) vs "
+                        "trace-cache replay (cached)."),
+        "config": {"backend": "stabilizer",
+                   "chain_rounds": CHAIN_ROUNDS,
+                   "quick": quick,
+                   "python": platform.python_version()},
+        "workloads": workloads,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="one small workload, tiny shot counts "
+                             "(CI smoke: exercises the perf path, "
+                             "asserts nothing about timing)")
+    parser.add_argument("-o", "--output", type=pathlib.Path,
+                        default=DEFAULT_OUTPUT,
+                        help=f"output path (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+    report = run_suite(quick=args.quick)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    header = f"{'workload':<24} {'uncached/s':>11} {'cached/s':>10} " \
+             f"{'speedup':>8}"
+    print(header)
+    for name, data in report["workloads"].items():
+        print(f"{name:<24} {data['uncached_shots_per_s']:>11} "
+              f"{data['cached_shots_per_s']:>10} "
+              f"{data['speedup']:>7}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

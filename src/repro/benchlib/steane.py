@@ -173,6 +173,13 @@ def _emit_measure_block(builder: ProgramBuilder,
         builder.xor(1, 1, 4)
         builder.xor(1, 1, 5)
         builder.stm(1, syndrome_addr(round_index, layout.index))
+        # Active reset so the next round's cat preparation starts from
+        # |0000> — without it the collapsed readout state leaks into
+        # the next round, corrupting both its verification parity and
+        # its extracted syndrome.
+        for position, qubit in enumerate(layout.cat):
+            builder.qop("reset", [qubit],
+                        timing=_T1 if position == 0 else 0)
         builder.halt()
 
 

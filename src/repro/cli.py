@@ -47,8 +47,13 @@ def _load_program(path: pathlib.Path) -> Program:
 
 def _config_from_args(args: argparse.Namespace):
     if args.width > 1:
-        return superscalar_config(args.width)
-    return scalar_config(fast_context_switch=args.fast_context_switch)
+        config = superscalar_config(args.width)
+    else:
+        config = scalar_config(
+            fast_context_switch=args.fast_context_switch)
+    if getattr(args, "no_trace_cache", False):
+        config = config.with_(trace_cache=False)
+    return config
 
 
 def command_run(args: argparse.Namespace) -> int:
@@ -105,6 +110,10 @@ def _run_shots(program, args: argparse.Namespace) -> int:
           f"{len(program.blocks)} blocks)")
     print(f"{result.shots} shots on the {args.qpu} substrate, "
           f"{engine.qubit_count} qubits, {result.total_ns} ns total")
+    cache = engine.trace_cache
+    if cache is not None:
+        print(f"trace cache: {cache.hits} replayed, {cache.misses} "
+              f"simulated, {cache.nodes} trie nodes")
     print(f"measured qubits: "
           f"{' '.join(f'q{q}' for q in result.measured_qubits)}")
     for bits, count in sorted(result.counts.items(),
@@ -185,6 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--shots", type=int, default=0,
         help="run N compile-once shots and print the histogram "
              "(0 = single traced run)")
+    run_parser.add_argument(
+        "--no-trace-cache", action="store_true",
+        help="force every shot through the cycle-accurate simulation "
+             "instead of replaying cached traces (results are "
+             "bit-identical either way)")
     run_parser.set_defaults(entry=command_run)
 
     asm_parser = commands.add_parser(

@@ -13,6 +13,8 @@ from repro.qcp.registers import (MeasurementResultRegisters, RegisterFile,
 from repro.qcp.scheduler import BlockScheduler, BlockState
 from repro.qcp.superscalar import SuperscalarProcessor
 from repro.qcp.shots import ShotEngine, ShotResult, run_shots
+from repro.qcp.tracecache import (RecordingQPU, TraceCache,
+                                  TraceDivergenceError, TraceNode)
 from repro.qcp.system import (ExecutionResult, QuAPESystem,
                               infer_qubit_count, run_program)
 from repro.qcp.timing import TimingController
@@ -25,9 +27,10 @@ __all__ = [
     "Emitter", "ExecutionResult", "InstructionMemory", "IssueRecord",
     "MeasurementResultRegisters", "PendingContext",
     "PrivateInstructionCache", "ProcState", "ProcessorCore", "QCPConfig",
-    "QuantumOp", "QuAPESystem", "RegisterFile", "ResultDelivery",
-    "ScalarProcessor", "SharedRegisters", "ShotEngine", "ShotResult",
-    "SuperscalarProcessor", "infer_qubit_count", "run_shots",
+    "QuantumOp", "QuAPESystem", "RecordingQPU", "RegisterFile",
+    "ResultDelivery", "ScalarProcessor", "SharedRegisters", "ShotEngine",
+    "ShotResult", "SuperscalarProcessor", "TraceCache",
+    "TraceDivergenceError", "TraceNode", "infer_qubit_count", "run_shots",
     "TimingController", "TRReport", "Trace", "average_ces", "run_program",
     "scalar_config", "superscalar_config", "time_ratio",
 ]

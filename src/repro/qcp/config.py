@@ -59,6 +59,17 @@ class QCPConfig:
     #: "stabilizer" = Clifford tableau, polynomial, 100+ qubits).
     qpu_backend: str = "statevector"
 
+    # -- shot execution -----------------------------------------------------
+    #: Cache executed shot traces in an outcome-keyed trie and replay
+    #: repeated outcome prefixes straight into the QPU backend, skipping
+    #: the cycle-accurate event simulation (see
+    #: :mod:`repro.qcp.tracecache`).  Results are bit-identical either
+    #: way; disable to force every shot through the full control-stack
+    #: model (e.g. when profiling the microarchitecture itself).  The
+    #: shot engine ignores the flag automatically for substrates it
+    #: cannot cache (custom ``qpu_factory``, noisy QPUs).
+    trace_cache: bool = True
+
     # -- standalone readout path (no analog boards attached) ---------------
     #: Stage I+II latency when no DAQ model is attached; 400 ns plus the
     #: conditional-logic cycles reproduces the ~450 ns feedback latency.

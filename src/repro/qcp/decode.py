@@ -1,0 +1,204 @@
+"""Compile-once instruction decode for the processor cores.
+
+The cycle-accurate processor models used to re-discover what every
+instruction *is* on every cycle: a chain of ``isinstance`` checks, enum
+lookups, field validation and :class:`~repro.qcp.emitter.QuantumOp`
+construction, repeated for each of the millions of cycles a shot sweep
+executes.  All of that is a pure function of the (immutable) program,
+so this module performs it exactly once when the instruction memory is
+built.
+
+Each instruction decodes to a flat tuple ``(kind, instr, payload)``:
+
+* ``kind`` — a small int (``K_QOP`` .. ``K_CLASSICAL``) the cores
+  dispatch on with integer compares instead of ``isinstance`` chains;
+* ``instr`` — the original instruction, kept for the paths that still
+  need source-level fields (MRCE feedback, FMR waiters, tracing);
+* ``payload`` — kind-specific pre-computed artifacts: the immutable
+  ``QuantumOp`` a quantum instruction will enqueue (built once, reused
+  every shot), per-slot bundle expansions, or a compiled *classical
+  micro-op*: a closure ``run(processor) -> (disposition, extra_cycles)``
+  with operand fields and comparators already bound.
+
+The compiled classical closures replicate the architectural semantics
+previously implemented by ``ProcessorCore._apply_classical``; the
+dispositions (``"next"``/``"taken"``/``"halt"``/``"stall_fmr"``) and
+stall-cycle accounting are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.isa.instructions import (Alu, Addi, Branch, Fmr, Halt,
+                                    Instruction, Jmp, Ldi, Ldm, Mov, Mrce,
+                                    Nop, Not, Qmeas, Qop, Stm)
+from repro.isa.vliw import Bundle
+from repro.qcp.emitter import QuantumOp
+
+# Dispatch kinds.  K_QOP/K_QMEAS are adjacent so "is quantum" is a
+# single ``kind <= K_QMEAS`` compare.
+K_QOP = 0
+K_QMEAS = 1
+K_BUNDLE = 2
+K_MRCE = 3
+K_CLASSICAL = 4
+
+# Effect classes of classical instructions, used by the trace-cache
+# recorder to decide what must be captured for a functional replay:
+# E_NONE has no architectural effect beyond control flow that is
+# constant (nop/halt/jmp), E_REG mutates register state (replayed via
+# the compiled micro-op), E_BRANCH is a data-dependent control decision
+# (a trie branch point), E_FMR moves a measurement result into a
+# register (replayed from the delivered-outcome map).
+E_NONE = 0
+E_REG = 1
+E_BRANCH = 2
+E_FMR = 3
+
+#: A decoded entry: (kind, instruction, payload).
+DecodedInstr = tuple
+
+#: A compiled classical micro-op.
+ClassicalRun = Callable[["object"], tuple[str, int]]
+
+
+def _run_nop(proc) -> tuple[str, int]:
+    return "next", 0
+
+
+def _run_halt(proc) -> tuple[str, int]:
+    return "halt", 0
+
+
+def _compile_classical(instr: Instruction) -> ClassicalRun:
+    """Bind one classical instruction into a micro-op closure."""
+    if isinstance(instr, Nop):
+        return _run_nop
+    if isinstance(instr, Halt):
+        return _run_halt
+    if isinstance(instr, Jmp):
+        target = int(instr.target)
+
+        def run_jmp(proc):
+            proc.pc = target
+            return "taken", proc.config.branch_penalty_cycles
+        return run_jmp
+    if isinstance(instr, Branch):
+        compare = instr._COMPARATORS[instr.opcode]
+        rs, rt, target = instr.rs, instr.rt, int(instr.target)
+
+        def run_branch(proc):
+            registers = proc.registers
+            if compare(registers.read(rs), registers.read(rt)):
+                proc.pc = target
+                return "taken", proc.config.branch_penalty_cycles
+            return "next", 0
+        return run_branch
+    if isinstance(instr, Ldi):
+        rd, imm = instr.rd, instr.imm
+
+        def run_ldi(proc):
+            proc.registers.write(rd, imm)
+            return "next", 0
+        return run_ldi
+    if isinstance(instr, Mov):
+        rd, rs = instr.rd, instr.rs
+
+        def run_mov(proc):
+            registers = proc.registers
+            registers.write(rd, registers.read(rs))
+            return "next", 0
+        return run_mov
+    if isinstance(instr, Ldm):
+        rd, addr = instr.rd, instr.addr
+
+        def run_ldm(proc):
+            proc.registers.write(rd, proc.shared.read(addr))
+            return "next", 0
+        return run_ldm
+    if isinstance(instr, Stm):
+        rs, addr = instr.rs, instr.addr
+
+        def run_stm(proc):
+            proc.shared.write(addr, proc.registers.read(rs))
+            return "next", 0
+        return run_stm
+    if isinstance(instr, Addi):
+        rd, rs, imm = instr.rd, instr.rs, instr.imm
+
+        def run_addi(proc):
+            registers = proc.registers
+            registers.write(rd, registers.read(rs) + imm)
+            return "next", 0
+        return run_addi
+    if isinstance(instr, Not):
+        rd, rs = instr.rd, instr.rs
+
+        def run_not(proc):
+            registers = proc.registers
+            registers.write(rd, registers.read(rs) ^ 1)
+            return "next", 0
+        return run_not
+    if isinstance(instr, Alu):
+        evaluate = instr._FUNCS[instr.opcode]
+        rd, rs, rt = instr.rd, instr.rs, instr.rt
+
+        def run_alu(proc):
+            registers = proc.registers
+            registers.write(rd, evaluate(registers.read(rs),
+                                         registers.read(rt)))
+            return "next", 0
+        return run_alu
+    if isinstance(instr, Fmr):
+        rd, qubit = instr.rd, instr.qubit
+
+        def run_fmr(proc):
+            results = proc.results
+            if results.is_valid(qubit):
+                proc.registers.write(rd, results.read(qubit))
+                return "next", 0
+            return "stall_fmr", 0
+        return run_fmr
+    raise TypeError(f"not a classical instruction: {instr}")
+
+
+def _op_for(instr: Qop | Qmeas) -> QuantumOp:
+    if isinstance(instr, Qmeas):
+        return QuantumOp(gate="measure", qubits=(instr.qubit,),
+                         block=instr.block, step_id=instr.step_id)
+    return QuantumOp(gate=instr.gate, qubits=instr.qubits,
+                     params=instr.params, block=instr.block,
+                     step_id=instr.step_id)
+
+
+def decode_instruction(instr: Instruction) -> DecodedInstr:
+    """Decode one instruction into its dispatch entry (see module doc)."""
+    if isinstance(instr, Bundle):
+        slots = tuple(
+            (_op_for(slot),
+             slot.qubit if isinstance(slot, Qmeas) else None,
+             instr.timing if position == 0 else 0)
+            for position, slot in enumerate(instr.slots))
+        return (K_BUNDLE, instr,
+                (slots, instr.step_id, instr.qubits))
+    if isinstance(instr, Qmeas):
+        return (K_QMEAS, instr,
+                (_op_for(instr), instr.timing, instr.step_id))
+    if isinstance(instr, Qop):
+        return (K_QOP, instr,
+                (_op_for(instr), instr.timing, instr.step_id))
+    if isinstance(instr, Mrce):
+        return (K_MRCE, instr, None)
+    hoistable = not (instr.is_branch
+                     or instr.opcode.name in ("HALT", "FMR"))
+    if isinstance(instr, (Nop, Halt, Jmp)):
+        eclass = E_NONE
+    elif isinstance(instr, Branch):
+        eclass = E_BRANCH
+    elif isinstance(instr, Fmr):
+        eclass = E_FMR
+    else:
+        eclass = E_REG
+    return (K_CLASSICAL, instr,
+            (_compile_classical(instr), hoistable, eclass))

@@ -13,13 +13,24 @@ from dataclasses import dataclass
 
 from repro.isa.instructions import Instruction
 from repro.isa.program import BlockInfo, Program
+from repro.qcp.decode import DecodedInstr, decode_instruction
 
 
 class InstructionMemory:
-    """Centralized main memory holding the whole program."""
+    """Centralized main memory holding the whole program.
+
+    Construction pre-decodes every instruction into its dispatch entry
+    (kind code, reusable ``QuantumOp``, compiled classical micro-op —
+    see :mod:`repro.qcp.decode`), so the per-cycle fetch path of the
+    processor cores is an O(1) list index instead of instruction-object
+    introspection.  A shot engine shares one memory across all shots,
+    amortising the decode to zero.
+    """
 
     def __init__(self, program: Program) -> None:
         self.program = program
+        self._decoded: list[DecodedInstr] = [
+            decode_instruction(instr) for instr in program.instructions]
 
     def __len__(self) -> int:
         return len(self.program)
@@ -28,6 +39,12 @@ class InstructionMemory:
         if not 0 <= pc < len(self.program):
             raise IndexError(f"instruction fetch out of range: pc={pc}")
         return self.program.instructions[pc]
+
+    def fetch_decoded(self, pc: int) -> DecodedInstr:
+        """The pre-decoded ``(kind, instr, payload)`` entry at ``pc``."""
+        if not 0 <= pc < len(self._decoded):
+            raise IndexError(f"instruction fetch out of range: pc={pc}")
+        return self._decoded[pc]
 
     def block_instructions(self, block: BlockInfo) -> list[Instruction]:
         return self.program.instructions[block.start:block.end]
@@ -114,6 +131,17 @@ class PrivateInstructionCache:
                 f"pc {pc} outside active block {block.name!r} "
                 f"[{block.start}, {block.end})")
         return self.memory.fetch(pc)
+
+    def fetch_decoded(self, pc: int) -> DecodedInstr:
+        """Pre-decoded fetch from the active bank (same range rules)."""
+        block = self.active_block
+        if block is None:
+            raise CacheError("fetch with no active block")
+        if not block.start <= pc < block.end:
+            raise CacheError(
+                f"pc {pc} outside active block {block.name!r} "
+                f"[{block.start}, {block.end})")
+        return self.memory.fetch_decoded(pc)
 
     def in_active_block(self, pc: int) -> bool:
         block = self.active_block

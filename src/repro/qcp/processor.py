@@ -18,13 +18,13 @@ from __future__ import annotations
 import enum
 from typing import Callable
 
-from repro.isa.instructions import (Alu, Addi, Branch, Fmr, Halt,
-                                    Instruction, Jmp, Ldi, Ldm, Mov, Mrce,
-                                    Nop, Not, Qmeas, Qop, Stm)
+from repro.isa.instructions import Mrce, Qmeas, Qop
 from repro.isa.program import BlockInfo
-from repro.isa.vliw import Bundle
 from repro.qcp.config import QCPConfig
 from repro.qcp.context_switch import ContextSwitchUnit, PendingContext
+from repro.qcp.decode import (E_BRANCH, E_FMR, E_REG, K_BUNDLE,
+                              K_CLASSICAL, K_MRCE, K_QMEAS, K_QOP)
+from repro.qcp.tracecache import REC_CLS, REC_DEC, REC_FMR, REC_MDEC
 from repro.qcp.emitter import Emitter, QuantumOp
 from repro.qcp.memory import PrivateInstructionCache
 from repro.qcp.metrics import CESAccumulator
@@ -72,6 +72,10 @@ class ProcessorCore:
         self._busy_until_ns = 0
         self._current_step: int | None = None
         self._stall_began_ns = 0
+        #: Trace-cache chronological stream; set by the system when a
+        #: shot is being recorded, ``None`` otherwise (see
+        #: :mod:`repro.qcp.tracecache`).
+        self.recording: list | None = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -123,86 +127,38 @@ class ProcessorCore:
     def _cycle(self) -> None:  # pragma: no cover - overridden
         raise NotImplementedError
 
-    # -- classical execution helpers ----------------------------------------------
+    # -- trace-cache recording ------------------------------------------------
 
-    def _write(self, rd: int, value: int) -> None:
-        self.registers.write(rd, value)
-
-    def _read(self, rs: int) -> int:
-        return self.registers.read(rs)
-
-    def _apply_classical(self, instr: Instruction) -> tuple[str, int]:
-        """Apply a classical instruction's architectural effects.
-
-        Returns ``(disposition, extra_cycles)`` where disposition is one
-        of ``"next"`` (fall through), ``"taken"`` (pc already
-        redirected), ``"halt"`` or ``"stall_fmr"`` (caller must arrange
-        the measurement wait).  ``extra_cycles`` is the control-stall
-        penalty beyond the base execute cycle.
-        """
-        if isinstance(instr, Nop):
-            return "next", 0
-        if isinstance(instr, Halt):
-            return "halt", 0
-        if isinstance(instr, Jmp):
-            self.pc = int(instr.target)
-            return "taken", self.config.branch_penalty_cycles
-        if isinstance(instr, Branch):
-            if instr.taken(self._read(instr.rs), self._read(instr.rt)):
-                self.pc = int(instr.target)
-                return "taken", self.config.branch_penalty_cycles
-            return "next", 0
-        if isinstance(instr, Ldi):
-            self._write(instr.rd, instr.imm)
-            return "next", 0
-        if isinstance(instr, Mov):
-            self._write(instr.rd, self._read(instr.rs))
-            return "next", 0
-        if isinstance(instr, Ldm):
-            self._write(instr.rd, self.shared.read(instr.addr))
-            return "next", 0
-        if isinstance(instr, Stm):
-            self.shared.write(instr.addr, self._read(instr.rs))
-            return "next", 0
-        if isinstance(instr, Addi):
-            self._write(instr.rd, self._read(instr.rs) + instr.imm)
-            return "next", 0
-        if isinstance(instr, Not):
-            self._write(instr.rd, self._read(instr.rs) ^ 1)
-            return "next", 0
-        if isinstance(instr, Alu):
-            self._write(instr.rd, instr.evaluate(self._read(instr.rs),
-                                                 self._read(instr.rt)))
-            return "next", 0
-        if isinstance(instr, Fmr):
-            if self.results.is_valid(instr.qubit):
-                self._write(instr.rd, self.results.read(instr.qubit))
-                return "next", 0
-            return "stall_fmr", 0
-        raise TypeError(f"not a classical instruction: {instr}")
+    def _record_classical(self, instr, run, eclass: int,
+                          disposition: str) -> None:
+        """Append one executed classical micro-op to the recording
+        stream (caller has already checked ``recording is not None``
+        and ``eclass``)."""
+        if eclass == E_REG:
+            self.recording.append((REC_CLS, self.proc_id, run))
+        elif eclass == E_BRANCH:
+            self.recording.append(
+                (REC_DEC, self.proc_id, run,
+                 1 if disposition == "taken" else 0))
+        elif disposition == "next":  # valid-path FMR
+            self.recording.append((REC_FMR, self.proc_id, instr.rd,
+                                   instr.qubit))
 
     # -- quantum execution helpers ---------------------------------------------
 
-    def _op_for(self, instr: Qop | Qmeas) -> QuantumOp:
-        if isinstance(instr, Qmeas):
-            return QuantumOp(gate="measure", qubits=(instr.qubit,),
-                             block=instr.block, step_id=instr.step_id)
-        return QuantumOp(gate=instr.gate, qubits=instr.qubits,
-                         params=instr.params, block=instr.block,
-                         step_id=instr.step_id)
-
-    def _execute_quantum(self, instr: Qop | Qmeas) -> None:
-        """Push the operation onto the timeline at the current cycle."""
-        if isinstance(instr, Qmeas):
+    def _execute_quantum_decoded(self, op: QuantumOp, timing: int,
+                                 step_id: int | None,
+                                 is_measure: bool) -> None:
+        """Push a pre-decoded operation onto the timeline."""
+        if is_measure:
             # Invalidate at *execute* time so a subsequent FMR cannot
             # read a stale result from an earlier measurement.
-            self.results.invalidate(instr.qubit)
-        self.timing.enqueue(self._op_for(instr), instr.timing,
-                            self.kernel.now)
-        self._current_step = instr.step_id
+            self.results.invalidate(op.qubits[0])
+        self.timing.enqueue(op, timing, self.kernel.now)
+        self._current_step = step_id
         self.trace.instructions_executed += 1
 
-    def _step_of(self, instr: Instruction) -> int | None:
+    def _step_of(self, instr) -> int | None:
         return instr.step_id if instr.step_id is not None \
             else self._current_step
 
@@ -227,6 +183,9 @@ class ProcessorCore:
         logic = self.config.mrce_logic_cycles
         if self.results.is_valid(instr.result_qubit):
             result = self.results.read(instr.result_qubit)
+            if self.recording is not None:
+                self.recording.append((REC_MDEC, instr.result_qubit,
+                                       result))
             self.ces.feedback(self._step_of(instr), 1 + logic)
             self._mrce_issue(instr, result,
                              self.kernel.now + logic * self.period)
@@ -239,6 +198,8 @@ class ProcessorCore:
 
     def _resume_mrce(self, instr: Mrce, value: int) -> None:
         now = self.kernel.now
+        if self.recording is not None:
+            self.recording.append((REC_MDEC, instr.result_qubit, value))
         self.ces.excluded_wait(self._step_of(instr),
                                now - self._stall_began_ns)
         logic = self.config.mrce_logic_cycles
@@ -256,6 +217,9 @@ class ProcessorCore:
             # Result already there: no switch needed, plain conditional.
             logic = self.config.mrce_logic_cycles
             result = self.results.read(instr.result_qubit)
+            if self.recording is not None:
+                self.recording.append((REC_MDEC, instr.result_qubit,
+                                       result))
             self.ces.feedback(self._step_of(instr), 1 + logic)
             self._mrce_issue(instr, result,
                              self.kernel.now + logic * self.period)
@@ -296,6 +260,10 @@ class ProcessorCore:
         """Charge the switch cycles and issue the selected operation."""
         if context in self.contexts.resolved_queue:
             self.contexts.resolved_queue.remove(context)
+        if self.recording is not None:
+            self.recording.append((REC_MDEC,
+                                   context.instr.result_qubit,
+                                   context.result or 0))
         switch = self.config.context_switch_cycles
         start = max(self.kernel.now, self._busy_until_ns)
         self._busy_until_ns = start + (switch + 1) * self.period
@@ -311,7 +279,13 @@ class ProcessorCore:
 
 
 class ScalarProcessor(ProcessorCore):
-    """Single-issue in-order core: the paper's baseline design."""
+    """Single-issue in-order core: the paper's baseline design.
+
+    The cycle loop dispatches on pre-decoded kind codes and compiled
+    classical micro-ops (see :mod:`repro.qcp.decode`) so each simulated
+    cycle costs a list index plus a few integer compares instead of
+    instruction-object introspection.
+    """
 
     def _cycle(self) -> None:
         if self.state is not ProcState.RUNNING:
@@ -322,38 +296,41 @@ class ScalarProcessor(ProcessorCore):
             self._perform_switch_back(context)
             self._schedule_cycle(0)
             return
-        instr = self.cache.fetch(self.pc)
-        if isinstance(instr, Bundle):
+        kind, instr, payload = self.cache.fetch_decoded(self.pc)
+        if kind <= K_QMEAS:
+            op, timing, step_id = payload
+            if self.config.fast_context_switch and \
+                    self.contexts.conflicts_with(op.qubits):
+                self._stall_on_context(op.qubits)
+                return
+            self.ces.quantum(step_id if step_id is not None
+                             else self._current_step, 1)
+            self._execute_quantum_decoded(op, timing, step_id,
+                                          kind == K_QMEAS)
+            self.pc += 1
+            self._schedule_cycle(1)
+            return
+        if kind == K_BUNDLE:
             # VLIW execution: all slot operations issue at one timing
             # point, one cycle per bundle (QuMA_v2-style baseline).
+            slots, step_id, qubits = payload
             if self.config.fast_context_switch and \
-                    self.contexts.conflicts_with(instr.qubits):
-                self._stall_on_context(instr.qubits)
+                    self.contexts.conflicts_with(qubits):
+                self._stall_on_context(qubits)
                 return
-            self.ces.quantum(self._step_of(instr), 1)
-            for position, slot in enumerate(instr.slots):
-                op = self._op_for(slot)
-                if isinstance(slot, Qmeas):
-                    self.results.invalidate(slot.qubit)
-                self.timing.enqueue(op,
-                                    instr.timing if position == 0 else 0,
-                                    self.kernel.now)
-            self._current_step = instr.step_id
+            self.ces.quantum(step_id if step_id is not None
+                             else self._current_step, 1)
+            now = self.kernel.now
+            for op, meas_qubit, slot_timing in slots:
+                if meas_qubit is not None:
+                    self.results.invalidate(meas_qubit)
+                self.timing.enqueue(op, slot_timing, now)
+            self._current_step = step_id
             self.trace.instructions_executed += 1
             self.pc += 1
             self._schedule_cycle(1)
             return
-        if isinstance(instr, (Qop, Qmeas)):
-            if self.config.fast_context_switch and \
-                    self.contexts.conflicts_with(instr.qubits):
-                self._stall_on_context(instr.qubits)
-                return
-            self.ces.quantum(self._step_of(instr), 1)
-            self._execute_quantum(instr)
-            self.pc += 1
-            self._schedule_cycle(1)
-            return
-        if isinstance(instr, Mrce):
+        if kind == K_MRCE:
             if self.config.fast_context_switch:
                 if self.contexts.conflicts_with(
                         (instr.result_qubit, instr.target_qubit)):
@@ -371,9 +348,12 @@ class ScalarProcessor(ProcessorCore):
                 self.pc += 1
                 self._schedule_cycle(1 + self.config.mrce_logic_cycles)
             return
-        # Classical path.
+        # Classical path: run the compiled micro-op.
+        run, _hoistable, eclass = payload
         self.trace.instructions_executed += 1
-        disposition, extra = self._apply_classical(instr)
+        disposition, extra = run(self)
+        if self.recording is not None and eclass:
+            self._record_classical(instr, run, eclass, disposition)
         step = self._step_of(instr)
         if disposition == "stall_fmr":
             self.state = ProcState.WAIT_RESULT
@@ -402,6 +382,9 @@ class ScalarProcessor(ProcessorCore):
         self.ces.excluded_wait(self._step_of(instr),
                                now - self._stall_began_ns)
         self.registers.write(instr.rd, value)
+        if self.recording is not None:
+            self.recording.append((REC_FMR, self.proc_id, instr.rd,
+                                   instr.qubit))
         self.ces.classical(self._step_of(instr), 1)
         self.state = ProcState.RUNNING
         self.pc += 1

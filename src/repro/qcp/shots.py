@@ -10,6 +10,14 @@ state (``qpu.restart()``) and wires fresh lightweight executors
 instead of rebuilding the entire world per shot.  :func:`run_shots` is
 the one-call convenience wrapper a lab script would use.
 
+On top of that, the engine keeps an outcome-keyed **trace cache**
+(:mod:`repro.qcp.tracecache`, ``QCPConfig.trace_cache``): the first
+shot down any measurement-outcome path runs the cycle-accurate
+control-stack simulation and records the device-op stream; every
+later shot sharing that outcome prefix replays the recorded stream
+straight into the QPU backend, skipping the event kernel entirely
+while producing bit-identical outcomes, histograms and timings.
+
 Backend selection
 =================
 
@@ -43,6 +51,7 @@ from repro.analog.channels import ChannelMap
 from repro.qcp.config import QCPConfig
 from repro.qcp.memory import InstructionMemory
 from repro.qcp.system import QuAPESystem, infer_qubit_count
+from repro.qcp.tracecache import RecordingQPU, TraceCache
 from repro.qpu.device import QPUBase, SimulatedQPU
 
 #: Placeholder in a bitstring for a union qubit this shot never measured.
@@ -131,6 +140,14 @@ class ShotEngine:
         if qpu_factory is None:
             self._qpu = SimulatedQPU(self.qubit_count, seed=seed,
                                      backend=self.backend)
+        # -- trace cache: replay outcome-prefix-identical shots ----------
+        # Only an engine-owned ideal SimulatedQPU is cacheable: a
+        # custom factory is opaque, and noise breaks the shot-behaviour-
+        # is-a-function-of-outcomes invariant (see tracecache module).
+        self.trace_cache: TraceCache | None = None
+        if (self.config.trace_cache and self._qpu is not None
+                and self._qpu.noise.is_ideal):
+            self.trace_cache = TraceCache(self.config)
 
     def _shot_qpu(self, seed: int) -> QPUBase:
         if self.qpu_factory is not None:
@@ -147,19 +164,38 @@ class ShotEngine:
         ``seed`` makes the shot reproducible on either path: it is
         passed to ``qpu_factory`` when one was supplied, and reseeds
         the reused QPU's measurement RNG otherwise.
+
+        With the trace cache enabled the shot first attempts a trie
+        replay (batched backend ops, no event kernel); a cache miss
+        falls back to the cycle-accurate simulation below — which,
+        reseeded identically, reproduces the same outcome prefix — and
+        records the newly explored path.  Both paths return bit-
+        identical results for the same seed.
         """
+        cache = self.trace_cache
+        if cache is not None:
+            replayed = cache.replay(self._qpu, seed)
+            if replayed is not None:
+                return replayed
+        qpu = self._shot_qpu(seed)
+        recorded: list | None = None
+        if cache is not None:
+            recorded = []
+            qpu = RecordingQPU(qpu, recorded)
         system = QuAPESystem(
             program=self.program, config=self.config,
-            n_processors=self.n_processors, qpu=self._shot_qpu(seed),
+            n_processors=self.n_processors, qpu=qpu,
             n_qubits=self.n_qubits,
             dependency_mode=self.dependency_mode,
             memory=self.memory, table=self.table,
-            channel_map=self.channel_map)
+            channel_map=self.channel_map, recorder=recorded)
         execution = system.run()
         system.kernel.run()  # drain trailing deliveries
         last_value: dict[int, int] = {}
         for delivery in system.results.history:
             last_value[delivery.qubit] = delivery.value
+        if recorded is not None:
+            cache.record(recorded, execution.total_ns)
         return last_value, execution.total_ns
 
     def run(self, shots: int) -> ShotResult:

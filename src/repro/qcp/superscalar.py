@@ -18,21 +18,29 @@ instruction), dispatch is deferred one cycle so instructions fetched in
 different cycles can still issue together.  While a group is deferred, a
 classical instruction *behind* it may dispatch ahead (the lookahead that
 absorbs branch latency).
+
+The buffer holds pre-decoded ``(kind, instr, payload)`` entries (see
+:mod:`repro.qcp.decode`), so the per-cycle dispatch decisions are
+integer compares on kind codes and the classical pipeline executes
+compiled micro-ops.
 """
 
 from __future__ import annotations
 
 from collections import deque
 
-from repro.isa.instructions import Instruction, Mrce, Qmeas, Qop
+from repro.isa.instructions import Mrce
+from repro.qcp.decode import (DecodedInstr, K_BUNDLE, K_CLASSICAL,
+                              K_MRCE, K_QMEAS)
 from repro.qcp.processor import ProcessorCore, ProcState
+from repro.qcp.tracecache import REC_FMR
 
 
 class SuperscalarProcessor(ProcessorCore):
     """N-way fetch, pre-decode and multi-pipeline quantum dispatch."""
 
     def _reset_stream_state(self) -> None:
-        self._buffer: deque[Instruction] = deque()
+        self._buffer: deque[DecodedInstr] = deque()
         self._fetch_pc = self.pc
         self._deferred_once = False
 
@@ -44,7 +52,7 @@ class SuperscalarProcessor(ProcessorCore):
         block = self.block
         while count > 0 and block is not None \
                 and block.start <= self._fetch_pc < block.end:
-            self._buffer.append(self.cache.fetch(self._fetch_pc))
+            self._buffer.append(self.cache.fetch_decoded(self._fetch_pc))
             self._fetch_pc += 1
             count -= 1
 
@@ -54,25 +62,25 @@ class SuperscalarProcessor(ProcessorCore):
         self._fetch_pc = new_pc
         self._deferred_once = False
 
-    def _peek_next_in_cache(self) -> Instruction | None:
+    def _peek_next_in_cache(self) -> DecodedInstr | None:
         block = self.block
         if block is None or not block.start <= self._fetch_pc < block.end:
             return None
-        return self.cache.fetch(self._fetch_pc)
+        return self.cache.fetch_decoded(self._fetch_pc)
 
     # -- dispatch ------------------------------------------------------------
 
-    def _quantum_group(self) -> list[Qop | Qmeas]:
+    def _quantum_group(self) -> list[DecodedInstr]:
         """Maximal dispatchable group from the buffer head."""
-        group: list[Qop | Qmeas] = []
-        for instr in self._buffer:
-            if not isinstance(instr, (Qop, Qmeas)):
-                break
-            if group and instr.timing != 0:
+        group: list[DecodedInstr] = []
+        for entry in self._buffer:
+            if entry[0] > K_QMEAS:
+                break  # not a plain quantum instruction
+            if group and entry[2][1] != 0:
                 break  # different timing point: next cycle
             if len(group) == self.config.n_quantum_pipelines:
                 break
-            group.append(instr)
+            group.append(entry)
         return group
 
     def _group_may_grow(self, group: list) -> bool:
@@ -82,8 +90,8 @@ class SuperscalarProcessor(ProcessorCore):
         if len(group) < len(self._buffer):
             return False  # something non-joinable follows in the buffer
         upcoming = self._peek_next_in_cache()
-        return (isinstance(upcoming, (Qop, Qmeas))
-                and upcoming.timing == 0)
+        return (upcoming is not None and upcoming[0] <= K_QMEAS
+                and upcoming[2][1] == 0)
 
     def _cycle(self) -> None:
         if self.state is not ProcState.RUNNING:
@@ -103,27 +111,32 @@ class SuperscalarProcessor(ProcessorCore):
         halted = stalled = False
         stall_cycles = 0
         while self._buffer and not (halted or stalled):
-            head = self._buffer[0]
-            if isinstance(head, (Qop, Qmeas)):
+            kind = self._buffer[0][0]
+            if kind <= K_QMEAS:
                 action = self._try_dispatch_group()
                 if action == "stop":
                     break
                 if action == "stalled":
                     stalled = True
-            elif isinstance(head, Mrce):
+            elif kind == K_MRCE:
                 if self._dispatched_quantum:
                     break
                 # MRCE charges its own feedback cycles internally, so it
                 # only blocks further quantum dispatch this cycle.
-                _handled, mrce_stalled = self._dispatch_mrce(head)
+                _handled, mrce_stalled = self._dispatch_mrce(
+                    self._buffer[0][1])
                 self._dispatched_quantum = True
                 if mrce_stalled:
                     stalled = True
+            elif kind == K_BUNDLE:
+                raise TypeError(
+                    "VLIW bundles are not executable on the superscalar "
+                    "core; run bundled programs on the scalar baseline")
             else:
                 if self._dispatched_classical:
                     break
-                self._buffer.popleft()
-                disposition, extra = self._dispatch_classical(head)
+                entry = self._buffer.popleft()
+                disposition, extra = self._dispatch_classical(entry)
                 self._dispatched_classical = True
                 if disposition == "stall_fmr":
                     stalled = True
@@ -166,11 +179,13 @@ class SuperscalarProcessor(ProcessorCore):
             return "stop"
         group = self._quantum_group()
         if self.config.fast_context_switch and any(
-                self.contexts.conflicts_with(instr.qubits)
-                for instr in group):
+                self.contexts.conflicts_with(entry[2][0].qubits)
+                for entry in group):
             if self._dispatched_classical:
                 return "stop"  # finish this cycle, stall next one
-            self._stall_on_context_super(group)
+            self._stall_on_context_super(
+                tuple(q for entry in group
+                      for q in entry[2][0].qubits))
             return "stalled"
         if self._group_may_grow(group) and not self._deferred_once:
             # Recombination: wait one cycle so parallel instructions
@@ -185,10 +200,16 @@ class SuperscalarProcessor(ProcessorCore):
                     self._dispatched_classical = True
             return "stop"
         self._deferred_once = False
-        for instr in group:
+        first_step: int | None = None
+        for index, entry in enumerate(group):
             self._buffer.popleft()
-            self._execute_quantum(instr)
-        self._cycle_step = self._step_of(group[0])
+            kind, _instr, (op, timing, step_id) = entry
+            if index == 0:
+                first_step = step_id if step_id is not None \
+                    else self._current_step
+            self._execute_quantum_decoded(op, timing, step_id,
+                                          kind == K_QMEAS)
+        self._cycle_step = first_step
         self._dispatched_quantum = True
         return "dispatched"
 
@@ -203,7 +224,7 @@ class SuperscalarProcessor(ProcessorCore):
 
     # -- helpers -------------------------------------------------------------
 
-    def _lookahead_classical(self, skip: int) -> Instruction | None:
+    def _lookahead_classical(self, skip: int) -> DecodedInstr | None:
         """First classical instruction behind a deferred quantum group.
 
         Only non-control-flow classical instructions may be hoisted over
@@ -211,19 +232,22 @@ class SuperscalarProcessor(ProcessorCore):
         instructions ahead of them are never squashed.
         """
         for index in range(skip, len(self._buffer)):
-            instr = self._buffer[index]
-            if isinstance(instr, (Qop, Qmeas, Mrce)):
+            entry = self._buffer[index]
+            if entry[0] != K_CLASSICAL:
                 return None
-            if instr.is_branch or instr.opcode.name in ("HALT", "FMR"):
+            if not entry[2][1]:  # not hoistable (branch/halt/fmr)
                 return None
             del self._buffer[index]
-            return instr
+            return entry
         return None
 
-    def _dispatch_classical(self, instr: Instruction) -> tuple[str, int]:
-        """Execute one classical instruction (already off the buffer)."""
+    def _dispatch_classical(self, entry: DecodedInstr) -> tuple[str, int]:
+        """Execute one classical micro-op (already off the buffer)."""
+        _kind, instr, (run, _hoistable, eclass) = entry
         self.trace.instructions_executed += 1
-        disposition, extra = self._apply_classical(instr)
+        disposition, extra = run(self)
+        if self.recording is not None and eclass:
+            self._record_classical(instr, run, eclass, disposition)
         if disposition == "taken":
             self._flush_buffer(self.pc)
         elif disposition == "stall_fmr":
@@ -239,24 +263,27 @@ class SuperscalarProcessor(ProcessorCore):
         self.ces.excluded_wait(self._step_of(instr),
                                now - self._stall_began_ns)
         self.registers.write(instr.rd, value)
+        if self.recording is not None:
+            self.recording.append((REC_FMR, self.proc_id, instr.rd,
+                                   instr.qubit))
         self.ces.classical(self._step_of(instr), 1)
         self.state = ProcState.RUNNING
         self._schedule_cycle(1)
 
     def _dispatch_mrce(self, instr: Mrce) -> tuple[bool, bool]:
-        """Dispatch an MRCE from the buffer head.
+        """Dispatch the MRCE at the buffer head.
 
         Returns ``(handled, stalled)``.
         """
         if self.config.fast_context_switch:
             qubits = (instr.result_qubit, instr.target_qubit)
             if self.contexts.conflicts_with(qubits):
-                self._stall_on_context_super([instr])
+                self._stall_on_context_super(qubits)
                 return False, True
             if self._execute_mrce_fast(instr):
                 self._buffer.popleft()
                 return True, False
-            self._stall_on_context_super([instr])
+            self._stall_on_context_super(qubits)
             return False, True
         self._buffer.popleft()
         if self._execute_mrce_blocking(instr):
@@ -266,13 +293,7 @@ class SuperscalarProcessor(ProcessorCore):
         # superscalar fetch is driven by _fetch_pc, not pc).
         return False, True
 
-    def _stall_on_context_super(self, instrs: list) -> None:
-        touched: list[int] = []
-        for instr in instrs:
-            if isinstance(instr, Mrce):
-                touched.extend((instr.result_qubit, instr.target_qubit))
-            else:
-                touched.extend(instr.qubits)
+    def _stall_on_context_super(self, qubits: tuple[int, ...]) -> None:
         self.state = ProcState.WAIT_CONTEXT
-        self._waiting_qubits = tuple(touched)
+        self._waiting_qubits = tuple(qubits)
         self._stall_began_ns = self.kernel.now

@@ -88,6 +88,10 @@ class QuAPESystem:
     memory: InstructionMemory | None = None
     table: BlockInfoTable | None = None
     channel_map: ChannelMap | None = None
+    #: Trace-cache chronological recording stream: when set, every
+    #: processor appends its classical-effect and decision entries to
+    #: it (see :mod:`repro.qcp.tracecache`).
+    recorder: list | None = None
 
     def __post_init__(self) -> None:
         if self.n_processors < 1:
@@ -133,10 +137,12 @@ class QuAPESystem:
         cache = PrivateInstructionCache(self.memory)
         cls = SuperscalarProcessor if self.config.is_superscalar \
             else ScalarProcessor
-        return cls(proc_id=proc_id, kernel=self.kernel,
+        core = cls(proc_id=proc_id, kernel=self.kernel,
                    config=self.config, cache=cache, shared=self.shared,
                    results=self.results, emitter=self.emitter,
                    trace=self.trace, on_done=self._processor_done)
+        core.recording = self.recorder
+        return core
 
     def _processor_done(self, processor: ProcessorCore) -> None:
         self.scheduler.processor_finished(processor)

@@ -1,0 +1,629 @@
+"""Decision-keyed trace cache: replay shots without the event kernel.
+
+The paper's central observation — control flow is deterministic between
+measurement results — makes shot execution cacheable: with an ideal
+(noiseless) substrate and a fixed program, everything a shot does is a
+pure function of the *control-flow decisions* taken so far, and every
+decision is itself a pure function of the measurement outcomes the
+classical code has consumed.  Two shots that resolve the same decision
+sequence execute identical control-stack behaviour: the same quantum
+operations reach the QPU in the same order at the same simulated
+times, however their individual measurement outcomes differ.
+
+That last point is what makes the cache effective on QEC workloads: a
+Shor-syndrome shot draws dozens of random readout bits, but folds them
+into parities whose *votes* are identical shot after shot — so all
+those shots share one decision path and replay from a trie that stays
+a handful of nodes deep.
+
+:class:`TraceCache` stores executed shots in a trie keyed by the
+decision sequence.  A node holds the *segment* of work between two
+decisions, in chronological (kernel-event) order:
+
+* device-level backend operations (gates/resets) — replayed through
+  compiled batched closures
+  (:meth:`~repro.qpu.backend.SimulationBackend.compile_ops`);
+* measurements — executed **live** against the backend so each shot
+  draws its own outcomes (one rng draw per measurement/reset keeps the
+  replay draw-for-draw aligned with the recording simulation);
+* the executed classical micro-ops (register/shared-memory writes) and
+  measurement-result fetches — replayed against a lightweight
+  register-file facade, because the next decision must be *computed*
+  from this shot's own outcomes, not assumed from the recording.
+
+Edges leave a node at its recorded decision point: a data-dependent
+branch (keyed by taken/not-taken, evaluated by re-running the compiled
+branch micro-op on the facade) or an MRCE resolution (keyed by the
+consumed result bit).  Leaves record the shot's completion time, which
+is equally decision-determined.
+
+* The **first** shot down any decision path runs the full
+  cycle-accurate simulation (kernel events, processor cycles,
+  scheduler, emitter) with a :class:`RecordingQPU` proxy and processor
+  recording hooks capturing the chronological stream, then extends the
+  trie.
+* **Every subsequent** shot re-computes its decisions during replay; a
+  decision with no matching edge is a *miss*: the shot restarts from
+  scratch on the cycle-accurate path (same seed, so the rng replays
+  the identical outcome sequence) and records the new branch.
+
+Not cacheable (the shot engine falls back to cycle-accurate execution):
+
+* custom ``qpu_factory`` devices — the cache cannot see inside them;
+* noisy substrates — noise draws break decision-determinism (the rng
+  is consumed outside measurement/reset) and readout corruption
+  decouples the delivered bit from the collapsed state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.circuit.gates import lookup_gate
+from repro.qcp.config import QCPConfig
+from repro.qcp.registers import RegisterFile, SharedRegisters
+from repro.qpu.backend import SimulationBackend
+from repro.qpu.device import SimulatedQPU
+from repro.qpu.stabilizer import (StabilizerState,
+                                  _CLIFFORD_DECOMPOSITIONS,
+                                  _TWO_QUBIT_DECOMPOSITIONS)
+
+# Chronological-stream entry tags (recording side).
+REC_GATE = "gate"
+REC_RESET = "reset"
+REC_MEAS = "meas"
+REC_CLS = "cls"
+REC_FMR = "fmr"
+REC_DEC = "dec"
+REC_MDEC = "mdec"
+
+# Compiled node-program item codes (replay side).
+_I_OPS = 0     # (_I_OPS, compiled_backend_closure)
+_I_MEAS = 1    # (_I_MEAS, qubit)
+_I_CLS = 2     # (_I_CLS, proc_id, run)
+_I_FMR = 3     # (_I_FMR, proc_id, rd, qubit)
+
+# Decision kinds.
+_D_BRANCH = 0  # (_D_BRANCH, proc_id, run)
+_D_MRCE = 1    # (_D_MRCE, result_qubit)
+
+# Compiled *sign-trace* op codes (stabilizer backend only, see
+# _compile_sign_node): the replay state is a single arbitrary-precision
+# integer holding the tableau's sign column, one bit per row.
+_S_XOR = 0      # (_S_XOR, mask)                      r ^= mask
+_S_MEAS_R = 1   # (_S_MEAS_R, qubit, pivot, pm, tmask, gmask)
+_S_MEAS_D = 2   # (_S_MEAS_D, qubit, rowsmask, ghalf)
+_S_RESET_R = 3  # (_S_RESET_R, pivot, pm, tmask, gmask, zmask)
+_S_RESET_D = 4  # (_S_RESET_D, rowsmask, ghalf, zmask)
+_S_CLS = 5      # (_S_CLS, proc_id, run)
+_S_FMR = 6      # (_S_FMR, proc_id, rd, qubit)
+
+
+class TraceDivergenceError(RuntimeError):
+    """A recorded shot contradicted the trie.
+
+    Control flow stopped being a pure function of the decision history
+    — e.g. a noisy or externally mutated substrate slipped past the
+    cacheability gate.
+    """
+
+
+class _ReplayProcessor:
+    """Register-level facade a compiled classical micro-op runs against.
+
+    Presents exactly the attributes the micro-ops touch: the register
+    file, the shared registers, the config (branch penalties) and a
+    throwaway ``pc`` for branch targets.
+    """
+
+    __slots__ = ("registers", "shared", "config", "pc")
+
+    def __init__(self, shared: SharedRegisters, config: QCPConfig) -> None:
+        self.registers = RegisterFile()
+        self.shared = shared
+        self.config = config
+        self.pc = 0
+
+
+class TraceNode:
+    """One trie node: the work segment up to the next decision point.
+
+    ``items is None`` marks an unexplored node (created as a child edge
+    but not yet recorded).  A recorded node is *interior* when
+    ``decision`` is set and a *leaf* (shot end) when it is ``None``;
+    leaves carry the shot's ``total_ns``.
+    """
+
+    __slots__ = ("items", "decision", "children", "total_ns",
+                 "_program", "_program_state", "_exit_xz")
+
+    def __init__(self) -> None:
+        self.items: tuple | None = None
+        self.decision: tuple | None = None
+        self.children: dict[int, TraceNode] = {}
+        self.total_ns = 0
+        self._program: list | None = None
+        self._program_state: SimulationBackend | None = None
+        #: Stabilizer sign-trace compilation: model (x, z) bit matrices
+        #: at node exit, the entry state for compiling child nodes.
+        self._exit_xz: tuple[np.ndarray, np.ndarray] | None = None
+
+    def program(self, state: SimulationBackend) -> list:
+        """This node's generic replay program, compiled for ``state``."""
+        if self._program is None or self._program_state is not state:
+            program = []
+            for item in self.items:
+                if item[0] == _I_OPS:
+                    program.append((_I_OPS, state.compile_ops(item[1])))
+                else:
+                    program.append(item)
+            self._program = program
+            self._program_state = state
+        return self._program
+
+    def sign_program(self, state: StabilizerState,
+                     parent: "TraceNode | None") -> list:
+        """This node's compiled sign-trace (stabilizer backends).
+
+        Along a fixed decision path, the tableau's x/z bit matrices are
+        *shot-invariant*: gates and measurement collapses never read
+        the sign column, so only the signs differ between shots.  The
+        node's segment therefore compiles to a handful of integer
+        bit operations on the packed sign column (see
+        :func:`_compile_sign_node`); the compile-time model tableau is
+        chained from the parent node's exit snapshot.
+        """
+        if self._program is None or self._program_state is not state:
+            if parent is None:
+                n = state.n_qubits
+                rows = 2 * n + 1
+                x = np.zeros((rows, n), dtype=np.uint8)
+                z = np.zeros((rows, n), dtype=np.uint8)
+                idx = np.arange(n)
+                x[idx, idx] = 1
+                z[n + idx, idx] = 1
+            else:
+                x = parent._exit_xz[0].copy()
+                z = parent._exit_xz[1].copy()
+            self._program = _compile_sign_node(self.items,
+                                               state.n_qubits, x, z)
+            self._exit_xz = (x, z)
+            self._program_state = state
+        return self._program
+
+
+def _bitmask(rows: np.ndarray | list) -> int:
+    """Pack row indices (or a 0/1 row vector) into an integer mask."""
+    mask = 0
+    for index in np.nonzero(rows)[0]:
+        mask |= 1 << int(index)
+    return mask
+
+
+def _index_mask(indices) -> int:
+    mask = 0
+    for index in indices:
+        mask |= 1 << int(index)
+    return mask
+
+
+def _flip_h(x: np.ndarray, z: np.ndarray, a: int) -> np.ndarray:
+    flip = x[:, a] & z[:, a]
+    x[:, a], z[:, a] = z[:, a].copy(), x[:, a].copy()
+    return flip
+
+
+def _flip_s(x: np.ndarray, z: np.ndarray, a: int) -> np.ndarray:
+    flip = x[:, a] & z[:, a]
+    z[:, a] ^= x[:, a]
+    return flip
+
+
+def _flip_x(x: np.ndarray, z: np.ndarray, a: int) -> np.ndarray:
+    return z[:, a]
+
+
+def _flip_z(x: np.ndarray, z: np.ndarray, a: int) -> np.ndarray:
+    return x[:, a]
+
+
+def _flip_y(x: np.ndarray, z: np.ndarray, a: int) -> np.ndarray:
+    return x[:, a] ^ z[:, a]
+
+
+_FLIP_ONE_QUBIT = {"h": _flip_h, "s": _flip_s, "x": _flip_x,
+                   "z": _flip_z, "y": _flip_y}
+
+
+def _flip_cnot(x: np.ndarray, z: np.ndarray, a: int, b: int) -> np.ndarray:
+    flip = x[:, a] & z[:, b] & (x[:, b] ^ z[:, a] ^ 1)
+    x[:, b] ^= x[:, a]
+    z[:, a] ^= z[:, b]
+    return flip
+
+
+def _compile_sign_measure(x: np.ndarray, z: np.ndarray, n: int,
+                          qubit: int, reset: bool) -> tuple:
+    """Compile one measurement (or reset) against the model tableau.
+
+    Mirrors :meth:`StabilizerState.measure` with the sign column
+    abstracted out: the pivot/target/row selections and the CHP ``g``
+    phase contributions depend only on x/z, so they become constants;
+    what remains at replay time is sign parity and the rng draw.
+    """
+    column = x[n:2 * n, qubit]
+    first = int(column.argmax())
+    if column[first]:
+        pivot = n + first
+        targets = np.nonzero(x[:, qubit])[0]
+        targets = targets[targets != pivot]
+        tmask = _index_mask(targets)
+        gmask = 0
+        if targets.size:
+            x1 = x[pivot].astype(np.int16)
+            z1 = z[pivot].astype(np.int16)
+            x2 = x[targets].astype(np.int16)
+            z2 = z[targets].astype(np.int16)
+            g = StabilizerState._g_terms(x1, z1, x2, z2).sum(
+                axis=1, dtype=np.int64) % 4 // 2
+            gmask = _index_mask(targets[g.astype(bool)])
+            # The batch rowsum multiplies the pivot into every target
+            # row's Pauli part as well.
+            x[targets] ^= x[pivot]
+            z[targets] ^= z[pivot]
+        # Model collapse: the pivot's destabilizer inherits the old
+        # stabilizer; the pivot row becomes +/- Z_qubit.
+        x[pivot - n] = x[pivot]
+        z[pivot - n] = z[pivot]
+        x[pivot] = 0
+        z[pivot] = 0
+        z[pivot, qubit] = 1
+        if reset:
+            return (_S_RESET_R, pivot, pivot - n, tmask, gmask,
+                    _bitmask(z[:, qubit]))
+        return (_S_MEAS_R, qubit, pivot, pivot - n, tmask, gmask)
+    hits = np.nonzero(x[:n, qubit])[0]
+    ghalf = 0
+    rowsmask = 0
+    if hits.size:
+        rows = hits + n
+        rowsmask = _index_mask(rows)
+        x1 = x[rows].astype(np.int16)
+        z1 = z[rows].astype(np.int16)
+        x2 = np.zeros_like(x1)
+        z2 = np.zeros_like(z1)
+        np.bitwise_xor.accumulate(x1[:-1], axis=0, out=x2[1:])
+        np.bitwise_xor.accumulate(z1[:-1], axis=0, out=z2[1:])
+        g = int(StabilizerState._g_terms(x1, z1, x2, z2).sum(
+            dtype=np.int64))
+        ghalf = (g % 4) // 2
+    if reset:
+        return (_S_RESET_D, rowsmask, ghalf, _bitmask(z[:, qubit]))
+    return (_S_MEAS_D, qubit, rowsmask, ghalf)
+
+
+def _compile_sign_node(items: tuple, n: int, x: np.ndarray,
+                       z: np.ndarray) -> list:
+    """Compile a node's segment into sign-column operations.
+
+    ``x``/``z`` is the model tableau at node entry; it is advanced in
+    place to the node's exit state.  Consecutive gates fold into a
+    single XOR mask — an entire gate run costs one integer XOR at
+    replay time.
+    """
+    program: list = []
+    pending = 0
+
+    def flush() -> None:
+        nonlocal pending
+        if pending:
+            program.append((_S_XOR, pending))
+            pending = 0
+
+    for item in items:
+        code = item[0]
+        if code == _I_OPS:
+            for kind, name, qubits, _params in item[1]:
+                if kind == "reset":
+                    flush()
+                    program.append(_compile_sign_measure(
+                        x, z, n, qubits[0], reset=True))
+                elif name in _CLIFFORD_DECOMPOSITIONS:
+                    for primitive in _CLIFFORD_DECOMPOSITIONS[name]:
+                        pending ^= _bitmask(
+                            _FLIP_ONE_QUBIT[primitive](x, z, qubits[0]))
+                else:
+                    for primitive, a, b in \
+                            _TWO_QUBIT_DECOMPOSITIONS[name]:
+                        if primitive == "cnot":
+                            pending ^= _bitmask(
+                                _flip_cnot(x, z, qubits[a], qubits[b]))
+                        else:
+                            pending ^= _bitmask(
+                                _FLIP_ONE_QUBIT[primitive](x, z,
+                                                           qubits[a]))
+        elif code == _I_MEAS:
+            flush()
+            program.append(_compile_sign_measure(x, z, n, item[1],
+                                                 reset=False))
+        elif code == _I_CLS:
+            flush()
+            program.append((_S_CLS, item[1], item[2]))
+        else:  # _I_FMR
+            flush()
+            program.append((_S_FMR, item[1], item[2], item[3]))
+    flush()
+    return program
+
+
+class RecordingQPU:
+    """Device proxy capturing the backend-op stream of one shot.
+
+    Wraps a :class:`~repro.qpu.device.SimulatedQPU`; every attribute
+    not intercepted here delegates to it, so the control stack drives
+    the proxy exactly like the real device.  Backend operations and
+    measurement samples are appended to the shared chronological
+    ``recorded`` stream, interleaved with the classical entries the
+    processor recording hooks contribute.
+    """
+
+    def __init__(self, inner: SimulatedQPU, recorded: list) -> None:
+        self._inner = inner
+        self.recorded = recorded
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+    def apply_gate(self, time_ns: int, gate: str, qubits: tuple[int, ...],
+                   params: tuple[float, ...] = ()) -> None:
+        self._inner.apply_gate(time_ns, gate, qubits, params)
+        definition = lookup_gate(gate)
+        if definition.is_reset:
+            self.recorded.append((REC_RESET, "reset", (qubits[0],), ()))
+        else:
+            self.recorded.append((REC_GATE, definition.name,
+                                  tuple(qubits), tuple(params)))
+
+    def measure(self, time_ns: int, qubit: int) -> int:
+        outcome = self._inner.measure(time_ns, qubit)
+        self.recorded.append((REC_MEAS, qubit))
+        return outcome
+
+    def reset(self, time_ns: int, qubit: int) -> None:
+        self.apply_gate(time_ns, "reset", (qubit,))
+
+
+class TraceCache:
+    """Trie of recorded shot traces keyed by control-flow decisions."""
+
+    def __init__(self, config: QCPConfig) -> None:
+        self.config = config
+        self.root: TraceNode | None = None
+        self.hits = 0
+        self.misses = 0
+        self.nodes = 0
+
+    # -- replay ------------------------------------------------------------
+
+    def replay(self, qpu: SimulatedQPU,
+               seed: int) -> tuple[dict[int, int], int] | None:
+        """Replay one shot through the trie.
+
+        Resets/reseeds ``qpu`` and walks the trie: backend segments are
+        applied through compiled closures, measurements execute live,
+        classical micro-ops run against a register facade, and each
+        decision is re-computed from this shot's own outcomes to pick
+        the next edge.  Returns ``(last result per qubit, total ns)``
+        on a full hit, or ``None`` on a miss — the caller then runs the
+        cycle-accurate simulation with the *same seed*, which
+        reproduces the identical outcome sequence and extends the trie.
+        """
+        node = self.root
+        if node is None or node.items is None:
+            self.misses += 1
+            return None
+        qpu.restart(seed=seed)
+        state = qpu.state
+        if isinstance(state, StabilizerState):
+            return self._replay_signs(node, state)
+        measure = state.measure
+        delivered: dict[int, int] = {}
+        shared = SharedRegisters()
+        procs: dict[int, _ReplayProcessor] = {}
+        while True:
+            for item in node.program(state):
+                code = item[0]
+                if code == _I_OPS:
+                    item[1]()
+                elif code == _I_MEAS:
+                    delivered[item[1]] = measure(item[1])
+                elif code == _I_CLS:
+                    proc = procs.get(item[1])
+                    if proc is None:
+                        proc = procs[item[1]] = _ReplayProcessor(
+                            shared, self.config)
+                    item[2](proc)
+                else:  # _I_FMR
+                    proc = procs.get(item[1])
+                    if proc is None:
+                        proc = procs[item[1]] = _ReplayProcessor(
+                            shared, self.config)
+                    proc.registers.write(item[2], delivered[item[3]])
+            outcome = self._decide(node, delivered, procs, shared)
+            if outcome is None:
+                self.hits += 1
+                return delivered, node.total_ns
+            node = node.children.get(outcome)
+            if node is None or node.items is None:
+                self.misses += 1
+                return None
+
+    def _decide(self, node: TraceNode, delivered: dict[int, int],
+                procs: dict, shared: SharedRegisters) -> int | None:
+        """Re-compute the node's decision; ``None`` marks a leaf."""
+        decision = node.decision
+        if decision is None:
+            return None
+        if decision[0] == _D_BRANCH:
+            proc = procs.get(decision[1])
+            if proc is None:
+                proc = procs[decision[1]] = _ReplayProcessor(
+                    shared, self.config)
+            return 1 if decision[2](proc)[0] == "taken" else 0
+        return delivered[decision[1]]
+
+    def _replay_signs(self, node: TraceNode, state: StabilizerState
+                      ) -> tuple[dict[int, int], int] | None:
+        """Replay via the compiled sign-trace (stabilizer backends).
+
+        The whole quantum side of a segment reduces to integer bit
+        operations on the packed sign column ``r``; only rng draws,
+        delivered outcomes and the classical facade remain dynamic.
+        """
+        rng = state.rng.random
+        delivered: dict[int, int] = {}
+        shared = SharedRegisters()
+        procs: dict[int, _ReplayProcessor] = {}
+        r = 0
+        parent: TraceNode | None = None
+        while True:
+            for op in node.sign_program(state, parent):
+                code = op[0]
+                if code == _S_XOR:
+                    r ^= op[1]
+                elif code == _S_MEAS_D:
+                    outcome = ((r & op[2]).bit_count() + op[3]) & 1
+                    rng()
+                    delivered[op[1]] = outcome
+                elif code == _S_MEAS_R:
+                    _c, qubit, pivot, pm, tmask, gmask = op
+                    outcome = 1 if rng() < 0.5 else 0
+                    if (r >> pivot) & 1:
+                        r ^= gmask ^ tmask
+                        r |= 1 << pm
+                    else:
+                        r ^= gmask
+                        r &= ~(1 << pm)
+                    if outcome:
+                        r |= 1 << pivot
+                    else:
+                        r &= ~(1 << pivot)
+                    delivered[qubit] = outcome
+                elif code == _S_RESET_R:
+                    _c, pivot, pm, tmask, gmask, zmask = op
+                    outcome = 1 if rng() < 0.5 else 0
+                    if (r >> pivot) & 1:
+                        r ^= gmask ^ tmask
+                        r |= 1 << pm
+                    else:
+                        r ^= gmask
+                        r &= ~(1 << pm)
+                    if outcome:
+                        # Collapsed to |1>: the X correction flips the
+                        # sign of every row with a Z on the qubit,
+                        # the fresh +Z_qubit pivot row included.
+                        r |= 1 << pivot
+                        r ^= zmask
+                    else:
+                        r &= ~(1 << pivot)
+                elif code == _S_RESET_D:
+                    outcome = ((r & op[1]).bit_count() + op[2]) & 1
+                    rng()
+                    if outcome:
+                        r ^= op[3]
+                elif code == _S_CLS:
+                    proc = procs.get(op[1])
+                    if proc is None:
+                        proc = procs[op[1]] = _ReplayProcessor(
+                            shared, self.config)
+                    op[2](proc)
+                else:  # _S_FMR
+                    proc = procs.get(op[1])
+                    if proc is None:
+                        proc = procs[op[1]] = _ReplayProcessor(
+                            shared, self.config)
+                    proc.registers.write(op[2], delivered[op[3]])
+            outcome = self._decide(node, delivered, procs, shared)
+            if outcome is None:
+                self.hits += 1
+                return delivered, node.total_ns
+            parent = node
+            node = node.children.get(outcome)
+            if node is None or node.items is None:
+                self.misses += 1
+                return None
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, recorded: list, total_ns: int) -> None:
+        """Insert one cycle-accurately executed shot into the trie."""
+        if self.root is None:
+            self.root = TraceNode()
+            self.nodes += 1
+        node = self.root
+        items: list = []
+        ops: list = []
+
+        def flush_ops() -> None:
+            if ops:
+                items.append((_I_OPS, tuple(ops)))
+                ops.clear()
+
+        def close_node(decision: tuple | None, outcome: int | None):
+            nonlocal node, items
+            flush_ops()
+            if node.items is None:
+                node.items = tuple(items)
+                node.decision = decision
+            elif not _same_decision(node.decision, decision):
+                raise TraceDivergenceError(
+                    f"shot reached decision {decision!r} where the trie "
+                    f"recorded {node.decision!r}; execution is not "
+                    "decision-deterministic")
+            items = []
+            if decision is None:
+                return None
+            child = node.children.get(outcome)
+            if child is None:
+                child = TraceNode()
+                node.children[outcome] = child
+                self.nodes += 1
+            return child
+
+        for entry in recorded:
+            tag = entry[0]
+            if tag == REC_GATE or tag == REC_RESET:
+                ops.append(entry)
+            elif tag == REC_MEAS:
+                flush_ops()
+                items.append((_I_MEAS, entry[1]))
+            elif tag == REC_CLS:
+                flush_ops()
+                items.append((_I_CLS, entry[1], entry[2]))
+            elif tag == REC_FMR:
+                flush_ops()
+                items.append((_I_FMR, entry[1], entry[2], entry[3]))
+            elif tag == REC_DEC:
+                node = close_node((_D_BRANCH, entry[1], entry[2]),
+                                  entry[3])
+            else:  # REC_MDEC
+                node = close_node((_D_MRCE, entry[1]), entry[2])
+        leaf = close_node(None, None)
+        assert leaf is None
+        if node.total_ns == 0:
+            node.total_ns = total_ns
+
+
+def _same_decision(left: tuple | None, right: tuple | None) -> bool:
+    """Structural equality of decision points.
+
+    Branch decisions compare by (kind, processor) — the compiled
+    micro-op closure differs per decode but refers to the same static
+    instruction when the path is deterministic — and MRCE decisions by
+    (kind, result qubit).
+    """
+    if left is None or right is None:
+        return left is None and right is None
+    return left[0] == right[0] and left[1] == right[1]

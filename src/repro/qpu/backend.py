@@ -25,6 +25,13 @@ from __future__ import annotations
 
 import abc
 import random
+from typing import Callable, Sequence
+
+#: One pre-resolved backend operation: ``(kind, name, qubits, params)``
+#: where ``kind`` is ``"gate"`` (unitary) or ``"reset"``.  The name is
+#: already canonical (aliases resolved), so batched appliers can key
+#: caches on it directly.
+BackendOp = tuple[str, str, tuple[int, ...], tuple[float, ...]]
 
 
 class NonCliffordGateError(ValueError):
@@ -68,6 +75,46 @@ class SimulationBackend(abc.ABC):
     @abc.abstractmethod
     def copy(self) -> "SimulationBackend":
         """Independent deep copy of the state (shares the rng)."""
+
+    @abc.abstractmethod
+    def reinitialize(self) -> None:
+        """Return the state to |0...0> **in place**.
+
+        Unlike building a fresh backend this keeps the object identity
+        (and the rng reference) stable, so compiled operation closures
+        bound to this instance stay valid across shots.
+        """
+
+    # -- batched application (the trace-cache replay path) -----------------
+
+    def apply_ops(self, ops: Sequence[BackendOp]) -> None:
+        """Apply a pre-resolved operation stream in order.
+
+        The stream never contains measurements — those are the branch
+        points of a trace and are performed by the caller via
+        :meth:`measure` so it can observe the outcome.  Resets consume
+        exactly one rng draw each (measure + conditional flip), so a
+        batched replay stays draw-for-draw aligned with the
+        cycle-accurate simulation that recorded the stream.
+        """
+        for kind, name, qubits, params in ops:
+            if kind == "reset":
+                self.reset(qubits[0])
+            else:
+                self.apply_gate(name, qubits, params)
+
+    def compile_ops(self,
+                    ops: Sequence[BackendOp]) -> Callable[[], None]:
+        """Compile an operation stream into a replayable closure.
+
+        The returned thunk applies the stream to *this* backend
+        instance.  Subclasses specialise it (cached unitaries, fused
+        single-qubit runs, flattened tableau primitives); the default
+        simply loops over :meth:`apply_ops`.  Compiled closures must be
+        draw-for-draw and bit-for-bit equivalent to :meth:`apply_ops`.
+        """
+        frozen = tuple(ops)
+        return lambda: self.apply_ops(frozen)
 
     def _check_qubit(self, qubit: int) -> None:
         if not 0 <= qubit < self.n_qubits:

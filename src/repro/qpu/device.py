@@ -114,12 +114,14 @@ class SimulatedQPU(QPUBase):
 
         ``seed`` reseeds the measurement RNG first, making the new
         state's outcome stream reproducible (what a shot engine needs
-        to make per-shot seeds meaningful on a reused QPU).
+        to make per-shot seeds meaningful on a reused QPU).  The state
+        object is reinitialized *in place* so its identity is stable
+        across shots — compiled replay closures bound to it (trace
+        cache) survive a restart.
         """
         if seed is not None:
             self._rng.seed(seed)
-        self.state = make_backend(self.backend_name, self.n_qubits,
-                                  rng=self._rng)
+        self.state.reinitialize()
         self._windows.clear()
         self._busy_until.clear()
         self.measure_ground_probabilities.clear()

@@ -205,6 +205,20 @@ class NoiseModel:
     def __post_init__(self) -> None:
         self.rng = random.Random(self.seed)
 
+    @property
+    def is_ideal(self) -> bool:
+        """True when every channel is disabled.
+
+        Ideal noise never touches the state or the rng, which is what
+        makes a shot's behaviour a pure function of its measurement
+        outcomes — the property the trace cache
+        (:mod:`repro.qcp.tracecache`) relies on.
+        """
+        return (self.depolarizing is None
+                and self.two_qubit_depolarizing is None
+                and self.pauli is None and self.zz is None
+                and self.readout is None and self.decoherence is None)
+
     def after_gate(self, state: StateVector, gate: str,
                    qubits: tuple[int, ...]) -> None:
         """Inject gate-dependent noise after a unitary."""

@@ -27,11 +27,12 @@ Non-Clifford gates (t, rx(theta), ...) raise
 from __future__ import annotations
 
 import random
+from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.qpu.backend import (NonCliffordGateError, SimulationBackend,
-                               register_backend)
+from repro.qpu.backend import (BackendOp, NonCliffordGateError,
+                               SimulationBackend, register_backend)
 
 #: Gates the tableau can conjugate by, with their decomposition into
 #: the primitive conjugations implemented below.  Order matters: the
@@ -91,6 +92,15 @@ class StabilizerState(SimulationBackend):
         clone.z = self.z.copy()
         clone.r = self.r.copy()
         return clone
+
+    def reinitialize(self) -> None:
+        """Return to |0...0> in place (object identity preserved)."""
+        self.x.fill(0)
+        self.z.fill(0)
+        self.r.fill(0)
+        idx = np.arange(self.n_qubits)
+        self.x[idx, idx] = 1
+        self.z[self.n_qubits + idx, idx] = 1
 
     # -- primitive conjugations (vectorised over all rows) -----------------
 
@@ -160,6 +170,54 @@ class StabilizerState(SimulationBackend):
             f"{sorted(_TWO_QUBIT_DECOMPOSITIONS)} — use the "
             f"'statevector' backend for this circuit")
 
+    def compile_ops(self,
+                    ops: Sequence[BackendOp]) -> Callable[[], None]:
+        """Flatten an op stream into primitive tableau conjugations.
+
+        Name resolution, qubit validation and the Clifford
+        decomposition all happen once here; a replay is then a tight
+        loop over pre-bound primitive updates (``_h``/``_s``/``_x``/
+        ``_y``/``_z``/``_cnot``) with no per-gate lookups left.
+        """
+        from repro.circuit.gates import lookup_gate
+
+        steps: list[tuple[Callable, tuple]] = []
+        one_qubit = self._ONE_QUBIT
+        for kind, name, qubits, params in ops:
+            qubits = tuple(qubits)
+            for qubit in qubits:
+                self._check_qubit(qubit)
+            if kind == "reset":
+                steps.append((self.reset, (qubits[0],)))
+                continue
+            canonical = lookup_gate(name).name
+            if params:
+                raise NonCliffordGateError(
+                    f"parametric gate {name!r} is not Clifford; use the "
+                    f"'statevector' backend for this circuit")
+            if canonical in _CLIFFORD_DECOMPOSITIONS:
+                for primitive in _CLIFFORD_DECOMPOSITIONS[canonical]:
+                    steps.append((one_qubit[primitive],
+                                  (self, qubits[0])))
+            elif canonical in _TWO_QUBIT_DECOMPOSITIONS:
+                for primitive, a, b in _TWO_QUBIT_DECOMPOSITIONS[canonical]:
+                    if primitive == "cnot":
+                        steps.append((StabilizerState._cnot,
+                                      (self, qubits[a], qubits[b])))
+                    else:
+                        steps.append((one_qubit[primitive],
+                                      (self, qubits[a])))
+            else:
+                raise NonCliffordGateError(
+                    f"gate {name!r} is not Clifford; the stabilizer "
+                    f"backend cannot compile it")
+
+        def replay() -> None:
+            for conjugate, args in steps:
+                conjugate(*args)
+
+        return replay
+
     def apply_unitary(self, matrix: np.ndarray,
                       qubits: tuple[int, ...]) -> None:
         """Raw matrices cannot be conjugated through a tableau."""
@@ -199,6 +257,39 @@ class StabilizerState(SimulationBackend):
         self.x[h] ^= self.x[i]
         self.z[h] ^= self.z[i]
 
+    @staticmethod
+    def _g_terms(x1: np.ndarray, z1: np.ndarray, x2: np.ndarray,
+                 z2: np.ndarray) -> np.ndarray:
+        """Branchless CHP ``g`` exponents, broadcast over rows.
+
+        Integer-exact equivalent of the masked per-column assignments
+        in :meth:`_rowsum`: Y columns contribute ``z2 - x2``, X columns
+        ``z2 * (2*x2 - 1)``, Z columns ``x2 * (1 - 2*z2)`` and identity
+        columns zero.
+        """
+        return (x1 * z1 * (z2 - x2)
+                + x1 * (1 - z1) * z2 * (2 * x2 - 1)
+                + (1 - x1) * z1 * x2 * (1 - 2 * z2))
+
+    def _rowsum_batch(self, targets: np.ndarray, i: int) -> None:
+        """Multiply row ``i`` into every row in ``targets`` at once.
+
+        Each target row is independent (the multiplier row is fixed),
+        so the per-row :meth:`_rowsum` loop collapses to one 2-D
+        integer computation.  All arithmetic is exact, making the
+        result bit-identical to the sequential loop.
+        """
+        x1 = self.x[i].astype(np.int16)
+        z1 = self.z[i].astype(np.int16)
+        x2 = self.x[targets].astype(np.int16)
+        z2 = self.z[targets].astype(np.int16)
+        g = self._g_terms(x1, z1, x2, z2).sum(axis=1, dtype=np.int64)
+        phase = (2 * self.r[targets].astype(np.int64)
+                 + 2 * int(self.r[i]) + g) % 4
+        self.r[targets] = (phase // 2).astype(np.uint8)
+        self.x[targets] ^= self.x[i]
+        self.z[targets] ^= self.z[i]
+
     def _random_pivot(self, qubit: int) -> int | None:
         """Stabilizer row with an X on ``qubit``, if any.
 
@@ -206,21 +297,39 @@ class StabilizerState(SimulationBackend):
         outcome a fair coin; no such row makes it deterministic.
         """
         n = self.n_qubits
-        hits = np.nonzero(self.x[n:2 * n, qubit])[0]
-        if hits.size == 0:
+        column = self.x[n:2 * n, qubit]
+        first = int(column.argmax())
+        if not column[first]:
             return None
-        return n + int(hits[0])
+        return n + first
 
     def _deterministic_outcome(self, qubit: int) -> int:
-        """Outcome when Z_qubit is in the stabilizer group (no collapse)."""
+        """Outcome when Z_qubit is in the stabilizer group (no collapse).
+
+        The scratch row accumulates the product of the stabilizer rows
+        whose destabilizer partners carry an X on ``qubit``.  The
+        accumulator before step ``j`` is the XOR-prefix of the earlier
+        multiplier rows, so every ``g`` term is computed from prefix
+        arrays in one vectorised pass.  Every intermediate product is a
+        stabilizer-group element with a real sign (phase exponent even
+        at every step), which is what lets the per-step ``%4``/halving
+        of :meth:`_rowsum` commute with summing all terms first.
+        """
         n = self.n_qubits
-        scratch = 2 * n
-        self.x[scratch] = 0
-        self.z[scratch] = 0
-        self.r[scratch] = 0
-        for i in np.nonzero(self.x[:n, qubit])[0]:
-            self._rowsum(scratch, int(i) + n)
-        return int(self.r[scratch])
+        hits = np.nonzero(self.x[:n, qubit])[0]
+        if hits.size == 0:
+            return 0
+        rows = hits + n
+        x1 = self.x[rows].astype(np.int16)
+        z1 = self.z[rows].astype(np.int16)
+        # Accumulator (scratch-row) value before each multiplication.
+        x2 = np.zeros_like(x1)
+        z2 = np.zeros_like(z1)
+        np.bitwise_xor.accumulate(x1[:-1], axis=0, out=x2[1:])
+        np.bitwise_xor.accumulate(z1[:-1], axis=0, out=z2[1:])
+        g = int(self._g_terms(x1, z1, x2, z2).sum(dtype=np.int64))
+        total = 2 * int(self.r[rows].sum(dtype=np.int64)) + g
+        return (total % 4) // 2
 
     def probability_of_one(self, qubit: int) -> float:
         """Pre-collapse P(1): always 0, 1/2 or 1 for stabilizer states."""
@@ -244,9 +353,10 @@ class StabilizerState(SimulationBackend):
             return outcome
         outcome = 1 if self.rng.random() < 0.5 else 0
         n = self.n_qubits
-        for i in np.nonzero(self.x[:, qubit])[0]:
-            if int(i) != pivot:
-                self._rowsum(int(i), pivot)
+        targets = np.nonzero(self.x[:, qubit])[0]
+        targets = targets[targets != pivot]
+        if targets.size:
+            self._rowsum_batch(targets, pivot)
         # The pivot's destabilizer becomes the old stabilizer; the
         # pivot row collapses to +/- Z_qubit with the drawn sign.
         self.x[pivot - n] = self.x[pivot]

@@ -18,14 +18,38 @@ from __future__ import annotations
 
 import math
 import random
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.circuit.gates import lookup_gate
-from repro.qpu.backend import SimulationBackend, register_backend
+from repro.qpu.backend import (BackendOp, SimulationBackend,
+                               register_backend)
 
 #: Hard cap on the dense representation (2^24 amplitudes = 256 MiB).
 DENSE_QUBIT_LIMIT = 24
+
+#: Single-qubit gate matrices keyed by ``(name, params)``.  Gate
+#: matrices are pure functions of name and parameters, so every
+#: application of e.g. ``("h", ())`` can share one immutable array
+#: instead of rebuilding it; entries are 2x2, so even parametric
+#: sweeps keep the cache tiny.
+_UNITARY_CACHE: dict[tuple[str, tuple[float, ...]], np.ndarray] = {}
+
+
+def cached_unitary(name: str,
+                   params: tuple[float, ...] = ()) -> np.ndarray:
+    """The (immutable) single-qubit matrix of a library gate."""
+    key = (name, params)
+    matrix = _UNITARY_CACHE.get(key)
+    if matrix is None:
+        # Copy before freezing: constant gates share one module-level
+        # array that other code must stay free to read-write.
+        matrix = np.array(lookup_gate(name).unitary(params),
+                          dtype=complex)
+        matrix.setflags(write=False)
+        _UNITARY_CACHE[key] = matrix
+    return matrix
 
 
 @register_backend
@@ -59,6 +83,11 @@ class StateVector(SimulationBackend):
         clone.rng = self.rng
         clone._amplitudes = self._amplitudes.copy()
         return clone
+
+    def reinitialize(self) -> None:
+        """Return to |0...0> in place (object identity preserved)."""
+        self._amplitudes.fill(0.0)
+        self._amplitudes[0] = 1.0
 
     def _check_qubit(self, qubit: int) -> None:
         if not 0 <= qubit < self.n_qubits:
@@ -134,7 +163,42 @@ class StateVector(SimulationBackend):
         if not definition.is_unitary:
             raise ValueError(
                 f"gate {gate!r} is not unitary; use measure()/reset()")
-        self.apply_unitary(definition.unitary(tuple(params)), tuple(qubits))
+        qubits = tuple(qubits)
+        if len(qubits) == 1:
+            # Cached matrix: gate matrices only depend on (name, params).
+            self.apply_unitary(cached_unitary(definition.name,
+                                              tuple(params)), qubits)
+            return
+        self.apply_unitary(definition.unitary(tuple(params)), qubits)
+
+    def compile_ops(self,
+                    ops: Sequence[BackendOp]) -> Callable[[], None]:
+        """Compile an op stream into one closure over cached matrices.
+
+        Name/parameter resolution, qubit-count dispatch and matrix
+        construction all happen once here instead of per replay; the
+        closure is a flat list of pre-bound applications.  Matrices are
+        deliberately *not* pre-multiplied across gates: ``(U2 @ U1) v``
+        rounds differently than ``U2 (U1 v)``, and the compiled-replay
+        contract is bit-for-bit equivalence with sequential
+        :meth:`apply_gate` execution.
+        """
+        steps: list[tuple[Callable, tuple]] = []
+        for kind, name, qubits, params in ops:
+            if kind == "reset":
+                steps.append((self.reset, (qubits[0],)))
+            elif len(qubits) == 1:
+                steps.append((self._apply_single_qubit,
+                              (cached_unitary(name, params), qubits[0])))
+            else:
+                matrix = lookup_gate(name).unitary(params)
+                steps.append((self.apply_unitary, (matrix, qubits)))
+
+        def replay() -> None:
+            for apply, args in steps:
+                apply(*args)
+
+        return replay
 
     # -- non-unitary operations ------------------------------------------------
 

@@ -5,14 +5,37 @@ AWG, DAQ, QPU) advances simulated time by scheduling callbacks on a shared
 :class:`SimKernel`.  Time is kept in *nanoseconds* as an integer so that the
 100 MHz control-processor clock (10 ns period) and analog latencies compose
 without floating-point drift.
+
+Queue organisation
+==================
+
+The dominant scheduling pattern is *monotone*: a processor's cycle
+event fires and schedules the next cycle one period later, the timing
+controller appends operations to the end of its timeline, the readout
+path adds a fixed latency.  Those events arrive in nondecreasing
+``(time, priority, seq)`` order, so the kernel keeps a plain FIFO for
+the monotone run — O(1) append and pop — and falls back to a binary
+heap only for the minority of events scheduled out of order.  The next
+event is whichever front is smaller; total order (and therefore
+reproducibility) is identical to a single heap.
+
+Cancelled events are skipped lazily when they reach a queue front.  To
+keep long mixed-branch runs from growing the queues unboundedly, the
+kernel compacts both queues once cancelled entries outnumber live ones
+(see :meth:`Event.cancel`).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
+
+#: Queues smaller than this are never compacted: the lazy front-skip
+#: already bounds their overhead and compaction would just thrash.
+_COMPACT_MIN_PENDING = 16
 
 
 class SimulationError(RuntimeError):
@@ -36,14 +59,19 @@ class Event:
     callback: Callable[..., None] = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    kernel: "SimKernel | None" = field(compare=False, default=None,
+                                       repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when it is popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.kernel is not None:
+                self.kernel._note_cancel()
 
 
 class SimKernel:
-    """Priority-queue discrete-event scheduler.
+    """Hybrid FIFO/priority-queue discrete-event scheduler.
 
     >>> kernel = SimKernel()
     >>> fired = []
@@ -55,10 +83,14 @@ class SimKernel:
     """
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
+        #: Monotone run: events appended in nondecreasing order (O(1)).
+        self._fifo: deque[Event] = deque()
+        #: Out-of-order arrivals (classic binary heap).
+        self._heap: list[Event] = []
         self._seq = itertools.count()
         self._now = 0
         self._events_processed = 0
+        self._cancelled_pending = 0
 
     @property
     def now(self) -> int:
@@ -69,6 +101,11 @@ class SimKernel:
     def events_processed(self) -> int:
         """Total number of events dispatched so far."""
         return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Queue entries not yet dispatched (cancelled ones included)."""
+        return len(self._fifo) + len(self._heap)
 
     def schedule(self, delay: int, callback: Callable[..., None],
                  *args: Any, priority: int = 0) -> Event:
@@ -84,29 +121,70 @@ class SimKernel:
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}")
-        event = Event(int(time), priority, next(self._seq), callback, args)
-        heapq.heappush(self._queue, event)
+        event = Event(int(time), priority, next(self._seq), callback, args,
+                      kernel=self)
+        fifo = self._fifo
+        if not fifo or fifo[-1] < event:
+            fifo.append(event)  # monotone fast path
+        else:
+            heapq.heappush(self._heap, event)
         return event
+
+    # -- queue internals ---------------------------------------------------
+
+    def _note_cancel(self) -> None:
+        """Event.cancel() hook: compact once cancelled entries dominate."""
+        self._cancelled_pending += 1
+        pending = len(self._fifo) + len(self._heap)
+        if (pending >= _COMPACT_MIN_PENDING
+                and 2 * self._cancelled_pending > pending):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry from both queues."""
+        self._fifo = deque(e for e in self._fifo if not e.cancelled)
+        live = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(live)
+        self._heap = live
+        self._cancelled_pending = 0
+
+    def _front(self) -> Event | None:
+        """The next live event, without popping it."""
+        fifo, heap = self._fifo, self._heap
+        while fifo and fifo[0].cancelled:
+            fifo.popleft()
+            self._cancelled_pending -= 1
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._cancelled_pending -= 1
+        if fifo and (not heap or fifo[0] < heap[0]):
+            return fifo[0]
+        if heap:
+            return heap[0]
+        return None
+
+    def _pop(self, event: Event) -> None:
+        """Remove ``event`` (known to be a queue front)."""
+        if self._fifo and self._fifo[0] is event:
+            self._fifo.popleft()
+        else:
+            heapq.heappop(self._heap)
 
     def peek_time(self) -> int | None:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        if not self._queue:
-            return None
-        return self._queue[0].time
+        event = self._front()
+        return None if event is None else event.time
 
     def step(self) -> bool:
         """Dispatch the next event.  Returns ``False`` when idle."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._events_processed += 1
-            event.callback(*event.args)
-            return True
-        return False
+        event = self._front()
+        if event is None:
+            return False
+        self._pop(event)
+        self._now = event.time
+        self._events_processed += 1
+        event.callback(*event.args)
+        return True
 
     def run(self, until: int | None = None,
             max_events: int | None = None) -> None:
@@ -119,16 +197,19 @@ class SimKernel:
         """
         dispatched = 0
         while True:
-            next_time = self.peek_time()
-            if next_time is None:
+            event = self._front()
+            if event is None:
                 return
-            if until is not None and next_time > until:
+            if until is not None and event.time > until:
                 self._now = until
                 return
             if max_events is not None and dispatched >= max_events:
                 raise SimulationError(
                     f"event budget of {max_events} exhausted at t={self._now}")
-            self.step()
+            self._pop(event)
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
             dispatched += 1
 
 

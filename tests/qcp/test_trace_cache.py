@@ -1,0 +1,196 @@
+"""Tests for the decision-keyed trace cache (repro.qcp.tracecache).
+
+The load-bearing property: for any program and any seed, trace-cached
+execution must be **bit-identical** to the cycle-accurate simulation —
+same per-shot outcome streams, same histograms, same completion times —
+on both simulation backends, including the cache-miss → record →
+extend-trie paths of branchy programs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import QuantumCircuit
+from repro.compiler import compile_circuit
+from repro.isa.builder import ProgramBuilder
+from repro.qcp import (QCPConfig, ShotEngine, TraceCache, scalar_config,
+                       superscalar_config)
+from repro.qpu import PRNGQPU
+
+#: Clifford-only gate pool so every generated program runs on both
+#: backends with identically seeded outcome streams.
+GATES = ("h", "x", "s", "y90", "z")
+
+
+def bell_program():
+    circuit = QuantumCircuit(2).h(0).cnot(0, 1).measure(0).measure(1)
+    return compile_circuit(circuit).program
+
+
+@st.composite
+def branchy_programs(draw):
+    """Random well-formed programs with data-dependent control flow.
+
+    Each segment applies a few gates, then one feedback construct: a
+    measure + FMR + conditional branch (skipping a correction gate), an
+    MRCE conditional, or an active reset.  Every qubit is measured at
+    the end so histograms compare meaningfully.
+    """
+    n_qubits = draw(st.integers(2, 4))
+    builder = ProgramBuilder("branchy")
+    n_segments = draw(st.integers(1, 4))
+    for segment in range(n_segments):
+        for _ in range(draw(st.integers(0, 3))):
+            builder.qop(draw(st.sampled_from(GATES)),
+                        [draw(st.integers(0, n_qubits - 1))], timing=2)
+        kind = draw(st.integers(0, 2))
+        qubit = draw(st.integers(0, n_qubits - 1))
+        target = draw(st.integers(0, n_qubits - 1))
+        if kind == 0:
+            builder.qmeas(qubit, timing=2)
+            builder.fmr(1, qubit)
+            skip = builder.fresh_label(f"skip{segment}")
+            builder.beq(1, 0, skip)
+            builder.qop("x", [target], timing=2)
+            builder.label(skip)
+        elif kind == 1:
+            builder.qmeas(qubit, timing=2)
+            builder.mrce(qubit, target, op_if_zero="i", op_if_one="x")
+        else:
+            builder.qop("reset", [qubit], timing=2)
+    for qubit in range(n_qubits):
+        builder.qmeas(qubit, timing=4)
+    builder.halt()
+    return builder.build(), n_qubits
+
+
+def run_both(program, n_qubits, backend, config, shots):
+    """One engine per caching mode; same seeds on both."""
+    cached = ShotEngine(program, config=config, backend=backend,
+                        n_qubits=n_qubits)
+    uncached = ShotEngine(program,
+                          config=config.with_(trace_cache=False),
+                          backend=backend, n_qubits=n_qubits)
+    assert cached.trace_cache is not None
+    assert uncached.trace_cache is None
+    return cached, uncached, shots
+
+
+@settings(max_examples=20, deadline=None)
+@given(branchy_programs(), st.sampled_from(("statevector", "stabilizer")))
+def test_cached_execution_is_bit_identical(case, backend):
+    program, n_qubits = case
+    cached, uncached, shots = run_both(program, n_qubits, backend,
+                                       scalar_config(), 8)
+    for seed in range(shots):
+        fast = cached.run_shot(seed)
+        slow = uncached.run_shot(seed)
+        assert fast == slow, f"seed {seed} diverged"
+    # Histogram comparison over a fresh pair of engines (run() uses
+    # sequential seeds itself).
+    cached2, uncached2, _ = run_both(program, n_qubits, backend,
+                                     scalar_config(), 8)
+    fast_result = cached2.run(shots)
+    slow_result = uncached2.run(shots)
+    assert fast_result.counts == slow_result.counts
+    assert fast_result.total_ns == slow_result.total_ns
+    assert fast_result.measured_qubits == slow_result.measured_qubits
+
+
+@settings(max_examples=10, deadline=None)
+@given(branchy_programs())
+def test_cached_execution_matches_on_superscalar(case):
+    program, n_qubits = case
+    cached, uncached, shots = run_both(
+        program, n_qubits, "stabilizer", superscalar_config(4), 6)
+    for seed in range(shots):
+        assert cached.run_shot(seed) == uncached.run_shot(seed)
+
+
+class TestTrieBehaviour:
+    def test_first_shot_misses_then_replays(self):
+        engine = ShotEngine(bell_program())
+        cache = engine.trace_cache
+        engine.run_shot(0)
+        assert (cache.hits, cache.misses) == (0, 1)
+        # A Bell shot has no data-dependent decision, so the trie is a
+        # single path and *any* seed replays — outcomes still differ.
+        engine.run_shot(1)
+        assert (cache.hits, cache.misses) == (1, 1)
+        first, _ = engine.run_shot(7)
+        second, _ = engine.run_shot(5)
+        assert cache.hits == 3
+
+    def test_miss_extends_trie_then_hits(self):
+        builder = ProgramBuilder("rus")
+        retry = builder.label("retry")
+        builder.qop("h", [0])
+        builder.qmeas(0, timing=2)
+        builder.fmr(1, 0)
+        builder.bne(1, 0, retry)  # loop until the qubit reads 0
+        builder.halt()
+        program = builder.build()
+        engine = ShotEngine(program, n_qubits=1)
+        cache = engine.trace_cache
+        results = [engine.run_shot(seed) for seed in range(40)]
+        # Every distinct retry count is one recorded path; once seen,
+        # later shots with the same count replay from the trie.
+        assert cache.hits > cache.misses
+        assert cache.hits + cache.misses == 40
+        uncached = ShotEngine(
+            program, config=QCPConfig(trace_cache=False), n_qubits=1)
+        assert results == [uncached.run_shot(seed) for seed in range(40)]
+
+    def test_replayed_shots_reproduce_recorded_seed(self):
+        engine = ShotEngine(bell_program())
+        recorded = engine.run_shot(3)   # miss: cycle-accurate
+        replayed = engine.run_shot(3)   # hit: trie replay
+        assert recorded == replayed
+
+    def test_trie_stats_exposed(self):
+        engine = ShotEngine(bell_program())
+        engine.run(10)
+        cache = engine.trace_cache
+        assert cache.nodes >= 1
+        assert cache.hits + cache.misses == 10
+
+
+class TestCacheGating:
+    def test_config_flag_disables_cache(self):
+        engine = ShotEngine(bell_program(),
+                            config=QCPConfig(trace_cache=False))
+        assert engine.trace_cache is None
+
+    def test_custom_qpu_factory_disables_cache(self):
+        engine = ShotEngine(bell_program(),
+                            qpu_factory=lambda seed: PRNGQPU(2))
+        assert engine.trace_cache is None
+
+    def test_cache_enabled_by_default(self):
+        engine = ShotEngine(bell_program())
+        assert isinstance(engine.trace_cache, TraceCache)
+
+
+class TestSteaneWorkload:
+    """The workload the trace cache was built for: one decision path."""
+
+    def test_steane_shots_identical_and_single_path(self):
+        from repro.benchlib.steane import (N_QUBITS,
+                                           build_shor_syndrome_program)
+        program = build_shor_syndrome_program(rounds=2)
+        cached = ShotEngine(program, backend="stabilizer",
+                            n_qubits=N_QUBITS)
+        uncached = ShotEngine(program,
+                              config=QCPConfig(trace_cache=False),
+                              backend="stabilizer", n_qubits=N_QUBITS)
+        fast = cached.run(12)
+        slow = uncached.run(12)
+        assert fast.counts == slow.counts
+        assert fast.total_ns == slow.total_ns
+        cache = cached.trace_cache
+        # Verification parities are deterministic on an ideal
+        # substrate, so every shot shares one decision path.
+        assert cache.misses == 1
+        assert cache.hits == 11

@@ -82,6 +82,82 @@ class TestCancellation:
         event.cancel()
         assert kernel.peek_time() == 15
 
+    def test_mass_cancellation_compacts_queue(self):
+        # Cancelled events must not linger until popped: once they
+        # outnumber live ones the kernel compacts both queues, so long
+        # mixed-branch runs cannot grow the heap unboundedly.
+        kernel = SimKernel()
+        doomed = [kernel.schedule(1000 + i, lambda: None)
+                  for i in range(100)]
+        keeper = kernel.schedule(5000, lambda: None)
+        assert kernel.pending_events == 101
+        for event in doomed:
+            event.cancel()
+        # Compaction is lazy (triggered at >50% cancelled, with a small
+        # floor below which the front-skip suffices), so a handful of
+        # cancelled entries may remain — but not the bulk.
+        assert kernel.pending_events <= 16
+        kernel.run()
+        assert kernel.now == 5000
+
+    def test_double_cancel_counts_once(self):
+        kernel = SimKernel()
+        events = [kernel.schedule(10 + i, lambda: None)
+                  for i in range(50)]
+        for event in events[:20]:
+            event.cancel()
+            event.cancel()  # idempotent: must not skew the ratio
+        kernel.run()
+        assert kernel.events_processed == 30
+
+    def test_compaction_preserves_order(self):
+        kernel = SimKernel()
+        fired = []
+        events = [kernel.schedule(10 * i, fired.append, i)
+                  for i in range(60)]
+        for event in events[::2]:
+            event.cancel()
+        kernel.run()
+        assert fired == list(range(1, 60, 2))
+
+
+class TestHybridQueue:
+    def test_out_of_order_scheduling_interleaves_with_monotone(self):
+        # Monotone appends ride the FIFO; earlier-time arrivals go to
+        # the heap.  Dispatch must interleave them in global order.
+        kernel = SimKernel()
+        fired = []
+        for time in (10, 20, 30, 40):
+            kernel.schedule_at(time, fired.append, time)
+        kernel.schedule_at(15, fired.append, 15)
+        kernel.schedule_at(35, fired.append, 35)
+        kernel.schedule_at(5, fired.append, 5)
+        kernel.run()
+        assert fired == [5, 10, 15, 20, 30, 35, 40]
+
+    def test_priority_out_of_order_between_same_time_events(self):
+        kernel = SimKernel()
+        fired = []
+        kernel.schedule(10, fired.append, "first")
+        kernel.schedule(10, fired.append, "urgent", priority=-1)
+        kernel.schedule(10, fired.append, "last")
+        kernel.run()
+        assert fired == ["urgent", "first", "last"]
+
+    @given(st.lists(st.tuples(st.integers(0, 500), st.integers(-3, 3)),
+                    min_size=1, max_size=80))
+    def test_random_schedules_dispatch_in_total_order(self, entries):
+        kernel = SimKernel()
+        observed = []
+        for time, priority in entries:
+            kernel.schedule_at(
+                time, lambda t=time, p=priority:
+                observed.append((kernel.now, p)), priority=priority)
+        kernel.run()
+        times = [t for t, _ in observed]
+        assert times == sorted(times)
+        assert len(observed) == len(entries)
+
 
 class TestRunBounds:
     def test_run_until_stops_before_later_events(self):
