@@ -1,18 +1,29 @@
 """Machine-readable shot-throughput baseline (``BENCH_shots.json``).
 
-Runs the shot-throughput suite — repetition-chain syndrome memories
-from 9 to 101 qubits plus the 37-qubit Steane Shor-syndrome benchmark —
-through the compile-once :class:`~repro.qcp.shots.ShotEngine` twice:
-once with the trace cache disabled (every shot cycle-accurate) and once
-enabled (decision-trie replay).  The result is written as JSON so future
-PRs have a comparable perf trajectory:
+Runs the shot-throughput suite through the compile-once
+:class:`~repro.qcp.shots.ShotEngine` twice — once with the trace cache
+disabled (every shot cycle-accurate) and once enabled (decision-trie
+replay) — and writes the rates as JSON so future PRs have a comparable
+perf trajectory.  Workloads:
+
+* repetition-chain syndrome memories from 9 to 101 qubits (ideal
+  substrate);
+* the same chains on a **noisy** substrate (bit-flip Pauli channel
+  plus readout error) — the regime the noise-aware cache serves with
+  positional noise replay compiled into the sign trace;
+* the 37-qubit Steane Shor-syndrome benchmark;
+* a fair-coin RUS loop with the LRU trie bound engaged — the
+  high-path-entropy adversary, reported with node/eviction counts to
+  show memory stays bounded while throughput holds.
+
+Usage::
 
     PYTHONPATH=src python benchmarks/perf_report.py            # full suite
     PYTHONPATH=src python benchmarks/perf_report.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/perf_report.py -o out.json
 
-``--quick`` runs one small workload with tiny shot counts: it exists so
-CI can catch import/runtime regressions on the perf path without
+``--quick`` runs two small workloads with tiny shot counts: it exists
+so CI can catch import/runtime regressions on the perf path without
 asserting anything about timing on noisy runners.
 """
 
@@ -25,70 +36,119 @@ import platform
 import time
 
 from repro.benchlib.repetition import build_repetition_chain_program
+from repro.benchlib.rus import build_rus_blocks
 from repro.benchlib.steane import (N_QUBITS as STEANE_QUBITS,
                                    build_shor_syndrome_program)
 from repro.qcp import ShotEngine, scalar_config
+from repro.qpu.noise import NoiseModel, PauliChannel, ReadoutError
 
 #: (n_data, total qubits) for the repetition-chain sweep.
 CHAIN_SIZES = ((5, 9), (13, 25), (26, 51), (51, 101))
 CHAIN_ROUNDS = 2
 
+#: Chain sizes for the noisy sweep (the cache's newest regime).
+NOISY_CHAIN_SIZES = ((5, 9), (13, 25), (26, 51))
+
+#: LRU bound used by the fair-coin RUS workload — deliberately smaller
+#: than the trie the shot count would otherwise grow, so the baseline
+#: actually exercises eviction (check the ``evictions`` count in
+#: ``BENCH_shots.json``).
+RUS_MAX_NODES = 40
+
 DEFAULT_OUTPUT = pathlib.Path(__file__).parent.parent / "BENCH_shots.json"
 
 
-def _measure(program, n_qubits: int, trace_cache: bool,
-             shots: int) -> tuple[float, ShotEngine]:
-    config = scalar_config(trace_cache=trace_cache)
+def chain_noise_model() -> NoiseModel:
+    """The noisy-sweep error model: bit-flip data errors + readout.
+
+    A fresh instance per engine — noise models own their channel rng,
+    so sharing one across engines would entangle their draw streams.
+    """
+    return NoiseModel(pauli=PauliChannel(px=1e-3),
+                      readout=ReadoutError(p0_given_1=0.005,
+                                           p1_given_0=0.002))
+
+
+def _measure(program, n_qubits: int, trace_cache: bool, shots: int,
+             noise_factory=None, max_nodes: int | None = None
+             ) -> tuple[float, ShotEngine]:
+    config = scalar_config(trace_cache=trace_cache,
+                           trace_cache_max_nodes=max_nodes)
+    noise = noise_factory() if noise_factory is not None else None
     engine = ShotEngine(program, config=config, backend="stabilizer",
-                        n_qubits=n_qubits)
+                        n_qubits=n_qubits, noise=noise)
     start = time.perf_counter()
     engine.run(shots)
     elapsed = time.perf_counter() - start
     return shots / elapsed, engine
 
 
-def measure_workload(name: str, program, n_qubits: int,
-                     uncached_shots: int,
-                     cached_shots: int) -> dict:
-    uncached_rate, _ = _measure(program, n_qubits, False, uncached_shots)
-    cached_rate, engine = _measure(program, n_qubits, True, cached_shots)
+def measure_workload(program, n_qubits: int,
+                     uncached_shots: int, cached_shots: int,
+                     noise_factory=None,
+                     max_nodes: int | None = None) -> dict:
+    uncached_rate, _ = _measure(program, n_qubits, False, uncached_shots,
+                                noise_factory)
+    cached_rate, engine = _measure(program, n_qubits, True, cached_shots,
+                                   noise_factory, max_nodes)
     cache = engine.trace_cache
-    return {
+    entry = {
         "qubits": n_qubits,
         "backend": "stabilizer",
+        "noisy": noise_factory is not None,
         "uncached_shots_per_s": round(uncached_rate, 2),
         "uncached_us_per_shot": round(1e6 / uncached_rate, 1),
         "cached_shots_per_s": round(cached_rate, 2),
         "cached_us_per_shot": round(1e6 / cached_rate, 1),
         "speedup": round(cached_rate / uncached_rate, 1),
         "trace_cache": {"hits": cache.hits, "misses": cache.misses,
-                        "nodes": cache.nodes},
+                        "resumes": cache.resumes, "nodes": cache.nodes,
+                        "evictions": cache.evictions},
     }
+    if max_nodes is not None:
+        entry["trace_cache"]["max_nodes"] = max_nodes
+    return entry
 
 
 def run_suite(quick: bool = False) -> dict:
     workloads: dict[str, dict] = {}
     sizes = CHAIN_SIZES[:1] if quick else CHAIN_SIZES
+    noisy_sizes = NOISY_CHAIN_SIZES[:1] if quick else NOISY_CHAIN_SIZES
     uncached_shots = 5 if quick else 20
     cached_shots = 50 if quick else 400
     for n_data, n_qubits in sizes:
         program = build_repetition_chain_program(
             n_data, rounds=CHAIN_ROUNDS, encode_one=True)
         workloads[f"repetition_chain_{n_qubits}q"] = measure_workload(
-            f"repetition_chain_{n_qubits}q", program, n_qubits,
-            uncached_shots, cached_shots)
+            program, n_qubits, uncached_shots, cached_shots)
+    for n_data, n_qubits in noisy_sizes:
+        program = build_repetition_chain_program(
+            n_data, rounds=CHAIN_ROUNDS, encode_one=True)
+        workloads[f"repetition_chain_noisy_{n_qubits}q"] = \
+            measure_workload(program, n_qubits, uncached_shots,
+                             cached_shots,
+                             noise_factory=chain_noise_model)
     if not quick:
         program = build_shor_syndrome_program(rounds=3)
         workloads["steane_shor_37q"] = measure_workload(
-            "steane_shor_37q", program, STEANE_QUBITS,
-            uncached_shots, cached_shots)
+            program, STEANE_QUBITS, uncached_shots, cached_shots)
+        # High path entropy: two fair-coin RUS loops.  Cached shots
+        # equal uncached here — the point is the LRU-bounded trie and
+        # throughput parity, not a replay speedup.
+        program = build_rus_blocks(2)
+        workloads["rus_fair_coin_2x"] = measure_workload(
+            program, 6, 200, 200, max_nodes=RUS_MAX_NODES)
     return {
-        "schema": "bench-shots/v1",
+        "schema": "bench-shots/v2",
         "description": ("Shot throughput of the compile-once ShotEngine "
                         "with the cycle-accurate simulator (uncached) vs "
-                        "trace-cache replay (cached)."),
+                        "trace-cache replay (cached), on ideal and noisy "
+                        "substrates."),
         "config": {"backend": "stabilizer",
                    "chain_rounds": CHAIN_ROUNDS,
+                   "noise": "PauliChannel(px=1e-3) + "
+                            "ReadoutError(0.005, 0.002)",
+                   "rus_max_nodes": RUS_MAX_NODES,
                    "quick": quick,
                    "python": platform.python_version()},
         "workloads": workloads,
@@ -98,7 +158,7 @@ def run_suite(quick: bool = False) -> dict:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
-                        help="one small workload, tiny shot counts "
+                        help="two small workloads, tiny shot counts "
                              "(CI smoke: exercises the perf path, "
                              "asserts nothing about timing)")
     parser.add_argument("-o", "--output", type=pathlib.Path,
@@ -108,11 +168,11 @@ def main(argv: list[str] | None = None) -> int:
     report = run_suite(quick=args.quick)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
-    header = f"{'workload':<24} {'uncached/s':>11} {'cached/s':>10} " \
+    header = f"{'workload':<28} {'uncached/s':>11} {'cached/s':>10} " \
              f"{'speedup':>8}"
     print(header)
     for name, data in report["workloads"].items():
-        print(f"{name:<24} {data['uncached_shots_per_s']:>11} "
+        print(f"{name:<28} {data['uncached_shots_per_s']:>11} "
               f"{data['cached_shots_per_s']:>10} "
               f"{data['speedup']:>7}x")
     return 0

@@ -86,3 +86,57 @@ def test_trace_cache_throughput(benchmark, report):
         # On an ideal substrate these workloads have one decision path:
         # every shot after the first replays from the trie.
         assert data["cache"].misses <= 2
+
+
+def noisy_sweep():
+    from benchmarks.perf_report import chain_noise_model
+
+    chain = build_repetition_chain_program(13, rounds=2, encode_one=True)
+
+    def noisy_rate(trace_cache: bool, shots: int):
+        engine = ShotEngine(
+            chain, config=scalar_config(trace_cache=trace_cache),
+            backend="stabilizer", n_qubits=25,
+            noise=chain_noise_model())
+        start = time.perf_counter()
+        result = engine.run(shots)
+        return shots / (time.perf_counter() - start), result, engine
+
+    uncached, _, _ = noisy_rate(False, UNCACHED_SHOTS)
+    cached, _, engine = noisy_rate(True, CACHED_SHOTS)
+    _, ref, _ = noisy_rate(False, IDENTITY_SHOTS)
+    _, replayed, _ = noisy_rate(True, IDENTITY_SHOTS)
+    return {
+        "uncached": uncached, "cached": cached,
+        "speedup": cached / uncached,
+        "identical": (replayed.counts == ref.counts
+                      and replayed.total_ns == ref.total_ns),
+        "cache": engine.trace_cache,
+    }
+
+
+def test_noisy_trace_cache_throughput(benchmark, report):
+    """Noise-aware replay: noisy substrates no longer bypass the cache.
+
+    Noise draws are replayed positionally from the per-shot reseeded
+    channel rng, and divergent shots resume at the frontier, so the
+    noisy repetition chain keeps a large fraction of the ideal-path
+    speedup (measured ~13x at 25q; asserted >= 3x for noisy CI
+    runners) while staying bit-identical.
+    """
+    data = benchmark.pedantic(noisy_sweep, rounds=1, iterations=1)
+    cache = data["cache"]
+    report("trace_cache_noisy", format_table(
+        ["workload", "cycle-accurate shots/s", "trace-cache shots/s",
+         "speedup", "hits/misses (resumes)", "bit-identical"],
+        [["chain_noisy_25q",
+          f"{data['uncached']:.1f}", f"{data['cached']:.1f}",
+          f"{data['speedup']:.1f}x",
+          f"{cache.hits}/{cache.misses} ({cache.resumes})",
+          "yes" if data["identical"] else "NO"]],
+        title=("Noise-aware trace cache vs cycle-accurate shot "
+               "execution (stabilizer backend, Pauli+readout noise)")))
+    assert data["identical"], "noisy replay diverged"
+    assert data["speedup"] >= 3.0, f"only {data['speedup']:.1f}x"
+    # Noise forces divergence: the frontier-resume path must be live.
+    assert cache.resumes > 0

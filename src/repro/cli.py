@@ -53,6 +53,9 @@ def _config_from_args(args: argparse.Namespace):
             fast_context_switch=args.fast_context_switch)
     if getattr(args, "no_trace_cache", False):
         config = config.with_(trace_cache=False)
+    max_nodes = getattr(args, "trace_cache_max_nodes", None)
+    if max_nodes is not None:
+        config = config.with_(trace_cache_max_nodes=max_nodes)
     return config
 
 
@@ -112,8 +115,12 @@ def _run_shots(program, args: argparse.Namespace) -> int:
           f"{engine.qubit_count} qubits, {result.total_ns} ns total")
     cache = engine.trace_cache
     if cache is not None:
-        print(f"trace cache: {cache.hits} replayed, {cache.misses} "
-              f"simulated, {cache.nodes} trie nodes")
+        line = (f"trace cache: {cache.hits} replayed, {cache.misses} "
+                f"simulated ({cache.resumes} resumed at the divergence "
+                f"frontier), {cache.nodes} trie nodes")
+        if cache.evictions:
+            line += f", {cache.evictions} evicted"
+        print(line)
     print(f"measured qubits: "
           f"{' '.join(f'q{q}' for q in result.measured_qubits)}")
     for bits, count in sorted(result.counts.items(),
@@ -199,6 +206,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="force every shot through the cycle-accurate simulation "
              "instead of replaying cached traces (results are "
              "bit-identical either way)")
+    run_parser.add_argument(
+        "--trace-cache-max-nodes", type=int, default=None, metavar="N",
+        help="LRU bound on trace-cache trie nodes: evict the least-"
+             "recently-used decision paths once the trie exceeds N "
+             "nodes (default: unbounded; useful for high-path-entropy "
+             "workloads such as fair-coin RUS loops)")
     run_parser.set_defaults(entry=command_run)
 
     asm_parser = commands.add_parser(

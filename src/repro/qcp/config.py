@@ -60,15 +60,26 @@ class QCPConfig:
     qpu_backend: str = "statevector"
 
     # -- shot execution -----------------------------------------------------
-    #: Cache executed shot traces in an outcome-keyed trie and replay
-    #: repeated outcome prefixes straight into the QPU backend, skipping
+    #: Cache executed shot traces in a decision-keyed trie and replay
+    #: repeated decision paths straight into the QPU backend, skipping
     #: the cycle-accurate event simulation (see
     #: :mod:`repro.qcp.tracecache`).  Results are bit-identical either
-    #: way; disable to force every shot through the full control-stack
+    #: way — including on noisy substrates, whose channel draws are
+    #: replayed positionally from a per-shot reseeded noise rng;
+    #: disable to force every shot through the full control-stack
     #: model (e.g. when profiling the microarchitecture itself).  The
     #: shot engine ignores the flag automatically for substrates it
-    #: cannot cache (custom ``qpu_factory``, noisy QPUs).
+    #: cannot cache (custom ``qpu_factory`` devices, which are opaque
+    #: to the recorder).
     trace_cache: bool = True
+    #: LRU bound on trace-cache trie nodes (``None`` = unbounded).
+    #: High-path-entropy workloads — RUS loops driven by fair coins —
+    #: record a new path per novel decision sequence; the bound evicts
+    #: the least-recently-used subtrees after each recording so memory
+    #: stays O(bound).  Best-effort: the path recorded by the current
+    #: shot is never evicted, so a single path longer than the bound
+    #: keeps its nodes until a later eviction pass.
+    trace_cache_max_nodes: int | None = None
 
     # -- standalone readout path (no analog boards attached) ---------------
     #: Stage I+II latency when no DAQ model is attached; 400 ns plus the
@@ -88,6 +99,9 @@ class QCPConfig:
             raise ValueError("need at least one quantum pipeline")
         if self.buffer_capacity < self.fetch_width:
             raise ValueError("buffer must hold at least one fetch group")
+        if self.trace_cache_max_nodes is not None \
+                and self.trace_cache_max_nodes < 1:
+            raise ValueError("trace-cache node bound must be positive")
 
     @property
     def is_superscalar(self) -> bool:

@@ -164,6 +164,7 @@ def _compile_classical(instr: Instruction) -> ClassicalRun:
 
 
 def _op_for(instr: Qop | Qmeas) -> QuantumOp:
+    """The immutable, reusable QuantumOp a quantum instruction issues."""
     if isinstance(instr, Qmeas):
         return QuantumOp(gate="measure", qubits=(instr.qubit,),
                          block=instr.block, step_id=instr.step_id)
@@ -173,7 +174,23 @@ def _op_for(instr: Qop | Qmeas) -> QuantumOp:
 
 
 def decode_instruction(instr: Instruction) -> DecodedInstr:
-    """Decode one instruction into its dispatch entry (see module doc)."""
+    """Decode one instruction into its ``(kind, instr, payload)`` entry.
+
+    Called once per instruction when the
+    :class:`~repro.qcp.memory.InstructionMemory` is built; the cores
+    then dispatch on the integer ``kind`` every cycle.  Payloads by
+    kind:
+
+    * ``K_QOP`` / ``K_QMEAS`` — ``(QuantumOp, timing, step_id)``, the
+      reusable operation object plus its issue-timing label;
+    * ``K_BUNDLE`` — per-slot ``(QuantumOp, measured qubit or None,
+      slot timing)`` expansions plus the bundle's step and qubit set;
+    * ``K_MRCE`` — ``None`` (feedback needs the live instruction);
+    * ``K_CLASSICAL`` — ``(micro-op closure, hoistable, effect
+      class)``; the effect class (``E_NONE``/``E_REG``/``E_BRANCH``/
+      ``E_FMR``) tells the trace-cache recorder whether and how the
+      instruction must be captured for a functional replay.
+    """
     if isinstance(instr, Bundle):
         slots = tuple(
             (_op_for(slot),

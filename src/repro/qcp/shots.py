@@ -10,13 +10,20 @@ state (``qpu.restart()``) and wires fresh lightweight executors
 instead of rebuilding the entire world per shot.  :func:`run_shots` is
 the one-call convenience wrapper a lab script would use.
 
-On top of that, the engine keeps an outcome-keyed **trace cache**
+On top of that, the engine keeps a decision-keyed **trace cache**
 (:mod:`repro.qcp.tracecache`, ``QCPConfig.trace_cache``): the first
-shot down any measurement-outcome path runs the cycle-accurate
+shot down any control-flow decision path runs the cycle-accurate
 control-stack simulation and records the device-op stream; every
-later shot sharing that outcome prefix replays the recorded stream
+later shot sharing that decision path replays the recorded stream
 straight into the QPU backend, skipping the event kernel entirely
 while producing bit-identical outcomes, histograms and timings.
+This includes **noisy substrates** (pass ``noise=``): the per-shot
+reseeded noise rng is replayed positionally, and a replay that
+diverges from the trie resumes the cycle-accurate simulation from
+the divergence frontier (:class:`~repro.qcp.tracecache.CheckpointQPU`)
+instead of re-simulating the whole shot.  Only custom ``qpu_factory``
+devices fall back to always-cycle-accurate execution — the cache
+cannot see inside them.
 
 Backend selection
 =================
@@ -51,8 +58,10 @@ from repro.analog.channels import ChannelMap
 from repro.qcp.config import QCPConfig
 from repro.qcp.memory import InstructionMemory
 from repro.qcp.system import QuAPESystem, infer_qubit_count
-from repro.qcp.tracecache import RecordingQPU, TraceCache
+from repro.qcp.tracecache import (CheckpointQPU, RecordingQPU,
+                                  ResumePoint, TraceCache)
 from repro.qpu.device import QPUBase, SimulatedQPU
+from repro.qpu.noise import NoiseModel
 
 #: Placeholder in a bitstring for a union qubit this shot never measured.
 UNMEASURED = "-"
@@ -111,9 +120,13 @@ class ShotEngine:
     itself.
 
     ``backend`` picks the simulation backend by registry name and
-    defaults to ``config.qpu_backend``.  ``qpu_factory(seed)``, when
+    defaults to ``config.qpu_backend``.  ``noise`` attaches a
+    :class:`~repro.qpu.noise.NoiseModel` to the engine-owned QPU (its
+    channel rng is reseeded per shot, so noisy shots stay seed-
+    reproducible and trace-cacheable).  ``qpu_factory(seed)``, when
     given, takes full control of QPU construction (one call per shot,
-    preserving the historical ``run_shots`` contract).
+    preserving the historical ``run_shots`` contract) and is mutually
+    exclusive with ``noise``.
     """
 
     def __init__(self, program: Program,
@@ -121,6 +134,7 @@ class ShotEngine:
                  n_processors: int = 1,
                  n_qubits: int | None = None,
                  backend: str | None = None,
+                 noise: NoiseModel | None = None,
                  qpu_factory: Callable[[int], QPUBase] | None = None,
                  dependency_mode: DependencyMode = DependencyMode.PRIORITY,
                  seed: int = 0) -> None:
@@ -132,6 +146,11 @@ class ShotEngine:
         self.qubit_count = n_qubits or infer_qubit_count(program)
         self.dependency_mode = dependency_mode
         self.qpu_factory = qpu_factory
+        if qpu_factory is not None and noise is not None:
+            raise ValueError(
+                "noise= configures the engine-owned QPU; a custom "
+                "qpu_factory builds its own devices (give them their "
+                "own NoiseModel instead)")
         # -- compile-once artifacts, shared by every shot ----------------
         self.memory = InstructionMemory(program)
         self.table = BlockInfoTable(program, mode=dependency_mode)
@@ -139,14 +158,13 @@ class ShotEngine:
         self._qpu: QPUBase | None = None
         if qpu_factory is None:
             self._qpu = SimulatedQPU(self.qubit_count, seed=seed,
-                                     backend=self.backend)
-        # -- trace cache: replay outcome-prefix-identical shots ----------
-        # Only an engine-owned ideal SimulatedQPU is cacheable: a
-        # custom factory is opaque, and noise breaks the shot-behaviour-
-        # is-a-function-of-outcomes invariant (see tracecache module).
+                                     backend=self.backend, noise=noise)
+        # -- trace cache: replay decision-path-identical shots -----------
+        # Any engine-owned SimulatedQPU is cacheable — ideal or noisy
+        # (noise draws replay positionally from the per-shot reseeded
+        # channel rng).  A custom factory is opaque to the recorder.
         self.trace_cache: TraceCache | None = None
-        if (self.config.trace_cache and self._qpu is not None
-                and self._qpu.noise.is_ideal):
+        if self.config.trace_cache and self._qpu is not None:
             self.trace_cache = TraceCache(self.config)
 
     def _shot_qpu(self, seed: int) -> QPUBase:
@@ -166,18 +184,29 @@ class ShotEngine:
         the reused QPU's measurement RNG otherwise.
 
         With the trace cache enabled the shot first attempts a trie
-        replay (batched backend ops, no event kernel); a cache miss
-        falls back to the cycle-accurate simulation below — which,
-        reseeded identically, reproduces the same outcome prefix — and
-        records the newly explored path.  Both paths return bit-
-        identical results for the same seed.
+        replay (batched backend ops, no event kernel); a replay that
+        diverges from the trie *resumes* the cycle-accurate simulation
+        from the divergence frontier — the backend state and rng
+        positions the replay prefix left behind — behind a
+        :class:`~repro.qcp.tracecache.CheckpointQPU` proxy that skips
+        the prefix device operations, then records the newly explored
+        path.  A cold cache falls back to a full cycle-accurate shot.
+        All paths return bit-identical results for the same seed.
         """
         cache = self.trace_cache
+        resume: ResumePoint | None = None
         if cache is not None:
             replayed = cache.replay(self._qpu, seed)
-            if replayed is not None:
+            if isinstance(replayed, ResumePoint):
+                resume = replayed
+            elif replayed is not None:
                 return replayed
-        qpu = self._shot_qpu(seed)
+        if resume is not None:
+            # The replay already restarted/reseeded the QPU and drove
+            # it to the frontier; do not reset it again.
+            qpu: QPUBase = CheckpointQPU(self._qpu, resume)
+        else:
+            qpu = self._shot_qpu(seed)
         recorded: list | None = None
         if cache is not None:
             recorded = []
@@ -223,19 +252,21 @@ def run_shots(program: Program, shots: int,
               config: QCPConfig | None = None,
               n_processors: int = 1,
               n_qubits: int | None = None,
-              backend: str | None = None) -> ShotResult:
+              backend: str | None = None,
+              noise: NoiseModel | None = None) -> ShotResult:
     """Execute ``program`` ``shots`` times and histogram the outcomes.
 
     Convenience wrapper constructing a :class:`ShotEngine` (one
     program decode) and running it.  ``qpu_factory(seed)`` builds a
     fresh QPU per shot when supplied; otherwise one simulated QPU is
     built with the ``backend`` (default ``config.qpu_backend``, i.e.
-    the dense statevector) and reset between shots.  A shot's
-    bitstring records, for every qubit in the cross-shot measurement
-    union (sorted), the *last* delivered result — see
-    :class:`ShotResult` for the mixed-branch semantics.
+    the dense statevector) and the optional ``noise`` model, and reset
+    between shots.  A shot's bitstring records, for every qubit in the
+    cross-shot measurement union (sorted), the *last* delivered result
+    — see :class:`ShotResult` for the mixed-branch semantics.
     """
     engine = ShotEngine(program, config=config,
                         n_processors=n_processors, n_qubits=n_qubits,
-                        backend=backend, qpu_factory=qpu_factory)
+                        backend=backend, noise=noise,
+                        qpu_factory=qpu_factory)
     return engine.run(shots)

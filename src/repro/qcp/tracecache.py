@@ -1,14 +1,14 @@
 """Decision-keyed trace cache: replay shots without the event kernel.
 
 The paper's central observation — control flow is deterministic between
-measurement results — makes shot execution cacheable: with an ideal
-(noiseless) substrate and a fixed program, everything a shot does is a
-pure function of the *control-flow decisions* taken so far, and every
-decision is itself a pure function of the measurement outcomes the
-classical code has consumed.  Two shots that resolve the same decision
-sequence execute identical control-stack behaviour: the same quantum
-operations reach the QPU in the same order at the same simulated
-times, however their individual measurement outcomes differ.
+measurement results — makes shot execution cacheable: for a fixed
+program, everything a shot does is a pure function of the *control-flow
+decisions* taken so far, and every decision is itself a pure function
+of the measurement outcomes the classical code has consumed.  Two
+shots that resolve the same decision sequence execute identical
+control-stack behaviour: the same quantum operations reach the QPU in
+the same order at the same simulated times, however their individual
+measurement outcomes differ.
 
 That last point is what makes the cache effective on QEC workloads: a
 Shor-syndrome shot draws dozens of random readout bits, but folds them
@@ -20,9 +20,10 @@ a handful of nodes deep.
 decision sequence.  A node holds the *segment* of work between two
 decisions, in chronological (kernel-event) order:
 
-* device-level backend operations (gates/resets) — replayed through
-  compiled batched closures
-  (:meth:`~repro.qpu.backend.SimulationBackend.compile_ops`);
+* device-level backend operations (gates/resets) with their issue
+  times — replayed through compiled batched closures
+  (:meth:`~repro.qpu.backend.SimulationBackend.compile_ops`) on ideal
+  substrates, or through a timed device-level program on noisy ones;
 * measurements — executed **live** against the backend so each shot
   draws its own outcomes (one rng draw per measurement/reset keeps the
   replay draw-for-draw aligned with the recording simulation);
@@ -43,21 +44,76 @@ is equally decision-determined.
   recording hooks capturing the chronological stream, then extends the
   trie.
 * **Every subsequent** shot re-computes its decisions during replay; a
-  decision with no matching edge is a *miss*: the shot restarts from
-  scratch on the cycle-accurate path (same seed, so the rng replays
-  the identical outcome sequence) and records the new branch.
+  decision with no matching edge is a *miss* handled by
+  **checkpoint-resume at the divergence frontier** (below).
 
-Not cacheable (the shot engine falls back to cycle-accurate execution):
+Noise-aware replay
+==================
 
-* custom ``qpu_factory`` devices — the cache cannot see inside them;
-* noisy substrates — noise draws break decision-determinism (the rng
-  is consumed outside measurement/reset) and readout corruption
-  decouples the delivered bit from the collapsed state.
+Noisy :class:`~repro.qpu.device.SimulatedQPU` substrates are cacheable
+because :meth:`~repro.qpu.device.SimulatedQPU.restart` reseeds the
+noise rng per shot (see :mod:`repro.qpu.noise`): the noise trajectory
+is then a pure function of the shot seed, and a replay reproduces it
+by consuming the noise rng *positionally* — drawing at exactly the
+sites the cycle-accurate simulation would:
+
+* On the **stabilizer** backend with Pauli-only noise (depolarizing /
+  Pauli channels plus classical readout flips — everything the tableau
+  can represent, :attr:`~repro.qpu.noise.NoiseModel.is_pauli_only`),
+  noise folds into the compiled sign-trace: a Pauli injection never
+  touches the tableau's x/z bits, so the x/z evolution along a
+  decision path stays shot-invariant and each potential injection site
+  compiles to pre-computed sign masks (``_S_NOISE``).  Readout flips
+  are drawn live at each compiled measurement.
+* On the **dense** backend (or any other), a noisy replay runs the
+  node's *timed device program*: the recorded operation stream is
+  re-applied with its original issue times through the same state /
+  noise-channel / idle-decay / crosstalk-window sequence the device
+  layer performs, minus the event kernel, logging and validation.
+
+Readout corruption is drawn exactly as the device draws it, so the
+*delivered* bit (which the control stack keys decisions on) and the
+*collapsed* state (which stays uncorrupted) both match the
+cycle-accurate path bit for bit.
+
+Checkpoint-resume at the divergence frontier
+============================================
+
+A replay that reaches a decision with no recorded edge has already
+done real work: the backend state, the rng positions (measurement and
+noise) and the delivered-outcome history are all exactly at the last
+shared trie node.  Instead of discarding that and re-simulating the
+whole shot, the cache returns a :class:`ResumePoint` and the shot
+engine re-runs the cycle-accurate simulation behind a
+:class:`CheckpointQPU` proxy: the first ``skip_ops`` device operations
+(the shared prefix the control stack re-issues) are *skipped* — the
+state already includes them — and prefix measurements return the
+recorded delivered bits.  Only the divergent suffix is simulated
+against the live backend, after which the newly discovered path is
+recorded into the trie as usual.  The sign-trace replay materializes
+the frontier tableau first (its compile-time x/z model plus the live
+packed sign column) through
+:meth:`~repro.qpu.backend.SimulationBackend.restore`.
+
+LRU bound
+=========
+
+High-path-entropy workloads (RUS loops driven by fair coins) record a
+new path per novel decision sequence and would grow the trie without
+bound.  ``QCPConfig.trace_cache_max_nodes`` caps the node count:
+after each recording that exceeds the bound, the least-recently-used
+subtrees (by last replay/record visit) are evicted until the trie
+fits.  The path touched by the current shot is never evicted, so the
+bound is best-effort when a single path is longer than the cap.
+
+Not cacheable (the shot engine falls back to cycle-accurate
+execution): custom ``qpu_factory`` devices — the cache cannot see
+inside them.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -66,22 +122,25 @@ from repro.qcp.config import QCPConfig
 from repro.qcp.registers import RegisterFile, SharedRegisters
 from repro.qpu.backend import SimulationBackend
 from repro.qpu.device import SimulatedQPU
+from repro.qpu.noise import NoiseModel
 from repro.qpu.stabilizer import (StabilizerState,
                                   _CLIFFORD_DECOMPOSITIONS,
                                   _TWO_QUBIT_DECOMPOSITIONS)
 
-# Chronological-stream entry tags (recording side).
-REC_GATE = "gate"
-REC_RESET = "reset"
-REC_MEAS = "meas"
-REC_CLS = "cls"
-REC_FMR = "fmr"
-REC_DEC = "dec"
-REC_MDEC = "mdec"
+# Chronological-stream entry tags (recording side).  REC_GATE/REC_RESET
+# double as the BackendOp kind strings, so a recorded entry's first
+# four fields are a ready-made BackendOp.
+REC_GATE = "gate"   # (REC_GATE, name, qubits, params, time_ns)
+REC_RESET = "reset"  # (REC_RESET, "reset", (qubit,), (), time_ns)
+REC_MEAS = "meas"   # (REC_MEAS, qubit, time_ns)
+REC_CLS = "cls"     # (REC_CLS, proc_id, run)
+REC_FMR = "fmr"     # (REC_FMR, proc_id, rd, qubit)
+REC_DEC = "dec"     # (REC_DEC, proc_id, run, taken)
+REC_MDEC = "mdec"   # (REC_MDEC, result_qubit, value)
 
 # Compiled node-program item codes (replay side).
-_I_OPS = 0     # (_I_OPS, compiled_backend_closure)
-_I_MEAS = 1    # (_I_MEAS, qubit)
+_I_OPS = 0     # (_I_OPS, backend_ops, issue_times)
+_I_MEAS = 1    # (_I_MEAS, qubit, time_ns)
 _I_CLS = 2     # (_I_CLS, proc_id, run)
 _I_FMR = 3     # (_I_FMR, proc_id, rd, qubit)
 
@@ -99,15 +158,49 @@ _S_RESET_R = 3  # (_S_RESET_R, pivot, pm, tmask, gmask, zmask)
 _S_RESET_D = 4  # (_S_RESET_D, rowsmask, ghalf, zmask)
 _S_CLS = 5      # (_S_CLS, proc_id, run)
 _S_FMR = 6      # (_S_FMR, proc_id, rd, qubit)
+_S_NOISE = 7    # (_S_NOISE, dep_p, per_qubit_masks, pauli_cumulative)
+
+# Timed device-program step codes (noisy dense replay, see
+# TraceNode.device_program).
+_DV_GATE = 0    # (_DV_GATE, time_ns, name, qubits, params, duration)
+_DV_RESET = 1   # (_DV_RESET, time_ns, qubit, duration)
+_DV_MEAS = 2    # (_DV_MEAS, time_ns, qubit, duration)
+_DV_CLS = 3     # (_DV_CLS, proc_id, run)
+_DV_FMR = 4     # (_DV_FMR, proc_id, rd, qubit)
+
+#: Index alias for ``random.Random.choice`` at noise sites: consuming
+#: the rng through ``choice`` on a length-3 sequence is draw-for-draw
+#: identical to ``DepolarizingNoise``'s ``rng.choice(("x","y","z"))``,
+#: and the returned index selects the matching sign mask directly.
+_PAULI_INDICES = (0, 1, 2)
 
 
 class TraceDivergenceError(RuntimeError):
     """A recorded shot contradicted the trie.
 
     Control flow stopped being a pure function of the decision history
-    — e.g. a noisy or externally mutated substrate slipped past the
-    cacheability gate.
+    — e.g. an externally mutated substrate or a non-positional rng
+    consumer slipped past the cacheability gate.
     """
+
+
+@dataclass
+class ResumePoint:
+    """Where a replay stopped: the divergence frontier of a trie miss.
+
+    The backend state, rng positions and (for noisy substrates) the
+    device's busy/window bookkeeping are live at the frontier when
+    this is returned; the shot engine wraps the QPU in a
+    :class:`CheckpointQPU` built from this point so the cycle-accurate
+    re-run skips the shared prefix.
+    """
+
+    #: Device-level operations (gates + resets + measurements) the
+    #: replay already applied; the re-run skips this many.
+    skip_ops: int = 0
+    #: Delivered measurement bits of the prefix, in call order —
+    #: served to the control stack instead of re-measuring.
+    outcomes: list[int] = field(default_factory=list)
 
 
 class _ReplayProcessor:
@@ -133,22 +226,31 @@ class TraceNode:
     ``items is None`` marks an unexplored node (created as a child edge
     but not yet recorded).  A recorded node is *interior* when
     ``decision`` is set and a *leaf* (shot end) when it is ``None``;
-    leaves carry the shot's ``total_ns``.
+    leaves carry the shot's ``total_ns``.  ``devops`` counts the
+    device-level operations (gates, resets, measurements) in the
+    segment — the prefix length a checkpoint-resume must skip —
+    and ``last_used`` is the LRU stamp of the latest shot that
+    replayed or recorded through this node.
     """
 
-    __slots__ = ("items", "decision", "children", "total_ns",
-                 "_program", "_program_state", "_exit_xz")
+    __slots__ = ("items", "decision", "children", "total_ns", "devops",
+                 "last_used", "_program", "_program_state", "_exit_xz",
+                 "_device_program")
 
     def __init__(self) -> None:
         self.items: tuple | None = None
         self.decision: tuple | None = None
         self.children: dict[int, TraceNode] = {}
         self.total_ns = 0
+        self.devops = 0
+        self.last_used = 0
         self._program: list | None = None
         self._program_state: SimulationBackend | None = None
         #: Stabilizer sign-trace compilation: model (x, z) bit matrices
-        #: at node exit, the entry state for compiling child nodes.
+        #: at node exit, the entry state for compiling child nodes and
+        #: the tableau half of a divergence-frontier checkpoint.
         self._exit_xz: tuple[np.ndarray, np.ndarray] | None = None
+        self._device_program: list | None = None
 
     def program(self, state: SimulationBackend) -> list:
         """This node's generic replay program, compiled for ``state``."""
@@ -164,16 +266,19 @@ class TraceNode:
         return self._program
 
     def sign_program(self, state: StabilizerState,
-                     parent: "TraceNode | None") -> list:
+                     parent: "TraceNode | None",
+                     noise: NoiseModel) -> list:
         """This node's compiled sign-trace (stabilizer backends).
 
         Along a fixed decision path, the tableau's x/z bit matrices are
         *shot-invariant*: gates and measurement collapses never read
-        the sign column, so only the signs differ between shots.  The
+        the sign column, and Pauli-only noise injections never write
+        the x/z bits — so only the signs differ between shots.  The
         node's segment therefore compiles to a handful of integer
         bit operations on the packed sign column (see
-        :func:`_compile_sign_node`); the compile-time model tableau is
-        chained from the parent node's exit snapshot.
+        :func:`_compile_sign_node`), with one ``_S_NOISE`` site per
+        noisy gate; the compile-time model tableau is chained from the
+        parent node's exit snapshot.
         """
         if self._program is None or self._program_state is not state:
             if parent is None:
@@ -188,10 +293,47 @@ class TraceNode:
                 x = parent._exit_xz[0].copy()
                 z = parent._exit_xz[1].copy()
             self._program = _compile_sign_node(self.items,
-                                               state.n_qubits, x, z)
+                                               state.n_qubits, x, z,
+                                               noise)
             self._exit_xz = (x, z)
             self._program_state = state
         return self._program
+
+    def device_program(self) -> list:
+        """This node's timed device-level replay program.
+
+        Used for noisy substrates the sign-trace cannot model: each
+        step re-applies one recorded operation at its original issue
+        time through the same state/noise sequence the device layer
+        performs — gate-name resolution and duration lookups are done
+        once here instead of per replay.  The compiled steps depend
+        only on the recorded items (and the global gate registry), so
+        they are device-independent.
+        """
+        if self._device_program is None:
+            steps: list[tuple] = []
+            meas_duration = lookup_gate("measure").duration_ns
+            for item in self.items:
+                code = item[0]
+                if code == _I_OPS:
+                    for (kind, name, qubits, params), time_ns in \
+                            zip(item[1], item[2]):
+                        duration = lookup_gate(name).duration_ns
+                        if kind == "reset":
+                            steps.append((_DV_RESET, time_ns, qubits[0],
+                                          duration))
+                        else:
+                            steps.append((_DV_GATE, time_ns, name,
+                                          qubits, params, duration))
+                elif code == _I_MEAS:
+                    steps.append((_DV_MEAS, item[2], item[1],
+                                  meas_duration))
+                elif code == _I_CLS:
+                    steps.append((_DV_CLS, item[1], item[2]))
+                else:  # _I_FMR
+                    steps.append((_DV_FMR, item[1], item[2], item[3]))
+            self._device_program = steps
+        return self._device_program
 
 
 def _bitmask(rows: np.ndarray | list) -> int:
@@ -207,6 +349,13 @@ def _index_mask(indices) -> int:
     for index in indices:
         mask |= 1 << int(index)
     return mask
+
+
+def _unpack_signs(r: int, rows: int) -> np.ndarray:
+    """The packed sign column as a uint8 vector of ``rows`` bits."""
+    raw = np.frombuffer(r.to_bytes((rows + 7) // 8, "little"),
+                        dtype=np.uint8)
+    return np.unpackbits(raw, bitorder="little")[:rows].copy()
 
 
 def _flip_h(x: np.ndarray, z: np.ndarray, a: int) -> np.ndarray:
@@ -305,14 +454,31 @@ def _compile_sign_measure(x: np.ndarray, z: np.ndarray, n: int,
 
 
 def _compile_sign_node(items: tuple, n: int, x: np.ndarray,
-                       z: np.ndarray) -> list:
+                       z: np.ndarray, noise: NoiseModel) -> list:
     """Compile a node's segment into sign-column operations.
 
     ``x``/``z`` is the model tableau at node entry; it is advanced in
     place to the node's exit state.  Consecutive gates fold into a
     single XOR mask — an entire gate run costs one integer XOR at
     replay time.
+
+    When ``noise`` carries gate channels (depolarizing / Pauli), every
+    unitary gate additionally compiles a ``_S_NOISE`` site holding the
+    (X, Y, Z) sign masks of each touched qubit *after* the gate's
+    conjugation: a Pauli injection is sign-only, so the masks are
+    shot-invariant constants and the replay merely draws the channel
+    rng positionally and XORs the selected mask.  Reset operations get
+    no site — the device layer applies no gate noise after a reset.
     """
+    depolarizing = noise.depolarizing
+    two_qubit = noise.two_qubit_depolarizing
+    pauli = noise.pauli
+    pauli_cum = None
+    if pauli is not None:
+        pauli_cum = (pauli.px, pauli.px + pauli.py,
+                     pauli.px + pauli.py + pauli.pz)
+    has_gate_noise = (depolarizing is not None or two_qubit is not None
+                      or pauli is not None)
     program: list = []
     pending = 0
 
@@ -322,6 +488,22 @@ def _compile_sign_node(items: tuple, n: int, x: np.ndarray,
             program.append((_S_XOR, pending))
             pending = 0
 
+    def noise_site(qubits: tuple[int, ...]) -> None:
+        """One post-gate injection site: masks + channel constants."""
+        channel = depolarizing
+        if len(qubits) == 2 and two_qubit is not None:
+            channel = two_qubit
+        dep_p = channel.p if channel is not None else None
+        if dep_p is None and pauli_cum is None:
+            return
+        masks = []
+        for q in qubits:
+            x_flips = _bitmask(z[:, q])
+            z_flips = _bitmask(x[:, q])
+            masks.append((x_flips, x_flips ^ z_flips, z_flips))
+        masks = tuple(masks)
+        program.append((_S_NOISE, dep_p, masks, pauli_cum))
+
     for item in items:
         code = item[0]
         if code == _I_OPS:
@@ -330,7 +512,8 @@ def _compile_sign_node(items: tuple, n: int, x: np.ndarray,
                     flush()
                     program.append(_compile_sign_measure(
                         x, z, n, qubits[0], reset=True))
-                elif name in _CLIFFORD_DECOMPOSITIONS:
+                    continue
+                if name in _CLIFFORD_DECOMPOSITIONS:
                     for primitive in _CLIFFORD_DECOMPOSITIONS[name]:
                         pending ^= _bitmask(
                             _FLIP_ONE_QUBIT[primitive](x, z, qubits[0]))
@@ -344,6 +527,11 @@ def _compile_sign_node(items: tuple, n: int, x: np.ndarray,
                             pending ^= _bitmask(
                                 _FLIP_ONE_QUBIT[primitive](x, z,
                                                            qubits[a]))
+                if has_gate_noise:
+                    # Sign XORs commute, so the pending gate flips need
+                    # no flush — the site only draws the noise rng and
+                    # XORs masks of its own.
+                    noise_site(qubits)
         elif code == _I_MEAS:
             flush()
             program.append(_compile_sign_measure(x, z, n, item[1],
@@ -361,15 +549,17 @@ def _compile_sign_node(items: tuple, n: int, x: np.ndarray,
 class RecordingQPU:
     """Device proxy capturing the backend-op stream of one shot.
 
-    Wraps a :class:`~repro.qpu.device.SimulatedQPU`; every attribute
-    not intercepted here delegates to it, so the control stack drives
-    the proxy exactly like the real device.  Backend operations and
-    measurement samples are appended to the shared chronological
-    ``recorded`` stream, interleaved with the classical entries the
-    processor recording hooks contribute.
+    Wraps a :class:`~repro.qpu.device.SimulatedQPU` (or a
+    :class:`CheckpointQPU` around one); every attribute not intercepted
+    here delegates to it, so the control stack drives the proxy
+    exactly like the real device.  Backend operations and measurement
+    samples are appended — with their issue times, which the noisy
+    device replay needs — to the shared chronological ``recorded``
+    stream, interleaved with the classical entries the processor
+    recording hooks contribute.
     """
 
-    def __init__(self, inner: SimulatedQPU, recorded: list) -> None:
+    def __init__(self, inner, recorded: list) -> None:
         self._inner = inner
         self.recorded = recorded
 
@@ -381,64 +571,146 @@ class RecordingQPU:
         self._inner.apply_gate(time_ns, gate, qubits, params)
         definition = lookup_gate(gate)
         if definition.is_reset:
-            self.recorded.append((REC_RESET, "reset", (qubits[0],), ()))
+            self.recorded.append((REC_RESET, "reset", (qubits[0],), (),
+                                  time_ns))
         else:
             self.recorded.append((REC_GATE, definition.name,
-                                  tuple(qubits), tuple(params)))
+                                  tuple(qubits), tuple(params), time_ns))
 
     def measure(self, time_ns: int, qubit: int) -> int:
         outcome = self._inner.measure(time_ns, qubit)
-        self.recorded.append((REC_MEAS, qubit))
+        self.recorded.append((REC_MEAS, qubit, time_ns))
         return outcome
 
     def reset(self, time_ns: int, qubit: int) -> None:
         self.apply_gate(time_ns, "reset", (qubit,))
 
 
+class CheckpointQPU:
+    """Prefix-skipping device proxy for divergence-frontier resume.
+
+    Built from a :class:`ResumePoint`: the wrapped QPU's state, rng
+    positions and bookkeeping are already at the frontier, so the
+    first ``skip_ops`` device operations the re-running control stack
+    issues are dropped (their effects are live) and prefix
+    measurements return the recorded delivered bits.  Once the prefix
+    is exhausted every call passes through, simulating only the
+    divergent suffix.
+    """
+
+    def __init__(self, inner: SimulatedQPU, resume: ResumePoint) -> None:
+        self._inner = inner
+        self._skip = resume.skip_ops
+        self._outcomes = resume.outcomes
+        self._next_outcome = 0
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+    def apply_gate(self, time_ns: int, gate: str, qubits: tuple[int, ...],
+                   params: tuple[float, ...] = ()) -> None:
+        if self._skip:
+            self._skip -= 1
+            return
+        self._inner.apply_gate(time_ns, gate, qubits, params)
+
+    def measure(self, time_ns: int, qubit: int) -> int:
+        if self._skip:
+            self._skip -= 1
+            value = self._outcomes[self._next_outcome]
+            self._next_outcome += 1
+            return value
+        return self._inner.measure(time_ns, qubit)
+
+    def reset(self, time_ns: int, qubit: int) -> None:
+        self.apply_gate(time_ns, "reset", (qubit,))
+
+
 class TraceCache:
-    """Trie of recorded shot traces keyed by control-flow decisions."""
+    """Trie of recorded shot traces keyed by control-flow decisions.
+
+    Public counters: ``hits`` (full trie replays), ``misses`` (shots
+    that needed the cycle-accurate simulator, cold or resumed),
+    ``resumes`` (the subset of misses that restarted from the
+    divergence frontier instead of from scratch), ``nodes`` (live trie
+    nodes) and ``evictions`` (nodes dropped by the LRU bound).
+    """
 
     def __init__(self, config: QCPConfig) -> None:
         self.config = config
         self.root: TraceNode | None = None
+        self.max_nodes = config.trace_cache_max_nodes
         self.hits = 0
         self.misses = 0
+        self.resumes = 0
         self.nodes = 0
+        self.evictions = 0
+        self._tick = 0
 
     # -- replay ------------------------------------------------------------
 
-    def replay(self, qpu: SimulatedQPU,
-               seed: int) -> tuple[dict[int, int], int] | None:
+    def replay(self, qpu: SimulatedQPU, seed: int
+               ) -> tuple[dict[int, int], int] | ResumePoint | None:
         """Replay one shot through the trie.
 
-        Resets/reseeds ``qpu`` and walks the trie: backend segments are
-        applied through compiled closures, measurements execute live,
-        classical micro-ops run against a register facade, and each
-        decision is re-computed from this shot's own outcomes to pick
-        the next edge.  Returns ``(last result per qubit, total ns)``
-        on a full hit, or ``None`` on a miss — the caller then runs the
-        cycle-accurate simulation with the *same seed*, which
-        reproduces the identical outcome sequence and extends the trie.
+        Clears the per-shot device logs, restarts/reseeds ``qpu``
+        (measurement *and* noise rng) and walks the trie: backend
+        segments are applied through compiled closures (or the timed
+        device program on noisy dense substrates), measurements
+        execute live so each shot draws its own outcomes, classical
+        micro-ops run against a register facade, and each decision is
+        re-computed from this shot's own delivered bits to pick the
+        next edge.
+
+        Returns ``(last result per qubit, total ns)`` on a full hit; a
+        :class:`ResumePoint` on a divergence-frontier miss (the caller
+        re-runs the cycle-accurate simulation behind a
+        :class:`CheckpointQPU` and records the new branch); or
+        ``None`` when the trie is cold (first shot ever) — the caller
+        then restarts the QPU itself and simulates from scratch.
         """
         node = self.root
         if node is None or node.items is None:
             self.misses += 1
             return None
+        self._tick += 1
+        qpu.operation_log.clear()
+        qpu.timing_violations.clear()
         qpu.restart(seed=seed)
         state = qpu.state
-        if isinstance(state, StabilizerState):
-            return self._replay_signs(node, state)
+        if isinstance(state, StabilizerState) and qpu.noise.is_pauli_only:
+            return self._replay_signs(node, qpu)
+        if qpu.noise.is_ideal:
+            return self._replay_generic(node, qpu)
+        return self._replay_device(node, qpu)
+
+    def _resume_point(self, skip_ops: int, outcomes: list[int]
+                      ) -> ResumePoint:
+        self.misses += 1
+        self.resumes += 1
+        return ResumePoint(skip_ops=skip_ops, outcomes=outcomes)
+
+    def _replay_generic(self, node: TraceNode, qpu: SimulatedQPU
+                        ) -> tuple[dict[int, int], int] | ResumePoint:
+        """Ideal-substrate replay through compiled backend closures."""
+        state = qpu.state
         measure = state.measure
         delivered: dict[int, int] = {}
+        outcomes: list[int] = []
+        skip_ops = 0
         shared = SharedRegisters()
         procs: dict[int, _ReplayProcessor] = {}
         while True:
+            node.last_used = self._tick
+            skip_ops += node.devops
             for item in node.program(state):
                 code = item[0]
                 if code == _I_OPS:
                     item[1]()
                 elif code == _I_MEAS:
-                    delivered[item[1]] = measure(item[1])
+                    value = measure(item[1])
+                    delivered[item[1]] = value
+                    outcomes.append(value)
                 elif code == _I_CLS:
                     proc = procs.get(item[1])
                     if proc is None:
@@ -457,8 +729,78 @@ class TraceCache:
                 return delivered, node.total_ns
             node = node.children.get(outcome)
             if node is None or node.items is None:
-                self.misses += 1
-                return None
+                # The live backend state *is* the frontier checkpoint.
+                return self._resume_point(skip_ops, outcomes)
+
+    def _replay_device(self, node: TraceNode, qpu: SimulatedQPU
+                       ) -> tuple[dict[int, int], int] | ResumePoint:
+        """Noisy-substrate replay through the timed device program.
+
+        Re-applies the recorded operation stream at its original issue
+        times through the same state / noise-channel / idle-decay /
+        crosstalk-window sequence :class:`SimulatedQPU` performs,
+        drawing both rngs positionally — minus the event kernel,
+        operation logging, topology validation and telemetry.
+        """
+        state = qpu.state
+        noise = qpu.noise
+        busy = qpu._busy_until
+        delivered: dict[int, int] = {}
+        outcomes: list[int] = []
+        skip_ops = 0
+        shared = SharedRegisters()
+        procs: dict[int, _ReplayProcessor] = {}
+        while True:
+            node.last_used = self._tick
+            skip_ops += node.devops
+            for step in node.device_program():
+                code = step[0]
+                # The noise/decay/window hooks below run
+                # unconditionally, mirroring SimulatedQPU exactly:
+                # gating them behind channel enumerations here would
+                # fail open for channels added to the device layer
+                # later (each hook is cheap when its channels are off).
+                if code == _DV_GATE:
+                    _c, time_ns, name, qubits, params, duration = step
+                    qpu._decay_idle(time_ns, qubits)
+                    for qubit in qubits:
+                        busy[qubit] = time_ns + duration
+                    state.apply_gate(name, qubits, params)
+                    noise.after_gate(state, name, qubits)
+                    qpu._note_window(time_ns, qubits, duration)
+                elif code == _DV_MEAS:
+                    _c, time_ns, qubit, duration = step
+                    qpu._decay_idle(time_ns, (qubit,))
+                    busy[qubit] = time_ns + duration
+                    value = noise.corrupt_readout(state.measure(qubit))
+                    delivered[qubit] = value
+                    outcomes.append(value)
+                elif code == _DV_RESET:
+                    _c, time_ns, qubit, duration = step
+                    qpu._decay_idle(time_ns, (qubit,))
+                    busy[qubit] = time_ns + duration
+                    state.reset(qubit)
+                elif code == _DV_CLS:
+                    proc = procs.get(step[1])
+                    if proc is None:
+                        proc = procs[step[1]] = _ReplayProcessor(
+                            shared, self.config)
+                    step[2](proc)
+                else:  # _DV_FMR
+                    proc = procs.get(step[1])
+                    if proc is None:
+                        proc = procs[step[1]] = _ReplayProcessor(
+                            shared, self.config)
+                    proc.registers.write(step[2], delivered[step[3]])
+            outcome = self._decide(node, delivered, procs, shared)
+            if outcome is None:
+                self.hits += 1
+                return delivered, node.total_ns
+            node = node.children.get(outcome)
+            if node is None or node.items is None:
+                # Device bookkeeping (busy map, drive windows) and
+                # both rngs are live at the frontier.
+                return self._resume_point(skip_ops, outcomes)
 
     def _decide(self, node: TraceNode, delivered: dict[int, int],
                 procs: dict, shared: SharedRegisters) -> int | None:
@@ -474,43 +816,76 @@ class TraceCache:
             return 1 if decision[2](proc)[0] == "taken" else 0
         return delivered[decision[1]]
 
-    def _replay_signs(self, node: TraceNode, state: StabilizerState
-                      ) -> tuple[dict[int, int], int] | None:
+    def _replay_signs(self, node: TraceNode, qpu: SimulatedQPU
+                      ) -> tuple[dict[int, int], int] | ResumePoint:
         """Replay via the compiled sign-trace (stabilizer backends).
 
         The whole quantum side of a segment reduces to integer bit
-        operations on the packed sign column ``r``; only rng draws,
-        delivered outcomes and the classical facade remain dynamic.
+        operations on the packed sign column ``r``; only rng draws
+        (measurement *and* positional noise), delivered outcomes and
+        the classical facade remain dynamic.  On a miss, the frontier
+        tableau is materialized into the live backend — x/z from the
+        node's compile-time exit model, signs from ``r`` — so the
+        resumed cycle-accurate run continues from the checkpoint.
         """
+        state: StabilizerState = qpu.state
+        noise = qpu.noise
+        corrupt = noise.corrupt_readout
+        nrng = noise.rng
         rng = state.rng.random
         delivered: dict[int, int] = {}
+        outcomes: list[int] = []
+        skip_ops = 0
         shared = SharedRegisters()
         procs: dict[int, _ReplayProcessor] = {}
         r = 0
         parent: TraceNode | None = None
         while True:
-            for op in node.sign_program(state, parent):
+            node.last_used = self._tick
+            skip_ops += node.devops
+            for op in node.sign_program(state, parent, noise):
                 code = op[0]
                 if code == _S_XOR:
                     r ^= op[1]
                 elif code == _S_MEAS_D:
-                    outcome = ((r & op[2]).bit_count() + op[3]) & 1
+                    raw = ((r & op[2]).bit_count() + op[3]) & 1
                     rng()
-                    delivered[op[1]] = outcome
+                    value = corrupt(raw)
+                    delivered[op[1]] = value
+                    outcomes.append(value)
                 elif code == _S_MEAS_R:
                     _c, qubit, pivot, pm, tmask, gmask = op
-                    outcome = 1 if rng() < 0.5 else 0
+                    raw = 1 if rng() < 0.5 else 0
                     if (r >> pivot) & 1:
                         r ^= gmask ^ tmask
                         r |= 1 << pm
                     else:
                         r ^= gmask
                         r &= ~(1 << pm)
-                    if outcome:
+                    if raw:
                         r |= 1 << pivot
                     else:
                         r &= ~(1 << pivot)
-                    delivered[qubit] = outcome
+                    value = corrupt(raw)
+                    delivered[qubit] = value
+                    outcomes.append(value)
+                elif code == _S_NOISE:
+                    _c, dep_p, masks, pauli_cum = op
+                    if dep_p is not None:
+                        for qubit_masks in masks:
+                            if nrng.random() < dep_p:
+                                r ^= qubit_masks[
+                                    nrng.choice(_PAULI_INDICES)]
+                    if pauli_cum is not None:
+                        cx, cxy, cxyz = pauli_cum
+                        for qubit_masks in masks:
+                            draw = nrng.random()
+                            if draw < cx:
+                                r ^= qubit_masks[0]
+                            elif draw < cxy:
+                                r ^= qubit_masks[1]
+                            elif draw < cxyz:
+                                r ^= qubit_masks[2]
                 elif code == _S_RESET_R:
                     _c, pivot, pm, tmask, gmask, zmask = op
                     outcome = 1 if rng() < 0.5 else 0
@@ -552,24 +927,43 @@ class TraceCache:
             parent = node
             node = node.children.get(outcome)
             if node is None or node.items is None:
-                self.misses += 1
-                return None
+                # Materialize the frontier tableau: x/z from the last
+                # executed node's exit model, signs from the packed
+                # column.  Both rngs are already at their frontier
+                # positions.
+                exit_x, exit_z = parent._exit_xz
+                state.restore((exit_x, exit_z,
+                               _unpack_signs(r, exit_x.shape[0])))
+                return self._resume_point(skip_ops, outcomes)
 
     # -- recording ---------------------------------------------------------
 
     def record(self, recorded: list, total_ns: int) -> None:
-        """Insert one cycle-accurately executed shot into the trie."""
+        """Insert one cycle-accurately executed shot into the trie.
+
+        For a resumed shot the stream covers the whole shot (the
+        control stack re-issued the prefix through the checkpoint
+        proxy), so the walk passes through the existing prefix nodes —
+        verifying their decisions — and extends the trie at the new
+        edge.  When an LRU bound is configured and the insertion
+        pushed the node count past it, the least-recently-used
+        subtrees are evicted.
+        """
+        self._tick += 1
         if self.root is None:
             self.root = TraceNode()
             self.nodes += 1
         node = self.root
+        node.last_used = self._tick
         items: list = []
         ops: list = []
+        times: list = []
 
         def flush_ops() -> None:
             if ops:
-                items.append((_I_OPS, tuple(ops)))
+                items.append((_I_OPS, tuple(ops), tuple(times)))
                 ops.clear()
+                times.clear()
 
         def close_node(decision: tuple | None, outcome: int | None):
             nonlocal node, items
@@ -577,6 +971,10 @@ class TraceCache:
             if node.items is None:
                 node.items = tuple(items)
                 node.decision = decision
+                node.devops = sum(
+                    len(item[1]) if item[0] == _I_OPS else 1
+                    for item in node.items
+                    if item[0] == _I_OPS or item[0] == _I_MEAS)
             elif not _same_decision(node.decision, decision):
                 raise TraceDivergenceError(
                     f"shot reached decision {decision!r} where the trie "
@@ -590,15 +988,17 @@ class TraceCache:
                 child = TraceNode()
                 node.children[outcome] = child
                 self.nodes += 1
+            child.last_used = self._tick
             return child
 
         for entry in recorded:
             tag = entry[0]
             if tag == REC_GATE or tag == REC_RESET:
-                ops.append(entry)
+                ops.append(entry[:4])
+                times.append(entry[4])
             elif tag == REC_MEAS:
                 flush_ops()
-                items.append((_I_MEAS, entry[1]))
+                items.append((_I_MEAS, entry[1], entry[2]))
             elif tag == REC_CLS:
                 flush_ops()
                 items.append((_I_CLS, entry[1], entry[2]))
@@ -614,6 +1014,74 @@ class TraceCache:
         assert leaf is None
         if node.total_ns == 0:
             node.total_ns = total_ns
+        if self.max_nodes is not None and self.nodes > self.max_nodes:
+            self._evict()
+
+    # -- LRU eviction ------------------------------------------------------
+
+    def _evict(self) -> None:
+        """Drop least-recently-used subtrees until the trie fits.
+
+        One DFS scores every subtree by the newest ``last_used`` stamp
+        it contains (and its size); candidates are then detached
+        coldest-first (smallest on ties) only until the bound is met,
+        so eviction stops as soon as the excess is reclaimed.  The
+        path the current shot just used carries the newest stamp and
+        is never evicted — the bound is best-effort when that path
+        alone exceeds it.
+        """
+        newest: dict[int, int] = {}
+        sizes: dict[int, int] = {}
+        parent_of: dict[int, TraceNode | None] = {id(self.root): None}
+        candidates: list[tuple] = []  # ((stamp, size), node, parent, key)
+        stack: list[tuple] = [(self.root, None, None, False)]
+        while stack:
+            node, parent, key, done = stack.pop()
+            if not done:
+                parent_of[id(node)] = parent
+                stack.append((node, parent, key, True))
+                for edge, child in node.children.items():
+                    stack.append((child, node, edge, False))
+                continue
+            stamp = node.last_used
+            size = 1
+            for child in node.children.values():
+                child_stamp = newest[id(child)]
+                if child_stamp > stamp:
+                    stamp = child_stamp
+                size += sizes[id(child)]
+            newest[id(node)] = stamp
+            sizes[id(node)] = size
+            if parent is not None and stamp < self._tick:
+                candidates.append(((stamp, size), node, parent, key))
+        candidates.sort(key=lambda entry: entry[0])
+        detached: set[int] = set()
+        # Nodes already removed underneath each surviving ancestor, so
+        # a later-detached ancestor does not double-count a descendant
+        # subtree that went first.
+        removed_under: dict[int, int] = {}
+        for _score, node, parent, key in candidates:
+            if self.nodes <= self.max_nodes:
+                break
+            ancestor = parent
+            gone = False
+            while ancestor is not None:
+                if id(ancestor) in detached:
+                    gone = True
+                    break
+                ancestor = parent_of[id(ancestor)]
+            if gone:
+                continue
+            removed = sizes[id(node)] - removed_under.get(id(node), 0)
+            del parent.children[key]
+            detached.add(id(node))
+            self.nodes -= removed
+            self.evictions += removed
+            ancestor = parent
+            while ancestor is not None:
+                removed_under[id(ancestor)] = \
+                    removed_under.get(id(ancestor), 0) + removed
+                ancestor = parent_of[id(ancestor)]
 
 
 def _same_decision(left: tuple | None, right: tuple | None) -> bool:

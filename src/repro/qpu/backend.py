@@ -85,6 +85,35 @@ class SimulationBackend(abc.ABC):
         bound to this instance stay valid across shots.
         """
 
+    # -- checkpointing (the divergence-frontier resume path) ---------------
+
+    @abc.abstractmethod
+    def snapshot(self) -> object:
+        """An opaque, immutable-by-convention copy of the state data.
+
+        Cheaper than :meth:`copy` (no new backend object, no rng
+        plumbing); the contract is that ``restore(snapshot())`` is an
+        exact round trip.
+        """
+
+    @abc.abstractmethod
+    def restore(self, snap: object) -> None:
+        """Overwrite the state **in place** from a :meth:`snapshot`.
+
+        Object identity (and the rng reference) is preserved, so
+        compiled closures bound to this instance stay valid — same
+        contract as :meth:`reinitialize`.  The rng is deliberately
+        *not* part of the snapshot: a caller checkpointing mid-shot
+        wants the rng at its live position.
+
+        The trace cache's divergence-frontier resume usually needs no
+        explicit checkpoint — the live state after a replayed prefix
+        *is* the frontier — but its stabilizer sign-trace replay never
+        touches the real tableau, so on a miss it materializes the
+        frontier by calling ``restore`` with a *constructed* snapshot
+        (the trie node's x/z model plus the live sign column).
+        """
+
     # -- batched application (the trace-cache replay path) -----------------
 
     def apply_ops(self, ops: Sequence[BackendOp]) -> None:

@@ -110,17 +110,21 @@ class SimulatedQPU(QPUBase):
         self.measure_ground_probabilities: dict[int, float] = {}
 
     def restart(self, seed: int | None = None) -> None:
-        """Fresh |0...0> state; the log and noise RNG carry on.
+        """Fresh |0...0> state; the operation log carries on.
 
-        ``seed`` reseeds the measurement RNG first, making the new
-        state's outcome stream reproducible (what a shot engine needs
-        to make per-shot seeds meaningful on a reused QPU).  The state
-        object is reinitialized *in place* so its identity is stable
-        across shots — compiled replay closures bound to it (trace
-        cache) survive a restart.
+        ``seed`` reseeds the measurement RNG **and** the noise model's
+        channel RNG (with a salted derivation, see
+        :meth:`~repro.qpu.noise.NoiseModel.reseed`), making the new
+        state's outcome stream *and* its noise trajectory reproducible
+        — what a shot engine needs to make per-shot seeds meaningful
+        on a reused QPU, and what lets the trace cache replay noisy
+        shots bit-identically.  The state object is reinitialized *in
+        place* so its identity is stable across shots — compiled
+        replay closures bound to it (trace cache) survive a restart.
         """
         if seed is not None:
             self._rng.seed(seed)
+            self.noise.reseed(seed)
         self.state.reinitialize()
         self._windows.clear()
         self._busy_until.clear()

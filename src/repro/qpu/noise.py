@@ -12,19 +12,43 @@ The RB/simRB experiment of Figure 14 needs two error mechanisms:
 Channels are applied as stochastic Pauli/phase insertions on the pure
 state (quantum-trajectory style), so repeated runs average to the CPTP
 channel.
+
+Seeding and reproducibility
+===========================
+
+Every :class:`NoiseModel` owns a dedicated ``random.Random`` — the
+*noise rng* — that is **separate** from the measurement rng of the
+simulation backend.  Channel draws therefore never perturb measurement
+outcomes on an otherwise identical circuit, and vice versa.
+
+:meth:`NoiseModel.reseed` restarts the noise rng from a per-shot seed
+(the device's :meth:`~repro.qpu.device.SimulatedQPU.restart` calls it
+with a salted derivation of the shot seed).  That makes the entire
+noisy trajectory of a shot — which Paulis were injected where, which
+readouts were flipped — a pure function of ``(program, shot seed)``,
+which is what lets the trace cache (:mod:`repro.qcp.tracecache`)
+replay noisy shots bit-identically: a replay consumes the noise rng
+*positionally*, drawing at exactly the sites the cycle-accurate
+simulation would, so both paths see the same stream.  See
+``docs/noise.md`` for the full reproducibility contract.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
 from repro.qpu.statevector import StateVector
 
 _PAULIS = ("x", "y", "z")
+
+#: Salt XORed into the shot seed when deriving the noise-rng seed, so
+#: the noise stream never coincides with the measurement stream of the
+#: identically seeded backend rng (see :meth:`NoiseModel.reseed`).
+NOISE_SEED_SALT = 0x6E6F6973  # "nois"
 
 
 @dataclass
@@ -205,6 +229,27 @@ class NoiseModel:
     def __post_init__(self) -> None:
         self.rng = random.Random(self.seed)
 
+    def reseed(self, seed: int | None) -> None:
+        """Restart the noise rng for one shot.
+
+        ``seed`` is the *shot* seed; the rng is seeded with a salted
+        derivation (``seed ^ NOISE_SEED_SALT``) so the noise stream is
+        decorrelated from the measurement stream even though both
+        derive from the same shot seed.  ``None`` reseeds from system
+        entropy (non-reproducible, matching ``random.Random(None)``).
+
+        Per-shot reseeding is the property the trace cache relies on:
+        it makes a shot's noise trajectory a function of its seed
+        alone, so a replayed shot that consumes the rng positionally
+        draws the identical stream the cycle-accurate simulation
+        would, and a divergence-frontier resume can continue from the
+        rng position the replay prefix left behind.
+        """
+        if seed is None:
+            self.rng.seed(None)
+        else:
+            self.rng.seed(seed ^ NOISE_SEED_SALT)
+
     @property
     def is_ideal(self) -> bool:
         """True when every channel is disabled.
@@ -218,6 +263,29 @@ class NoiseModel:
                 and self.two_qubit_depolarizing is None
                 and self.pauli is None and self.zz is None
                 and self.readout is None and self.decoherence is None)
+
+    @property
+    def is_pauli_only(self) -> bool:
+        """True when every enabled channel is a Pauli injection or a
+        classical readout flip.
+
+        Such channels commute with the stabilizer formalism: a Pauli
+        insertion only flips tableau *signs* (the x/z bit matrices are
+        untouched), and a readout flip never touches the state at all.
+        This is the condition under which the trace cache can keep its
+        compiled sign-trace replay on noisy stabilizer substrates —
+        ZZ crosstalk and amplitude damping are not Clifford channels
+        and need the dense backend's device-level replay instead.
+
+        Fails **closed**: the Pauli-compatible channels are an
+        allow-list, so a channel field added to :class:`NoiseModel`
+        later is non-cacheable until it is explicitly vetted here.
+        """
+        pauli_compatible = {"depolarizing", "two_qubit_depolarizing",
+                            "pauli", "readout", "seed", "rng"}
+        return all(getattr(self, spec.name) is None
+                   for spec in fields(self)
+                   if spec.name not in pauli_compatible)
 
     def after_gate(self, state: StateVector, gate: str,
                    qubits: tuple[int, ...]) -> None:

@@ -6,6 +6,14 @@ measurement results for testing" with a configurable preparation
 *failure rate* (Section 7).  :class:`PRNGReadout` reproduces exactly
 that methodology, which also sidesteps the impossibility of
 state-vector-simulating the 37-qubit Shor-syndrome circuit.
+
+Not to be confused with
+:class:`~repro.qpu.noise.ReadoutError`: that channel *corrupts* the
+outcome a real simulated state produced (and is replayed draw-for-draw
+by the trace cache), whereas the sources here *are* the outcome — no
+quantum state exists behind them.  They attach to
+:class:`~repro.qpu.device.PRNGQPU`, which shot engines only reach via
+a custom ``qpu_factory`` and which is therefore never trace-cached.
 """
 
 from __future__ import annotations

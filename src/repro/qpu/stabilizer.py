@@ -102,6 +102,29 @@ class StabilizerState(SimulationBackend):
         self.x[idx, idx] = 1
         self.z[self.n_qubits + idx, idx] = 1
 
+    def snapshot(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Checkpoint: defensive copies of the (x, z, r) tableau."""
+        return self.x.copy(), self.z.copy(), self.r.copy()
+
+    def restore(self,
+                snap: tuple[np.ndarray, np.ndarray, np.ndarray]) -> None:
+        """Overwrite the tableau in place from a :meth:`snapshot`.
+
+        Also accepts a *constructed* snapshot — the trace cache
+        materializes the divergence frontier from a trie node's
+        compile-time x/z model plus the live packed sign column, which
+        is exactly an (x, z, r) triple.
+        """
+        x, z, r = snap
+        if x.shape != self.x.shape or z.shape != self.z.shape \
+                or r.shape != self.r.shape:
+            raise ValueError(
+                f"snapshot shapes {(x.shape, z.shape, r.shape)} do not "
+                f"match the {self.n_qubits}-qubit tableau")
+        self.x[:, :] = x
+        self.z[:, :] = z
+        self.r[:] = r
+
     # -- primitive conjugations (vectorised over all rows) -----------------
 
     def _h(self, a: int) -> None:

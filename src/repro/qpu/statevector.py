@@ -89,6 +89,18 @@ class StateVector(SimulationBackend):
         self._amplitudes.fill(0.0)
         self._amplitudes[0] = 1.0
 
+    def snapshot(self) -> np.ndarray:
+        """Checkpoint: a defensive copy of the amplitude vector."""
+        return self._amplitudes.copy()
+
+    def restore(self, snap: np.ndarray) -> None:
+        """Overwrite the state in place from a :meth:`snapshot`."""
+        if snap.shape != self._amplitudes.shape:
+            raise ValueError(
+                f"snapshot shape {snap.shape} does not match the "
+                f"{self.n_qubits}-qubit state")
+        self._amplitudes[:] = snap
+
     def _check_qubit(self, qubit: int) -> None:
         if not 0 <= qubit < self.n_qubits:
             raise ValueError(f"qubit q{qubit} out of range")

@@ -1,0 +1,250 @@
+"""Noise-aware trace cache: equivalence, checkpoint-resume, LRU bound.
+
+The load-bearing property extends PR 3's contract to noisy substrates:
+for any engine-owned :class:`~repro.qpu.device.SimulatedQPU` — ideal
+*or* noisy — trace-cached execution must be **bit-identical** to the
+cycle-accurate simulation under a fixed seed: same per-shot delivered
+outcomes, same histograms, same completion times.  The replay draws
+the per-shot reseeded noise rng positionally, and a trie miss resumes
+the cycle-accurate run from the divergence frontier instead of from
+scratch, so these tests deliberately use error rates high enough to
+force frequent divergence.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchlib.repetition import (build_repetition_chain_program,
+                                       build_repetition_memory_program)
+from repro.benchlib.rus import build_rus_blocks
+from repro.isa.builder import ProgramBuilder
+from repro.qcp import ShotEngine, scalar_config, superscalar_config
+from repro.qpu.noise import (DecoherenceNoise, DepolarizingNoise,
+                             NoiseModel, PauliChannel, ReadoutError,
+                             ZZCrosstalk)
+
+BACKENDS = ("statevector", "stabilizer")
+
+
+def pauli_noise() -> NoiseModel:
+    """Bit/phase-flip + readout noise, valid on both backends."""
+    return NoiseModel(pauli=PauliChannel(px=0.02, py=0.01, pz=0.015),
+                      readout=ReadoutError(p0_given_1=0.05,
+                                           p1_given_0=0.03))
+
+
+def depolarizing_noise() -> NoiseModel:
+    """Depolarizing channels + readout, valid on both backends."""
+    return NoiseModel(
+        depolarizing=DepolarizingNoise(p=0.03),
+        two_qubit_depolarizing=DepolarizingNoise(p=0.06),
+        readout=ReadoutError(p0_given_1=0.04, p1_given_0=0.02))
+
+
+def dense_only_noise() -> NoiseModel:
+    """Every channel at once — ZZ/decoherence need the dense backend."""
+    return NoiseModel(
+        depolarizing=DepolarizingNoise(p=0.01),
+        two_qubit_depolarizing=DepolarizingNoise(p=0.02),
+        zz=ZZCrosstalk(zeta_hz=2.5e6, pairs=((0, 1), (1, 2), (3, 4))),
+        decoherence=DecoherenceNoise(t1_us=50.0, t2_us=40.0),
+        readout=ReadoutError(p0_given_1=0.03, p1_given_0=0.02))
+
+
+def fair_coin_program():
+    """Retry-until-zero on a |+> measurement: a fair-coin loop whose
+    decision path is the geometric retry count — the high-path-entropy
+    adversary of the LRU bound."""
+    builder = ProgramBuilder("faircoin")
+    retry = builder.label("retry")
+    builder.qop("h", [0])
+    builder.qmeas(0, timing=2)
+    builder.fmr(1, 0)
+    builder.bne(1, 0, retry)
+    builder.halt()
+    return builder.build()
+
+
+def engine_pair(program, n_qubits, backend, config, noise_factory):
+    """(cached, uncached) engines with independent equal noise models."""
+    cached = ShotEngine(program, config=config, backend=backend,
+                        n_qubits=n_qubits, noise=noise_factory())
+    uncached = ShotEngine(program,
+                          config=config.with_(trace_cache=False),
+                          backend=backend, n_qubits=n_qubits,
+                          noise=noise_factory())
+    return cached, uncached
+
+
+def assert_bit_identical(program, n_qubits, backend, config,
+                         noise_factory, shots):
+    cached, uncached = engine_pair(program, n_qubits, backend, config,
+                                   noise_factory)
+    assert cached.trace_cache is not None
+    for seed in range(shots):
+        fast = cached.run_shot(seed)
+        slow = uncached.run_shot(seed)
+        assert fast == slow, f"seed {seed} diverged on {backend}"
+    # Histograms over fresh engines (run() seeds sequentially itself).
+    cached2, uncached2 = engine_pair(program, n_qubits, backend, config,
+                                     noise_factory)
+    fast_result = cached2.run(shots)
+    slow_result = uncached2.run(shots)
+    assert fast_result.counts == slow_result.counts
+    assert fast_result.total_ns == slow_result.total_ns
+    assert fast_result.measured_qubits == slow_result.measured_qubits
+    return cached
+
+
+class TestNoisyEquivalence:
+    """Cached noisy shots are bit-identical to cycle-accurate ones."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_noisy_repetition_chain(self, backend):
+        program = build_repetition_chain_program(5, rounds=2,
+                                                 encode_one=True)
+        cached = assert_bit_identical(program, 9, backend,
+                                      scalar_config(), pauli_noise, 30)
+        cache = cached.trace_cache
+        # The error rates force divergence: the resume path must have
+        # been exercised, and replays must still dominate.
+        assert cache.resumes > 0
+        assert cache.hits > 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_noisy_rus_workload(self, backend):
+        program = build_rus_blocks(2)
+        cached = assert_bit_identical(program, 6, backend,
+                                      scalar_config(),
+                                      depolarizing_noise, 30)
+        assert cached.trace_cache.resumes > 0
+
+    def test_full_channel_stack_on_dense_backend(self):
+        # ZZ crosstalk and T1/T2 decay go through the timed
+        # device-level replay (busy/window bookkeeping included).
+        program = build_repetition_memory_program(rounds=3,
+                                                  encode_one=True)
+        assert_bit_identical(program, 5, "statevector",
+                             scalar_config(), dense_only_noise, 25)
+
+    def test_noisy_superscalar(self):
+        program = build_repetition_chain_program(4, rounds=2)
+        assert_bit_identical(program, 7, "stabilizer",
+                             superscalar_config(4), pauli_noise, 20)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from(BACKENDS))
+    def test_seed_offsets_property(self, base_seed, backend):
+        # Arbitrary (non-sequential) seeds: reproducibility must not
+        # depend on the engine's own seed ordering.
+        program = build_repetition_chain_program(4, rounds=1,
+                                                 encode_one=True)
+        cached, uncached = engine_pair(program, 7, backend,
+                                       scalar_config(), pauli_noise)
+        for offset in range(6):
+            seed = base_seed + 37 * offset
+            assert cached.run_shot(seed) == uncached.run_shot(seed)
+
+
+class TestCheckpointResume:
+    """Misses resume from the divergence frontier, not from scratch."""
+
+    def test_resume_statistics(self):
+        program = fair_coin_program()
+        engine = ShotEngine(program, backend="stabilizer", n_qubits=1)
+        for seed in range(40):
+            engine.run_shot(seed)
+        cache = engine.trace_cache
+        # The first shot is a cold miss (no frontier to resume from);
+        # every later miss diverges from the recorded trie mid-shot.
+        assert cache.misses >= 2
+        assert cache.resumes == cache.misses - 1
+        assert cache.hits + cache.misses == 40
+
+    def test_resumed_paths_replay_later(self):
+        program = fair_coin_program()
+        cached = ShotEngine(program, backend="stabilizer", n_qubits=1)
+        uncached = ShotEngine(program,
+                              config=scalar_config(trace_cache=False),
+                              backend="stabilizer", n_qubits=1)
+        first = [cached.run_shot(seed) for seed in range(30)]
+        assert first == [uncached.run_shot(seed) for seed in range(30)]
+        # Second pass over the same seeds: every path is recorded now,
+        # so everything replays and still matches.
+        hits_before = cached.trace_cache.hits
+        second = [cached.run_shot(seed) for seed in range(30)]
+        assert second == first
+        assert cached.trace_cache.hits == hits_before + 30
+
+
+class TestLRUBound:
+    """trace_cache_max_nodes keeps high-entropy tries bounded."""
+
+    def test_nodes_stay_bounded_and_results_identical(self):
+        program = fair_coin_program()
+        config = scalar_config(trace_cache_max_nodes=16)
+        cached = ShotEngine(program, config=config,
+                            backend="stabilizer", n_qubits=1)
+        uncached = ShotEngine(program,
+                              config=scalar_config(trace_cache=False),
+                              backend="stabilizer", n_qubits=1)
+        results = [cached.run_shot(seed) for seed in range(300)]
+        assert results == [uncached.run_shot(seed) for seed in range(300)]
+        cache = cached.trace_cache
+        assert cache.nodes <= 16
+        assert cache.evictions > 0
+        # The cache still earns its keep despite the churn.
+        assert cache.hits > cache.misses
+
+    def test_bound_applies_to_noisy_workloads(self):
+        program = build_rus_blocks(2)
+        config = scalar_config(trace_cache_max_nodes=40)
+        cached = ShotEngine(program, config=config,
+                            backend="stabilizer", n_qubits=6,
+                            noise=pauli_noise())
+        uncached = ShotEngine(program,
+                              config=scalar_config(trace_cache=False),
+                              backend="stabilizer", n_qubits=6,
+                              noise=pauli_noise())
+        results = [cached.run_shot(seed) for seed in range(120)]
+        assert results == [uncached.run_shot(seed) for seed in range(120)]
+        assert cached.trace_cache.nodes <= 40
+
+    def test_unbounded_by_default(self):
+        engine = ShotEngine(fair_coin_program(), backend="stabilizer",
+                            n_qubits=1)
+        assert engine.trace_cache.max_nodes is None
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(ValueError):
+            scalar_config(trace_cache_max_nodes=0)
+
+
+class TestGating:
+    """What is (and is not) cacheable after the noise-aware extension."""
+
+    def test_noisy_engine_owned_qpu_is_cached(self):
+        engine = ShotEngine(build_rus_blocks(1), n_qubits=3,
+                            noise=pauli_noise())
+        assert engine.trace_cache is not None
+
+    def test_noise_with_custom_factory_rejected(self):
+        from repro.qpu import PRNGQPU
+        with pytest.raises(ValueError):
+            ShotEngine(build_rus_blocks(1), n_qubits=3,
+                       noise=pauli_noise(),
+                       qpu_factory=lambda seed: PRNGQPU(3))
+
+    def test_noise_reseeding_makes_shots_reproducible(self):
+        # Two engines, same seeds: identical noisy trajectories.
+        program = build_repetition_chain_program(4, rounds=1)
+        first = ShotEngine(program, n_qubits=7, backend="stabilizer",
+                           config=scalar_config(trace_cache=False),
+                           noise=pauli_noise())
+        second = ShotEngine(program, n_qubits=7, backend="stabilizer",
+                            config=scalar_config(trace_cache=False),
+                            noise=pauli_noise())
+        for seed in (0, 5, 5, 123):  # repeats must reproduce too
+            assert first.run_shot(seed) == second.run_shot(seed)

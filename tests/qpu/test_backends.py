@@ -105,3 +105,54 @@ class TestBackendCrossValidation:
                 stab_counts.get(tuple(stab_out), 0) + 1
         assert dense_counts == stab_counts
         assert len(dense_counts) > 1  # the circuit is not trivial
+
+
+class TestSnapshotRestore:
+    """The checkpoint hooks the divergence-frontier resume relies on."""
+
+    def test_statevector_round_trip(self):
+        gen = random.Random(11)
+        ops = random_clifford_ops(gen, 3, length=25)
+        state = StateVector(3, rng=random.Random(4))
+        replay(state, ops)
+        snap = state.snapshot()
+        reference = state.copy()
+        # Mutate past the checkpoint, then restore.
+        state.apply_gate("h", (0,))
+        state.measure(1)
+        state.restore(snap)
+        assert state.fidelity_with(reference) == pytest.approx(1.0)
+        # The snapshot is defensive: later evolution must not leak
+        # back into it.
+        state.apply_gate("x", (2,))
+        state.restore(snap)
+        assert state.fidelity_with(reference) == pytest.approx(1.0)
+
+    def test_stabilizer_round_trip(self):
+        gen = random.Random(12)
+        ops = random_clifford_ops(gen, 4, length=30)
+        state = StabilizerState(4, rng=random.Random(4))
+        replay(state, ops)
+        snap = state.snapshot()
+        reference = state.stabilizer_strings()
+        state.apply_gate("h", (0,))
+        state.apply_gate("cnot", (1, 2))
+        state.measure(3)
+        state.restore(snap)
+        assert state.stabilizer_strings() == reference
+
+    def test_restore_keeps_identity_and_rng(self):
+        state = StabilizerState(2, rng=random.Random(9))
+        snap = state.snapshot()
+        rng = state.rng
+        state.apply_gate("h", (0,))
+        state.restore(snap)
+        assert state.rng is rng  # rng is not part of the snapshot
+
+    def test_shape_mismatch_rejected(self):
+        small = StateVector(2)
+        big = StateVector(3)
+        with pytest.raises(ValueError):
+            big.restore(small.snapshot())
+        with pytest.raises(ValueError):
+            StabilizerState(3).restore(StabilizerState(2).snapshot())

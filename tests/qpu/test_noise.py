@@ -137,3 +137,37 @@ class TestReadoutSources:
                                        default=0)
         assert [readout.sample(0) for _ in range(4)] == [1, 0, 1, 0]
         assert readout.sample(5) == 0
+
+
+class TestPauliOnlyGate:
+    """is_pauli_only must fail closed for unvetted channel fields."""
+
+    def test_pauli_and_readout_qualify(self):
+        from repro.qpu.noise import (NoiseModel, PauliChannel,
+                                     DepolarizingNoise, ReadoutError)
+        model = NoiseModel(
+            depolarizing=DepolarizingNoise(p=0.01),
+            two_qubit_depolarizing=DepolarizingNoise(p=0.02),
+            pauli=PauliChannel(px=0.01),
+            readout=ReadoutError(p1_given_0=0.01))
+        assert model.is_pauli_only
+        assert NoiseModel().is_pauli_only  # ideal is trivially Pauli-only
+
+    def test_non_clifford_channels_disqualify(self):
+        from repro.qpu.noise import (DecoherenceNoise, NoiseModel,
+                                     ZZCrosstalk)
+        assert not NoiseModel(zz=ZZCrosstalk(zeta_hz=1e3)).is_pauli_only
+        assert not NoiseModel(decoherence=DecoherenceNoise()).is_pauli_only
+
+    def test_unknown_future_channel_fails_closed(self):
+        # A channel field added later must not silently qualify for
+        # the sign-trace replay before being vetted.
+        import dataclasses
+        from repro.qpu.noise import NoiseModel
+
+        @dataclasses.dataclass
+        class Extended(NoiseModel):
+            leakage: object | None = None
+
+        assert Extended(leakage=object()).is_pauli_only is False
+        assert Extended().is_pauli_only is True
