@@ -14,7 +14,13 @@ perf trajectory.  Workloads:
 * the 37-qubit Steane Shor-syndrome benchmark;
 * a fair-coin RUS loop with the LRU trie bound engaged — the
   high-path-entropy adversary, reported with node/eviction counts to
-  show memory stays bounded while throughput holds.
+  show memory stays bounded while throughput holds;
+* a **dense-replay sweep** on the statevector backend: the ideal
+  chain with GEMM-fused replay (fused vs unfused compiled closures),
+  and the noisy chain comparing the compiled noise-site program
+  against the PR 4 timed device-level replay loop (the
+  ``speedup_vs_device_replay`` figure the compiled pipeline is
+  asserted against in ``benchmarks/test_trace_cache_speedup.py``).
 
 Usage::
 
@@ -49,6 +55,12 @@ CHAIN_ROUNDS = 2
 #: Chain sizes for the noisy sweep (the cache's newest regime).
 NOISY_CHAIN_SIZES = ((5, 9), (13, 25), (26, 51))
 
+#: (n_data, qubits) for the dense (statevector) replay sweep.  Small
+#: on purpose: this regime measures Python dispatch vs compiled
+#: replay; past ~15 qubits the 2^n numpy kernels dominate both sides
+#: and every strategy converges.
+DENSE_CHAIN_SIZES = ((3, 5), (5, 9))
+
 #: LRU bound used by the fair-coin RUS workload — deliberately smaller
 #: than the trie the shot count would otherwise grow, so the baseline
 #: actually exercises eviction (check the ``evictions`` count in
@@ -70,12 +82,14 @@ def chain_noise_model() -> NoiseModel:
 
 
 def _measure(program, n_qubits: int, trace_cache: bool, shots: int,
-             noise_factory=None, max_nodes: int | None = None
+             noise_factory=None, max_nodes: int | None = None,
+             backend: str = "stabilizer", **config_changes
              ) -> tuple[float, ShotEngine]:
     config = scalar_config(trace_cache=trace_cache,
-                           trace_cache_max_nodes=max_nodes)
+                           trace_cache_max_nodes=max_nodes,
+                           **config_changes)
     noise = noise_factory() if noise_factory is not None else None
-    engine = ShotEngine(program, config=config, backend="stabilizer",
+    engine = ShotEngine(program, config=config, backend=backend,
                         n_qubits=n_qubits, noise=noise)
     start = time.perf_counter()
     engine.run(shots)
@@ -110,6 +124,61 @@ def measure_workload(program, n_qubits: int,
     return entry
 
 
+def measure_dense_workload(program, n_qubits: int,
+                           uncached_shots: int, cached_shots: int,
+                           noise_factory=None) -> dict:
+    """One dense (statevector) sweep entry.
+
+    On the ideal substrate the interesting comparison is GEMM fusion
+    on vs off; on a noisy substrate it is the compiled noise-site
+    program vs the PR 4 timed device-level replay loop
+    (``trace_cache_compiled_noise=False``).
+    """
+    uncached_rate, _ = _measure(program, n_qubits, False,
+                                uncached_shots, noise_factory,
+                                backend="statevector")
+    entry = {
+        "qubits": n_qubits,
+        "backend": "statevector",
+        "noisy": noise_factory is not None,
+        "uncached_shots_per_s": round(uncached_rate, 2),
+    }
+    if noise_factory is None:
+        unfused_rate, _ = _measure(program, n_qubits, True,
+                                   cached_shots, backend="statevector",
+                                   trace_cache_dense_fusion=False)
+        fused_rate, engine = _measure(program, n_qubits, True,
+                                      cached_shots,
+                                      backend="statevector")
+        entry.update({
+            "unfused_shots_per_s": round(unfused_rate, 2),
+            "cached_shots_per_s": round(fused_rate, 2),
+            "speedup": round(fused_rate / uncached_rate, 1),
+            "fusion_speedup": round(fused_rate / unfused_rate, 2),
+        })
+    else:
+        device_rate, _ = _measure(program, n_qubits, True,
+                                  cached_shots, noise_factory,
+                                  backend="statevector",
+                                  trace_cache_compiled_noise=False)
+        compiled_rate, engine = _measure(program, n_qubits, True,
+                                         cached_shots, noise_factory,
+                                         backend="statevector")
+        entry.update({
+            "device_replay_shots_per_s": round(device_rate, 2),
+            "cached_shots_per_s": round(compiled_rate, 2),
+            "speedup": round(compiled_rate / uncached_rate, 1),
+            "speedup_vs_device_replay": round(
+                compiled_rate / device_rate, 2),
+        })
+    cache = engine.trace_cache
+    entry["trace_cache"] = {"hits": cache.hits, "misses": cache.misses,
+                            "resumes": cache.resumes,
+                            "nodes": cache.nodes,
+                            "evictions": cache.evictions}
+    return entry
+
+
 def run_suite(quick: bool = False) -> dict:
     workloads: dict[str, dict] = {}
     sizes = CHAIN_SIZES[:1] if quick else CHAIN_SIZES
@@ -128,6 +197,17 @@ def run_suite(quick: bool = False) -> dict:
             measure_workload(program, n_qubits, uncached_shots,
                              cached_shots,
                              noise_factory=chain_noise_model)
+    dense_sizes = DENSE_CHAIN_SIZES[:1] if quick else DENSE_CHAIN_SIZES
+    for n_data, n_qubits in dense_sizes:
+        program = build_repetition_chain_program(
+            n_data, rounds=CHAIN_ROUNDS, encode_one=True)
+        workloads[f"repetition_chain_dense_{n_qubits}q"] = \
+            measure_dense_workload(program, n_qubits, uncached_shots,
+                                   cached_shots)
+        workloads[f"repetition_chain_dense_noisy_{n_qubits}q"] = \
+            measure_dense_workload(program, n_qubits, uncached_shots,
+                                   cached_shots,
+                                   noise_factory=chain_noise_model)
     if not quick:
         program = build_shor_syndrome_program(rounds=3)
         workloads["steane_shor_37q"] = measure_workload(
@@ -139,12 +219,14 @@ def run_suite(quick: bool = False) -> dict:
         workloads["rus_fair_coin_2x"] = measure_workload(
             program, 6, 200, 200, max_nodes=RUS_MAX_NODES)
     return {
-        "schema": "bench-shots/v2",
+        "schema": "bench-shots/v3",
         "description": ("Shot throughput of the compile-once ShotEngine "
                         "with the cycle-accurate simulator (uncached) vs "
                         "trace-cache replay (cached), on ideal and noisy "
-                        "substrates."),
-        "config": {"backend": "stabilizer",
+                        "substrates; dense entries compare GEMM-fused "
+                        "replay and the compiled noise-site program "
+                        "against their uncompiled counterparts."),
+        "config": {"backend": "stabilizer + statevector (dense sweep)",
                    "chain_rounds": CHAIN_ROUNDS,
                    "noise": "PauliChannel(px=1e-3) + "
                             "ReadoutError(0.005, 0.002)",

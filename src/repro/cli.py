@@ -56,6 +56,10 @@ def _config_from_args(args: argparse.Namespace):
     max_nodes = getattr(args, "trace_cache_max_nodes", None)
     if max_nodes is not None:
         config = config.with_(trace_cache_max_nodes=max_nodes)
+    if getattr(args, "no_dense_fusion", False):
+        config = config.with_(trace_cache_dense_fusion=False)
+    if getattr(args, "no_compiled_noise", False):
+        config = config.with_(trace_cache_compiled_noise=False)
     return config
 
 
@@ -212,6 +216,20 @@ def build_parser() -> argparse.ArgumentParser:
              "recently-used decision paths once the trie exceeds N "
              "nodes (default: unbounded; useful for high-path-entropy "
              "workloads such as fair-coin RUS loops)")
+    run_parser.add_argument(
+        "--no-dense-fusion", action="store_true",
+        help="replay dense (statevector) trace-cache segments gate by "
+             "gate instead of through GEMM-fused block operators; "
+             "fusion perturbs amplitudes in the last ulp, so outcome "
+             "identity with the cycle-accurate path is almost-sure "
+             "(~2^-50 per measurement) rather than exact — use this "
+             "flag when exactness must be structural")
+    run_parser.add_argument(
+        "--no-compiled-noise", action="store_true",
+        help="use the per-op timed device-level loop for noisy dense "
+             "trace-cache replay instead of the compiled noise-site "
+             "program (identical rng draw streams; amplitudes also "
+             "bit-identical when --no-dense-fusion is given)")
     run_parser.set_defaults(entry=command_run)
 
     asm_parser = commands.add_parser(

@@ -72,6 +72,28 @@ class QCPConfig:
     #: cannot cache (custom ``qpu_factory`` devices, which are opaque
     #: to the recorder).
     trace_cache: bool = True
+    #: Fuse consecutive recorded unitaries of a dense (statevector)
+    #: trace-cache replay segment into precomposed operators (GEMM
+    #: fusion, see :func:`repro.qpu.statevector.fuse_ops`).  Fusion
+    #: happens only *within* a decision-free run (one trie node) and
+    #: never consumes rng draws, but it perturbs amplitudes in the
+    #: last ulp (matrix products round differently) — so a delivered
+    #: outcome can differ from cycle-accurate execution only if a
+    #: measurement draw lands inside that few-ulp probability window
+    #: (~2^-50 per measurement; no fixed-seed test suite has ever
+    #: observed one).  Disable for exact amplitude-level or
+    #: guaranteed-exact outcome comparisons.
+    trace_cache_dense_fusion: bool = True
+    #: Compile noisy dense (statevector) trace-cache replay into a
+    #: flat noise-site program — per-site channel draws, idle-decay
+    #: windows, ZZ windows and readout corruption pre-resolved at
+    #: compile time — instead of the per-op timed device-level Python
+    #: loop.  Draw-for-draw identical either way; with
+    #: ``trace_cache_dense_fusion`` off the amplitudes are bit-for-bit
+    #: identical too, while fusion makes outcome identity almost-sure
+    #: (see that flag's note).  The flag exists so benchmarks can
+    #: compare the two replay modes.
+    trace_cache_compiled_noise: bool = True
     #: LRU bound on trace-cache trie nodes (``None`` = unbounded).
     #: High-path-entropy workloads — RUS loops driven by fair coins —
     #: record a new path per novel decision sequence; the bound evicts

@@ -17,6 +17,12 @@ control-stack simulation and records the device-op stream; every
 later shot sharing that decision path replays the recorded stream
 straight into the QPU backend, skipping the event kernel entirely
 while producing bit-identical outcomes, histograms and timings.
+Replay itself is compiled per substrate: sign-trace programs on the
+stabilizer backend, GEMM-fused block operators on the ideal dense
+backend (``QCPConfig.trace_cache_dense_fusion``), and flat noise-site
+programs on the noisy dense backend
+(``QCPConfig.trace_cache_compiled_noise``), all funnelling through
+one shared decide/hit/resume epilogue.
 This includes **noisy substrates** (pass ``noise=``): the per-shot
 reseeded noise rng is replayed positionally, and a replay that
 diverges from the trie resumes the cycle-accurate simulation from

@@ -65,11 +65,33 @@ sites the cycle-accurate simulation would:
   decision path stays shot-invariant and each potential injection site
   compiles to pre-computed sign masks (``_S_NOISE``).  Readout flips
   are drawn live at each compiled measurement.
-* On the **dense** backend (or any other), a noisy replay runs the
-  node's *timed device program*: the recorded operation stream is
-  re-applied with its original issue times through the same state /
-  noise-channel / idle-decay / crosstalk-window sequence the device
-  layer performs, minus the event kernel, logging and validation.
+* On the **dense** backend, a noisy replay runs the node's compiled
+  *noise-site program* (:meth:`TraceNode.dense_program`): the per-op
+  timed device loop is pre-resolved at compile time into a flat list
+  of prebound steps — idle-decay sites (durations precomputed from
+  the recorded issue times), gate-channel sites, ZZ crosstalk windows
+  (overlaps precomputed by modelling the device's window bookkeeping)
+  and live measurements with readout corruption — analogous to the
+  stabilizer ``_S_NOISE`` sites.  Each step calls exactly the channel
+  code the device layer would with exactly the same arguments, so the
+  replay is draw-for-draw and bit-for-bit identical; only the
+  *structure* (which sites exist, with which constants) is hoisted
+  out of the per-shot loop.  ``QCPConfig.trace_cache_compiled_noise``
+  falls back to the original per-op timed device loop
+  (:meth:`TraceNode.device_program`) for comparison.
+
+Dense GEMM fusion
+=================
+
+Decision-free unitary runs on the statevector backend are fused into
+precomposed block operators (:func:`repro.qpu.statevector.fuse_ops`)
+before replay — one batched matmul per run instead of one dispatch
+per gate.  Fusion is keyed per :class:`TraceNode` and never crosses a
+decision, a measurement, a reset, or a noise site, so the rng draw
+sequence (and with it every delivered outcome, histogram and timing
+under a fixed seed) is identical to unfused replay; intermediate
+amplitudes may differ in the last ulp.  Disable with
+``QCPConfig.trace_cache_dense_fusion``.
 
 Readout corruption is drawn exactly as the device draws it, so the
 *delivered* bit (which the control stack keys decisions on) and the
@@ -103,8 +125,16 @@ new path per novel decision sequence and would grow the trie without
 bound.  ``QCPConfig.trace_cache_max_nodes`` caps the node count:
 after each recording that exceeds the bound, the least-recently-used
 subtrees (by last replay/record visit) are evicted until the trie
-fits.  The path touched by the current shot is never evicted, so the
-bound is best-effort when a single path is longer than the cap.
+fits.  Recency is tracked **amortized**: every node sits on an
+intrusive doubly-linked list ordered by last touch, so a touch is
+O(1) and an eviction pass walks only the cold tail plus the evicted
+nodes themselves — no full-trie scoring scan per overflow (which made
+small bounds on hot RUS loops quadratic).  Because a shot touches
+nodes root-to-leaf, a parent is always at least as recent as its
+descendants, so detaching the coldest listed node always removes a
+coldest-first *subtree*.  The path touched by the current shot is
+never evicted, so the bound is best-effort when a single path is
+longer than the cap.
 
 Not cacheable (the shot engine falls back to cycle-accurate
 execution): custom ``qpu_factory`` devices — the cache cannot see
@@ -126,6 +156,8 @@ from repro.qpu.noise import NoiseModel
 from repro.qpu.stabilizer import (StabilizerState,
                                   _CLIFFORD_DECOMPOSITIONS,
                                   _TWO_QUBIT_DECOMPOSITIONS)
+from repro.qpu.statevector import (StateVector, _lift, cached_unitary,
+                                   fuse_into)
 
 # Chronological-stream entry tags (recording side).  REC_GATE/REC_RESET
 # double as the BackendOp kind strings, so a recorded entry's first
@@ -160,13 +192,28 @@ _S_CLS = 5      # (_S_CLS, proc_id, run)
 _S_FMR = 6      # (_S_FMR, proc_id, rd, qubit)
 _S_NOISE = 7    # (_S_NOISE, dep_p, per_qubit_masks, pauli_cumulative)
 
-# Timed device-program step codes (noisy dense replay, see
-# TraceNode.device_program).
+# Timed device-program step codes (uncompiled noisy dense replay —
+# the PR 4 comparison mode, see TraceNode.device_program).
 _DV_GATE = 0    # (_DV_GATE, time_ns, name, qubits, params, duration)
 _DV_RESET = 1   # (_DV_RESET, time_ns, qubit, duration)
 _DV_MEAS = 2    # (_DV_MEAS, time_ns, qubit, duration)
 _DV_CLS = 3     # (_DV_CLS, proc_id, run)
 _DV_FMR = 4     # (_DV_FMR, proc_id, rd, qubit)
+
+# The compiled *noise-site program* (noisy dense replay, see
+# TraceNode.dense_program) has no step codes at all: it is a flat list
+# of zero-argument closures — fused unitary blocks, idle-decay sites
+# with precomputed durations, channel-draw sites, ZZ windows with
+# precomputed overlaps, live measurements with readout corruption, and
+# classical micro-ops over the shared replay context — so the hot loop
+# is nothing but ``for step in program: step()``.  Each closure calls
+# exactly the code the device layer would run with exactly the
+# arguments the device would pass, keeping the replay draw-for-draw
+# identical to cycle-accurate execution.
+
+#: Sentinel returned by the shared replay epilogue when a shot
+#: completed at a recorded leaf.
+_HIT = object()
 
 #: Index alias for ``random.Random.choice`` at noise sites: consuming
 #: the rng through ``choice`` on a length-3 sequence is draw-for-draw
@@ -220,6 +267,65 @@ class _ReplayProcessor:
         self.pc = 0
 
 
+class _ReplayContext:
+    """Per-shot classical replay state, shared by every replay mode.
+
+    Owns the pieces the three specialized hot loops all need — the
+    delivered-outcome map, the chronological outcome list, the
+    skipped-devop count, and the lazily created per-processor register
+    facades over one shared register file — so the decide/hit/resume
+    epilogue (:meth:`TraceCache._epilogue`) is written once against
+    this object instead of being triplicated per mode.
+    """
+
+    __slots__ = ("config", "delivered", "outcomes", "skip_ops",
+                 "shared", "procs")
+
+    def __init__(self, config: QCPConfig) -> None:
+        self.config = config
+        self.delivered: dict[int, int] = {}
+        self.outcomes: list[int] = []
+        self.skip_ops = 0
+        self.shared = SharedRegisters()
+        self.procs: dict[int, _ReplayProcessor] = {}
+
+    def reset(self) -> None:
+        """Prepare for the next shot, keeping container identity.
+
+        The compiled dense programs capture ``delivered`` and
+        ``outcomes`` *by object* in their closures, so those MUST be
+        cleared in place — replacing them with fresh containers would
+        silently disconnect every already-compiled program.  Anything
+        handed to an earlier consumer is protected by copying on the
+        way out instead: :meth:`TraceCache._resume_point` copies
+        ``outcomes`` and the dense hit path copies ``delivered``.
+        ``shared`` is the exception — nothing compiled captures it
+        (procs re-read it on creation), so it is simply replaced.
+        """
+        self.delivered.clear()
+        self.outcomes.clear()
+        self.skip_ops = 0
+        self.shared = SharedRegisters()
+        self.procs.clear()
+
+    def proc(self, proc_id: int) -> _ReplayProcessor:
+        """The register facade for ``proc_id`` (created on first use)."""
+        proc = self.procs.get(proc_id)
+        if proc is None:
+            proc = self.procs[proc_id] = _ReplayProcessor(
+                self.shared, self.config)
+        return proc
+
+    def write_fmr(self, proc_id: int, rd: int, qubit: int) -> None:
+        """Replay a result fetch: this shot's own delivered bit."""
+        self.proc(proc_id).registers.write(rd, self.delivered[qubit])
+
+    def deliver(self, qubit: int, value: int) -> None:
+        """Record one live measurement outcome."""
+        self.delivered[qubit] = value
+        self.outcomes.append(value)
+
+
 class TraceNode:
     """One trie node: the work segment up to the next decision point.
 
@@ -228,14 +334,19 @@ class TraceNode:
     ``decision`` is set and a *leaf* (shot end) when it is ``None``;
     leaves carry the shot's ``total_ns``.  ``devops`` counts the
     device-level operations (gates, resets, measurements) in the
-    segment — the prefix length a checkpoint-resume must skip —
-    and ``last_used`` is the LRU stamp of the latest shot that
-    replayed or recorded through this node.
+    segment — the prefix length a checkpoint-resume must skip.
+
+    ``last_used`` is the LRU stamp of the latest shot that replayed or
+    recorded through this node; ``parent``/``edge`` locate the node in
+    the trie and ``lru_prev``/``lru_next`` link it into the cache's
+    recency list (amortized eviction, see :meth:`TraceCache._evict`).
     """
 
     __slots__ = ("items", "decision", "children", "total_ns", "devops",
-                 "last_used", "_program", "_program_state", "_exit_xz",
-                 "_device_program")
+                 "last_used", "parent", "edge", "lru_prev", "lru_next",
+                 "_program", "_program_state", "_exit_xz",
+                 "_device_program", "_dense_program", "_dense_state",
+                 "_exit_busy", "_exit_windows")
 
     def __init__(self) -> None:
         self.items: tuple | None = None
@@ -244,6 +355,10 @@ class TraceNode:
         self.total_ns = 0
         self.devops = 0
         self.last_used = 0
+        self.parent: TraceNode | None = None
+        self.edge: int | None = None
+        self.lru_prev: TraceNode | None = None
+        self.lru_next: TraceNode | None = None
         self._program: list | None = None
         self._program_state: SimulationBackend | None = None
         #: Stabilizer sign-trace compilation: model (x, z) bit matrices
@@ -251,14 +366,29 @@ class TraceNode:
         #: the tableau half of a divergence-frontier checkpoint.
         self._exit_xz: tuple[np.ndarray, np.ndarray] | None = None
         self._device_program: list | None = None
+        self._dense_program: list | None = None
+        self._dense_state: SimulationBackend | None = None
+        #: Noise-site compilation: the device's busy-until and
+        #: drive-window bookkeeping at node exit — the entry state for
+        #: compiling child nodes, and what a divergence-frontier
+        #: resume restores into the live device.
+        self._exit_busy: dict[int, int] | None = None
+        self._exit_windows: dict[int, tuple[int, int]] | None = None
 
-    def program(self, state: SimulationBackend) -> list:
-        """This node's generic replay program, compiled for ``state``."""
+    def program(self, state: SimulationBackend, fuse: bool = False) -> list:
+        """This node's generic replay program, compiled for ``state``.
+
+        With ``fuse`` the backend ops go through
+        :meth:`~repro.qpu.backend.SimulationBackend.compile_fused_ops`
+        (GEMM fusion on the dense backend; a no-op elsewhere).
+        """
         if self._program is None or self._program_state is not state:
+            compile_ops = (state.compile_fused_ops if fuse
+                           else state.compile_ops)
             program = []
             for item in self.items:
                 if item[0] == _I_OPS:
-                    program.append((_I_OPS, state.compile_ops(item[1])))
+                    program.append((_I_OPS, compile_ops(item[1])))
                 else:
                     program.append(item)
             self._program = program
@@ -334,6 +464,38 @@ class TraceNode:
                     steps.append((_DV_FMR, item[1], item[2], item[3]))
             self._device_program = steps
         return self._device_program
+
+    def dense_program(self, qpu: SimulatedQPU,
+                      parent: "TraceNode | None", fuse: bool,
+                      ctx: _ReplayContext) -> list:
+        """This node's compiled noise-site program (noisy dense replay).
+
+        Compiles the segment against the device's timing model: the
+        busy-until map and drive-window bookkeeping are *decision-path
+        invariants* (they depend only on the recorded issue times), so
+        they are modelled once at compile time — chained from the
+        parent node's exit state, exactly like the sign trace chains
+        its model tableau — and every idle-decay duration, channel
+        site and ZZ overlap becomes a prebound closure over ``ctx``
+        (the owning cache's persistent replay context).  The exit maps
+        are kept on the node so child nodes compile from them and a
+        divergence-frontier resume can restore them into the live
+        device.
+        """
+        state = qpu.state
+        if self._dense_program is None or self._dense_state is not state:
+            if parent is None:
+                busy: dict[int, int] = {}
+                windows: dict[int, tuple[int, int]] = {}
+            else:
+                busy = dict(parent._exit_busy)
+                windows = dict(parent._exit_windows)
+            self._dense_program = _compile_dense_node(
+                self.items, qpu, busy, windows, fuse, ctx)
+            self._exit_busy = busy
+            self._exit_windows = windows
+            self._dense_state = state
+        return self._dense_program
 
 
 def _bitmask(rows: np.ndarray | list) -> int:
@@ -546,6 +708,290 @@ def _compile_sign_node(items: tuple, n: int, x: np.ndarray,
     return program
 
 
+class _DenseBlockCompiler:
+    """Incremental GEMM fusion with deferred channel sites.
+
+    Builds one open block operator (matrix + qubit support) out of
+    consecutive unitaries, the dense analogue of the sign trace's
+    pending XOR mask.  A gate-channel site inside the block is
+    *deferred*: its potential Pauli injections are conjugated through
+    the rest of the block (``C = R P R†`` with ``R`` the product of
+    the block's later unitaries) and emitted as a correction step
+    *after* the block — for sites ``j < j'``,
+    ``C_j' C_j M = U_m..U_{j'+1} P' U_j'..U_{j+1} P U_j..U_1``, so
+    applying corrections in site order is algebraically exact, and
+    since each site still performs its own rng draws in program order
+    the draw streams stay positionally identical to the device.  This
+    is what keeps fusion alive under per-gate channel noise, where a
+    naive compiler would have to flush at every gate.
+    """
+
+    def __init__(self, state: StateVector, nrng, steps: list) -> None:
+        self.state = state
+        self.nrng = nrng
+        self.steps = steps
+        self.support: tuple[int, ...] = ()
+        self.matrix: np.ndarray | None = None
+        #: Deferred sites: (kind, params, site_qubits, prefix, support)
+        #: where ``prefix`` is the block operator at the site's
+        #: position and ``kind`` is "dep" or "pauli".
+        self.sites: list[tuple] = []
+
+    def add_unitary(self, matrix: np.ndarray,
+                    qubits: tuple[int, ...]) -> None:
+        if self.matrix is None:
+            self.support, self.matrix = tuple(qubits), matrix
+            return
+        fused = fuse_into(self.matrix, self.support, matrix,
+                          tuple(qubits))
+        if fused is not None:
+            self.matrix, self.support = fused
+        else:
+            self.flush()
+            self.support, self.matrix = tuple(qubits), matrix
+
+    def add_site(self, kind: str, params,
+                 qubits: tuple[int, ...]) -> None:
+        # The site's gate was just added, so the block is open and
+        # contains it; the prefix snapshot pins the injection point.
+        self.sites.append((kind, params, qubits, self.matrix,
+                           self.support))
+
+    def flush(self) -> None:
+        if self.matrix is None:
+            return
+        block = self.matrix
+        support = self.support
+        self.steps.append(self.state.block_applier(block, support))
+        nrng = self.nrng
+        for kind, params, qubits, prefix, prefix_support in self.sites:
+            # R = block @ prefix† (the product of the unitaries after
+            # the site); corrections are R P R† per qubit per Pauli.
+            lifted = _lift(prefix, prefix_support, support)
+            rest = block @ lifted.conj().T
+            rest_dag = rest.conj().T
+            appliers = []
+            for qubit in qubits:
+                triplet = tuple(
+                    self.state.block_applier(
+                        rest @ _lift(cached_unitary(pauli),
+                                     (qubit,), support) @ rest_dag,
+                        support)
+                    for pauli in ("x", "y", "z"))
+                appliers.append(triplet)
+            appliers = tuple(appliers)
+            if kind == "dep":
+                p = params
+
+                def site(nrng=nrng, p=p, appliers=appliers) -> None:
+                    # Draw-for-draw DepolarizingNoise.apply: one
+                    # random() per qubit, one choice() on a fire.
+                    for triplet in appliers:
+                        if nrng.random() < p:
+                            triplet[nrng.choice(_PAULI_INDICES)]()
+            else:  # "pauli"
+                cx, cxy, cxyz = params
+
+                def site(nrng=nrng, cx=cx, cxy=cxy, cxyz=cxyz,
+                         appliers=appliers) -> None:
+                    # Draw-for-draw PauliChannel.apply.
+                    for triplet in appliers:
+                        draw = nrng.random()
+                        if draw < cx:
+                            triplet[0]()
+                        elif draw < cxy:
+                            triplet[1]()
+                        elif draw < cxyz:
+                            triplet[2]()
+            self.steps.append(site)
+        self.support, self.matrix = (), None
+        self.sites = []
+
+
+def _compile_dense_node(items: tuple, qpu: SimulatedQPU,
+                        busy: dict[int, int],
+                        windows: dict[int, tuple[int, int]],
+                        fuse: bool, ctx: _ReplayContext) -> list:
+    """Compile a node's segment into a flat noise-site program.
+
+    ``busy``/``windows`` model :class:`~repro.qpu.device.SimulatedQPU`
+    bookkeeping at node entry and are advanced **in place** to the
+    node's exit state.  Idle durations and ZZ overlaps are pure
+    functions of the recorded issue times, so they become constants;
+    the replay consumes both rngs at exactly the recorded sites,
+    preserving bit-identity of every draw and delivered outcome.
+
+    The program is a list of zero-argument closures over ``state``,
+    the noise channels and the (persistent, per-shot-reset) replay
+    context ``ctx``.  With ``fuse`` unset, every step performs the
+    same arithmetic the device layer would (channel/decay/ZZ steps
+    call the very device code; per-gate steps go through
+    :meth:`~repro.qpu.statevector.StateVector.block_applier`, which
+    is bit-for-bit identical to the device's apply path) — amplitudes
+    included.  With ``fuse`` set, unitary runs are GEMM-fused through
+    channel sites (:class:`_DenseBlockCompiler`) and ZZ windows are
+    folded into the fusion stream as per-pair conditional-phase
+    unitaries; amplitudes may then differ in the last ulp (the fusion
+    contract) while draw streams, outcomes and timings are unchanged.
+    State-*reading* sites — idle decay (amplitude damping depends on
+    the live excited-state probability), resets and measurements —
+    always flush the open block.
+    """
+    state = qpu.state
+    noise = qpu.noise
+    nrng = noise.rng
+    decoherence = noise.decoherence
+    zz = noise.zz
+    pauli = noise.pauli
+    pauli_cum = None
+    if pauli is not None:
+        pauli_cum = (pauli.px, pauli.px + pauli.py,
+                     pauli.px + pauli.py + pauli.pz)
+    meas_duration = lookup_gate("measure").duration_ns
+    state_measure = state.measure
+    readout = noise.readout
+    delivered = ctx.delivered
+    outcomes = ctx.outcomes
+    steps: list = []
+    block = _DenseBlockCompiler(state, nrng, steps) if fuse else None
+
+    def flush_gates() -> None:
+        if block is not None:
+            block.flush()
+
+    def channel_sites(qubits: tuple[int, ...]) -> None:
+        # One source of truth for channel selection/order:
+        # NoiseModel.gate_site_specs.  Fused mode defers the sites
+        # into the open block; unfused mode emits the very channel
+        # calls the device would make.
+        if block is None:
+            for applier in noise.gate_site_appliers(qubits):
+                steps.append(lambda a=applier, q=qubits:
+                             a(state, q, nrng))
+            return
+        for kind, channel in noise.gate_site_specs(qubits):
+            if kind == "dep":
+                block.add_site(kind, channel.p, qubits)
+            elif kind == "pauli":
+                block.add_site(kind, pauli_cum, qubits)
+            else:
+                # Fail closed on a site kind this compiler predates
+                # (is_dense_compilable should have routed the model
+                # to the device loop before we ever get here).
+                raise TraceDivergenceError(
+                    f"unknown gate-channel site kind {kind!r}")
+
+    def decay_sites(time_ns: int, qubits: tuple[int, ...]) -> None:
+        # Mirrors SimulatedQPU._decay_idle with the idle durations
+        # resolved at compile time.
+        if decoherence is None:
+            return
+        for qubit in qubits:
+            idle = time_ns - busy.get(qubit, 0)
+            if idle > 0:
+                flush_gates()
+                steps.append(
+                    lambda q=qubit, t=idle:
+                    decoherence.apply_idle(state, q, t, nrng))
+
+    def note_window(time_ns: int, qubits: tuple[int, ...],
+                    duration: int) -> None:
+        # Mirrors SimulatedQPU._note_window on the model dict; only
+        # the triggered ZZ applications survive into the program.
+        end = time_ns + duration
+        driven_now = set(qubits)
+        overlap_ns = 0
+        for other, (start, stop) in windows.items():
+            if other in driven_now:
+                continue
+            overlap = min(end, stop) - max(time_ns, start)
+            if overlap > 0:
+                driven_now.add(other)
+                overlap_ns = max(overlap_ns, overlap)
+        for qubit in qubits:
+            windows[qubit] = (time_ns, end)
+        if zz is not None and len(driven_now) >= 2 and overlap_ns > 0:
+            if block is not None:
+                # Fold the deterministic conditional phases into the
+                # fusion stream, one per coupled driven pair, exactly
+                # as ZZCrosstalk.apply_simultaneous would apply them.
+                phi = zz.conditional_phase(overlap_ns)
+                if phi != 0.0:
+                    matrix = np.diag(
+                        [1.0, 1.0, 1.0, np.exp(1j * phi)]).astype(complex)
+                    for left, right in zz.pairs:
+                        if left in driven_now and right in driven_now:
+                            block.add_unitary(matrix, (left, right))
+                return
+            steps.append(
+                lambda d=driven_now, o=overlap_ns:
+                zz.apply_simultaneous(state, d, o))
+
+    def measure_step(qubit: int):
+        # NoiseModel.corrupt_readout with the None check compiled out.
+        if readout is None:
+            def step(q=qubit) -> None:
+                value = state_measure(q)
+                delivered[q] = value
+                outcomes.append(value)
+        else:
+            rcorrupt = readout.corrupt
+
+            def step(q=qubit) -> None:
+                value = rcorrupt(state_measure(q), nrng)
+                delivered[q] = value
+                outcomes.append(value)
+        return step
+
+    for item in items:
+        code = item[0]
+        if code == _I_OPS:
+            for op, time_ns in zip(item[1], item[2]):
+                kind, name, qubits, params = op
+                duration = lookup_gate(name).duration_ns
+                decay_sites(time_ns, qubits)
+                for qubit in qubits:
+                    busy[qubit] = time_ns + duration
+                if kind == "reset":
+                    # The device applies no gate noise after a reset
+                    # and opens no drive window for it; resets draw
+                    # the backend rng, so they always flush.
+                    flush_gates()
+                    steps.append(lambda q=qubits[0]: state.reset(q))
+                    continue
+                matrix = (cached_unitary(name, params)
+                          if len(qubits) == 1
+                          else lookup_gate(name).unitary(params))
+                if block is not None:
+                    block.add_unitary(matrix, qubits)
+                else:
+                    # block_applier is bit-identical to the device's
+                    # apply path, so unfused mode shares the applier
+                    # instead of duplicating per-gate dispatch here.
+                    steps.append(state.block_applier(matrix, qubits))
+                channel_sites(qubits)
+                note_window(time_ns, qubits, duration)
+        elif code == _I_MEAS:
+            qubit, time_ns = item[1], item[2]
+            decay_sites(time_ns, (qubit,))
+            busy[qubit] = time_ns + meas_duration
+            flush_gates()
+            steps.append(measure_step(qubit))
+        elif code == _I_CLS:
+            # Classical micro-ops never touch the quantum state, so
+            # they need no gate flush; program order within the
+            # segment is preserved for everything that matters (the
+            # delivered-outcome map is only written at measure steps,
+            # which do flush).
+            steps.append(lambda run=item[2], pid=item[1]:
+                         run(ctx.proc(pid)))
+        else:  # _I_FMR
+            steps.append(lambda pid=item[1], rd=item[2], q=item[3]:
+                         ctx.write_fmr(pid, rd, q))
+    flush_gates()
+    return steps
+
+
 class RecordingQPU:
     """Device proxy capturing the backend-op stream of one shot.
 
@@ -617,6 +1063,11 @@ class CheckpointQPU:
     def measure(self, time_ns: int, qubit: int) -> int:
         if self._skip:
             self._skip -= 1
+            if self._next_outcome >= len(self._outcomes):
+                raise TraceDivergenceError(
+                    "checkpoint prefix re-issued more measurements "
+                    "than the replay delivered; the recorded trace "
+                    "and the re-run disagree on the op stream")
             value = self._outcomes[self._next_outcome]
             self._next_outcome += 1
             return value
@@ -646,6 +1097,34 @@ class TraceCache:
         self.nodes = 0
         self.evictions = 0
         self._tick = 0
+        # Persistent replay context for the compiled dense programs
+        # (their closures capture it; reset in place per shot).
+        self._dense_ctx: _ReplayContext | None = None
+        # Intrusive recency list (amortized LRU): head side is most
+        # recent.  Every non-root node is linked; the root is covered
+        # by the current-path rule (its stamp always equals the
+        # newest tick) and has no parent edge to detach anyway.
+        self._lru_head = TraceNode()
+        self._lru_tail = TraceNode()
+        self._lru_head.lru_next = self._lru_tail
+        self._lru_tail.lru_prev = self._lru_head
+
+    def _touch(self, node: TraceNode) -> None:
+        """Stamp ``node`` and move it to the recent end — O(1)."""
+        node.last_used = self._tick
+        if node.parent is None:
+            return
+        prev = node.lru_prev
+        if prev is not None:
+            nxt = node.lru_next
+            prev.lru_next = nxt
+            nxt.lru_prev = prev
+        head = self._lru_head
+        first = head.lru_next
+        node.lru_prev = head
+        node.lru_next = first
+        head.lru_next = node
+        first.lru_prev = node
 
     # -- replay ------------------------------------------------------------
 
@@ -682,28 +1161,68 @@ class TraceCache:
             return self._replay_signs(node, qpu)
         if qpu.noise.is_ideal:
             return self._replay_generic(node, qpu)
+        if (self.config.trace_cache_compiled_noise
+                and isinstance(state, StateVector)
+                and qpu.noise.is_dense_compilable):
+            # is_dense_compilable fails closed: a NoiseModel channel
+            # the compiler does not know about routes to the timed
+            # device loop below, whose live hooks pick it up.
+            return self._replay_dense(node, qpu)
         return self._replay_device(node, qpu)
 
-    def _resume_point(self, skip_ops: int, outcomes: list[int]
-                      ) -> ResumePoint:
+    def _resume_point(self, ctx: _ReplayContext) -> ResumePoint:
         self.misses += 1
         self.resumes += 1
-        return ResumePoint(skip_ops=skip_ops, outcomes=outcomes)
+        # Copy: the dense replay context is reused across shots, so the
+        # ResumePoint must not alias its (soon reset) outcome list.
+        return ResumePoint(skip_ops=ctx.skip_ops,
+                           outcomes=list(ctx.outcomes))
+
+    def _epilogue(self, node: TraceNode,
+                  ctx: _ReplayContext) -> "TraceNode | object | None":
+        """The shared decide/hit/resume tail of every replay mode.
+
+        Re-computes the node's recorded decision from this shot's own
+        state — a data-dependent branch re-runs its compiled micro-op
+        on the register facade, an MRCE resolution reads the delivered
+        bit — and returns the child :class:`TraceNode` to continue
+        into, the :data:`_HIT` sentinel when the shot completed at a
+        recorded leaf (hit counted here), or ``None`` on a trie miss:
+        the caller materializes its mode-specific frontier (sign
+        replay restores the tableau, noise-site replay restores the
+        device bookkeeping) and returns :meth:`_resume_point`.
+
+        This epilogue is the correctness-critical part the three
+        specialized hot loops must agree on; keeping it in one place
+        is what the differential fuzzing suite leans on.
+        """
+        decision = node.decision
+        if decision is None:
+            self.hits += 1
+            return _HIT
+        if decision[0] == _D_BRANCH:
+            outcome = (1 if decision[2](ctx.proc(decision[1]))[0]
+                       == "taken" else 0)
+        else:  # _D_MRCE
+            outcome = ctx.delivered[decision[1]]
+        child = node.children.get(outcome)
+        if child is None or child.items is None:
+            return None
+        return child
 
     def _replay_generic(self, node: TraceNode, qpu: SimulatedQPU
                         ) -> tuple[dict[int, int], int] | ResumePoint:
         """Ideal-substrate replay through compiled backend closures."""
         state = qpu.state
         measure = state.measure
-        delivered: dict[int, int] = {}
-        outcomes: list[int] = []
-        skip_ops = 0
-        shared = SharedRegisters()
-        procs: dict[int, _ReplayProcessor] = {}
+        fuse = self.config.trace_cache_dense_fusion
+        ctx = _ReplayContext(self.config)
+        delivered = ctx.delivered
+        outcomes = ctx.outcomes
         while True:
-            node.last_used = self._tick
-            skip_ops += node.devops
-            for item in node.program(state):
+            self._touch(node)
+            ctx.skip_ops += node.devops
+            for item in node.program(state, fuse):
                 code = item[0]
                 if code == _I_OPS:
                     item[1]()
@@ -712,47 +1231,80 @@ class TraceCache:
                     delivered[item[1]] = value
                     outcomes.append(value)
                 elif code == _I_CLS:
-                    proc = procs.get(item[1])
-                    if proc is None:
-                        proc = procs[item[1]] = _ReplayProcessor(
-                            shared, self.config)
-                    item[2](proc)
+                    item[2](ctx.proc(item[1]))
                 else:  # _I_FMR
-                    proc = procs.get(item[1])
-                    if proc is None:
-                        proc = procs[item[1]] = _ReplayProcessor(
-                            shared, self.config)
-                    proc.registers.write(item[2], delivered[item[3]])
-            outcome = self._decide(node, delivered, procs, shared)
-            if outcome is None:
-                self.hits += 1
+                    ctx.write_fmr(item[1], item[2], item[3])
+            nxt = self._epilogue(node, ctx)
+            if nxt is _HIT:
                 return delivered, node.total_ns
-            node = node.children.get(outcome)
-            if node is None or node.items is None:
+            if nxt is None:
                 # The live backend state *is* the frontier checkpoint.
-                return self._resume_point(skip_ops, outcomes)
+                return self._resume_point(ctx)
+            node = nxt
+
+    def _replay_dense(self, node: TraceNode, qpu: SimulatedQPU
+                      ) -> tuple[dict[int, int], int] | ResumePoint:
+        """Noisy dense replay through the compiled noise-site program.
+
+        Every step is prebound (fused unitary runs, idle-decay sites
+        with precomputed durations, channel draws, ZZ windows with
+        precomputed overlaps); measurements execute live with readout
+        corruption so each shot draws its own outcomes.  On a miss,
+        the device's busy/window bookkeeping is restored from the
+        frontier node's compile-time exit maps — the backend state and
+        both rngs are already live at the frontier.
+        """
+        fuse = self.config.trace_cache_dense_fusion
+        ctx = self._dense_ctx
+        if ctx is None:
+            ctx = self._dense_ctx = _ReplayContext(self.config)
+        else:
+            ctx.reset()
+        parent: TraceNode | None = None
+        while True:
+            self._touch(node)
+            ctx.skip_ops += node.devops
+            for step in node.dense_program(qpu, parent, fuse, ctx):
+                step()
+            nxt = self._epilogue(node, ctx)
+            if nxt is _HIT:
+                # Copy: the context (and its delivered map) is reused
+                # by the next shot, but the caller keeps this result.
+                return dict(ctx.delivered), node.total_ns
+            if nxt is None:
+                # Restore the device bookkeeping the resumed
+                # cycle-accurate suffix will read (idle gaps, ZZ
+                # windows); rngs and backend state are already live.
+                qpu._busy_until.clear()
+                qpu._busy_until.update(node._exit_busy)
+                qpu._windows.clear()
+                qpu._windows.update(node._exit_windows)
+                return self._resume_point(ctx)
+            parent = node
+            node = nxt
 
     def _replay_device(self, node: TraceNode, qpu: SimulatedQPU
                        ) -> tuple[dict[int, int], int] | ResumePoint:
         """Noisy-substrate replay through the timed device program.
 
-        Re-applies the recorded operation stream at its original issue
-        times through the same state / noise-channel / idle-decay /
-        crosstalk-window sequence :class:`SimulatedQPU` performs,
-        drawing both rngs positionally — minus the event kernel,
-        operation logging, topology validation and telemetry.
+        The uncompiled comparison mode (PR 4 behaviour, selected by
+        ``trace_cache_compiled_noise=False``) and the fallback for
+        noisy non-dense backends: re-applies the recorded operation
+        stream at its original issue times through the same state /
+        noise-channel / idle-decay / crosstalk-window sequence
+        :class:`SimulatedQPU` performs, drawing both rngs positionally
+        — minus the event kernel, operation logging, topology
+        validation and telemetry.
         """
         state = qpu.state
         noise = qpu.noise
         busy = qpu._busy_until
-        delivered: dict[int, int] = {}
-        outcomes: list[int] = []
-        skip_ops = 0
-        shared = SharedRegisters()
-        procs: dict[int, _ReplayProcessor] = {}
+        ctx = _ReplayContext(self.config)
+        delivered = ctx.delivered
+        outcomes = ctx.outcomes
         while True:
-            node.last_used = self._tick
-            skip_ops += node.devops
+            self._touch(node)
+            ctx.skip_ops += node.devops
             for step in node.device_program():
                 code = step[0]
                 # The noise/decay/window hooks below run
@@ -781,40 +1333,17 @@ class TraceCache:
                     busy[qubit] = time_ns + duration
                     state.reset(qubit)
                 elif code == _DV_CLS:
-                    proc = procs.get(step[1])
-                    if proc is None:
-                        proc = procs[step[1]] = _ReplayProcessor(
-                            shared, self.config)
-                    step[2](proc)
+                    step[2](ctx.proc(step[1]))
                 else:  # _DV_FMR
-                    proc = procs.get(step[1])
-                    if proc is None:
-                        proc = procs[step[1]] = _ReplayProcessor(
-                            shared, self.config)
-                    proc.registers.write(step[2], delivered[step[3]])
-            outcome = self._decide(node, delivered, procs, shared)
-            if outcome is None:
-                self.hits += 1
+                    ctx.write_fmr(step[1], step[2], step[3])
+            nxt = self._epilogue(node, ctx)
+            if nxt is _HIT:
                 return delivered, node.total_ns
-            node = node.children.get(outcome)
-            if node is None or node.items is None:
+            if nxt is None:
                 # Device bookkeeping (busy map, drive windows) and
                 # both rngs are live at the frontier.
-                return self._resume_point(skip_ops, outcomes)
-
-    def _decide(self, node: TraceNode, delivered: dict[int, int],
-                procs: dict, shared: SharedRegisters) -> int | None:
-        """Re-compute the node's decision; ``None`` marks a leaf."""
-        decision = node.decision
-        if decision is None:
-            return None
-        if decision[0] == _D_BRANCH:
-            proc = procs.get(decision[1])
-            if proc is None:
-                proc = procs[decision[1]] = _ReplayProcessor(
-                    shared, self.config)
-            return 1 if decision[2](proc)[0] == "taken" else 0
-        return delivered[decision[1]]
+                return self._resume_point(ctx)
+            node = nxt
 
     def _replay_signs(self, node: TraceNode, qpu: SimulatedQPU
                       ) -> tuple[dict[int, int], int] | ResumePoint:
@@ -833,16 +1362,14 @@ class TraceCache:
         corrupt = noise.corrupt_readout
         nrng = noise.rng
         rng = state.rng.random
-        delivered: dict[int, int] = {}
-        outcomes: list[int] = []
-        skip_ops = 0
-        shared = SharedRegisters()
-        procs: dict[int, _ReplayProcessor] = {}
+        ctx = _ReplayContext(self.config)
+        delivered = ctx.delivered
+        outcomes = ctx.outcomes
         r = 0
         parent: TraceNode | None = None
         while True:
-            node.last_used = self._tick
-            skip_ops += node.devops
+            self._touch(node)
+            ctx.skip_ops += node.devops
             for op in node.sign_program(state, parent, noise):
                 code = op[0]
                 if code == _S_XOR:
@@ -909,32 +1436,23 @@ class TraceCache:
                     if outcome:
                         r ^= op[3]
                 elif code == _S_CLS:
-                    proc = procs.get(op[1])
-                    if proc is None:
-                        proc = procs[op[1]] = _ReplayProcessor(
-                            shared, self.config)
-                    op[2](proc)
+                    op[2](ctx.proc(op[1]))
                 else:  # _S_FMR
-                    proc = procs.get(op[1])
-                    if proc is None:
-                        proc = procs[op[1]] = _ReplayProcessor(
-                            shared, self.config)
-                    proc.registers.write(op[2], delivered[op[3]])
-            outcome = self._decide(node, delivered, procs, shared)
-            if outcome is None:
-                self.hits += 1
+                    ctx.write_fmr(op[1], op[2], op[3])
+            nxt = self._epilogue(node, ctx)
+            if nxt is _HIT:
                 return delivered, node.total_ns
-            parent = node
-            node = node.children.get(outcome)
-            if node is None or node.items is None:
+            if nxt is None:
                 # Materialize the frontier tableau: x/z from the last
                 # executed node's exit model, signs from the packed
                 # column.  Both rngs are already at their frontier
                 # positions.
-                exit_x, exit_z = parent._exit_xz
+                exit_x, exit_z = node._exit_xz
                 state.restore((exit_x, exit_z,
                                _unpack_signs(r, exit_x.shape[0])))
-                return self._resume_point(skip_ops, outcomes)
+                return self._resume_point(ctx)
+            parent = node
+            node = nxt
 
     # -- recording ---------------------------------------------------------
 
@@ -954,7 +1472,7 @@ class TraceCache:
             self.root = TraceNode()
             self.nodes += 1
         node = self.root
-        node.last_used = self._tick
+        self._touch(node)
         items: list = []
         ops: list = []
         times: list = []
@@ -986,9 +1504,11 @@ class TraceCache:
             child = node.children.get(outcome)
             if child is None:
                 child = TraceNode()
+                child.parent = node
+                child.edge = outcome
                 node.children[outcome] = child
                 self.nodes += 1
-            child.last_used = self._tick
+            self._touch(child)
             return child
 
         for entry in recorded:
@@ -1022,66 +1542,47 @@ class TraceCache:
     def _evict(self) -> None:
         """Drop least-recently-used subtrees until the trie fits.
 
-        One DFS scores every subtree by the newest ``last_used`` stamp
-        it contains (and its size); candidates are then detached
-        coldest-first (smallest on ties) only until the bound is met,
-        so eviction stops as soon as the excess is reclaimed.  The
-        path the current shot just used carries the newest stamp and
-        is never evicted — the bound is best-effort when that path
-        alone exceeds it.
+        Amortized: nodes sit on an intrusive recency list, so this
+        pass pops the coldest node, detaches its whole subtree, and
+        repeats — no full-trie scoring scan.  Touches always run
+        root-to-leaf along one path, so a parent is never colder than
+        a descendant; the tail node therefore carries the global
+        minimum stamp and is the *top* of a maximally cold subtree
+        (its descendants share that minimum stamp — they sit on the
+        head side of it, since each touch pushes the child after its
+        parent, and are unlinked with it), and detaching at it
+        removes exactly what the old full-scan pass would have
+        evicted first.  The path the current shot just used
+        carries the newest tick and is never evicted — the bound is
+        best-effort when that path alone exceeds it.  Total eviction
+        work is O(1) per node over its lifetime.
         """
-        newest: dict[int, int] = {}
-        sizes: dict[int, int] = {}
-        parent_of: dict[int, TraceNode | None] = {id(self.root): None}
-        candidates: list[tuple] = []  # ((stamp, size), node, parent, key)
-        stack: list[tuple] = [(self.root, None, None, False)]
-        while stack:
-            node, parent, key, done = stack.pop()
-            if not done:
-                parent_of[id(node)] = parent
-                stack.append((node, parent, key, True))
-                for edge, child in node.children.items():
-                    stack.append((child, node, edge, False))
-                continue
-            stamp = node.last_used
-            size = 1
-            for child in node.children.values():
-                child_stamp = newest[id(child)]
-                if child_stamp > stamp:
-                    stamp = child_stamp
-                size += sizes[id(child)]
-            newest[id(node)] = stamp
-            sizes[id(node)] = size
-            if parent is not None and stamp < self._tick:
-                candidates.append(((stamp, size), node, parent, key))
-        candidates.sort(key=lambda entry: entry[0])
-        detached: set[int] = set()
-        # Nodes already removed underneath each surviving ancestor, so
-        # a later-detached ancestor does not double-count a descendant
-        # subtree that went first.
-        removed_under: dict[int, int] = {}
-        for _score, node, parent, key in candidates:
-            if self.nodes <= self.max_nodes:
-                break
-            ancestor = parent
-            gone = False
-            while ancestor is not None:
-                if id(ancestor) in detached:
-                    gone = True
-                    break
-                ancestor = parent_of[id(ancestor)]
-            if gone:
-                continue
-            removed = sizes[id(node)] - removed_under.get(id(node), 0)
-            del parent.children[key]
-            detached.add(id(node))
+        tail = self._lru_tail
+        while self.nodes > self.max_nodes:
+            node = tail.lru_prev
+            if node is self._lru_head or node.last_used >= self._tick:
+                break  # only the current shot's path remains
+            del node.parent.children[node.edge]
+            removed = self._unlink_subtree(node)
             self.nodes -= removed
             self.evictions += removed
-            ancestor = parent
-            while ancestor is not None:
-                removed_under[id(ancestor)] = \
-                    removed_under.get(id(ancestor), 0) + removed
-                ancestor = parent_of[id(ancestor)]
+
+    def _unlink_subtree(self, node: TraceNode) -> int:
+        """Unlink a detached subtree from the recency list; its size."""
+        removed = 0
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            prev = current.lru_prev
+            if prev is not None:
+                nxt = current.lru_next
+                prev.lru_next = nxt
+                nxt.lru_prev = prev
+                current.lru_prev = current.lru_next = None
+            current.parent = None
+            removed += 1
+            stack.extend(current.children.values())
+        return removed
 
 
 def _same_decision(left: tuple | None, right: tuple | None) -> bool:

@@ -145,6 +145,31 @@ class SimulationBackend(abc.ABC):
         frozen = tuple(ops)
         return lambda: self.apply_ops(frozen)
 
+    def compile_fused_ops(self,
+                          ops: Sequence[BackendOp]) -> Callable[[], None]:
+        """Compile an operation stream, fusing gates where profitable.
+
+        Like :meth:`compile_ops` but with a *relaxed numeric contract*:
+        a backend may precompose consecutive unitaries into batched
+        operators (GEMM fusion), trading last-ulp amplitude identity
+        for fewer passes over the state.  The rng draw *sequence* is
+        strictly identical (fusion never consumes draws; resets still
+        draw exactly one each), so a measurement outcome — a threshold
+        comparison of a draw against the excited-state probability —
+        can differ from :meth:`apply_ops` only when a draw lands
+        inside the few-ulp window the perturbed probability opens:
+        per-measurement probability on the order of 2^-50,
+        astronomically unlikely but not structurally impossible.
+        Callers that need *exact* amplitude or outcome identity (e.g.
+        amplitude-level comparisons against the cycle-accurate
+        simulator) must use :meth:`compile_ops`.  Backends with no
+        fusion opportunity simply delegate to :meth:`compile_ops`
+        (the stabilizer tableau already flattens to primitive
+        conjugations; fusing further would not change the operation
+        count).
+        """
+        return self.compile_ops(ops)
+
     def _check_qubit(self, qubit: int) -> None:
         if not 0 <= qubit < self.n_qubits:
             raise ValueError(f"qubit q{qubit} out of range")

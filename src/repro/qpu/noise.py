@@ -287,16 +287,69 @@ class NoiseModel:
                    for spec in fields(self)
                    if spec.name not in pauli_compatible)
 
+    @property
+    def is_dense_compilable(self) -> bool:
+        """True when the compiled dense noise-site replay models every
+        channel this model *could* carry.
+
+        Fails **closed**, like :attr:`is_pauli_only`: the supported
+        channel fields are an allow-list, so an *enabled* channel
+        added to :class:`NoiseModel` later routes noisy dense replay
+        back to the timed device-level loop (whose hooks run the live
+        device code and therefore pick the new channel up
+        automatically) until the compiler is explicitly taught about
+        it.
+        """
+        compilable = {"depolarizing", "two_qubit_depolarizing",
+                      "pauli", "zz", "readout", "decoherence",
+                      "seed", "rng"}
+        return all(getattr(self, spec.name) is None
+                   for spec in fields(self)
+                   if spec.name not in compilable)
+
     def after_gate(self, state: StateVector, gate: str,
                    qubits: tuple[int, ...]) -> None:
-        """Inject gate-dependent noise after a unitary."""
+        """Inject gate-dependent noise after a unitary.
+
+        Iterates :meth:`gate_site_specs` so the channel selection has
+        exactly one implementation shared with the compiled replays.
+        """
+        for _kind, channel in self.gate_site_specs(qubits):
+            channel.apply(state, qubits, self.rng)
+
+    def gate_site_specs(self, qubits: tuple[int, ...]) -> tuple:
+        """Declarative form of :meth:`after_gate`'s channel sequence.
+
+        Returns ``(kind, channel)`` pairs — ``("dep", channel)`` for
+        the (qubit-count-selected) depolarizing channel, ``("pauli",
+        channel)`` for the Pauli channel — in exactly the order
+        :meth:`after_gate` applies them.  This is the single source
+        of truth compiled replays derive their noise sites from, so
+        the channel-selection logic cannot drift between the live
+        device path and any compiled path.  Empty when no gate
+        channel is enabled (the site can then be elided entirely,
+        which is what lets GEMM fusion run through it).
+        """
+        specs = []
         channel = self.depolarizing
         if len(qubits) == 2 and self.two_qubit_depolarizing is not None:
             channel = self.two_qubit_depolarizing
         if channel is not None:
-            channel.apply(state, qubits, self.rng)
+            specs.append(("dep", channel))
         if self.pauli is not None:
-            self.pauli.apply(state, qubits, self.rng)
+            specs.append(("pauli", self.pauli))
+        return tuple(specs)
+
+    def gate_site_appliers(self, qubits: tuple[int, ...]) -> tuple:
+        """The channel applications :meth:`after_gate` would perform.
+
+        The bound ``apply`` methods of :meth:`gate_site_specs`, for
+        replays that re-run the channels verbatim: calling each as
+        ``applier(state, qubits, rng)`` is draw-for-draw and
+        bit-for-bit identical to ``after_gate(state, gate, qubits)``.
+        """
+        return tuple(channel.apply
+                     for _kind, channel in self.gate_site_specs(qubits))
 
     def after_simultaneous_window(self, state: StateVector,
                                   driven: set[int],

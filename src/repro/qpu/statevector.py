@@ -52,6 +52,130 @@ def cached_unitary(name: str,
     return matrix
 
 
+#: Largest joint support (in qubits) a fused block operator may cover.
+#: 2^3 x 2^3 blocks keep composition cheap while still folding the
+#: common gate idioms (single-qubit runs, 1q-into-2q, CNOT ladders
+#: sharing a qubit) into one pass over the amplitudes.
+FUSE_MAX_QUBITS = 3
+
+#: Register size up to which :meth:`StateVector.block_applier` uses
+#: precomputed gather/scatter index arrays (2 * 8 * 2^n bytes per
+#: distinct permutation, shared through :data:`_GATHER_CACHE`); above
+#: this the indices would rival the statevector itself, so appliers
+#: fall back to precomputed-permutation transposes.
+_GATHER_QUBIT_LIMIT = 14
+
+#: (n_qubits, axis permutation) -> (gather, scatter) index arrays.
+#: The permutation depends only on the qubit tuple, so every block,
+#: node and backend instance touching the same qubits shares one
+#: pair instead of retaining its own 2^n arrays.
+_GATHER_CACHE: dict[tuple[int, tuple[int, ...]],
+                    tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _gather_indices(n: int, perm: tuple[int, ...]
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    key = (n, perm)
+    cached = _GATHER_CACHE.get(key)
+    if cached is None:
+        gather = np.arange(1 << n).reshape((2,) * n).transpose(
+            perm).ravel()
+        cached = _GATHER_CACHE[key] = (gather, np.argsort(gather))
+    return cached
+
+
+def _lift(matrix: np.ndarray, gate_qubits: tuple[int, ...],
+          support: tuple[int, ...]) -> np.ndarray:
+    """Expand ``matrix`` (acting on ``gate_qubits``) onto ``support``.
+
+    Both qubit tuples use the :meth:`StateVector.apply_unitary`
+    convention: position 0 is the most significant bit of the matrix
+    index.  ``support`` must contain every gate qubit.
+    """
+    extra = tuple(q for q in support if q not in gate_qubits)
+    order = tuple(gate_qubits) + extra
+    k = len(support)
+    full = np.kron(matrix, np.eye(1 << len(extra), dtype=complex))
+    if order == tuple(support):
+        return full
+    tensor = full.reshape((2,) * (2 * k))
+    axes = [order.index(q) for q in support]
+    tensor = tensor.transpose(axes + [k + axis for axis in axes])
+    return np.ascontiguousarray(tensor.reshape(1 << k, 1 << k))
+
+
+def fuse_into(matrix: np.ndarray, support: tuple[int, ...],
+              gate_matrix: np.ndarray, qubits: tuple[int, ...],
+              max_qubits: int = FUSE_MAX_QUBITS
+              ) -> tuple[np.ndarray, tuple[int, ...]] | None:
+    """Fold one unitary into an open fusion block.
+
+    Returns the grown ``(matrix, support)`` pair, or ``None`` when
+    the support union would exceed ``max_qubits`` (the caller then
+    flushes the block and opens a new one).  This is the one greedy
+    accumulation kernel every fusion consumer shares — the plain op
+    stream (:func:`fuse_ops`) and the trace cache's noise-site
+    compiler, which interleaves deferred channel sites.
+    """
+    union = tuple(sorted(set(support) | set(qubits)))
+    if len(union) > max_qubits:
+        return None
+    return (_lift(gate_matrix, tuple(qubits), union)
+            @ _lift(matrix, support, union), union)
+
+
+def fuse_ops(ops: Sequence[BackendOp],
+             max_qubits: int = FUSE_MAX_QUBITS) -> list[tuple]:
+    """Greedily precompose consecutive unitaries into block operators.
+
+    Walks the stream keeping one open block (a matrix and its qubit
+    support); each unitary whose support union stays within
+    ``max_qubits`` is lifted onto the union and multiplied in
+    (:func:`fuse_into`), so an entire gate run costs one pass over
+    the amplitudes at replay time.  Resets are non-unitary and flush
+    the block (they also consume an rng draw, which composition must
+    never absorb).
+
+    Returns steps ``("gate", matrix, qubits)`` / ``("reset", qubit)``.
+    Numerically this trades last-ulp amplitude identity (matrix
+    products round differently than sequential application) for fewer
+    GEMMs; the rng draw *sequence* is unchanged, so a measurement
+    outcome can differ from unfused replay only when a draw lands
+    inside the few-ulp window the perturbed probability opens —
+    see :meth:`SimulationBackend.compile_fused_ops` for the precise
+    contract.
+    """
+    steps: list[tuple] = []
+    support: tuple[int, ...] = ()
+    matrix: np.ndarray | None = None
+
+    def flush() -> None:
+        nonlocal support, matrix
+        if matrix is not None:
+            steps.append(("gate", matrix, support))
+            support, matrix = (), None
+
+    for kind, name, qubits, params in ops:
+        if kind == "reset":
+            flush()
+            steps.append(("reset", qubits[0]))
+            continue
+        gate_matrix = (cached_unitary(name, params) if len(qubits) == 1
+                       else lookup_gate(name).unitary(tuple(params)))
+        if matrix is None:
+            support, matrix = tuple(qubits), gate_matrix
+            continue
+        fused = fuse_into(matrix, support, gate_matrix, tuple(qubits),
+                          max_qubits)
+        if fused is not None:
+            matrix, support = fused
+        else:
+            flush()
+            support, matrix = tuple(qubits), gate_matrix
+    flush()
+    return steps
+
+
 @register_backend
 class StateVector(SimulationBackend):
     """An ``n_qubits`` pure state with in-place gate application."""
@@ -212,19 +336,127 @@ class StateVector(SimulationBackend):
 
         return replay
 
+    def block_applier(self, matrix: np.ndarray,
+                      qubits: tuple[int, ...]) -> Callable[[], None]:
+        """Precompile one k-qubit operator application for replay.
+
+        :meth:`apply_unitary` re-derives the axis permutation, inverse
+        permutation and block shape on every call (the ``moveaxis``
+        round trip); for a compiled replay those are constants.  The
+        k >= 2 closure gathers the amplitudes through a precomputed
+        index permutation (element-for-element the same contiguous
+        copy the ``moveaxis``/``reshape`` round trip produces), runs
+        the same GEMM, and scatters back through the inverse indices —
+        so the arithmetic, and with it every amplitude, is bit-for-bit
+        identical to :meth:`apply_unitary`.  The single-qubit closure
+        precomputes what :meth:`_apply_single_qubit` rebuilds per call
+        (the kron operator below the BLAS crossover) and performs the
+        identical matmul.
+        """
+        k = len(qubits)
+        if k == 1:
+            qubit = qubits[0]
+            inner = 1 << qubit
+            if qubit < self._KRON_THRESHOLD:
+                operator_t = np.kron(matrix,
+                                     np.eye(inner, dtype=complex)).T
+
+                def apply() -> None:
+                    rows = self._amplitudes.reshape(-1, 2 * inner)
+                    self._amplitudes = np.matmul(rows,
+                                                 operator_t).reshape(-1)
+            else:
+
+                def apply() -> None:
+                    blocks = self._amplitudes.reshape(-1, 2, inner)
+                    self._amplitudes = np.matmul(matrix,
+                                                 blocks).reshape(-1)
+
+            return apply
+        n = self.n_qubits
+        axes = [n - 1 - q for q in qubits]
+        rest = [axis for axis in range(n) if axis not in axes]
+        perm = tuple(axes + rest)
+        rows = 1 << k
+        if n <= _GATHER_QUBIT_LIMIT:
+            gather, scatter = _gather_indices(n, perm)
+
+            def apply() -> None:
+                out = matrix @ self._amplitudes[gather].reshape(rows,
+                                                                -1)
+                self._amplitudes = out.ravel()[scatter]
+
+            return apply
+        # Large registers: index arrays would rival the state itself,
+        # so fall back to precomputed-permutation transposes — same
+        # contiguous copies, same GEMM, still bit-identical.
+        inverse = tuple(int(i) for i in np.argsort(perm))
+        tensor_shape = (2,) * n
+
+        def apply() -> None:
+            tensor = self._amplitudes.reshape(tensor_shape)
+            tensor = matrix @ tensor.transpose(perm).reshape(rows, -1)
+            self._amplitudes = np.ascontiguousarray(
+                tensor.reshape(tensor_shape).transpose(inverse)
+            ).reshape(-1)
+
+        return apply
+
+    def compile_fused_ops(self,
+                          ops: Sequence[BackendOp]) -> Callable[[], None]:
+        """Compile an op stream with GEMM fusion (:func:`fuse_ops`).
+
+        Consecutive unitaries within the stream are precomposed into
+        block operators, so a decision-free gate run replays as a
+        handful of batched matmuls (through precompiled
+        :meth:`block_applier` closures) instead of one dispatch per
+        gate.  Fusion never consumes rng draws, but amplitudes may
+        differ from :meth:`compile_ops` in the last ulp — outcome
+        identity is almost-sure, not structural; see the base-class
+        contract for the precise statement.
+        """
+        steps: list[Callable[[], None]] = []
+        for step in fuse_ops(ops):
+            if step[0] == "reset":
+                qubit = step[1]
+                steps.append(lambda q=qubit: self.reset(q))
+            else:
+                steps.append(self.block_applier(step[1], step[2]))
+
+        def replay() -> None:
+            for apply in steps:
+                apply()
+
+        return replay
+
     # -- non-unitary operations ------------------------------------------------
 
     def probability_of_one(self, qubit: int) -> float:
         """Probability of measuring ``qubit`` as 1."""
         self._check_qubit(qubit)
         ones = self._amplitudes.reshape(-1, 2, 1 << qubit)[:, 1, :]
-        return float(np.sum(np.abs(ones) ** 2))
+        # np.add.reduce is np.sum minus the dispatch wrapper — same
+        # pairwise reduction, bit-identical result, and this is the
+        # hottest scalar on the measurement path.
+        return float(np.add.reduce(np.abs(ones) ** 2, axis=None))
 
     def measure(self, qubit: int) -> int:
-        """Projectively measure ``qubit`` and collapse the state."""
-        p_one = self.probability_of_one(qubit)
+        """Projectively measure ``qubit`` and collapse the state.
+
+        Shares one (-1, 2, 2^qubit) view between the probability
+        reduction and the collapse write; numerically identical to
+        ``probability_of_one`` + ``_project``.
+        """
+        self._check_qubit(qubit)
+        view = self._amplitudes.reshape(-1, 2, 1 << qubit)
+        p_one = float(np.add.reduce(np.abs(view[:, 1, :]) ** 2,
+                                    axis=None))
         outcome = 1 if self.rng.random() < p_one else 0
-        self._project(qubit, outcome, p_one)
+        norm = math.sqrt(p_one if outcome else 1.0 - p_one)
+        if norm == 0.0:
+            raise RuntimeError("projection onto zero-probability outcome")
+        view[:, 1 - outcome, :] = 0.0
+        self._amplitudes /= norm
         return outcome
 
     def _project(self, qubit: int, outcome: int, p_one: float) -> None:

@@ -1,0 +1,237 @@
+"""Differential fuzzing of the shot-execution strategies.
+
+Hypothesis generates random control-flow programs — data-dependent
+branches, bounded retry loops, MRCE conditionals, active resets — and
+every execution strategy must agree **bit for bit** under a fixed
+seed:
+
+* simulation backends: ``statevector`` x ``stabilizer`` (the gate pool
+  is Clifford-only, so both can represent every generated program and
+  their identically seeded outcome streams must coincide);
+* trace cache: off (the cycle-accurate reference), on, and on with a
+  tiny LRU bound (eviction + re-record churn);
+* issue model: scalar x superscalar;
+* noise: ideal, Pauli+readout (both backends), and the full dense
+  channel stack (statevector only);
+* dense replay flavours: GEMM fusion on/off, compiled noise-site
+  program vs the timed device-level loop.
+
+This is the suite guarding the shared decide/hit/resume epilogue
+(:meth:`repro.qcp.tracecache.TraceCache._epilogue`): all three
+specialized replay loops (sign-trace, generic compiled, dense
+noise-site) funnel through it, so a disagreement between any two
+strategies points either at a hot-loop specialization or at the one
+shared tail.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.builder import ProgramBuilder
+from repro.qcp import ShotEngine, scalar_config, superscalar_config
+from repro.qpu.noise import (DecoherenceNoise, DepolarizingNoise,
+                             NoiseModel, PauliChannel, ReadoutError,
+                             ZZCrosstalk)
+
+#: Clifford-only pool so both backends execute every program.
+GATES = ("h", "x", "s", "z", "y90", "cnot")
+
+N_QUBITS = 4
+SHOTS = 6
+
+
+def pauli_noise() -> NoiseModel:
+    return NoiseModel(pauli=PauliChannel(px=0.03, py=0.01, pz=0.02),
+                      readout=ReadoutError(p0_given_1=0.06,
+                                           p1_given_0=0.04))
+
+
+def dense_noise() -> NoiseModel:
+    return NoiseModel(
+        depolarizing=DepolarizingNoise(p=0.02),
+        two_qubit_depolarizing=DepolarizingNoise(p=0.04),
+        zz=ZZCrosstalk(zeta_hz=2.5e6, pairs=((0, 1), (2, 3))),
+        decoherence=DecoherenceNoise(t1_us=60.0, t2_us=45.0),
+        readout=ReadoutError(p0_given_1=0.05, p1_given_0=0.03))
+
+
+@st.composite
+def control_flow_programs(draw):
+    """Random well-formed programs exercising every decision kind.
+
+    Segments chain gates with one feedback construct each: a
+    measure + branch skip, an MRCE conditional, a *bounded* retry loop
+    (measure until 0, at most three tries — a miniature RUS whose
+    decision paths fan out), or an active reset.  Every qubit is
+    measured at the end so histograms are comparable.
+    """
+    builder = ProgramBuilder("fuzz")
+    builder.ldi(7, 3)  # retry-loop bound
+    n_segments = draw(st.integers(1, 4))
+    for segment in range(n_segments):
+        for _ in range(draw(st.integers(0, 3))):
+            gate = draw(st.sampled_from(GATES))
+            if gate == "cnot":
+                control = draw(st.integers(0, N_QUBITS - 1))
+                target = draw(
+                    st.integers(0, N_QUBITS - 1).filter(
+                        lambda q, c=control: q != c))
+                builder.qop("cnot", [control, target], timing=2)
+            else:
+                builder.qop(gate, [draw(st.integers(0, N_QUBITS - 1))],
+                            timing=2)
+        kind = draw(st.integers(0, 3))
+        qubit = draw(st.integers(0, N_QUBITS - 1))
+        target = draw(st.integers(0, N_QUBITS - 1))
+        if kind == 0:
+            builder.qmeas(qubit, timing=2)
+            builder.fmr(1, qubit)
+            skip = builder.fresh_label(f"skip{segment}")
+            builder.beq(1, 0, skip)
+            builder.qop("x", [target], timing=2)
+            builder.label(skip)
+        elif kind == 1:
+            builder.qmeas(qubit, timing=2)
+            builder.mrce(qubit, target, op_if_zero="i", op_if_one="x")
+        elif kind == 2:
+            builder.ldi(5, 0)
+            retry = builder.label(builder.fresh_label(f"retry{segment}"))
+            builder.qop("h", [qubit], timing=2)
+            builder.qmeas(qubit, timing=2)
+            builder.fmr(1, qubit)
+            builder.addi(5, 5, 1)
+            done = builder.fresh_label(f"done{segment}")
+            builder.beq(1, 0, done)
+            builder.blt(5, 7, retry)
+            builder.label(done)
+        else:
+            builder.qop("reset", [qubit], timing=2)
+    for qubit in range(N_QUBITS):
+        builder.qmeas(qubit, timing=4)
+    builder.halt()
+    return builder.build()
+
+
+def run_matrix(program, engines):
+    """Per-seed results of every engine; asserts pairwise equality."""
+    names = list(engines)
+    reference_name = names[0]
+    for seed in range(SHOTS):
+        reference = engines[reference_name].run_shot(seed)
+        for name in names[1:]:
+            result = engines[name].run_shot(seed)
+            assert result == reference, (
+                f"seed {seed}: {name} diverged from {reference_name}")
+
+
+def cache_engine(program, backend, config, noise_factory=None,
+                 **config_changes):
+    noise = noise_factory() if noise_factory is not None else None
+    return ShotEngine(program, config=config.with_(**config_changes),
+                      backend=backend, n_qubits=N_QUBITS, noise=noise)
+
+
+@settings(max_examples=12, deadline=None)
+@given(control_flow_programs())
+def test_fuzz_ideal_backends_and_cache_modes(program):
+    """Ideal substrate: backends x {off, on, LRU} x issue widths."""
+    for config in (scalar_config(), superscalar_config(4)):
+        engines = {}
+        for backend in ("statevector", "stabilizer"):
+            engines[f"{backend}-uncached"] = cache_engine(
+                program, backend, config, trace_cache=False)
+            engines[f"{backend}-cached"] = cache_engine(
+                program, backend, config)
+            engines[f"{backend}-lru"] = cache_engine(
+                program, backend, config, trace_cache_max_nodes=4)
+        # Cross-backend: identically seeded backends must produce the
+        # same outcome stream on Clifford programs (PR 1 contract),
+        # so *all six* strategies agree, not just per-backend pairs.
+        run_matrix(program, engines)
+        for name, engine in engines.items():
+            cache = engine.trace_cache
+            if cache is not None:
+                assert cache.hits + cache.misses == SHOTS, name
+
+
+@settings(max_examples=10, deadline=None)
+@given(control_flow_programs())
+def test_fuzz_pauli_noise_both_backends(program):
+    """Pauli+readout noise: sign-trace sites vs dense replay vs
+    cycle-accurate, with eviction churn in the mix."""
+    config = scalar_config()
+    engines = {}
+    for backend in ("statevector", "stabilizer"):
+        engines[f"{backend}-uncached"] = cache_engine(
+            program, backend, config, pauli_noise, trace_cache=False)
+        engines[f"{backend}-cached"] = cache_engine(
+            program, backend, config, pauli_noise)
+        engines[f"{backend}-lru"] = cache_engine(
+            program, backend, config, pauli_noise,
+            trace_cache_max_nodes=4)
+    run_matrix(program, engines)
+
+
+@settings(max_examples=10, deadline=None)
+@given(control_flow_programs(), st.booleans())
+def test_fuzz_dense_noise_replay_flavours(program, superscalar):
+    """Full dense channel stack: every noisy-dense replay flavour —
+    compiled noise-site program (fused and unfused), timed
+    device-level loop, LRU-bounded — against the cycle-accurate
+    reference."""
+    config = superscalar_config(4) if superscalar else scalar_config()
+    engines = {
+        "uncached": cache_engine(program, "statevector", config,
+                                 dense_noise, trace_cache=False),
+        "compiled-fused": cache_engine(program, "statevector", config,
+                                       dense_noise),
+        "compiled-unfused": cache_engine(
+            program, "statevector", config, dense_noise,
+            trace_cache_dense_fusion=False),
+        "device-loop": cache_engine(
+            program, "statevector", config, dense_noise,
+            trace_cache_compiled_noise=False),
+        "compiled-lru": cache_engine(
+            program, "statevector", config, dense_noise,
+            trace_cache_max_nodes=4),
+    }
+    run_matrix(program, engines)
+
+
+@settings(max_examples=8, deadline=None)
+@given(control_flow_programs())
+def test_fuzz_histograms_and_timings(program):
+    """run() aggregation: histograms, total_ns and the measured-qubit
+    union are identical across strategies, not just per-shot values."""
+    config = scalar_config()
+    reference = cache_engine(program, "stabilizer", config, pauli_noise,
+                             trace_cache=False).run(SHOTS)
+    for backend in ("statevector", "stabilizer"):
+        for changes in ({}, {"trace_cache_max_nodes": 4}):
+            result = cache_engine(program, backend, config, pauli_noise,
+                                  **changes).run(SHOTS)
+            assert result.counts == reference.counts
+            assert result.total_ns == reference.total_ns
+            assert result.measured_qubits == reference.measured_qubits
+
+
+def test_epilogue_is_shared_by_all_replay_modes():
+    """The decide/hit/resume tail is literally one implementation.
+
+    Guard against the epilogue being re-triplicated: the three
+    specialized loops must not grow private decision handling.  This
+    asserts the single choke point exists and the loops call it.
+    """
+    import inspect
+
+    from repro.qcp import tracecache
+
+    assert hasattr(tracecache.TraceCache, "_epilogue")
+    for mode in ("_replay_signs", "_replay_generic", "_replay_dense",
+                 "_replay_device"):
+        source = inspect.getsource(getattr(tracecache.TraceCache, mode))
+        assert "_epilogue" in source, f"{mode} bypasses the epilogue"
+        assert "children.get" not in source, (
+            f"{mode} re-implements edge selection outside the epilogue")

@@ -171,3 +171,35 @@ class TestPauliOnlyGate:
 
         assert Extended(leakage=object()).is_pauli_only is False
         assert Extended().is_pauli_only is True
+
+
+class TestDenseCompilableGating:
+    """is_dense_compilable gates the compiled noise-site replay."""
+
+    def test_every_shipped_channel_is_compilable(self):
+        from repro.qpu.noise import (DecoherenceNoise, NoiseModel,
+                                     PauliChannel, ReadoutError,
+                                     ZZCrosstalk)
+        model = NoiseModel(
+            depolarizing=DepolarizingNoise(p=0.01),
+            two_qubit_depolarizing=DepolarizingNoise(p=0.02),
+            pauli=PauliChannel(px=0.01),
+            zz=ZZCrosstalk(zeta_hz=1e3, pairs=((0, 1),)),
+            decoherence=DecoherenceNoise(),
+            readout=ReadoutError(p0_given_1=0.01))
+        assert model.is_dense_compilable
+        assert NoiseModel().is_dense_compilable
+
+    def test_unknown_enabled_channel_fails_closed(self):
+        # An active channel the noise-site compiler predates must
+        # route dense replay back to the timed device loop, not be
+        # silently dropped from the compiled program.
+        import dataclasses
+        from repro.qpu.noise import NoiseModel
+
+        @dataclasses.dataclass
+        class Extended(NoiseModel):
+            leakage: object | None = None
+
+        assert Extended(leakage=object()).is_dense_compilable is False
+        assert Extended().is_dense_compilable is True

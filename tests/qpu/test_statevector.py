@@ -156,3 +156,115 @@ def test_inverse_circuit_returns_to_start(gates, qubit):
     for gate in reversed(gates):
         state.apply_gate(inverses[gate], (qubit,))
     assert state.fidelity_with(reference) == pytest.approx(1.0)
+
+
+class TestGemmFusion:
+    """GEMM fusion and precompiled block appliers (trace-cache replay).
+
+    ``block_applier`` promises *bit-for-bit* identity with
+    ``apply_unitary`` (same GEMM on the same gathered buffer);
+    ``fuse_ops``/``compile_fused_ops`` promise identical rng draw
+    sequences and measurement outcomes, with amplitudes equal up to
+    last-ulp rounding (matrix products round differently).
+    """
+
+    OPS = [
+        ("gate", "h", (0,), ()),
+        ("gate", "cnot", (0, 1), ()),
+        ("gate", "x", (2,), ()),
+        ("gate", "cnot", (2, 1), ()),
+        ("reset", "reset", (0,), ()),
+        ("gate", "t", (1,), ()),
+        ("gate", "h", (2,), ()),
+        ("gate", "cz", (1, 2), ()),
+        ("gate", "y90", (0,), ()),
+        ("gate", "cnot", (1, 3), ()),
+    ]
+
+    def test_fused_stream_matches_sequential_amplitudes(self):
+        for seed in range(10):
+            sequential = StateVector(4, rng=random.Random(seed))
+            fused = StateVector(4, rng=random.Random(seed))
+            sequential.apply_ops(self.OPS)
+            fused.compile_fused_ops(self.OPS)()
+            assert np.allclose(sequential.amplitudes, fused.amplitudes)
+
+    def test_fusion_preserves_rng_draws_and_outcomes(self):
+        # Resets flush and draw exactly one rng draw each, so the
+        # draw streams — and every later measurement — stay aligned.
+        for seed in range(20):
+            sequential = StateVector(4, rng=random.Random(seed))
+            fused = StateVector(4, rng=random.Random(seed))
+            sequential.apply_ops(self.OPS)
+            fused.compile_fused_ops(self.OPS)()
+            for qubit in range(4):
+                assert sequential.measure(qubit) == fused.measure(qubit)
+
+    def test_fuse_ops_respects_support_bound(self):
+        from repro.qpu.statevector import fuse_ops
+        steps = fuse_ops(self.OPS, max_qubits=2)
+        for step in steps:
+            if step[0] == "gate":
+                assert len(step[2]) <= 2
+        # Resets survive as explicit steps (they consume an rng draw).
+        assert sum(1 for step in steps if step[0] == "reset") == 1
+
+    def test_fuse_ops_folds_single_qubit_runs(self):
+        from repro.qpu.statevector import fuse_ops
+        run = [("gate", "h", (1,), ()), ("gate", "t", (1,), ()),
+               ("gate", "s", (1,), ()), ("gate", "x", (1,), ())]
+        steps = fuse_ops(run)
+        assert len(steps) == 1
+        assert steps[0][0] == "gate" and steps[0][2] == (1,)
+
+    def test_lift_matches_direct_application(self):
+        from repro.circuit.gates import lookup_gate
+        from repro.qpu.statevector import _lift
+        rng = np.random.default_rng(7)
+        vector = rng.normal(size=8) + 1j * rng.normal(size=8)
+        vector /= np.linalg.norm(vector)
+        for gate_qubits in ((1, 0), (0, 2), (2, 1), (0,), (2,)):
+            gate = "cnot" if len(gate_qubits) == 2 else "h"
+            matrix = np.asarray(lookup_gate(gate).unitary(()),
+                                dtype=complex)
+            direct = StateVector(3)
+            lifted = StateVector(3)
+            direct._amplitudes[:] = vector
+            lifted._amplitudes[:] = vector
+            direct.apply_unitary(matrix, gate_qubits)
+            lifted.apply_unitary(_lift(matrix, gate_qubits, (0, 1, 2)),
+                                 (0, 1, 2))
+            assert np.allclose(direct.amplitudes, lifted.amplitudes)
+
+    @pytest.mark.parametrize("qubits", [(0,), (3,), (5,), (1, 4),
+                                        (4, 1), (0, 2, 5)])
+    def test_block_applier_bit_identical_to_apply_unitary(self, qubits):
+        # The contract is exact equality, not allclose: the applier
+        # must run the same GEMM over the same gathered buffer.
+        rng = np.random.default_rng(11)
+        k = len(qubits)
+        raw = (rng.normal(size=(1 << k, 1 << k))
+               + 1j * rng.normal(size=(1 << k, 1 << k)))
+        matrix, _ = np.linalg.qr(raw)
+        vector = rng.normal(size=64) + 1j * rng.normal(size=64)
+        vector /= np.linalg.norm(vector)
+        reference = StateVector(6)
+        compiled = StateVector(6)
+        reference._amplitudes[:] = vector
+        compiled._amplitudes[:] = vector
+        reference.apply_unitary(matrix, qubits)
+        compiled.block_applier(matrix, qubits)()
+        assert np.array_equal(reference.amplitudes, compiled.amplitudes)
+
+    def test_block_applier_single_qubit_matches_fast_path(self):
+        from repro.qpu.statevector import cached_unitary
+        for qubit in range(6):  # spans the kron/BLAS crossover
+            reference = StateVector(6, rng=random.Random(3))
+            compiled = StateVector(6, rng=random.Random(3))
+            for state in (reference, compiled):
+                state.apply_gate("h", (qubit,))
+            matrix = cached_unitary("t")
+            reference._apply_single_qubit(matrix, qubit)
+            compiled.block_applier(matrix, (qubit,))()
+            assert np.array_equal(reference.amplitudes,
+                                  compiled.amplitudes)
