@@ -1,10 +1,11 @@
 """Machine-readable shot-throughput baseline (``BENCH_shots.json``).
 
 Runs the shot-throughput suite through the compile-once
-:class:`~repro.qcp.shots.ShotEngine` twice — once with the trace cache
-disabled (every shot cycle-accurate) and once enabled (decision-trie
-replay) — and writes the rates as JSON so future PRs have a comparable
-perf trajectory.  Workloads:
+:class:`~repro.qcp.shots.ShotEngine` three times — trace cache
+disabled (every shot cycle-accurate), enabled with the serial per-shot
+replay loop, and enabled with shot-batched cohort replay (bit-plane
+sign columns / batch GEMMs, auto-sized cohorts) — and writes the rates
+as JSON so future PRs have a comparable perf trajectory.  Workloads:
 
 * repetition-chain syndrome memories from 9 to 101 qubits (ideal
   substrate);
@@ -46,6 +47,7 @@ from repro.benchlib.rus import build_rus_blocks
 from repro.benchlib.steane import (N_QUBITS as STEANE_QUBITS,
                                    build_shor_syndrome_program)
 from repro.qcp import ShotEngine, scalar_config
+from repro.qcp.tracecache import auto_batch_width
 from repro.qpu.noise import NoiseModel, PauliChannel, ReadoutError
 
 #: (n_data, total qubits) for the repetition-chain sweep.
@@ -83,10 +85,13 @@ def chain_noise_model() -> NoiseModel:
 
 def _measure(program, n_qubits: int, trace_cache: bool, shots: int,
              noise_factory=None, max_nodes: int | None = None,
-             backend: str = "stabilizer", **config_changes
-             ) -> tuple[float, ShotEngine]:
+             backend: str = "stabilizer", batch: bool = False,
+             **config_changes) -> tuple[float, ShotEngine]:
+    # Serial replay is the measured baseline: batching stays off
+    # unless this call is the explicit batched measurement.
     config = scalar_config(trace_cache=trace_cache,
                            trace_cache_max_nodes=max_nodes,
+                           trace_cache_batch=batch,
                            **config_changes)
     noise = noise_factory() if noise_factory is not None else None
     engine = ShotEngine(program, config=config, backend=backend,
@@ -97,6 +102,17 @@ def _measure(program, n_qubits: int, trace_cache: bool, shots: int,
     return shots / elapsed, engine
 
 
+def _cache_stats(cache, batched: bool = False) -> dict:
+    stats = {"hits": cache.hits, "misses": cache.misses,
+             "resumes": cache.resumes, "nodes": cache.nodes,
+             "evictions": cache.evictions}
+    if batched:
+        stats.update({"batched_shots": cache.batched_shots,
+                      "wavefront_splits": cache.wavefront_splits,
+                      "serial_fallbacks": cache.serial_fallbacks})
+    return stats
+
+
 def measure_workload(program, n_qubits: int,
                      uncached_shots: int, cached_shots: int,
                      noise_factory=None,
@@ -105,6 +121,9 @@ def measure_workload(program, n_qubits: int,
                                 noise_factory)
     cached_rate, engine = _measure(program, n_qubits, True, cached_shots,
                                    noise_factory, max_nodes)
+    batched_rate, batched_engine = _measure(
+        program, n_qubits, True, cached_shots, noise_factory, max_nodes,
+        batch=True)
     cache = engine.trace_cache
     entry = {
         "qubits": n_qubits,
@@ -115,9 +134,12 @@ def measure_workload(program, n_qubits: int,
         "cached_shots_per_s": round(cached_rate, 2),
         "cached_us_per_shot": round(1e6 / cached_rate, 1),
         "speedup": round(cached_rate / uncached_rate, 1),
-        "trace_cache": {"hits": cache.hits, "misses": cache.misses,
-                        "resumes": cache.resumes, "nodes": cache.nodes,
-                        "evictions": cache.evictions},
+        "batched_shots_per_s": round(batched_rate, 2),
+        "batch_width": auto_batch_width(batched_engine._qpu),
+        "batch_speedup": round(batched_rate / cached_rate, 2),
+        "trace_cache": _cache_stats(cache),
+        "batched_trace_cache": _cache_stats(
+            batched_engine.trace_cache, batched=True),
     }
     if max_nodes is not None:
         entry["trace_cache"]["max_nodes"] = max_nodes
@@ -171,11 +193,18 @@ def measure_dense_workload(program, n_qubits: int,
             "speedup_vs_device_replay": round(
                 compiled_rate / device_rate, 2),
         })
-    cache = engine.trace_cache
-    entry["trace_cache"] = {"hits": cache.hits, "misses": cache.misses,
-                            "resumes": cache.resumes,
-                            "nodes": cache.nodes,
-                            "evictions": cache.evictions}
+    batched_rate, batched_engine = _measure(
+        program, n_qubits, True, cached_shots, noise_factory,
+        backend="statevector", batch=True)
+    entry.update({
+        "batched_shots_per_s": round(batched_rate, 2),
+        "batch_width": auto_batch_width(batched_engine._qpu),
+        "batch_speedup": round(
+            batched_rate / entry["cached_shots_per_s"], 2),
+    })
+    entry["trace_cache"] = _cache_stats(engine.trace_cache)
+    entry["batched_trace_cache"] = _cache_stats(
+        batched_engine.trace_cache, batched=True)
     return entry
 
 
@@ -219,10 +248,12 @@ def run_suite(quick: bool = False) -> dict:
         workloads["rus_fair_coin_2x"] = measure_workload(
             program, 6, 200, 200, max_nodes=RUS_MAX_NODES)
     return {
-        "schema": "bench-shots/v3",
+        "schema": "bench-shots/v4",
         "description": ("Shot throughput of the compile-once ShotEngine "
                         "with the cycle-accurate simulator (uncached) vs "
-                        "trace-cache replay (cached), on ideal and noisy "
+                        "trace-cache replay (cached = serial per-shot "
+                        "loop, batched = lockstep cohorts at the "
+                        "reported batch_width), on ideal and noisy "
                         "substrates; dense entries compare GEMM-fused "
                         "replay and the compiled noise-site program "
                         "against their uncompiled counterparts."),
@@ -251,12 +282,22 @@ def main(argv: list[str] | None = None) -> int:
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
     header = f"{'workload':<28} {'uncached/s':>11} {'cached/s':>10} " \
-             f"{'speedup':>8}"
+             f"{'batched/s':>10} {'speedup':>8} {'batch':>6}"
     print(header)
     for name, data in report["workloads"].items():
+        batched = data.get("batched_shots_per_s")
+        batch_speedup = data.get("batch_speedup")
         print(f"{name:<28} {data['uncached_shots_per_s']:>11} "
               f"{data['cached_shots_per_s']:>10} "
-              f"{data['speedup']:>7}x")
+              f"{batched if batched is not None else '-':>10} "
+              f"{data['speedup']:>7}x "
+              f"{f'{batch_speedup}x' if batch_speedup is not None else '-':>6}")
+        stats = data.get("batched_trace_cache")
+        if stats and (stats["wavefront_splits"]
+                      or stats["serial_fallbacks"]):
+            print(f"{'':<28} batched: {stats['batched_shots']} shots, "
+                  f"{stats['wavefront_splits']} wavefront splits, "
+                  f"{stats['serial_fallbacks']} serial fallbacks")
     return 0
 
 

@@ -60,6 +60,11 @@ def _config_from_args(args: argparse.Namespace):
         config = config.with_(trace_cache_dense_fusion=False)
     if getattr(args, "no_compiled_noise", False):
         config = config.with_(trace_cache_compiled_noise=False)
+    if getattr(args, "no_batch_shots", False):
+        config = config.with_(trace_cache_batch=False)
+    batch_width = getattr(args, "batch_shots", None)
+    if batch_width is not None:
+        config = config.with_(trace_cache_batch_width=batch_width)
     return config
 
 
@@ -125,6 +130,14 @@ def _run_shots(program, args: argparse.Namespace) -> int:
         if cache.evictions:
             line += f", {cache.evictions} evicted"
         print(line)
+        if cache.batched_shots:
+            line = (f"batched replay: {cache.batched_shots} shots in "
+                    f"lockstep cohorts, {cache.wavefront_splits} "
+                    f"wavefront splits")
+            if cache.serial_fallbacks:
+                line += (f", {cache.serial_fallbacks} serial "
+                         f"fallbacks")
+            print(line)
     print(f"measured qubits: "
           f"{' '.join(f'q{q}' for q in result.measured_qubits)}")
     for bits, count in sorted(result.counts.items(),
@@ -230,6 +243,17 @@ def build_parser() -> argparse.ArgumentParser:
              "trace-cache replay instead of the compiled noise-site "
              "program (identical rng draw streams; amplitudes also "
              "bit-identical when --no-dense-fusion is given)")
+    run_parser.add_argument(
+        "--batch-shots", type=int, default=None, metavar="N",
+        help="cohort width for shot-batched trace-cache replay: "
+             "advance N shots in lockstep per cached pass (bit-plane "
+             "sign columns on the stabilizer backend, batch GEMMs on "
+             "the statevector backend; default: auto-sized from the "
+             "qubit count)")
+    run_parser.add_argument(
+        "--no-batch-shots", action="store_true",
+        help="replay cached shots one at a time instead of in "
+             "lockstep cohorts (results are bit-identical either way)")
     run_parser.set_defaults(entry=command_run)
 
     asm_parser = commands.add_parser(

@@ -94,6 +94,23 @@ class QCPConfig:
     #: (see that flag's note).  The flag exists so benchmarks can
     #: compare the two replay modes.
     trace_cache_compiled_noise: bool = True
+    #: Replay cached shots in batches: the shot engine hands the trace
+    #: cache a whole cohort of shot seeds and the cache walks the trie
+    #: as a *wavefront*, executing every compiled segment once for the
+    #: live cohort — bit-plane XORs on stabilizer substrates, batch
+    #: GEMMs on dense ones — instead of once per shot.  Bit-identical
+    #: per shot-seed to serial replay (each shot still draws from its
+    #: own salted rngs, in the same order); shots whose decision paths
+    #: leave the cached trie fall back to the serial per-shot loop,
+    #: which records the new path as usual.  Fails closed like
+    #: :attr:`trace_cache_compiled_noise`: nodes whose programs contain
+    #: a site the batch compiler does not model are replayed serially.
+    trace_cache_batch: bool = True
+    #: Cohort width for batched replay (``None`` = auto: 256 shots —
+    #: four machine words per bit-plane row — on stabilizer
+    #: substrates, memory-capped on dense ones; see
+    #: :func:`~repro.qcp.tracecache.auto_batch_width`).
+    trace_cache_batch_width: int | None = None
     #: LRU bound on trace-cache trie nodes (``None`` = unbounded).
     #: High-path-entropy workloads — RUS loops driven by fair coins —
     #: record a new path per novel decision sequence; the bound evicts
@@ -124,6 +141,9 @@ class QCPConfig:
         if self.trace_cache_max_nodes is not None \
                 and self.trace_cache_max_nodes < 1:
             raise ValueError("trace-cache node bound must be positive")
+        if self.trace_cache_batch_width is not None \
+                and self.trace_cache_batch_width < 1:
+            raise ValueError("trace-cache batch width must be positive")
 
     @property
     def is_superscalar(self) -> bool:

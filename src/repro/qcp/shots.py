@@ -65,7 +65,8 @@ from repro.qcp.config import QCPConfig
 from repro.qcp.memory import InstructionMemory
 from repro.qcp.system import QuAPESystem, infer_qubit_count
 from repro.qcp.tracecache import (CheckpointQPU, RecordingQPU,
-                                  ResumePoint, TraceCache)
+                                  ResumePoint, TraceCache,
+                                  auto_batch_width)
 from repro.qpu.device import QPUBase, SimulatedQPU
 from repro.qpu.noise import NoiseModel
 
@@ -233,23 +234,74 @@ class ShotEngine:
             cache.record(recorded, execution.total_ns)
         return last_value, execution.total_ns
 
+    def _run_all(self, shots: int):
+        """Yield every shot's (last results, ns) in seed order.
+
+        With batching enabled (``QCPConfig.trace_cache_batch``) the
+        first shot runs serially to warm the trie, then the remaining
+        seeds go to the trace cache in cohorts of
+        ``trace_cache_batch_width`` (default: substrate-dependent, see
+        :func:`~repro.qcp.tracecache.auto_batch_width`): the cache
+        replays each cohort as one wavefront over the trie and hands
+        back ``None`` for shots that diverged off the cached paths or
+        hit an unbatchable segment — those fall back to
+        :meth:`run_shot`, which records their new paths as usual.
+        Every shot is bit-identical to its serial ``run_shot(seed)``
+        either way, so histograms and timings do not depend on the
+        batch width.
+        """
+        cache = self.trace_cache
+        if (cache is None or not self.config.trace_cache_batch
+                or shots < 2):
+            for seed in range(shots):
+                yield self.run_shot(seed)
+            return
+        width = self.config.trace_cache_batch_width
+        if width is None:
+            width = auto_batch_width(self._qpu)
+        yield self.run_shot(0)
+        seed = 1
+        batching = True
+        while seed < shots:
+            chunk = list(range(seed, min(seed + width, shots)))
+            replayed = (cache.replay_batch(self._qpu, chunk)
+                        if batching else None)
+            if replayed is None:
+                # No batch kernel for this substrate/noise/config —
+                # stay serial for the rest of the run.
+                batching = False
+                replayed = [None] * len(chunk)
+            for chunk_seed, result in zip(chunk, replayed):
+                yield (result if result is not None
+                       else self.run_shot(chunk_seed))
+            seed += len(chunk)
+
     def run(self, shots: int) -> ShotResult:
         """Execute ``shots`` shots and histogram the outcomes."""
         if shots < 1:
             raise ValueError("need at least one shot")
         outcomes: list[dict[int, int]] = []
         total_ns = 0
-        for seed in range(shots):
-            last_value, shot_ns = self.run_shot(seed)
+        for last_value, shot_ns in self._run_all(shots):
             outcomes.append(last_value)
             total_ns += shot_ns
         measured = tuple(sorted(set().union(*outcomes)))
         result = ShotResult(shots=shots, measured_qubits=measured,
                             total_ns=total_ns)
+        # Batched replay hands out one shared outcome dict per
+        # distinct leaf pattern, so memoizing the rendered bitstring
+        # by object identity collapses the per-shot formatting to a
+        # dict hit.  The ids stay valid because ``outcomes`` keeps
+        # every dict alive for the duration of the loop.
+        counts = result.counts
+        rendered: dict[int, str] = {}
         for last_value in outcomes:
-            bits = "".join(str(last_value[q]) if q in last_value
-                           else UNMEASURED for q in measured)
-            result.counts[bits] += 1
+            bits = rendered.get(id(last_value))
+            if bits is None:
+                bits = rendered[id(last_value)] = "".join(
+                    [str(last_value[q]) if q in last_value
+                     else UNMEASURED for q in measured])
+            counts[bits] += 1
         return result
 
 

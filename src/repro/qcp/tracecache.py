@@ -143,6 +143,7 @@ inside them.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -152,11 +153,13 @@ from repro.qcp.config import QCPConfig
 from repro.qcp.registers import RegisterFile, SharedRegisters
 from repro.qpu.backend import SimulationBackend
 from repro.qpu.device import SimulatedQPU
-from repro.qpu.noise import NoiseModel
-from repro.qpu.stabilizer import (StabilizerState,
+from repro.qpu.noise import NOISE_SEED_SALT, NoiseModel
+from repro.qpu.stabilizer import (SignBitPlanes, StabilizerState,
                                   _CLIFFORD_DECOMPOSITIONS,
-                                  _TWO_QUBIT_DECOMPOSITIONS)
-from repro.qpu.statevector import (StateVector, _lift, cached_unitary,
+                                  _TWO_QUBIT_DECOMPOSITIONS,
+                                  pack_shot_mask)
+from repro.qpu.statevector import (BatchStateVector, StateVector, _lift,
+                                   batch_block_applier, cached_unitary,
                                    fuse_into)
 
 # Chronological-stream entry tags (recording side).  REC_GATE/REC_RESET
@@ -346,7 +349,9 @@ class TraceNode:
                  "last_used", "parent", "edge", "lru_prev", "lru_next",
                  "_program", "_program_state", "_exit_xz",
                  "_device_program", "_dense_program", "_dense_state",
-                 "_exit_busy", "_exit_windows")
+                 "_exit_busy", "_exit_windows",
+                 "_bsign_program", "_bsign_state",
+                 "_bdense_program", "_bdense_state", "_bexit_windows")
 
     def __init__(self) -> None:
         self.items: tuple | None = None
@@ -374,6 +379,14 @@ class TraceNode:
         #: resume restores into the live device.
         self._exit_busy: dict[int, int] | None = None
         self._exit_windows: dict[int, tuple[int, int]] | None = None
+        #: Batched (wavefront) replay compilations: the sign-trace
+        #: program with masks re-expressed as bit-plane row indices,
+        #: and the dense program as cohort-taking step closures.
+        self._bsign_program: list | None = None
+        self._bsign_state: SimulationBackend | None = None
+        self._bdense_program: list | None = None
+        self._bdense_state: SimulationBackend | None = None
+        self._bexit_windows: dict[int, tuple[int, int]] | None = None
 
     def program(self, state: SimulationBackend, fuse: bool = False) -> list:
         """This node's generic replay program, compiled for ``state``.
@@ -496,6 +509,52 @@ class TraceNode:
             self._exit_windows = windows
             self._dense_state = state
         return self._dense_program
+
+    def batch_sign_program(self, state: StabilizerState,
+                           parent: "TraceNode | None",
+                           noise: NoiseModel) -> list:
+        """The sign trace re-expressed for bit-plane cohorts.
+
+        Derived from :meth:`sign_program` (compiling it on demand, so
+        the model-tableau chaining and exit snapshots stay in one
+        place): every packed integer mask becomes an array of tableau
+        row indices, turning each serial integer XOR into one
+        vectorised XOR over the cohort's bit-plane rows.  Returns
+        ``(batched_ops, measured_qubits)`` — see
+        :func:`_batch_sign_ops`.
+        """
+        serial = self.sign_program(state, parent, noise)
+        if self._bsign_program is None or self._bsign_state is not state:
+            self._bsign_program = _batch_sign_ops(serial)
+            self._bsign_state = state
+        return self._bsign_program
+
+    def batch_dense_program(self, qpu: SimulatedQPU,
+                            parent: "TraceNode | None",
+                            fuse: bool) -> list:
+        """This node's cohort-taking dense program (batched replay).
+
+        Like :meth:`dense_program` but every step is a closure over a
+        :class:`_BatchCohort` argument instead of a captured per-shot
+        context, so one compilation serves every wavefront (and every
+        ``take``-partitioned sub-cohort) that passes through the node.
+        ZZ drive windows are chained from the parent's batched exit
+        map exactly like the serial compiler chains its bookkeeping.
+        Raises :class:`_UnbatchableNode` when the segment contains a
+        site the batch compiler does not model — the caller then falls
+        back to the serial per-shot loop (fail closed).
+        """
+        state = qpu.state
+        if self._bdense_program is None or self._bdense_state is not state:
+            if parent is None:
+                windows: dict[int, tuple[int, int]] = {}
+            else:
+                windows = dict(parent._bexit_windows)
+            self._bdense_program = _compile_batch_dense_node(
+                self.items, qpu, windows, fuse)
+            self._bexit_windows = windows
+            self._bdense_state = state
+        return self._bdense_program
 
 
 def _bitmask(rows: np.ndarray | list) -> int:
@@ -706,6 +765,110 @@ def _compile_sign_node(items: tuple, n: int, x: np.ndarray,
             program.append((_S_FMR, item[1], item[2], item[3]))
     flush()
     return program
+
+
+def _mask_rows(mask: int) -> np.ndarray:
+    """A packed integer row mask as an array of row indices.
+
+    The bit-plane representation indexes tableau rows directly — a
+    serial op's ``r ^= mask`` becomes ``planes[rows] ^= cohort_mask``.
+    """
+    rows = []
+    while mask:
+        low = mask & -mask
+        rows.append(low.bit_length() - 1)
+        mask ^= low
+    return np.array(rows, dtype=np.intp)
+
+
+def _batch_sign_ops(program: list) -> tuple:
+    """Re-express a compiled sign trace for bit-plane execution.
+
+    Structure and op order are identical to the serial program — only
+    the integer masks become row-index arrays (and the CHP ``g`` phase
+    collapses to its parity bit), so the batched loop mirrors the
+    serial loop op for op and draw for draw.  Returns
+    ``(batched_ops, measured_qubits)``: the second element is the
+    segment's measurement manifest in program order, which the
+    wavefront accumulates along its path so a completed shot can
+    materialize its delivered map from the cohort-level outcome words
+    in one pass.
+    """
+    batched: list = []
+    measured: list = []
+    for op in program:
+        code = op[0]
+        if code == _S_XOR:
+            batched.append((_S_XOR, _mask_rows(op[1])))
+        elif code == _S_MEAS_D:
+            batched.append((_S_MEAS_D, op[1], _mask_rows(op[2]),
+                            op[3] & 1))
+            measured.append(op[1])
+        elif code == _S_MEAS_R:
+            _c, qubit, pivot, pm, tmask, gmask = op
+            batched.append((_S_MEAS_R, qubit, pivot, pm,
+                            _mask_rows(tmask), _mask_rows(gmask)))
+            measured.append(qubit)
+        elif code == _S_RESET_R:
+            _c, pivot, pm, tmask, gmask, zmask = op
+            batched.append((_S_RESET_R, pivot, pm, _mask_rows(tmask),
+                            _mask_rows(gmask), _mask_rows(zmask)))
+        elif code == _S_RESET_D:
+            batched.append((_S_RESET_D, _mask_rows(op[1]), op[2] & 1,
+                            _mask_rows(op[3])))
+        elif code == _S_NOISE:
+            _c, dep_p, masks, pauli_cum = op
+            rows = tuple(tuple(_mask_rows(mask) for mask in qubit_masks)
+                         for qubit_masks in masks)
+            batched.append((_S_NOISE, dep_p, rows, pauli_cum))
+        else:  # _S_CLS / _S_FMR — classical, already shot-indexed
+            batched.append(op)
+    return batched, tuple(measured)
+
+
+def _word_int(words) -> int:
+    """A little-endian sequence of 64-bit words as one Python int."""
+    value = 0
+    for index in range(len(words) - 1, -1, -1):
+        value = (value << 64) | int(words[index])
+    return value
+
+
+def _int_words(value: int, words: int) -> np.ndarray:
+    """A Python int as a little-endian array of 64-bit words."""
+    out = np.empty(words, dtype=np.uint64)
+    for index in range(words):
+        out[index] = value & 0xFFFFFFFFFFFFFFFF
+        value >>= 64
+    return out
+
+
+class _BitPlaneDelivered:
+    """Per-shot view over the cohort-level delivered-outcome words.
+
+    The batched sign replay records measurement outcomes as one
+    arbitrary-precision integer per qubit (bit ``b`` is shot ``b``'s
+    latest outcome) instead of touching every shot's dict on every
+    measurement.  This view makes those words look like the per-shot
+    ``delivered`` mapping the shared epilogue reads — an MRCE decision
+    or an FMR register write costs one shift-and-mask — and
+    ``snapshot`` materializes the real dict once, when the shot
+    completes at a leaf.
+    """
+
+    __slots__ = ("words", "slot")
+
+    def __init__(self, words: dict, slot: int) -> None:
+        self.words = words
+        self.slot = slot
+
+    def __getitem__(self, qubit: int) -> int:
+        return (self.words[qubit] >> self.slot) & 1
+
+    def snapshot(self, measured: tuple) -> dict:
+        slot = self.slot
+        words = self.words
+        return {qubit: (words[qubit] >> slot) & 1 for qubit in measured}
 
 
 class _DenseBlockCompiler:
@@ -992,6 +1155,326 @@ def _compile_dense_node(items: tuple, qpu: SimulatedQPU,
     return steps
 
 
+class _UnbatchableNode(Exception):
+    """A node's segment contains a site the batch compiler cannot
+    model; the wavefront falls back to the serial per-shot loop for
+    the affected shots (fail closed, mirroring ``is_dense_compilable``'s
+    routing to the device loop)."""
+
+
+class _BatchCohort:
+    """The live shots of one wavefront branch, advanced in lockstep.
+
+    Pairs the stacked quantum state (:class:`BatchStateVector` row
+    ``b``) with shot ``b``'s classical replay context and its two
+    seeded rngs — measurement (``random.Random(seed)``) and noise
+    (``random.Random(seed ^ NOISE_SEED_SALT)``), the exact per-shot
+    streams :meth:`~repro.qpu.device.SimulatedQPU.restart` would seed
+    — plus the shot's slot in the caller's result list.  ``take``
+    is the wavefront partition primitive.
+    """
+
+    __slots__ = ("batch", "slots", "ctxs", "srngs", "nrngs")
+
+    def __init__(self, batch: BatchStateVector, slots: list,
+                 ctxs: list, srngs: list, nrngs: list) -> None:
+        self.batch = batch
+        self.slots = slots
+        self.ctxs = ctxs
+        self.srngs = srngs
+        self.nrngs = nrngs
+
+    def take(self, rows: list) -> "_BatchCohort":
+        """The sub-cohort of the given rows (self when all survive)."""
+        if len(rows) == len(self.slots):
+            return self
+        return _BatchCohort(self.batch.take(rows),
+                            [self.slots[r] for r in rows],
+                            [self.ctxs[r] for r in rows],
+                            [self.srngs[r] for r in rows],
+                            None if self.nrngs is None
+                            else [self.nrngs[r] for r in rows])
+
+
+class _BatchDenseCompiler:
+    """Cohort-step analogue of :class:`_DenseBlockCompiler`.
+
+    Same incremental GEMM fusion and deferred-site algebra (``R P R†``
+    corrections emitted after the block, exact in site order), but the
+    emitted steps take a :class:`_BatchCohort`: the block applies to
+    every row in one batch GEMM, and each deferred channel site draws
+    every shot's own noise rng — qubit-outer, shot-inner, preserving
+    each shot's serial draw order — then applies the fired corrections
+    to just those rows.
+    """
+
+    def __init__(self, n_qubits: int, steps: list) -> None:
+        self.n_qubits = n_qubits
+        self.steps = steps
+        self.support: tuple[int, ...] = ()
+        self.matrix: np.ndarray | None = None
+        self.sites: list[tuple] = []
+
+    def add_unitary(self, matrix: np.ndarray,
+                    qubits: tuple[int, ...]) -> None:
+        if self.matrix is None:
+            self.support, self.matrix = tuple(qubits), matrix
+            return
+        fused = fuse_into(self.matrix, self.support, matrix,
+                          tuple(qubits))
+        if fused is not None:
+            self.matrix, self.support = fused
+        else:
+            self.flush()
+            self.support, self.matrix = tuple(qubits), matrix
+
+    def add_site(self, kind: str, params,
+                 qubits: tuple[int, ...]) -> None:
+        self.sites.append((kind, params, qubits, self.matrix,
+                           self.support))
+
+    def flush(self) -> None:
+        if self.matrix is None:
+            return
+        block = self.matrix
+        support = self.support
+        applier = batch_block_applier(self.n_qubits, block, support)
+        self.steps.append(lambda cohort, a=applier: a(cohort.batch))
+        for kind, params, qubits, prefix, prefix_support in self.sites:
+            lifted = _lift(prefix, prefix_support, support)
+            rest = block @ lifted.conj().T
+            rest_dag = rest.conj().T
+            appliers = tuple(
+                tuple(batch_block_applier(
+                    self.n_qubits,
+                    rest @ _lift(cached_unitary(pauli),
+                                 (qubit,), support) @ rest_dag,
+                    support)
+                    for pauli in ("x", "y", "z"))
+                for qubit in qubits)
+            self.steps.append(_batch_channel_step(kind, params, appliers))
+        self.support, self.matrix = (), None
+        self.sites = []
+
+
+def _batch_channel_step(kind: str, params, appliers: tuple):
+    """One cohort step for a stochastic gate-channel site.
+
+    ``appliers`` holds, per site qubit, the (X, Y, Z) correction
+    appliers (sub-cohort capable).  Draw order matches the device:
+    each shot consumes its own noise rng exactly as
+    ``DepolarizingNoise.apply`` / ``PauliChannel.apply`` would — one
+    ``random()`` per qubit (plus one ``choice()`` on a depolarizing
+    fire) — qubit-outer so vectorised application groups the fired
+    shots per Pauli without reordering any single shot's draws.
+    """
+    if kind == "dep":
+        p = params
+
+        def step(cohort: _BatchCohort) -> None:
+            for triplet in appliers:
+                fired: tuple[list, list, list] = ([], [], [])
+                for row, nrng in enumerate(cohort.nrngs):
+                    if nrng.random() < p:
+                        fired[nrng.choice(_PAULI_INDICES)].append(row)
+                for index in range(3):
+                    if fired[index]:
+                        triplet[index](cohort.batch,
+                                       np.array(fired[index],
+                                                dtype=np.intp))
+    elif kind == "pauli":
+        cx, cxy, cxyz = params
+
+        def step(cohort: _BatchCohort) -> None:
+            for triplet in appliers:
+                fired = ([], [], [])
+                for row, nrng in enumerate(cohort.nrngs):
+                    draw = nrng.random()
+                    if draw < cx:
+                        fired[0].append(row)
+                    elif draw < cxy:
+                        fired[1].append(row)
+                    elif draw < cxyz:
+                        fired[2].append(row)
+                for index in range(3):
+                    if fired[index]:
+                        triplet[index](cohort.batch,
+                                       np.array(fired[index],
+                                                dtype=np.intp))
+    else:
+        raise _UnbatchableNode(
+            f"unknown gate-channel site kind {kind!r}")
+    return step
+
+
+def _compile_batch_dense_node(items: tuple, qpu: SimulatedQPU,
+                              windows: dict[int, tuple[int, int]],
+                              fuse: bool) -> list:
+    """Compile a node's segment into cohort-taking dense steps.
+
+    The batched analogue of :func:`_compile_dense_node` minus the
+    idle-decay sites (amplitude damping reads per-shot live state, so
+    decoherent models are gated out by
+    :attr:`~repro.qpu.noise.NoiseModel.is_batch_compilable` — and
+    fail closed here if one slips through).  ``windows`` models the
+    device's drive-window bookkeeping at node entry, advanced in place
+    to the exit state.  Measurements become one cohort probability
+    reduction plus per-shot draws/collapse; every other stochastic
+    site draws shot-by-shot from each shot's own noise rng in serial
+    order, so the batch is draw-for-draw identical per shot-seed.
+    """
+    state = qpu.state
+    noise = qpu.noise
+    if noise.decoherence is not None:
+        raise _UnbatchableNode("idle decay reads per-shot live state")
+    n = state.n_qubits
+    zz = noise.zz
+    pauli = noise.pauli
+    pauli_cum = None
+    if pauli is not None:
+        pauli_cum = (pauli.px, pauli.px + pauli.py,
+                     pauli.px + pauli.py + pauli.pz)
+    readout = noise.readout
+    steps: list = []
+    block = _BatchDenseCompiler(n, steps) if fuse else None
+
+    def flush_gates() -> None:
+        if block is not None:
+            block.flush()
+
+    def gate_applier(matrix: np.ndarray,
+                     qubits: tuple[int, ...]) -> None:
+        if block is not None:
+            block.add_unitary(matrix, qubits)
+            return
+        applier = batch_block_applier(n, matrix, qubits)
+        steps.append(lambda cohort, a=applier: a(cohort.batch))
+
+    def channel_sites(qubits: tuple[int, ...]) -> None:
+        for kind, channel in noise.gate_site_specs(qubits):
+            if kind == "dep":
+                params = channel.p
+            elif kind == "pauli":
+                params = pauli_cum
+            else:
+                raise _UnbatchableNode(
+                    f"unknown gate-channel site kind {kind!r}")
+            if block is not None:
+                block.add_site(kind, params, qubits)
+                continue
+            appliers = tuple(
+                tuple(batch_block_applier(n, cached_unitary(p), (q,))
+                      for p in ("x", "y", "z"))
+                for q in qubits)
+            steps.append(_batch_channel_step(kind, params, appliers))
+
+    def note_window(time_ns: int, qubits: tuple[int, ...],
+                    duration: int) -> None:
+        # Same model as _compile_dense_node's; overlaps are constants.
+        end = time_ns + duration
+        driven_now = set(qubits)
+        overlap_ns = 0
+        for other, (start, stop) in windows.items():
+            if other in driven_now:
+                continue
+            overlap = min(end, stop) - max(time_ns, start)
+            if overlap > 0:
+                driven_now.add(other)
+                overlap_ns = max(overlap_ns, overlap)
+        for qubit in qubits:
+            windows[qubit] = (time_ns, end)
+        if zz is not None and len(driven_now) >= 2 and overlap_ns > 0:
+            phi = zz.conditional_phase(overlap_ns)
+            if phi == 0.0:
+                return
+            matrix = np.diag(
+                [1.0, 1.0, 1.0, np.exp(1j * phi)]).astype(complex)
+            for left, right in zz.pairs:
+                if left in driven_now and right in driven_now:
+                    gate_applier(matrix, (left, right))
+
+    def measure_step(qubit: int):
+        def step(cohort: _BatchCohort, q=qubit) -> None:
+            # One cohort-wide reduction replaces per-shot probability
+            # scans; outcomes still come from each shot's own rng.
+            p_one = cohort.batch.probability_of_one(q)
+            outcomes = [1 if srng.random() < p_one[row] else 0
+                        for row, srng in enumerate(cohort.srngs)]
+            cohort.batch.collapse(q, np.array(outcomes), p_one)
+            if readout is None:
+                for row, ctx in enumerate(cohort.ctxs):
+                    ctx.deliver(q, outcomes[row])
+            else:
+                rcorrupt = readout.corrupt
+                for row, ctx in enumerate(cohort.ctxs):
+                    ctx.deliver(q, rcorrupt(outcomes[row],
+                                            cohort.nrngs[row]))
+        return step
+
+    def reset_step(qubit: int):
+        applier = batch_block_applier(n, cached_unitary("x"), (qubit,))
+
+        def step(cohort: _BatchCohort, q=qubit) -> None:
+            p_one = cohort.batch.probability_of_one(q)
+            outcomes = [1 if srng.random() < p_one[row] else 0
+                        for row, srng in enumerate(cohort.srngs)]
+            cohort.batch.collapse(q, np.array(outcomes), p_one)
+            ones = [row for row, outcome in enumerate(outcomes)
+                    if outcome]
+            if ones:
+                applier(cohort.batch, np.array(ones, dtype=np.intp))
+        return step
+
+    for item in items:
+        code = item[0]
+        if code == _I_OPS:
+            for op, time_ns in zip(item[1], item[2]):
+                kind, name, qubits, params = op
+                duration = lookup_gate(name).duration_ns
+                if kind == "reset":
+                    flush_gates()
+                    steps.append(reset_step(qubits[0]))
+                    continue
+                matrix = (cached_unitary(name, params)
+                          if len(qubits) == 1
+                          else lookup_gate(name).unitary(params))
+                gate_applier(matrix, qubits)
+                channel_sites(qubits)
+                note_window(time_ns, qubits, duration)
+        elif code == _I_MEAS:
+            flush_gates()
+            steps.append(measure_step(item[1]))
+        elif code == _I_CLS:
+            def cls_step(cohort: _BatchCohort,
+                         run=item[2], pid=item[1]) -> None:
+                for ctx in cohort.ctxs:
+                    run(ctx.proc(pid))
+            steps.append(cls_step)
+        else:  # _I_FMR
+            def fmr_step(cohort: _BatchCohort, pid=item[1],
+                         rd=item[2], q=item[3]) -> None:
+                for ctx in cohort.ctxs:
+                    ctx.write_fmr(pid, rd, q)
+            steps.append(fmr_step)
+    flush_gates()
+    return steps
+
+
+def auto_batch_width(qpu: SimulatedQPU) -> int:
+    """Default cohort width for batched replay on ``qpu``'s substrate.
+
+    Stabilizer sign traces pack 64 shots per machine word; four words
+    per bit-plane row keep the vectorised XORs effectively free while
+    quartering the per-segment dispatch overhead each shot pays, so
+    the default cohort is 256.  Dense cohorts are capped so the
+    ``(width, 2^n)`` amplitude matrix stays around a few hundred
+    megabytes of complex amplitudes.
+    """
+    if isinstance(qpu.state, StateVector):
+        return min(64, max(1, (1 << 23) >> qpu.state.n_qubits))
+    return 256
+
+
 class RecordingQPU:
     """Device proxy capturing the backend-op stream of one shot.
 
@@ -1085,6 +1568,11 @@ class TraceCache:
     ``resumes`` (the subset of misses that restarted from the
     divergence frontier instead of from scratch), ``nodes`` (live trie
     nodes) and ``evictions`` (nodes dropped by the LRU bound).
+    Batched replay adds ``batched_shots`` (the subset of hits
+    completed by a wavefront cohort), ``wavefront_splits`` (cohort
+    partitions at decision points) and ``serial_fallbacks`` (shots a
+    wavefront handed back to the serial per-shot loop — divergences
+    off the cached trie plus unbatchable segments).
     """
 
     def __init__(self, config: QCPConfig) -> None:
@@ -1096,6 +1584,9 @@ class TraceCache:
         self.resumes = 0
         self.nodes = 0
         self.evictions = 0
+        self.batched_shots = 0
+        self.wavefront_splits = 0
+        self.serial_fallbacks = 0
         self._tick = 0
         # Persistent replay context for the compiled dense programs
         # (their closures capture it; reset in place per shot).
@@ -1453,6 +1944,415 @@ class TraceCache:
                 return self._resume_point(ctx)
             parent = node
             node = nxt
+
+    # -- batched (wavefront) replay ----------------------------------------
+
+    def replay_batch(self, qpu: SimulatedQPU, seeds: list
+                     ) -> "list | None":
+        """Replay a cohort of shot seeds through the trie at once.
+
+        The trie is traversed as a **wavefront**: every compiled
+        segment executes once for all live shots — bit-plane XORs on
+        stabilizer substrates, batch GEMMs on dense ones — and each
+        decision is drawn per shot from its own seeded rngs (the exact
+        streams ``qpu.restart(seed)`` would produce), partitioning the
+        cohort across child edges.  Returns a list aligned with
+        ``seeds``: ``(last result per qubit, total ns)`` for each shot
+        a wavefront completed at a recorded leaf — bit-identical per
+        shot-seed to :meth:`replay` — and ``None`` for shots that left
+        the cached trie or hit an unbatchable segment; the caller runs
+        those through the serial per-shot path, which records new
+        paths as usual.  Returns ``None`` (no list) when this
+        substrate/noise/config combination has no batch kernel at all,
+        so the caller can stop attempting batches.  The live QPU's
+        state and rngs are never touched — cohorts carry their own —
+        but its per-shot logs are cleared, as any serial replay would.
+        """
+        results: list = [None] * len(seeds)
+        node = self.root
+        if node is None or node.items is None:
+            return results
+        state = qpu.state
+        noise = qpu.noise
+        if isinstance(state, StabilizerState) and noise.is_pauli_only:
+            self._tick += 1
+            # Per-shot device logs describe the *last* simulated shot;
+            # a batched pass supersedes it just like a serial replay
+            # (which clears them before restarting), so stale entries
+            # must not survive the cohort.
+            qpu.operation_log.clear()
+            qpu.timing_violations.clear()
+            return self._replay_batch_signs(node, qpu, seeds, results)
+        if isinstance(state, StateVector) and (
+                noise.is_ideal
+                or (self.config.trace_cache_compiled_noise
+                    and noise.is_dense_compilable
+                    and noise.is_batch_compilable)):
+            # is_batch_compilable fails closed like is_dense_compilable:
+            # state-reading channels (idle decay) and unknown channels
+            # keep the serial loop, which is always correct.
+            self._tick += 1
+            qpu.operation_log.clear()
+            qpu.timing_violations.clear()
+            return self._replay_batch_dense(node, qpu, seeds, results)
+        return None
+
+    def _epilogue_batch(self, node: TraceNode, slots: list, ctxs: list,
+                        results: list, measured: tuple | None = None
+                        ) -> dict:
+        """The shared decide/hit/fallback tail of the batched modes.
+
+        Runs the serial :meth:`_epilogue` once per live shot — same
+        compiled micro-op re-run, same delivered-bit lookup, same
+        child selection and hit counting — and partitions the cohort
+        by the resulting edge.  Completed shots write their result
+        into ``results`` (counted in ``batched_shots``); shots whose
+        decisions leave the cached trie are left as ``None`` for the
+        serial fallback (counted in ``serial_fallbacks``); a cohort
+        that divides across continuations counts ``wavefront_splits``.
+        ``measured`` is the sign mode's path measurement manifest:
+        when given, each completed shot's delivered map is
+        materialized from the cohort outcome words
+        (:meth:`_BitPlaneDelivered.snapshot`); when ``None`` (dense
+        mode) the per-shot context already owns a real dict.  Returns
+        ``{id(child): (child, rows)}`` for the surviving
+        sub-wavefronts (``rows`` index into ``slots``/``ctxs``).
+        """
+        groups: dict[int, tuple[TraceNode, list[int]]] = {}
+        fallback = 0
+        completed = 0
+        for row, slot in enumerate(slots):
+            nxt = self._epilogue(node, ctxs[row])
+            if nxt is _HIT:
+                # Per-shot contexts are never reused, so the delivered
+                # map can be handed out without a copy.
+                delivered = ctxs[row].delivered
+                if measured is not None:
+                    delivered = delivered.snapshot(measured)
+                results[slot] = (delivered, node.total_ns)
+                self.batched_shots += 1
+                completed += 1
+            elif nxt is None:
+                fallback += 1
+            else:
+                entry = groups.get(id(nxt))
+                if entry is None:
+                    entry = groups[id(nxt)] = (nxt, [])
+                entry[1].append(row)
+        self.serial_fallbacks += fallback
+        parts = (len(groups) + (1 if fallback else 0)
+                 + (1 if completed else 0))
+        if parts > 1:
+            self.wavefront_splits += parts - 1
+        return groups
+
+    def _replay_batch_signs(self, root: TraceNode, qpu: SimulatedQPU,
+                            seeds: list, results: list) -> list:
+        """Wavefront sign-trace replay over bit-plane sign columns.
+
+        The cohort's sign columns live in a :class:`SignBitPlanes`
+        (bit ``b`` of a row's plane word is shot ``b``'s sign bit), so
+        one compiled ``_S_XOR`` advances every live shot with a single
+        vectorised XOR and deterministic measurements reduce to one
+        bit-plane parity per cohort.  Random-pivot measurements,
+        resets and noise sites draw each shot's own seeded rngs in
+        serial order (shot-inner loops), keeping every shot
+        bit-identical to its serial replay; sub-cohorts that split at
+        a decision keep sharing the plane array through disjoint
+        cohort masks.
+
+        Two wavefront fast paths keep the per-shot Python work off
+        the common QEC shape (measure, MRCE-reset, repeat): a leaf
+        completes its whole cohort in one pass over the delivered
+        words, and an MRCE decision whose outcome word is uniform
+        across the cohort (all 0 or all 1 — no split) resolves the
+        edge once via the shared epilogue instead of once per shot.
+        Per-shot classical contexts are created lazily — a path with
+        no classical ops and no split decisions never builds one.
+        """
+        state: StabilizerState = qpu.state
+        noise = qpu.noise
+        readout = noise.readout
+        if readout is not None:
+            p0_given_1, p1_given_0 = (readout.p0_given_1,
+                                      readout.p1_given_0)
+        width = len(seeds)
+        words = (width + 63) >> 6
+        planes = SignBitPlanes(2 * state.n_qubits + 1, width)
+        srngs = [random.Random(seed) for seed in seeds]
+        # The noise rng is only ever drawn by channel sites and readout
+        # corruption; on an ideal substrate skipping its (expensive)
+        # Mersenne seeding halves the per-shot rng cost.
+        nrngs = ([random.Random(seed ^ NOISE_SEED_SALT)
+                  for seed in seeds]
+                 if readout is not None or not noise.is_ideal else None)
+        # Measurement outcomes live in one arbitrary-precision integer
+        # per qubit (bit b = shot b's latest outcome); per-shot
+        # contexts read them through a shift-and-mask view instead of
+        # paying a dict write per shot per measurement.
+        delivered_words: dict[int, int] = {}
+        all_ctxs: list = [None] * width
+        config = self.config
+
+        def ctx_for(slot: int) -> _ReplayContext:
+            ctx = all_ctxs[slot]
+            if ctx is None:
+                ctx = all_ctxs[slot] = _ReplayContext(config)
+                ctx.delivered = _BitPlaneDelivered(delivered_words,
+                                                   slot)
+            return ctx
+
+        stack: list[tuple] = [(root, None, list(range(width)), (),
+                               None, 0)]
+        while stack:
+            node, parent, slots, measured, cmask, cmask_int = stack.pop()
+            self._touch(node)
+            if cmask is None:
+                # Only freshly partitioned sub-cohorts repack; an
+                # unsplit wavefront carries its mask down the path.
+                cmask = pack_shot_mask(slots, width)
+                cmask_int = _word_int(cmask)
+            ops, node_measured = node.batch_sign_program(state, parent,
+                                                         noise)
+            for qubit in node_measured:
+                if qubit not in measured:
+                    measured = measured + (qubit,)
+            for op in ops:
+                code = op[0]
+                if code == _S_XOR:
+                    planes.xor_rows(op[1], cmask)
+                elif code == _S_MEAS_D:
+                    _c, qubit, rows_idx, ghalf = op
+                    raw_bits = planes.parity(rows_idx)
+                    if ghalf:
+                        raw_bits = raw_bits ^ cmask
+                    raw_int = _word_int(raw_bits)
+                    for slot in slots:
+                        srngs[slot].random()
+                    if readout is None:
+                        out_int = raw_int & cmask_int
+                    else:
+                        out_int = 0
+                        for slot in slots:
+                            bit = (raw_int >> slot) & 1
+                            flip = p0_given_1 if bit else p1_given_0
+                            if nrngs[slot].random() < flip:
+                                bit ^= 1
+                            out_int |= bit << slot
+                    delivered_words[qubit] = (
+                        (delivered_words.get(qubit, 0) & ~cmask_int)
+                        | out_int)
+                elif code == _S_MEAS_R:
+                    _c, qubit, pivot, pm, t_idx, g_idx = op
+                    raw_words = [0] * words
+                    for slot in slots:
+                        if srngs[slot].random() < 0.5:
+                            raw_words[slot >> 6] |= 1 << (slot & 63)
+                    raw_bits = np.array(raw_words, dtype=np.uint64)
+                    raw_int = _word_int(raw_words)
+                    pivot_bits = planes.row(pivot)
+                    planes.xor_rows(g_idx, cmask)
+                    planes.xor_rows(t_idx, pivot_bits & cmask)
+                    planes.assign_row(pm, pivot_bits, cmask)
+                    planes.assign_row(pivot, raw_bits, cmask)
+                    if readout is None:
+                        out_int = raw_int
+                    else:
+                        out_int = 0
+                        for slot in slots:
+                            bit = (raw_int >> slot) & 1
+                            flip = p0_given_1 if bit else p1_given_0
+                            if nrngs[slot].random() < flip:
+                                bit ^= 1
+                            out_int |= bit << slot
+                    delivered_words[qubit] = (
+                        (delivered_words.get(qubit, 0) & ~cmask_int)
+                        | out_int)
+                elif code == _S_NOISE:
+                    _c, dep_p, qubit_rows, pauli_cum = op
+                    if dep_p is not None:
+                        for triplet in qubit_rows:
+                            fired = [0, 0, 0]
+                            for slot in slots:
+                                nrng = nrngs[slot]
+                                if nrng.random() < dep_p:
+                                    index = nrng.choice(_PAULI_INDICES)
+                                    fired[index] |= 1 << slot
+                            for index in range(3):
+                                if fired[index]:
+                                    planes.xor_rows(
+                                        triplet[index],
+                                        _int_words(fired[index],
+                                                   words))
+                    if pauli_cum is not None:
+                        cx, cxy, cxyz = pauli_cum
+                        for triplet in qubit_rows:
+                            fired = [0, 0, 0]
+                            for slot in slots:
+                                draw = nrngs[slot].random()
+                                if draw < cx:
+                                    index = 0
+                                elif draw < cxy:
+                                    index = 1
+                                elif draw < cxyz:
+                                    index = 2
+                                else:
+                                    continue
+                                fired[index] |= 1 << slot
+                            for index in range(3):
+                                if fired[index]:
+                                    planes.xor_rows(
+                                        triplet[index],
+                                        _int_words(fired[index],
+                                                   words))
+                elif code == _S_RESET_R:
+                    _c, pivot, pm, t_idx, g_idx, z_idx = op
+                    out_words = [0] * words
+                    for slot in slots:
+                        if srngs[slot].random() < 0.5:
+                            out_words[slot >> 6] |= 1 << (slot & 63)
+                    out_bits = np.array(out_words, dtype=np.uint64)
+                    pivot_bits = planes.row(pivot)
+                    planes.xor_rows(g_idx, cmask)
+                    planes.xor_rows(t_idx, pivot_bits & cmask)
+                    planes.assign_row(pm, pivot_bits, cmask)
+                    planes.assign_row(pivot, out_bits, cmask)
+                    # The X correction on a |1> collapse flips every
+                    # zmask row — out_bits only carries live lanes.
+                    planes.xor_rows(z_idx, out_bits)
+                elif code == _S_RESET_D:
+                    _c, rows_idx, ghalf, z_idx = op
+                    out_bits = planes.parity(rows_idx)
+                    if ghalf:
+                        out_bits = out_bits ^ cmask
+                    for slot in slots:
+                        srngs[slot].random()
+                    planes.xor_rows(z_idx, out_bits & cmask)
+                elif code == _S_CLS:
+                    for slot in slots:
+                        op[2](ctx_for(slot).proc(op[1]))
+                else:  # _S_FMR
+                    for slot in slots:
+                        ctx_for(slot).write_fmr(op[1], op[2], op[3])
+            decision = node.decision
+            if decision is None:
+                # Leaf fast path: the whole cohort completes here —
+                # materialize each shot's delivered map straight from
+                # the outcome words (the vectorised equivalent of the
+                # epilogue's per-shot hit tail).  Shots with the same
+                # outcome pattern share one result tuple: the patterns
+                # are transposed to per-shot byte keys in one numpy
+                # pass and the delivered map is built once per
+                # *distinct* outcome, not once per shot — histograms
+                # concentrate, so distinct outcomes are few.
+                total_ns = node.total_ns
+                live = len(slots)
+                if not measured:
+                    entry = ({}, total_ns)
+                    for slot in slots:
+                        results[slot] = entry
+                elif live > 3:
+                    rows = np.empty((len(measured), words),
+                                    dtype=np.uint64)
+                    for index, qubit in enumerate(measured):
+                        rows[index] = _int_words(
+                            delivered_words[qubit], words)
+                    bits = np.unpackbits(
+                        rows.astype("<u8").view(np.uint8), axis=1,
+                        bitorder="little", count=width)
+                    packed = np.packbits(bits, axis=0)
+                    key_bytes = packed.T.copy().tobytes()
+                    stride = packed.shape[0]
+                    memo: dict = {}
+                    for slot in slots:
+                        key = key_bytes[slot * stride:
+                                        (slot + 1) * stride]
+                        entry = memo.get(key)
+                        if entry is None:
+                            entry = memo[key] = (
+                                {qubit:
+                                 (delivered_words[qubit] >> slot) & 1
+                                 for qubit in measured}, total_ns)
+                        results[slot] = entry
+                else:
+                    for slot in slots:
+                        results[slot] = (
+                            {qubit:
+                             (delivered_words[qubit] >> slot) & 1
+                             for qubit in measured}, total_ns)
+                self.hits += live
+                self.batched_shots += live
+                continue
+            if decision[0] == _D_MRCE:
+                word = delivered_words[decision[1]] & cmask_int
+                if word == 0 or word == cmask_int:
+                    # Uniform MRCE outcome: no split — resolve the
+                    # edge once through the shared epilogue and carry
+                    # the whole cohort (or drop it all to the serial
+                    # fallback at an unexplored edge).
+                    nxt = self._epilogue(node, ctx_for(slots[0]))
+                    if nxt is None:
+                        self.serial_fallbacks += len(slots)
+                    else:
+                        stack.append((nxt, node, slots, measured,
+                                      cmask, cmask_int))
+                    continue
+            ctxs = [ctx_for(slot) for slot in slots]
+            groups = self._epilogue_batch(node, slots, ctxs, results,
+                                          measured)
+            for child, rows_idx in groups.values():
+                if len(rows_idx) == len(slots):
+                    stack.append((child, node, slots, measured,
+                                  cmask, cmask_int))
+                else:
+                    stack.append((child, node,
+                                  [slots[r] for r in rows_idx],
+                                  measured, None, 0))
+        return results
+
+    def _replay_batch_dense(self, root: TraceNode, qpu: SimulatedQPU,
+                            seeds: list, results: list) -> "list | None":
+        """Wavefront dense replay over a stacked amplitude matrix.
+
+        The cohort is a ``(width, 2^n)`` :class:`BatchStateVector`;
+        compiled segments push block operators through it as batch
+        GEMMs and measurements reduce to one per-qubit probability
+        reduction over the whole matrix, while outcomes, channel
+        firings and readout flips are drawn from each shot's own
+        seeded rngs in serial order.  Decision splits gather-copy the
+        partitioned amplitude rows into child cohorts.  Nodes whose
+        segments the batch compiler cannot model drop their cohort to
+        the serial fallback (fail closed).
+        """
+        batch = qpu.state.make_batch_state(len(seeds))
+        if batch is None:
+            return None
+        fuse = self.config.trace_cache_dense_fusion
+        cohort = _BatchCohort(
+            batch, list(range(len(seeds))),
+            [_ReplayContext(self.config) for _ in seeds],
+            [random.Random(seed) for seed in seeds],
+            # Channel firings and readout flips are the only noise-rng
+            # consumers; an ideal substrate never draws them, so skip
+            # the per-shot Mersenne seeding entirely.
+            None if qpu.noise.is_ideal else
+            [random.Random(seed ^ NOISE_SEED_SALT) for seed in seeds])
+        stack: list[tuple] = [(root, None, cohort)]
+        while stack:
+            node, parent, cohort = stack.pop()
+            self._touch(node)
+            try:
+                program = node.batch_dense_program(qpu, parent, fuse)
+            except _UnbatchableNode:
+                self.serial_fallbacks += len(cohort.slots)
+                continue
+            for step in program:
+                step(cohort)
+            groups = self._epilogue_batch(node, cohort.slots,
+                                          cohort.ctxs, results)
+            for child, rows in groups.values():
+                stack.append((child, node, cohort.take(rows)))
+        return results
 
     # -- recording ---------------------------------------------------------
 

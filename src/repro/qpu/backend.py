@@ -114,6 +114,23 @@ class SimulationBackend(abc.ABC):
         (the trie node's x/z model plus the live sign column).
         """
 
+    # -- batched shots (the shot-batched trace-cache replay path) ----------
+
+    def make_batch_state(self, width: int) -> object | None:
+        """A lockstep batch representation of ``width`` fresh |0...0>
+        states, or ``None`` when the backend has no batch kernel.
+
+        Batched trace-cache replay advances a whole cohort of shots
+        per compiled step; a backend that can represent the cohort as
+        one stacked object (e.g. a ``(width, 2^n)`` amplitude matrix)
+        returns it here.  The default is ``None`` — fail closed: the
+        replay engine then keeps the serial per-shot loop, which is
+        always correct.  (The stabilizer substrate is batched without
+        this hook: its sign-trace replay never touches the tableau, so
+        the cohort lives in bit-planes owned by the trace cache.)
+        """
+        return None
+
     # -- batched application (the trace-cache replay path) -----------------
 
     def apply_ops(self, ops: Sequence[BackendOp]) -> None:

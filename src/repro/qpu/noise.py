@@ -307,6 +307,29 @@ class NoiseModel:
                    for spec in fields(self)
                    if spec.name not in compilable)
 
+    @property
+    def is_batch_compilable(self) -> bool:
+        """True when *batched* dense replay models every channel this
+        model could carry.
+
+        The batched dense engine replays noise sites as per-shot draws
+        over a stacked amplitude matrix, which it can do for the purely
+        positional channels (depolarizing, Pauli, ZZ windows, readout).
+        Decoherence is excluded: its idle-decay trajectory reads the
+        state (amplitude-damping jump probabilities depend on the
+        current amplitudes), so shots sharing a cohort would need
+        per-shot Kraus branches the batch compiler does not model —
+        those models replay serially.  Fails **closed** like
+        :attr:`is_dense_compilable`: an allow-list, so new channel
+        fields route batched replay back to the serial loop until the
+        batch compiler is explicitly taught about them.
+        """
+        batchable = {"depolarizing", "two_qubit_depolarizing",
+                     "pauli", "zz", "readout", "seed", "rng"}
+        return all(getattr(self, spec.name) is None
+                   for spec in fields(self)
+                   if spec.name not in batchable)
+
     def after_gate(self, state: StateVector, gate: str,
                    qubits: tuple[int, ...]) -> None:
         """Inject gate-dependent noise after a unitary.

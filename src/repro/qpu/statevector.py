@@ -508,6 +508,12 @@ class StateVector(SimulationBackend):
             raise RuntimeError("state annihilated by Kraus operator")
         self._amplitudes = self._amplitudes / norm
 
+    # -- batched shots ---------------------------------------------------------
+
+    def make_batch_state(self, width: int) -> "BatchStateVector":
+        """A ``(width, 2^n)`` lockstep cohort for batched replay."""
+        return BatchStateVector(self.n_qubits, width)
+
     # -- queries ---------------------------------------------------------------
 
     def probabilities(self) -> np.ndarray:
@@ -523,5 +529,167 @@ class StateVector(SimulationBackend):
     def norm(self) -> float:
         """State norm (should stay 1 up to rounding)."""
         return float(np.linalg.norm(self._amplitudes))
+
+
+# -- shot-batched cohorts ------------------------------------------------------
+
+
+def batch_block_applier(n_qubits: int, matrix: np.ndarray,
+                        qubits: tuple[int, ...]) -> Callable:
+    """Precompile one k-qubit operator for a whole shot cohort.
+
+    The batched analogue of :meth:`StateVector.block_applier`: the
+    returned closure ``apply(batch, rows=None)`` pushes ``matrix``
+    through every live state of a :class:`BatchStateVector` as one
+    batch GEMM (``rows`` restricts the application to a sub-cohort,
+    which is how per-shot stochastic channel corrections and reset
+    flips hit only the shots whose draws fired).  Each per-shot slice
+    runs the same matmul shapes the serial closure runs, so the
+    arithmetic per shot matches the serial replay path.
+    """
+    k = len(qubits)
+    if k == 1:
+        qubit = qubits[0]
+        inner = 1 << qubit
+        if qubit < StateVector._KRON_THRESHOLD:
+            operator_t = np.kron(matrix, np.eye(inner, dtype=complex)).T
+
+            def apply(batch: "BatchStateVector", rows=None) -> None:
+                psi = batch._psi if rows is None else batch._psi[rows]
+                out = np.matmul(psi.reshape(-1, 2 * inner),
+                                operator_t).reshape(psi.shape)
+                if rows is None:
+                    batch._psi = out
+                else:
+                    batch._psi[rows] = out
+
+            return apply
+
+        def apply(batch: "BatchStateVector", rows=None) -> None:
+            psi = batch._psi if rows is None else batch._psi[rows]
+            out = np.matmul(matrix,
+                            psi.reshape(-1, 2, inner)).reshape(psi.shape)
+            if rows is None:
+                batch._psi = out
+            else:
+                batch._psi[rows] = out
+
+        return apply
+    axes = [n_qubits - 1 - q for q in qubits]
+    rest = [axis for axis in range(n_qubits) if axis not in axes]
+    perm = tuple(axes + rest)
+    block_rows = 1 << k
+    if n_qubits <= _GATHER_QUBIT_LIMIT:
+        gather, scatter = _gather_indices(n_qubits, perm)
+
+        def apply(batch: "BatchStateVector", rows=None) -> None:
+            psi = batch._psi if rows is None else batch._psi[rows]
+            cohort = psi.shape[0]
+            out = np.matmul(
+                matrix, psi[:, gather].reshape(cohort, block_rows, -1))
+            out = out.reshape(cohort, -1)[:, scatter]
+            if rows is None:
+                batch._psi = out
+            else:
+                batch._psi[rows] = out
+
+        return apply
+    # Large registers: per-shot transposes, the same fallback (and the
+    # same arithmetic) as the serial block applier.
+    inverse = tuple(int(i) for i in np.argsort(perm))
+    tensor_shape = (2,) * n_qubits
+
+    def apply(batch: "BatchStateVector", rows=None) -> None:
+        indices = range(batch.width) if rows is None else rows
+        for index in indices:
+            tensor = batch._psi[index].reshape(tensor_shape)
+            tensor = matrix @ tensor.transpose(perm).reshape(block_rows,
+                                                             -1)
+            batch._psi[index] = np.ascontiguousarray(
+                tensor.reshape(tensor_shape).transpose(inverse)
+            ).reshape(-1)
+
+    return apply
+
+
+class BatchStateVector:
+    """A ``(width, 2^n)`` stack of pure states advanced in lockstep.
+
+    The dense cohort representation of batched trace-cache replay: row
+    ``b`` is shot ``b``'s full amplitude vector, every compiled segment
+    applies to all rows at once (:func:`batch_block_applier`), and the
+    per-qubit measurement reduction collapses to **one**
+    ``np.add.reduce`` over the whole matrix per measured qubit.  The
+    per-shot *draws* (measurement outcomes, channel firings) stay
+    outside this class — they belong to each shot's own seeded rngs, in
+    serial order, which is what keeps batched replay bit-identical per
+    shot-seed.
+    """
+
+    def __init__(self, n_qubits: int, width: int) -> None:
+        if n_qubits <= 0:
+            raise ValueError("need at least one qubit")
+        if n_qubits > DENSE_QUBIT_LIMIT:
+            raise ValueError(
+                f"{n_qubits} qubits exceeds the dense simulator limit "
+                f"({DENSE_QUBIT_LIMIT})")
+        if width < 1:
+            raise ValueError("cohort width must be positive")
+        self.n_qubits = n_qubits
+        self.width = width
+        self._psi = np.zeros((width, 1 << n_qubits), dtype=complex)
+        self._psi[:, 0] = 1.0
+
+    @property
+    def amplitudes(self) -> np.ndarray:
+        """The raw ``(width, 2^n)`` amplitude matrix (do not mutate)."""
+        return self._psi
+
+    def take(self, rows: Sequence[int]) -> "BatchStateVector":
+        """An independent sub-cohort of the given shot rows.
+
+        This is the wavefront partition primitive: when a decision
+        splits the cohort across trie edges, each child wavefront
+        carries a gather-copy of its shots' amplitude rows.
+        """
+        index = np.asarray(rows, dtype=np.intp)
+        clone = BatchStateVector.__new__(BatchStateVector)
+        clone.n_qubits = self.n_qubits
+        clone.width = int(index.shape[0])
+        clone._psi = self._psi[index]
+        return clone
+
+    def apply_matrix(self, matrix: np.ndarray, qubits: tuple[int, ...],
+                     rows=None) -> None:
+        """Apply a k-qubit operator (uncompiled convenience path)."""
+        batch_block_applier(self.n_qubits, matrix,
+                            tuple(qubits))(self, rows)
+
+    def probability_of_one(self, qubit: int) -> np.ndarray:
+        """Per-shot P(1) of ``qubit``: one reduce for the cohort.
+
+        The batched-measurement reduction: a single
+        ``np.add.reduce`` over the ``(width, 2^n)`` matrix replaces
+        ``width`` scalar reductions of the serial path.
+        """
+        view = self._psi.reshape(self.width, -1, 2, 1 << qubit)
+        return np.add.reduce(np.abs(view[:, :, 1, :]) ** 2, axis=(1, 2))
+
+    def collapse(self, qubit: int, outcomes: np.ndarray,
+                 p_one: np.ndarray) -> None:
+        """Project every shot onto its drawn outcome and renormalise.
+
+        ``outcomes`` holds each shot's (already drawn) measurement
+        result; the complementary branch of each row is zeroed by
+        boolean groups and all rows are renormalised in one division.
+        """
+        ones = np.asarray(outcomes, dtype=bool)
+        norms = np.sqrt(np.where(ones, p_one, 1.0 - p_one))
+        if np.any(norms == 0.0):
+            raise RuntimeError("projection onto zero-probability outcome")
+        view = self._psi.reshape(self.width, -1, 2, 1 << qubit)
+        view[ones, :, 0, :] = 0.0
+        view[~ones, :, 1, :] = 0.0
+        self._psi /= norms[:, None]
 
 

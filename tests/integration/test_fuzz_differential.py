@@ -14,7 +14,12 @@ seed:
 * noise: ideal, Pauli+readout (both backends), and the full dense
   channel stack (statevector only);
 * dense replay flavours: GEMM fusion on/off, compiled noise-site
-  program vs the timed device-level loop.
+  program vs the timed device-level loop;
+* shot batching: lockstep cohorts (bit-plane sign columns on the
+  stabilizer backend, batch GEMMs on the statevector backend,
+  wavefront trie traversal for control flow) vs the serial per-shot
+  replay loop, at cohort widths that split at every decision and
+  widths larger than the shot count.
 
 This is the suite guarding the shared decide/hit/resume epilogue
 (:meth:`repro.qcp.tracecache.TraceCache._epilogue`): all three
@@ -217,6 +222,51 @@ def test_fuzz_histograms_and_timings(program):
             assert result.measured_qubits == reference.measured_qubits
 
 
+BATCH_SHOTS = 24
+BATCH_WIDTHS = (1, 7, 64, 100)
+
+
+@settings(max_examples=6, deadline=None)
+@given(control_flow_programs())
+def test_fuzz_batched_replay_matches_serial(program):
+    """Shot-batched replay is bit-identical per shot-seed to serial.
+
+    Every (backend, noise, cohort width) cell must reproduce the
+    serial-replay histogram, total_ns and measured-qubit union
+    exactly.  Widths 7 and 64 force wavefront splits at every random
+    decision the generated program takes; width 100 exceeds the shot
+    count; width 1 degenerates to cohorts of one.  The dense channel
+    stack includes decoherence, which the batch compiler refuses
+    (idle decay reads per-shot live state), so that cell additionally
+    pins the fail-closed mode fallback: results still identical,
+    zero shots batched.
+    """
+    config = scalar_config()
+    for backend, noise_factory in (("stabilizer", None),
+                                   ("statevector", None),
+                                   ("stabilizer", pauli_noise),
+                                   ("statevector", pauli_noise),
+                                   ("statevector", dense_noise)):
+        serial = cache_engine(program, backend, config, noise_factory,
+                              trace_cache_batch=False)
+        reference = serial.run(BATCH_SHOTS)
+        assert serial.trace_cache.batched_shots == 0
+        for width in BATCH_WIDTHS:
+            engine = cache_engine(program, backend, config,
+                                  noise_factory,
+                                  trace_cache_batch_width=width)
+            result = engine.run(BATCH_SHOTS)
+            name = f"{backend}/{noise_factory}/{width}"
+            assert result.counts == reference.counts, name
+            assert result.total_ns == reference.total_ns, name
+            assert result.measured_qubits == \
+                reference.measured_qubits, name
+            cache = engine.trace_cache
+            assert cache.hits + cache.misses == BATCH_SHOTS, name
+            if noise_factory is dense_noise:
+                assert cache.batched_shots == 0, name
+
+
 def test_epilogue_is_shared_by_all_replay_modes():
     """The decide/hit/resume tail is literally one implementation.
 
@@ -235,3 +285,17 @@ def test_epilogue_is_shared_by_all_replay_modes():
         assert "_epilogue" in source, f"{mode} bypasses the epilogue"
         assert "children.get" not in source, (
             f"{mode} re-implements edge selection outside the epilogue")
+    # The batched loops funnel through _epilogue_batch, which decides
+    # each cohort row with the *same* serial _epilogue — the wavefront
+    # partition is bookkeeping around the one choke point, not a
+    # second decision implementation.
+    for mode in ("_replay_batch_signs", "_replay_batch_dense"):
+        source = inspect.getsource(getattr(tracecache.TraceCache, mode))
+        assert "_epilogue_batch" in source, (
+            f"{mode} bypasses the batched epilogue")
+        assert "children.get" not in source, (
+            f"{mode} re-implements edge selection outside the epilogue")
+    source = inspect.getsource(tracecache.TraceCache._epilogue_batch)
+    assert "_epilogue(" in source, (
+        "_epilogue_batch re-implements per-row decisions")
+    assert "children.get" not in source

@@ -1,0 +1,277 @@
+"""Unit tests for shot-batched trace-cache replay.
+
+The differential fuzzer (`tests/integration/test_fuzz_differential.py`)
+owns the bit-identity contract; these tests pin the batched machinery
+piece by piece — config gating, the CLI flags, the bit-plane helpers,
+the cohort state objects and the wavefront counters — so a regression
+points at the broken part instead of at "the histogram differs".
+"""
+
+from __future__ import annotations
+
+import types
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.isa.builder import ProgramBuilder
+from repro.qcp import QCPConfig, ShotEngine, scalar_config
+from repro.qcp.tracecache import (_BitPlaneDelivered, _int_words,
+                                  _word_int, auto_batch_width)
+from repro.qpu.noise import (DecoherenceNoise, NoiseModel, PauliChannel,
+                             ReadoutError)
+from repro.qpu.stabilizer import (SignBitPlanes, StabilizerState,
+                                  pack_shot_mask, unpack_shot_bit)
+from repro.qpu.statevector import BatchStateVector, StateVector
+
+H = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+
+
+def chain_program(rounds: int = 2):
+    from repro.benchlib.repetition import build_repetition_chain_program
+
+    return build_repetition_chain_program(3, rounds=rounds,
+                                          encode_one=True)
+
+
+def coin_program():
+    """One fair coin, one data-dependent branch: splits every cohort."""
+    builder = ProgramBuilder("coin")
+    builder.qop("h", [0], timing=2)
+    builder.qmeas(0, timing=2)
+    builder.fmr(1, 0)
+    skip = builder.fresh_label("skip")
+    builder.beq(1, 0, skip)
+    builder.qop("x", [1], timing=2)
+    builder.label(skip)
+    builder.qmeas(1, timing=2)
+    builder.halt()
+    return builder.build()
+
+
+# -- config and CLI gating ----------------------------------------------------
+
+
+def test_config_defaults_and_width_validation():
+    config = QCPConfig()
+    assert config.trace_cache_batch is True
+    assert config.trace_cache_batch_width is None
+    assert config.with_(trace_cache_batch_width=7) \
+        .trace_cache_batch_width == 7
+    with pytest.raises(ValueError, match="batch width"):
+        QCPConfig(trace_cache_batch_width=0)
+    with pytest.raises(ValueError, match="batch width"):
+        QCPConfig(trace_cache_batch_width=-4)
+
+
+ASM = """
+.block main prio=0
+    qop 0, h, q0
+    qop 2, cnot, q0, q1
+    qmeas 4, q0
+    qmeas 4, q1
+    halt
+.endblock
+"""
+
+
+@pytest.fixture
+def asm_file(tmp_path):
+    path = tmp_path / "bell.tqasm"
+    path.write_text(ASM)
+    return str(path)
+
+
+def test_cli_batched_shots_prints_cohort_stats(asm_file, capsys):
+    assert main(["run", asm_file, "--qpu", "stabilizer",
+                 "--shots", "40", "--batch-shots", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "batched replay:" in out
+    assert "lockstep cohorts" in out
+
+
+def test_cli_no_batch_shots_disables_cohorts(asm_file, capsys):
+    assert main(["run", asm_file, "--qpu", "stabilizer",
+                 "--shots", "40", "--no-batch-shots"]) == 0
+    out = capsys.readouterr().out
+    assert "trace cache:" in out
+    assert "batched replay:" not in out
+
+
+# -- bit-plane helpers --------------------------------------------------------
+
+
+def test_word_int_round_trip():
+    value = (1 << 200) | (1 << 64) | 5
+    words = _int_words(value, 4)
+    assert words.dtype == np.uint64
+    assert _word_int(words) == value
+    assert _word_int(_int_words(0, 2)) == 0
+
+
+def test_pack_shot_mask_and_unpack_bit():
+    mask = pack_shot_mask([0, 3, 64, 129], 130)
+    assert len(mask) == 3
+    as_int = _word_int(mask)
+    for slot in range(130):
+        expected = 1 if slot in (0, 3, 64, 129) else 0
+        assert (as_int >> slot) & 1 == expected
+        assert unpack_shot_bit(mask, slot) == expected
+
+
+def test_bit_plane_delivered_view_and_snapshot():
+    words = {2: 0b101, 7: 0b010}
+    assert _BitPlaneDelivered(words, 0)[2] == 1
+    assert _BitPlaneDelivered(words, 1)[2] == 0
+    assert _BitPlaneDelivered(words, 1)[7] == 1
+    snap = _BitPlaneDelivered(words, 2).snapshot((2, 7))
+    assert snap == {2: 1, 7: 0}
+
+
+def test_sign_bit_planes_masked_mutation():
+    planes = SignBitPlanes(rows=4, width=70)
+    live = pack_shot_mask([0, 1, 69], 70)
+    planes.xor_rows(np.array([0, 2], dtype=np.intp), live)
+    assert _word_int(planes.parity(np.array([0], dtype=np.intp))) \
+        == _word_int(live)
+    # Parity of two equally-flipped rows cancels.
+    assert _word_int(planes.parity(np.array([0, 2], dtype=np.intp))) == 0
+    # assign_row touches only the cohort's lanes.
+    other = pack_shot_mask([5], 70)
+    planes.assign_row(1, np.full(2, 0xFFFFFFFFFFFFFFFF,
+                                 dtype=np.uint64), other)
+    assert _word_int(planes.row(1)) == _word_int(other)
+    with pytest.raises(ValueError):
+        SignBitPlanes(rows=0, width=1)
+
+
+# -- cohort widths and batch state objects ------------------------------------
+
+
+def test_auto_batch_width_by_substrate():
+    stab = types.SimpleNamespace(state=StabilizerState(5))
+    assert auto_batch_width(stab) == 256
+    small_dense = types.SimpleNamespace(state=StateVector(3))
+    assert auto_batch_width(small_dense) == 64
+    big_dense = types.SimpleNamespace(state=StateVector(23))
+    assert auto_batch_width(big_dense) == 1
+
+
+def test_backend_batch_state_hook_fails_closed():
+    # The tableau has no batch kernel of its own (sign-trace cohorts
+    # live in bit-planes owned by the cache), so the base hook must
+    # return None — the fail-closed default for any backend.
+    assert StabilizerState(3).make_batch_state(8) is None
+    batch = StateVector(3).make_batch_state(8)
+    assert isinstance(batch, BatchStateVector)
+    assert batch.width == 8
+
+
+def test_batch_state_vector_matches_serial_rows():
+    batch = BatchStateVector(2, width=3)
+    batch.apply_matrix(H, (0,), rows=np.array([0, 2], dtype=np.intp))
+    p_one = batch.probability_of_one(0)
+    assert p_one == pytest.approx([0.5, 0.0, 0.5])
+    sub = batch.take([2])
+    assert sub.width == 1
+    assert sub.probability_of_one(0) == pytest.approx([0.5])
+    # take() gather-copies: collapsing the child leaves the parent.
+    sub.collapse(0, np.array([1]), sub.probability_of_one(0))
+    assert batch.probability_of_one(0) == pytest.approx([0.5, 0.0, 0.5])
+    with pytest.raises(ValueError):
+        BatchStateVector(2, width=0)
+
+
+# -- wavefront counters and fast paths ----------------------------------------
+
+
+def run_engine(program, backend="stabilizer", n_qubits=5, noise=None,
+               shots=40, **changes):
+    engine = ShotEngine(program, config=scalar_config(**changes),
+                        backend=backend, n_qubits=n_qubits, noise=noise)
+    result = engine.run(shots)
+    return result, engine.trace_cache
+
+
+def test_single_path_chain_batches_every_replayed_shot():
+    result, cache = run_engine(chain_program())
+    reference, serial_cache = run_engine(chain_program(),
+                                         trace_cache_batch=False)
+    assert result.counts == reference.counts
+    assert result.total_ns == reference.total_ns
+    # Shot 0 warms the trie serially; the other 39 replay in cohorts
+    # that never split on the deterministic syndrome path.
+    assert cache.batched_shots == 39
+    assert cache.wavefront_splits == 0
+    assert cache.serial_fallbacks == 0
+    assert cache.hits + cache.misses == 40
+    assert serial_cache.batched_shots == 0
+
+
+def test_width_one_cohorts_still_batch():
+    result, cache = run_engine(chain_program(),
+                               trace_cache_batch_width=1)
+    reference, _ = run_engine(chain_program(), trace_cache_batch=False)
+    assert result.counts == reference.counts
+    assert cache.batched_shots == 39
+
+
+def test_fair_coin_splits_wavefronts():
+    result, cache = run_engine(coin_program(), n_qubits=2, shots=60)
+    reference, _ = run_engine(coin_program(), n_qubits=2, shots=60,
+                              trace_cache_batch=False)
+    assert result.counts == reference.counts
+    assert result.total_ns == reference.total_ns
+    assert cache.hits + cache.misses == 60
+    # Both branch edges occur in 59 replayed shots with overwhelming
+    # probability, so the cohort must have partitioned.
+    assert cache.wavefront_splits > 0
+    assert cache.batched_shots > 0
+
+
+def test_readout_noise_keeps_cohorts_batched():
+    noise = NoiseModel(pauli=PauliChannel(px=0.02),
+                       readout=ReadoutError(p0_given_1=0.05,
+                                            p1_given_0=0.03))
+    result, cache = run_engine(chain_program(), noise=noise)
+
+    def fresh_noise():
+        return NoiseModel(pauli=PauliChannel(px=0.02),
+                          readout=ReadoutError(p0_given_1=0.05,
+                                               p1_given_0=0.03))
+
+    reference, _ = run_engine(chain_program(), noise=fresh_noise(),
+                              trace_cache_batch=False)
+    assert result.counts == reference.counts
+    assert result.total_ns == reference.total_ns
+    assert cache.batched_shots > 0
+
+
+def test_decoherence_falls_back_to_serial_replay():
+    # Idle decay reads per-shot live state, so the dense batch
+    # compiler refuses the substrate outright: replay_batch returns
+    # no kernel and the engine stays serial — results unchanged.
+    def noise():
+        return NoiseModel(
+            decoherence=DecoherenceNoise(t1_us=50.0, t2_us=30.0),
+            readout=ReadoutError(p0_given_1=0.02, p1_given_0=0.01))
+
+    result, cache = run_engine(chain_program(), backend="statevector",
+                               noise=noise(), shots=20)
+    reference, _ = run_engine(chain_program(), backend="statevector",
+                              noise=noise(), shots=20,
+                              trace_cache_batch=False)
+    assert result.counts == reference.counts
+    assert result.total_ns == reference.total_ns
+    assert cache.batched_shots == 0
+    assert cache.hits + cache.misses == 20
+
+
+def test_dense_ideal_chain_batches():
+    result, cache = run_engine(chain_program(), backend="statevector")
+    reference, _ = run_engine(chain_program(), backend="statevector",
+                              trace_cache_batch=False)
+    assert result.counts == reference.counts
+    assert result.total_ns == reference.total_ns
+    assert cache.batched_shots == 39
