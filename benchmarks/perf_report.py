@@ -208,6 +208,71 @@ def measure_dense_workload(program, n_qubits: int,
     return entry
 
 
+def measure_service_sweep(quick: bool = False) -> dict:
+    """Sharded shot-sweep service vs the serial engine.
+
+    The cycle-accurate-bound regime (trace cache **off**) is where
+    sharding pays: every shot costs a full event-driven simulation, so
+    N workers approach N-fold throughput.  The serial baseline and
+    every service run are asserted bit-identical before any rate is
+    reported — a perf number for a wrong result would be worthless.
+    Worker counts beyond the machine's cores are measured anyway (the
+    numbers just stop scaling), so the entry is comparable across
+    runners; ``cpus`` records the budget the run actually had.
+    """
+    import os
+
+    from repro.service.client import ServiceClient
+    from repro.service.server import ServiceHandle
+
+    n_data, n_qubits = (3, 5) if quick else (5, 9)
+    shots = 24 if quick else 256
+    program = build_repetition_chain_program(
+        n_data, rounds=CHAIN_ROUNDS, encode_one=True)
+    text = program.to_asm()
+    config = scalar_config(trace_cache=False)
+    engine = ShotEngine(program, config=config, backend="stabilizer",
+                        n_qubits=n_qubits)
+    start = time.perf_counter()
+    serial = engine.run(shots)
+    serial_rate = shots / (time.perf_counter() - start)
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
+    entry = {
+        "qubits": n_qubits,
+        "backend": "stabilizer",
+        "shots": shots,
+        "cpus": cpus,
+        "serial_shots_per_s": round(serial_rate, 2),
+        "workers": {},
+    }
+    worker_counts = (1,) if quick else (1, 2, 4)
+    for n_workers in worker_counts:
+        with ServiceHandle.start(n_workers=n_workers) as handle:
+            client = ServiceClient(handle.host, handle.port)
+            # Warm-up: one-shot shards fan out so every worker
+            # compiles its engine before the measured job.
+            client.run_sweep(text, shots=4 * n_workers, seed=shots,
+                             backend="stabilizer",
+                             config={"trace_cache": False},
+                             shard_shots=1)
+            start = time.perf_counter()
+            result, event = client.run_sweep(
+                text, shots=shots, backend="stabilizer",
+                config={"trace_cache": False})
+            rate = shots / (time.perf_counter() - start)
+        assert result.counts == serial.counts, "service != serial"
+        assert result.total_ns == serial.total_ns, "service != serial"
+        entry["workers"][str(n_workers)] = {
+            "shots_per_s": round(rate, 2),
+            "speedup_vs_serial": round(rate / serial_rate, 2),
+            "shards": event["shards"],
+        }
+    return entry
+
+
 def run_suite(quick: bool = False) -> dict:
     workloads: dict[str, dict] = {}
     sizes = CHAIN_SIZES[:1] if quick else CHAIN_SIZES
@@ -247,8 +312,9 @@ def run_suite(quick: bool = False) -> dict:
         program = build_rus_blocks(2)
         workloads["rus_fair_coin_2x"] = measure_workload(
             program, 6, 200, 200, max_nodes=RUS_MAX_NODES)
+    workloads["service_sweep"] = measure_service_sweep(quick)
     return {
-        "schema": "bench-shots/v4",
+        "schema": "bench-shots/v5",
         "description": ("Shot throughput of the compile-once ShotEngine "
                         "with the cycle-accurate simulator (uncached) vs "
                         "trace-cache replay (cached = serial per-shot "
@@ -256,7 +322,12 @@ def run_suite(quick: bool = False) -> dict:
                         "reported batch_width), on ideal and noisy "
                         "substrates; dense entries compare GEMM-fused "
                         "replay and the compiled noise-site program "
-                        "against their uncompiled counterparts."),
+                        "against their uncompiled counterparts; the "
+                        "service_sweep entry shards a cycle-accurate-"
+                        "bound sweep across the shot-sweep service's "
+                        "worker pool and reports per-worker-count "
+                        "speedup over the serial engine (results "
+                        "asserted bit-identical first)."),
         "config": {"backend": "stabilizer + statevector (dense sweep)",
                    "chain_rounds": CHAIN_ROUNDS,
                    "noise": "PauliChannel(px=1e-3) + "
@@ -285,6 +356,13 @@ def main(argv: list[str] | None = None) -> int:
              f"{'batched/s':>10} {'speedup':>8} {'batch':>6}"
     print(header)
     for name, data in report["workloads"].items():
+        if name == "service_sweep":
+            scaling = ", ".join(
+                f"{w}w {info['speedup_vs_serial']}x"
+                for w, info in data["workers"].items())
+            print(f"{name:<28} {data['serial_shots_per_s']:>11} "
+                  f"service: {scaling} ({data['cpus']} cpus)")
+            continue
         batched = data.get("batched_shots_per_s")
         batch_speedup = data.get("batch_speedup")
         print(f"{name:<28} {data['uncached_shots_per_s']:>11} "

@@ -1,0 +1,99 @@
+"""Shot-sweep service throughput: sharded workers vs the serial engine.
+
+The acceptance figure for the service PR: on a cycle-accurate-bound
+workload (trace cache off, so every shot pays the full event-driven
+simulation), a 4-worker service sweep must reach at least 2.5x the
+serial engine's throughput — while staying **bit-identical**, which is
+asserted before any rate is trusted.
+
+Parallel speedup needs parallel hardware: the scaling assertion is
+skipped on machines with fewer than 4 usable CPUs (the bit-identity
+half runs everywhere).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.benchlib.repetition import build_repetition_chain_program
+from repro.qcp import ShotEngine, scalar_config
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceHandle
+
+CHAIN_DATA, CHAIN_QUBITS = 5, 9
+SHOTS = 256
+MIN_SPEEDUP = 2.5
+WORKER_COUNTS = (1, 2, 4)
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def build_workload():
+    program = build_repetition_chain_program(
+        CHAIN_DATA, rounds=2, encode_one=True)
+    return program, program.to_asm()
+
+
+def serial_baseline(program):
+    engine = ShotEngine(program,
+                        config=scalar_config(trace_cache=False),
+                        backend="stabilizer", n_qubits=CHAIN_QUBITS)
+    start = time.perf_counter()
+    result = engine.run(SHOTS)
+    return SHOTS / (time.perf_counter() - start), result
+
+
+def service_rate(text, n_workers: int):
+    with ServiceHandle.start(n_workers=n_workers) as handle:
+        client = ServiceClient(handle.host, handle.port)
+        # Warm-up fans one-shot shards across the pool so every
+        # worker compiles its engine before the measured job.
+        client.run_sweep(text, shots=4 * n_workers, seed=SHOTS,
+                         backend="stabilizer",
+                         config={"trace_cache": False}, shard_shots=1)
+        start = time.perf_counter()
+        result, _ = client.run_sweep(text, shots=SHOTS,
+                                     backend="stabilizer",
+                                     config={"trace_cache": False})
+        return SHOTS / (time.perf_counter() - start), result
+
+
+def test_service_bit_identity_and_scaling(report):
+    program, text = build_workload()
+    serial_rate_, serial = serial_baseline(program)
+    cpus = usable_cpus()
+    rows = []
+    speedups = {}
+    for n_workers in WORKER_COUNTS:
+        if n_workers > 1 and cpus < 2:
+            # One measured multi-worker point suffices on a single
+            # CPU: the extra worker counts only add pool spin-up.
+            continue
+        rate, result = service_rate(text, n_workers)
+        assert result.counts == serial.counts
+        assert result.total_ns == serial.total_ns
+        assert result.measured_qubits == serial.measured_qubits
+        speedups[n_workers] = rate / serial_rate_
+        rows.append([f"{n_workers} worker(s)", round(rate, 1),
+                     f"{rate / serial_rate_:.2f}x"])
+    report("service_speedup", format_table(
+        ["configuration", "shots/s", "vs serial"],
+        [["serial engine", round(serial_rate_, 1), "1.00x"]] + rows,
+        title=f"shot-sweep service, chain_{CHAIN_QUBITS}q x {SHOTS} "
+              f"shots, trace cache off ({cpus} cpus)"))
+    if cpus < 4:
+        pytest.skip(f"scaling assertion needs >= 4 usable CPUs, "
+                    f"have {cpus} (bit-identity asserted above)")
+    assert speedups[4] >= MIN_SPEEDUP, (
+        f"4-worker service reached only {speedups[4]:.2f}x serial "
+        f"(need >= {MIN_SPEEDUP}x)")
+    assert speedups[4] > speedups[1], "no scaling from 1 to 4 workers"

@@ -19,6 +19,13 @@ Commands
 ``bench [NAME]``
     List the evaluation benchmarks, or compile one and report its
     schedule profile and scalar/superscalar TR.
+
+``serve``
+    Run the long-running shot-sweep job service
+    (:mod:`repro.service`): an asyncio newline-JSON front-end sharding
+    sweeps across a pool of worker processes with bit-identical
+    merging, job dedup, streaming partial histograms, backpressure and
+    crash retry.  See ``docs/service.md``.
 """
 
 from __future__ import annotations
@@ -100,6 +107,26 @@ def command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+_CACHE_FLAGS = (
+    ("no_trace_cache", "--no-trace-cache"),
+    ("trace_cache_max_nodes", "--trace-cache-max-nodes"),
+    ("no_dense_fusion", "--no-dense-fusion"),
+    ("no_compiled_noise", "--no-compiled-noise"),
+    ("batch_shots", "--batch-shots"),
+    ("no_batch_shots", "--no-batch-shots"),
+)
+
+
+def _warn_uncacheable_flags(args: argparse.Namespace) -> None:
+    given = [flag for attr, flag in _CACHE_FLAGS
+             if getattr(args, attr, None) not in (None, False)]
+    if given:
+        print(f"warning: {', '.join(given)} ignored: the prng substrate "
+              f"is uncacheable (per-shot qpu_factory disables the trace "
+              f"cache); use --qpu statevector or --qpu stabilizer",
+              file=sys.stderr)
+
+
 def _run_shots(program, args: argparse.Namespace) -> int:
     from repro.qcp.shots import ShotEngine
 
@@ -108,6 +135,7 @@ def _run_shots(program, args: argparse.Namespace) -> int:
         from repro.qcp.system import infer_qubit_count
         from repro.qpu import PRNGQPU, PRNGReadout
 
+        _warn_uncacheable_flags(args)
         qubits = infer_qubit_count(program)
 
         def qpu_factory(seed: int):
@@ -138,12 +166,16 @@ def _run_shots(program, args: argparse.Namespace) -> int:
                 line += (f", {cache.serial_fallbacks} serial "
                          f"fallbacks")
             print(line)
-    print(f"measured qubits: "
-          f"{' '.join(f'q{q}' for q in result.measured_qubits)}")
+    if result.measured_qubits:
+        print(f"measured qubits: "
+              f"{' '.join(f'q{q}' for q in result.measured_qubits)}")
+    else:
+        print("measured qubits: none (program never measured)")
     for bits, count in sorted(result.counts.items(),
                               key=lambda item: -item[1]):
         bar = "#" * round(40 * count / result.shots)
-        print(f"  {bits}  {count:6d}  {bar}")
+        label = bits if bits else "(empty outcome)"
+        print(f"  {label}  {count:6d}  {bar}")
     return 0
 
 
@@ -192,6 +224,24 @@ def command_bench(args: argparse.Namespace) -> int:
     print(format_table(
         ["design", "avg TR", "max TR", "TR <= 1"], rows,
         title=f"{spec.name} ({spec.source})"))
+    return 0
+
+
+def command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import serve
+
+    print(f"shot-sweep service on {args.host}:{args.port} "
+          f"({args.workers} worker(s), queue size {args.queue_size}, "
+          f"max retries {args.max_retries})", file=sys.stderr)
+    try:
+        asyncio.run(serve(host=args.host, port=args.port,
+                          n_workers=args.workers,
+                          queue_size=args.queue_size,
+                          max_retries=args.max_retries))
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -265,6 +315,22 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="list or profile the evaluation benchmarks")
     bench_parser.add_argument("name", nargs="?")
     bench_parser.set_defaults(entry=command_bench)
+
+    serve_parser = commands.add_parser(
+        "serve", help="run the shot-sweep job service")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=7781)
+    serve_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes, each owning compile-once shot engines")
+    serve_parser.add_argument(
+        "--queue-size", type=int, default=16,
+        help="bounded backpressure: submits beyond this many active "
+             "jobs are rejected")
+    serve_parser.add_argument(
+        "--max-retries", type=int, default=2,
+        help="pool rebuilds tolerated per job after worker crashes")
+    serve_parser.set_defaults(entry=command_serve)
     return parser
 
 

@@ -183,6 +183,35 @@ class Program:
             lines.append(".endblock")
         return "\n".join(lines)
 
+    def to_asm(self) -> str:
+        """Re-assemblable source: the listing without the pc column.
+
+        ``parse_asm(program.to_asm())`` reconstructs an equivalent
+        program: instructions appear in pc order, so the absolute
+        branch targets that :meth:`resolve_labels` substituted remain
+        valid, and block directives carry the priority/deps options
+        the parser understands.  This is what lets a compiled or
+        programmatically built program travel as text — e.g. as the
+        ``program`` field of a shot-sweep service job
+        (:mod:`repro.service`).
+        """
+        starts = {block.start: block for block in self.blocks}
+        ends = {block.end for block in self.blocks}
+        lines: list[str] = []
+        for pc, instr in enumerate(self.instructions):
+            if pc in ends:
+                lines.append(".endblock")
+            if pc in starts:
+                block = starts[pc]
+                deps = (" deps=" + ",".join(block.deps)
+                        if block.deps else "")
+                lines.append(
+                    f".block {block.name} prio={block.priority}{deps}")
+            lines.append(f"    {instr}")
+        if len(self.instructions) in ends:
+            lines.append(".endblock")
+        return "\n".join(lines) + "\n"
+
 
 class BlockInfoTable:
     """Hardware-style view of a program's blocks for the scheduler.

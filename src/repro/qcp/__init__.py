@@ -12,7 +12,9 @@ from repro.qcp.registers import (MeasurementResultRegisters, RegisterFile,
                                  ResultDelivery, SharedRegisters)
 from repro.qcp.scheduler import BlockScheduler, BlockState
 from repro.qcp.superscalar import SuperscalarProcessor
-from repro.qcp.shots import ShotEngine, ShotResult, run_shots
+from repro.qcp.shots import (ShardOutcomes, ShotEngine, ShotResult,
+                             merge_shard_outcomes,
+                             program_has_measurement, run_shots)
 from repro.qcp.tracecache import (RecordingQPU, TraceCache,
                                   TraceDivergenceError, TraceNode)
 from repro.qcp.system import (ExecutionResult, QuAPESystem,
@@ -28,9 +30,11 @@ __all__ = [
     "MeasurementResultRegisters", "PendingContext",
     "PrivateInstructionCache", "ProcState", "ProcessorCore", "QCPConfig",
     "QuantumOp", "QuAPESystem", "RecordingQPU", "RegisterFile",
-    "ResultDelivery", "ScalarProcessor", "SharedRegisters", "ShotEngine",
-    "ShotResult", "SuperscalarProcessor", "TraceCache",
-    "TraceDivergenceError", "TraceNode", "infer_qubit_count", "run_shots",
+    "ResultDelivery", "ScalarProcessor", "ShardOutcomes",
+    "SharedRegisters", "ShotEngine", "ShotResult",
+    "SuperscalarProcessor", "TraceCache", "TraceDivergenceError",
+    "TraceNode", "infer_qubit_count", "merge_shard_outcomes",
+    "program_has_measurement", "run_shots",
     "TimingController", "TRReport", "Trace", "average_ces", "run_program",
     "scalar_config", "superscalar_config", "time_ratio",
 ]

@@ -73,6 +73,89 @@ from repro.qpu.noise import NoiseModel
 #: Placeholder in a bitstring for a union qubit this shot never measured.
 UNMEASURED = "-"
 
+#: One shot's outcome as a hashable, order-canonical key: sorted
+#: ``(qubit, value)`` pairs.  Unlike a rendered bitstring, the key is
+#: independent of which *other* shots ran alongside it — which is what
+#: makes shard histograms mergeable without re-running anything.
+OutcomeKey = tuple[tuple[int, int], ...]
+
+
+@dataclass
+class ShardOutcomes:
+    """Partial histogram of one contiguous seed range of a sweep.
+
+    The histogram is keyed by :data:`OutcomeKey` rather than rendered
+    bitstrings, because bitstring rendering depends on the cross-shot
+    measurement union — a global property a shard cannot know.  Keys
+    make the merge commutative and associative: summing the counters
+    of any disjoint cover of ``range(0, shots)`` and rendering once at
+    the end (:func:`merge_shard_outcomes`) reproduces, count for count
+    and nanosecond for nanosecond, what a serial
+    :meth:`ShotEngine.run` over the same seeds produces.
+    """
+
+    start: int
+    stop: int
+    counts: Counter = field(default_factory=Counter)
+    total_ns: int = 0
+
+    @property
+    def shots(self) -> int:
+        return self.stop - self.start
+
+
+def merge_shard_outcomes(shards) -> ShotResult:
+    """Merge :class:`ShardOutcomes` into one :class:`ShotResult`.
+
+    Purely commutative: counter sum plus integer ``total_ns`` sum,
+    then one rendering pass against the union of measured qubits.
+    Because each shot's :data:`OutcomeKey` and duration are pure
+    functions of its seed (PR 4's salted per-shot derivation), the
+    merged result is bit-identical to serially executing the union of
+    the shard ranges — the property the shot-sweep service asserts
+    for its sharded sweeps.
+    """
+    shards = list(shards)
+    if not shards:
+        raise ValueError("no shards to merge")
+    merged: Counter = Counter()
+    total_ns = 0
+    shots = 0
+    for shard in shards:
+        merged.update(shard.counts)
+        total_ns += shard.total_ns
+        shots += shard.shots
+    measured = tuple(sorted(
+        set().union(*({qubit for qubit, _ in key} for key in merged))))
+    result = ShotResult(shots=shots, measured_qubits=measured,
+                        total_ns=total_ns)
+    for key, count in merged.items():
+        values = dict(key)
+        bits = "".join([str(values[q]) if q in values else UNMEASURED
+                        for q in measured])
+        result.counts[bits] += count
+    return result
+
+
+def program_has_measurement(program: Program) -> bool:
+    """True when any instruction can deliver a measurement result.
+
+    A program without a single ``qmeas`` yields the empty outcome on
+    every shot (``measured_qubits == ()``); callers that need a
+    histogram of *bitstrings* — the shot-sweep service, most analyses
+    — should reject such programs up front instead of discovering an
+    all-``""`` histogram afterwards.
+    """
+    from repro.isa.opcodes import Opcode
+
+    def measures(instr) -> bool:
+        if getattr(instr, "opcode", None) == Opcode.QMEAS:
+            return True
+        # VLIW bundles carry qmeas operations in their slots.
+        return any(measures(op) for op in getattr(instr, "slots", ()))
+
+    return any(measures(instr) for instr in program.instructions)
+
 
 @dataclass
 class ShotResult:
@@ -99,6 +182,10 @@ class ShotResult:
     def expectation(self, qubit: int) -> float:
         """Mean value of one measured qubit (0..1), over the shots
         that actually measured it."""
+        if qubit not in self.measured_qubits:
+            raise ValueError(
+                f"qubit {qubit} was never measured by any shot; "
+                f"measured_qubits={self.measured_qubits}")
         position = self.measured_qubits.index(qubit)
         ones = observed = 0
         for bits, count in self.counts.items():
@@ -110,9 +197,21 @@ class ShotResult:
         return ones / observed if observed else 0.0
 
     def most_frequent(self) -> str:
-        """The modal outcome bitstring."""
+        """The modal outcome bitstring.
+
+        A program that never measures produces the empty-string
+        outcome for every shot (``measured_qubits == ()``); asking for
+        a modal *bitstring* then is a category error, so it raises
+        instead of silently returning ``""``.  The histogram itself is
+        still available (``counts[""] == shots``).
+        """
         if not self.counts:
             raise ValueError("no shots recorded")
+        if not self.measured_qubits:
+            raise ValueError(
+                "program never measured any qubit: every shot "
+                "produced the empty outcome (counts[''] holds the "
+                "shot count)")
         return self.counts.most_common(1)[0][0]
 
 
@@ -235,10 +334,14 @@ class ShotEngine:
         return last_value, execution.total_ns
 
     def _run_all(self, shots: int):
-        """Yield every shot's (last results, ns) in seed order.
+        """Yield every shot's (last results, ns) for seeds 0..shots-1."""
+        return self._run_seeds(range(shots))
+
+    def _run_seeds(self, seeds: range):
+        """Yield each seed's (last results, ns) in seed order.
 
         With batching enabled (``QCPConfig.trace_cache_batch``) the
-        first shot runs serially to warm the trie, then the remaining
+        first seed runs serially to warm the trie, then the remaining
         seeds go to the trace cache in cohorts of
         ``trace_cache_batch_width`` (default: substrate-dependent, see
         :func:`~repro.qcp.tracecache.auto_batch_width`): the cache
@@ -247,23 +350,23 @@ class ShotEngine:
         hit an unbatchable segment — those fall back to
         :meth:`run_shot`, which records their new paths as usual.
         Every shot is bit-identical to its serial ``run_shot(seed)``
-        either way, so histograms and timings do not depend on the
-        batch width.
+        either way, so histograms and timings depend on neither the
+        batch width nor how a sweep is sharded into seed ranges.
         """
         cache = self.trace_cache
         if (cache is None or not self.config.trace_cache_batch
-                or shots < 2):
-            for seed in range(shots):
+                or len(seeds) < 2):
+            for seed in seeds:
                 yield self.run_shot(seed)
             return
         width = self.config.trace_cache_batch_width
         if width is None:
             width = auto_batch_width(self._qpu)
-        yield self.run_shot(0)
-        seed = 1
+        yield self.run_shot(seeds[0])
+        index = 1
         batching = True
-        while seed < shots:
-            chunk = list(range(seed, min(seed + width, shots)))
+        while index < len(seeds):
+            chunk = list(seeds[index:index + width])
             replayed = (cache.replay_batch(self._qpu, chunk)
                         if batching else None)
             if replayed is None:
@@ -274,35 +377,52 @@ class ShotEngine:
             for chunk_seed, result in zip(chunk, replayed):
                 yield (result if result is not None
                        else self.run_shot(chunk_seed))
-            seed += len(chunk)
+            index += len(chunk)
+
+    def run_range(self, start: int, stop: int) -> ShardOutcomes:
+        """Execute seeds ``start..stop-1``; return the partial histogram.
+
+        This is the shard entry point of the shot-sweep service
+        (:mod:`repro.service`): a worker runs one contiguous seed
+        range and hands back outcome-keyed counts plus the summed
+        duration, without rendering bitstrings — rendering needs the
+        cross-shard measurement union, which only the merge
+        (:func:`merge_shard_outcomes`) knows.  Shots are pure
+        functions of their seed, so any disjoint cover of a seed range
+        merges to exactly the serial result.
+        """
+        if stop <= start:
+            raise ValueError(
+                f"empty shard range [{start}, {stop})")
+        shard = ShardOutcomes(start=start, stop=stop)
+        counts = shard.counts
+        # Batched replay hands out one shared outcome dict per
+        # distinct leaf pattern; memoizing the outcome key by object
+        # identity collapses per-shot keying to a dict hit.  Keeping a
+        # reference to each keyed dict pins its id for the shard's
+        # lifetime.
+        keyed: dict[int, tuple[dict[int, int], OutcomeKey]] = {}
+        for last_value, shot_ns in self._run_seeds(range(start, stop)):
+            entry = keyed.get(id(last_value))
+            if entry is None:
+                key: OutcomeKey = tuple(sorted(last_value.items()))
+                keyed[id(last_value)] = (last_value, key)
+            else:
+                key = entry[1]
+            counts[key] += 1
+            shard.total_ns += shot_ns
+        return shard
 
     def run(self, shots: int) -> ShotResult:
-        """Execute ``shots`` shots and histogram the outcomes."""
+        """Execute ``shots`` shots and histogram the outcomes.
+
+        Implemented as the single-shard case of the shard/merge
+        pipeline, so serial execution and a sharded sweep share one
+        histogramming code path by construction.
+        """
         if shots < 1:
             raise ValueError("need at least one shot")
-        outcomes: list[dict[int, int]] = []
-        total_ns = 0
-        for last_value, shot_ns in self._run_all(shots):
-            outcomes.append(last_value)
-            total_ns += shot_ns
-        measured = tuple(sorted(set().union(*outcomes)))
-        result = ShotResult(shots=shots, measured_qubits=measured,
-                            total_ns=total_ns)
-        # Batched replay hands out one shared outcome dict per
-        # distinct leaf pattern, so memoizing the rendered bitstring
-        # by object identity collapses the per-shot formatting to a
-        # dict hit.  The ids stay valid because ``outcomes`` keeps
-        # every dict alive for the duration of the loop.
-        counts = result.counts
-        rendered: dict[int, str] = {}
-        for last_value in outcomes:
-            bits = rendered.get(id(last_value))
-            if bits is None:
-                bits = rendered[id(last_value)] = "".join(
-                    [str(last_value[q]) if q in last_value
-                     else UNMEASURED for q in measured])
-            counts[bits] += 1
-        return result
+        return merge_shard_outcomes([self.run_range(0, shots)])
 
 
 def run_shots(program: Program, shots: int,

@@ -1,0 +1,34 @@
+"""Shot-sweep job service: asyncio front-end + process-pool sharding.
+
+The long-running face of the reproduction: an asyncio server
+(:mod:`~repro.service.server`) accepts shot-sweep jobs over a
+newline-JSON socket protocol (:mod:`~repro.service.protocol`),
+a :class:`~repro.service.jobs.JobManager` shards each sweep into
+contiguous seed ranges across a process pool of compile-once engines
+(:mod:`~repro.service.workers`), and the commutative histogram merge
+(:func:`repro.qcp.shots.merge_shard_outcomes`) reassembles a result
+**bit-identical** to serial execution — the property PR 4's salted
+per-shot seed derivation bought and the test suite asserts.
+
+Start it with ``python -m repro serve``; talk to it with
+:class:`~repro.service.client.ServiceClient`.  Design notes in
+``docs/service.md``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JobManager, QueueFull
+from repro.service.protocol import (JobSpec, ProtocolError,
+                                    build_noise_model,
+                                    program_from_text,
+                                    result_from_payload, result_payload)
+from repro.service.server import ServiceHandle, serve
+from repro.service.workers import (default_shard_shots, plan_shards,
+                                   run_shard)
+
+__all__ = [
+    "JobManager", "JobSpec", "ProtocolError", "QueueFull",
+    "ServiceClient", "ServiceError", "ServiceHandle",
+    "build_noise_model", "default_shard_shots", "plan_shards",
+    "program_from_text", "result_from_payload", "result_payload",
+    "run_shard", "serve",
+]

@@ -1,0 +1,132 @@
+"""Blocking client for the shot-sweep service.
+
+A thin, dependency-free socket client speaking the newline-JSON
+protocol — what a lab script, the test suite and the benchmarks use.
+Each :class:`ServiceClient` method opens a fresh connection, so one
+client object may be shared freely (no connection state to corrupt).
+
+::
+
+    client = ServiceClient("127.0.0.1", 7781)
+    result, info = client.run_sweep(program_text, shots=1000,
+                                    backend="stabilizer")
+    print(result.counts, info["retries"])
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Callable, Iterator
+
+from repro.qcp.shots import ShotResult
+from repro.service.protocol import result_from_payload
+
+
+class ServiceError(RuntimeError):
+    """Terminal error event from the service; ``code`` is the error id."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+class ServiceClient:
+    """Blocking newline-JSON client (one connection per request)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7781,
+                 timeout: float = 300.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, message: dict) -> Iterator[dict]:
+        """Send one request; yield response events until the caller stops."""
+        with socket.create_connection((self.host, self.port),
+                                      timeout=self.timeout) as conn:
+            conn.sendall(json.dumps(message).encode() + b"\n")
+            with conn.makefile("rb") as stream:
+                for line in stream:
+                    yield json.loads(line)
+
+    def _one(self, message: dict) -> dict:
+        for event in self._request(message):
+            return event
+        raise ServiceError("closed", "connection closed without a reply")
+
+    # -- operations -------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self._one({"op": "ping"})
+
+    def stats(self) -> dict:
+        """The ``/stats`` snapshot (queue depth, jobs, worker caches)."""
+        return self._one({"op": "stats"})
+
+    def cancel(self, job_id: str) -> bool:
+        return self._one({"op": "cancel",
+                          "job_id": job_id})["event"] == "cancelled"
+
+    def submit_iter(self, job: dict, stream: bool = True) -> Iterator[dict]:
+        """Submit a job, yielding ``accepted``/``partial``/terminal events.
+
+        Raises nothing itself — callers see the raw event stream,
+        including ``rejected`` and ``error`` events, and may stop
+        iterating at any point (the connection closes with the
+        iterator).
+        """
+        for event in self._request({"op": "submit", "job": job,
+                                    "stream": stream}):
+            yield event
+            if event.get("event") in ("result", "error", "rejected"):
+                return
+
+    def submit(self, job: dict,
+               on_partial: "Callable[[dict], None] | None" = None) -> dict:
+        """Submit and wait; returns the ``result`` event.
+
+        ``on_partial`` receives every streamed partial event.  Raises
+        :class:`ServiceError` on rejection or failure.
+        """
+        for event in self.submit_iter(job, stream=on_partial is not None):
+            kind = event.get("event")
+            if kind == "partial" and on_partial is not None:
+                on_partial(event)
+            elif kind == "result":
+                return event
+            elif kind == "rejected":
+                raise ServiceError(event.get("error", "rejected"),
+                                   event.get("message", ""))
+            elif kind == "error":
+                raise ServiceError(event.get("error", "error"),
+                                   event.get("message", ""))
+        raise ServiceError("closed", "connection closed mid-job")
+
+    def run_sweep(self, program: str, shots: int, *, seed: int = 0,
+                  backend: str | None = None, config: dict | None = None,
+                  noise: dict | None = None, n_processors: int = 1,
+                  timeout_s: float | None = None,
+                  shard_shots: int | None = None,
+                  on_partial: "Callable[[dict], None] | None" = None,
+                  ) -> tuple[ShotResult, dict]:
+        """Convenience wrapper: build the job, wait, parse the result.
+
+        Returns ``(ShotResult, result_event)`` — the ShotResult is
+        bit-identical to a serial
+        :func:`repro.qcp.shots.run_shots` of the same sweep.
+        """
+        job: dict = {"program": program, "shots": shots, "seed": seed}
+        if backend is not None:
+            job["backend"] = backend
+        if config:
+            job["config"] = config
+        if noise:
+            job["noise"] = noise
+        if n_processors != 1:
+            job["n_processors"] = n_processors
+        if timeout_s is not None:
+            job["timeout_s"] = timeout_s
+        if shard_shots is not None:
+            job["shard_shots"] = shard_shots
+        event = self.submit(job, on_partial=on_partial)
+        return result_from_payload(event["result"]), event

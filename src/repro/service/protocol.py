@@ -1,0 +1,318 @@
+"""Wire protocol and job model of the shot-sweep service.
+
+The service speaks **newline-delimited JSON** over a stream socket:
+every request and every event is one JSON object terminated by ``\\n``.
+Requests carry an ``op`` field; server messages carry an ``event``
+field.  See ``docs/service.md`` for the full message catalogue.
+
+Job identity
+============
+
+Two keys are derived from a job, both SHA-256 over a canonical JSON
+rendering (sorted keys, no whitespace):
+
+* :meth:`JobSpec.engine_key` — the fields that determine the compiled
+  execution artifacts: program text, resolved backend, config
+  overrides, noise spec and processor count.  Workers cache one
+  compile-once :class:`~repro.qcp.shots.ShotEngine` per engine key.
+* :meth:`JobSpec.job_key` — the engine key fields plus ``shots`` and
+  ``seed``: everything that determines the *result*.  Jobs are pure
+  functions of their job key (PR 4's salted per-shot seed derivation),
+  which is what makes dedup safe: concurrent submissions with equal
+  keys can share one execution and each receive the bit-identical
+  result.
+
+Execution-steering fields (``timeout_s``, ``shard_shots``, the
+test-only ``fault`` hook) are deliberately **excluded** from both keys:
+they change how a sweep is run, never what it computes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.qcp.config import QCPConfig
+from repro.qcp.shots import ShotResult, program_has_measurement
+from repro.qpu.noise import (DecoherenceNoise, DepolarizingNoise,
+                             NoiseModel, PauliChannel, ReadoutError,
+                             ZZCrosstalk)
+
+#: Protocol revision announced by the server and checked by clients.
+PROTOCOL_VERSION = 1
+
+#: Largest accepted request line (bytes); also the asyncio stream limit.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+BACKENDS = ("statevector", "stabilizer")
+
+#: Noise-spec channel name -> channel class.  Parameters are passed as
+#: keyword arguments, e.g. ``{"pauli": {"px": 1e-3},
+#: "readout": {"p0_given_1": 0.005}}``.
+NOISE_CHANNELS = {
+    "depolarizing": DepolarizingNoise,
+    "two_qubit_depolarizing": DepolarizingNoise,
+    "pauli": PauliChannel,
+    "zz": ZZCrosstalk,
+    "readout": ReadoutError,
+    "decoherence": DecoherenceNoise,
+}
+
+_CONFIG_FIELDS = frozenset(QCPConfig.__dataclass_fields__)
+
+_SPEC_FIELDS = frozenset({
+    "program", "shots", "seed", "backend", "config", "noise",
+    "n_processors", "timeout_s", "shard_shots", "fault",
+})
+
+
+class ProtocolError(ValueError):
+    """A malformed or invalid request; ``code`` is machine-readable."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def program_from_text(text: str, name: str = "job"):
+    """Parse job program text: OpenQASM 2.0 or timed-QASM assembly.
+
+    The same sniff the CLI applies to files: a leading ``OPENQASM``
+    keyword selects the circuit front end (compiled down to timed
+    QASM); anything else is assembled directly.
+    """
+    if text.lstrip().upper().startswith("OPENQASM"):
+        from repro.circuit.openqasm import from_openqasm
+        from repro.compiler import compile_circuit
+
+        circuit = from_openqasm(text, name=name)
+        return compile_circuit(circuit, name=name).program
+    from repro.isa import parse_asm
+
+    return parse_asm(text, name=name)
+
+
+def build_noise_model(spec: dict | None) -> NoiseModel | None:
+    """Instantiate a :class:`NoiseModel` from its JSON spec (or None)."""
+    if not spec:
+        return None
+    channels: dict[str, Any] = {}
+    for name, params in spec.items():
+        cls = NOISE_CHANNELS.get(name)
+        if cls is None:
+            raise ProtocolError(
+                "bad_noise", f"unknown noise channel {name!r} "
+                f"(known: {sorted(NOISE_CHANNELS)})")
+        if not isinstance(params, dict):
+            raise ProtocolError(
+                "bad_noise", f"noise channel {name!r} parameters must "
+                f"be an object, got {type(params).__name__}")
+        try:
+            channels[name] = cls(**params)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                "bad_noise", f"noise channel {name!r}: {exc}") from exc
+    return NoiseModel(**channels)
+
+
+def _canonical(value: Any) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A validated shot-sweep job.
+
+    ``program`` is source text (timed-QASM or OpenQASM 2.0); shot ``i``
+    of the sweep runs with seed ``seed + i``, so a job is sharded into
+    contiguous shot-index ranges without any coordination between
+    workers.  ``config`` holds :class:`QCPConfig` field overrides,
+    ``noise`` a channel spec for :func:`build_noise_model`.
+    """
+
+    program: str
+    shots: int
+    seed: int = 0
+    backend: str | None = None
+    config: dict = field(default_factory=dict)
+    noise: dict | None = None
+    n_processors: int = 1
+    timeout_s: float | None = None
+    shard_shots: int | None = None
+    #: Test-only fault injection consumed by the workers (see
+    #: ``repro.service.workers``); never part of the job identity.
+    fault: dict | None = None
+
+    @classmethod
+    def from_dict(cls, raw: Any) -> "JobSpec":
+        """Validate an incoming job object; raises :class:`ProtocolError`.
+
+        Validation is eager and complete: the program parses, contains
+        at least one measurement, the config overrides construct a
+        :class:`QCPConfig`, and the noise spec constructs a
+        :class:`NoiseModel` — so a worker can never fail on a job the
+        front end accepted, only crash.
+        """
+        if not isinstance(raw, dict):
+            raise ProtocolError("bad_job", "job must be an object")
+        unknown = set(raw) - _SPEC_FIELDS
+        if unknown:
+            raise ProtocolError(
+                "bad_job", f"unknown job fields: {sorted(unknown)}")
+        program = raw.get("program")
+        if not isinstance(program, str) or not program.strip():
+            raise ProtocolError(
+                "bad_program", "job needs non-empty 'program' text")
+        shots = raw.get("shots")
+        if not isinstance(shots, int) or isinstance(shots, bool) \
+                or shots < 1:
+            raise ProtocolError(
+                "bad_shots", f"'shots' must be a positive integer, "
+                f"got {shots!r}")
+        seed = raw.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise ProtocolError(
+                "bad_seed", f"'seed' must be an integer, got {seed!r}")
+        backend = raw.get("backend")
+        if backend is not None and backend not in BACKENDS:
+            raise ProtocolError(
+                "bad_backend", f"unknown backend {backend!r} "
+                f"(known: {BACKENDS})")
+        config = raw.get("config") or {}
+        if not isinstance(config, dict):
+            raise ProtocolError("bad_config", "'config' must be an object")
+        unknown = set(config) - _CONFIG_FIELDS
+        if unknown:
+            raise ProtocolError(
+                "bad_config",
+                f"unknown QCPConfig fields: {sorted(unknown)}")
+        try:
+            QCPConfig().with_(**config)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError("bad_config", str(exc)) from exc
+        noise = raw.get("noise")
+        if noise is not None and not isinstance(noise, dict):
+            raise ProtocolError("bad_noise", "'noise' must be an object")
+        build_noise_model(noise)
+        n_processors = raw.get("n_processors", 1)
+        if not isinstance(n_processors, int) or n_processors < 1:
+            raise ProtocolError(
+                "bad_job", f"'n_processors' must be a positive "
+                f"integer, got {n_processors!r}")
+        timeout_s = raw.get("timeout_s")
+        if timeout_s is not None and (
+                not isinstance(timeout_s, (int, float))
+                or timeout_s <= 0):
+            raise ProtocolError(
+                "bad_job", f"'timeout_s' must be positive, "
+                f"got {timeout_s!r}")
+        shard_shots = raw.get("shard_shots")
+        if shard_shots is not None and (
+                not isinstance(shard_shots, int) or shard_shots < 1):
+            raise ProtocolError(
+                "bad_job", f"'shard_shots' must be a positive integer, "
+                f"got {shard_shots!r}")
+        fault = raw.get("fault")
+        if fault is not None and not isinstance(fault, dict):
+            raise ProtocolError("bad_job", "'fault' must be an object")
+        try:
+            parsed = program_from_text(program)
+        except Exception as exc:
+            raise ProtocolError(
+                "bad_program", f"program does not parse: {exc}") from exc
+        if not program_has_measurement(parsed):
+            raise ProtocolError(
+                "no_measurements",
+                "program never measures a qubit: every shot would "
+                "produce the empty outcome, so there is no histogram "
+                "to sweep — add a qmeas (or OpenQASM measure)")
+        return cls(program=program, shots=shots, seed=seed,
+                   backend=backend, config=dict(config), noise=noise,
+                   n_processors=n_processors, timeout_s=timeout_s,
+                   shard_shots=shard_shots, fault=fault)
+
+    @property
+    def resolved_backend(self) -> str:
+        """The backend the engine will actually use."""
+        if self.backend is not None:
+            return self.backend
+        return self.config.get("qpu_backend", QCPConfig.qpu_backend)
+
+    def _engine_identity(self) -> dict:
+        return {
+            "program_sha": _sha(self.program),
+            "backend": self.resolved_backend,
+            "config": self.config,
+            "noise": self.noise,
+            "n_processors": self.n_processors,
+        }
+
+    def engine_key(self) -> str:
+        """Identity of the compiled artifacts a worker can reuse."""
+        return _sha(_canonical(self._engine_identity()))
+
+    def job_key(self) -> str:
+        """Identity of the result — the dedup key."""
+        identity = self._engine_identity()
+        identity.update(shots=self.shots, seed=self.seed)
+        return _sha(_canonical(identity))
+
+    def payload(self) -> dict:
+        """Plain-dict form shipped to worker processes (picklable)."""
+        return {
+            "program": self.program,
+            "shots": self.shots,
+            "seed": self.seed,
+            "backend": self.backend,
+            "config": self.config,
+            "noise": self.noise,
+            "n_processors": self.n_processors,
+            "engine_key": self.engine_key(),
+            "fault": self.fault,
+        }
+
+
+# -- wire framing ---------------------------------------------------------
+
+def encode_message(message: dict) -> bytes:
+    """One protocol message as a newline-terminated JSON line."""
+    return json.dumps(message, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one received line; raises :class:`ProtocolError`."""
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("bad_json", f"undecodable line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("bad_json", "message must be a JSON object")
+    return message
+
+
+# -- result serialization -------------------------------------------------
+
+def result_payload(result: ShotResult) -> dict:
+    """JSON form of a :class:`ShotResult` (client reconstructs it)."""
+    return {
+        "shots": result.shots,
+        "measured_qubits": list(result.measured_qubits),
+        "counts": dict(result.counts),
+        "total_ns": result.total_ns,
+    }
+
+
+def result_from_payload(payload: dict) -> ShotResult:
+    """Inverse of :func:`result_payload`."""
+    from collections import Counter
+
+    return ShotResult(shots=payload["shots"],
+                      measured_qubits=tuple(payload["measured_qubits"]),
+                      counts=Counter(payload["counts"]),
+                      total_ns=payload["total_ns"])

@@ -1,0 +1,131 @@
+"""Worker-process side of the shot-sweep service.
+
+A worker is one process of a ``ProcessPoolExecutor``.  It receives
+``(job payload, start, stop)`` triples — one contiguous shard of a
+sweep's shot-index range — and returns the shard's outcome-keyed
+partial histogram (:meth:`~repro.qcp.shots.ShotEngine.run_range`).
+
+Workers are **stateful on purpose**: each process keeps a small LRU of
+compile-once :class:`~repro.qcp.shots.ShotEngine` instances keyed by
+the job's engine key, so every shard of a sweep (and every repeat of a
+popular program) reuses the decoded instruction memory, block table,
+channel map, QPU and warm trace-cache trie.  None of that state is
+correctness-relevant: shot ``i`` runs with seed ``seed + i`` and is a
+pure function of that seed, so any shard executed by any worker — or
+re-executed after a crash — produces bit-identical counts.
+
+Fault injection
+===============
+
+``run_shard`` honours a test-only ``fault`` payload field::
+
+    {"kill_shard_start": <start>, "once_token": "<path>"}
+
+The first worker to pick up the shard starting at ``kill_shard_start``
+creates the token file and hard-exits, simulating a worker crash
+mid-sweep; because the token then exists, the retried shard runs
+normally.  This is how the test suite proves crash-retry keeps results
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from collections import OrderedDict
+
+from repro.qcp.config import QCPConfig
+from repro.qcp.shots import ShotEngine
+from repro.service.protocol import build_noise_model, program_from_text
+
+#: Engines cached per worker process, newest-used last.
+_ENGINE_LRU_CAPACITY = 8
+
+_engines: "OrderedDict[str, ShotEngine]" = OrderedDict()
+
+
+def plan_shards(shots: int, shard_shots: int) -> list[tuple[int, int]]:
+    """Split ``range(0, shots)`` into contiguous ``[start, stop)`` spans.
+
+    Spans are ``shard_shots`` long except possibly the last; together
+    they cover the shot-index range exactly once, which the job
+    manager re-checks before merging.
+    """
+    if shots < 1:
+        raise ValueError("need at least one shot")
+    if shard_shots < 1:
+        raise ValueError("shard size must be positive")
+    return [(start, min(start + shard_shots, shots))
+            for start in range(0, shots, shard_shots)]
+
+
+def default_shard_shots(shots: int, n_workers: int) -> int:
+    """Default shard size: ~4 shards per worker.
+
+    Fine enough that partial-histogram updates stream and a crashed
+    worker loses little work, coarse enough that per-shard dispatch
+    overhead stays negligible against the shots themselves.
+    """
+    return max(1, -(-shots // (4 * max(1, n_workers))))
+
+
+def _build_engine(payload: dict) -> ShotEngine:
+    config = QCPConfig().with_(**payload["config"])
+    return ShotEngine(
+        program_from_text(payload["program"]),
+        config=config,
+        n_processors=payload["n_processors"],
+        backend=payload["backend"] or config.qpu_backend,
+        noise=build_noise_model(payload["noise"]))
+
+
+def _engine_for(payload: dict) -> ShotEngine:
+    key = payload["engine_key"]
+    engine = _engines.get(key)
+    if engine is None:
+        engine = _build_engine(payload)
+        _engines[key] = engine
+        while len(_engines) > _ENGINE_LRU_CAPACITY:
+            _engines.popitem(last=False)
+    else:
+        _engines.move_to_end(key)
+    return engine
+
+
+def _maybe_inject_fault(payload: dict, start: int) -> None:
+    fault = payload.get("fault")
+    if not fault or fault.get("kill_shard_start") != start:
+        return
+    token = pathlib.Path(fault["once_token"])
+    if not token.exists():
+        token.touch()
+        # Simulate a hard worker crash: no exception, no cleanup.
+        os._exit(1)
+
+
+def run_shard(payload: dict, start: int, stop: int) -> dict:
+    """Execute shots ``start..stop-1`` of a job; return the shard result.
+
+    Shot ``i`` runs with seed ``payload['seed'] + i``.  The returned
+    dict is picklable: outcome-keyed counts (see
+    :class:`~repro.qcp.shots.ShardOutcomes`), the summed duration, and
+    observability extras — the worker pid and a snapshot of the
+    engine's trace-cache counters for the ``/stats`` endpoint.
+    """
+    _maybe_inject_fault(payload, start)
+    engine = _engine_for(payload)
+    base = payload["seed"]
+    shard = engine.run_range(base + start, base + stop)
+    cache = engine.trace_cache
+    stats = None
+    if cache is not None:
+        stats = {"hits": cache.hits, "misses": cache.misses,
+                 "resumes": cache.resumes, "nodes": cache.nodes,
+                 "evictions": cache.evictions,
+                 "batched_shots": cache.batched_shots,
+                 "wavefront_splits": cache.wavefront_splits,
+                 "serial_fallbacks": cache.serial_fallbacks}
+    return {"start": start, "stop": stop,
+            "counts": shard.counts, "total_ns": shard.total_ns,
+            "pid": os.getpid(), "engine_key": payload["engine_key"],
+            "trace_cache": stats}

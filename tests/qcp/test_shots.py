@@ -62,3 +62,49 @@ class TestRunShots:
     def test_probability_of_unseen_bitstring_is_zero(self):
         result = run_shots(bell_program(), shots=10)
         assert result.probability("01") == 0.0
+
+
+class TestShotResultErrors:
+    def test_expectation_of_unmeasured_qubit_names_the_qubit(self):
+        circuit = QuantumCircuit(3).x(0).measure(0).measure(2)
+        program = compile_circuit(circuit).program
+        result = run_shots(program, shots=5)
+        with pytest.raises(ValueError, match=r"qubit 1 was never "
+                                             r"measured"):
+            result.expectation(1)
+
+    def test_expectation_error_lists_measured_qubits(self):
+        circuit = QuantumCircuit(3).measure(0).measure(2)
+        program = compile_circuit(circuit).program
+        result = run_shots(program, shots=3)
+        with pytest.raises(ValueError, match=r"measured_qubits=\(0, 2\)"):
+            result.expectation(7)
+
+    def test_expectation_of_measured_qubit_still_works(self):
+        circuit = QuantumCircuit(2).x(1).measure(1)
+        program = compile_circuit(circuit).program
+        result = run_shots(program, shots=4)
+        assert result.expectation(1) == 1.0
+
+
+class TestZeroMeasurementPrograms:
+    """Pin the behavior of sweeps whose program never measures."""
+
+    def _no_measure_program(self):
+        circuit = QuantumCircuit(2).h(0).cnot(0, 1)
+        return compile_circuit(circuit).program
+
+    def test_counts_hold_empty_outcome(self):
+        result = run_shots(self._no_measure_program(), shots=6)
+        assert result.counts == {"": 6}
+        assert result.measured_qubits == ()
+        assert result.shots == 6
+
+    def test_most_frequent_raises_clearly(self):
+        result = run_shots(self._no_measure_program(), shots=2)
+        with pytest.raises(ValueError, match="never measured any qubit"):
+            result.most_frequent()
+
+    def test_probability_of_empty_outcome(self):
+        result = run_shots(self._no_measure_program(), shots=4)
+        assert result.probability("") == 1.0

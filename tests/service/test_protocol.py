@@ -1,0 +1,161 @@
+"""Tests for the service wire protocol and job identity model."""
+
+import pytest
+
+from repro.qcp import run_shots
+from repro.service.protocol import (BACKENDS, JobSpec, ProtocolError,
+                                    build_noise_model, decode_line,
+                                    encode_message, program_from_text,
+                                    result_from_payload, result_payload)
+
+ASM = """
+.block main prio=0
+    qop 0, h, q0
+    qmeas 2, q0
+    halt
+.endblock
+"""
+
+QASM = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+creg c[1];
+h q[0];
+measure q[0] -> c[0];
+"""
+
+NO_MEASURE_ASM = """
+.block main prio=0
+    qop 0, h, q0
+    halt
+.endblock
+"""
+
+
+def job(**overrides):
+    raw = {"program": ASM, "shots": 10}
+    raw.update(overrides)
+    return raw
+
+
+class TestValidation:
+    def test_minimal_job_accepted(self):
+        spec = JobSpec.from_dict(job())
+        assert spec.shots == 10
+        assert spec.seed == 0
+        assert spec.resolved_backend == "statevector"
+
+    def test_openqasm_program_accepted(self):
+        spec = JobSpec.from_dict(job(program=QASM))
+        assert spec.program == QASM
+
+    @pytest.mark.parametrize("raw, code", [
+        ("not a dict", "bad_job"),
+        (job(bogus=1), "bad_job"),
+        (job(program=""), "bad_program"),
+        (job(program="qqop nonsense"), "bad_program"),
+        (job(shots=0), "bad_shots"),
+        (job(shots=True), "bad_shots"),
+        (job(shots="10"), "bad_shots"),
+        (job(seed="zero"), "bad_seed"),
+        (job(backend="tensor_network"), "bad_backend"),
+        (job(config={"nonexistent_field": 1}), "bad_config"),
+        (job(config="fast"), "bad_config"),
+        (job(noise={"cosmic_rays": {}}), "bad_noise"),
+        (job(noise={"pauli": {"pq": 1.0}}), "bad_noise"),
+        (job(noise={"pauli": 0.1}), "bad_noise"),
+        (job(n_processors=0), "bad_job"),
+        (job(timeout_s=-1), "bad_job"),
+        (job(shard_shots=0), "bad_job"),
+        (job(program=NO_MEASURE_ASM), "no_measurements"),
+    ])
+    def test_rejections_carry_machine_readable_codes(self, raw, code):
+        with pytest.raises(ProtocolError) as excinfo:
+            JobSpec.from_dict(raw)
+        assert excinfo.value.code == code
+
+    def test_no_measurement_openqasm_rejected(self):
+        qasm = ("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n"
+                "qreg q[1];\nh q[0];\n")
+        with pytest.raises(ProtocolError) as excinfo:
+            JobSpec.from_dict(job(program=qasm))
+        assert excinfo.value.code == "no_measurements"
+
+
+class TestKeys:
+    def test_job_key_is_stable(self):
+        assert JobSpec.from_dict(job()).job_key() == \
+            JobSpec.from_dict(job()).job_key()
+
+    def test_result_fields_change_job_key(self):
+        base = JobSpec.from_dict(job()).job_key()
+        assert JobSpec.from_dict(job(shots=11)).job_key() != base
+        assert JobSpec.from_dict(job(seed=1)).job_key() != base
+        assert JobSpec.from_dict(
+            job(backend="stabilizer")).job_key() != base
+        assert JobSpec.from_dict(
+            job(noise={"pauli": {"px": 1e-3}})).job_key() != base
+        assert JobSpec.from_dict(
+            job(config={"trace_cache": False})).job_key() != base
+
+    def test_steering_fields_do_not_change_job_key(self):
+        base = JobSpec.from_dict(job()).job_key()
+        assert JobSpec.from_dict(job(timeout_s=9.0)).job_key() == base
+        assert JobSpec.from_dict(job(shard_shots=3)).job_key() == base
+
+    def test_engine_key_ignores_shots_and_seed(self):
+        base = JobSpec.from_dict(job()).engine_key()
+        assert JobSpec.from_dict(job(shots=99, seed=5)).engine_key() == \
+            base
+        assert JobSpec.from_dict(
+            job(backend="stabilizer")).engine_key() != base
+
+    def test_explicit_backend_matches_config_backend(self):
+        # Resolution means "backend": "statevector" and
+        # config.qpu_backend = "statevector" are the same engine.
+        explicit = JobSpec.from_dict(job(backend="statevector"))
+        via_config = JobSpec.from_dict(
+            job(config={"qpu_backend": "statevector"}))
+        assert explicit.resolved_backend == \
+            via_config.resolved_backend == "statevector"
+
+
+class TestFraming:
+    def test_round_trip(self):
+        line = encode_message({"op": "ping", "n": 3})
+        assert line.endswith(b"\n")
+        assert decode_line(line) == {"op": "ping", "n": 3}
+
+    def test_bad_json_raises(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_line(b"{nope\n")
+        assert excinfo.value.code == "bad_json"
+
+    def test_non_object_raises(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_line(b"[1, 2]\n")
+        assert excinfo.value.code == "bad_json"
+
+
+class TestResultPayload:
+    def test_round_trips_shot_result(self):
+        program = program_from_text(ASM)
+        result = run_shots(program, shots=12, backend="stabilizer")
+        clone = result_from_payload(result_payload(result))
+        assert clone.shots == result.shots
+        assert clone.counts == result.counts
+        assert clone.measured_qubits == result.measured_qubits
+        assert clone.total_ns == result.total_ns
+
+
+class TestNoiseModel:
+    def test_builds_channels(self):
+        model = build_noise_model({
+            "pauli": {"px": 1e-3},
+            "readout": {"p0_given_1": 0.005, "p1_given_0": 0.002}})
+        assert model is not None
+
+    def test_none_and_empty_mean_ideal(self):
+        assert build_noise_model(None) is None
+        assert build_noise_model({}) is None

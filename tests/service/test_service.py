@@ -1,0 +1,230 @@
+"""End-to-end service tests: bit-identity, streaming, crash retry.
+
+The expensive fixtures — one running service per worker count — are
+module-scoped; the matrix tests then submit sweeps over the live
+socket and compare against serial :func:`repro.qcp.run_shots` down to
+the last count and nanosecond.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.qcp import QCPConfig, run_shots
+from repro.qpu.noise import NoiseModel, PauliChannel, ReadoutError
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JobManager, QueueFull
+from repro.service.protocol import JobSpec
+from repro.service.server import ServiceHandle
+
+BRANCHY = """
+.block main prio=0
+    qop 0, h, q0
+    qmeas 2, q0
+    fmr r1, q0
+    beq r1, r0, skip
+    qop 2, x, q1
+    qmeas 2, q1
+skip:
+    qop 0, h, q2
+    qmeas 2, q2
+    qmeas 2, q0
+    halt
+.endblock
+"""
+
+NO_MEASURE = """
+.block main prio=0
+    qop 0, h, q0
+    halt
+.endblock
+"""
+
+NOISE_SPEC = {"pauli": {"px": 1e-3},
+              "readout": {"p0_given_1": 0.005, "p1_given_0": 0.002}}
+
+SHOTS = 24
+
+
+def serial_reference(backend, noisy, batched):
+    noise = None
+    if noisy:
+        noise = NoiseModel(pauli=PauliChannel(px=1e-3),
+                           readout=ReadoutError(p0_given_1=0.005,
+                                                p1_given_0=0.002))
+    from repro.service.protocol import program_from_text
+
+    config = QCPConfig().with_(trace_cache_batch=batched)
+    return run_shots(program_from_text(BRANCHY), shots=SHOTS,
+                     config=config, backend=backend, noise=noise)
+
+
+@pytest.fixture(scope="module", params=[1, 2, 4])
+def service(request):
+    with ServiceHandle.start(n_workers=request.param) as handle:
+        handle.n_workers = request.param
+        yield handle
+
+
+@pytest.fixture(scope="module")
+def client(service):
+    return ServiceClient(service.host, service.port)
+
+
+class TestBitIdentityMatrix:
+    @pytest.mark.parametrize("backend", ["statevector", "stabilizer"])
+    @pytest.mark.parametrize("noisy", [False, True])
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_sweep_matches_serial(self, client, backend, noisy, batched):
+        result, event = client.run_sweep(
+            BRANCHY, shots=SHOTS, backend=backend,
+            config={"trace_cache_batch": batched},
+            noise=NOISE_SPEC if noisy else None,
+            shard_shots=7)
+        serial = serial_reference(backend, noisy, batched)
+        assert result.counts == serial.counts
+        assert result.total_ns == serial.total_ns
+        assert result.measured_qubits == serial.measured_qubits
+        assert event["shards"] == 4
+        assert event["retries"] == 0
+
+
+class TestWorkerCrashRetry:
+    def test_killed_worker_shard_is_retried_bit_identically(
+            self, client, service, tmp_path):
+        from repro.service.protocol import result_from_payload
+
+        token = tmp_path / f"kill-once-{service.n_workers}"
+        event = client.submit({
+            "program": BRANCHY, "shots": SHOTS,
+            "backend": "stabilizer", "shard_shots": 6,
+            "fault": {"kill_shard_start": 6,
+                      "once_token": str(token)}})
+        result = result_from_payload(event["result"])
+        serial = serial_reference("stabilizer", False, True)
+        assert token.exists()  # the fault really fired
+        assert event["retries"] >= 1
+        assert result.counts == serial.counts
+        assert result.total_ns == serial.total_ns
+
+
+class TestStreaming:
+    def test_partials_grow_monotonically_to_the_result(self, client):
+        seen = []
+        result, event = client.run_sweep(
+            BRANCHY, shots=SHOTS, backend="stabilizer", shard_shots=6,
+            seed=17, on_partial=lambda e: seen.append(e["shots_done"]))
+        assert seen == sorted(seen)
+        assert all(done % 6 == 0 and done <= SHOTS for done in seen)
+        assert event["shots_done"] == SHOTS
+        assert sum(result.counts.values()) == SHOTS
+
+    def test_stats_reports_workers_and_caches(self, client, service):
+        stats = client.stats()
+        assert stats["workers"] == service.n_workers
+        assert stats["jobs"]["completed"] >= 1
+        assert stats["queue_depth"] == 0
+        assert stats["shots_done"] > 0
+        assert stats["shots_per_s"] >= 0
+        # Every worker that ran a cached shard reports its counters.
+        for worker in stats["worker_cache"].values():
+            assert worker["shards"] >= 1
+            if worker["trace_cache"] is not None:
+                assert worker["trace_cache"]["misses"] >= 0
+
+
+class TestRejections:
+    def test_no_measurement_program_rejected(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.run_sweep(NO_MEASURE, shots=4)
+        assert excinfo.value.code == "no_measurements"
+
+    def test_bad_backend_rejected(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.run_sweep(BRANCHY, shots=4, backend="abacus")
+        assert excinfo.value.code == "bad_backend"
+
+    def test_ping(self, client):
+        assert client.ping()["event"] == "pong"
+
+    def test_cancel_unknown_job(self, client):
+        assert client.cancel("no-such-job") is False
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+class TestJobManager:
+    """Deterministic manager-level semantics (no sockets, no races)."""
+
+    def spec(self, **overrides):
+        raw = {"program": BRANCHY, "shots": 8, "backend": "stabilizer"}
+        raw.update(overrides)
+        return JobSpec.from_dict(raw)
+
+    def test_dedup_shares_one_execution(self):
+        async def main():
+            manager = JobManager(n_workers=1, queue_size=4)
+            await manager.start()
+            try:
+                job_a, deduped_a = manager.submit(self.spec())
+                job_b, deduped_b = manager.submit(self.spec())
+                assert (deduped_a, deduped_b) == (False, True)
+                assert job_a is job_b
+                queue = manager.subscribe(job_a)
+                while True:
+                    event = await asyncio.wait_for(queue.get(), 60)
+                    if event["event"] in ("result", "error"):
+                        break
+                assert event["event"] == "result"
+                assert manager.stats()["jobs"]["deduped"] == 1
+            finally:
+                await manager.stop()
+
+        run_async(main())
+
+    def test_backpressure_rejects_beyond_queue_size(self):
+        async def main():
+            manager = JobManager(n_workers=1, queue_size=1)
+            await manager.start()
+            try:
+                job, _ = manager.submit(self.spec(shots=32))
+                with pytest.raises(QueueFull):
+                    manager.submit(self.spec(shots=33))
+                # Dedup of the queued job still works under pressure.
+                again, deduped = manager.submit(self.spec(shots=32))
+                assert again is job and deduped
+                assert manager.stats()["jobs"]["rejected"] == 1
+                queue = manager.subscribe(job)
+                while True:
+                    event = await asyncio.wait_for(queue.get(), 60)
+                    if event["event"] in ("result", "error"):
+                        break
+            finally:
+                await manager.stop()
+
+        run_async(main())
+
+    def test_cancel_while_queued(self):
+        async def main():
+            manager = JobManager(n_workers=1, queue_size=4)
+            await manager.start()
+            try:
+                filler, _ = manager.submit(self.spec(shots=40))
+                victim, _ = manager.submit(self.spec(shots=41))
+                assert manager.cancel(victim.id)
+                queue = manager.subscribe(victim)
+                event = await asyncio.wait_for(queue.get(), 60)
+                assert event["event"] == "error"
+                assert event["error"] == "cancelled"
+                fq = manager.subscribe(filler)
+                while True:
+                    event = await asyncio.wait_for(fq.get(), 60)
+                    if event["event"] in ("result", "error"):
+                        break
+                assert manager.stats()["jobs"]["cancelled"] == 1
+            finally:
+                await manager.stop()
+
+        run_async(main())

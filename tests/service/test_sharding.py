@@ -1,0 +1,153 @@
+"""Shard planning and merge bit-identity at the engine level.
+
+The service's correctness rests on one property: a sweep split into
+contiguous seed ranges and merged with
+:func:`repro.qcp.shots.merge_shard_outcomes` is **bit-identical** to
+the serial :meth:`ShotEngine.run` — which is itself routed through the
+same shard/merge path, so identity holds by construction.  These tests
+pin it observationally across backends, noise, and batching.
+"""
+
+import pytest
+
+from repro.qcp import QCPConfig, ShotEngine, merge_shard_outcomes
+from repro.qpu.noise import NoiseModel, PauliChannel, ReadoutError
+from repro.service.protocol import JobSpec, program_from_text
+from repro.service.workers import (default_shard_shots, plan_shards,
+                                   run_shard)
+
+# A branchy program: the q0 readout steers a conditional X on q1, so
+# different seeds take different control paths — the hardest case for
+# a merge (shards see different outcome dictionaries).
+BRANCHY = """
+.block main prio=0
+    qop 0, h, q0
+    qmeas 2, q0
+    fmr r1, q0
+    beq r1, r0, skip
+    qop 2, x, q1
+    qmeas 2, q1
+skip:
+    qop 0, h, q2
+    qmeas 2, q2
+    qmeas 2, q0
+    halt
+.endblock
+"""
+
+
+class TestPlanShards:
+    def test_covers_every_shot_exactly_once(self):
+        spans = plan_shards(100, 7)
+        assert spans[0][0] == 0
+        assert spans[-1][1] == 100
+        for (_, stop), (start, _) in zip(spans, spans[1:]):
+            assert stop == start
+
+    def test_all_but_last_shard_full(self):
+        spans = plan_shards(100, 7)
+        assert all(stop - start == 7 for start, stop in spans[:-1])
+        assert spans[-1][1] - spans[-1][0] == 100 % 7
+
+    def test_single_shard_when_width_exceeds_shots(self):
+        assert plan_shards(5, 100) == [(0, 5)]
+
+    def test_default_width_gives_about_four_shards_per_worker(self):
+        width = default_shard_shots(1000, n_workers=4)
+        spans = plan_shards(1000, width)
+        assert len(spans) == 16
+
+    def test_default_width_never_zero(self):
+        assert default_shard_shots(1, n_workers=8) == 1
+
+
+def _engine(backend, noise=None, batched=True):
+    config = QCPConfig().with_(trace_cache_batch=batched)
+    return ShotEngine(program_from_text(BRANCHY), config=config,
+                      backend=backend, noise=noise)
+
+
+def _noise():
+    return NoiseModel(pauli=PauliChannel(px=1e-3),
+                      readout=ReadoutError(p0_given_1=0.005,
+                                           p1_given_0=0.002))
+
+
+class TestMergeBitIdentity:
+    @pytest.mark.parametrize("backend", ["statevector", "stabilizer"])
+    @pytest.mark.parametrize("noisy", [False, True])
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_sharded_equals_serial(self, backend, noisy, batched):
+        noise = _noise() if noisy else None
+        serial = _engine(backend, noise, batched).run(24)
+        sharded_engine = _engine(backend, noise, batched)
+        shards = [sharded_engine.run_range(start, stop)
+                  for start, stop in plan_shards(24, 7)]
+        merged = merge_shard_outcomes(shards)
+        assert merged.counts == serial.counts
+        assert merged.total_ns == serial.total_ns
+        assert merged.measured_qubits == serial.measured_qubits
+        assert merged.shots == serial.shots
+
+    def test_merge_is_order_independent(self):
+        engine = _engine("stabilizer")
+        shards = [engine.run_range(10, 20), engine.run_range(0, 5),
+                  engine.run_range(5, 10)]
+        merged = merge_shard_outcomes(shards)
+        serial = _engine("stabilizer").run(20)
+        assert merged.counts == serial.counts
+        assert merged.total_ns == serial.total_ns
+
+    def test_nonzero_base_seed_offsets_the_window(self):
+        # Shot i of a seed=s job runs with seed s + i: sharding a
+        # seed=5 sweep is the same as a contiguous window of ranges.
+        engine = _engine("stabilizer")
+        whole = merge_shard_outcomes([engine.run_range(5, 25)])
+        split = merge_shard_outcomes(
+            [engine.run_range(5, 12), engine.run_range(12, 25)])
+        assert split.counts == whole.counts
+        assert split.total_ns == whole.total_ns
+
+    def test_empty_range_rejected(self):
+        engine = _engine("stabilizer")
+        with pytest.raises(ValueError):
+            engine.run_range(3, 3)
+
+
+class TestRunShardWorker:
+    """Direct calls into the worker entry point (no pool)."""
+
+    def payload(self, **overrides):
+        raw = {"program": BRANCHY, "shots": 20, "seed": 0,
+               "backend": "stabilizer"}
+        raw.update(overrides)
+        return JobSpec.from_dict(raw).payload()
+
+    def test_shard_results_merge_to_serial(self):
+        payload = self.payload()
+        outs = [run_shard(payload, start, stop)
+                for start, stop in plan_shards(20, 6)]
+        from collections import Counter
+
+        from repro.qcp.shots import ShardOutcomes
+        shards = [ShardOutcomes(start=o["start"], stop=o["stop"],
+                                counts=Counter(o["counts"]),
+                                total_ns=o["total_ns"])
+                  for o in outs]
+        merged = merge_shard_outcomes(shards)
+        serial = _engine("stabilizer").run(20)
+        assert merged.counts == serial.counts
+        assert merged.total_ns == serial.total_ns
+
+    def test_reports_engine_key_and_cache_counters(self):
+        payload = self.payload()
+        out = run_shard(payload, 0, 10)
+        assert out["engine_key"] == payload["engine_key"]
+        assert out["pid"] > 0
+        assert out["trace_cache"] is not None
+        assert out["trace_cache"]["misses"] >= 1
+
+    def test_uncached_shard_reports_no_cache(self):
+        payload = self.payload(config={"trace_cache": False})
+        out = run_shard(payload, 0, 5)
+        assert out["trace_cache"] is None

@@ -93,3 +93,70 @@ class TestParser:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestUncacheableSubstrateWarning:
+    """--qpu prng disables the trace cache (per-shot qpu_factory), so
+    cache-steering flags are silently dead — the CLI must say so."""
+
+    def test_prng_with_cache_flag_warns_on_stderr(self, asm_file, capsys):
+        assert main(["run", asm_file, "--shots", "4",
+                     "--no-trace-cache"]) == 0
+        err = capsys.readouterr().err
+        assert "warning" in err
+        assert "--no-trace-cache" in err
+        assert "uncacheable" in err
+
+    def test_warning_names_every_given_flag(self, asm_file, capsys):
+        assert main(["run", asm_file, "--shots", "4",
+                     "--batch-shots", "8",
+                     "--trace-cache-max-nodes", "100"]) == 0
+        err = capsys.readouterr().err
+        assert "--batch-shots" in err
+        assert "--trace-cache-max-nodes" in err
+
+    def test_prng_without_cache_flags_is_silent(self, asm_file, capsys):
+        assert main(["run", asm_file, "--shots", "4"]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_simulated_backend_does_not_warn(self, asm_file, capsys):
+        assert main(["run", asm_file, "--shots", "4",
+                     "--qpu", "stabilizer", "--no-trace-cache"]) == 0
+        assert capsys.readouterr().err == ""
+
+
+class TestEmptyOutcomeRendering:
+    def test_measurement_free_program_renders_explicitly(
+            self, tmp_path, capsys):
+        path = tmp_path / "nomeas.tqasm"
+        path.write_text(".block main prio=0\n"
+                        "    qop 0, h, q0\n"
+                        "    halt\n"
+                        ".endblock\n")
+        assert main(["run", str(path), "--shots", "3",
+                     "--qpu", "stabilizer"]) == 0
+        out = capsys.readouterr().out
+        assert "measured qubits: none (program never measured)" in out
+        assert "(empty outcome)       3" in out
+
+
+class TestServeParser:
+    def test_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 7781
+        assert args.workers == 2
+        assert args.queue_size == 16
+        assert args.max_retries == 2
+        assert args.entry.__name__ == "command_serve"
+
+    def test_overrides(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "9000", "--workers", "4",
+             "--queue-size", "2", "--max-retries", "0"])
+        assert (args.port, args.workers, args.queue_size,
+                args.max_retries) == (9000, 4, 2, 0)
