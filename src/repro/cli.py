@@ -72,6 +72,13 @@ def _config_from_args(args: argparse.Namespace):
     batch_width = getattr(args, "batch_shots", None)
     if batch_width is not None:
         config = config.with_(trace_cache_batch_width=batch_width)
+    artifact_dir = getattr(args, "artifact_cache", None)
+    if artifact_dir is not None and \
+            not getattr(args, "no_artifact_cache", False):
+        config = config.with_(artifact_cache_dir=artifact_dir)
+    artifact_max = getattr(args, "artifact_cache_max_bytes", None)
+    if artifact_max is not None:
+        config = config.with_(artifact_cache_max_bytes=artifact_max)
     return config
 
 
@@ -114,6 +121,8 @@ _CACHE_FLAGS = (
     ("no_compiled_noise", "--no-compiled-noise"),
     ("batch_shots", "--batch-shots"),
     ("no_batch_shots", "--no-batch-shots"),
+    ("artifact_cache", "--artifact-cache"),
+    ("artifact_cache_max_bytes", "--artifact-cache-max-bytes"),
 )
 
 
@@ -165,6 +174,18 @@ def _run_shots(program, args: argparse.Namespace) -> int:
             if cache.serial_fallbacks:
                 line += (f", {cache.serial_fallbacks} serial "
                          f"fallbacks")
+            print(line)
+        artifacts = engine.artifacts
+        if artifacts is not None:
+            stats = artifacts.stats()
+            line = (f"artifact cache: {stats['warm_loads']} warm "
+                    f"load(s), {stats['cold_compiles']} cold, "
+                    f"{stats['saves']} save(s), "
+                    f"{stats['bytes_on_disk']} bytes on disk")
+            if stats["invalidations"]:
+                line += f", {stats['invalidations']} invalidated"
+            if stats["evicted_files"]:
+                line += f", {stats['evicted_files']} file(s) evicted"
             print(line)
     if result.measured_qubits:
         print(f"measured qubits: "
@@ -235,11 +256,15 @@ def command_serve(args: argparse.Namespace) -> int:
     print(f"shot-sweep service on {args.host}:{args.port} "
           f"({args.workers} worker(s), queue size {args.queue_size}, "
           f"max retries {args.max_retries})", file=sys.stderr)
+    if args.artifact_cache is not None:
+        print(f"artifact cache: {args.artifact_cache}", file=sys.stderr)
     try:
         asyncio.run(serve(host=args.host, port=args.port,
                           n_workers=args.workers,
                           queue_size=args.queue_size,
-                          max_retries=args.max_retries))
+                          max_retries=args.max_retries,
+                          engine_lru_capacity=args.engine_cache,
+                          artifact_cache_dir=args.artifact_cache))
     except KeyboardInterrupt:
         pass
     return 0
@@ -304,6 +329,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-batch-shots", action="store_true",
         help="replay cached shots one at a time instead of in "
              "lockstep cohorts (results are bit-identical either way)")
+    run_parser.add_argument(
+        "--artifact-cache", metavar="DIR", default=None,
+        help="persistent compiled-trace artifact cache: load the "
+             "compiled trie for this program/config/noise identity "
+             "from DIR if present (warm start) and save it back after "
+             "the run; safe to share between processes, results are "
+             "bit-identical either way")
+    run_parser.add_argument(
+        "--no-artifact-cache", action="store_true",
+        help="ignore --artifact-cache: always compile cold and never "
+             "write artifacts")
+    run_parser.add_argument(
+        "--artifact-cache-max-bytes", type=int, default=None,
+        metavar="BYTES",
+        help="size bound on the artifact directory; after each save, "
+             "oldest-stamped artifacts are evicted until the total "
+             "fits (the newest artifact always survives)")
     run_parser.set_defaults(entry=command_run)
 
     asm_parser = commands.add_parser(
@@ -330,6 +372,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--max-retries", type=int, default=2,
         help="pool rebuilds tolerated per job after worker crashes")
+    serve_parser.add_argument(
+        "--engine-cache", type=int, default=None, metavar="N",
+        help="per-worker engine LRU capacity: each worker process "
+             "keeps up to N compiled shot engines alive (default 8)")
+    serve_parser.add_argument(
+        "--artifact-cache", metavar="DIR", default=None,
+        help="shared compiled-trace artifact directory: workers load "
+             "compiled tries from DIR before compiling and publish "
+             "their own back, so restarted pools (and fresh workers "
+             "after a crash rebuild) start warm")
     serve_parser.set_defaults(entry=command_serve)
     return parser
 

@@ -73,14 +73,20 @@ class JobManager:
     """Owns the process pool and executes jobs FIFO."""
 
     def __init__(self, n_workers: int = 2, queue_size: int = 16,
-                 max_retries: int = 2) -> None:
+                 max_retries: int = 2,
+                 engine_lru_capacity: int | None = None,
+                 artifact_cache_dir: str | None = None) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
         if queue_size < 1:
             raise ValueError("queue size must be positive")
+        if engine_lru_capacity is not None and engine_lru_capacity < 1:
+            raise ValueError("engine LRU capacity must be positive")
         self.n_workers = n_workers
         self.queue_size = queue_size
         self.max_retries = max_retries
+        self.engine_lru_capacity = engine_lru_capacity
+        self.artifact_cache_dir = artifact_cache_dir
         self._pool: ProcessPoolExecutor | None = None
         self._queue: asyncio.Queue[Job] = asyncio.Queue()
         self._active: dict[str, Job] = {}  # job key -> queued/running job
@@ -96,7 +102,7 @@ class JobManager:
     # -- lifecycle --------------------------------------------------------
 
     async def start(self) -> None:
-        self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
+        self._pool = self._new_pool()
         self._runner = asyncio.ensure_future(self._run_jobs())
 
     async def stop(self) -> None:
@@ -111,10 +117,20 @@ class JobManager:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
 
+    def _new_pool(self) -> ProcessPoolExecutor:
+        # The initializer reruns in every worker of every pool — so a
+        # post-crash rebuild's fresh workers rejoin the shared artifact
+        # directory and recover their predecessors' compiled tries.
+        return ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            initializer=workers.configure_worker,
+            initargs=(self.engine_lru_capacity,
+                      self.artifact_cache_dir))
+
     def _rebuild_pool(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
-        self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
+        self._pool = self._new_pool()
 
     # -- submission API ---------------------------------------------------
 
@@ -179,6 +195,11 @@ class JobManager:
         return {
             "workers": self.n_workers,
             "queue_capacity": self.queue_size,
+            "engine_lru_capacity": (self.engine_lru_capacity
+                                    if self.engine_lru_capacity
+                                    is not None
+                                    else workers._ENGINE_LRU_CAPACITY),
+            "artifact_cache_dir": self.artifact_cache_dir,
             "queue_depth": queued,
             "active_job": (self._current.summary()
                            if self._current is not None else None),
@@ -235,6 +256,13 @@ class JobManager:
         if shard_result["trace_cache"] is not None:
             entry["trace_cache"] = shard_result["trace_cache"]
             entry["engine_key"] = shard_result["engine_key"][:12]
+        # Older workers (pre-artifact payloads) omit these keys.
+        if shard_result.get("artifact_cache") is not None:
+            entry["artifact_cache"] = shard_result["artifact_cache"]
+        if shard_result.get("engine_evictions") is not None:
+            entry["engine_evictions"] = shard_result["engine_evictions"]
+        if shard_result.get("engine_cache") is not None:
+            entry["engine_cache"] = shard_result["engine_cache"]
 
     # -- execution --------------------------------------------------------
 

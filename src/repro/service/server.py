@@ -124,6 +124,8 @@ async def handle_connection(manager: JobManager,
 async def serve(host: str = "127.0.0.1", port: int = 7781,
                 n_workers: int = 2, queue_size: int = 16,
                 max_retries: int = 2,
+                engine_lru_capacity: int | None = None,
+                artifact_cache_dir: str | None = None,
                 ready: "asyncio.Event | None" = None,
                 stop: "asyncio.Event | None" = None,
                 bound_port: list | None = None) -> None:
@@ -132,9 +134,16 @@ async def serve(host: str = "127.0.0.1", port: int = 7781,
     ``ready``/``bound_port`` exist for embedders: ``ready`` is set once
     the socket listens, with the actual port (``port=0`` binds an
     ephemeral one) appended to ``bound_port``.
+
+    ``engine_lru_capacity`` bounds each worker process's cache of
+    compiled shot engines (default 8); ``artifact_cache_dir`` points
+    every worker — including post-crash rebuilds — at one shared
+    compiled-trace artifact directory so they start warm.
     """
     manager = JobManager(n_workers=n_workers, queue_size=queue_size,
-                         max_retries=max_retries)
+                         max_retries=max_retries,
+                         engine_lru_capacity=engine_lru_capacity,
+                         artifact_cache_dir=artifact_cache_dir)
     await manager.start()
     connections: set[asyncio.Task] = set()
 
@@ -191,7 +200,10 @@ class ServiceHandle:
 
     @classmethod
     def start(cls, n_workers: int = 2, queue_size: int = 16,
-              max_retries: int = 2, timeout: float = 30.0) -> "ServiceHandle":
+              max_retries: int = 2,
+              engine_lru_capacity: int | None = None,
+              artifact_cache_dir: str | None = None,
+              timeout: float = 30.0) -> "ServiceHandle":
         started = threading.Event()
         box: dict = {}
 
@@ -203,7 +215,10 @@ class ServiceHandle:
                 ports: list[int] = []
                 task = asyncio.ensure_future(serve(
                     port=0, n_workers=n_workers, queue_size=queue_size,
-                    max_retries=max_retries, ready=ready, stop=box["stop"],
+                    max_retries=max_retries,
+                    engine_lru_capacity=engine_lru_capacity,
+                    artifact_cache_dir=artifact_cache_dir,
+                    ready=ready, stop=box["stop"],
                     bound_port=ports))
                 await ready.wait()
                 box["port"] = ports[0]

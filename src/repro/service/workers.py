@@ -41,7 +41,32 @@ from repro.service.protocol import build_noise_model, program_from_text
 #: Engines cached per worker process, newest-used last.
 _ENGINE_LRU_CAPACITY = 8
 
+#: Shared compiled-trace artifact directory injected at pool creation
+#: (see :func:`configure_worker`); ``None`` = no artifact caching.
+_ARTIFACT_CACHE_DIR: str | None = None
+
 _engines: "OrderedDict[str, ShotEngine]" = OrderedDict()
+
+#: Engines dropped from the LRU over this process's lifetime.
+_engine_evictions = 0
+
+
+def configure_worker(engine_lru_capacity: int | None = None,
+                     artifact_cache_dir: str | None = None) -> None:
+    """Pool initializer: per-process knobs for every worker.
+
+    Runs once in each worker process as the ``ProcessPoolExecutor``
+    initializer — including the workers of a rebuilt pool after a
+    ``BrokenProcessPool``, which is exactly when the artifact
+    directory pays off: the fresh process finds the tries its
+    predecessors compiled and starts warm.
+    """
+    global _ENGINE_LRU_CAPACITY, _ARTIFACT_CACHE_DIR
+    if engine_lru_capacity is not None:
+        if engine_lru_capacity < 1:
+            raise ValueError("engine LRU capacity must be positive")
+        _ENGINE_LRU_CAPACITY = engine_lru_capacity
+    _ARTIFACT_CACHE_DIR = artifact_cache_dir
 
 
 def plan_shards(shots: int, shard_shots: int) -> list[tuple[int, int]]:
@@ -71,6 +96,12 @@ def default_shard_shots(shots: int, n_workers: int) -> int:
 
 def _build_engine(payload: dict) -> ShotEngine:
     config = QCPConfig().with_(**payload["config"])
+    if _ARTIFACT_CACHE_DIR is not None and \
+            config.artifact_cache_dir is None:
+        # Serve-level injection: never part of the job's engine key
+        # (the directory cannot change results), so all workers of a
+        # pool share one artifact directory transparently.
+        config = config.with_(artifact_cache_dir=_ARTIFACT_CACHE_DIR)
     return ShotEngine(
         program_from_text(payload["program"]),
         config=config,
@@ -80,6 +111,7 @@ def _build_engine(payload: dict) -> ShotEngine:
 
 
 def _engine_for(payload: dict) -> ShotEngine:
+    global _engine_evictions
     key = payload["engine_key"]
     engine = _engines.get(key)
     if engine is None:
@@ -87,6 +119,7 @@ def _engine_for(payload: dict) -> ShotEngine:
         _engines[key] = engine
         while len(_engines) > _ENGINE_LRU_CAPACITY:
             _engines.popitem(last=False)
+            _engine_evictions += 1
     else:
         _engines.move_to_end(key)
     return engine
@@ -125,7 +158,13 @@ def run_shard(payload: dict, start: int, stop: int) -> dict:
                  "batched_shots": cache.batched_shots,
                  "wavefront_splits": cache.wavefront_splits,
                  "serial_fallbacks": cache.serial_fallbacks}
+    artifacts = engine.artifacts
     return {"start": start, "stop": stop,
             "counts": shard.counts, "total_ns": shard.total_ns,
             "pid": os.getpid(), "engine_key": payload["engine_key"],
-            "trace_cache": stats}
+            "trace_cache": stats,
+            "artifact_cache": (artifacts.stats()
+                               if artifacts is not None else None),
+            "engine_evictions": _engine_evictions,
+            "engine_cache": {"size": len(_engines),
+                             "capacity": _ENGINE_LRU_CAPACITY}}
