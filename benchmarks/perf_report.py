@@ -16,6 +16,10 @@ as JSON so future PRs have a comparable perf trajectory.  Workloads:
 * a fair-coin RUS loop with the LRU trie bound engaged — the
   high-path-entropy adversary, reported with node/eviction counts to
   show memory stays bounded while throughput holds;
+* the SDK-authored dynamic workloads — 3-hop teleport chain with
+  feed-forward corrections, the RUS distillation unit, the prioritized
+  superscalar mix — and the surface-code d=3/d=5 memories at the
+  standard noise point (with their seeded golden logical error counts);
 * a **dense-replay sweep** on the statevector backend: the ideal
   chain with GEMM-fused replay (fused vs unfused compiled closures),
   and the noisy chain comparing the compiled noise-site program
@@ -44,10 +48,20 @@ import platform
 import tempfile
 import time
 
+from repro.benchlib.dynamic import (DISTILLATION_QUBITS,
+                                    SUPERSCALAR_MIX_QUBITS,
+                                    build_distillation_program,
+                                    build_superscalar_mix_program,
+                                    build_teleport_chain_program,
+                                    teleport_chain_qubits)
 from repro.benchlib.repetition import build_repetition_chain_program
 from repro.benchlib.rus import build_rus_blocks
 from repro.benchlib.steane import (N_QUBITS as STEANE_QUBITS,
                                    build_shor_syndrome_program)
+from repro.benchlib.surface import (build_surface_memory_program,
+                                    surface_layout,
+                                    surface_logical_error_rate,
+                                    surface_noise_model)
 from repro.qcp import ShotEngine, scalar_config
 from repro.qcp.tracecache import auto_batch_width
 from repro.qpu.noise import NoiseModel, PauliChannel, ReadoutError
@@ -504,6 +518,33 @@ def run_suite(quick: bool = False,
         program = build_rus_blocks(2)
         workloads["rus_fair_coin_2x"] = measure_workload(
             program, 6, 200, 200, max_nodes=RUS_MAX_NODES)
+        # SDK-authored dynamic workloads: feed-forward corrections,
+        # RUS acceptance and a prioritized multi-program mix.
+        program = build_teleport_chain_program(3)
+        workloads["teleport_chain_3hop"] = measure_workload(
+            program, teleport_chain_qubits(3), uncached_shots,
+            cached_shots)
+        program = build_distillation_program(3)
+        workloads["distillation_rus_5q"] = measure_workload(
+            program, DISTILLATION_QUBITS, uncached_shots, cached_shots)
+        program = build_superscalar_mix_program()
+        workloads["superscalar_mix_8q"] = measure_workload(
+            program, SUPERSCALAR_MIX_QUBITS, uncached_shots,
+            cached_shots)
+        # Surface-code memories at the standard noise point: the
+        # deepest path-entropy workloads (one MRCE-reset decision per
+        # stabilizer per round), reported with the seeded golden
+        # logical error count the tier-1 tests pin.
+        for distance in (3, 5):
+            layout = surface_layout(distance)
+            program = build_surface_memory_program(distance, rounds=2)
+            entry = measure_workload(
+                program, layout.n_qubits, uncached_shots, cached_shots,
+                noise_factory=surface_noise_model)
+            entry["rounds"] = 2
+            entry["logical_errors_per_100"] = surface_logical_error_rate(
+                distance, rounds=2, shots=100).logical_errors
+            workloads[f"surface_d{distance}_{layout.n_qubits}q"] = entry
     workloads["service_sweep"] = measure_service_sweep(quick)
     workloads["artifact_warm_start"] = measure_artifact_warm_start(
         quick, artifact_dir)
@@ -511,7 +552,7 @@ def run_suite(quick: bool = False,
         workloads["service_warm_start"] = measure_service_warm_start(
             artifact_dir)
     return {
-        "schema": "bench-shots/v6",
+        "schema": "bench-shots/v7",
         "description": ("Shot throughput of the compile-once ShotEngine "
                         "with the cycle-accurate simulator (uncached) vs "
                         "trace-cache replay (cached = serial per-shot "
@@ -530,7 +571,12 @@ def run_suite(quick: bool = False,
                         "worker pool) starting from the persistent "
                         "compiled-trace artifact cache, asserting the "
                         "warm side replays with zero trace-cache "
-                        "misses and bit-identical histograms."),
+                        "misses and bit-identical histograms; v7 adds "
+                        "the SDK-authored dynamic workloads (teleport "
+                        "chain, RUS distillation, superscalar mix) and "
+                        "the surface-code d=3/d=5 memories at the "
+                        "standard noise point, each carrying its "
+                        "seeded logical_errors_per_100 golden."),
         "config": {"backend": "stabilizer + statevector (dense sweep)",
                    "chain_rounds": CHAIN_ROUNDS,
                    "noise": "PauliChannel(px=1e-3) + "

@@ -1,0 +1,59 @@
+"""Surface-code memory: logical error rate by distance.
+
+The deep-QEC workload the dynamic-circuit SDK exists for: d=3 and d=5
+rotated surface codes run full syndrome-extraction cycles (one
+MRCE-reset decision per stabilizer per round) under the standard noise
+point, and the final data readout is decoded offline with the
+single-X-error lookup decoder.  Shots are seeded, so the logical error
+counts are exact integers pinned against the tier-1 goldens — this
+benchmark records the rates the paper-style table reports and asserts
+the stream has not drifted.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.benchlib.surface import (surface_layout,
+                                    surface_logical_error_rate)
+from repro.qpu.noise import NoiseModel
+
+SHOTS = 100
+ROUNDS = 2
+
+#: Tier-1 goldens (tests/benchlib/test_surface.py) at the standard
+#: noise point, seeds 0..99.
+GOLDEN_ERRORS = {3: 7, 5: 13}
+
+
+def sweep() -> dict:
+    return {distance: surface_logical_error_rate(
+                distance, rounds=ROUNDS, shots=SHOTS,
+                backend="stabilizer")
+            for distance in (3, 5)}
+
+
+def test_surface_memory_logical_error_rate(benchmark, report):
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for distance, memory in sorted(reports.items()):
+        layout = surface_layout(distance)
+        rows.append([
+            f"d={distance}", layout.n_qubits,
+            len(layout.x_stabilizers) + len(layout.z_stabilizers),
+            ROUNDS, SHOTS, memory.logical_errors,
+            f"{memory.logical_error_rate:.3f}",
+        ])
+    report("qec_surface_memory", format_table(
+        ["code", "qubits", "checks", "rounds", "shots",
+         "logical errors", "rate"], rows,
+        title=("Rotated surface-code memory under the standard noise "
+               "point (seeded shots, lookup decoder)")))
+    for distance, memory in reports.items():
+        assert memory.logical_errors == GOLDEN_ERRORS[distance], \
+            f"d={distance} golden drift"
+        assert 0 < memory.logical_error_rate < 0.5
+    # The decoder must be doing real work: a noiseless memory never
+    # errs, so every logical error above is noise-induced.
+    clean = surface_logical_error_rate(3, rounds=ROUNDS, shots=10,
+                                       noise=NoiseModel())
+    assert clean.logical_errors == 0

@@ -5,6 +5,12 @@ dynamic-circuit applications."""
 from repro.benchlib.apps import (active_reset_program, estimated_phase,
                                  iterative_phase_estimation_program,
                                  teleportation_program)
+from repro.benchlib.dynamic import (DISTILLATION_QUBITS,
+                                    SUPERSCALAR_MIX_QUBITS,
+                                    build_distillation_program,
+                                    build_superscalar_mix_program,
+                                    build_teleport_chain_program,
+                                    teleport_chain_qubits)
 from repro.benchlib.circuits import (bv_n16, grover_n9, hs16, ising_n16,
                                      qft_n16, rd84_143, sym9_148)
 from repro.benchlib.multiprog import (compile_multiprogram,
@@ -19,16 +25,26 @@ from repro.benchlib.steane import (N_QUBITS, N_STABILIZERS,
                                    verification_qubits)
 from repro.benchlib.suite import (BENCHMARKS, BenchmarkSpec, SUITE,
                                   get_benchmark)
+from repro.benchlib.surface import (SurfaceLayout, SurfaceMemoryReport,
+                                    build_surface_memory_program,
+                                    decode_logical_z, surface_layout,
+                                    surface_logical_error_rate,
+                                    surface_noise_model)
 
 __all__ = [
-    "BENCHMARKS", "BenchmarkSpec", "N_QUBITS", "N_STABILIZERS", "SUITE",
-    "active_reset_program", "ancilla_qubits", "build_rus_blocks",
+    "BENCHMARKS", "BenchmarkSpec", "DISTILLATION_QUBITS", "N_QUBITS",
+    "N_STABILIZERS", "SUITE", "SUPERSCALAR_MIX_QUBITS", "SurfaceLayout",
+    "SurfaceMemoryReport", "active_reset_program", "ancilla_qubits",
+    "build_distillation_program", "build_rus_blocks",
     "build_repetition_memory_program", "build_rus_single_flow",
-    "build_shor_syndrome_program", "bv_n16", "decode_majority",
+    "build_shor_syndrome_program", "build_superscalar_mix_program",
+    "build_surface_memory_program", "build_teleport_chain_program",
+    "bv_n16", "decode_majority", "decode_logical_z",
     "compile_multiprogram", "estimated_phase", "get_benchmark",
     "grover_n9", "hs16", "ising_n16",
     "iterative_phase_estimation_program", "merge_circuits", "qft_n16",
     "rd84_143", "stabilizer_layouts", "standard_task_mix",
-    "subcircuit_qubits", "sym9_148", "teleportation_program",
-    "verification_qubits",
+    "subcircuit_qubits", "surface_layout", "surface_logical_error_rate",
+    "surface_noise_model", "sym9_148", "teleport_chain_qubits",
+    "teleportation_program", "verification_qubits",
 ]

@@ -1,0 +1,170 @@
+"""Feed-forward workloads authored with the dynamic-circuit SDK.
+
+Three workload families the paper's dynamic-control features exist
+for, all Clifford-only so both backends execute them bit-identically:
+
+* :func:`build_teleport_chain_program` — a state hops across ``hops``
+  Bell pairs, each hop applying the classic feed-forward X/Z
+  corrections (lowered to MRCE by the SDK peephole).  Noiselessly the
+  delivered state is deterministic, which makes the chain a golden
+  end-to-end test of the correction path.
+* :func:`build_distillation_program` — a magic-state-distillation
+  shaped repeat-until-success unit: refresh two candidate qubits, run a
+  Z-parity and an X-parity check, accept only when both pass, retry up
+  to ``max_attempts`` times, and flag exhaustion on a herald qubit.
+  The acceptance loop is where the trace trie forks hardest.
+* :func:`build_superscalar_mix_program` — three independent dynamic
+  workloads in prioritized program blocks (the multi-program scenario
+  of Section 5.2): a teleport, an RUS unit and a parity-feedback unit
+  sharing one program for the block scheduler to interleave.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.sdk import SdkBuilder
+
+
+def teleport_chain_qubits(hops: int) -> int:
+    """Total qubits of the ``hops``-hop teleportation chain."""
+    return 1 + 2 * hops
+
+
+def build_teleport_chain_program(hops: int = 2,
+                                 state_one: bool = True) -> Program:
+    """Teleport a qubit through ``hops`` Bell pairs with feed-forward.
+
+    Each hop consumes a fresh Bell pair: Bell measurement on the
+    current carrier, then the measurement-dependent X/Z corrections on
+    the receiving half.  The final carrier is measured; with
+    ``state_one`` the noiseless readout is always 1.
+    """
+    if hops < 1:
+        raise ValueError("need at least one hop")
+    sdk = SdkBuilder(f"teleport_chain_{hops}h")
+    carrier = sdk.qubit()
+    if state_one:
+        carrier.x()
+    for _ in range(hops):
+        near, far = sdk.qubits(2)
+        near.h()
+        near.cnot(far)
+        carrier.cnot(near)
+        carrier.h()
+        m_near = near.measure()
+        m_carrier = carrier.measure()
+        with sdk.if_(m_near == 1):
+            far.x()
+        with sdk.if_(m_carrier == 1):
+            far.z()
+        carrier = far
+    carrier.measure()
+    return sdk.build()
+
+
+DISTILLATION_QUBITS = 5
+
+
+def build_distillation_program(max_attempts: int = 3) -> Program:
+    """RUS distillation unit: accept when both parity checks pass.
+
+    Layout: q0/q1 candidate pair, q2/q3 check ancillas, q4 herald.
+    Every attempt re-prepares the candidates, extracts the Z-parity
+    (random on fresh |+> states — the retry entropy) and the X-parity
+    (deterministic on |+>|+>, so one check *always* passes: the
+    conjunction still forks the trace at the Z check), and the loop
+    accepts on ``(z == 0) & (x == 0)``.  If every attempt fails, the
+    herald qubit is flipped so the exhausted shots are visible in the
+    histogram.
+    """
+    if max_attempts < 1:
+        raise ValueError("need at least one attempt")
+    sdk = SdkBuilder(f"distill_{max_attempts}a")
+    cand_a, cand_b = sdk.qubits(2)
+    z_check, x_check = sdk.qubits(2)
+    herald = sdk.qubit()
+    with sdk.loop_until(max_attempts=max_attempts) as loop:
+        # Refresh the candidate pair (reset-free: H twice re-randomises
+        # whatever the parity checks projected last attempt).
+        cand_a.h()
+        cand_b.h()
+        # Z-parity of the pair into the first check ancilla.
+        cand_a.cnot(z_check)
+        cand_b.cnot(z_check)
+        z_result = z_check.measure_and_reset()
+        # X-parity via the conjugated extraction.
+        x_check.h()
+        x_check.cnot(cand_a)
+        x_check.cnot(cand_b)
+        x_check.h()
+        x_result = x_check.measure_and_reset()
+        loop.until((z_result == 0) & (x_result == 0))
+    with sdk.if_((z_result == 1) | (x_result == 1)):
+        # All attempts failed: herald the rejection.
+        herald.x()
+        herald.identity()
+    herald.measure()
+    cand_a.measure()
+    cand_b.measure()
+    return sdk.build()
+
+
+SUPERSCALAR_MIX_QUBITS = 8
+
+
+def build_superscalar_mix_program() -> Program:
+    """Three dynamic workloads in prioritized blocks on disjoint qubits.
+
+    * ``w_teleport`` (priority 0): one-hop teleport of |1> on q0-q2;
+    * ``w_rus`` (priority 0): bounded RUS coin-flip loop on q3-q4;
+    * ``w_parity`` (priority 1): parity check with branch feedback on
+      q5-q7, scheduled after the priority-0 blocks complete.
+
+    Same-priority blocks are what the multiprocessor scheduler may run
+    in parallel; the mix is the benchmark for block-level superscalar
+    issue under real feed-forward, not straight-line gates.
+    """
+    sdk = SdkBuilder("superscalar_mix")
+    src, near, far = sdk.qubits(3)
+    rus_q, rus_flag = sdk.qubits(2)
+    par_a, par_b, par_anc = sdk.qubits(3)
+
+    with sdk.block("w_teleport", priority=0):
+        src.x()
+        near.h()
+        near.cnot(far)
+        src.cnot(near)
+        src.h()
+        m_near = near.measure()
+        m_src = src.measure()
+        with sdk.if_(m_near == 1):
+            far.x()
+        with sdk.if_(m_src == 1):
+            far.z()
+        far.measure()
+
+    with sdk.block("w_rus", priority=0):
+        with sdk.loop_until(max_attempts=3) as loop:
+            rus_q.h()
+            coin = rus_q.measure()
+            loop.until(coin == 0)
+        with sdk.if_(coin == 1):
+            rus_flag.x()
+            rus_flag.identity()
+        rus_flag.measure()
+
+    with sdk.block("w_parity", priority=1):
+        par_a.h()
+        par_b.h()
+        par_a.cnot(par_anc)
+        par_b.cnot(par_anc)
+        parity = par_anc.measure_and_reset()
+        with sdk.if_else(parity == 1) as branch:
+            with branch.then():
+                par_a.x()
+            with branch.otherwise():
+                par_a.z()
+        par_a.measure()
+        par_b.measure()
+
+    return sdk.build()

@@ -1,0 +1,221 @@
+"""Rotated surface-code memory workloads, authored with the SDK.
+
+The rotated surface code of distance ``d`` stores one logical qubit in
+``d*d`` data qubits checked by ``d*d - 1`` stabilizers, each with its
+own ancilla: 17 qubits at d=3, 49 at d=5 — the d=5 instance is only
+reachable on the Aaronson–Gottesman stabilizer backend.  Every
+syndrome-extraction round measures all ancillas and actively resets
+them with MRCE feedback, so the trace cache sees one decision per
+stabilizer per round: real path entropy, unlike the repetition chains.
+
+The memory experiment is a Z-basis one: prepare all-|0> (a +1
+eigenstate of every Z stabilizer), run ``rounds`` full extraction
+cycles under noise, measure the data qubits and decode offline with a
+lookup decoder (:func:`decode_logical_z`) built from the single-qubit
+X-error syndrome table.  :func:`surface_logical_error_rate` wraps the
+whole experiment and reports the logical error rate — the quantity the
+golden tests pin per seed and the benchmarks record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.program import Program
+from repro.qcp.config import QCPConfig
+from repro.qcp.shots import ShotEngine
+from repro.qpu.noise import NoiseModel, PauliChannel, ReadoutError
+from repro.sdk import SdkBuilder
+
+
+@dataclass(frozen=True)
+class Stabilizer:
+    """One stabilizer check: its kind, ancilla qubit and data support."""
+
+    kind: str  # "x" or "z"
+    ancilla: int
+    support: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SurfaceLayout:
+    """Qubit layout of a rotated distance-``d`` surface code."""
+
+    distance: int
+    x_stabilizers: tuple[Stabilizer, ...]
+    z_stabilizers: tuple[Stabilizer, ...]
+    logical_z: tuple[int, ...]
+
+    @property
+    def n_data(self) -> int:
+        return self.distance * self.distance
+
+    @property
+    def n_qubits(self) -> int:
+        return self.n_data + len(self.x_stabilizers) \
+            + len(self.z_stabilizers)
+
+
+def surface_layout(distance: int) -> SurfaceLayout:
+    """Construct the rotated-code layout for odd ``distance`` >= 3.
+
+    Data qubit ``(i, j)`` is index ``i*distance + j``.  Plaquettes sit
+    on the dual lattice at ``(r, c)``, ``0 <= r, c <= d``, coloured X
+    when ``r + c`` is odd; weight-2 boundary plaquettes survive only on
+    the matching boundary (X on top/bottom, Z on left/right), which
+    yields exactly ``d*d - 1`` checks, half of each kind.  The logical
+    Z is a horizontal row of Zs (it crosses between the two Z-type
+    boundaries and overlaps every X check evenly).
+    """
+    d = distance
+    if d < 3 or d % 2 == 0:
+        raise ValueError("distance must be an odd integer >= 3")
+
+    def data_index(i: int, j: int) -> int:
+        return i * d + j
+
+    checks: list[tuple[str, tuple[int, ...]]] = []
+    for r in range(d + 1):
+        for c in range(d + 1):
+            support = tuple(
+                data_index(i, j)
+                for i, j in ((r - 1, c - 1), (r - 1, c),
+                             (r, c - 1), (r, c))
+                if 0 <= i < d and 0 <= j < d)
+            kind = "x" if (r + c) % 2 else "z"
+            if len(support) == 4:
+                checks.append((kind, support))
+            elif len(support) == 2:
+                on_top_bottom = r in (0, d)
+                if (kind == "x") == on_top_bottom:
+                    checks.append((kind, support))
+    x_stabs: list[Stabilizer] = []
+    z_stabs: list[Stabilizer] = []
+    for offset, (kind, support) in enumerate(checks):
+        stab = Stabilizer(kind, d * d + offset, support)
+        (x_stabs if kind == "x" else z_stabs).append(stab)
+    assert len(checks) == d * d - 1
+    assert len(x_stabs) == len(z_stabs)
+    return SurfaceLayout(distance=d,
+                         x_stabilizers=tuple(x_stabs),
+                         z_stabilizers=tuple(z_stabs),
+                         logical_z=tuple(range(d)))
+
+
+def build_surface_memory_program(distance: int = 3,
+                                 rounds: int = 2) -> Program:
+    """``rounds`` syndrome-extraction cycles on the distance-``d`` code.
+
+    Each cycle extracts every Z check (CNOTs data -> ancilla) and every
+    X check (H, CNOTs ancilla -> data, H), measures all ancillas and
+    actively resets them via the SDK's ``measure_and_reset`` (one MRCE
+    per ancilla).  The data qubits are read out at the end for offline
+    decoding.
+    """
+    if rounds < 1:
+        raise ValueError("need at least one round")
+    layout = surface_layout(distance)
+    sdk = SdkBuilder(f"surface_d{distance}_{rounds}r")
+    data = sdk.qubits(layout.n_data)
+    ancillas = sdk.qubits(layout.n_qubits - layout.n_data)
+
+    def ancilla_of(stab: Stabilizer):
+        return ancillas[stab.ancilla - layout.n_data]
+
+    for _ in range(rounds):
+        for stab in layout.z_stabilizers:
+            for q in stab.support:
+                data[q].cnot(ancilla_of(stab))
+        for stab in layout.x_stabilizers:
+            anc = ancilla_of(stab)
+            anc.h()
+            for q in stab.support:
+                anc.cnot(data[q])
+            anc.h()
+        for stab in layout.z_stabilizers + layout.x_stabilizers:
+            ancilla_of(stab).measure_and_reset()
+    for q in data:
+        q.measure()
+    return sdk.build()
+
+
+def _single_x_error_table(layout: SurfaceLayout) -> dict:
+    """Z-syndrome signature of each single-qubit X error."""
+    table: dict[frozenset, int] = {}
+    for qubit in range(layout.n_data):
+        signature = frozenset(
+            index for index, stab in enumerate(layout.z_stabilizers)
+            if qubit in stab.support)
+        if signature:
+            # Colliding signatures are equivalent up to a stabilizer
+            # (e.g. the two qubits of a weight-2 X check), so any
+            # representative decodes to the same logical outcome.
+            table.setdefault(signature, qubit)
+    return table
+
+
+def decode_logical_z(layout: SurfaceLayout,
+                     bits: dict[int, int]) -> int:
+    """Decode one shot's data readout to the logical Z value (0/1).
+
+    Computes the Z-check syndrome from the final data bits, looks the
+    signature up in the single-X-error table and returns the corrected
+    parity along the logical-Z row.  Unknown signatures (multi-qubit
+    errors, readout flips) decode without correction — exactly the
+    shots that dominate the logical error rate.
+    """
+    syndrome = frozenset(
+        index for index, stab in enumerate(layout.z_stabilizers)
+        if sum(bits[q] for q in stab.support) % 2)
+    parity = sum(bits[q] for q in layout.logical_z) % 2
+    correction = _single_x_error_table(layout).get(syndrome)
+    if correction is not None and correction in layout.logical_z:
+        parity ^= 1
+    return parity
+
+
+def surface_noise_model() -> NoiseModel:
+    """The standard noise point for the surface-code goldens."""
+    return NoiseModel(pauli=PauliChannel(px=6e-3),
+                      readout=ReadoutError(p0_given_1=0.01,
+                                           p1_given_0=0.005))
+
+
+@dataclass(frozen=True)
+class SurfaceMemoryReport:
+    """Outcome of a seeded surface-code memory experiment."""
+
+    distance: int
+    rounds: int
+    shots: int
+    logical_errors: int
+
+    @property
+    def logical_error_rate(self) -> float:
+        return self.logical_errors / self.shots
+
+
+def surface_logical_error_rate(distance: int = 3, rounds: int = 2,
+                               shots: int = 100,
+                               backend: str = "stabilizer",
+                               noise: NoiseModel | None = None,
+                               config: QCPConfig | None = None
+                               ) -> SurfaceMemoryReport:
+    """Run the memory experiment and decode every shot.
+
+    Shots are seeded ``0..shots-1`` (the engine's per-seed purity makes
+    the report reproducible to the last shot across backends and replay
+    strategies).  ``noise=None`` uses :func:`surface_noise_model`.
+    """
+    layout = surface_layout(distance)
+    program = build_surface_memory_program(distance, rounds)
+    engine = ShotEngine(program, config=config, backend=backend,
+                        n_qubits=layout.n_qubits,
+                        noise=surface_noise_model()
+                        if noise is None else noise)
+    errors = 0
+    for seed in range(shots):
+        bits, _ = engine.run_shot(seed)
+        errors += decode_logical_z(layout, bits)
+    return SurfaceMemoryReport(distance=distance, rounds=rounds,
+                               shots=shots, logical_errors=errors)

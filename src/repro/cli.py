@@ -123,6 +123,7 @@ _CACHE_FLAGS = (
     ("no_batch_shots", "--no-batch-shots"),
     ("artifact_cache", "--artifact-cache"),
     ("artifact_cache_max_bytes", "--artifact-cache-max-bytes"),
+    ("no_artifact_cache", "--no-artifact-cache"),
 )
 
 

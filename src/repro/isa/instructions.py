@@ -377,7 +377,11 @@ class Qop(Instruction):
 
     def _operands(self) -> str:
         qubits = ", ".join(f"q{q}" for q in self.qubits)
-        params = "".join(f", {p:g}" for p in self.params)
+        # Parenthesised parameters, printed with repr() so every float
+        # survives a text round-trip bit-exactly (the parser reads them
+        # back with float()).
+        params = ("(" + ",".join(repr(float(p)) for p in self.params) + ")"
+                  if self.params else "")
         return f"{self.timing}, {self.gate}{params}, {qubits}"
 
 
@@ -442,5 +446,8 @@ class Mrce(Instruction):
         return self.op_if_one if result else self.op_if_zero
 
     def _operands(self) -> str:
+        # The timing label is an optional fifth operand; the parser
+        # defaults it to 0, so only a nonzero label needs spelling out.
+        timing = f", {self.timing}" if self.timing else ""
         return (f"q{self.result_qubit}, q{self.target_qubit}, "
-                f"{self.op_if_zero}, {self.op_if_one}")
+                f"{self.op_if_zero}, {self.op_if_one}{timing}")

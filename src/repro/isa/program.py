@@ -197,6 +197,9 @@ class Program:
         """
         starts = {block.start: block for block in self.blocks}
         ends = {block.end for block in self.blocks}
+        label_at: dict[int, list[str]] = {}
+        for label, pc in self.labels.items():
+            label_at.setdefault(pc, []).append(label)
         lines: list[str] = []
         for pc, instr in enumerate(self.instructions):
             if pc in ends:
@@ -207,7 +210,11 @@ class Program:
                         if block.deps else "")
                 lines.append(
                     f".block {block.name} prio={block.priority}{deps}")
+            for label in sorted(label_at.get(pc, ())):
+                lines.append(f"{label}:")
             lines.append(f"    {instr}")
+        for label in sorted(label_at.get(len(self.instructions), ())):
+            lines.append(f"{label}:")
         if len(self.instructions) in ends:
             lines.append(".endblock")
         return "\n".join(lines) + "\n"

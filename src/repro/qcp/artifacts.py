@@ -679,18 +679,22 @@ class ArtifactCache:
             # untouched and the next engine compiles cold.
             return False
         final = self.path
-        fd, tmp = tempfile.mkstemp(dir=self.directory,
-                                   prefix="." + self.key[:16],
-                                   suffix=".tmp")
+        tmp = None
         try:
+            fd, tmp = tempfile.mkstemp(dir=self.directory,
+                                       prefix="." + self.key[:16],
+                                       suffix=".tmp")
             with os.fdopen(fd, "wb") as handle:
                 handle.write(payload)
             os.replace(tmp, final)
         except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            # A read-only or vanished cache directory must never take a
+            # run down: the save silently degrades to cold compiles.
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
             return False
         self.saves += 1
         self.sweep()

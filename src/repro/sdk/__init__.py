@@ -1,0 +1,28 @@
+"""Dynamic-circuit builder SDK (NetQASM-style futures + conditionals).
+
+High-level authoring layer for feed-forward programs: measurement
+outcomes are :class:`~repro.sdk.futures.Future` objects, conditionals
+are ``with`` blocks, and :meth:`~repro.sdk.builder.SdkBuilder.build`
+emits an ordinary :class:`~repro.isa.program.Program` that round-trips
+through ``to_asm()`` — service-submittable as-is.  See ``docs/sdk.md``.
+"""
+
+from repro.sdk.builder import (
+    DEFAULT_T1, DEFAULT_T2, DEFAULT_TM, Qubit, SdkBuilder,
+)
+from repro.sdk.futures import (
+    BitCondition, CompoundCondition, Condition, Future, SdkError,
+)
+
+__all__ = [
+    "SdkBuilder",
+    "Qubit",
+    "Future",
+    "Condition",
+    "BitCondition",
+    "CompoundCondition",
+    "SdkError",
+    "DEFAULT_T1",
+    "DEFAULT_T2",
+    "DEFAULT_TM",
+]

@@ -1,0 +1,516 @@
+"""Dynamic-circuit builder: qubits, conditionals and loops over timed-QASM.
+
+:class:`SdkBuilder` is the high-level authoring layer above
+:class:`~repro.isa.builder.ProgramBuilder`.  Gates are methods on
+:class:`Qubit` handles, ``q.measure()`` returns a
+:class:`~repro.sdk.futures.Future`, and feed-forward control flow is
+written as ``with`` blocks that compile down to the ISA's
+branch/``fmr``/``mrce`` instructions::
+
+    sdk = SdkBuilder("teleport")
+    a, b, c = sdk.qubits(3)
+    b.h(); b.cnot(c)
+    a.cnot(b); a.h()
+    m_b = b.measure()
+    m_a = a.measure()
+    with sdk.if_(m_b == 1):
+        c.x()
+    with sdk.if_(m_a == 1):
+        c.z()
+    program = sdk.build()
+
+``build()`` returns an ordinary :class:`~repro.isa.program.Program` that
+round-trips through :meth:`~repro.isa.program.Program.to_asm`, so SDK
+programs can be submitted to the shot-sweep service as text.
+
+A single-gate ``if_`` body (and a single-gate-per-arm ``if_else``) is
+peephole-lowered to one ``mrce`` instruction when ``lower_mrce`` is on
+(the default): the branch, the ``fmr`` and the gate collapse into the
+ISA's measurement-result-conditional-execution form, which the fast
+context switch of Section 5.4 executes without stalling the pipeline.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Iterator, Sequence
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import NUM_REGISTERS, Qop
+from repro.isa.program import Program
+from repro.sdk.futures import BitCondition, Condition, Future, SdkError
+
+#: Default timing labels (clock cycles since the previous quantum op),
+#: matching the benchlib convention: fast 1q gates, slower 2q gates, and
+#: a long measurement window.
+DEFAULT_T1 = 2
+DEFAULT_T2 = 4
+DEFAULT_TM = 30
+
+_ONE_QUBIT_GATES = ("i", "x", "y", "z", "h", "s", "sdg",
+                    "x90", "xm90", "y90", "ym90")
+_TWO_QUBIT_GATES = ("cnot", "cz", "swap", "iswap")
+_PARAMETRIC_GATES = ("rx", "ry", "rz")
+
+
+class Qubit:
+    """Handle to one qubit of an :class:`SdkBuilder` program.
+
+    Clifford gates (``h``, ``s``, ``cnot``, ...) run on both the
+    statevector and the stabilizer backend; the parametric rotations
+    (``rx``/``ry``/``rz``) are statevector-only.
+    """
+
+    def __init__(self, sdk: "SdkBuilder", index: int) -> None:
+        self._sdk = sdk
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"Qubit({self.index})"
+
+    def measure(self, timing: int | None = None) -> Future:
+        """Measure this qubit; returns the outcome as a :class:`Future`."""
+        return self._sdk.measure(self, timing=timing)
+
+    def measure_and_reset(self, timing: int | None = None) -> Future:
+        """Measure, then actively reset to |0> with an ``mrce`` flip.
+
+        This is the syndrome-extraction idiom: the returned future is
+        the syndrome bit, and the qubit is ready for the next round
+        regardless of the outcome.
+        """
+        future = self.measure(timing=timing)
+        self._sdk._b.mrce(self.index, self.index, "i", "x")
+        return future
+
+    def _two_qubit(self, gate: str, other: "Qubit",
+                   timing: int | None) -> None:
+        if not isinstance(other, Qubit) or other._sdk is not self._sdk:
+            raise SdkError(f"{gate} partner must be a qubit of the same "
+                           f"builder")
+        self._sdk.gate(gate, self, other, timing=timing)
+
+
+def _make_one_qubit_method(gate: str):
+    def method(self: Qubit, timing: int | None = None) -> None:
+        self._sdk.gate(gate, self, timing=timing)
+    method.__name__ = gate
+    method.__doc__ = f"Apply the ``{gate}`` gate to this qubit."
+    return method
+
+
+def _make_two_qubit_method(gate: str):
+    def method(self: Qubit, other: Qubit,
+               timing: int | None = None) -> None:
+        self._two_qubit(gate, other, timing)
+    method.__name__ = gate
+    method.__doc__ = (f"Apply ``{gate}`` with this qubit as the first "
+                      f"operand.")
+    return method
+
+
+def _make_parametric_method(gate: str):
+    def method(self: Qubit, theta: float,
+               timing: int | None = None) -> None:
+        self._sdk.gate(gate, self, timing=timing, params=(theta,))
+    method.__name__ = gate
+    method.__doc__ = (f"Apply ``{gate}(theta)`` (statevector backend "
+                      f"only).")
+    return method
+
+
+for _gate in _ONE_QUBIT_GATES:
+    setattr(Qubit, _gate if _gate != "i" else "identity",
+            _make_one_qubit_method(_gate))
+for _gate in _TWO_QUBIT_GATES:
+    setattr(Qubit, _gate, _make_two_qubit_method(_gate))
+for _gate in _PARAMETRIC_GATES:
+    setattr(Qubit, _gate, _make_parametric_method(_gate))
+del _gate
+
+
+class _IfElseBlock:
+    """Yielded by :meth:`SdkBuilder.if_else`; holds the two arms."""
+
+    def __init__(self, sdk: "SdkBuilder", cond: Condition,
+                 else_label: str, end_label: str,
+                 pc_enter: int, pc_body: int) -> None:
+        self._sdk = sdk
+        self._cond = cond
+        self._else_label = else_label
+        self._end_label = end_label
+        self._pc_enter = pc_enter
+        self._pc_body = pc_body
+        self._state = "start"
+        self._then_range: tuple[int, int] | None = None
+        self._else_range: tuple[int, int] | None = None
+
+    @contextlib.contextmanager
+    def then(self) -> Iterator[None]:
+        if self._state != "start":
+            raise SdkError("then() must come first and only once in an "
+                           "if_else block")
+        self._state = "in_then"
+        scope = self._sdk._push_scope("then")
+        try:
+            yield
+        finally:
+            self._sdk._pop_scope(scope)
+        then_end = self._sdk._b.pc
+        self._then_range = (self._pc_body, then_end)
+        self._sdk._b.jmp(self._end_label)
+        self._sdk._b.label(self._else_label)
+        self._state = "then_done"
+
+    @contextlib.contextmanager
+    def otherwise(self) -> Iterator[None]:
+        if self._state != "then_done":
+            raise SdkError("otherwise() must follow then() exactly once")
+        self._state = "in_else"
+        else_start = self._sdk._b.pc
+        scope = self._sdk._push_scope("else")
+        try:
+            yield
+        finally:
+            self._sdk._pop_scope(scope)
+        self._else_range = (else_start, self._sdk._b.pc)
+        self._sdk._b.label(self._end_label)
+        self._state = "done"
+
+
+class _LoopBlock:
+    """Yielded by :meth:`SdkBuilder.loop_until`."""
+
+    def __init__(self, sdk: "SdkBuilder", start_label: str,
+                 done_label: str, counter: int | None,
+                 bound: int | None) -> None:
+        self._sdk = sdk
+        self._start_label = start_label
+        self._done_label = done_label
+        self._counter = counter
+        self._bound = bound
+        self._closed = False
+        self._pc_after: int | None = None
+
+    def until(self, cond: Condition) -> None:
+        """Close the loop: repeat the body until ``cond`` holds.
+
+        Must be the last statement of the loop body.  With
+        ``max_attempts`` the loop also exits (without the condition
+        holding) after that many iterations.
+        """
+        if self._closed:
+            raise SdkError("until() called twice in one loop_until block")
+        self._sdk._check_condition(cond)
+        self._closed = True
+        builder = self._sdk._b
+        if self._counter is not None:
+            cond.branch_if_true(self._done_label)
+            builder.addi(self._counter, self._counter, 1)
+            builder.blt(self._counter, self._bound, self._start_label)
+            builder.label(self._done_label)
+        else:
+            cond.branch_if_false(self._start_label)
+        self._pc_after = builder.pc
+
+
+class SdkBuilder:
+    """Author dynamic circuits; compile them with :meth:`build`."""
+
+    def __init__(self, name: str = "sdk_program", *,
+                 t1: int = DEFAULT_T1, t2: int = DEFAULT_T2,
+                 tm: int = DEFAULT_TM, lower_mrce: bool = True) -> None:
+        self._b = ProgramBuilder(name)
+        self._t1 = t1
+        self._t2 = t2
+        self._tm = tm
+        self._lower_mrce = lower_mrce
+        self._n_qubits = 0
+        self._free_regs = list(range(NUM_REGISTERS - 1, 0, -1))
+        self._measure_generation: dict[int, int] = {}
+        self._latest_future: dict[int, Future] = {}
+        self._scope_stack: list[tuple[int, str]] = []
+        self._scope_counter = 0
+        self._label_counter = 0
+
+    # -- resources ----------------------------------------------------------
+
+    @property
+    def n_qubits(self) -> int:
+        """Number of qubits allocated so far."""
+        return self._n_qubits
+
+    def qubit(self) -> Qubit:
+        """Allocate one fresh qubit."""
+        handle = Qubit(self, self._n_qubits)
+        self._n_qubits += 1
+        return handle
+
+    def qubits(self, count: int) -> list[Qubit]:
+        """Allocate ``count`` fresh qubits."""
+        return [self.qubit() for _ in range(count)]
+
+    def _alloc_register(self) -> int:
+        if not self._free_regs:
+            raise SdkError(
+                f"out of classical registers ({NUM_REGISTERS - 1} "
+                f"available); fewer live futures/loops needed")
+        return self._free_regs.pop()
+
+    def _free_register(self, reg: int) -> None:
+        self._free_regs.append(reg)
+
+    def _fresh_label(self, stem: str) -> str:
+        label = f"__{stem}_{self._label_counter}"
+        self._label_counter += 1
+        return label
+
+    # -- scopes -------------------------------------------------------------
+
+    def _push_scope(self, kind: str) -> tuple[int, str]:
+        scope = (self._scope_counter, kind)
+        self._scope_counter += 1
+        self._scope_stack.append(scope)
+        return scope
+
+    def _pop_scope(self, scope: tuple[int, str]) -> None:
+        if not self._scope_stack or self._scope_stack[-1] != scope:
+            raise SdkError("conditional blocks closed out of order")
+        self._scope_stack.pop()
+
+    def _open_conditional_scope_ids(self) -> set[int]:
+        return {sid for sid, kind in self._scope_stack
+                if kind in ("if", "then", "else")}
+
+    def _conditional_scopes(self) -> tuple[int, ...]:
+        return tuple(sid for sid, kind in self._scope_stack
+                     if kind in ("if", "then", "else"))
+
+    # -- gates and measurement ---------------------------------------------
+
+    def gate(self, name: str, *qubits: Qubit, timing: int | None = None,
+             params: Sequence[float] = ()) -> None:
+        """Issue ``name`` on ``qubits`` (handles from this builder)."""
+        indices = []
+        for q in qubits:
+            if not isinstance(q, Qubit) or q._sdk is not self:
+                raise SdkError("gates take qubit handles from this builder")
+            indices.append(q.index)
+        if timing is None:
+            timing = self._t1 if len(indices) == 1 else self._t2
+        self._b.qop(name.lower(), indices, timing=timing,
+                    params=tuple(params))
+
+    def measure(self, qubit: Qubit, timing: int | None = None) -> Future:
+        """Measure ``qubit``; the outcome is returned as a future."""
+        if not isinstance(qubit, Qubit) or qubit._sdk is not self:
+            raise SdkError("measure takes a qubit handle from this builder")
+        index = qubit.index
+        self._b.qmeas(index, timing=self._tm if timing is None else timing)
+        generation = self._measure_generation.get(index, 0) + 1
+        self._measure_generation[index] = generation
+        stale = self._latest_future.get(index)
+        if stale is not None and stale._register is not None:
+            # The superseded future can never be read again; recycle
+            # its result register.
+            self._free_register(stale._register)
+            stale._register = None
+        future = Future(self, index, generation,
+                        self._conditional_scopes())
+        self._latest_future[index] = future
+        return future
+
+    # -- control flow -------------------------------------------------------
+
+    @contextlib.contextmanager
+    def if_(self, cond: Condition) -> Iterator[None]:
+        """Run the body only when ``cond`` holds.
+
+        A body consisting of exactly one parameterless single-qubit gate
+        is lowered to a single ``mrce`` instruction instead of an
+        ``fmr``/branch pair (when the builder's ``lower_mrce`` is on and
+        the condition is a plain ``future == 0/1`` test).
+        """
+        self._check_condition(cond)
+        end_label = self._fresh_label("if_end")
+        pc_enter = self._b.pc
+        cond.branch_if_false(end_label)
+        pc_body = self._b.pc
+        scope = self._push_scope("if")
+        try:
+            yield
+        finally:
+            self._pop_scope(scope)
+        if not self._lower_if(cond, pc_enter, pc_body):
+            self._b.label(end_label)
+
+    @contextlib.contextmanager
+    def if_else(self, cond: Condition) -> Iterator[_IfElseBlock]:
+        """Two-armed conditional.
+
+        Usage::
+
+            with sdk.if_else(m == 1) as branch:
+                with branch.then():
+                    q.x()
+                with branch.otherwise():
+                    q.z()
+
+        Arms are mandatory and ordered (``then`` before ``otherwise``).
+        When both arms are a single parameterless gate on the same
+        qubit with the same timing label, the whole construct lowers to
+        one ``mrce``.
+        """
+        self._check_condition(cond)
+        else_label = self._fresh_label("if_else")
+        end_label = self._fresh_label("if_end")
+        pc_enter = self._b.pc
+        cond.branch_if_false(else_label)
+        pc_body = self._b.pc
+        block = _IfElseBlock(self, cond, else_label, end_label,
+                             pc_enter, pc_body)
+        yield block
+        if block._state != "done":
+            raise SdkError("if_else needs exactly one then() and one "
+                           "otherwise(), in that order")
+        self._lower_if_else(cond, block)
+
+    @contextlib.contextmanager
+    def loop_until(self, max_attempts: int | None = None
+                   ) -> Iterator[_LoopBlock]:
+        """Repeat-until-success loop with do-while semantics.
+
+        The body always executes at least once; ``loop.until(cond)``
+        closes it.  With ``max_attempts`` the loop gives up after that
+        many iterations (the RUS-with-cutoff idiom); without it the
+        loop retries until the condition holds.
+        """
+        counter = bound = None
+        start_label = self._fresh_label("loop")
+        done_label = self._fresh_label("loop_done")
+        if max_attempts is not None:
+            if max_attempts < 1:
+                raise SdkError("loop_until needs max_attempts >= 1")
+            counter = self._alloc_register()
+            bound = self._alloc_register()
+            self._b.ldi(counter, 0)
+            self._b.ldi(bound, max_attempts)
+        self._b.label(start_label)
+        block = _LoopBlock(self, start_label, done_label, counter, bound)
+        scope = self._push_scope("loop")
+        try:
+            yield block
+        finally:
+            self._pop_scope(scope)
+        if not block._closed:
+            raise SdkError("loop_until body must end with "
+                           "loop.until(cond)")
+        if self._b.pc != block._pc_after:
+            raise SdkError("until() must be the last statement of the "
+                           "loop body")
+        if counter is not None:
+            self._free_register(counter)
+            self._free_register(bound)
+
+    def _check_condition(self, cond: object) -> None:
+        if not isinstance(cond, Condition):
+            raise SdkError(
+                f"expected a condition (e.g. 'future == 1'), got "
+                f"{cond!r}")
+        if cond._sdk is not self:
+            raise SdkError("condition belongs to a different builder")
+
+    # -- mrce peephole lowering --------------------------------------------
+
+    @staticmethod
+    def _single_plain_gate(body: list) -> Qop | None:
+        if len(body) == 1 and isinstance(body[0], Qop) \
+                and len(body[0].qubits) == 1 and not body[0].params:
+            return body[0]
+        return None
+
+    def _pop_condition_eval(self, cond: BitCondition, pc_enter: int,
+                            pc_body: int) -> None:
+        """Drop the emitted fmr/branch pair and un-materialise the future."""
+        instrs = self._b._instructions
+        if pc_body - pc_enter == 2:
+            # The fmr at pc_enter was this condition's materialisation;
+            # give the register back so the future stays lazy.
+            future = cond.future
+            self._free_register(future._register)
+            future._register = None
+        del instrs[pc_enter:]
+
+    def _lower_if(self, cond: Condition, pc_enter: int,
+                  pc_body: int) -> bool:
+        if not (self._lower_mrce and isinstance(cond, BitCondition)):
+            return False
+        instrs = self._b._instructions
+        qop = self._single_plain_gate(instrs[pc_body:])
+        if qop is None:
+            return False
+        self._pop_condition_eval(cond, pc_enter, pc_body)
+        if cond.want:
+            op_if_zero, op_if_one = "i", qop.gate
+        else:
+            op_if_zero, op_if_one = qop.gate, "i"
+        self._b.mrce(cond.future.qubit, qop.qubits[0],
+                     op_if_zero, op_if_one, timing=qop.timing)
+        return True
+
+    def _lower_if_else(self, cond: Condition,
+                       block: _IfElseBlock) -> bool:
+        if not (self._lower_mrce and isinstance(cond, BitCondition)):
+            return False
+        instrs = self._b._instructions
+        if self._b.pc != block._else_range[1]:
+            return False
+        then_qop = self._single_plain_gate(
+            instrs[block._then_range[0]:block._then_range[1]])
+        else_qop = self._single_plain_gate(
+            instrs[block._else_range[0]:block._else_range[1]])
+        if then_qop is None or else_qop is None:
+            return False
+        if then_qop.qubits != else_qop.qubits \
+                or then_qop.timing != else_qop.timing:
+            return False
+        # Undo the labels the arms defined; the mrce replaces the whole
+        # branch diamond.
+        del self._b._labels[block._else_label]
+        del self._b._labels[block._end_label]
+        self._pop_condition_eval(cond, block._pc_enter, block._pc_body)
+        if cond.want:
+            op_if_zero, op_if_one = else_qop.gate, then_qop.gate
+        else:
+            op_if_zero, op_if_one = then_qop.gate, else_qop.gate
+        self._b.mrce(cond.future.qubit, then_qop.qubits[0],
+                     op_if_zero, op_if_one, timing=then_qop.timing)
+        return True
+
+    # -- blocks and finalisation -------------------------------------------
+
+    @contextlib.contextmanager
+    def block(self, name: str, priority: int = 0,
+              deps: Sequence[str] = ()) -> Iterator[None]:
+        """Open a program block (for the superscalar block scheduler).
+
+        A ``halt`` terminator is appended automatically so the block
+        satisfies :meth:`Program.ensure_block_terminators`.
+        """
+        with self._b.block(name, priority=priority, deps=deps):
+            yield
+            self._ensure_halt()
+
+    def _ensure_halt(self) -> None:
+        from repro.isa.instructions import Halt, Jmp
+        instrs = self._b._instructions
+        if not instrs or not isinstance(instrs[-1], (Halt, Jmp)):
+            self._b.halt()
+
+    def build(self, validate: bool = True) -> Program:
+        """Compile to a :class:`Program` (labels resolved, validated)."""
+        if self._scope_stack:
+            raise SdkError("cannot build inside an open conditional/loop")
+        if not self._b._blocks:
+            self._ensure_halt()
+        return self._b.build(validate=validate)

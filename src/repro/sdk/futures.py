@@ -1,0 +1,208 @@
+"""Measurement futures and branch conditions for the dynamic-circuit SDK.
+
+A :class:`Future` is the value a measurement *will* produce: calling
+``q.measure()`` emits the ``qmeas`` immediately but defers the ``fmr``
+that retrieves the result until the future is first *used* — comparing it
+(``f == 1``) or reading it into a register.  This mirrors the NetQASM
+programming model (Dahlberg et al., 2022) where measurement outcomes are
+futures and conditionals are ``with`` blocks, lowered here onto the
+timed-QASM ``fmr``/branch/``mrce`` instructions.
+
+Comparisons produce :class:`Condition` objects that know how to emit the
+branch (or evaluate themselves into a register, for ``&``/``|``
+combinations) when a ``with sdk.if_(...)`` block compiles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.isa.instructions import ZERO_REG
+from repro.isa.program import ProgramError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sdk.builder import SdkBuilder
+
+
+class SdkError(ProgramError):
+    """Raised for invalid SDK programs (stale futures, malformed blocks)."""
+
+
+class Future:
+    """The eventual result (0 or 1) of one ``qmeas`` on one qubit.
+
+    The future is *lazy*: no ``fmr`` exists until the first use, so a
+    measurement whose outcome never feeds back costs no classical
+    instructions.  Two safety rules are enforced at build time:
+
+    * **staleness** — once the qubit is measured again, this future can
+      no longer be used (its result register would be overwritten);
+    * **scope** — a future created inside a conditional arm may only be
+      used while that arm is still open (otherwise the ``fmr`` could
+      execute on a path where the ``qmeas`` never ran and stall forever).
+      Loop bodies are exempt: ``loop_until`` has do-while semantics, so
+      the body — and any ``qmeas`` in it — executes at least once.
+    """
+
+    def __init__(self, sdk: "SdkBuilder", qubit: int,
+                 generation: int, scopes: tuple[int, ...]) -> None:
+        self._sdk = sdk
+        self.qubit = qubit
+        self._generation = generation
+        self._scopes = scopes
+        self._register: int | None = None
+
+    def _check_usable(self) -> None:
+        sdk = self._sdk
+        if sdk._measure_generation.get(self.qubit) != self._generation:
+            raise SdkError(
+                f"future of q{self.qubit} is stale: the qubit was "
+                f"measured again after this future was created")
+        open_ids = sdk._open_conditional_scope_ids()
+        for scope in self._scopes:
+            if scope not in open_ids:
+                raise SdkError(
+                    f"future of q{self.qubit} escaped the conditional "
+                    f"block it was created in; its measurement may never "
+                    f"execute on the path that reads it")
+
+    def read(self) -> int:
+        """Materialise the result into a register and return its index.
+
+        Emits the ``fmr`` at the current program position on first call;
+        later calls reuse the same register.
+        """
+        self._check_usable()
+        if self._register is None:
+            self._register = self._sdk._alloc_register()
+            self._sdk._b.fmr(self._register, self.qubit)
+        return self._register
+
+    # -- comparisons --------------------------------------------------------
+
+    def __eq__(self, other: object) -> "BitCondition":  # type: ignore[override]
+        return self._compare(other, invert=False)
+
+    def __ne__(self, other: object) -> "BitCondition":  # type: ignore[override]
+        return self._compare(other, invert=True)
+
+    __hash__ = object.__hash__
+
+    def _compare(self, other: object, invert: bool) -> "BitCondition":
+        if isinstance(other, bool):
+            other = int(other)
+        if not isinstance(other, int) or other not in (0, 1):
+            raise SdkError(
+                f"futures hold measurement bits; compare against 0 or 1, "
+                f"not {other!r}")
+        want = other if not invert else 1 - other
+        return BitCondition(self, want)
+
+
+class Condition:
+    """Something a conditional block can branch on."""
+
+    _sdk: "SdkBuilder"
+
+    def branch_if_false(self, target: str) -> None:
+        raise NotImplementedError
+
+    def branch_if_true(self, target: str) -> None:
+        raise NotImplementedError
+
+    def value_into(self, rd: int) -> None:
+        """Emit code leaving 1 in ``rd`` when true, 0 when false."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Condition") -> "CompoundCondition":
+        return CompoundCondition("and", self, other)
+
+    def __or__(self, other: "Condition") -> "CompoundCondition":
+        return CompoundCondition("or", self, other)
+
+    def __bool__(self) -> bool:
+        raise SdkError(
+            "conditions compile to branch instructions; use "
+            "'with sdk.if_(cond):', not Python 'if cond:'")
+
+
+class BitCondition(Condition):
+    """``future == want`` for a single measurement bit."""
+
+    def __init__(self, future: Future, want: int) -> None:
+        self.future = future
+        self.want = want
+        self._sdk = future._sdk
+
+    def __invert__(self) -> "BitCondition":
+        return BitCondition(self.future, 1 - self.want)
+
+    def branch_if_false(self, target: str) -> None:
+        reg = self.future.read()
+        if self.want:
+            # want result == 1; false when the bit is zero.
+            self._sdk._b.beq(reg, ZERO_REG, target)
+        else:
+            self._sdk._b.bne(reg, ZERO_REG, target)
+
+    def branch_if_true(self, target: str) -> None:
+        reg = self.future.read()
+        if self.want:
+            self._sdk._b.bne(reg, ZERO_REG, target)
+        else:
+            self._sdk._b.beq(reg, ZERO_REG, target)
+
+    def value_into(self, rd: int) -> None:
+        reg = self.future.read()
+        if self.want:
+            self._sdk._b.mov(rd, reg)
+        else:
+            self._sdk._b.not_(rd, reg)
+
+
+class CompoundCondition(Condition):
+    """``left & right`` / ``left | right`` over bit-valued conditions."""
+
+    def __init__(self, op: str, left: Condition, right: Condition) -> None:
+        if left._sdk is not right._sdk:
+            raise SdkError("cannot combine conditions from different "
+                           "builders")
+        self.op = op
+        self.left = left
+        self.right = right
+        self._sdk = left._sdk
+
+    def __invert__(self) -> "CompoundCondition":
+        flipped = "or" if self.op == "and" else "and"
+        return CompoundCondition(flipped, ~self.left, ~self.right)
+
+    def value_into(self, rd: int) -> None:
+        sdk = self._sdk
+        scratch = sdk._alloc_register()
+        try:
+            self.left.value_into(rd)
+            self.right.value_into(scratch)
+            if self.op == "and":
+                sdk._b.and_(rd, rd, scratch)
+            else:
+                sdk._b.or_(rd, rd, scratch)
+        finally:
+            sdk._free_register(scratch)
+
+    def branch_if_false(self, target: str) -> None:
+        sdk = self._sdk
+        scratch = sdk._alloc_register()
+        try:
+            self.value_into(scratch)
+            sdk._b.beq(scratch, ZERO_REG, target)
+        finally:
+            sdk._free_register(scratch)
+
+    def branch_if_true(self, target: str) -> None:
+        sdk = self._sdk
+        scratch = sdk._alloc_register()
+        try:
+            self.value_into(scratch)
+            sdk._b.bne(scratch, ZERO_REG, target)
+        finally:
+            sdk._free_register(scratch)

@@ -1,0 +1,99 @@
+"""Tests for the SDK-authored feed-forward workloads."""
+
+import pytest
+
+from repro.benchlib.dynamic import (DISTILLATION_QUBITS,
+                                    SUPERSCALAR_MIX_QUBITS,
+                                    build_distillation_program,
+                                    build_superscalar_mix_program,
+                                    build_teleport_chain_program,
+                                    teleport_chain_qubits)
+from repro.isa.parser import parse_asm
+from repro.qcp import ShotEngine, scalar_config, superscalar_config
+
+SHOTS = 24
+
+
+def run(program, n_qubits, backend="stabilizer", config=None,
+        n_processors=1, shots=SHOTS):
+    engine = ShotEngine(program, config or scalar_config(),
+                        n_processors=n_processors, n_qubits=n_qubits,
+                        backend=backend)
+    return engine.run(shots)
+
+
+class TestTeleportChain:
+    @pytest.mark.parametrize("hops", [1, 3])
+    @pytest.mark.parametrize("backend", ["statevector", "stabilizer"])
+    def test_delivers_one_through_every_hop(self, hops, backend):
+        program = build_teleport_chain_program(hops)
+        result = run(program, teleport_chain_qubits(hops),
+                     backend=backend)
+        final = result.measured_qubits.index(2 * hops)
+        assert all(key[final] == "1" for key in result.counts)
+
+    def test_delivers_zero_when_not_excited(self):
+        program = build_teleport_chain_program(2, state_one=False)
+        result = run(program, teleport_chain_qubits(2))
+        final = result.measured_qubits.index(4)
+        assert all(key[final] == "0" for key in result.counts)
+
+    def test_backends_agree_bit_for_bit(self):
+        program = build_teleport_chain_program(3)
+        stab = run(program, teleport_chain_qubits(3), "stabilizer")
+        dense = run(program, teleport_chain_qubits(3), "statevector")
+        assert stab.counts == dense.counts
+        assert stab.total_ns == dense.total_ns
+
+    def test_round_trips_as_text(self):
+        program = build_teleport_chain_program(2)
+        assert parse_asm(program.to_asm(), name=program.name) == program
+
+
+class TestDistillation:
+    def test_backends_agree_and_herald_fires_sometimes(self):
+        program = build_distillation_program(3)
+        stab = run(program, DISTILLATION_QUBITS, "stabilizer",
+                   shots=48)
+        dense = run(program, DISTILLATION_QUBITS, "statevector",
+                    shots=48)
+        assert stab.counts == dense.counts
+        assert stab.total_ns == dense.total_ns
+        assert sum(stab.counts.values()) == 48
+        # The Z-parity check passes with probability 1/2 per attempt,
+        # so over 48 shots both accepted and exhausted shots occur.
+        herald = stab.measured_qubits.index(4)
+        heralded = sum(count for key, count in stab.counts.items()
+                       if key[herald] == "1")
+        assert 0 < heralded < 48
+
+    def test_round_trips_as_text(self):
+        program = build_distillation_program(2)
+        assert parse_asm(program.to_asm(), name=program.name) == program
+
+    def test_attempt_bound_validated(self):
+        with pytest.raises(ValueError):
+            build_distillation_program(0)
+
+
+class TestSuperscalarMix:
+    def test_blocks_and_priorities(self):
+        program = build_superscalar_mix_program()
+        names = {b.name: b.priority for b in program.blocks}
+        assert names == {"w_teleport": 0, "w_rus": 0, "w_parity": 1}
+        program.ensure_block_terminators()
+
+    @pytest.mark.parametrize("n_processors,config", [
+        (1, None), (2, superscalar_config(4))])
+    def test_mix_runs_and_teleport_unit_delivers(self, n_processors,
+                                                 config):
+        program = build_superscalar_mix_program()
+        result = run(program, SUPERSCALAR_MIX_QUBITS, config=config,
+                     n_processors=n_processors)
+        assert sum(result.counts.values()) == SHOTS
+        far = result.measured_qubits.index(2)
+        assert all(key[far] == "1" for key in result.counts)
+
+    def test_round_trips_as_text(self):
+        program = build_superscalar_mix_program()
+        assert parse_asm(program.to_asm(), name=program.name) == program

@@ -1,0 +1,117 @@
+"""Surface-code layout, decoder and golden logical-error-rate tests.
+
+The goldens are seeded: shots 0..N-1 are pure functions of their seed,
+so the logical error count is an exact integer that must reproduce on
+every backend and replay strategy.  A drifting golden means the
+outcome stream changed — a contract violation, not noise.
+"""
+
+import pytest
+
+from repro.benchlib.surface import (build_surface_memory_program,
+                                    decode_logical_z, surface_layout,
+                                    surface_logical_error_rate)
+from repro.isa.parser import parse_asm
+from repro.qpu.noise import NoiseModel
+
+#: Seeded golden logical error counts at the standard noise point
+#: (surface_noise_model), 2 rounds, seeds 0..shots-1.
+GOLDEN_D3_STAB_100 = 7
+GOLDEN_D5_STAB_100 = 13
+GOLDEN_D3_BOTH_40 = 0
+
+
+class TestLayout:
+    @pytest.mark.parametrize("distance,n_qubits", [(3, 17), (5, 49)])
+    def test_qubit_and_stabilizer_counts(self, distance, n_qubits):
+        layout = surface_layout(distance)
+        assert layout.n_data == distance * distance
+        assert layout.n_qubits == n_qubits
+        assert len(layout.x_stabilizers) == (distance ** 2 - 1) // 2
+        assert len(layout.z_stabilizers) == (distance ** 2 - 1) // 2
+
+    @pytest.mark.parametrize("distance", [3, 5])
+    def test_stabilizer_supports_are_well_formed(self, distance):
+        layout = surface_layout(distance)
+        ancillas = set()
+        for stab in layout.x_stabilizers + layout.z_stabilizers:
+            assert len(stab.support) in (2, 4)
+            assert all(0 <= q < layout.n_data for q in stab.support)
+            assert layout.n_data <= stab.ancilla < layout.n_qubits
+            ancillas.add(stab.ancilla)
+        assert len(ancillas) == layout.n_qubits - layout.n_data
+
+    def test_logical_z_commutes_with_every_x_check(self):
+        for distance in (3, 5):
+            layout = surface_layout(distance)
+            row = set(layout.logical_z)
+            for stab in layout.x_stabilizers:
+                assert len(row & set(stab.support)) % 2 == 0
+
+    def test_bad_distance_rejected(self):
+        with pytest.raises(ValueError):
+            surface_layout(2)
+        with pytest.raises(ValueError):
+            surface_layout(1)
+
+
+class TestDecoder:
+    @pytest.mark.parametrize("distance", [3, 5])
+    def test_every_single_x_error_is_corrected(self, distance):
+        layout = surface_layout(distance)
+        for qubit in range(layout.n_data):
+            bits = {q: 0 for q in range(layout.n_data)}
+            bits[qubit] = 1
+            assert decode_logical_z(layout, bits) == 0, qubit
+
+    def test_clean_readout_decodes_to_zero(self):
+        layout = surface_layout(3)
+        bits = {q: 0 for q in range(layout.n_data)}
+        assert decode_logical_z(layout, bits) == 0
+
+
+class TestProgram:
+    def test_program_round_trips_as_text(self):
+        program = build_surface_memory_program(3, rounds=2)
+        assert parse_asm(program.to_asm(), name=program.name) == program
+
+    def test_mrce_reset_per_ancilla_per_round(self):
+        from repro.isa.instructions import Mrce, Qmeas
+
+        layout = surface_layout(3)
+        rounds = 2
+        program = build_surface_memory_program(3, rounds=rounds)
+        n_checks = len(layout.x_stabilizers) + len(layout.z_stabilizers)
+        mrces = [i for i in program.instructions if isinstance(i, Mrce)]
+        assert len(mrces) == n_checks * rounds
+        measures = [i for i in program.instructions
+                    if isinstance(i, Qmeas)]
+        assert len(measures) == n_checks * rounds + layout.n_data
+
+
+class TestLogicalErrorRate:
+    def test_noiseless_memory_never_errs(self):
+        report = surface_logical_error_rate(3, rounds=2, shots=20,
+                                            noise=NoiseModel())
+        assert report.logical_errors == 0
+
+    def test_golden_d3_stabilizer(self):
+        report = surface_logical_error_rate(3, rounds=2, shots=100,
+                                            backend="stabilizer")
+        assert report.logical_errors == GOLDEN_D3_STAB_100
+        assert report.logical_error_rate == GOLDEN_D3_STAB_100 / 100
+
+    def test_golden_d5_stabilizer(self):
+        report = surface_logical_error_rate(5, rounds=2, shots=100,
+                                            backend="stabilizer")
+        assert report.logical_errors == GOLDEN_D5_STAB_100
+
+    def test_backends_agree_shot_for_shot_at_d3(self):
+        # 17 qubits fits the dense simulator: the identically seeded
+        # backends must produce the same logical outcome stream.
+        stab = surface_logical_error_rate(3, rounds=2, shots=40,
+                                          backend="stabilizer")
+        dense = surface_logical_error_rate(3, rounds=2, shots=40,
+                                           backend="statevector")
+        assert stab.logical_errors == dense.logical_errors
+        assert stab.logical_errors == GOLDEN_D3_BOTH_40

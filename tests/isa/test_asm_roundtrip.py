@@ -1,0 +1,148 @@
+"""Property test: ``parse_asm(program.to_asm()) == program``.
+
+Hypothesis builds random programs straight through
+:class:`~repro.isa.builder.ProgramBuilder` — every instruction form the
+SDK can emit (parametric qops, MRCE with nonzero timing labels, the
+full classical set, backward branches onto labels, multi-block layouts
+with priorities and deps) — and the text round-trip must reproduce the
+program exactly: instructions, labels dict, blocks, float parameters to
+the last bit.
+
+This is the contract that makes builder/SDK programs
+service-submittable as text (:mod:`repro.service` ships the ``to_asm``
+form over the wire).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Mrce, Qop
+from repro.isa.parser import parse_asm
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False,
+                          width=64)
+
+PLAIN_GATES = ("h", "x", "z", "s", "sdg", "y90", "cnot", "cz")
+PARAM_GATES = ("rx", "ry", "rz")
+MRCE_OPS = ("i", "x", "z", "h", "s")
+
+
+@st.composite
+def random_programs(draw):
+    builder = ProgramBuilder("roundtrip")
+    n_blocks = draw(st.integers(1, 3))
+    block_names = [f"b{i}" for i in range(n_blocks)]
+    for index, block_name in enumerate(block_names):
+        deps = tuple(name for name in block_names[:index]
+                     if draw(st.booleans()))
+        with builder.block(block_name,
+                           priority=draw(st.integers(0, 3)),
+                           deps=deps):
+            for _ in range(draw(st.integers(1, 8))):
+                _emit_random_statement(draw, builder, index)
+            builder.halt()
+    if draw(st.booleans()):
+        builder.label(builder.fresh_label("trailing"))
+    return builder.build()
+
+
+def _emit_random_statement(draw, builder, segment):
+    kind = draw(st.integers(0, 12))
+    reg = st.integers(0, 31)
+    qubit = st.integers(0, 7)
+    imm = st.integers(-1000, 1000)
+    if kind == 0:
+        params = draw(st.lists(finite_floats, min_size=1, max_size=2))
+        builder.qop(draw(st.sampled_from(PARAM_GATES)),
+                    [draw(qubit)], timing=draw(st.integers(0, 40)),
+                    params=params)
+    elif kind == 1:
+        gate = draw(st.sampled_from(PLAIN_GATES))
+        if gate in ("cnot", "cz"):
+            a = draw(qubit)
+            b = draw(qubit.filter(lambda q, a=a: q != a))
+            builder.qop(gate, [a, b], timing=draw(st.integers(0, 40)))
+        else:
+            builder.qop(gate, [draw(qubit)],
+                        timing=draw(st.integers(0, 40)))
+    elif kind == 2:
+        builder.qmeas(draw(qubit), timing=draw(st.integers(0, 40)))
+    elif kind == 3:
+        builder.mrce(draw(qubit), draw(qubit),
+                     op_if_zero=draw(st.sampled_from(MRCE_OPS)),
+                     op_if_one=draw(st.sampled_from(MRCE_OPS)),
+                     timing=draw(st.integers(0, 9)))
+    elif kind == 4:
+        builder.fmr(draw(reg), draw(qubit))
+    elif kind == 5:
+        builder.ldi(draw(reg), draw(imm))
+    elif kind == 6:
+        builder.mov(draw(reg), draw(reg))
+    elif kind == 7:
+        method = draw(st.sampled_from(["add", "sub", "and_", "or_",
+                                       "xor"]))
+        getattr(builder, method)(draw(reg), draw(reg), draw(reg))
+    elif kind == 8:
+        builder.addi(draw(reg), draw(reg), draw(imm))
+    elif kind == 9:
+        builder.not_(draw(reg), draw(reg))
+    elif kind == 10:
+        draw(st.sampled_from([builder.ldm, builder.stm]))(
+            draw(reg), draw(st.integers(0, 255)))
+    elif kind == 11:
+        builder.nop()
+    else:
+        # a label followed by a backward branch onto it: targets
+        # resolve to absolute pcs and must survive the text form
+        label = builder.label(builder.fresh_label(f"l{segment}"))
+        builder.qop("h", [draw(qubit)], timing=2)
+        branch = draw(st.sampled_from(["beq", "bne", "blt", "bge"]))
+        getattr(builder, branch)(draw(reg), draw(reg), label)
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_programs())
+def test_to_asm_round_trips_exactly(program):
+    assert parse_asm(program.to_asm(), name=program.name) == program
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(finite_floats, min_size=1, max_size=3))
+def test_parametric_qop_floats_survive_bit_exactly(params):
+    builder = ProgramBuilder("params")
+    builder.qop("rz", [0], timing=3, params=params)
+    builder.halt()
+    program = builder.build()
+    reparsed = parse_asm(program.to_asm(), name="params")
+    qop = next(i for i in reparsed.instructions if isinstance(i, Qop))
+    assert qop.params == tuple(params)
+
+
+def test_mrce_timing_label_survives_the_text_form():
+    builder = ProgramBuilder("mrce-t")
+    builder.qmeas(0, timing=2)
+    builder.mrce(0, 1, op_if_zero="i", op_if_one="x", timing=7)
+    builder.mrce(1, 0, op_if_zero="z", op_if_one="i")  # timing 0 form
+    builder.halt()
+    program = builder.build()
+    assert "mrce q0, q1, i, x, 7" in program.to_asm()
+    assert "mrce q1, q0, z, i\n" in program.to_asm()
+    reparsed = parse_asm(program.to_asm(), name="mrce-t")
+    timings = [i.timing for i in reparsed.instructions
+               if isinstance(i, Mrce)]
+    assert timings == [7, 0]
+
+
+def test_labels_including_trailing_are_emitted():
+    builder = ProgramBuilder("labels")
+    builder.label("start")
+    builder.qop("h", [0], timing=0)
+    builder.bne(1, 0, "start")
+    builder.label("finish")
+    builder.halt()
+    builder.label("past_the_end")
+    program = builder.build()
+    asm = program.to_asm()
+    for label in ("start:", "finish:", "past_the_end:"):
+        assert label in asm
+    assert parse_asm(asm, name="labels") == program

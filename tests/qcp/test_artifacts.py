@@ -166,6 +166,61 @@ def test_truncated_file_falls_back_cold(tmp_path):
         assert_cold_but_correct(tmp_path, reference)
 
 
+def test_zero_byte_artifact_falls_back_cold(tmp_path):
+    """An interrupted writer can leave a 0-byte file; mmap refuses it."""
+    reference = populate(tmp_path)
+    path = artifact_file(tmp_path)
+    with open(path, "wb"):
+        pass
+    assert os.path.getsize(path) == 0
+    assert_cold_but_correct(tmp_path, reference)
+
+
+def test_directory_in_place_of_artifact_falls_back_cold(tmp_path):
+    reference = populate(tmp_path)
+    path = artifact_file(tmp_path)
+    os.unlink(path)
+    os.mkdir(path)
+    engine = make_engine(tmp_path)
+    assert engine.artifacts.warm_loads == 0
+    assert engine.trace_cache.root is None
+    result = engine.run(SHOTS)
+    assert result.counts == reference.counts
+    assert result.total_ns == reference.total_ns
+    # The save also degrades: os.replace cannot clobber a directory.
+    assert engine.artifacts.saves == 0
+
+
+def test_unwritable_cache_dir_degrades_silently(tmp_path, monkeypatch):
+    """A read-only cache directory must never take the run down: the
+    save returns False and every engine simply compiles cold."""
+    def denied(*args, **kwargs):
+        raise PermissionError(13, "Permission denied")
+
+    monkeypatch.setattr(artifacts_mod.tempfile, "mkstemp", denied)
+    engine = make_engine(tmp_path)
+    reference = ShotEngine(build_program(), config=scalar_config(),
+                           backend="stabilizer", n_qubits=N_QUBITS)
+    result = engine.run(SHOTS)
+    expected = reference.run(SHOTS)
+    assert result.counts == expected.counts
+    assert result.total_ns == expected.total_ns
+    assert engine.artifacts.saves == 0
+    assert os.listdir(tmp_path) == []
+
+
+@pytest.mark.skipif(os.geteuid() == 0,
+                    reason="root ignores directory permissions")
+def test_chmod_readonly_cache_dir_degrades_silently(tmp_path):
+    os.chmod(tmp_path, 0o500)
+    try:
+        engine = make_engine(tmp_path)
+        engine.run(SHOTS)
+        assert engine.artifacts.saves == 0
+    finally:
+        os.chmod(tmp_path, 0o700)
+
+
 def test_schema_bump_falls_back_cold(tmp_path, monkeypatch):
     reference = populate(tmp_path)
     path = artifact_file(tmp_path)

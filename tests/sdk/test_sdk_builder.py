@@ -1,0 +1,464 @@
+"""Unit tests for the dynamic-circuit builder SDK.
+
+Covers the compile semantics (what instruction sequences the ``with``
+blocks lower to, including the MRCE peephole), the safety rules
+(stale futures, scope escape, malformed blocks), and the execution
+semantics of the generated programs on both backends.
+"""
+
+import pytest
+
+from repro.isa.instructions import Beq, Fmr, Jmp, Mrce, Qmeas, Qop
+from repro.isa.parser import parse_asm
+from repro.qcp import ShotEngine, scalar_config, superscalar_config
+from repro.sdk import SdkBuilder, SdkError
+
+
+def roundtrips(program):
+    return parse_asm(program.to_asm(), name=program.name) == program
+
+
+def instr_kinds(program):
+    return [type(instr).__name__ for instr in program.instructions]
+
+
+# ---------------------------------------------------------------------------
+# compile semantics: what the with-blocks lower to
+# ---------------------------------------------------------------------------
+
+class TestMrceLowering:
+    def test_single_gate_if_lowers_to_one_mrce(self):
+        sdk = SdkBuilder("low")
+        q, t = sdk.qubits(2)
+        m = q.measure()
+        with sdk.if_(m == 1):
+            t.x()
+        program = sdk.build()
+        mrces = [i for i in program.instructions if isinstance(i, Mrce)]
+        assert len(mrces) == 1
+        assert (mrces[0].result_qubit, mrces[0].target_qubit) == (0, 1)
+        assert (mrces[0].op_if_zero, mrces[0].op_if_one) == ("i", "x")
+        assert not any(isinstance(i, (Fmr, Beq))
+                       for i in program.instructions)
+        assert roundtrips(program)
+
+    def test_want_zero_polarity_swaps_the_ops(self):
+        sdk = SdkBuilder("low0")
+        q, t = sdk.qubits(2)
+        m = q.measure()
+        with sdk.if_(m != 1):  # same as m == 0
+            t.z()
+        mrce = next(i for i in sdk.build().instructions
+                    if isinstance(i, Mrce))
+        assert (mrce.op_if_zero, mrce.op_if_one) == ("z", "i")
+
+    def test_lowered_mrce_keeps_the_gate_timing(self):
+        sdk = SdkBuilder("low-t")
+        q, t = sdk.qubits(2)
+        m = q.measure()
+        with sdk.if_(m == 1):
+            t.x(timing=9)
+        mrce = next(i for i in sdk.build().instructions
+                    if isinstance(i, Mrce))
+        assert mrce.timing == 9
+
+    def test_if_else_single_gate_arms_lower_to_one_mrce(self):
+        sdk = SdkBuilder("diamond")
+        q = sdk.qubit()
+        m = q.measure()
+        with sdk.if_else(m == 0) as branch:
+            with branch.then():
+                q.x()
+            with branch.otherwise():
+                q.z()
+        program = sdk.build()
+        mrce = next(i for i in program.instructions
+                    if isinstance(i, Mrce))
+        # then runs on m == 0, otherwise on m == 1.
+        assert (mrce.op_if_zero, mrce.op_if_one) == ("x", "z")
+        assert not any(isinstance(i, Jmp) for i in program.instructions)
+        assert program.labels == {}  # the diamond's labels are gone too
+        assert roundtrips(program)
+
+    def test_if_else_on_different_qubits_is_not_lowered(self):
+        sdk = SdkBuilder("nolow")
+        q, a, b = sdk.qubits(3)
+        m = q.measure()
+        with sdk.if_else(m == 1) as branch:
+            with branch.then():
+                a.x()
+            with branch.otherwise():
+                b.x()
+        program = sdk.build()
+        assert not any(isinstance(i, Mrce) for i in program.instructions)
+        assert any(isinstance(i, Jmp) for i in program.instructions)
+        assert roundtrips(program)
+
+    def test_multi_gate_body_is_not_lowered(self):
+        sdk = SdkBuilder("nolow2")
+        q, t = sdk.qubits(2)
+        m = q.measure()
+        with sdk.if_(m == 1):
+            t.x()
+            t.z()
+        program = sdk.build()
+        assert not any(isinstance(i, Mrce) for i in program.instructions)
+        assert any(isinstance(i, Fmr) for i in program.instructions)
+        assert roundtrips(program)
+
+    def test_lower_mrce_off_emits_fmr_and_branch(self):
+        sdk = SdkBuilder("branchy", lower_mrce=False)
+        q, t = sdk.qubits(2)
+        m = q.measure()
+        with sdk.if_(m == 1):
+            t.x()
+        kinds = instr_kinds(sdk.build())
+        assert "Mrce" not in kinds
+        assert "Fmr" in kinds and "Beq" in kinds
+
+    def test_lowering_unmaterialises_the_future(self):
+        # The peephole pops the fmr it just emitted, so a later
+        # *unlowerable* use materialises a fresh one — exactly one fmr
+        # total, placed at the second use.
+        sdk = SdkBuilder("lazy")
+        q, t = sdk.qubits(2)
+        m = q.measure()
+        with sdk.if_(m == 1):
+            t.x()  # lowered: no fmr survives
+        with sdk.if_(m == 1):
+            t.x()
+            t.x()  # two gates: branch path, fmr materialises here
+        program = sdk.build()
+        assert sum(isinstance(i, Fmr) for i in program.instructions) == 1
+        assert sum(isinstance(i, Mrce) for i in program.instructions) == 1
+        assert roundtrips(program)
+
+
+class TestCompileShapes:
+    def test_loop_until_bounded_shape(self):
+        sdk = SdkBuilder("rus")
+        q = sdk.qubit()
+        with sdk.loop_until(max_attempts=3) as loop:
+            q.h()
+            f = q.measure()
+            loop.until(f == 0)
+        program = sdk.build()
+        kinds = instr_kinds(program)
+        # counter + bound setup, body, exit test, increment, back-edge
+        assert kinds.count("Ldi") == 2
+        assert "Addi" in kinds and "Blt" in kinds and "Beq" in kinds
+        assert roundtrips(program)
+
+    def test_loop_until_unbounded_shape(self):
+        sdk = SdkBuilder("retry")
+        q = sdk.qubit()
+        with sdk.loop_until() as loop:
+            q.h()
+            f = q.measure()
+            loop.until(f == 1)
+        program = sdk.build()
+        kinds = instr_kinds(program)
+        assert "Ldi" not in kinds and "Addi" not in kinds
+        # branch-if-false jumps straight back to the loop head
+        assert "Beq" in kinds
+        assert roundtrips(program)
+
+    def test_compound_condition_evaluates_through_alu(self):
+        sdk = SdkBuilder("compound")
+        a, b, t = sdk.qubits(3)
+        ma, mb = a.measure(), b.measure()
+        with sdk.if_((ma == 1) & (mb == 0)):
+            t.x()
+            t.x()
+        kinds = instr_kinds(sdk.build())
+        assert "And" in kinds
+        assert "Not" in kinds  # mb == 0 complements the bit
+        assert roundtrips(sdk.build())
+
+    def test_blocks_get_halt_terminators(self):
+        sdk = SdkBuilder("mix")
+        q0, q1 = sdk.qubits(2)
+        with sdk.block("w1", priority=0):
+            q0.h()
+            q0.measure()
+        with sdk.block("w2", priority=1):
+            q1.h()
+            q1.measure()
+        program = sdk.build()
+        program.ensure_block_terminators()
+        assert [b.name for b in program.blocks] == ["w1", "w2"]
+        assert roundtrips(program)
+
+    def test_registers_are_recycled_after_remeasure(self):
+        sdk = SdkBuilder("recycle")
+        q, t = sdk.qubits(2)
+        for _ in range(40):  # far more futures than registers
+            m = q.measure()
+            with sdk.if_(m == 1):
+                t.x()
+                t.z()
+        program = sdk.build()
+        assert sum(isinstance(i, Qmeas) for i in program.instructions) == 40
+        assert roundtrips(program)
+
+    def test_out_of_registers_raises(self):
+        sdk = SdkBuilder("pressure")
+        qubits = sdk.qubits(32)
+        with pytest.raises(SdkError, match="out of classical registers"):
+            for q in qubits:
+                q.measure().read()
+
+
+# ---------------------------------------------------------------------------
+# safety rules
+# ---------------------------------------------------------------------------
+
+class TestSafetyRules:
+    def test_stale_future_raises(self):
+        sdk = SdkBuilder("stale")
+        q, t = sdk.qubits(2)
+        m = q.measure()
+        q.measure()  # supersedes m
+        with pytest.raises(SdkError, match="stale"):
+            with sdk.if_(m == 1):
+                t.x()
+
+    def test_future_escaping_its_conditional_raises(self):
+        sdk = SdkBuilder("escape")
+        q, a, t = sdk.qubits(3)
+        outer = q.measure()
+        with sdk.if_(outer == 1):
+            inner = a.measure()
+        with pytest.raises(SdkError, match="escaped"):
+            with sdk.if_(inner == 1):
+                t.x()
+
+    def test_then_arm_future_unusable_in_otherwise_arm(self):
+        sdk = SdkBuilder("arms")
+        q, a, t = sdk.qubits(3)
+        m = q.measure()
+        with pytest.raises(SdkError, match="escaped"):
+            with sdk.if_else(m == 1) as branch:
+                with branch.then():
+                    inner = a.measure()
+                with branch.otherwise():
+                    with sdk.if_(inner == 1):
+                        t.x()
+
+    def test_loop_futures_remain_usable_after_the_loop(self):
+        # Do-while semantics: the body executes at least once, so its
+        # measurement exists on every path.
+        sdk = SdkBuilder("rus-use")
+        q, t = sdk.qubits(2)
+        with sdk.loop_until(max_attempts=2) as loop:
+            q.h()
+            f = q.measure()
+            loop.until(f == 0)
+        with sdk.if_(f == 1):  # allowed: reads the final attempt
+            t.x()
+        assert roundtrips(sdk.build())
+
+    def test_loop_without_until_raises(self):
+        sdk = SdkBuilder("open-loop")
+        q = sdk.qubit()
+        with pytest.raises(SdkError, match="until"):
+            with sdk.loop_until():
+                q.h()
+
+    def test_instructions_after_until_raise(self):
+        sdk = SdkBuilder("tail")
+        q = sdk.qubit()
+        with pytest.raises(SdkError, match="last statement"):
+            with sdk.loop_until() as loop:
+                f = q.measure()
+                loop.until(f == 0)
+                q.h()
+
+    def test_until_twice_raises(self):
+        sdk = SdkBuilder("twice")
+        q = sdk.qubit()
+        with pytest.raises(SdkError, match="twice"):
+            with sdk.loop_until() as loop:
+                f = q.measure()
+                loop.until(f == 0)
+                loop.until(f == 0)
+
+    def test_if_else_requires_both_arms_in_order(self):
+        sdk = SdkBuilder("arms2")
+        q = sdk.qubit()
+        m = q.measure()
+        with pytest.raises(SdkError, match="then"):
+            with sdk.if_else(m == 1) as branch:
+                with branch.then():
+                    q.x()
+        sdk2 = SdkBuilder("arms3")
+        q2 = sdk2.qubit()
+        m2 = q2.measure()
+        with pytest.raises(SdkError, match="follow then"):
+            with sdk2.if_else(m2 == 1) as branch:
+                with branch.otherwise():
+                    q2.x()
+
+    def test_python_truthiness_of_conditions_raises(self):
+        sdk = SdkBuilder("truthy")
+        q = sdk.qubit()
+        m = q.measure()
+        with pytest.raises(SdkError, match="branch instructions"):
+            if m == 1:
+                pass
+
+    def test_non_bit_comparison_raises(self):
+        sdk = SdkBuilder("bits")
+        m = sdk.qubit().measure()
+        with pytest.raises(SdkError, match="0 or 1"):
+            m == 2
+
+    def test_foreign_qubit_raises(self):
+        sdk_a, sdk_b = SdkBuilder("a"), SdkBuilder("b")
+        qa, qb = sdk_a.qubit(), sdk_b.qubit()
+        with pytest.raises(SdkError):
+            qa.cnot(qb)
+        with pytest.raises(SdkError):
+            sdk_a.measure(qb)
+
+    def test_build_inside_open_scope_raises(self):
+        sdk = SdkBuilder("open")
+        q, t = sdk.qubits(2)
+        m = q.measure()
+        with pytest.raises(SdkError, match="open conditional"):
+            with sdk.if_(m == 1):
+                t.x()
+                sdk.build()
+
+
+# ---------------------------------------------------------------------------
+# execution semantics
+# ---------------------------------------------------------------------------
+
+def run_counts(program, n_qubits, backend="stabilizer", shots=32,
+               config=None):
+    engine = ShotEngine(program, config or scalar_config(),
+                        n_qubits=n_qubits, backend=backend)
+    return engine.run(shots)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("lower", [True, False])
+    @pytest.mark.parametrize("backend", ["statevector", "stabilizer"])
+    def test_teleportation_delivers_the_state(self, lower, backend):
+        sdk = SdkBuilder("teleport", lower_mrce=lower)
+        a, b, c = sdk.qubits(3)
+        a.x()  # teleport |1>
+        b.h(); b.cnot(c)
+        a.cnot(b); a.h()
+        mb = b.measure()
+        ma = a.measure()
+        with sdk.if_(mb == 1):
+            c.x()
+        with sdk.if_(ma == 1):
+            c.z()
+        c.measure()
+        result = run_counts(sdk.build(), 3, backend=backend)
+        # qubit 2 (the last bit of the key) always reads 1
+        assert all(key[-1] == "1" for key in result.counts)
+
+    def test_lowered_and_branchy_histograms_agree(self):
+        def build(lower):
+            sdk = SdkBuilder("agree", lower_mrce=lower)
+            q, t = sdk.qubits(2)
+            q.h()
+            m = q.measure()
+            with sdk.if_(m == 1):
+                t.x()
+            t.measure()
+            q.measure()
+            return sdk.build()
+
+        lowered = run_counts(build(True), 2)
+        branchy = run_counts(build(False), 2)
+        assert lowered.counts == branchy.counts
+        # the classical fmr/branch pair costs cycles the mrce does not
+        assert lowered.total_ns <= branchy.total_ns
+
+    def test_compound_condition_fires_only_on_the_conjunction(self):
+        sdk = SdkBuilder("conj")
+        a, b, t = sdk.qubits(3)
+        a.x()
+        b.x()
+        ma, mb = a.measure(), b.measure()
+        with sdk.if_((ma == 1) & (mb == 1)):
+            t.x()
+            t.identity()
+        t.measure()
+        result = run_counts(sdk.build(), 3)
+        assert all(key[-1] == "1" for key in result.counts)
+
+    def test_disjunction_with_negated_bit(self):
+        sdk = SdkBuilder("disj")
+        a, b, t = sdk.qubits(3)
+        a.x()  # ma == 1, mb == 0: (ma == 0) | (mb == 0) holds
+        ma, mb = a.measure(), b.measure()
+        with sdk.if_((ma == 0) | (mb == 0)):
+            t.x()
+            t.identity()
+        t.measure()
+        result = run_counts(sdk.build(), 3)
+        assert all(key[-1] == "1" for key in result.counts)
+
+    def test_rus_loop_terminates_and_counts_attempts(self):
+        sdk = SdkBuilder("rus-exec")
+        q, flag = sdk.qubits(2)
+        with sdk.loop_until(max_attempts=4) as loop:
+            q.h()
+            m = q.measure()
+            loop.until(m == 0)
+        with sdk.if_(m == 1):  # exhausted all four attempts
+            flag.x()
+            flag.identity()
+        flag.measure()
+        q.measure()
+        result = run_counts(sdk.build(), 2, shots=64)
+        assert sum(result.counts.values()) == 64
+        # P(flag) = P(four 1s in a row) = 1/16: both outcomes occur
+        # over 64 shots with overwhelming probability.
+        flagged = sum(count for key, count in result.counts.items()
+                      if key[-1] == "1")
+        assert 0 < flagged < 64
+
+    def test_superscalar_block_mix_runs(self):
+        sdk = SdkBuilder("mix-exec")
+        q0, q1 = sdk.qubits(2)
+        with sdk.block("w1", priority=0):
+            q0.h()
+            m0 = q0.measure()
+            with sdk.if_(m0 == 1):
+                q0.x()
+            q0.measure()
+        with sdk.block("w2", priority=1):
+            q1.x()
+            q1.measure()
+        program = sdk.build()
+        result = run_counts(program, 2, config=superscalar_config(4),
+                            shots=16)
+        assert sum(result.counts.values()) == 16
+        # w2 always leaves q1 in |1>
+        assert all(key[-1] == "1" for key in result.counts)
+
+    def test_service_round_trip_text_form(self):
+        # build() -> to_asm() -> parse -> run must agree with the
+        # in-memory program (the service submits programs as text).
+        sdk = SdkBuilder("text")
+        q, t = sdk.qubits(2)
+        q.h()
+        m = q.measure()
+        with sdk.if_(m == 1):
+            t.x()
+        t.measure()
+        q.measure()
+        program = sdk.build()
+        reparsed = parse_asm(program.to_asm(), name=program.name)
+        assert reparsed == program
+        direct = run_counts(program, 2)
+        textual = run_counts(reparsed, 2)
+        assert direct.counts == textual.counts
+        assert direct.total_ns == textual.total_ns

@@ -91,7 +91,8 @@ def test_documentation_link_resolves(document, target):
 
 def test_documents_present():
     # The docs tree this layer promises: the layer walkthrough, the
-    # trace-cache design and the noise/reproducibility contract.
+    # trace-cache design, the noise/reproducibility contract and the
+    # dynamic-circuit SDK guide.
     names = {path.name for path in DOCUMENTS}
     assert {"README.md", "architecture.md", "trace_cache.md",
-            "noise.md"} <= names
+            "noise.md", "sdk.md"} <= names
