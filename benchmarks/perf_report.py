@@ -65,6 +65,7 @@ from repro.benchlib.surface import (build_surface_memory_program,
 from repro.qcp import ShotEngine, scalar_config
 from repro.qcp.tracecache import auto_batch_width
 from repro.qpu.noise import NoiseModel, PauliChannel, ReadoutError
+from repro.qpu.profile import DeviceProfile
 
 #: (n_data, total qubits) for the repetition-chain sweep.
 CHAIN_SIZES = ((5, 9), (13, 25), (26, 51), (51, 101))
@@ -102,6 +103,7 @@ def chain_noise_model() -> NoiseModel:
 def _measure(program, n_qubits: int, trace_cache: bool, shots: int,
              noise_factory=None, max_nodes: int | None = None,
              backend: str = "stabilizer", batch: bool = False,
+             profile: DeviceProfile | None = None,
              **config_changes) -> tuple[float, ShotEngine]:
     # Serial replay is the measured baseline: batching stays off
     # unless this call is the explicit batched measurement.
@@ -111,7 +113,7 @@ def _measure(program, n_qubits: int, trace_cache: bool, shots: int,
                            **config_changes)
     noise = noise_factory() if noise_factory is not None else None
     engine = ShotEngine(program, config=config, backend=backend,
-                        n_qubits=n_qubits, noise=noise)
+                        n_qubits=n_qubits, noise=noise, profile=profile)
     start = time.perf_counter()
     engine.run(shots)
     elapsed = time.perf_counter() - start
@@ -160,6 +162,94 @@ def measure_workload(program, n_qubits: int,
     if max_nodes is not None:
         entry["trace_cache"]["max_nodes"] = max_nodes
     return entry
+
+
+def chain_readout_profile(n_qubits: int) -> DeviceProfile:
+    """Pauli-compatible calibration: per-qubit readout flips only.
+
+    The auto router keeps the Clifford chain on the stabilizer
+    tableau under this profile, and the sign-trace replay (serial and
+    batched) stays fully engaged.
+    """
+    qubits = {str(qubit): {"readout":
+                           {"p0_given_1": round(0.004 + 0.0004 * qubit,
+                                                6)}}
+              for qubit in range(n_qubits)}
+    return DeviceProfile.from_dict({
+        "name": f"bench-readout-{n_qubits}q",
+        "defaults": {"readout": {"p0_given_1": 0.005,
+                                 "p1_given_0": 0.002},
+                     "gates": {"x90": 22, "measure": 340}},
+        "qubits": qubits,
+    })
+
+
+def chain_dense_profile(n_qubits: int) -> DeviceProfile:
+    """Amplitude-level calibration: per-qubit T1/T2 + per-pair ZZ.
+
+    Non-Pauli channels, so the auto router sends even the Clifford
+    chain to the dense statevector; decoherence reads live amplitudes,
+    so the cohort path declines up front and batched runs replay
+    serially (still bit-identical) — ``batched_shots`` stays 0 in the
+    entry's ``batched_trace_cache``.
+    """
+    qubits = {str(qubit): {"t1_us": 60.0 + 5.0 * qubit, "t2_us": 45.0}
+              for qubit in range(n_qubits)}
+    couplings = [{"pair": [qubit, qubit + 1],
+                  "zz_khz": 1800.0 - 150.0 * qubit}
+                 for qubit in range(n_qubits - 1)]
+    return DeviceProfile.from_dict({
+        "name": f"bench-dense-{n_qubits}q",
+        "defaults": {"readout": {"p0_given_1": 0.01,
+                                 "p1_given_0": 0.004},
+                     "gates": {"x90": 24, "cz": 64, "measure": 340}},
+        "qubits": qubits,
+        "couplings": couplings,
+    })
+
+
+def measure_calibrated_workload(program, n_qubits: int,
+                                profile: DeviceProfile,
+                                uncached_shots: int,
+                                cached_shots: int) -> dict:
+    """One ``backend="auto"`` entry with a calibrated device profile.
+
+    The engine routes once (Clifford/noise analysis over the program
+    and the profile-composed channels) and the entry records the
+    decision next to the throughput numbers, plus the profile's
+    content fingerprint — the same key component that invalidates
+    compiled artifacts when a single calibration value changes.
+    """
+    uncached_rate, engine = _measure(program, n_qubits, False,
+                                     uncached_shots, backend="auto",
+                                     profile=profile)
+    cached_rate, cached_engine = _measure(program, n_qubits, True,
+                                          cached_shots, backend="auto",
+                                          profile=profile)
+    batched_rate, batched_engine = _measure(program, n_qubits, True,
+                                            cached_shots, backend="auto",
+                                            profile=profile, batch=True)
+    return {
+        "qubits": n_qubits,
+        "backend": engine.backend,
+        "routing": engine.routing.as_dict(),
+        "profile": {"name": profile.name,
+                    "qubits": len(profile.qubits),
+                    "couplings": len(profile.couplings),
+                    "fingerprint": profile.fingerprint()},
+        "noisy": True,
+        "uncached_shots_per_s": round(uncached_rate, 2),
+        "uncached_us_per_shot": round(1e6 / uncached_rate, 1),
+        "cached_shots_per_s": round(cached_rate, 2),
+        "cached_us_per_shot": round(1e6 / cached_rate, 1),
+        "speedup": round(cached_rate / uncached_rate, 1),
+        "batched_shots_per_s": round(batched_rate, 2),
+        "batch_width": auto_batch_width(batched_engine._qpu),
+        "batch_speedup": round(batched_rate / cached_rate, 2),
+        "trace_cache": _cache_stats(cached_engine.trace_cache),
+        "batched_trace_cache": _cache_stats(
+            batched_engine.trace_cache, batched=True),
+    }
 
 
 def measure_dense_workload(program, n_qubits: int,
@@ -508,6 +598,21 @@ def run_suite(quick: bool = False,
             measure_dense_workload(program, n_qubits, uncached_shots,
                                    cached_shots,
                                    noise_factory=chain_noise_model)
+    # Calibrated device profiles through ``backend="auto"``: one
+    # Pauli-compatible calibration the router keeps on the tableau,
+    # and one amplitude-level calibration that forces the *same
+    # Clifford chain* onto the dense statevector.  Both cells run in
+    # --quick so the CI smoke covers each routing outcome.
+    program = build_repetition_chain_program(
+        5, rounds=CHAIN_ROUNDS, encode_one=True)
+    workloads["repetition_chain_calibrated_9q"] = \
+        measure_calibrated_workload(program, 9, chain_readout_profile(9),
+                                    uncached_shots, cached_shots)
+    program = build_repetition_chain_program(
+        3, rounds=CHAIN_ROUNDS, encode_one=True)
+    workloads["repetition_chain_calibrated_dense_5q"] = \
+        measure_calibrated_workload(program, 5, chain_dense_profile(5),
+                                    uncached_shots, cached_shots)
     if not quick:
         program = build_shor_syndrome_program(rounds=3)
         workloads["steane_shor_37q"] = measure_workload(
@@ -552,7 +657,7 @@ def run_suite(quick: bool = False,
         workloads["service_warm_start"] = measure_service_warm_start(
             artifact_dir)
     return {
-        "schema": "bench-shots/v7",
+        "schema": "bench-shots/v8",
         "description": ("Shot throughput of the compile-once ShotEngine "
                         "with the cycle-accurate simulator (uncached) vs "
                         "trace-cache replay (cached = serial per-shot "
@@ -576,7 +681,13 @@ def run_suite(quick: bool = False,
                         "chain, RUS distillation, superscalar mix) and "
                         "the surface-code d=3/d=5 memories at the "
                         "standard noise point, each carrying its "
-                        "seeded logical_errors_per_100 golden."),
+                        "seeded logical_errors_per_100 golden; v8 adds "
+                        "the calibrated device-profile chains run "
+                        "through backend='auto' — each entry records "
+                        "the routing decision (Clifford/noise analysis "
+                        "over the profile-composed channels) and the "
+                        "profile's content fingerprint next to the "
+                        "throughput numbers."),
         "config": {"backend": "stabilizer + statevector (dense sweep)",
                    "chain_rounds": CHAIN_ROUNDS,
                    "noise": "PauliChannel(px=1e-3) + "

@@ -1,0 +1,13 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// T-state injection: the T gate takes this program off the Clifford
+// set, so `--qpu auto` must route it to the dense statevector (the
+// companion Clifford-only program.qasm routes to the tableau).
+qreg q[2];
+creg c[2];
+h q[0];
+t q[0];
+h q[1];
+cx q[1],q[0];
+measure q[0] -> c[0];
+measure q[1] -> c[1];

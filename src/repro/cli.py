@@ -79,6 +79,9 @@ def _config_from_args(args: argparse.Namespace):
     artifact_max = getattr(args, "artifact_cache_max_bytes", None)
     if artifact_max is not None:
         config = config.with_(artifact_cache_max_bytes=artifact_max)
+    profile_path = getattr(args, "device_profile", None)
+    if profile_path is not None:
+        config = config.with_(device_profile=profile_path)
     return config
 
 
@@ -86,8 +89,12 @@ def command_run(args: argparse.Namespace) -> int:
     program = _load_program(pathlib.Path(args.file))
     if args.shots:
         return _run_shots(program, args)
+    config = _config_from_args(args)
+    if args.qpu == "prng":
+        _warn_prng_profile(args)
+        config = config.with_(device_profile=None)
     system = QuAPESystem(program=program,
-                         config=_config_from_args(args),
+                         config=config,
                          n_processors=args.processors,
                          qpu_backend=None if args.qpu == "prng"
                          else args.qpu)
@@ -137,29 +144,53 @@ def _warn_uncacheable_flags(args: argparse.Namespace) -> None:
               file=sys.stderr)
 
 
+def _warn_prng_profile(args: argparse.Namespace) -> None:
+    if getattr(args, "device_profile", None) is not None:
+        print("warning: --device-profile ignored: the prng substrate "
+              "samples readouts without a noise model; use --qpu "
+              "statevector, stabilizer or auto", file=sys.stderr)
+
+
 def _run_shots(program, args: argparse.Namespace) -> int:
     from repro.qcp.shots import ShotEngine
 
     qpu_factory = None
+    config = _config_from_args(args)
     if args.qpu == "prng":
         from repro.qcp.system import infer_qubit_count
         from repro.qpu import PRNGQPU, PRNGReadout
 
         _warn_uncacheable_flags(args)
+        _warn_prng_profile(args)
+        config = config.with_(device_profile=None)
         qubits = infer_qubit_count(program)
 
         def qpu_factory(seed: int):
             return PRNGQPU(qubits, PRNGReadout(seed=seed))
 
-    engine = ShotEngine(program, config=_config_from_args(args),
+    engine = ShotEngine(program, config=config,
                         n_processors=args.processors,
                         backend=None if args.qpu == "prng" else args.qpu,
                         qpu_factory=qpu_factory)
     result = engine.run(args.shots)
     print(f"program: {program.name} ({len(program)} instructions, "
           f"{len(program.blocks)} blocks)")
-    print(f"{result.shots} shots on the {args.qpu} substrate, "
+    substrate = (args.qpu if args.qpu != "auto"
+                 else f"auto->{engine.backend}")
+    print(f"{result.shots} shots on the {substrate} substrate, "
           f"{engine.qubit_count} qubits, {result.total_ns} ns total")
+    if engine.routing is not None:
+        line = f"routing: {engine.routing.reason}"
+        if engine.routing.fuse_max_qubits is not None:
+            line += (f"; fusion widened to "
+                     f"{engine.routing.fuse_max_qubits} qubits")
+        print(line)
+    if engine.profile is not None:
+        profile = engine.profile
+        print(f"device profile: {profile.name or '<unnamed>'} "
+              f"({len(profile.qubits)} calibrated qubit(s), "
+              f"{len(profile.couplings)} coupling(s), "
+              f"fingerprint {profile.fingerprint()[:12]})")
     cache = engine.trace_cache
     if cache is not None:
         line = (f"trace cache: {cache.hits} replayed, {cache.misses} "
@@ -285,11 +316,19 @@ def build_parser() -> argparse.ArgumentParser:
                             help="superscalar width (1 = scalar)")
     run_parser.add_argument("--fast-context-switch", action="store_true")
     run_parser.add_argument(
-        "--qpu", choices=("prng", "statevector", "stabilizer"),
+        "--qpu", choices=("prng", "statevector", "stabilizer", "auto"),
         default="prng",
         help="quantum substrate: PRNG readouts (paper's FPGA "
-             "methodology), dense statevector, or Clifford stabilizer "
-             "tableau")
+             "methodology), dense statevector, Clifford stabilizer "
+             "tableau, or auto (stabilizer for Clifford-only "
+             "programs, statevector otherwise)")
+    run_parser.add_argument(
+        "--device-profile", metavar="JSON", default=None,
+        help="calibrated device-profile JSON: per-qubit T1/T2 and "
+             "readout fidelities, per-gate-per-qubit durations, "
+             "coupling-pair ZZ strengths (see docs/device_profiles.md); "
+             "composed over the substrate's noise model and folded "
+             "into the engine/artifact identity")
     run_parser.add_argument(
         "--shots", type=int, default=0,
         help="run N compile-once shots and print the histogram "

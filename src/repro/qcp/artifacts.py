@@ -89,12 +89,12 @@ from repro.qcp.tracecache import (TraceCache, TraceNode, _D_BRANCH,
                                   _S_MEAS_R, _S_NOISE, _S_RESET_D,
                                   _S_RESET_R, _S_XOR)
 from repro.qpu.stabilizer import StabilizerState
-from repro.qpu.statevector import StateVector, fuse_ops
+from repro.qpu.statevector import FUSE_MAX_QUBITS, StateVector, fuse_ops
 
 #: Bumped whenever the on-disk layout changes; part of the key
 #: fingerprint *and* checked against the header, so an old artifact is
 #: both unfindable under the new key and rejected if renamed into place.
-ARTIFACT_SCHEMA_VERSION = 1
+ARTIFACT_SCHEMA_VERSION = 2
 
 ARTIFACT_MAGIC = b"QTAC"
 ARTIFACT_SUFFIX = ".qta"
@@ -108,9 +108,12 @@ _NODE_KEYS = frozenset({"p", "e", "t", "i", "d", "s", "x", "f"})
 
 #: QCPConfig fields excluded from the fingerprint: they steer where
 #: artifacts live and how large the directory may grow — never what a
-#: shot computes.
+#: shot computes.  ``device_profile`` is a *path*; the profile's
+#: content is fingerprinted separately (renaming the file must not
+#: change the key, editing one T1 must).
 _CONFIG_FIELDS_EXCLUDED = frozenset({"artifact_cache_dir",
-                                     "artifact_cache_max_bytes"})
+                                     "artifact_cache_max_bytes",
+                                     "device_profile"})
 
 #: Scalar JSON types a fingerprint (and a noise-channel parameter) may
 #: contain.  Anything else fails closed: the engine is non-cacheable.
@@ -180,12 +183,16 @@ def _noise_fingerprint(noise) -> dict:
 
 def artifact_fingerprint(program, config: QCPConfig, backend: str,
                          noise, n_processors: int, n_qubits: int,
-                         dependency_mode) -> dict | None:
+                         dependency_mode, profile=None) -> dict | None:
     """The full cache-key fingerprint for one engine identity.
 
     Returns ``None`` when any component cannot be represented — the
     caller must then skip artifact caching entirely (a missing key is
-    a cold compile; a wrong key would be a wrong answer).
+    a cold compile; a wrong key would be a wrong answer).  ``profile``
+    is an optional :class:`~repro.qpu.profile.DeviceProfile`; its
+    *content* rendering enters the key (so two paths to the same
+    calibration share artifacts and editing one T1 misses), while the
+    config's ``device_profile`` path is excluded above.
     """
     try:
         config_profile = {
@@ -202,6 +209,8 @@ def artifact_fingerprint(program, config: QCPConfig, backend: str,
             "n_processors": int(n_processors),
             "n_qubits": int(n_qubits),
             "dependency_mode": str(dependency_mode.value),
+            "device_profile": (None if profile is None
+                               else profile.canonical()),
         }
     except Exception:
         return None
@@ -538,21 +547,26 @@ def _decode_sign_program(encoded, memory, buffers: _BufferReader,
 
 
 def _encode_fused_plans(items: tuple, writer: _BufferWriter,
-                        arrays: list) -> list:
+                        arrays: list,
+                        max_qubits: int | None = None) -> list:
     """Per-item GEMM-fusion plans for an ideal dense node.
 
     Recomputes :func:`fuse_ops` over each recorded op run (the live
     node caches only the opaque replay closure) and stores the fused
     block operators as buffer-backed matrices, so a warm start skips
-    the fusion matrix products entirely.
+    the fusion matrix products entirely.  ``max_qubits`` must match
+    the width the live replay fuses at (``config.fuse_max_qubits``) or
+    warm and cold amplitudes would round differently.
     """
+    if max_qubits is None:
+        max_qubits = FUSE_MAX_QUBITS
     plans = []
     for item in items:
         if item[0] != _I_OPS:
             plans.append(None)
             continue
         steps = []
-        for step in fuse_ops(item[1]):
+        for step in fuse_ops(item[1], max_qubits=max_qubits):
             if step[0] == "reset":
                 steps.append(["reset", step[1]])
             else:
@@ -743,8 +757,9 @@ class ArtifactCache:
                     writer.add_array(node._exit_xz[0], arrays),
                     writer.add_array(node._exit_xz[1], arrays)]
             elif save_fused:
-                encoded["f"] = _encode_fused_plans(node.items, writer,
-                                                   arrays)
+                encoded["f"] = _encode_fused_plans(
+                    node.items, writer, arrays,
+                    max_qubits=config.fuse_max_qubits)
             nodes_meta.append(encoded)
 
         # Pack every integer mask into one flat fixed-width buffer —

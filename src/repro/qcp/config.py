@@ -56,8 +56,26 @@ class QCPConfig:
     # -- QPU substrate ------------------------------------------------------
     #: Simulation backend used whenever the system builds its own
     #: simulated QPU ("statevector" = dense, exact, <= 24 qubits;
-    #: "stabilizer" = Clifford tableau, polynomial, 100+ qubits).
+    #: "stabilizer" = Clifford tableau, polynomial, 100+ qubits;
+    #: "auto" = route per program: stabilizer for Clifford-only
+    #: programs under Pauli-compatible noise, statevector otherwise —
+    #: see :func:`repro.qcp.routing.route_backend`).
     qpu_backend: str = "statevector"
+    #: Path to a calibrated device-profile JSON (``None`` = uniform
+    #: gate-library timing and whatever noise model the caller
+    #: supplies).  When set, the shot engine loads it fail-closed
+    #: (unknown fields raise, naming the key), composes its per-qubit
+    #: T1/T2, per-qubit readout fidelities and per-pair ZZ couplings
+    #: over the base noise model, and uses its per-gate-per-qubit
+    #: durations for every busy/violation/drive-window computation.
+    #: The profile *content* (not the path) is part of the engine
+    #: identity and the artifact-cache fingerprint.
+    device_profile: str | None = None
+    #: Fused-block width cap for dense trace-cache replay (``None`` =
+    #: :data:`repro.qpu.statevector.FUSE_MAX_QUBITS`).  The ``"auto"``
+    #: router widens it to the register size for small registers,
+    #: where one fused GEMM beats several narrow ones.
+    fuse_max_qubits: int | None = None
 
     # -- shot execution -----------------------------------------------------
     #: Cache executed shot traces in a decision-keyed trie and replay
@@ -166,6 +184,8 @@ class QCPConfig:
         if self.artifact_cache_max_bytes is not None \
                 and self.artifact_cache_max_bytes < 1:
             raise ValueError("artifact-cache size bound must be positive")
+        if self.fuse_max_qubits is not None and self.fuse_max_qubits < 1:
+            raise ValueError("fused-block width must be positive")
 
     @property
     def is_superscalar(self) -> bool:

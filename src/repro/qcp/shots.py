@@ -65,11 +65,13 @@ from repro.qcp.artifacts import ArtifactCache, artifact_fingerprint
 from repro.qcp.config import QCPConfig
 from repro.qcp.memory import InstructionMemory
 from repro.qcp.system import QuAPESystem, infer_qubit_count
+from repro.qcp.routing import RoutingDecision, route_backend
 from repro.qcp.tracecache import (CheckpointQPU, RecordingQPU,
                                   ResumePoint, TraceCache,
                                   auto_batch_width)
 from repro.qpu.device import QPUBase, SimulatedQPU
 from repro.qpu.noise import NoiseModel
+from repro.qpu.profile import DeviceProfile, load_device_profile
 
 #: Placeholder in a bitstring for a union qubit this shot never measured.
 UNMEASURED = "-"
@@ -244,7 +246,8 @@ class ShotEngine:
                  noise: NoiseModel | None = None,
                  qpu_factory: Callable[[int], QPUBase] | None = None,
                  dependency_mode: DependencyMode = DependencyMode.PRIORITY,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 profile: DeviceProfile | None = None) -> None:
         self.program = program
         self.config = config or QCPConfig()
         self.backend = backend or self.config.qpu_backend
@@ -258,6 +261,37 @@ class ShotEngine:
                 "noise= configures the engine-owned QPU; a custom "
                 "qpu_factory builds its own devices (give them their "
                 "own NoiseModel instead)")
+        # -- calibrated device profile -----------------------------------
+        # An explicit profile object (the service passes inline
+        # profiles this way) wins over the config path.  A custom
+        # qpu_factory owns its devices, so a profile cannot reach them.
+        if profile is None and self.config.device_profile is not None:
+            profile = load_device_profile(self.config.device_profile)
+        if qpu_factory is not None and profile is not None:
+            raise ValueError(
+                "a device profile configures the engine-owned QPU; a "
+                "custom qpu_factory builds its own devices")
+        self.profile = profile
+        # -- automatic backend routing (backend="auto") ------------------
+        # Resolved once, before the QPU is built: the routed name (and
+        # the adaptive fusion width it may carry) is what flows into
+        # the device, the engine identity and the artifact fingerprint
+        # — "auto" itself never reaches make_backend.
+        self.routing: RoutingDecision | None = None
+        if self.backend == "auto":
+            if qpu_factory is not None:
+                raise ValueError(
+                    'backend="auto" routes the engine-owned QPU; a '
+                    "custom qpu_factory builds its own devices")
+            preview = (profile.noise_model(base=noise)
+                       if profile is not None else noise)
+            self.routing = route_backend(program, self.qubit_count,
+                                         noise=preview, profile=profile)
+            self.backend = self.routing.backend
+            if (self.routing.fuse_max_qubits is not None
+                    and self.config.fuse_max_qubits is None):
+                self.config = self.config.with_(
+                    fuse_max_qubits=self.routing.fuse_max_qubits)
         # -- compile-once artifacts, shared by every shot ----------------
         self.memory = InstructionMemory(program)
         self.table = BlockInfoTable(program, mode=dependency_mode)
@@ -265,7 +299,8 @@ class ShotEngine:
         self._qpu: QPUBase | None = None
         if qpu_factory is None:
             self._qpu = SimulatedQPU(self.qubit_count, seed=seed,
-                                     backend=self.backend, noise=noise)
+                                     backend=self.backend, noise=noise,
+                                     profile=profile)
         # -- trace cache: replay decision-path-identical shots -----------
         # Any engine-owned SimulatedQPU is cacheable — ideal or noisy
         # (noise draws replay positionally from the per-shot reseeded
@@ -283,7 +318,8 @@ class ShotEngine:
                 and self.config.artifact_cache_dir is not None):
             fingerprint = artifact_fingerprint(
                 program, self.config, self.backend, self._qpu.noise,
-                n_processors, self.qubit_count, dependency_mode)
+                n_processors, self.qubit_count, dependency_mode,
+                profile=profile)
             if fingerprint is not None:
                 self.artifacts = ArtifactCache(
                     self.config.artifact_cache_dir, fingerprint,

@@ -102,8 +102,19 @@ class QuAPESystem:
         if self.qpu is None:
             if self.qpu_backend is not None:
                 from repro.qpu.device import SimulatedQPU
-                self.qpu = SimulatedQPU(qubits,
-                                        backend=self.qpu_backend)
+
+                profile = None
+                if self.config.device_profile is not None:
+                    from repro.qpu.profile import load_device_profile
+                    profile = load_device_profile(
+                        self.config.device_profile)
+                backend = self.qpu_backend
+                if backend == "auto":
+                    from repro.qcp.routing import route_backend
+                    backend = route_backend(self.program, qubits,
+                                            profile=profile).backend
+                self.qpu = SimulatedQPU(qubits, backend=backend,
+                                        profile=profile)
             else:
                 self.qpu = PRNGQPU(qubits)
         self.results = MeasurementResultRegisters(self.qpu.n_qubits)

@@ -158,7 +158,8 @@ from repro.qpu.stabilizer import (SignBitPlanes, StabilizerState,
                                   _CLIFFORD_DECOMPOSITIONS,
                                   _TWO_QUBIT_DECOMPOSITIONS,
                                   pack_shot_mask)
-from repro.qpu.statevector import (BatchStateVector, StateVector, _lift,
+from repro.qpu.statevector import (BatchStateVector, FUSE_MAX_QUBITS,
+                                   StateVector, _lift,
                                    batch_block_applier, cached_unitary,
                                    fuse_into)
 
@@ -388,16 +389,23 @@ class TraceNode:
         self._bdense_state: SimulationBackend | None = None
         self._bexit_windows: dict[int, tuple[int, int]] | None = None
 
-    def program(self, state: SimulationBackend, fuse: bool = False) -> list:
+    def program(self, state: SimulationBackend, fuse: bool = False,
+                max_qubits: int | None = None) -> list:
         """This node's generic replay program, compiled for ``state``.
 
         With ``fuse`` the backend ops go through
         :meth:`~repro.qpu.backend.SimulationBackend.compile_fused_ops`
-        (GEMM fusion on the dense backend; a no-op elsewhere).
+        (GEMM fusion on the dense backend; a no-op elsewhere), with
+        ``max_qubits`` as the fusion-width bound (``None`` = the
+        backend default; the router widens it for small registers).
         """
         if self._program is None or self._program_state is not state:
-            compile_ops = (state.compile_fused_ops if fuse
-                           else state.compile_ops)
+            if fuse:
+                def compile_ops(ops):
+                    return state.compile_fused_ops(
+                        ops, max_qubits=max_qubits)
+            else:
+                compile_ops = state.compile_ops
             program = []
             for item in self.items:
                 if item[0] == _I_OPS:
@@ -442,26 +450,32 @@ class TraceNode:
             self._program_state = state
         return self._program
 
-    def device_program(self) -> list:
+    def device_program(self, profile=None) -> list:
         """This node's timed device-level replay program.
 
         Used for noisy substrates the sign-trace cannot model: each
         step re-applies one recorded operation at its original issue
         time through the same state/noise sequence the device layer
-        performs — gate-name resolution and duration lookups are done
-        once here instead of per replay.  The compiled steps depend
-        only on the recorded items (and the global gate registry), so
-        they are device-independent.
+        performs — gate-name resolution and duration lookups (against
+        ``profile``'s per-qubit calibration when the owning device has
+        one) are done once here instead of per replay.  The compiled
+        steps depend only on the recorded items, the gate registry and
+        the device profile; a cache serves one engine whose profile is
+        fixed, so caching them on the node is sound.
         """
         if self._device_program is None:
             steps: list[tuple] = []
-            meas_duration = lookup_gate("measure").duration_ns
+            if profile is None:
+                def duration_of(name, qubits):
+                    return lookup_gate(name).duration_ns
+            else:
+                duration_of = profile.gate_duration_ns
             for item in self.items:
                 code = item[0]
                 if code == _I_OPS:
                     for (kind, name, qubits, params), time_ns in \
                             zip(item[1], item[2]):
-                        duration = lookup_gate(name).duration_ns
+                        duration = duration_of(name, qubits)
                         if kind == "reset":
                             steps.append((_DV_RESET, time_ns, qubits[0],
                                           duration))
@@ -470,7 +484,7 @@ class TraceNode:
                                           qubits, params, duration))
                 elif code == _I_MEAS:
                     steps.append((_DV_MEAS, item[2], item[1],
-                                  meas_duration))
+                                  duration_of("measure", (item[1],))))
                 elif code == _I_CLS:
                     steps.append((_DV_CLS, item[1], item[2]))
                 else:  # _I_FMR
@@ -480,7 +494,8 @@ class TraceNode:
 
     def dense_program(self, qpu: SimulatedQPU,
                       parent: "TraceNode | None", fuse: bool,
-                      ctx: _ReplayContext) -> list:
+                      ctx: _ReplayContext,
+                      max_qubits: int | None = None) -> list:
         """This node's compiled noise-site program (noisy dense replay).
 
         Compiles the segment against the device's timing model: the
@@ -504,7 +519,8 @@ class TraceNode:
                 busy = dict(parent._exit_busy)
                 windows = dict(parent._exit_windows)
             self._dense_program = _compile_dense_node(
-                self.items, qpu, busy, windows, fuse, ctx)
+                self.items, qpu, busy, windows, fuse, ctx,
+                max_qubits=max_qubits)
             self._exit_busy = busy
             self._exit_windows = windows
             self._dense_state = state
@@ -531,7 +547,8 @@ class TraceNode:
 
     def batch_dense_program(self, qpu: SimulatedQPU,
                             parent: "TraceNode | None",
-                            fuse: bool) -> list:
+                            fuse: bool,
+                            max_qubits: int | None = None) -> list:
         """This node's cohort-taking dense program (batched replay).
 
         Like :meth:`dense_program` but every step is a closure over a
@@ -551,7 +568,7 @@ class TraceNode:
             else:
                 windows = dict(parent._bexit_windows)
             self._bdense_program = _compile_batch_dense_node(
-                self.items, qpu, windows, fuse)
+                self.items, qpu, windows, fuse, max_qubits=max_qubits)
             self._bexit_windows = windows
             self._bdense_state = state
         return self._bdense_program
@@ -889,10 +906,13 @@ class _DenseBlockCompiler:
     naive compiler would have to flush at every gate.
     """
 
-    def __init__(self, state: StateVector, nrng, steps: list) -> None:
+    def __init__(self, state: StateVector, nrng, steps: list,
+                 max_qubits: int | None = None) -> None:
         self.state = state
         self.nrng = nrng
         self.steps = steps
+        self.max_qubits = (FUSE_MAX_QUBITS if max_qubits is None
+                           else max_qubits)
         self.support: tuple[int, ...] = ()
         self.matrix: np.ndarray | None = None
         #: Deferred sites: (kind, params, site_qubits, prefix, support)
@@ -906,7 +926,7 @@ class _DenseBlockCompiler:
             self.support, self.matrix = tuple(qubits), matrix
             return
         fused = fuse_into(self.matrix, self.support, matrix,
-                          tuple(qubits))
+                          tuple(qubits), max_qubits=self.max_qubits)
         if fused is not None:
             self.matrix, self.support = fused
         else:
@@ -974,7 +994,8 @@ class _DenseBlockCompiler:
 def _compile_dense_node(items: tuple, qpu: SimulatedQPU,
                         busy: dict[int, int],
                         windows: dict[int, tuple[int, int]],
-                        fuse: bool, ctx: _ReplayContext) -> list:
+                        fuse: bool, ctx: _ReplayContext,
+                        max_qubits: int | None = None) -> list:
     """Compile a node's segment into a flat noise-site program.
 
     ``busy``/``windows`` model :class:`~repro.qpu.device.SimulatedQPU`
@@ -1010,13 +1031,19 @@ def _compile_dense_node(items: tuple, qpu: SimulatedQPU,
     if pauli is not None:
         pauli_cum = (pauli.px, pauli.px + pauli.py,
                      pauli.px + pauli.py + pauli.pz)
-    meas_duration = lookup_gate("measure").duration_ns
+    profile = qpu.profile
+    if profile is None:
+        def duration_of(name, qubits):
+            return lookup_gate(name).duration_ns
+    else:
+        duration_of = profile.gate_duration_ns
     state_measure = state.measure
     readout = noise.readout
     delivered = ctx.delivered
     outcomes = ctx.outcomes
     steps: list = []
-    block = _DenseBlockCompiler(state, nrng, steps) if fuse else None
+    block = (_DenseBlockCompiler(state, nrng, steps, max_qubits)
+             if fuse else None)
 
     def flush_gates() -> None:
         if block is not None:
@@ -1045,8 +1072,9 @@ def _compile_dense_node(items: tuple, qpu: SimulatedQPU,
                     f"unknown gate-channel site kind {kind!r}")
 
     def decay_sites(time_ns: int, qubits: tuple[int, ...]) -> None:
-        # Mirrors SimulatedQPU._decay_idle with the idle durations
-        # resolved at compile time.
+        # Mirrors SimulatedQPU._decay_idle with the idle durations and
+        # the qubit's calibrated T1/T2 channel resolved at compile
+        # time (for_qubit is identity on the uniform channel).
         if decoherence is None:
             return
         for qubit in qubits:
@@ -1054,51 +1082,51 @@ def _compile_dense_node(items: tuple, qpu: SimulatedQPU,
             if idle > 0:
                 flush_gates()
                 steps.append(
-                    lambda q=qubit, t=idle:
-                    decoherence.apply_idle(state, q, t, nrng))
+                    lambda q=qubit, t=idle,
+                    ch=decoherence.for_qubit(qubit):
+                    ch.apply_idle(state, q, t, nrng))
 
     def note_window(time_ns: int, qubits: tuple[int, ...],
                     duration: int) -> None:
-        # Mirrors SimulatedQPU._note_window on the model dict; only
-        # the triggered ZZ applications survive into the program.
+        # Mirrors SimulatedQPU._note_window on the model dict —
+        # including the expired-window pruning, so a divergence-
+        # frontier resume restores exactly the dict the live device
+        # would hold; only the triggered per-pair ZZ applications
+        # survive into the program (ZZCrosstalk.window_events is the
+        # single shared overlap-accounting implementation).
+        expired = [qubit for qubit, (_, stop) in windows.items()
+                   if stop <= time_ns]
+        for qubit in expired:
+            del windows[qubit]
         end = time_ns + duration
-        driven_now = set(qubits)
-        overlap_ns = 0
-        for other, (start, stop) in windows.items():
-            if other in driven_now:
-                continue
-            overlap = min(end, stop) - max(time_ns, start)
-            if overlap > 0:
-                driven_now.add(other)
-                overlap_ns = max(overlap_ns, overlap)
+        events = (zz.window_events(windows, time_ns, end, qubits)
+                  if zz is not None else ())
         for qubit in qubits:
             windows[qubit] = (time_ns, end)
-        if zz is not None and len(driven_now) >= 2 and overlap_ns > 0:
+        for left, right, overlap_ns in events:
             if block is not None:
-                # Fold the deterministic conditional phases into the
-                # fusion stream, one per coupled driven pair, exactly
-                # as ZZCrosstalk.apply_simultaneous would apply them.
-                phi = zz.conditional_phase(overlap_ns)
-                if phi != 0.0:
-                    matrix = np.diag(
-                        [1.0, 1.0, 1.0, np.exp(1j * phi)]).astype(complex)
-                    for left, right in zz.pairs:
-                        if left in driven_now and right in driven_now:
-                            block.add_unitary(matrix, (left, right))
-                return
-            steps.append(
-                lambda d=driven_now, o=overlap_ns:
-                zz.apply_simultaneous(state, d, o))
+                # Fold the deterministic per-pair conditional phase
+                # into the fusion stream, exactly as
+                # ZZCrosstalk.apply_pair would apply it.
+                matrix = zz.pair_unitary(left, right, overlap_ns)
+                if matrix is not None:
+                    block.add_unitary(matrix, (left, right))
+            else:
+                steps.append(
+                    lambda lft=left, rgt=right, o=overlap_ns:
+                    zz.apply_pair(state, lft, rgt, o))
 
     def measure_step(qubit: int):
-        # NoiseModel.corrupt_readout with the None check compiled out.
+        # NoiseModel.corrupt_readout with the None check compiled out
+        # and the qubit's calibrated readout channel resolved at
+        # compile time (one rng draw per measurement either way).
         if readout is None:
             def step(q=qubit) -> None:
                 value = state_measure(q)
                 delivered[q] = value
                 outcomes.append(value)
         else:
-            rcorrupt = readout.corrupt
+            rcorrupt = readout.for_qubit(qubit).corrupt
 
             def step(q=qubit) -> None:
                 value = rcorrupt(state_measure(q), nrng)
@@ -1111,7 +1139,7 @@ def _compile_dense_node(items: tuple, qpu: SimulatedQPU,
         if code == _I_OPS:
             for op, time_ns in zip(item[1], item[2]):
                 kind, name, qubits, params = op
-                duration = lookup_gate(name).duration_ns
+                duration = duration_of(name, qubits)
                 decay_sites(time_ns, qubits)
                 for qubit in qubits:
                     busy[qubit] = time_ns + duration
@@ -1137,7 +1165,7 @@ def _compile_dense_node(items: tuple, qpu: SimulatedQPU,
         elif code == _I_MEAS:
             qubit, time_ns = item[1], item[2]
             decay_sites(time_ns, (qubit,))
-            busy[qubit] = time_ns + meas_duration
+            busy[qubit] = time_ns + duration_of("measure", (qubit,))
             flush_gates()
             steps.append(measure_step(qubit))
         elif code == _I_CLS:
@@ -1208,9 +1236,12 @@ class _BatchDenseCompiler:
     to just those rows.
     """
 
-    def __init__(self, n_qubits: int, steps: list) -> None:
+    def __init__(self, n_qubits: int, steps: list,
+                 max_qubits: int | None = None) -> None:
         self.n_qubits = n_qubits
         self.steps = steps
+        self.max_qubits = (FUSE_MAX_QUBITS if max_qubits is None
+                           else max_qubits)
         self.support: tuple[int, ...] = ()
         self.matrix: np.ndarray | None = None
         self.sites: list[tuple] = []
@@ -1221,7 +1252,7 @@ class _BatchDenseCompiler:
             self.support, self.matrix = tuple(qubits), matrix
             return
         fused = fuse_into(self.matrix, self.support, matrix,
-                          tuple(qubits))
+                          tuple(qubits), max_qubits=self.max_qubits)
         if fused is not None:
             self.matrix, self.support = fused
         else:
@@ -1309,7 +1340,8 @@ def _batch_channel_step(kind: str, params, appliers: tuple):
 
 def _compile_batch_dense_node(items: tuple, qpu: SimulatedQPU,
                               windows: dict[int, tuple[int, int]],
-                              fuse: bool) -> list:
+                              fuse: bool,
+                              max_qubits: int | None = None) -> list:
     """Compile a node's segment into cohort-taking dense steps.
 
     The batched analogue of :func:`_compile_dense_node` minus the
@@ -1335,8 +1367,14 @@ def _compile_batch_dense_node(items: tuple, qpu: SimulatedQPU,
         pauli_cum = (pauli.px, pauli.px + pauli.py,
                      pauli.px + pauli.py + pauli.pz)
     readout = noise.readout
+    profile = qpu.profile
+    if profile is None:
+        def duration_of(name, qubits):
+            return lookup_gate(name).duration_ns
+    else:
+        duration_of = profile.gate_duration_ns
     steps: list = []
-    block = _BatchDenseCompiler(n, steps) if fuse else None
+    block = _BatchDenseCompiler(n, steps, max_qubits) if fuse else None
 
     def flush_gates() -> None:
         if block is not None:
@@ -1370,30 +1408,31 @@ def _compile_batch_dense_node(items: tuple, qpu: SimulatedQPU,
 
     def note_window(time_ns: int, qubits: tuple[int, ...],
                     duration: int) -> None:
-        # Same model as _compile_dense_node's; overlaps are constants.
+        # Same model as _compile_dense_node's: prune expired windows,
+        # then one per-pair event per coupled pair's own overlap
+        # (ZZCrosstalk.window_events is the single shared
+        # implementation).  Overlaps are decision-path constants, so
+        # the phases fold into the fusion block at compile time.
+        expired = [qubit for qubit, (_, stop) in windows.items()
+                   if stop <= time_ns]
+        for qubit in expired:
+            del windows[qubit]
         end = time_ns + duration
-        driven_now = set(qubits)
-        overlap_ns = 0
-        for other, (start, stop) in windows.items():
-            if other in driven_now:
-                continue
-            overlap = min(end, stop) - max(time_ns, start)
-            if overlap > 0:
-                driven_now.add(other)
-                overlap_ns = max(overlap_ns, overlap)
+        events = (zz.window_events(windows, time_ns, end, qubits)
+                  if zz is not None else ())
         for qubit in qubits:
             windows[qubit] = (time_ns, end)
-        if zz is not None and len(driven_now) >= 2 and overlap_ns > 0:
-            phi = zz.conditional_phase(overlap_ns)
-            if phi == 0.0:
-                return
-            matrix = np.diag(
-                [1.0, 1.0, 1.0, np.exp(1j * phi)]).astype(complex)
-            for left, right in zz.pairs:
-                if left in driven_now and right in driven_now:
-                    gate_applier(matrix, (left, right))
+        for left, right, overlap_ns in events:
+            matrix = zz.pair_unitary(left, right, overlap_ns)
+            if matrix is not None:
+                gate_applier(matrix, (left, right))
 
     def measure_step(qubit: int):
+        # Per-qubit readout calibration resolves at compile time;
+        # for_qubit is identity on the uniform channel.
+        rcorrupt = (None if readout is None
+                    else readout.for_qubit(qubit).corrupt)
+
         def step(cohort: _BatchCohort, q=qubit) -> None:
             # One cohort-wide reduction replaces per-shot probability
             # scans; outcomes still come from each shot's own rng.
@@ -1401,11 +1440,10 @@ def _compile_batch_dense_node(items: tuple, qpu: SimulatedQPU,
             outcomes = [1 if srng.random() < p_one[row] else 0
                         for row, srng in enumerate(cohort.srngs)]
             cohort.batch.collapse(q, np.array(outcomes), p_one)
-            if readout is None:
+            if rcorrupt is None:
                 for row, ctx in enumerate(cohort.ctxs):
                     ctx.deliver(q, outcomes[row])
             else:
-                rcorrupt = readout.corrupt
                 for row, ctx in enumerate(cohort.ctxs):
                     ctx.deliver(q, rcorrupt(outcomes[row],
                                             cohort.nrngs[row]))
@@ -1430,7 +1468,7 @@ def _compile_batch_dense_node(items: tuple, qpu: SimulatedQPU,
         if code == _I_OPS:
             for op, time_ns in zip(item[1], item[2]):
                 kind, name, qubits, params = op
-                duration = lookup_gate(name).duration_ns
+                duration = duration_of(name, qubits)
                 if kind == "reset":
                     flush_gates()
                     steps.append(reset_step(qubits[0]))
@@ -1707,13 +1745,14 @@ class TraceCache:
         state = qpu.state
         measure = state.measure
         fuse = self.config.trace_cache_dense_fusion
+        width = self.config.fuse_max_qubits
         ctx = _ReplayContext(self.config)
         delivered = ctx.delivered
         outcomes = ctx.outcomes
         while True:
             self._touch(node)
             ctx.skip_ops += node.devops
-            for item in node.program(state, fuse):
+            for item in node.program(state, fuse, max_qubits=width):
                 code = item[0]
                 if code == _I_OPS:
                     item[1]()
@@ -1746,6 +1785,7 @@ class TraceCache:
         both rngs are already live at the frontier.
         """
         fuse = self.config.trace_cache_dense_fusion
+        width = self.config.fuse_max_qubits
         ctx = self._dense_ctx
         if ctx is None:
             ctx = self._dense_ctx = _ReplayContext(self.config)
@@ -1755,7 +1795,8 @@ class TraceCache:
         while True:
             self._touch(node)
             ctx.skip_ops += node.devops
-            for step in node.dense_program(qpu, parent, fuse, ctx):
+            for step in node.dense_program(qpu, parent, fuse, ctx,
+                                           max_qubits=width):
                 step()
             nxt = self._epilogue(node, ctx)
             if nxt is _HIT:
@@ -1796,7 +1837,7 @@ class TraceCache:
         while True:
             self._touch(node)
             ctx.skip_ops += node.devops
-            for step in node.device_program():
+            for step in node.device_program(qpu.profile):
                 code = step[0]
                 # The noise/decay/window hooks below run
                 # unconditionally, mirroring SimulatedQPU exactly:
@@ -1815,7 +1856,8 @@ class TraceCache:
                     _c, time_ns, qubit, duration = step
                     qpu._decay_idle(time_ns, (qubit,))
                     busy[qubit] = time_ns + duration
-                    value = noise.corrupt_readout(state.measure(qubit))
+                    value = noise.corrupt_readout(state.measure(qubit),
+                                                  qubit)
                     delivered[qubit] = value
                     outcomes.append(value)
                 elif code == _DV_RESET:
@@ -1868,7 +1910,7 @@ class TraceCache:
                 elif code == _S_MEAS_D:
                     raw = ((r & op[2]).bit_count() + op[3]) & 1
                     rng()
-                    value = corrupt(raw)
+                    value = corrupt(raw, op[1])
                     delivered[op[1]] = value
                     outcomes.append(value)
                 elif code == _S_MEAS_R:
@@ -1884,7 +1926,7 @@ class TraceCache:
                         r |= 1 << pivot
                     else:
                         r &= ~(1 << pivot)
-                    value = corrupt(raw)
+                    value = corrupt(raw, qubit)
                     delivered[qubit] = value
                     outcomes.append(value)
                 elif code == _S_NOISE:
@@ -2073,9 +2115,6 @@ class TraceCache:
         state: StabilizerState = qpu.state
         noise = qpu.noise
         readout = noise.readout
-        if readout is not None:
-            p0_given_1, p1_given_0 = (readout.p0_given_1,
-                                      readout.p1_given_0)
         width = len(seeds)
         words = (width + 63) >> 6
         planes = SignBitPlanes(2 * state.n_qubits + 1, width)
@@ -2132,6 +2171,12 @@ class TraceCache:
                     if readout is None:
                         out_int = raw_int & cmask_int
                     else:
+                        # Per-qubit readout calibration resolves at
+                        # the measurement site (identity on the
+                        # uniform channel).
+                        site = readout.for_qubit(qubit)
+                        p0_given_1 = site.p0_given_1
+                        p1_given_0 = site.p1_given_0
                         out_int = 0
                         for slot in slots:
                             bit = (raw_int >> slot) & 1
@@ -2158,6 +2203,9 @@ class TraceCache:
                     if readout is None:
                         out_int = raw_int
                     else:
+                        site = readout.for_qubit(qubit)
+                        p0_given_1 = site.p0_given_1
+                        p1_given_0 = site.p1_given_0
                         out_int = 0
                         for slot in slots:
                             bit = (raw_int >> slot) & 1
@@ -2328,6 +2376,7 @@ class TraceCache:
         if batch is None:
             return None
         fuse = self.config.trace_cache_dense_fusion
+        width = self.config.fuse_max_qubits
         cohort = _BatchCohort(
             batch, list(range(len(seeds))),
             [_ReplayContext(self.config) for _ in seeds],
@@ -2342,7 +2391,8 @@ class TraceCache:
             node, parent, cohort = stack.pop()
             self._touch(node)
             try:
-                program = node.batch_dense_program(qpu, parent, fuse)
+                program = node.batch_dense_program(qpu, parent, fuse,
+                                                   max_qubits=width)
             except _UnbatchableNode:
                 self.serial_fallbacks += len(cohort.slots)
                 continue

@@ -36,9 +36,12 @@ from repro.qpu.device import (AppliedOperation, PRNGQPU, QPUBase,
                               SimulatedQPU, StabilizerQPU,
                               StateVectorQPU)
 from repro.qpu.noise import (DecoherenceNoise, DepolarizingNoise,
-                             NoiseModel, PauliChannel, ReadoutError,
-                             ZZCrosstalk, ideal_noise_model,
-                             paper_noise_model)
+                             NoiseModel, PairZZCrosstalk, PauliChannel,
+                             QubitDecoherenceNoise, QubitReadoutError,
+                             ReadoutError, ZZCrosstalk,
+                             ideal_noise_model, paper_noise_model)
+from repro.qpu.profile import (DeviceProfile, QubitCalibration,
+                               load_device_profile)
 from repro.qpu.readout import DeterministicReadout, PRNGReadout
 from repro.qpu.stabilizer import StabilizerState
 from repro.qpu.statevector import DENSE_QUBIT_LIMIT, StateVector
@@ -46,13 +49,14 @@ from repro.qpu.topology import Topology, full_topology, linear_topology
 
 __all__ = [
     "AppliedOperation", "DENSE_QUBIT_LIMIT", "DensityMatrix",
-    "DepolarizingNoise", "DeterministicReadout",
+    "DepolarizingNoise", "DeterministicReadout", "DeviceProfile",
     "DecoherenceNoise", "NoiseModel", "NonCliffordGateError",
-    "PauliChannel", "PRNGQPU",
-    "PRNGReadout", "QPUBase", "ReadoutError", "SimulatedQPU",
-    "SimulationBackend", "StabilizerQPU", "StabilizerState",
-    "StateVector", "StateVectorQPU", "Topology", "ZZCrosstalk",
-    "backend_names", "full_topology", "ideal_noise_model",
-    "linear_topology", "make_backend", "paper_noise_model",
-    "register_backend",
+    "PairZZCrosstalk", "PauliChannel", "PRNGQPU",
+    "PRNGReadout", "QPUBase", "QubitCalibration",
+    "QubitDecoherenceNoise", "QubitReadoutError", "ReadoutError",
+    "SimulatedQPU", "SimulationBackend", "StabilizerQPU",
+    "StabilizerState", "StateVector", "StateVectorQPU", "Topology",
+    "ZZCrosstalk", "backend_names", "full_topology",
+    "ideal_noise_model", "linear_topology", "load_device_profile",
+    "make_backend", "paper_noise_model", "register_backend",
 ]

@@ -162,8 +162,9 @@ class SimulationBackend(abc.ABC):
         frozen = tuple(ops)
         return lambda: self.apply_ops(frozen)
 
-    def compile_fused_ops(self,
-                          ops: Sequence[BackendOp]) -> Callable[[], None]:
+    def compile_fused_ops(self, ops: Sequence[BackendOp],
+                          max_qubits: int | None = None
+                          ) -> Callable[[], None]:
         """Compile an operation stream, fusing gates where profitable.
 
         Like :meth:`compile_ops` but with a *relaxed numeric contract*:

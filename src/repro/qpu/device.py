@@ -41,10 +41,18 @@ class AppliedOperation:
 
 
 class QPUBase:
-    """Shared bookkeeping: operation log and timing checks."""
+    """Shared bookkeeping: operation log and timing checks.
 
-    def __init__(self, topology: Topology) -> None:
+    ``profile`` is an optional calibrated
+    :class:`~repro.qpu.profile.DeviceProfile`; when set, every duration
+    the bookkeeping uses — busy intervals, timing-violation checks,
+    drive windows — comes from :meth:`gate_duration_ns`'s per-qubit
+    resolution instead of the uniform gate library.
+    """
+
+    def __init__(self, topology: Topology, profile=None) -> None:
         self.topology = topology
+        self.profile = profile
         self.operation_log: list[AppliedOperation] = []
         self._busy_until: dict[int, int] = {}
         self.timing_violations: list[AppliedOperation] = []
@@ -53,12 +61,18 @@ class QPUBase:
     def n_qubits(self) -> int:
         return self.topology.n_qubits
 
+    def gate_duration_ns(self, gate: str, qubits: tuple[int, ...]) -> int:
+        """Duration of ``gate`` on ``qubits`` (profile-calibrated)."""
+        if self.profile is not None:
+            return self.profile.gate_duration_ns(gate, qubits)
+        return lookup_gate(gate).duration_ns
+
     def _record(self, time_ns: int, gate: str, qubits: tuple[int, ...],
                 params: tuple[float, ...] = ()) -> AppliedOperation:
         operation = AppliedOperation(time_ns, gate, tuple(qubits),
                                      tuple(params))
         self.operation_log.append(operation)
-        duration = lookup_gate(gate).duration_ns
+        duration = self.gate_duration_ns(gate, operation.qubits)
         for qubit in operation.qubits:
             if self._busy_until.get(qubit, 0) > time_ns:
                 # An operation arrived while the qubit was still
@@ -94,10 +108,16 @@ class SimulatedQPU(QPUBase):
     def __init__(self, topology: Topology | int,
                  noise: NoiseModel | None = None,
                  seed: int | None = None,
-                 backend: str = "statevector") -> None:
+                 backend: str = "statevector",
+                 profile=None) -> None:
         if isinstance(topology, int):
             topology = full_topology(topology)
-        super().__init__(topology)
+        if profile is not None:
+            # Compose calibrated per-qubit/per-pair channels over the
+            # supplied model (see DeviceProfile.noise_model) once, at
+            # construction — restart() reseeds the composed model.
+            noise = profile.noise_model(base=noise, seed=seed)
+        super().__init__(topology, profile=profile)
         self.noise = noise or ideal_noise_model()
         self.backend_name = backend
         self._rng = random.Random(seed)
@@ -132,22 +152,30 @@ class SimulatedQPU(QPUBase):
 
     def _note_window(self, time_ns: int, qubits: tuple[int, ...],
                      duration: int) -> None:
-        """Record drive windows and apply ZZ for simultaneous overlap."""
+        """Record drive windows and apply per-pair ZZ for overlaps.
+
+        A window whose drive stopped at or before ``time_ns`` can
+        never overlap this or any later gate (issue times are
+        monotone per qubit), so it is pruned first — the dict holds
+        only open windows, not every qubit ever driven.
+
+        Each coupled pair touching the gate accumulates its *own*
+        overlap's conditional phase (``ZZCrosstalk.window_events`` is
+        the single shared implementation), never one collapsed
+        ``max``-overlap event for the whole driven set.
+        """
+        windows = self._windows
+        expired = [qubit for qubit, (_, stop) in windows.items()
+                   if stop <= time_ns]
+        for qubit in expired:
+            del windows[qubit]
         end = time_ns + duration
-        driven_now = set(qubits)
-        overlap_ns = 0
-        for other, (start, stop) in self._windows.items():
-            if other in driven_now:
-                continue
-            overlap = min(end, stop) - max(time_ns, start)
-            if overlap > 0:
-                driven_now.add(other)
-                overlap_ns = max(overlap_ns, overlap)
+        events = self.noise.zz_window_events(windows, time_ns, end,
+                                             qubits)
         for qubit in qubits:
-            self._windows[qubit] = (time_ns, end)
-        if len(driven_now) >= 2 and overlap_ns > 0:
-            self.noise.after_simultaneous_window(self.state, driven_now,
-                                                 overlap_ns)
+            windows[qubit] = (time_ns, end)
+        if events:
+            self.noise.apply_zz_events(self.state, events)
 
     def _decay_idle(self, time_ns: int, qubits: tuple[int, ...]) -> None:
         """T1/T2 decay for the idle gap since each qubit's last op.
@@ -177,7 +205,8 @@ class SimulatedQPU(QPUBase):
             raise ValueError("use measure() for measurement operations")
         self.state.apply_gate(gate, qubits, tuple(params))
         self.noise.after_gate(self.state, gate, qubits)
-        self._note_window(time_ns, qubits, definition.duration_ns)
+        self._note_window(time_ns, qubits,
+                          self.gate_duration_ns(gate, qubits))
 
     def measure(self, time_ns: int, qubit: int) -> int:
         self._decay_idle(time_ns, (qubit,))
@@ -185,7 +214,7 @@ class SimulatedQPU(QPUBase):
         self.measure_ground_probabilities[qubit] = (
             1.0 - self.state.probability_of_one(qubit))
         outcome = self.state.measure(qubit)
-        return self.noise.corrupt_readout(outcome)
+        return self.noise.corrupt_readout(outcome, qubit)
 
     def reset(self, time_ns: int, qubit: int) -> None:
         self.apply_gate(time_ns, "reset", (qubit,))
@@ -196,9 +225,10 @@ class StateVectorQPU(SimulatedQPU):
 
     def __init__(self, topology: Topology | int,
                  noise: NoiseModel | None = None,
-                 seed: int | None = None) -> None:
+                 seed: int | None = None,
+                 profile=None) -> None:
         super().__init__(topology, noise=noise, seed=seed,
-                         backend="statevector")
+                         backend="statevector", profile=profile)
 
 
 class StabilizerQPU(SimulatedQPU):
@@ -206,9 +236,10 @@ class StabilizerQPU(SimulatedQPU):
 
     def __init__(self, topology: Topology | int,
                  noise: NoiseModel | None = None,
-                 seed: int | None = None) -> None:
+                 seed: int | None = None,
+                 profile=None) -> None:
         super().__init__(topology, noise=noise, seed=seed,
-                         backend="stabilizer")
+                         backend="stabilizer", profile=profile)
 
 
 class PRNGQPU(QPUBase):

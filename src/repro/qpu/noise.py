@@ -133,6 +133,77 @@ class ZZCrosstalk:
         """Phase (radians) accumulated over ``duration_ns``."""
         return 2.0 * math.pi * self.zeta_hz * duration_ns * 1e-9
 
+    def zeta_for(self, left: int, right: int) -> float:
+        """ZZ coefficient (Hz) of one coupling pair.
+
+        The uniform channel ignores the pair;
+        :class:`PairZZCrosstalk` overrides this with calibrated
+        per-pair strengths.
+        """
+        return self.zeta_hz
+
+    def pair_unitary(self, left: int, right: int,
+                     duration_ns: float) -> "np.ndarray | None":
+        """``diag(1, 1, 1, e^{i phi})`` for one pair's overlap window.
+
+        ``None`` when the accumulated phase is exactly zero (the event
+        can be elided entirely, which keeps compiled replay free of
+        no-op unitaries).
+        """
+        phi = 2.0 * math.pi * self.zeta_for(left, right) \
+            * duration_ns * 1e-9
+        if phi == 0.0:
+            return None
+        return np.diag([1.0, 1.0, 1.0,
+                        np.exp(1j * phi)]).astype(complex)
+
+    def apply_pair(self, state: StateVector, left: int, right: int,
+                   duration_ns: float) -> None:
+        """Apply one pair's conditional phase for an overlap window."""
+        matrix = self.pair_unitary(left, right, duration_ns)
+        if matrix is not None:
+            state.apply_unitary(matrix, (left, right))
+
+    def window_events(self, windows: dict, time_ns: int, end: int,
+                      gate_qubits: tuple[int, ...]) -> list:
+        """Per-pair ``(left, right, overlap_ns)`` events for one drive.
+
+        ``windows`` maps qubit -> ``(start, stop)`` of its still-open
+        drive window; the gate being issued drives ``gate_qubits``
+        over ``[time_ns, end)``.  A coupled pair accumulates
+        conditional phase when one of its qubits is in the gate while
+        the other's window overlaps the gate's — each pair with its
+        *own* overlap duration, never a collapsed maximum over the
+        whole driven set.  Pairs internal to one gate are skipped (a
+        calibrated two-qubit gate already includes its static ZZ), and
+        pairs not touching the current gate are skipped too: their
+        interaction was accounted when *their* later-driven qubit was
+        issued.  Events are emitted in the channel's declared pair
+        order so every execution path — cycle-accurate, compiled
+        dense, batched — applies the unitaries identically.
+
+        This is the single implementation all paths share; see
+        ``SimulatedQPU._note_window`` and the trace-cache dense
+        compilers.
+        """
+        events = []
+        for left, right in self.pairs:
+            if left in gate_qubits:
+                if right in gate_qubits:
+                    continue
+                other = right
+            elif right in gate_qubits:
+                other = left
+            else:
+                continue
+            window = windows.get(other)
+            if window is None:
+                continue
+            overlap = min(end, window[1]) - max(time_ns, window[0])
+            if overlap > 0:
+                events.append((left, right, overlap))
+        return events
+
     def apply_simultaneous(self, state: StateVector,
                            driven: set[int], duration_ns: float) -> None:
         """Apply the conditional phase for a simultaneous-drive window."""
@@ -143,6 +214,31 @@ class ZZCrosstalk:
         for left, right in self.pairs:
             if left in driven and right in driven:
                 state.apply_unitary(matrix, (left, right))
+
+
+@dataclass
+class PairZZCrosstalk(ZZCrosstalk):
+    """ZZ crosstalk with calibrated per-pair coefficients.
+
+    ``pair_zeta_hz`` holds ``(left, right, zeta_hz)`` triples from a
+    :class:`~repro.qpu.profile.DeviceProfile`; pairs not listed fall
+    back to the uniform ``zeta_hz``.  Declared as a *subclass* so the
+    name-based :class:`NoiseModel` allow-lists admit it unchanged, and
+    so artifact fingerprints (which render the channel's class name
+    and fields) change automatically when a profile swaps it in.
+    """
+
+    pair_zeta_hz: tuple[tuple[int, int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        table = {}
+        for left, right, zeta in self.pair_zeta_hz:
+            table[(left, right)] = zeta
+            table[(right, left)] = zeta
+        self._pair_table = table
+
+    def zeta_for(self, left: int, right: int) -> float:
+        return self._pair_table.get((left, right), self.zeta_hz)
 
 
 @dataclass
@@ -192,6 +288,41 @@ class DecoherenceNoise:
         if rng.random() < self.dephasing_probability(duration_ns):
             state.apply_gate("z", (qubit,))
 
+    def for_qubit(self, qubit: int) -> "DecoherenceNoise":
+        """The channel governing ``qubit`` (uniform: always ``self``)."""
+        return self
+
+
+@dataclass
+class QubitDecoherenceNoise(DecoherenceNoise):
+    """T1/T2 decay with calibrated per-qubit coherence times.
+
+    ``per_qubit`` holds ``(qubit, t1_us, t2_us)`` triples from a
+    :class:`~repro.qpu.profile.DeviceProfile`; unlisted qubits use the
+    inherited ``t1_us``/``t2_us`` defaults.  A subclass so the
+    name-based allow-lists and fingerprints pick it up unchanged —
+    note it stays excluded from batched replay exactly like its base
+    (``is_batch_compilable`` gates on the *field*, not the class).
+    """
+
+    per_qubit: tuple[tuple[int, float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._table = {qubit: DecoherenceNoise(t1_us=t1, t2_us=t2)
+                       for qubit, t1, t2 in self.per_qubit}
+
+    def for_qubit(self, qubit: int) -> DecoherenceNoise:
+        return self._table.get(qubit, self)
+
+    def apply_idle(self, state: StateVector, qubit: int,
+                   duration_ns: float, rng: random.Random) -> None:
+        channel = self._table.get(qubit)
+        if channel is None:
+            super().apply_idle(state, qubit, duration_ns, rng)
+        else:
+            channel.apply_idle(state, qubit, duration_ns, rng)
+
 
 @dataclass
 class ReadoutError:
@@ -211,6 +342,42 @@ class ReadoutError:
         if rng.random() < flip:
             return 1 - outcome
         return outcome
+
+    def for_qubit(self, qubit: int | None) -> "ReadoutError":
+        """The flip probabilities governing ``qubit``'s readout line.
+
+        The uniform channel returns itself;
+        :class:`QubitReadoutError` resolves the calibrated per-qubit
+        entry.  Replays resolve this per measurement *site* (the qubit
+        is known at compile/replay time), and every resolved channel
+        draws exactly one ``rng.random()`` per measurement, keeping
+        the positional noise-rng contract intact.
+        """
+        return self
+
+
+@dataclass
+class QubitReadoutError(ReadoutError):
+    """Readout error with calibrated per-qubit flip probabilities.
+
+    ``per_qubit`` holds ``(qubit, p0_given_1, p1_given_0)`` triples
+    from a :class:`~repro.qpu.profile.DeviceProfile`; unlisted qubits
+    use the inherited uniform probabilities.  A subclass, so the
+    fail-closed allow-lists (``is_pauli_only`` keeps sign-trace replay
+    available) and artifact fingerprints admit it without edits.
+    """
+
+    per_qubit: tuple[tuple[int, float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._table = {qubit: ReadoutError(p0_given_1=p0, p1_given_0=p1)
+                       for qubit, p0, p1 in self.per_qubit}
+
+    def for_qubit(self, qubit: int | None) -> ReadoutError:
+        if qubit is None:
+            return self
+        return self._table.get(qubit, self)
 
 
 @dataclass
@@ -374,17 +541,31 @@ class NoiseModel:
         return tuple(channel.apply
                      for _kind, channel in self.gate_site_specs(qubits))
 
-    def after_simultaneous_window(self, state: StateVector,
-                                  driven: set[int],
-                                  duration_ns: float) -> None:
-        """Inject ZZ error for a window where ``driven`` qubits overlap."""
-        if self.zz is not None and len(driven) >= 2:
-            self.zz.apply_simultaneous(state, driven, duration_ns)
+    def zz_window_events(self, windows: dict, time_ns: int, end: int,
+                         gate_qubits: tuple[int, ...]) -> list:
+        """Per-pair ZZ events for a gate driven over ``[time_ns, end)``.
 
-    def corrupt_readout(self, outcome: int) -> int:
+        Delegates to :meth:`ZZCrosstalk.window_events` — the single
+        shared implementation of the drive-window overlap accounting —
+        so the cycle-accurate device loop and every compiled replay
+        derive their events from identical logic.  Empty without a ZZ
+        channel.
+        """
+        if self.zz is None:
+            return []
+        return self.zz.window_events(windows, time_ns, end, gate_qubits)
+
+    def apply_zz_events(self, state: StateVector, events: list) -> None:
+        """Apply per-pair conditional phases from :meth:`zz_window_events`."""
+        zz = self.zz
+        for left, right, overlap_ns in events:
+            zz.apply_pair(state, left, right, overlap_ns)
+
+    def corrupt_readout(self, outcome: int,
+                        qubit: int | None = None) -> int:
         if self.readout is None:
             return outcome
-        return self.readout.corrupt(outcome, self.rng)
+        return self.readout.for_qubit(qubit).corrupt(outcome, self.rng)
 
     def idle_decay(self, state: StateVector, qubit: int,
                    duration_ns: float) -> None:

@@ -402,21 +402,26 @@ class StateVector(SimulationBackend):
 
         return apply
 
-    def compile_fused_ops(self,
-                          ops: Sequence[BackendOp]) -> Callable[[], None]:
+    def compile_fused_ops(self, ops: Sequence[BackendOp],
+                          max_qubits: int | None = None
+                          ) -> Callable[[], None]:
         """Compile an op stream with GEMM fusion (:func:`fuse_ops`).
 
         Consecutive unitaries within the stream are precomposed into
         block operators, so a decision-free gate run replays as a
         handful of batched matmuls (through precompiled
         :meth:`block_applier` closures) instead of one dispatch per
-        gate.  Fusion never consumes rng draws, but amplitudes may
-        differ from :meth:`compile_ops` in the last ulp — outcome
-        identity is almost-sure, not structural; see the base-class
-        contract for the precise statement.
+        gate.  ``max_qubits`` caps the fused block width (default
+        :data:`FUSE_MAX_QUBITS`; the backend router widens it for
+        small registers).  Fusion never consumes rng draws, but
+        amplitudes may differ from :meth:`compile_ops` in the last
+        ulp — outcome identity is almost-sure, not structural; see the
+        base-class contract for the precise statement.
         """
+        if max_qubits is None:
+            max_qubits = FUSE_MAX_QUBITS
         steps: list[Callable[[], None]] = []
-        for step in fuse_ops(ops):
+        for step in fuse_ops(ops, max_qubits=max_qubits):
             if step[0] == "reset":
                 qubit = step[1]
                 steps.append(lambda q=qubit: self.reset(q))

@@ -66,7 +66,9 @@ class Job:
     def summary(self) -> dict:
         return {"id": self.id, "key": self.key, "status": self.status,
                 "shots": self.spec.shots, "shots_done": self.shots_done,
-                "retries": self.retries}
+                "retries": self.retries,
+                "backend": self.spec.resolved_backend,
+                "routing": self.spec.routing}
 
 
 class JobManager:
@@ -256,6 +258,10 @@ class JobManager:
         if shard_result["trace_cache"] is not None:
             entry["trace_cache"] = shard_result["trace_cache"]
             entry["engine_key"] = shard_result["engine_key"][:12]
+        if shard_result.get("backend") is not None:
+            entry["backend"] = shard_result["backend"]
+        if shard_result.get("routing") is not None:
+            entry["routing"] = shard_result["routing"]
         # Older workers (pre-artifact payloads) omit these keys.
         if shard_result.get("artifact_cache") is not None:
             entry["artifact_cache"] = shard_result["artifact_cache"]

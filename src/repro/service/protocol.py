@@ -35,10 +35,13 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.qcp.config import QCPConfig
+from repro.qcp.routing import route_backend
 from repro.qcp.shots import ShotResult, program_has_measurement
+from repro.qcp.system import infer_qubit_count
 from repro.qpu.noise import (DecoherenceNoise, DepolarizingNoise,
                              NoiseModel, PauliChannel, ReadoutError,
                              ZZCrosstalk)
+from repro.qpu.profile import DeviceProfile
 
 #: Protocol revision announced by the server and checked by clients.
 PROTOCOL_VERSION = 1
@@ -46,7 +49,10 @@ PROTOCOL_VERSION = 1
 #: Largest accepted request line (bytes); also the asyncio stream limit.
 MAX_LINE_BYTES = 4 * 1024 * 1024
 
-BACKENDS = ("statevector", "stabilizer")
+#: ``"auto"`` routes per program (see :mod:`repro.qcp.routing`); the
+#: decision is resolved at validation time and carried in the job's
+#: identity, so two jobs that route differently never share an engine.
+BACKENDS = ("statevector", "stabilizer", "auto")
 
 #: Noise-spec channel name -> channel class.  Parameters are passed as
 #: keyword arguments, e.g. ``{"pauli": {"px": 1e-3},
@@ -64,7 +70,7 @@ _CONFIG_FIELDS = frozenset(QCPConfig.__dataclass_fields__)
 
 _SPEC_FIELDS = frozenset({
     "program", "shots", "seed", "backend", "config", "noise",
-    "n_processors", "timeout_s", "shard_shots", "fault",
+    "n_processors", "timeout_s", "shard_shots", "fault", "profile",
 })
 
 
@@ -145,6 +151,19 @@ class JobSpec:
     n_processors: int = 1
     timeout_s: float | None = None
     shard_shots: int | None = None
+    #: Inline calibrated device profile (the JSON object a
+    #: :class:`~repro.qpu.profile.DeviceProfile` parses).  Inline
+    #: because workers share no filesystem contract with clients —
+    #: the config override ``device_profile`` (a local path) is
+    #: rejected.  Part of both identity keys via its *canonical
+    #: content* rendering.
+    profile: dict | None = None
+    #: The resolved ``"auto"`` routing decision
+    #: (:meth:`~repro.qcp.routing.RoutingDecision.as_dict`), computed
+    #: at validation time; ``None`` for explicit backends.  Derived
+    #: from the other fields, so it is excluded from the identity
+    #: keys — the *routed* backend they contain already pins it.
+    routing: dict | None = None
     #: Test-only fault injection consumed by the workers (see
     #: ``repro.service.workers``); never part of the job identity.
     fault: dict | None = None
@@ -192,14 +211,32 @@ class JobSpec:
             raise ProtocolError(
                 "bad_config",
                 f"unknown QCPConfig fields: {sorted(unknown)}")
+        if "device_profile" in config:
+            raise ProtocolError(
+                "bad_config",
+                "'device_profile' is a worker-local filesystem path "
+                "and cannot be a config override; send the calibration "
+                "inline via the job's 'profile' field instead")
         try:
             QCPConfig().with_(**config)
         except (TypeError, ValueError) as exc:
             raise ProtocolError("bad_config", str(exc)) from exc
+        profile = raw.get("profile")
+        profile_obj = None
+        if profile is not None:
+            if not isinstance(profile, dict):
+                raise ProtocolError(
+                    "bad_profile", "'profile' must be an object")
+            try:
+                profile_obj = DeviceProfile.from_dict(profile)
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(
+                    "bad_profile", f"invalid device profile: {exc}"
+                ) from exc
         noise = raw.get("noise")
         if noise is not None and not isinstance(noise, dict):
             raise ProtocolError("bad_noise", "'noise' must be an object")
-        build_noise_model(noise)
+        noise_model = build_noise_model(noise)
         n_processors = raw.get("n_processors", 1)
         if not isinstance(n_processors, int) or n_processors < 1:
             raise ProtocolError(
@@ -232,17 +269,36 @@ class JobSpec:
                 "program never measures a qubit: every shot would "
                 "produce the empty outcome, so there is no histogram "
                 "to sweep — add a qmeas (or OpenQASM measure)")
+        routing = None
+        requested = (backend if backend is not None
+                     else config.get("qpu_backend",
+                                     QCPConfig.qpu_backend))
+        if requested == "auto":
+            # Resolve once, on the front end: workers reproduce the
+            # same decision deterministically, but the identity keys
+            # must carry the *routed* backend so Clifford and
+            # non-Clifford jobs never collide on one engine.
+            preview = (profile_obj.noise_model(base=noise_model)
+                       if profile_obj is not None else noise_model)
+            routing = route_backend(
+                parsed, infer_qubit_count(parsed), noise=preview,
+                profile=profile_obj).as_dict()
         return cls(program=program, shots=shots, seed=seed,
                    backend=backend, config=dict(config), noise=noise,
                    n_processors=n_processors, timeout_s=timeout_s,
-                   shard_shots=shard_shots, fault=fault)
+                   shard_shots=shard_shots, profile=profile,
+                   routing=routing, fault=fault)
 
     @property
     def resolved_backend(self) -> str:
-        """The backend the engine will actually use."""
-        if self.backend is not None:
-            return self.backend
-        return self.config.get("qpu_backend", QCPConfig.qpu_backend)
+        """The backend the engine will actually use (never ``"auto"``)."""
+        requested = self.backend
+        if requested is None:
+            requested = self.config.get("qpu_backend",
+                                        QCPConfig.qpu_backend)
+        if requested == "auto" and self.routing is not None:
+            return self.routing["backend"]
+        return requested
 
     def _engine_identity(self) -> dict:
         return {
@@ -251,6 +307,9 @@ class JobSpec:
             "config": self.config,
             "noise": self.noise,
             "n_processors": self.n_processors,
+            "profile": (None if self.profile is None else
+                        DeviceProfile.from_dict(self.profile)
+                        .canonical()),
         }
 
     def engine_key(self) -> str:
@@ -269,11 +328,17 @@ class JobSpec:
             "program": self.program,
             "shots": self.shots,
             "seed": self.seed,
+            # Raw, not routed: a worker engine given "auto" re-derives
+            # the same decision (pure function of the payload) *and*
+            # applies its adaptive fusion width, which a pre-resolved
+            # name would lose.
             "backend": self.backend,
             "config": self.config,
             "noise": self.noise,
             "n_processors": self.n_processors,
             "engine_key": self.engine_key(),
+            "profile": self.profile,
+            "routing": self.routing,
             "fault": self.fault,
         }
 

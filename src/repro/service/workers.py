@@ -36,6 +36,7 @@ from collections import OrderedDict
 
 from repro.qcp.config import QCPConfig
 from repro.qcp.shots import ShotEngine
+from repro.qpu.profile import DeviceProfile
 from repro.service.protocol import build_noise_model, program_from_text
 
 #: Engines cached per worker process, newest-used last.
@@ -102,12 +103,15 @@ def _build_engine(payload: dict) -> ShotEngine:
         # (the directory cannot change results), so all workers of a
         # pool share one artifact directory transparently.
         config = config.with_(artifact_cache_dir=_ARTIFACT_CACHE_DIR)
+    profile = payload.get("profile")
     return ShotEngine(
         program_from_text(payload["program"]),
         config=config,
         n_processors=payload["n_processors"],
         backend=payload["backend"] or config.qpu_backend,
-        noise=build_noise_model(payload["noise"]))
+        noise=build_noise_model(payload["noise"]),
+        profile=(DeviceProfile.from_dict(profile)
+                 if profile is not None else None))
 
 
 def _engine_for(payload: dict) -> ShotEngine:
@@ -162,6 +166,9 @@ def run_shard(payload: dict, start: int, stop: int) -> dict:
     return {"start": start, "stop": stop,
             "counts": shard.counts, "total_ns": shard.total_ns,
             "pid": os.getpid(), "engine_key": payload["engine_key"],
+            "backend": engine.backend,
+            "routing": (engine.routing.as_dict()
+                        if engine.routing is not None else None),
             "trace_cache": stats,
             "artifact_cache": (artifacts.stats()
                                if artifacts is not None else None),

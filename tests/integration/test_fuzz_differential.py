@@ -54,10 +54,15 @@ def pauli_noise() -> NoiseModel:
 
 
 def dense_noise() -> NoiseModel:
+    # Chained ZZ pairs: when three or four qubits drive concurrently,
+    # several pairs overlap in the *same* window, each with its own
+    # overlap length — the per-pair accounting the replay modes must
+    # reproduce exactly (a collapsed single-event model diverges here).
     return NoiseModel(
         depolarizing=DepolarizingNoise(p=0.02),
         two_qubit_depolarizing=DepolarizingNoise(p=0.04),
-        zz=ZZCrosstalk(zeta_hz=2.5e6, pairs=((0, 1), (2, 3))),
+        zz=ZZCrosstalk(zeta_hz=2.5e6,
+                       pairs=((0, 1), (1, 2), (2, 3), (0, 3))),
         decoherence=DecoherenceNoise(t1_us=60.0, t2_us=45.0),
         readout=ReadoutError(p0_given_1=0.05, p1_given_0=0.03))
 

@@ -227,7 +227,8 @@ def test_schema_bump_falls_back_cold(tmp_path, monkeypatch):
     # A future release bumps the schema: the old file must be both
     # unfindable (key includes the version) and, when renamed onto the
     # new key, rejected by the header check.
-    monkeypatch.setattr(artifacts_mod, "ARTIFACT_SCHEMA_VERSION", 2)
+    monkeypatch.setattr(artifacts_mod, "ARTIFACT_SCHEMA_VERSION",
+                    artifacts_mod.ARTIFACT_SCHEMA_VERSION + 1)
     probe = make_engine(tmp_path)
     assert probe.artifacts.key != os.path.basename(path)[:-len(
         ARTIFACT_SUFFIX)]

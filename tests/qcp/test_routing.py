@@ -1,0 +1,350 @@
+"""Automatic backend routing and profile-aware compile identity.
+
+Three contracts in one module:
+
+* the :func:`~repro.qcp.routing.route_backend` decision table —
+  Clifford analysis, noise compatibility, profile pins, adaptive
+  fusion widths;
+* fail-closed backend construction — unknown names (including a raw
+  ``"auto"`` that escaped resolution) raise naming every registered
+  backend;
+* calibrated-profile compile identity — the profile's *content* is
+  part of :func:`~repro.qcp.artifacts.artifact_fingerprint`, so one
+  edited T1 invalidates artifacts while a file rename never does —
+  plus the acceptance bit-identity matrix: a calibrated noisy sweep
+  agrees across cycle-accurate x trace-cache x batched x
+  artifact-warm execution, histogram and total_ns alike.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import DependencyMode
+from repro.qcp import ShotEngine, scalar_config
+from repro.qcp.artifacts import artifact_fingerprint
+from repro.qcp.routing import (ADAPTIVE_FUSION_LIMIT, RoutingDecision,
+                               is_clifford_program, route_backend)
+from repro.qpu.backend import backend_names, make_backend
+from repro.qpu.noise import (NoiseModel, PauliChannel, ZZCrosstalk,
+                             ideal_noise_model)
+from repro.qpu.profile import DeviceProfile
+
+
+def clifford_program(n_qubits=2):
+    builder = ProgramBuilder("clifford")
+    builder.qop("h", [0], timing=2)
+    for qubit in range(1, n_qubits):
+        builder.qop("cnot", [qubit - 1, qubit], timing=2)
+    for qubit in range(n_qubits):
+        builder.qmeas(qubit, timing=2)
+    builder.halt()
+    return builder.build()
+
+
+def t_gate_program():
+    builder = ProgramBuilder("magic")
+    builder.qop("h", [0], timing=2)
+    builder.qop("t", [0], timing=2)
+    builder.qmeas(0, timing=2)
+    builder.halt()
+    return builder.build()
+
+
+def parametric_program():
+    builder = ProgramBuilder("rotation")
+    builder.qop("rz", [0], timing=2, params=[0.125])
+    builder.qmeas(0, timing=2)
+    builder.halt()
+    return builder.build()
+
+
+def mrce_t_program():
+    builder = ProgramBuilder("mrce-t")
+    builder.qop("h", [0], timing=2)
+    builder.qmeas(0, timing=2)
+    builder.mrce(0, 1, op_if_zero="i", op_if_one="t")
+    builder.qmeas(1, timing=2)
+    builder.halt()
+    return builder.build()
+
+
+def zz_noise():
+    return NoiseModel(zz=ZZCrosstalk(zeta_hz=1e6, pairs=((0, 1),)))
+
+
+class TestDecisionTable:
+    def test_clifford_ideal_routes_stabilizer(self):
+        decision = route_backend(clifford_program(), 2)
+        assert decision.backend == "stabilizer"
+        assert decision.clifford_only
+        assert not decision.forced
+        assert decision.fuse_max_qubits is None
+
+    def test_t_gate_routes_statevector(self):
+        decision = route_backend(t_gate_program(), 1)
+        assert decision.backend == "statevector"
+        assert not decision.clifford_only
+
+    def test_parametric_clifford_angle_routes_statevector(self):
+        # Even an rz whose angle happens to be Clifford: params => dense.
+        assert route_backend(parametric_program(), 1).backend == \
+            "statevector"
+
+    def test_mrce_arm_participates_in_the_analysis(self):
+        assert not is_clifford_program(mrce_t_program())
+        assert route_backend(mrce_t_program(), 2).backend == \
+            "statevector"
+
+    def test_pauli_noise_keeps_stabilizer(self):
+        noise = NoiseModel(pauli=PauliChannel(px=0.01))
+        assert route_backend(clifford_program(), 2,
+                             noise=noise).backend == "stabilizer"
+
+    def test_amplitude_level_noise_forces_statevector(self):
+        decision = route_backend(clifford_program(), 2, noise=zz_noise())
+        assert decision.backend == "statevector"
+        assert decision.clifford_only  # the program itself was fine
+        assert "noise" in decision.reason
+
+    def test_profile_pin_wins_and_is_forced(self):
+        profile = DeviceProfile.from_dict({"name": "pinned",
+                                           "backend": "statevector"})
+        decision = route_backend(clifford_program(), 2, profile=profile)
+        assert decision.backend == "statevector"
+        assert decision.forced
+        assert "pinned" in decision.reason
+
+    @pytest.mark.parametrize("n_qubits,width", [
+        (2, None), (3, None), (4, 4), (5, 5),
+        (ADAPTIVE_FUSION_LIMIT, ADAPTIVE_FUSION_LIMIT),
+        (ADAPTIVE_FUSION_LIMIT + 1, None), (12, None)])
+    def test_adaptive_fusion_width(self, n_qubits, width):
+        decision = route_backend(t_gate_program(), n_qubits)
+        assert decision.backend == "statevector"
+        assert decision.fuse_max_qubits == width
+
+    def test_stabilizer_never_widens_fusion(self):
+        assert route_backend(clifford_program(5), 5) \
+            .fuse_max_qubits is None
+
+    def test_decision_round_trips_to_json(self):
+        decision = route_backend(t_gate_program(), 5)
+        rendered = json.loads(json.dumps(decision.as_dict()))
+        assert RoutingDecision(**rendered) == decision
+
+
+class TestEngineAutoResolution:
+    def test_clifford_engine_resolves_stabilizer(self):
+        engine = ShotEngine(clifford_program(), backend="auto",
+                            n_qubits=2)
+        assert engine.backend == "stabilizer"
+        assert engine.routing is not None
+        assert engine.routing.backend == "stabilizer"
+
+    def test_non_clifford_engine_resolves_statevector_and_widens(self):
+        engine = ShotEngine(t_gate_program(), backend="auto",
+                            n_qubits=5)
+        assert engine.backend == "statevector"
+        assert engine.config.fuse_max_qubits == 5
+
+    def test_explicit_fusion_width_is_not_overridden(self):
+        engine = ShotEngine(
+            t_gate_program(), backend="auto", n_qubits=5,
+            config=scalar_config(fuse_max_qubits=2))
+        assert engine.config.fuse_max_qubits == 2
+
+    def test_explicit_backend_sets_no_routing(self):
+        engine = ShotEngine(clifford_program(), backend="stabilizer",
+                            n_qubits=2)
+        assert engine.routing is None
+
+    def test_auto_matches_explicit_backends_bit_for_bit(self):
+        for program, resolved in ((clifford_program(), "stabilizer"),
+                                  (t_gate_program(), "statevector")):
+            auto = ShotEngine(program, backend="auto", n_qubits=2)
+            explicit = ShotEngine(program, backend=resolved, n_qubits=2)
+            for seed in range(8):
+                assert auto.run_shot(seed) == explicit.run_shot(seed)
+
+
+class TestFailClosedBackends:
+    def test_unknown_backend_names_the_registry(self):
+        with pytest.raises(ValueError) as excinfo:
+            make_backend("tensor-network", 2)
+        for name in backend_names():
+            assert name in str(excinfo.value)
+
+    def test_raw_auto_is_not_a_registered_backend(self):
+        # "auto" must be resolved by the routing layer before any
+        # state is built; reaching make_backend with it is a bug and
+        # fails with the same self-describing error.
+        with pytest.raises(ValueError) as excinfo:
+            make_backend("auto", 2)
+        assert "auto" in str(excinfo.value)
+        for name in backend_names():
+            assert name in str(excinfo.value)
+
+
+PROFILE_DOC = {
+    "name": "identity5q",
+    "defaults": {
+        "t1_us": 60.0, "t2_us": 45.0,
+        "readout": {"p0_given_1": 0.05, "p1_given_0": 0.03},
+        "gates": {"h": 24, "x": 24},
+    },
+    "qubits": {
+        "0": {"t1_us": 38.0, "gates": {"h": 32}},
+        "1": {"readout": {"p0_given_1": 0.11}},
+        "2": {"t2_us": 30.0},
+    },
+    "couplings": [
+        {"pair": [0, 1], "zz_khz": 2600.0},
+        {"pair": [1, 2], "zz_khz": 1400.0},
+        {"pair": [0, 2], "zz_khz": 900.0},
+    ],
+}
+
+
+def fingerprint_for(profile, config=None):
+    fingerprint = artifact_fingerprint(
+        clifford_program(), config or scalar_config(), "statevector",
+        ideal_noise_model(), 1, 3, DependencyMode.PRIORITY,
+        profile=profile)
+    assert fingerprint is not None  # a swallowed error would vacuously pass
+    return fingerprint
+
+
+class TestProfileCompileIdentity:
+    def test_one_t1_edit_changes_the_artifact_key(self):
+        edited = json.loads(json.dumps(PROFILE_DOC))
+        edited["qubits"]["0"]["t1_us"] = 38.5
+        assert fingerprint_for(DeviceProfile.from_dict(edited)) != \
+            fingerprint_for(DeviceProfile.from_dict(PROFILE_DOC))
+
+    def test_file_rename_keeps_the_artifact_key(self, tmp_path):
+        from repro.qpu.profile import load_device_profile
+        first = tmp_path / "cal_v1.json"
+        second = tmp_path / "cal_final_really.json"
+        first.write_text(json.dumps(PROFILE_DOC))
+        second.write_text(json.dumps(PROFILE_DOC, indent=2))
+        assert fingerprint_for(load_device_profile(first)) == \
+            fingerprint_for(load_device_profile(second))
+
+    def test_profile_path_is_excluded_from_config_identity(self):
+        with_path = scalar_config(device_profile="/tmp/anything.json")
+        assert fingerprint_for(None, config=with_path) == \
+            fingerprint_for(None)
+
+    def test_no_profile_differs_from_some_profile(self):
+        assert fingerprint_for(None) != \
+            fingerprint_for(DeviceProfile.from_dict(PROFILE_DOC))
+
+
+def profile_program():
+    """Branchy 3-qubit workload with concurrent drive on all pairs."""
+    builder = ProgramBuilder("calibrated")
+    builder.qop("h", [0], timing=2)
+    builder.qop("h", [1], timing=2)
+    builder.qop("h", [2], timing=2)  # three staggered open windows
+    builder.qop("cnot", [0, 1], timing=2)
+    builder.qmeas(1, timing=2)
+    builder.fmr(1, 1)
+    skip = builder.fresh_label("skip")
+    builder.beq(1, 0, skip)
+    builder.qop("x", [2], timing=2)
+    builder.label(skip)
+    builder.qop("h", [2], timing=2)
+    for qubit in range(3):
+        builder.qmeas(qubit, timing=2)
+    builder.halt()
+    return builder.build()
+
+
+def calibrated_engine(profile_doc, **config_changes):
+    return ShotEngine(profile_program(),
+                      config=scalar_config(**config_changes),
+                      backend="statevector", n_qubits=3,
+                      profile=DeviceProfile.from_dict(profile_doc))
+
+
+SWEEP_SHOTS = 24
+
+
+class TestCalibratedBitIdentityMatrix:
+    """The acceptance matrix: one calibrated noisy sweep, every
+    execution strategy, identical histograms *and* total_ns."""
+
+    def test_cycle_accurate_cached_batched_and_warm_agree(self, tmp_path):
+        reference = calibrated_engine(
+            PROFILE_DOC, trace_cache=False).run(SWEEP_SHOTS)
+        assert len(reference.counts) > 1  # the noise actually acts
+
+        cached = calibrated_engine(PROFILE_DOC)
+        result = cached.run(SWEEP_SHOTS)
+        assert result.counts == reference.counts
+        assert result.total_ns == reference.total_ns
+        assert result.measured_qubits == reference.measured_qubits
+        assert cached.trace_cache.hits > 0
+
+        batched = calibrated_engine(PROFILE_DOC,
+                                    trace_cache_batch_width=7)
+        result = batched.run(SWEEP_SHOTS)
+        assert result.counts == reference.counts
+        assert result.total_ns == reference.total_ns
+
+        warm_config = {"artifact_cache_dir": str(tmp_path)}
+        cold = calibrated_engine(PROFILE_DOC, **warm_config)
+        assert cold.artifacts is not None  # profile key representable
+        cold.run(SWEEP_SHOTS)
+        cold._sync_artifacts()
+        warm = calibrated_engine(PROFILE_DOC, **warm_config)
+        assert warm.artifacts.warm_loads == 1
+        result = warm.run(SWEEP_SHOTS)
+        assert result.counts == reference.counts
+        assert result.total_ns == reference.total_ns
+        assert warm.trace_cache.misses == 0
+
+    def test_batchable_profile_actually_batches(self):
+        # Without t1/t2 the composed model is batch-compilable, so the
+        # lockstep cohorts must both engage and stay bit-identical.
+        doc = json.loads(json.dumps(PROFILE_DOC))
+        del doc["defaults"]["t1_us"], doc["defaults"]["t2_us"]
+        doc["qubits"]["0"].pop("t1_us")
+        doc["qubits"]["2"].pop("t2_us")
+        reference = calibrated_engine(doc, trace_cache=False) \
+            .run(SWEEP_SHOTS)
+        batched = calibrated_engine(doc, trace_cache_batch_width=7)
+        result = batched.run(SWEEP_SHOTS)
+        assert result.counts == reference.counts
+        assert result.total_ns == reference.total_ns
+        assert batched.trace_cache.batched_shots > 0
+
+    def test_edited_calibration_changes_results_not_just_keys(self):
+        # The calibration is load-bearing: cranking qubit 1's readout
+        # flip probability changes the delivered outcomes under the
+        # same seeds.  Guards against the profile being carried in the
+        # identity keys but ignored by the execution.
+        edited = json.loads(json.dumps(PROFILE_DOC))
+        edited["qubits"]["1"]["readout"]["p0_given_1"] = 0.95
+        base = calibrated_engine(PROFILE_DOC, trace_cache=False)
+        lossy = calibrated_engine(edited, trace_cache=False)
+        base_shots = [base.run_shot(seed) for seed in range(40)]
+        lossy_shots = [lossy.run_shot(seed) for seed in range(40)]
+        assert base_shots != lossy_shots
+
+    def test_calibrated_durations_change_the_zz_windows(self):
+        # Longer calibrated pulses keep drive windows open longer, so
+        # the per-pair overlaps — and with them the accumulated
+        # conditional phases — grow.  Same seeds, different physics.
+        slow = json.loads(json.dumps(PROFILE_DOC))
+        slow["defaults"]["gates"] = {"h": 240, "x": 240}
+        slow["qubits"]["0"]["gates"] = {"h": 320}
+        fast = calibrated_engine(PROFILE_DOC, trace_cache=False)
+        slowed = calibrated_engine(slow, trace_cache=False)
+        fast_shots = [fast.run_shot(seed) for seed in range(40)]
+        slow_shots = [slowed.run_shot(seed) for seed in range(40)]
+        assert fast_shots != slow_shots

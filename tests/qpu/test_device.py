@@ -116,6 +116,111 @@ class TestStateVectorQPU:
             pytest.approx(1.0)
 
 
+class TestDriveWindowAccounting:
+    """Drive-window pruning and per-pair ZZ overlap bookkeeping."""
+
+    def zz_noise(self, pairs=((0, 1), (0, 2), (1, 2))):
+        return NoiseModel(zz=ZZCrosstalk(zeta_hz=12.5e6, pairs=pairs),
+                          seed=0)
+
+    def test_expired_windows_are_pruned(self):
+        # Regression: _note_window used to keep every qubit ever
+        # driven, so the dict grew without bound over a long shot.
+        qpu = StateVectorQPU(4, noise=self.zz_noise(), seed=0)
+        time_ns = 0
+        for step in range(50):
+            qpu.apply_gate(time_ns, "h", (step % 4,))
+            time_ns += 100  # far beyond the 20 ns pulse: no overlap
+        assert len(qpu._windows) == 1  # only the still-open window
+
+    def test_concurrent_windows_are_kept(self):
+        qpu = StateVectorQPU(4, noise=self.zz_noise(()), seed=0)
+        for qubit in range(4):
+            qpu.apply_gate(5 * qubit, "h", (qubit,))  # all overlap
+        assert len(qpu._windows) == 4
+
+    def test_restart_clears_windows(self):
+        qpu = StateVectorQPU(2, noise=self.zz_noise(()), seed=0)
+        qpu.apply_gate(0, "h", (0,))
+        qpu.restart(seed=1)
+        assert qpu._windows == {}
+
+    def test_three_qubit_unequal_overlaps_apply_per_pair(self):
+        # Three concurrently driven qubits with three *different*
+        # pairwise overlaps: h q0 @0 (window 0-20), h q1 @5 (5-25),
+        # h q2 @12 (12-32) give overlaps (0,1)=15, (0,2)=8, (1,2)=13.
+        # Regression: the old accounting collapsed the driven set into
+        # one max-overlap event shared by every pair.
+        noise = self.zz_noise()
+        qpu = StateVectorQPU(3, noise=noise, seed=0)
+        qpu.apply_gate(0, "h", (0,))
+        qpu.apply_gate(5, "h", (1,))
+        qpu.apply_gate(12, "h", (2,))
+
+        reference = StateVectorQPU(3, seed=0)
+        for qubit in ("0", "1", "2"):
+            reference.apply_gate(0, "h", (int(qubit),))
+        zz = noise.zz
+        zz.apply_pair(reference.state, 0, 1, 15)
+        zz.apply_pair(reference.state, 0, 2, 8)
+        zz.apply_pair(reference.state, 1, 2, 13)
+        assert qpu.state.fidelity_with(reference.state) == \
+            pytest.approx(1.0)
+
+        # ...and the collapsed max-overlap model is measurably wrong.
+        collapsed = StateVectorQPU(3, seed=0)
+        for qubit in range(3):
+            collapsed.apply_gate(0, "h", (qubit,))
+        for left, right in ((0, 1), (0, 2), (1, 2)):
+            zz.apply_pair(collapsed.state, left, right, 15)
+        assert qpu.state.fidelity_with(collapsed.state) < 0.9999
+
+    def test_window_events_skip_pairs_internal_to_one_gate(self):
+        zz = ZZCrosstalk(zeta_hz=1e6, pairs=((0, 1),))
+        assert zz.window_events({}, 0, 60, (0, 1)) == []
+
+    def test_window_events_ignore_untouched_pairs(self):
+        zz = ZZCrosstalk(zeta_hz=1e6, pairs=((2, 3),))
+        windows = {2: (0, 20), 3: (0, 20)}
+        assert zz.window_events(windows, 10, 30, (0,)) == []
+
+
+class TestProfileAwareBookkeeping:
+    """Calibrated durations drive busy/violation/window accounting."""
+
+    def profile(self):
+        from repro.qpu.profile import DeviceProfile
+        return DeviceProfile.from_dict({
+            "name": "slow-q0",
+            "defaults": {"gates": {"x90": 20}},
+            "qubits": {"0": {"gates": {"x90": 40}}},
+        })
+
+    def test_violation_follows_calibrated_duration(self):
+        qpu = StateVectorQPU(2, seed=0, profile=self.profile())
+        qpu.apply_gate(0, "x90", (0,))
+        qpu.apply_gate(20, "x90", (0,))  # mid-pulse: q0's x90 is 40 ns
+        assert len(qpu.timing_violations) == 1
+        qpu.apply_gate(60, "x90", (0,))  # back-to-back at 40 ns pitch
+        assert len(qpu.timing_violations) == 1
+
+    def test_uncalibrated_qubit_uses_profile_default(self):
+        qpu = StateVectorQPU(2, seed=0, profile=self.profile())
+        qpu.apply_gate(0, "x90", (1,))
+        qpu.apply_gate(20, "x90", (1,))  # defaults say 20 ns: fine
+        assert qpu.timing_violations == []
+
+    def test_profile_composes_noise_at_construction(self):
+        from repro.qpu.profile import DeviceProfile
+        from repro.qpu.noise import QubitReadoutError
+        profile = DeviceProfile.from_dict(
+            {"defaults": {"readout": {"p0_given_1": 1.0}}})
+        qpu = StateVectorQPU(1, seed=0, profile=profile)
+        assert isinstance(qpu.noise.readout, QubitReadoutError)
+        qpu.apply_gate(0, "x", (0,))
+        assert qpu.measure(20, 0) == 0  # |1> always misread as 0
+
+
 class TestPRNGQPU:
     def test_measurement_outcomes_follow_readout(self):
         qpu = PRNGQPU(3, DeterministicReadout(outcomes={2: [1, 0]}))
